@@ -1,0 +1,167 @@
+//! Centroid and weighted-centroid localization (Bulusu et al.).
+//!
+//! The simplest anchor-proximity schemes: a node that hears `k ≥ 1` anchors
+//! estimates its position as their (weighted) average. Zero cooperation,
+//! zero iteration — the floor the cooperative methods are measured against.
+//!
+//! Communication: each anchor broadcasts its position once
+//! (`messages = #anchors`, AnchorAnnounce-sized payloads).
+
+use std::time::Instant;
+use wsnloc::{LocalizationResult, Localizer};
+use wsnloc_geom::Vec2;
+use wsnloc_net::accounting::{CommStats, WireMessage};
+use wsnloc_net::Network;
+
+/// Unweighted centroid of heard anchors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Centroid;
+
+/// Centroid weighted by inverse measured distance (closer anchors count
+/// more).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedCentroid;
+
+fn anchor_comm(network: &Network) -> CommStats {
+    let msg = WireMessage::AnchorAnnounce {
+        anchor: 0,
+        position: Vec2::ZERO,
+        hops: 0,
+    };
+    CommStats {
+        messages: network.anchor_count() as u64,
+        bytes: (network.anchor_count() * msg.encoded_len()) as u64,
+    }
+}
+
+fn run(network: &Network, weighted: bool) -> LocalizationResult {
+    let start = Instant::now();
+    let mut result = LocalizationResult::empty(network.len());
+    for (id, pos) in network.anchors() {
+        result.estimates[id] = Some(pos);
+        result.uncertainty[id] = Some(0.0);
+    }
+    for u in network.unknowns() {
+        let mut points = Vec::new();
+        let mut weights = Vec::new();
+        for m in network.measurements_of(u) {
+            let v = if m.a == u { m.b } else { m.a };
+            if let Some(pos) = network.anchor_position(v) {
+                points.push(pos);
+                weights.push(if weighted {
+                    1.0 / m.distance.max(1e-6)
+                } else {
+                    1.0
+                });
+            }
+        }
+        if !points.is_empty() {
+            result.estimates[u] = Vec2::weighted_centroid(&points, &weights);
+        }
+    }
+    result.comm = anchor_comm(network);
+    result.iterations = 1;
+    result.converged = true;
+    result.elapsed_secs = start.elapsed().as_secs_f64();
+    result
+}
+
+impl Localizer for Centroid {
+    fn name(&self) -> String {
+        "Centroid".to_string()
+    }
+
+    fn localize(&self, network: &Network, _seed: u64) -> LocalizationResult {
+        run(network, false)
+    }
+}
+
+impl Localizer for WeightedCentroid {
+    fn name(&self) -> String {
+        "WCL".to_string()
+    }
+
+    fn localize(&self, network: &Network, _seed: u64) -> LocalizationResult {
+        run(network, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnloc_geom::{Aabb, Shape};
+    use wsnloc_net::{Measurement, NodeKind, RadioModel, RangingModel};
+
+    /// One unknown hearing two anchors at known distances.
+    fn two_anchor_world() -> Network {
+        let a0 = Vec2::new(0.0, 0.0);
+        let a1 = Vec2::new(10.0, 0.0);
+        Network::from_parts(
+            Shape::Rect(Aabb::from_size(10.0, 10.0)),
+            RadioModel::UnitDisk { range: 20.0 },
+            RangingModel::AdditiveGaussian { sigma: 0.1 },
+            vec![NodeKind::Anchor, NodeKind::Anchor, NodeKind::Unknown],
+            vec![Some(a0), Some(a1), None],
+            vec![None; 3],
+            vec![
+                Measurement { a: 0, b: 2, distance: 2.0 },
+                Measurement { a: 1, b: 2, distance: 8.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn centroid_averages_anchors() {
+        let net = two_anchor_world();
+        let r = Centroid.localize(&net, 0);
+        assert_eq!(r.estimates[2], Some(Vec2::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn weighted_centroid_leans_toward_near_anchor() {
+        let net = two_anchor_world();
+        let r = WeightedCentroid.localize(&net, 0);
+        let est = r.estimates[2].unwrap();
+        // Weights 1/2 vs 1/8 → x = 10·(1/8)/(1/2+1/8) = 2.
+        assert!((est.x - 2.0).abs() < 1e-9, "estimate {est}");
+    }
+
+    #[test]
+    fn unknown_without_anchor_neighbors_unlocalized() {
+        let net = Network::from_parts(
+            Shape::Rect(Aabb::from_size(10.0, 10.0)),
+            RadioModel::UnitDisk { range: 1.0 },
+            RangingModel::AdditiveGaussian { sigma: 0.1 },
+            vec![NodeKind::Anchor, NodeKind::Unknown, NodeKind::Unknown],
+            vec![Some(Vec2::ZERO), None, None],
+            vec![None; 3],
+            vec![Measurement { a: 1, b: 2, distance: 1.0 }],
+        );
+        let r = Centroid.localize(&net, 0);
+        assert_eq!(r.estimates[1], None);
+        assert_eq!(r.estimates[2], None);
+        assert!((r.coverage(net.unknowns()) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anchors_carry_their_positions() {
+        let net = two_anchor_world();
+        let r = WeightedCentroid.localize(&net, 0);
+        assert_eq!(r.estimates[0], Some(Vec2::new(0.0, 0.0)));
+        assert_eq!(r.estimates[1], Some(Vec2::new(10.0, 0.0)));
+    }
+
+    #[test]
+    fn communication_is_one_broadcast_per_anchor() {
+        let net = two_anchor_world();
+        let r = Centroid.localize(&net, 0);
+        assert_eq!(r.comm.messages, 2);
+        assert_eq!(r.comm.bytes, 2 * 23);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Centroid.name(), "Centroid");
+        assert_eq!(WeightedCentroid.name(), "WCL");
+    }
+}

@@ -1,0 +1,238 @@
+//! DV-Hop localization (Niculescu & Nath).
+//!
+//! The canonical range-free baseline, in three phases:
+//!
+//! 1. Every anchor floods the network; each node records its minimum hop
+//!    count to each anchor.
+//! 2. Each anchor computes its *average hop size* — the mean geographic
+//!    distance per hop to the other anchors — and floods it.
+//! 3. Each unknown converts hop counts into distance estimates using the
+//!    hop size of its nearest anchor, then multilaterates.
+//!
+//! DV-Hop needs no ranging hardware but assumes hop counts track geographic
+//! distance, which fails in C/O-shaped fields where shortest paths detour
+//! around holes — the effect experiment F7 measures.
+//!
+//! Communication: each flood re-broadcasts once per node per anchor, so
+//! `messages ≈ 2 · #anchors · N` (announce + hop-size phases).
+
+use std::time::Instant;
+use wsnloc::{LocalizationResult, Localizer};
+use wsnloc_geom::Vec2;
+use wsnloc_net::accounting::{CommStats, WireMessage};
+use wsnloc_net::Network;
+
+use crate::multilateration::Multilateration;
+
+/// DV-Hop with NLS position solving.
+#[derive(Debug, Clone, Copy)]
+pub struct DvHop {
+    /// Refine the multilateration with Gauss–Newton.
+    pub refine: bool,
+}
+
+impl Default for DvHop {
+    fn default() -> Self {
+        DvHop { refine: true }
+    }
+}
+
+impl Localizer for DvHop {
+    fn name(&self) -> String {
+        "DV-Hop".to_string()
+    }
+
+    fn localize(&self, network: &Network, _seed: u64) -> LocalizationResult {
+        let start = Instant::now();
+        let n = network.len();
+        let mut result = LocalizationResult::empty(n);
+        for (id, pos) in network.anchors() {
+            result.estimates[id] = Some(pos);
+            result.uncertainty[id] = Some(0.0);
+        }
+
+        let anchors: Vec<(usize, Vec2)> = network.anchors().collect();
+        if anchors.len() >= 2 {
+            // Phase 1: hop counts from every anchor (the BFS stands in for
+            // the distributed flood).
+            let hop_tables: Vec<Vec<Option<u32>>> = network
+                .topology()
+                .hops_from_all(&anchors.iter().map(|&(id, _)| id).collect::<Vec<_>>());
+
+            // Phase 2: per-anchor average hop size.
+            let hop_sizes: Vec<Option<f64>> = anchors
+                .iter()
+                .enumerate()
+                .map(|(k, &(_, pk))| {
+                    let mut dist_sum = 0.0;
+                    let mut hop_sum = 0u64;
+                    for (j, &(aj, pj)) in anchors.iter().enumerate() {
+                        if j == k {
+                            continue;
+                        }
+                        if let Some(h) = hop_tables[k][aj] {
+                            dist_sum += pk.dist(pj);
+                            hop_sum += h as u64;
+                        }
+                    }
+                    (hop_sum > 0).then(|| dist_sum / hop_sum as f64)
+                })
+                .collect();
+
+            // Phase 3: per-unknown distance estimates and multilateration.
+            for u in network.unknowns() {
+                // Hop size adopted from the nearest (fewest-hop) anchor with
+                // a defined hop size — the standard DV-Hop rule.
+                let nearest = anchors
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(k, _)| {
+                        hop_tables[k][u].and_then(|h| hop_sizes[k].map(|s| (h, s)))
+                    })
+                    .min_by_key(|&(h, _)| h);
+                let Some((_, hop_size)) = nearest else {
+                    continue;
+                };
+                let refs: Vec<(Vec2, f64)> = anchors
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(k, &(_, p))| {
+                        hop_tables[k][u].map(|h| (p, h as f64 * hop_size))
+                    })
+                    .collect();
+                if let Some(est) = Multilateration::solve(&refs, self.refine, 10) {
+                    result.estimates[u] =
+                        Some(network.field_bounds().inflated(50.0).clamp_point(est));
+                }
+            }
+        }
+
+        // Two flood phases, each re-broadcast once per node per anchor.
+        let announce = WireMessage::AnchorAnnounce {
+            anchor: 0,
+            position: Vec2::ZERO,
+            hops: 0,
+        };
+        let hopsize = WireMessage::HopSizeAnnounce {
+            anchor: 0,
+            meters_per_hop: 0.0,
+        };
+        let floods = (anchors.len() * n) as u64;
+        result.comm = CommStats {
+            messages: 2 * floods,
+            bytes: floods * (announce.encoded_len() + hopsize.encoded_len()) as u64,
+        };
+        result.iterations = 1;
+        result.converged = true;
+        result.elapsed_secs = start.elapsed().as_secs_f64();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnloc_net::network::NetworkBuilder;
+    use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
+    use wsnloc_geom::Shape;
+
+    fn dense_world(seed: u64) -> (Network, wsnloc_net::GroundTruth) {
+        NetworkBuilder {
+            deployment: Deployment::uniform_square(1000.0),
+            node_count: 150,
+            anchors: AnchorStrategy::Random { count: 15 },
+            radio: RadioModel::UnitDisk { range: 180.0 },
+            ranging: RangingModel::Multiplicative { factor: 0.1 },
+        }
+        .build(seed)
+    }
+
+    #[test]
+    fn dvhop_localizes_dense_network() {
+        let (net, truth) = dense_world(1);
+        let r = DvHop::default().localize(&net, 0);
+        let errs: Vec<f64> = r
+            .errors_for(&truth, Some(&net))
+            .into_iter()
+            .flatten()
+            .collect();
+        assert!(!errs.is_empty());
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        // DV-Hop typically lands around 0.3–1.2 R in dense uniform fields.
+        assert!(mean < 250.0, "mean error {mean}");
+        // Coverage should be high in a connected network.
+        assert!(r.coverage(net.unknowns()) > 0.9);
+    }
+
+    #[test]
+    fn too_few_anchors_leaves_unknowns() {
+        let (net, _) = NetworkBuilder {
+            deployment: Deployment::uniform_square(500.0),
+            node_count: 30,
+            anchors: AnchorStrategy::Random { count: 1 },
+            radio: RadioModel::UnitDisk { range: 150.0 },
+            ranging: RangingModel::Multiplicative { factor: 0.1 },
+        }
+        .build(2);
+        let r = DvHop::default().localize(&net, 0);
+        for u in net.unknowns() {
+            assert_eq!(r.estimates[u], None);
+        }
+    }
+
+    #[test]
+    fn communication_scales_with_anchors_and_nodes() {
+        let (net, _) = dense_world(3);
+        let r = DvHop::default().localize(&net, 0);
+        let expected = 2 * (net.anchor_count() * net.len()) as u64;
+        assert_eq!(r.comm.messages, expected);
+        assert!(r.comm.bytes > 0);
+    }
+
+    #[test]
+    fn c_shape_inflates_dvhop_error() {
+        // Hop paths detour around the C's hole → hop-distance overestimates.
+        let mk = |shape: Shape, seed: u64| {
+            NetworkBuilder {
+                deployment: Deployment::Uniform(shape),
+                node_count: 180,
+                anchors: AnchorStrategy::Random { count: 18 },
+                radio: RadioModel::UnitDisk { range: 160.0 },
+                ranging: RangingModel::Multiplicative { factor: 0.1 },
+            }
+            .build(seed)
+        };
+        let mut square_err = 0.0;
+        let mut c_err = 0.0;
+        for seed in 0..3 {
+            let (net_s, truth_s) = mk(
+                Shape::Rect(wsnloc_geom::Aabb::from_size(1000.0, 1000.0)),
+                seed,
+            );
+            let (net_c, truth_c) = mk(Shape::standard_c(1000.0), seed);
+            let mean = |net: &Network, truth: &wsnloc_net::GroundTruth| {
+                let r = DvHop::default().localize(net, 0);
+                let errs: Vec<f64> = r
+                    .errors_for(truth, Some(net))
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                errs.iter().sum::<f64>() / errs.len().max(1) as f64
+            };
+            square_err += mean(&net_s, &truth_s);
+            c_err += mean(&net_c, &truth_c);
+        }
+        assert!(
+            c_err > square_err,
+            "C-shape error {c_err} should exceed square {square_err}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (net, _) = dense_world(4);
+        let a = DvHop::default().localize(&net, 0);
+        let b = DvHop::default().localize(&net, 0);
+        assert_eq!(a.estimates, b.estimates);
+    }
+}

@@ -1,0 +1,318 @@
+//! MDS-MAP localization (Shang et al.).
+//!
+//! The centralized spectral baseline:
+//!
+//! 1. Estimate all-pairs distances by weighted shortest paths through the
+//!    measurement graph (Dijkstra; measured ranges as edge weights).
+//! 2. Classical multidimensional scaling: double-center the squared
+//!    distance matrix and take the top-2 eigenpairs — a *relative* map.
+//! 3. Align the relative map to the anchors with a similarity Procrustes
+//!    transform (reflection allowed).
+//!
+//! Shortest paths overestimate Euclidean distances wherever the field is
+//! non-convex, so MDS-MAP shares DV-Hop's weakness on C/O-shaped networks
+//! while using ranging information the range-free methods ignore.
+//!
+//! Only the connected component containing the most anchors is mapped;
+//! other nodes stay unlocalized. Communication is modeled as a centralized
+//! collection: every node forwards its measurement list once (`messages =
+//! N`, ParticleBelief-sized payloads are not involved — a compact
+//! per-neighbor list is charged).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+use wsnloc::{LocalizationResult, Localizer};
+use wsnloc_geom::{Matrix, Vec2};
+use wsnloc_net::accounting::CommStats;
+use wsnloc_net::Network;
+
+use crate::procrustes::procrustes_align;
+
+/// Classical MDS over shortest-path distances with anchor alignment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MdsMap;
+
+/// Min-heap entry for Dijkstra.
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+    }
+}
+
+/// Single-source weighted shortest paths over the measurement graph.
+fn dijkstra(network: &Network, source: usize) -> Vec<f64> {
+    let n = network.len();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for m in network.measurements_of(u) {
+            let v = if m.a == u { m.b } else { m.a };
+            let nd = d + m.distance;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    dist
+}
+
+impl Localizer for MdsMap {
+    fn name(&self) -> String {
+        "MDS-MAP".to_string()
+    }
+
+    fn localize(&self, network: &Network, _seed: u64) -> LocalizationResult {
+        let start = Instant::now();
+        let n = network.len();
+        let mut result = LocalizationResult::empty(n);
+        for (id, pos) in network.anchors() {
+            result.estimates[id] = Some(pos);
+            result.uncertainty[id] = Some(0.0);
+        }
+
+        // Component with the most anchors.
+        let (labels, comps) = network.topology().components();
+        let mut anchor_count = vec![0usize; comps];
+        for (id, _) in network.anchors() {
+            anchor_count[labels[id]] += 1;
+        }
+        let Some((best_comp, &best_anchors)) = anchor_count
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+        else {
+            return finish(result, network, start);
+        };
+        if best_anchors < 2 {
+            return finish(result, network, start);
+        }
+        let members: Vec<usize> = (0..n).filter(|&v| labels[v] == best_comp).collect();
+        let m = members.len();
+        if m < 3 {
+            return finish(result, network, start);
+        }
+        let local_index: std::collections::HashMap<usize, usize> = members
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (v, k))
+            .collect();
+
+        // All-pairs shortest paths within the component.
+        let mut d2 = Matrix::zeros(m, m);
+        for (k, &v) in members.iter().enumerate() {
+            let dist = dijkstra(network, v);
+            for (l, &w) in members.iter().enumerate() {
+                let d = dist[w];
+                debug_assert!(d.is_finite(), "component member unreachable");
+                d2[(k, l)] = d * d;
+            }
+        }
+        // Symmetrize (Dijkstra asymmetries only from float noise).
+        for k in 0..m {
+            for l in (k + 1)..m {
+                let avg = (d2[(k, l)] + d2[(l, k)]) / 2.0;
+                d2[(k, l)] = avg;
+                d2[(l, k)] = avg;
+            }
+        }
+
+        // Double centering: B = -0.5 · J D² J.
+        let row_mean: Vec<f64> = (0..m)
+            .map(|k| (0..m).map(|l| d2[(k, l)]).sum::<f64>() / m as f64)
+            .collect();
+        let grand = row_mean.iter().sum::<f64>() / m as f64;
+        let mut b = Matrix::zeros(m, m);
+        for k in 0..m {
+            for l in 0..m {
+                b[(k, l)] = -0.5 * (d2[(k, l)] - row_mean[k] - row_mean[l] + grand);
+            }
+        }
+
+        let (vals, vecs) = b.symmetric_eigen();
+        if vals.len() < 2 || vals[1] <= 0.0 {
+            return finish(result, network, start);
+        }
+        let relative: Vec<Vec2> = (0..m)
+            .map(|k| {
+                Vec2::new(
+                    vecs[(k, 0)] * vals[0].sqrt(),
+                    vecs[(k, 1)] * vals[1].sqrt(),
+                )
+            })
+            .collect();
+
+        // Anchor alignment.
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        for (id, pos) in network.anchors() {
+            if let Some(&k) = local_index.get(&id) {
+                src.push(relative[k]);
+                dst.push(pos);
+            }
+        }
+        let Some(transform) = procrustes_align(&src, &dst) else {
+            return finish(result, network, start);
+        };
+        for (k, &v) in members.iter().enumerate() {
+            if !network.is_anchor(v) {
+                result.estimates[v] = Some(transform.apply(relative[k]));
+            }
+        }
+        finish(result, network, start)
+    }
+}
+
+fn finish(
+    mut result: LocalizationResult,
+    network: &Network,
+    start: Instant,
+) -> LocalizationResult {
+    // Centralized collection: every node reports its neighbor list once;
+    // charge 8 bytes per incident measurement plus a header.
+    let bytes: u64 = (0..network.len())
+        .map(|u| 5 + 8 * network.measurements_of(u).count() as u64)
+        .sum();
+    result.comm = CommStats {
+        messages: network.len() as u64,
+        bytes,
+    };
+    result.iterations = 1;
+    result.converged = true;
+    result.elapsed_secs = start.elapsed().as_secs_f64();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnloc_net::network::NetworkBuilder;
+    use wsnloc_net::{AnchorStrategy, Deployment, GroundTruth, RadioModel, RangingModel};
+
+    fn world(seed: u64, noise: f64) -> (Network, GroundTruth) {
+        NetworkBuilder {
+            deployment: Deployment::uniform_square(500.0),
+            node_count: 60,
+            anchors: AnchorStrategy::Grid { count: 6 },
+            radio: RadioModel::UnitDisk { range: 140.0 },
+            ranging: RangingModel::Multiplicative { factor: noise },
+        }
+        .build(seed)
+    }
+
+    fn mean_err(net: &Network, truth: &GroundTruth) -> f64 {
+        let r = MdsMap.localize(net, 0);
+        let errs: Vec<f64> = r
+            .errors_for(truth, Some(net))
+            .into_iter()
+            .flatten()
+            .collect();
+        assert!(!errs.is_empty(), "MDS-MAP localized nothing");
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+
+    #[test]
+    fn low_noise_dense_network_maps_well() {
+        let (net, truth) = world(1, 0.02);
+        let err = mean_err(&net, &truth);
+        // Shortest-path inflation bounds accuracy, but a dense convex field
+        // should map within ~half the radio range.
+        assert!(err < 80.0, "mean error {err}");
+    }
+
+    #[test]
+    fn error_grows_with_noise() {
+        let mut low_total = 0.0;
+        let mut high_total = 0.0;
+        for seed in 0..3 {
+            let (nl, tl) = world(10 + seed, 0.02);
+            let (nh, th) = world(10 + seed, 0.35);
+            low_total += mean_err(&nl, &tl);
+            high_total += mean_err(&nh, &th);
+        }
+        assert!(
+            high_total > low_total,
+            "noise should hurt: low {low_total}, high {high_total}"
+        );
+    }
+
+    #[test]
+    fn dijkstra_shortest_paths_sane() {
+        let (net, truth) = world(2, 0.05);
+        let d = dijkstra(&net, 0);
+        assert_eq!(d[0], 0.0);
+        for m in net.measurements_of(0) {
+            let v = if m.a == 0 { m.b } else { m.a };
+            assert!(d[v] <= m.distance + 1e-9);
+        }
+        // Path distance upper-bounds are at least Euclidean (up to noise).
+        for v in 1..net.len() {
+            if d[v].is_finite() {
+                let euclid = truth.position(0).dist(truth.position(v));
+                assert!(d[v] > euclid * 0.6, "path {} vs euclid {}", d[v], euclid);
+            }
+        }
+    }
+
+    #[test]
+    fn single_anchor_component_is_skipped() {
+        let (net, _) = NetworkBuilder {
+            deployment: Deployment::uniform_square(500.0),
+            node_count: 20,
+            anchors: AnchorStrategy::Random { count: 1 },
+            radio: RadioModel::UnitDisk { range: 200.0 },
+            ranging: RangingModel::Multiplicative { factor: 0.05 },
+        }
+        .build(3);
+        let r = MdsMap.localize(&net, 0);
+        for u in net.unknowns() {
+            assert_eq!(r.estimates[u], None);
+        }
+    }
+
+    #[test]
+    fn communication_counts_every_node_once() {
+        let (net, _) = world(4, 0.05);
+        let r = MdsMap.localize(&net, 0);
+        assert_eq!(r.comm.messages, net.len() as u64);
+        assert!(r.comm.bytes >= 5 * net.len() as u64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (net, _) = world(5, 0.05);
+        assert_eq!(
+            MdsMap.localize(&net, 0).estimates,
+            MdsMap.localize(&net, 1).estimates
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Min-Max (bounding box) localization (Savvides et al.).
+//!
+//! Each heard anchor at measured distance `d` constrains the node to the
+//! square `[x−d, x+d] × [y−d, y+d]`; the estimate is the center of the
+//! intersection of all such boxes. Cheap, robust, and biased toward box
+//! centers — a classic low-cost baseline.
+//!
+//! Communication: one broadcast per anchor, as for centroid methods.
+
+use std::time::Instant;
+use wsnloc::{LocalizationResult, Localizer};
+use wsnloc_geom::Vec2;
+use wsnloc_net::accounting::{CommStats, WireMessage};
+use wsnloc_net::Network;
+
+/// Bounding-box intersection localization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinMax;
+
+impl Localizer for MinMax {
+    fn name(&self) -> String {
+        "Min-Max".to_string()
+    }
+
+    fn localize(&self, network: &Network, _seed: u64) -> LocalizationResult {
+        let start = Instant::now();
+        let mut result = LocalizationResult::empty(network.len());
+        for (id, pos) in network.anchors() {
+            result.estimates[id] = Some(pos);
+            result.uncertainty[id] = Some(0.0);
+        }
+        for u in network.unknowns() {
+            let mut bbox: Option<(Vec2, Vec2)> = None;
+            for m in network.measurements_of(u) {
+                let v = if m.a == u { m.b } else { m.a };
+                if let Some(pos) = network.anchor_position(v) {
+                    let d = Vec2::splat(m.distance);
+                    let (lo, hi) = (pos - d, pos + d);
+                    bbox = Some(match bbox {
+                        None => (lo, hi),
+                        Some((blo, bhi)) => (blo.max(lo), bhi.min(hi)),
+                    });
+                }
+            }
+            if let Some((lo, hi)) = bbox {
+                // An inconsistent (inverted) intersection still has a
+                // well-defined center — the midpoint remains the best guess.
+                let center = (lo + hi) * 0.5;
+                result.estimates[u] = Some(network.field_bounds().clamp_point(center));
+                result.uncertainty[u] = Some(
+                    // Half-diagonal of the box as an uncertainty proxy.
+                    ((hi.x - lo.x).abs() + (hi.y - lo.y).abs()) / 4.0,
+                );
+            }
+        }
+        let msg = WireMessage::AnchorAnnounce {
+            anchor: 0,
+            position: Vec2::ZERO,
+            hops: 0,
+        };
+        result.comm = CommStats {
+            messages: network.anchor_count() as u64,
+            bytes: (network.anchor_count() * msg.encoded_len()) as u64,
+        };
+        result.iterations = 1;
+        result.converged = true;
+        result.elapsed_secs = start.elapsed().as_secs_f64();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnloc_geom::{Aabb, Shape};
+    use wsnloc_net::{Measurement, NodeKind, RadioModel, RangingModel};
+
+    fn world(measurements: Vec<Measurement>) -> Network {
+        Network::from_parts(
+            Shape::Rect(Aabb::from_size(100.0, 100.0)),
+            RadioModel::UnitDisk { range: 200.0 },
+            RangingModel::AdditiveGaussian { sigma: 0.1 },
+            vec![
+                NodeKind::Anchor,
+                NodeKind::Anchor,
+                NodeKind::Anchor,
+                NodeKind::Unknown,
+            ],
+            vec![
+                Some(Vec2::new(0.0, 0.0)),
+                Some(Vec2::new(100.0, 0.0)),
+                Some(Vec2::new(0.0, 100.0)),
+                None,
+            ],
+            vec![None; 4],
+            measurements,
+        )
+    }
+
+    #[test]
+    fn exact_ranges_give_small_error() {
+        let truth = Vec2::new(30.0, 40.0);
+        let net = world(vec![
+            Measurement { a: 0, b: 3, distance: truth.dist(Vec2::new(0.0, 0.0)) },
+            Measurement { a: 1, b: 3, distance: truth.dist(Vec2::new(100.0, 0.0)) },
+            Measurement { a: 2, b: 3, distance: truth.dist(Vec2::new(0.0, 100.0)) },
+        ]);
+        let r = MinMax.localize(&net, 0);
+        let est = r.estimates[3].unwrap();
+        // Min-Max is biased but should land within ~15 m here.
+        assert!(est.dist(truth) < 15.0, "estimate {est}");
+        assert!(r.uncertainty[3].unwrap() > 0.0);
+    }
+
+    #[test]
+    fn single_anchor_gives_box_center() {
+        let net = world(vec![Measurement { a: 0, b: 3, distance: 10.0 }]);
+        let r = MinMax.localize(&net, 0);
+        // Box is [-10,10]² centered on the anchor at the origin, clamped
+        // into the field → center (0,0) clamps to itself (it's a corner).
+        assert_eq!(r.estimates[3], Some(Vec2::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn no_anchor_contact_unlocalized() {
+        let net = world(vec![]);
+        let r = MinMax.localize(&net, 0);
+        assert_eq!(r.estimates[3], None);
+    }
+
+    #[test]
+    fn estimate_stays_in_field() {
+        let net = world(vec![Measurement { a: 0, b: 3, distance: 300.0 }]);
+        let r = MinMax.localize(&net, 0);
+        let est = r.estimates[3].unwrap();
+        assert!(net.field_bounds().contains(est));
+    }
+}

@@ -1,0 +1,328 @@
+//! Least-squares multilateration.
+//!
+//! The standard range-based point-solution: a node hearing `k ≥ 3` anchors
+//! solves for its position from the measured distances. Two stages:
+//!
+//! 1. **LLS** — the classic linearization that subtracts one anchor's circle
+//!    equation from the others, giving a linear system in `(x, y)`.
+//! 2. **Gauss–Newton refinement** — iterative nonlinear least squares on the
+//!    true residuals `‖x − a_i‖ − d_i`, started from the LLS solution.
+//!
+//! With `iterative: true`, localized unknowns are promoted to pseudo-anchors
+//! and the sweep repeats until no new node can be solved (the "iterative
+//! multilateration" of Savvides et al.) — a non-Bayesian form of cooperation
+//! that propagates error without tracking uncertainty, which is exactly the
+//! weakness the paper's Bayesian formulation addresses.
+//!
+//! Communication: one broadcast per anchor, plus one per promoted
+//! pseudo-anchor per round in iterative mode.
+
+use std::time::Instant;
+use wsnloc::{LocalizationResult, Localizer};
+use wsnloc_geom::{Matrix, Vec2};
+use wsnloc_net::accounting::{CommStats, WireMessage};
+use wsnloc_net::Network;
+
+/// Configurable multilateration baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct Multilateration {
+    /// Run Gauss–Newton refinement after the linear solve.
+    pub refine: bool,
+    /// Promote localized nodes to pseudo-anchors and iterate.
+    pub iterative: bool,
+    /// Gauss–Newton iterations.
+    pub gn_iterations: usize,
+}
+
+impl Default for Multilateration {
+    fn default() -> Self {
+        Multilateration {
+            refine: true,
+            iterative: false,
+            gn_iterations: 10,
+        }
+    }
+}
+
+impl Multilateration {
+    /// Non-iterative NLS against true anchors only.
+    pub fn nls() -> Self {
+        Multilateration::default()
+    }
+
+    /// Iterative multilateration with pseudo-anchor promotion.
+    pub fn iterative() -> Self {
+        Multilateration {
+            iterative: true,
+            ..Multilateration::default()
+        }
+    }
+
+    /// Solves one node from `(anchor position, measured distance)` pairs.
+    /// Returns `None` with fewer than three references or a degenerate
+    /// geometry.
+    pub fn solve(refs: &[(Vec2, f64)], refine: bool, gn_iterations: usize) -> Option<Vec2> {
+        if refs.len() < 3 {
+            return None;
+        }
+        let initial = lls(refs)?;
+        if !refine {
+            return Some(initial);
+        }
+        Some(gauss_newton(refs, initial, gn_iterations))
+    }
+}
+
+/// Linearized least squares: subtract the last anchor's equation.
+fn lls(refs: &[(Vec2, f64)]) -> Option<Vec2> {
+    let n = refs.len();
+    let (pn, dn) = refs[n - 1];
+    let mut a_rows = Vec::with_capacity(n - 1);
+    let mut b = Vec::with_capacity(n - 1);
+    for &(p, d) in &refs[..n - 1] {
+        a_rows.push(vec![2.0 * (p.x - pn.x), 2.0 * (p.y - pn.y)]);
+        b.push(
+            p.norm_sq() - pn.norm_sq() + dn * dn - d * d,
+        );
+    }
+    let rows: Vec<&[f64]> = a_rows.iter().map(|r| r.as_slice()).collect();
+    let a = Matrix::from_rows(&rows);
+    let sol = a.solve_least_squares(&b)?;
+    let p = Vec2::new(sol[0], sol[1]);
+    p.is_finite().then_some(p)
+}
+
+/// Gauss–Newton on the range residuals.
+fn gauss_newton(refs: &[(Vec2, f64)], mut x: Vec2, iterations: usize) -> Vec2 {
+    for _ in 0..iterations {
+        let mut jtj = Matrix::zeros(2, 2);
+        let mut jtr = [0.0; 2];
+        for &(p, d) in refs {
+            let diff = x - p;
+            let dist = diff.norm().max(1e-9);
+            let residual = dist - d;
+            let grad = diff / dist;
+            jtj[(0, 0)] += grad.x * grad.x;
+            jtj[(0, 1)] += grad.x * grad.y;
+            jtj[(1, 1)] += grad.y * grad.y;
+            jtr[0] += grad.x * residual;
+            jtr[1] += grad.y * residual;
+        }
+        jtj[(1, 0)] = jtj[(0, 1)];
+        // Levenberg damping keeps degenerate geometries stable.
+        jtj[(0, 0)] += 1e-9;
+        jtj[(1, 1)] += 1e-9;
+        let Some(step) = jtj.solve_spd(&jtr) else {
+            break;
+        };
+        let delta = Vec2::new(step[0], step[1]);
+        x -= delta;
+        if delta.norm() < 1e-9 {
+            break;
+        }
+    }
+    x
+}
+
+impl Localizer for Multilateration {
+    fn name(&self) -> String {
+        match (self.iterative, self.refine) {
+            (true, _) => "Iter-NLS".to_string(),
+            (false, true) => "NLS".to_string(),
+            (false, false) => "LLS".to_string(),
+        }
+    }
+
+    fn localize(&self, network: &Network, _seed: u64) -> LocalizationResult {
+        let start = Instant::now();
+        let n = network.len();
+        let mut result = LocalizationResult::empty(n);
+        // Reference set: position + "is pseudo" flag per node.
+        let mut reference: Vec<Option<Vec2>> = vec![None; n];
+        for (id, pos) in network.anchors() {
+            reference[id] = Some(pos);
+            result.estimates[id] = Some(pos);
+            result.uncertainty[id] = Some(0.0);
+        }
+        let mut broadcasts = network.anchor_count() as u64;
+
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            let mut progressed = false;
+            for u in network.unknowns() {
+                if result.estimates[u].is_some() {
+                    continue;
+                }
+                let refs: Vec<(Vec2, f64)> = network
+                    .measurements_of(u)
+                    .filter_map(|m| {
+                        let v = if m.a == u { m.b } else { m.a };
+                        reference[v].map(|p| (p, m.distance))
+                    })
+                    .collect();
+                if let Some(est) =
+                    Multilateration::solve(&refs, self.refine, self.gn_iterations)
+                {
+                    let est = network.field_bounds().inflated(100.0).clamp_point(est);
+                    result.estimates[u] = Some(est);
+                    progressed = true;
+                    if self.iterative {
+                        reference[u] = Some(est);
+                        broadcasts += 1;
+                    }
+                }
+            }
+            if !self.iterative || !progressed {
+                break;
+            }
+        }
+
+        let msg = WireMessage::AnchorAnnounce {
+            anchor: 0,
+            position: Vec2::ZERO,
+            hops: 0,
+        };
+        result.comm = CommStats {
+            messages: broadcasts,
+            bytes: broadcasts * msg.encoded_len() as u64,
+        };
+        result.iterations = rounds;
+        result.converged = true;
+        result.elapsed_secs = start.elapsed().as_secs_f64();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnloc_geom::{Aabb, Shape};
+    use wsnloc_net::{GroundTruth, Measurement, NodeKind, RadioModel, RangingModel};
+
+    fn exact_refs(truth: Vec2, anchors: &[Vec2]) -> Vec<(Vec2, f64)> {
+        anchors.iter().map(|&a| (a, truth.dist(a))).collect()
+    }
+
+    #[test]
+    fn solve_recovers_exact_position() {
+        let truth = Vec2::new(37.0, 59.0);
+        let anchors = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 10.0),
+            Vec2::new(40.0, 95.0),
+        ];
+        let refs = exact_refs(truth, &anchors);
+        let est = Multilateration::solve(&refs, true, 15).unwrap();
+        assert!(est.dist(truth) < 1e-6, "estimate {est}");
+        // LLS alone is also exact with noise-free ranges.
+        let lls_est = Multilateration::solve(&refs, false, 0).unwrap();
+        assert!(lls_est.dist(truth) < 1e-6);
+    }
+
+    #[test]
+    fn refinement_beats_lls_under_noise() {
+        let truth = Vec2::new(50.0, 50.0);
+        let anchors = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(0.0, 100.0),
+            Vec2::new(100.0, 100.0),
+            Vec2::new(50.0, 0.0),
+        ];
+        // Deterministic pseudo-noise.
+        let noisy: Vec<(Vec2, f64)> = anchors
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, truth.dist(a) + [3.0, -2.0, 1.5, -1.0, 2.5][i]))
+            .collect();
+        let lls_est = Multilateration::solve(&noisy, false, 0).unwrap();
+        let nls_est = Multilateration::solve(&noisy, true, 20).unwrap();
+        assert!(nls_est.dist(truth) <= lls_est.dist(truth) + 1e-9);
+    }
+
+    #[test]
+    fn two_references_insufficient() {
+        let refs = vec![(Vec2::ZERO, 5.0), (Vec2::new(10.0, 0.0), 5.0)];
+        assert!(Multilateration::solve(&refs, true, 10).is_none());
+    }
+
+    #[test]
+    fn collinear_anchors_dont_crash() {
+        let truth = Vec2::new(5.0, 7.0);
+        let anchors = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            Vec2::new(20.0, 0.0),
+        ];
+        let refs = exact_refs(truth, &anchors);
+        // Collinear anchors cannot resolve the off-axis coordinate: the LLS
+        // start lies on the anchor line and Gauss–Newton's y-gradient
+        // vanishes there by symmetry. The contract is graceful degradation —
+        // a finite estimate whose along-axis coordinate is inside the
+        // anchor span — not recovery.
+        if let Some(est) = Multilateration::solve(&refs, true, 20) {
+            assert!(est.is_finite(), "estimate {est}");
+            assert!((-5.0..=25.0).contains(&est.x), "x {est}");
+        }
+    }
+
+    fn chain_network() -> (Network, GroundTruth) {
+        // Anchors 0,1,2 around unknown 3; unknown 4 only hears 1,2,3.
+        let p = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(50.0, 90.0),
+            Vec2::new(50.0, 30.0),
+            Vec2::new(80.0, 60.0),
+        ];
+        let mk = |a: usize, b: usize| Measurement {
+            a,
+            b,
+            distance: p[a].dist(p[b]),
+        };
+        let net = Network::from_parts(
+            Shape::Rect(Aabb::from_size(100.0, 100.0)),
+            RadioModel::UnitDisk { range: 120.0 },
+            RangingModel::AdditiveGaussian { sigma: 0.5 },
+            vec![
+                NodeKind::Anchor,
+                NodeKind::Anchor,
+                NodeKind::Anchor,
+                NodeKind::Unknown,
+                NodeKind::Unknown,
+            ],
+            vec![Some(p[0]), Some(p[1]), Some(p[2]), None, None],
+            vec![None; 5],
+            vec![mk(0, 3), mk(1, 3), mk(2, 3), mk(1, 4), mk(2, 4), mk(3, 4)],
+        );
+        (net, GroundTruth::from_positions(p))
+    }
+
+    #[test]
+    fn iterative_mode_extends_coverage() {
+        let (net, truth) = chain_network();
+        // Non-iterative: node 4 has only 2 true-anchor refs → unlocalized.
+        let plain = Multilateration::nls().localize(&net, 0);
+        assert!(plain.estimates[3].is_some());
+        assert_eq!(plain.estimates[4], None);
+        // Iterative: node 3 promotes, node 4 gets a third reference.
+        let iter = Multilateration::iterative().localize(&net, 0);
+        let e4 = iter.estimates[4].expect("promoted coverage");
+        assert!(e4.dist(truth.position(4)) < 2.0, "estimate {e4}");
+        assert!(iter.comm.messages > plain.comm.messages);
+        assert!(iter.iterations >= 2);
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        assert_eq!(Multilateration::nls().name(), "NLS");
+        assert_eq!(Multilateration::iterative().name(), "Iter-NLS");
+        let lls_only = Multilateration {
+            refine: false,
+            iterative: false,
+            gn_iterations: 0,
+        };
+        assert_eq!(lls_only.name(), "LLS");
+    }
+}

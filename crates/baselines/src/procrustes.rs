@@ -1,0 +1,300 @@
+//! 2-D similarity Procrustes alignment.
+//!
+//! MDS-MAP produces a *relative* map — correct up to rotation, reflection,
+//! translation, and (with hop-distance input) scale. Anchors pin the
+//! absolute frame: [`procrustes_align`] finds the similarity transform
+//! minimizing the squared error between the transformed relative anchor
+//! coordinates and their true positions, then applies it to all points.
+//!
+//! The optimal rotation comes from the closed-form 2×2 SVD of the
+//! cross-covariance matrix, implemented here directly ([`svd2x2`]).
+
+use wsnloc_geom::Vec2;
+
+/// A similarity transform `y = scale · R · x + t` with `R` a rotation or
+/// roto-reflection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Similarity {
+    /// Uniform scale factor.
+    pub scale: f64,
+    /// 2×2 orthogonal matrix, row-major `[r00, r01, r10, r11]`.
+    pub rot: [f64; 4],
+    /// Translation.
+    pub translation: Vec2,
+}
+
+impl Similarity {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Similarity {
+            scale: 1.0,
+            rot: [1.0, 0.0, 0.0, 1.0],
+            translation: Vec2::ZERO,
+        }
+    }
+
+    /// Applies the transform to one point.
+    pub fn apply(&self, p: Vec2) -> Vec2 {
+        let r = Vec2::new(
+            self.rot[0] * p.x + self.rot[1] * p.y,
+            self.rot[2] * p.x + self.rot[3] * p.y,
+        );
+        r * self.scale + self.translation
+    }
+}
+
+/// Closed-form SVD of a 2×2 matrix `m` (row-major). Returns `(u, s, vt)`
+/// with `m = u · diag(s) · vt`, `s[0] ≥ s[1] ≥ 0`, and `u`, `vt` orthogonal.
+///
+/// Computed from the eigendecomposition of `mᵀm`: the right singular
+/// vectors are its eigenvectors, singular values the square roots of its
+/// eigenvalues, and `u` columns are `m·vᵢ/σᵢ` (with an orthogonal-complement
+/// fallback for vanishing singular values).
+pub fn svd2x2(m: [f64; 4]) -> ([f64; 4], [f64; 2], [f64; 4]) {
+    let (a, b, c, d) = (m[0], m[1], m[2], m[3]);
+    // mᵀm = [[p, q], [q, r]].
+    let p = a * a + c * c;
+    let q = a * b + c * d;
+    let r = b * b + d * d;
+    let half_trace = (p + r) / 2.0;
+    let disc = (((p - r) / 2.0).powi(2) + q * q).sqrt();
+    let l1 = (half_trace + disc).max(0.0);
+    let l2 = (half_trace - disc).max(0.0);
+    let s1 = l1.sqrt();
+    let s2 = l2.sqrt();
+
+    // Eigenvector of mᵀm for λ₁: (q, λ₁ − p) or (λ₁ − r, q); pick the
+    // numerically larger, fall back to the axis for diagonal mᵀm.
+    let cand1 = Vec2::new(q, l1 - p);
+    let cand2 = Vec2::new(l1 - r, q);
+    let v1 = if cand1.norm_sq() >= cand2.norm_sq() {
+        cand1
+    } else {
+        cand2
+    }
+    .try_normalize()
+    .unwrap_or(if p >= r {
+        Vec2::new(1.0, 0.0)
+    } else {
+        Vec2::new(0.0, 1.0)
+    });
+    let v2 = v1.perp();
+
+    // Left singular vectors: u_i = m v_i / σ_i.
+    let mv = |v: Vec2| Vec2::new(a * v.x + b * v.y, c * v.x + d * v.y);
+    let u1 = if s1 > 1e-300 {
+        mv(v1) / s1
+    } else {
+        Vec2::new(1.0, 0.0)
+    };
+    let u2 = if s2 > 1e-12 * s1.max(1.0) {
+        mv(v2) / s2
+    } else {
+        u1.perp()
+    };
+
+    let u = [u1.x, u2.x, u1.y, u2.y];
+    let vt = [v1.x, v1.y, v2.x, v2.y];
+    (u, [s1, s2], vt)
+}
+
+/// Multiplies two row-major 2×2 matrices.
+fn mul2(x: [f64; 4], y: [f64; 4]) -> [f64; 4] {
+    [
+        x[0] * y[0] + x[1] * y[2],
+        x[0] * y[1] + x[1] * y[3],
+        x[2] * y[0] + x[3] * y[2],
+        x[2] * y[1] + x[3] * y[3],
+    ]
+}
+
+/// Finds the similarity (with reflection allowed) mapping `src` onto `dst`
+/// in the least-squares sense. Returns `None` with fewer than two pairs or
+/// a degenerate (zero-spread) source set.
+pub fn procrustes_align(src: &[Vec2], dst: &[Vec2]) -> Option<Similarity> {
+    assert_eq!(src.len(), dst.len(), "point set size mismatch");
+    if src.len() < 2 {
+        return None;
+    }
+    let sc = Vec2::centroid(src)?;
+    let dc = Vec2::centroid(dst)?;
+    // Cross-covariance M = Σ (d_i - dc)(s_i - sc)ᵀ and source variance.
+    let mut m = [0.0f64; 4];
+    let mut src_var = 0.0;
+    for (&s, &d) in src.iter().zip(dst) {
+        let s = s - sc;
+        let d = d - dc;
+        m[0] += d.x * s.x;
+        m[1] += d.x * s.y;
+        m[2] += d.y * s.x;
+        m[3] += d.y * s.y;
+        src_var += s.norm_sq();
+    }
+    if src_var < 1e-12 {
+        return None;
+    }
+    let (u, s, vt) = svd2x2(m);
+    // Reflection allowed: R = U Vᵀ directly (full Procrustes would restrict
+    // det(R) = +1; anchor maps may legitimately need the flip).
+    let rot = mul2(u, vt);
+    let scale = (s[0] + s[1]) / src_var;
+    let rs = Vec2::new(
+        rot[0] * sc.x + rot[1] * sc.y,
+        rot[2] * sc.x + rot[3] * sc.y,
+    );
+    let translation = dc - rs * scale;
+    Some(Similarity {
+        scale,
+        rot,
+        translation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec(m: [f64; 4], v: Vec2) -> Vec2 {
+        Vec2::new(m[0] * v.x + m[1] * v.y, m[2] * v.x + m[3] * v.y)
+    }
+
+    #[test]
+    fn svd_reconstructs_random_matrices() {
+        for m in [
+            [1.0, 2.0, 3.0, 4.0],
+            [0.0, 1.0, -1.0, 0.0],
+            [2.0, 0.0, 0.0, 0.5],
+            [-1.0, 3.0, 2.0, -2.0],
+            [1e-3, 0.0, 0.0, 1e-3],
+        ] {
+            let (u, s, vt) = svd2x2(m);
+            // Reconstruct.
+            let usv = mul2(mul2(u, [s[0], 0.0, 0.0, s[1]]), vt);
+            for k in 0..4 {
+                assert!(
+                    (usv[k] - m[k]).abs() < 1e-9,
+                    "reconstruction failed for {m:?}: {usv:?}"
+                );
+            }
+            // Orthogonality.
+            let uut = mul2(u, [u[0], u[2], u[1], u[3]]);
+            assert!((uut[0] - 1.0).abs() < 1e-9 && uut[1].abs() < 1e-9);
+            // Singular value ordering.
+            assert!(s[0] >= s[1] && s[1] >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn aligns_pure_rotation() {
+        let src: Vec<Vec2> = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1.0),
+        ];
+        let theta = 0.7;
+        let dst: Vec<Vec2> = src.iter().map(|p| p.rotated(theta)).collect();
+        let t = procrustes_align(&src, &dst).unwrap();
+        for (&s, &d) in src.iter().zip(&dst) {
+            assert!(t.apply(s).dist(d) < 1e-9);
+        }
+        assert!((t.scale - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aligns_similarity_with_translation_and_scale() {
+        let src: Vec<Vec2> = vec![
+            Vec2::new(1.0, 2.0),
+            Vec2::new(4.0, -1.0),
+            Vec2::new(-2.0, 3.0),
+            Vec2::new(0.5, 0.5),
+        ];
+        let theta = -1.2;
+        let scale = 2.5;
+        let trans = Vec2::new(10.0, -7.0);
+        let dst: Vec<Vec2> = src
+            .iter()
+            .map(|p| p.rotated(theta) * scale + trans)
+            .collect();
+        let t = procrustes_align(&src, &dst).unwrap();
+        assert!((t.scale - scale).abs() < 1e-9);
+        for (&s, &d) in src.iter().zip(&dst) {
+            assert!(t.apply(s).dist(d) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn aligns_reflection() {
+        let src: Vec<Vec2> = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(0.0, 3.0),
+        ];
+        // Mirror over the x axis.
+        let dst: Vec<Vec2> = src.iter().map(|p| Vec2::new(p.x, -p.y)).collect();
+        let t = procrustes_align(&src, &dst).unwrap();
+        for (&s, &d) in src.iter().zip(&dst) {
+            assert!(t.apply(s).dist(d) < 1e-9, "{} -> {} want {}", s, t.apply(s), d);
+        }
+        // Determinant is -1 for a reflection.
+        let det = t.rot[0] * t.rot[3] - t.rot[1] * t.rot[2];
+        assert!((det + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_under_noise() {
+        let src: Vec<Vec2> = (0..10)
+            .map(|i| Vec2::new((i % 5) as f64, (i / 5) as f64 * 2.0))
+            .collect();
+        let dst: Vec<Vec2> = src
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.rotated(0.3) * 1.5
+                    + Vec2::new(5.0, 5.0)
+                    + Vec2::new(
+                        0.05 * ((i * 7 % 5) as f64 - 2.0),
+                        0.05 * ((i * 3 % 5) as f64 - 2.0),
+                    )
+            })
+            .collect();
+        let t = procrustes_align(&src, &dst).unwrap();
+        let rms: f64 = (src
+            .iter()
+            .zip(&dst)
+            .map(|(&s, &d)| t.apply(s).dist_sq(d))
+            .sum::<f64>()
+            / src.len() as f64)
+            .sqrt();
+        assert!(rms < 0.2, "rms {rms}");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(procrustes_align(&[Vec2::ZERO], &[Vec2::ZERO]).is_none());
+        let same = vec![Vec2::new(1.0, 1.0); 4];
+        let spread = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1.0),
+        ];
+        assert!(procrustes_align(&same, &spread).is_none());
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthogonal() {
+        let src = vec![Vec2::new(0.0, 0.0), Vec2::new(3.0, 1.0), Vec2::new(1.0, 4.0)];
+        let dst: Vec<Vec2> = src.iter().map(|p| p.rotated(2.0) + Vec2::new(1.0, 1.0)).collect();
+        let t = procrustes_align(&src, &dst).unwrap();
+        let r = t.rot;
+        let col0 = Vec2::new(r[0], r[2]);
+        let col1 = Vec2::new(r[1], r[3]);
+        assert!((col0.norm() - 1.0).abs() < 1e-9);
+        assert!((col1.norm() - 1.0).abs() < 1e-9);
+        assert!(col0.dot(col1).abs() < 1e-9);
+        // mat_vec sanity.
+        assert!(mat_vec([0.0, -1.0, 1.0, 0.0], Vec2::new(1.0, 0.0))
+            .dist(Vec2::new(0.0, 1.0)) < 1e-12);
+    }
+}

@@ -1,0 +1,648 @@
+//! Discrete Bayesian networks.
+//!
+//! A classic directed graphical model over finite-cardinality variables:
+//! nodes carry conditional probability tables (CPTs) over their parents,
+//! and the joint factorizes as `P(x) = Π_i P(x_i | pa(x_i))`.
+//!
+//! Three inference routines with increasing scalability:
+//! - [`BayesNet::query_enumeration`] — exact, by summing the full joint;
+//!   exponential, the gold standard for tests.
+//! - [`BayesNet::query_variable_elimination`] — exact, by factor
+//!   multiplication and marginalization in a given order.
+//! - [`BayesNet::query_likelihood_weighting`] — approximate, by weighted
+//!   forward sampling.
+//!
+//! The continuous localization model in [`crate::mrf`] is the spatial
+//! analogue of this machinery; keeping the discrete layer here both grounds
+//! the "Bayesian network" terminology of the paper and gives the workspace a
+//! reusable general-purpose BN library.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use wsnloc_geom::rng::Xoshiro256pp;
+
+/// Identifier of a variable within a [`BayesNet`].
+pub type VarId = usize;
+
+/// A discrete variable: a name and the number of states it can take.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Variable {
+    /// Human-readable name (unique within a network).
+    pub name: String,
+    /// Number of states (≥ 1); states are `0..cardinality`.
+    pub cardinality: usize,
+}
+
+/// A node's conditional probability table.
+///
+/// `table[row * cardinality + state]` is `P(state | parent assignment row)`,
+/// where parent rows enumerate parent states in row-major order with the
+/// *last* parent varying fastest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cpt {
+    /// Parent variable ids, in the order the table rows are indexed by.
+    pub parents: Vec<VarId>,
+    /// Flattened probability rows.
+    pub table: Vec<f64>,
+}
+
+/// A directed acyclic Bayesian network over discrete variables.
+///
+/// ```
+/// use wsnloc_bayes::discrete::{BayesNet, Cpt, Variable};
+/// // Rain → WetGrass.
+/// let net = BayesNet::new(
+///     vec![
+///         Variable { name: "Rain".into(), cardinality: 2 },
+///         Variable { name: "WetGrass".into(), cardinality: 2 },
+///     ],
+///     vec![
+///         Cpt { parents: vec![], table: vec![0.8, 0.2] },
+///         Cpt { parents: vec![0], table: vec![0.9, 0.1, 0.2, 0.8] },
+///     ],
+/// );
+/// // Observing wet grass raises the rain posterior above its 0.2 prior.
+/// let posterior = net.query_enumeration(0, &[(1, 1)].into());
+/// assert!(posterior[1] > 0.2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BayesNet {
+    variables: Vec<Variable>,
+    cpts: Vec<Cpt>,
+    /// Topological order (parents before children) — recomputed on build.
+    order: Vec<VarId>,
+}
+
+/// A (partial) assignment of states to variables.
+pub type Evidence = HashMap<VarId, usize>;
+
+impl BayesNet {
+    /// Builds a network from variables and their CPTs.
+    ///
+    /// Validates acyclicity, table sizes, and row normalization (each row
+    /// must sum to 1 within 1e-9). Panics on violations — network structure
+    /// is programmer input, not runtime data.
+    pub fn new(variables: Vec<Variable>, cpts: Vec<Cpt>) -> Self {
+        assert_eq!(variables.len(), cpts.len(), "one CPT per variable");
+        let n = variables.len();
+        for (i, cpt) in cpts.iter().enumerate() {
+            let card = variables[i].cardinality;
+            assert!(card >= 1, "variable {i} has zero states");
+            let rows: usize = cpt
+                .parents
+                .iter()
+                .map(|&p| {
+                    assert!(p < n, "CPT of variable {i} references unknown parent {p}");
+                    assert!(p != i, "variable {i} cannot be its own parent");
+                    variables[p].cardinality
+                })
+                .product();
+            assert_eq!(
+                cpt.table.len(),
+                rows * card,
+                "CPT of variable {i} has wrong size"
+            );
+            for r in 0..rows {
+                let row_sum: f64 = cpt.table[r * card..(r + 1) * card].iter().sum();
+                assert!(
+                    (row_sum - 1.0).abs() < 1e-9,
+                    "CPT row {r} of variable {i} sums to {row_sum}"
+                );
+            }
+        }
+        let order = topological_order(n, &cpts).expect("Bayesian network must be acyclic");
+        BayesNet {
+            variables,
+            cpts,
+            order,
+        }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// `true` iff the network has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.variables.is_empty()
+    }
+
+    /// The variables, indexed by [`VarId`].
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// Looks a variable up by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.variables.iter().position(|v| v.name == name)
+    }
+
+    /// The conditional probability table of a variable.
+    pub fn cpt(&self, v: VarId) -> &Cpt {
+        &self.cpts[v]
+    }
+
+    /// Row index into a CPT for a full assignment.
+    fn cpt_row(&self, var: VarId, assignment: &[usize]) -> usize {
+        let mut row = 0;
+        for &p in &self.cpts[var].parents {
+            row = row * self.variables[p].cardinality + assignment[p];
+        }
+        row
+    }
+
+    /// `P(var = state | parents as in assignment)`.
+    pub fn local_prob(&self, var: VarId, state: usize, assignment: &[usize]) -> f64 {
+        let card = self.variables[var].cardinality;
+        let row = self.cpt_row(var, assignment);
+        self.cpts[var].table[row * card + state]
+    }
+
+    /// Joint probability of a complete assignment.
+    pub fn joint_prob(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.len(), "assignment must be complete");
+        (0..self.len())
+            .map(|v| self.local_prob(v, assignment[v], assignment))
+            .product()
+    }
+
+    /// Exact posterior `P(query | evidence)` by full-joint enumeration.
+    /// Exponential in the number of variables — use for tests and small nets.
+    pub fn query_enumeration(&self, query: VarId, evidence: &Evidence) -> Vec<f64> {
+        let card = self.variables[query].cardinality;
+        let mut result = vec![0.0; card];
+        let mut assignment = vec![0usize; self.len()];
+        self.enumerate_all(0, &mut assignment, evidence, query, &mut result);
+        normalize(&mut result);
+        result
+    }
+
+    fn enumerate_all(
+        &self,
+        depth: usize,
+        assignment: &mut Vec<usize>,
+        evidence: &Evidence,
+        query: VarId,
+        result: &mut [f64],
+    ) {
+        if depth == self.len() {
+            let p = self.joint_prob(assignment);
+            result[assignment[query]] += p;
+            return;
+        }
+        if let Some(&fixed) = evidence.get(&depth) {
+            assignment[depth] = fixed;
+            self.enumerate_all(depth + 1, assignment, evidence, query, result);
+        } else {
+            for state in 0..self.variables[depth].cardinality {
+                assignment[depth] = state;
+                self.enumerate_all(depth + 1, assignment, evidence, query, result);
+            }
+        }
+    }
+
+    /// Exact posterior `P(query | evidence)` by variable elimination, using
+    /// the reverse topological order as the elimination order.
+    pub fn query_variable_elimination(&self, query: VarId, evidence: &Evidence) -> Vec<f64> {
+        // Build one factor per CPT, reduced by evidence.
+        let mut factors: Vec<Factor> = (0..self.len())
+            .map(|v| self.cpt_factor(v).reduce(evidence, &self.variables))
+            .collect();
+
+        // Eliminate hidden variables in reverse topological order.
+        for &v in self.order.iter().rev() {
+            if v == query || evidence.contains_key(&v) {
+                continue;
+            }
+            let (touching, rest): (Vec<Factor>, Vec<Factor>) =
+                factors.into_iter().partition(|f| f.vars.contains(&v));
+            factors = rest;
+            if touching.is_empty() {
+                continue;
+            }
+            let mut product = touching[0].clone();
+            for f in &touching[1..] {
+                product = product.multiply(f, &self.variables);
+            }
+            factors.push(product.sum_out(v, &self.variables));
+        }
+
+        let mut result = factors
+            .into_iter()
+            .reduce(|a, b| a.multiply(&b, &self.variables))
+            .expect("at least the query factor remains");
+        // The remaining factor is over the query alone.
+        assert_eq!(result.vars, vec![query], "elimination left extra vars");
+        normalize(&mut result.values);
+        result.values
+    }
+
+    /// Approximate posterior by likelihood weighting with `samples` draws.
+    pub fn query_likelihood_weighting(
+        &self,
+        query: VarId,
+        evidence: &Evidence,
+        samples: usize,
+        rng: &mut Xoshiro256pp,
+    ) -> Vec<f64> {
+        let card = self.variables[query].cardinality;
+        let mut result = vec![0.0; card];
+        let mut assignment = vec![0usize; self.len()];
+        for _ in 0..samples {
+            let mut weight = 1.0;
+            for &v in &self.order {
+                if let Some(&fixed) = evidence.get(&v) {
+                    assignment[v] = fixed;
+                    weight *= self.local_prob(v, fixed, &assignment);
+                } else {
+                    // Sample from the local conditional.
+                    let c = self.variables[v].cardinality;
+                    let row = self.cpt_row(v, &assignment);
+                    let probs = &self.cpts[v].table[row * c..(row + 1) * c];
+                    assignment[v] = rng
+                        .weighted_index(probs)
+                        .expect("CPT rows are normalized");
+                }
+            }
+            result[assignment[query]] += weight;
+        }
+        normalize(&mut result);
+        result
+    }
+
+    /// One forward (ancestral) sample of all variables.
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> Vec<usize> {
+        let mut assignment = vec![0usize; self.len()];
+        for &v in &self.order {
+            let c = self.variables[v].cardinality;
+            let row = self.cpt_row(v, &assignment);
+            let probs = &self.cpts[v].table[row * c..(row + 1) * c];
+            assignment[v] = rng
+                .weighted_index(probs)
+                .expect("CPT rows are normalized");
+        }
+        assignment
+    }
+
+    /// The factor representation of a node's CPT (over parents + itself).
+    fn cpt_factor(&self, v: VarId) -> Factor {
+        let mut vars = self.cpts[v].parents.clone();
+        vars.push(v);
+        Factor {
+            vars,
+            values: self.cpts[v].table.clone(),
+        }
+    }
+}
+
+fn normalize(xs: &mut [f64]) {
+    let total: f64 = xs.iter().sum();
+    if total > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= total;
+        }
+    }
+}
+
+fn topological_order(n: usize, cpts: &[Cpt]) -> Option<Vec<VarId>> {
+    let mut indegree = vec![0usize; n];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (child, cpt) in cpts.iter().enumerate() {
+        for &p in &cpt.parents {
+            children[p].push(child);
+            indegree[child] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        for &c in &children[v] {
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// A potential over a set of variables, stored in row-major order with the
+/// *last* variable in `vars` varying fastest.
+#[derive(Debug, Clone, PartialEq)]
+struct Factor {
+    vars: Vec<VarId>,
+    values: Vec<f64>,
+}
+
+impl Factor {
+    fn stride_index(&self, assignment: &HashMap<VarId, usize>, variables: &[Variable]) -> usize {
+        let mut idx = 0;
+        for &v in &self.vars {
+            idx = idx * variables[v].cardinality + assignment[&v];
+        }
+        idx
+    }
+
+    /// Drops evidence variables by slicing the table at their observed
+    /// states. Enumerates assignments of the original factor (last variable
+    /// fastest) and keeps the entries consistent with the evidence.
+    fn reduce(&self, evidence: &Evidence, variables: &[Variable]) -> Factor {
+        if !self.vars.iter().any(|v| evidence.contains_key(v)) {
+            return self.clone();
+        }
+        let kept: Vec<VarId> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| !evidence.contains_key(v))
+            .collect();
+        let total: usize = self
+            .vars
+            .iter()
+            .map(|&v| variables[v].cardinality)
+            .product();
+        let mut assignment: HashMap<VarId, usize> = HashMap::new();
+        let mut values = Vec::new();
+        for flat in 0..total {
+            let mut rem = flat;
+            for &v in self.vars.iter().rev() {
+                assignment.insert(v, rem % variables[v].cardinality);
+                rem /= variables[v].cardinality;
+            }
+            if self
+                .vars
+                .iter()
+                .all(|v| evidence.get(v).is_none_or(|&e| assignment[v] == e))
+            {
+                values.push(self.values[flat]);
+            }
+        }
+        Factor { vars: kept, values }
+    }
+
+    fn multiply(&self, other: &Factor, variables: &[Variable]) -> Factor {
+        let mut vars = self.vars.clone();
+        for &v in &other.vars {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let total: usize = vars.iter().map(|&v| variables[v].cardinality).product();
+        let mut values = Vec::with_capacity(total);
+        let mut assignment: HashMap<VarId, usize> = HashMap::new();
+        for flat in 0..total {
+            let mut rem = flat;
+            for &v in vars.iter().rev() {
+                assignment.insert(v, rem % variables[v].cardinality);
+                rem /= variables[v].cardinality;
+            }
+            let a = self.values[self.stride_index(&assignment, variables)];
+            let b = other.values[other.stride_index(&assignment, variables)];
+            values.push(a * b);
+        }
+        Factor { vars, values }
+    }
+
+    fn sum_out(&self, var: VarId, variables: &[Variable]) -> Factor {
+        let vars: Vec<VarId> = self.vars.iter().copied().filter(|&v| v != var).collect();
+        let total: usize = vars.iter().map(|&v| variables[v].cardinality).product();
+        let mut values = vec![0.0; total.max(1)];
+        let mut assignment: HashMap<VarId, usize> = HashMap::new();
+        let full: usize = self
+            .vars
+            .iter()
+            .map(|&v| variables[v].cardinality)
+            .product();
+        for flat in 0..full {
+            let mut rem = flat;
+            for &v in self.vars.iter().rev() {
+                assignment.insert(v, rem % variables[v].cardinality);
+                rem /= variables[v].cardinality;
+            }
+            let mut idx = 0;
+            for &v in &vars {
+                idx = idx * variables[v].cardinality + assignment[&v];
+            }
+            values[idx] += self.values[flat];
+        }
+        Factor { vars, values }
+    }
+}
+
+/// Convenience free-function alias for
+/// [`BayesNet::query_variable_elimination`].
+pub fn variable_elimination(net: &BayesNet, query: VarId, evidence: &Evidence) -> Vec<f64> {
+    net.query_variable_elimination(query, evidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic sprinkler network: Cloudy → Sprinkler, Cloudy → Rain,
+    /// (Sprinkler, Rain) → WetGrass.
+    fn sprinkler() -> BayesNet {
+        let variables = vec![
+            Variable { name: "Cloudy".into(), cardinality: 2 },
+            Variable { name: "Sprinkler".into(), cardinality: 2 },
+            Variable { name: "Rain".into(), cardinality: 2 },
+            Variable { name: "WetGrass".into(), cardinality: 2 },
+        ];
+        // State 1 = true, state 0 = false.
+        let cpts = vec![
+            Cpt { parents: vec![], table: vec![0.5, 0.5] },
+            Cpt {
+                parents: vec![0],
+                table: vec![
+                    0.5, 0.5, // ¬cloudy: P(¬s), P(s)
+                    0.9, 0.1, // cloudy
+                ],
+            },
+            Cpt {
+                parents: vec![0],
+                table: vec![
+                    0.8, 0.2, // ¬cloudy
+                    0.2, 0.8, // cloudy
+                ],
+            },
+            Cpt {
+                parents: vec![1, 2],
+                table: vec![
+                    1.0, 0.0, // ¬s, ¬r
+                    0.1, 0.9, // ¬s, r
+                    0.1, 0.9, // s, ¬r
+                    0.01, 0.99, // s, r
+                ],
+            },
+        ];
+        BayesNet::new(variables, cpts)
+    }
+
+    #[test]
+    fn joint_probability_factorizes() {
+        let net = sprinkler();
+        // P(cloudy, ¬sprinkler, rain, wet) = 0.5 · 0.9 · 0.8 · 0.9 = 0.324.
+        let p = net.joint_prob(&[1, 0, 1, 1]);
+        assert!((p - 0.324).abs() < 1e-12, "joint {p}");
+    }
+
+    #[test]
+    fn enumeration_matches_textbook_posterior() {
+        let net = sprinkler();
+        // P(Rain | WetGrass = true) ≈ 0.708 in the classic parameterization.
+        let evidence: Evidence = [(3, 1)].into();
+        let posterior = net.query_enumeration(2, &evidence);
+        assert!((posterior[1] - 0.7079).abs() < 1e-3, "posterior {posterior:?}");
+        assert!((posterior[0] + posterior[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variable_elimination_matches_enumeration() {
+        let net = sprinkler();
+        for query in 0..4 {
+            for evidence in [
+                Evidence::new(),
+                [(3usize, 1usize)].into(),
+                [(0, 1), (3, 1)].into(),
+                [(1, 0)].into(),
+            ] {
+                if evidence.contains_key(&query) {
+                    continue;
+                }
+                let e = net.query_enumeration(query, &evidence);
+                let v = variable_elimination(&net, query, &evidence);
+                for (a, b) in e.iter().zip(&v) {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "query {query}, evidence {evidence:?}: {e:?} vs {v:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn likelihood_weighting_converges() {
+        let net = sprinkler();
+        let evidence: Evidence = [(3usize, 1usize)].into();
+        let exact = net.query_enumeration(2, &evidence);
+        let mut rng = Xoshiro256pp::seed_from(17);
+        let approx = net.query_likelihood_weighting(2, &evidence, 200_000, &mut rng);
+        assert!(
+            (approx[1] - exact[1]).abs() < 0.01,
+            "exact {exact:?} vs approx {approx:?}"
+        );
+    }
+
+    #[test]
+    fn prior_query_without_evidence() {
+        let net = sprinkler();
+        let prior = net.query_enumeration(2, &Evidence::new());
+        // P(Rain) = 0.5·0.2 + 0.5·0.8 = 0.5.
+        assert!((prior[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_samples_match_marginals() {
+        let net = sprinkler();
+        let mut rng = Xoshiro256pp::seed_from(23);
+        let n = 100_000;
+        let rain = (0..n).filter(|_| net.sample(&mut rng)[2] == 1).count();
+        let frac = rain as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "rain fraction {frac}");
+    }
+
+    #[test]
+    fn chain_network_inference() {
+        // A → B → C, each binary, noisy copies.
+        let flip = |p: f64| vec![1.0 - p, p, p, 1.0 - p];
+        let variables = vec![
+            Variable { name: "A".into(), cardinality: 2 },
+            Variable { name: "B".into(), cardinality: 2 },
+            Variable { name: "C".into(), cardinality: 2 },
+        ];
+        let cpts = vec![
+            Cpt { parents: vec![], table: vec![0.7, 0.3] },
+            Cpt { parents: vec![0], table: flip(0.1) },
+            Cpt { parents: vec![1], table: flip(0.1) },
+        ];
+        let net = BayesNet::new(variables, cpts);
+        // Observing C = 1 should raise P(A = 1) above its prior.
+        let prior = net.query_enumeration(0, &Evidence::new());
+        let posterior = net.query_enumeration(0, &[(2usize, 1usize)].into());
+        assert!(posterior[1] > prior[1]);
+        // VE agrees.
+        let ve = variable_elimination(&net, 0, &[(2usize, 1usize)].into());
+        assert!((ve[1] - posterior[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn var_by_name_lookup() {
+        let net = sprinkler();
+        assert_eq!(net.var_by_name("Rain"), Some(2));
+        assert_eq!(net.var_by_name("Nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn cyclic_network_rejected() {
+        let variables = vec![
+            Variable { name: "A".into(), cardinality: 2 },
+            Variable { name: "B".into(), cardinality: 2 },
+        ];
+        let cpts = vec![
+            Cpt { parents: vec![1], table: vec![0.5, 0.5, 0.5, 0.5] },
+            Cpt { parents: vec![0], table: vec![0.5, 0.5, 0.5, 0.5] },
+        ];
+        let _ = BayesNet::new(variables, cpts);
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn unnormalized_cpt_rejected() {
+        let variables = vec![Variable { name: "A".into(), cardinality: 2 }];
+        let cpts = vec![Cpt { parents: vec![], table: vec![0.5, 0.6] }];
+        let _ = BayesNet::new(variables, cpts);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn wrong_table_size_rejected() {
+        let variables = vec![
+            Variable { name: "A".into(), cardinality: 2 },
+            Variable { name: "B".into(), cardinality: 2 },
+        ];
+        let cpts = vec![
+            Cpt { parents: vec![], table: vec![0.5, 0.5] },
+            Cpt { parents: vec![0], table: vec![0.5, 0.5] }, // needs 4
+        ];
+        let _ = BayesNet::new(variables, cpts);
+    }
+
+    #[test]
+    fn three_state_variables() {
+        // Ternary root, binary child whose distribution depends on the root.
+        let variables = vec![
+            Variable { name: "Weather".into(), cardinality: 3 },
+            Variable { name: "Umbrella".into(), cardinality: 2 },
+        ];
+        let cpts = vec![
+            Cpt { parents: vec![], table: vec![0.5, 0.3, 0.2] },
+            Cpt {
+                parents: vec![0],
+                table: vec![0.9, 0.1, 0.4, 0.6, 0.1, 0.9],
+            },
+        ];
+        let net = BayesNet::new(variables, cpts);
+        let evidence: Evidence = [(1usize, 1usize)].into();
+        let e = net.query_enumeration(0, &evidence);
+        let v = variable_elimination(&net, 0, &evidence);
+        for (a, b) in e.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // P(weather=2 | umbrella) > prior 0.2.
+        assert!(e[2] > 0.2);
+    }
+}

@@ -1,0 +1,441 @@
+//! Gaussian (parametric) belief propagation.
+//!
+//! The cheapest belief representation: every node's posterior is a single
+//! 2-D Gaussian, updated in information form by EKF-style linearization of
+//! the range measurements (distributed Gauss–Newton with uncertainty
+//! tracking). One mean + covariance per node is all a node ever transmits —
+//! 40 bytes against kilobytes of particles.
+//!
+//! The catch, and the reason the paper's formulation is nonparametric: a
+//! range ring is *not* Gaussian. With few anchors the true posterior is
+//! multi-modal (rings, reflection ambiguities), the linearization point is
+//! wrong, and Gaussian BP converges to whichever mode its initialization
+//! fell into. The backend-comparison experiment measures exactly this
+//! failure mode; Gaussian BP is competitive only when priors or anchors
+//! make posteriors unimodal.
+//!
+//! Update rule per node `u`, iteration `k`:
+//! `Λ ← Λ₀ + Σ_v g gᵀ / s²`, `η ← η₀ + Σ_v g (gᵀμᵤ + r) / s²`, where
+//! `g = (μᵤ − μᵥ)/‖μᵤ − μᵥ‖` is the linearized range gradient,
+//! `r = d_obs − ‖μᵤ − μᵥ‖` the innovation, and
+//! `s² = σ_d² + gᵀΣᵥg` the measurement variance inflated by the neighbor's
+//! own positional uncertainty along the line of sight.
+
+use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
+use rayon::prelude::*;
+use wsnloc_geom::rng::Xoshiro256pp;
+use wsnloc_geom::Vec2;
+
+/// A 2-D Gaussian belief: mean and covariance (row-major 2×2, symmetric).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianBelief {
+    /// Mean position.
+    pub mean: Vec2,
+    /// Covariance `[cxx, cxy, cxy, cyy]`.
+    pub cov: [f64; 4],
+}
+
+impl GaussianBelief {
+    /// A near-certain belief at a point (anchors).
+    pub fn point(p: Vec2) -> Self {
+        GaussianBelief {
+            mean: p,
+            cov: [1e-9, 0.0, 0.0, 1e-9],
+        }
+    }
+
+    /// An isotropic Gaussian belief.
+    pub fn isotropic(mean: Vec2, sigma: f64) -> Self {
+        GaussianBelief {
+            mean,
+            cov: [sigma * sigma, 0.0, 0.0, sigma * sigma],
+        }
+    }
+
+    /// RMS spread `sqrt(trace(cov))`.
+    pub fn spread(&self) -> f64 {
+        (self.cov[0] + self.cov[3]).max(0.0).sqrt()
+    }
+
+    /// Variance along unit direction `g`: `gᵀ Σ g`.
+    pub fn directional_variance(&self, g: Vec2) -> f64 {
+        g.x * g.x * self.cov[0] + 2.0 * g.x * g.y * self.cov[1] + g.y * g.y * self.cov[3]
+    }
+}
+
+/// 2×2 symmetric inverse; `None` when singular.
+fn inv2(m: [f64; 4]) -> Option<[f64; 4]> {
+    let det = m[0] * m[3] - m[1] * m[2];
+    if det.abs() < 1e-300 || !det.is_finite() {
+        return None;
+    }
+    Some([m[3] / det, -m[1] / det, -m[2] / det, m[0] / det])
+}
+
+/// Gaussian-belief loopy BP engine.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianBp {
+    /// Magnitude (meters) of the deterministic per-node jitter applied to
+    /// initial means, breaking the gradient singularity of coincident
+    /// initializations.
+    pub init_jitter: f64,
+}
+
+impl Default for GaussianBp {
+    fn default() -> Self {
+        GaussianBp { init_jitter: 1.0 }
+    }
+}
+
+impl GaussianBp {
+    /// Runs BP to convergence or `opts.max_iterations`.
+    pub fn run(&self, mrf: &SpatialMrf, opts: &BpOptions) -> (Vec<GaussianBelief>, BpOutcome) {
+        self.run_observed(mrf, opts, |_, _| {})
+    }
+
+    /// Runs BP, invoking `observer(iteration, beliefs)` per iteration.
+    pub fn run_observed<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        mut observer: F,
+    ) -> (Vec<GaussianBelief>, BpOutcome)
+    where
+        F: FnMut(usize, &[GaussianBelief]),
+    {
+        let domain = mrf.domain();
+        let default_sigma = domain.diagonal() / 2.0;
+        let root = Xoshiro256pp::seed_from(opts.seed);
+
+        // Prior moments per node: sample the unary to estimate mean/variance
+        // (exact for Gaussian priors up to Monte-Carlo noise; a reasonable
+        // moment match for boxes and shapes).
+        let priors: Vec<GaussianBelief> = (0..mrf.len())
+            .map(|u| match mrf.fixed(u) {
+                Some(p) => GaussianBelief::point(p),
+                None => {
+                    let mut rng = root.split(0x6A05 ^ u as u64);
+                    let samples: Vec<Vec2> =
+                        (0..64).map(|_| mrf.unary(u).sample(&mut rng)).collect();
+                    let mean = Vec2::centroid(&samples).expect("non-empty sample");
+                    let var = samples.iter().map(|s| s.dist_sq(mean)).sum::<f64>()
+                        / samples.len() as f64
+                        / 2.0;
+                    let sigma = var.sqrt().max(1e-3).min(default_sigma);
+                    GaussianBelief::isotropic(mean, sigma)
+                }
+            })
+            .collect();
+
+        let mut beliefs: Vec<GaussianBelief> = priors
+            .iter()
+            .enumerate()
+            .map(|(u, p)| {
+                let mut b = *p;
+                if mrf.fixed(u).is_none() {
+                    let mut rng = root.split(0x11773 ^ u as u64);
+                    b.mean += Vec2::new(rng.gaussian(), rng.gaussian()) * self.init_jitter;
+                }
+                b
+            })
+            .collect();
+
+        let free = mrf.free_vars();
+        let mut outcome = BpOutcome {
+            iterations: 0,
+            converged: false,
+            messages: 0,
+        };
+
+        for iter in 0..opts.max_iterations {
+            let prev_means: Vec<Vec2> = free.iter().map(|&u| beliefs[u].mean).collect();
+
+            let update_one = |u: usize, beliefs: &Vec<GaussianBelief>| -> GaussianBelief {
+                self.update_node(mrf, u, &priors[u], beliefs)
+                    .unwrap_or(beliefs[u])
+            };
+
+            match opts.schedule {
+                Schedule::Synchronous => {
+                    let new: Vec<(usize, GaussianBelief)> = free
+                        .par_iter()
+                        .map(|&u| (u, update_one(u, &beliefs)))
+                        .collect();
+                    for (u, mut b) in new {
+                        if opts.damping > 0.0 {
+                            b.mean = b.mean.lerp(beliefs[u].mean, opts.damping);
+                        }
+                        beliefs[u] = b;
+                    }
+                }
+                Schedule::Sweep => {
+                    for &u in &free {
+                        let mut b = update_one(u, &beliefs);
+                        if opts.damping > 0.0 {
+                            b.mean = b.mean.lerp(beliefs[u].mean, opts.damping);
+                        }
+                        beliefs[u] = b;
+                    }
+                }
+            }
+
+            outcome.iterations = iter + 1;
+            outcome.messages += free.len() as u64;
+            observer(iter, &beliefs);
+
+            let max_shift = free
+                .iter()
+                .zip(&prev_means)
+                .map(|(&u, &prev)| beliefs[u].mean.dist(prev))
+                .fold(0.0, f64::max);
+            if max_shift < opts.tolerance {
+                outcome.converged = true;
+                break;
+            }
+        }
+        (beliefs, outcome)
+    }
+
+    /// One information-form update; `None` when the posterior information
+    /// matrix is singular (keeps the previous belief).
+    fn update_node(
+        &self,
+        mrf: &SpatialMrf,
+        u: usize,
+        prior: &GaussianBelief,
+        beliefs: &[GaussianBelief],
+    ) -> Option<GaussianBelief> {
+        let mu = beliefs[u].mean;
+        // Prior information.
+        let p_info = inv2(prior.cov)?;
+        let mut lam = p_info;
+        let mut eta = [
+            p_info[0] * prior.mean.x + p_info[1] * prior.mean.y,
+            p_info[2] * prior.mean.x + p_info[3] * prior.mean.y,
+        ];
+
+        for &e in mrf.edges_of(u) {
+            let edge = &mrf.edges()[e];
+            let Some((observed, sigma)) = edge.potential.gaussian_range() else {
+                continue; // non-range potentials are ignored by this backend
+            };
+            let v = mrf.other_end(e, u);
+            let nb = &beliefs[v];
+            let diff = mu - nb.mean;
+            let dist = diff.norm();
+            if dist < 1e-6 {
+                continue; // gradient undefined this iteration
+            }
+            let g = diff / dist;
+            let s2 = sigma * sigma + nb.directional_variance(g);
+            if s2 <= 0.0 {
+                continue;
+            }
+            let r = observed - dist;
+            // Pseudo-measurement of gᵀx with value gᵀμᵤ + r.
+            let z = g.dot(mu) + r;
+            lam[0] += g.x * g.x / s2;
+            lam[1] += g.x * g.y / s2;
+            lam[2] += g.y * g.x / s2;
+            lam[3] += g.y * g.y / s2;
+            eta[0] += g.x * z / s2;
+            eta[1] += g.y * z / s2;
+        }
+
+        let cov = inv2(lam)?;
+        let mean = Vec2::new(
+            cov[0] * eta[0] + cov[1] * eta[1],
+            cov[2] * eta[0] + cov[3] * eta[1],
+        );
+        mean.is_finite().then_some(GaussianBelief { mean, cov })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential::{GaussianRange, GaussianUnary, UniformBoxUnary};
+    use std::sync::Arc;
+    use wsnloc_geom::Aabb;
+
+    fn domain() -> Aabb {
+        Aabb::from_size(100.0, 100.0)
+    }
+
+    #[test]
+    fn inv2_roundtrip() {
+        let m = [4.0, 1.0, 1.0, 3.0];
+        let inv = inv2(m).unwrap();
+        // m · inv = I.
+        let prod = [
+            m[0] * inv[0] + m[1] * inv[2],
+            m[0] * inv[1] + m[1] * inv[3],
+            m[2] * inv[0] + m[3] * inv[2],
+            m[2] * inv[1] + m[3] * inv[3],
+        ];
+        assert!((prod[0] - 1.0).abs() < 1e-12);
+        assert!(prod[1].abs() < 1e-12);
+        assert!((prod[3] - 1.0).abs() < 1e-12);
+        assert!(inv2([1.0, 1.0, 1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn directional_variance() {
+        let b = GaussianBelief {
+            mean: Vec2::ZERO,
+            cov: [9.0, 0.0, 0.0, 1.0],
+        };
+        assert!((b.directional_variance(Vec2::new(1.0, 0.0)) - 9.0).abs() < 1e-12);
+        assert!((b.directional_variance(Vec2::new(0.0, 1.0)) - 1.0).abs() < 1e-12);
+        assert!((b.spread() - 10.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trilateration_with_three_anchors() {
+        let dom = domain();
+        let truth = Vec2::new(42.0, 58.0);
+        let anchors = [
+            Vec2::new(10.0, 10.0),
+            Vec2::new(90.0, 15.0),
+            Vec2::new(45.0, 92.0),
+        ];
+        let mut mrf = SpatialMrf::new(4, dom, Arc::new(UniformBoxUnary(dom)));
+        for (i, &a) in anchors.iter().enumerate() {
+            mrf.fix(i, a);
+            mrf.add_edge(
+                i,
+                3,
+                Arc::new(GaussianRange {
+                    observed: truth.dist(a),
+                    sigma: 1.0,
+                }),
+            );
+        }
+        let (beliefs, outcome) = GaussianBp::default().run(
+            &mrf,
+            &BpOptions {
+                max_iterations: 30,
+                tolerance: 0.05,
+                seed: 1,
+                ..BpOptions::default()
+            },
+        );
+        assert!(outcome.converged);
+        let est = beliefs[3].mean;
+        assert!(est.dist(truth) < 2.0, "estimate {est} vs {truth}");
+        // Posterior is confident.
+        assert!(beliefs[3].spread() < 5.0);
+    }
+
+    #[test]
+    fn prior_pulls_ring_posterior_to_the_right_mode() {
+        // One anchor + ring: bimodal in truth, but the Gaussian prior
+        // selects the correct mode.
+        let dom = domain();
+        let mut mrf = SpatialMrf::new(2, dom, Arc::new(UniformBoxUnary(dom)));
+        mrf.fix(0, Vec2::new(50.0, 50.0));
+        mrf.set_unary(
+            1,
+            Arc::new(GaussianUnary {
+                mean: Vec2::new(75.0, 50.0),
+                sigma: 8.0,
+            }),
+        );
+        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 20.0, sigma: 1.5 }));
+        let (beliefs, _) = GaussianBp::default().run(
+            &mrf,
+            &BpOptions {
+                max_iterations: 25,
+                tolerance: 0.05,
+                seed: 2,
+                ..BpOptions::default()
+            },
+        );
+        let est = beliefs[1].mean;
+        assert!(est.dist(Vec2::new(70.0, 50.0)) < 3.0, "estimate {est}");
+    }
+
+    #[test]
+    fn uncertainty_inflation_from_uncertain_neighbors() {
+        // A node ranged only from another *uncertain* node must end up less
+        // confident than one ranged from an anchor at the same geometry.
+        let dom = domain();
+        let mut mrf = SpatialMrf::new(3, dom, Arc::new(UniformBoxUnary(dom)));
+        mrf.fix(0, Vec2::new(30.0, 50.0));
+        mrf.set_unary(
+            1,
+            Arc::new(GaussianUnary {
+                mean: Vec2::new(50.0, 50.0),
+                sigma: 15.0, // uncertain relay
+            }),
+        );
+        mrf.set_unary(
+            2,
+            Arc::new(GaussianUnary {
+                mean: Vec2::new(70.0, 50.0),
+                sigma: 30.0,
+            }),
+        );
+        // Node 2 ranges only to the uncertain node 1.
+        mrf.add_edge(1, 2, Arc::new(GaussianRange { observed: 20.0, sigma: 1.0 }));
+        // Node 1 ranges to the anchor.
+        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 20.0, sigma: 1.0 }));
+        let (beliefs, _) = GaussianBp::default().run(
+            &mrf,
+            &BpOptions {
+                max_iterations: 20,
+                tolerance: 0.05,
+                seed: 3,
+                ..BpOptions::default()
+            },
+        );
+        // Node 2's spread must exceed node 1's: its information came through
+        // an uncertain relay.
+        assert!(
+            beliefs[2].spread() > beliefs[1].spread(),
+            "relay uncertainty must propagate: {} vs {}",
+            beliefs[2].spread(),
+            beliefs[1].spread()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dom = domain();
+        let mut mrf = SpatialMrf::new(2, dom, Arc::new(UniformBoxUnary(dom)));
+        mrf.fix(0, Vec2::new(50.0, 50.0));
+        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 15.0, sigma: 2.0 }));
+        let opts = BpOptions {
+            max_iterations: 10,
+            seed: 9,
+            ..BpOptions::default()
+        };
+        let engine = GaussianBp::default();
+        let (a, _) = engine.run(&mrf, &opts);
+        let (b, _) = engine.run(&mrf, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn isolated_node_keeps_prior_moments() {
+        let dom = domain();
+        let mut mrf = SpatialMrf::new(1, dom, Arc::new(UniformBoxUnary(dom)));
+        mrf.set_unary(
+            0,
+            Arc::new(GaussianUnary {
+                mean: Vec2::new(20.0, 80.0),
+                sigma: 5.0,
+            }),
+        );
+        let (beliefs, _) = GaussianBp::default().run(
+            &mrf,
+            &BpOptions {
+                max_iterations: 5,
+                seed: 4,
+                ..BpOptions::default()
+            },
+        );
+        assert!(beliefs[0].mean.dist(Vec2::new(20.0, 80.0)) < 4.0);
+        assert!((beliefs[0].spread() - 5.0 * (2.0f64).sqrt()).abs() < 3.0);
+    }
+}

@@ -1,0 +1,606 @@
+//! Grid-discretized beliefs and belief propagation.
+//!
+//! This is the literal "Bayesian network" formulation of the localization
+//! model: the field is cut into `nx × ny` cells, each position variable
+//! becomes a finite variable over cells, and loopy sum–product runs with
+//! exact per-cell message products. Messages are *truncated kernel
+//! scatters*: a neighbor's belief mass at cell `s` contributes
+//! `belief(s) · ψ(‖c − s‖)` to every cell `c` within the potential's
+//! support radius, so the cost per message is
+//! `O(active source cells × kernel cells)` rather than `O(cells²)`.
+
+use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
+use crate::potential::{PairPotential, UnaryPotential};
+use rayon::prelude::*;
+use wsnloc_geom::{Aabb, Matrix, Vec2};
+
+/// A probability mass function over the cells of a fixed grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridBelief {
+    domain: Aabb,
+    nx: usize,
+    ny: usize,
+    /// Cell masses, row-major by y then x, summing to 1.
+    mass: Vec<f64>,
+}
+
+impl GridBelief {
+    /// Uniform belief over the domain.
+    pub fn uniform(domain: Aabb, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        let cells = nx * ny;
+        GridBelief {
+            domain,
+            nx,
+            ny,
+            mass: vec![1.0 / cells as f64; cells],
+        }
+    }
+
+    /// Belief proportional to a unary potential evaluated at cell centers.
+    /// Falls back to uniform when the potential has no mass on the grid.
+    pub fn from_unary(
+        potential: &dyn UnaryPotential,
+        domain: Aabb,
+        nx: usize,
+        ny: usize,
+    ) -> Self {
+        let mut b = GridBelief::uniform(domain, nx, ny);
+        // Evaluate in log space then exponentiate stably.
+        let logs: Vec<f64> = (0..nx * ny)
+            .map(|i| potential.log_density(b.cell_center(i)))
+            .collect();
+        let m = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if m == f64::NEG_INFINITY {
+            return b; // no support on the grid: stay uniform
+        }
+        for (cell, &l) in b.mass.iter_mut().zip(&logs) {
+            *cell = (l - m).exp();
+        }
+        b.normalize();
+        b
+    }
+
+    /// A near-delta belief at `p` (all mass in the containing cell).
+    pub fn delta(p: Vec2, domain: Aabb, nx: usize, ny: usize) -> Self {
+        let mut b = GridBelief {
+            domain,
+            nx,
+            ny,
+            mass: vec![0.0; nx * ny],
+        };
+        let idx = b.cell_of(p);
+        b.mass[idx] = 1.0;
+        b
+    }
+
+    /// Grid width in cells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in cells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// The spatial domain.
+    pub fn domain(&self) -> Aabb {
+        self.domain
+    }
+
+    /// Cell masses (row-major, y-major ordering).
+    pub fn mass(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Cell side lengths `(dx, dy)`.
+    pub fn cell_size(&self) -> (f64, f64) {
+        (
+            self.domain.width() / self.nx as f64,
+            self.domain.height() / self.ny as f64,
+        )
+    }
+
+    /// Center coordinate of flat cell index `i`.
+    pub fn cell_center(&self, i: usize) -> Vec2 {
+        let (dx, dy) = self.cell_size();
+        let x = i % self.nx;
+        let y = i / self.nx;
+        Vec2::new(
+            self.domain.min.x + (x as f64 + 0.5) * dx,
+            self.domain.min.y + (y as f64 + 0.5) * dy,
+        )
+    }
+
+    /// Flat index of the cell containing `p` (clamped into the grid).
+    pub fn cell_of(&self, p: Vec2) -> usize {
+        let (dx, dy) = self.cell_size();
+        let x = (((p.x - self.domain.min.x) / dx) as isize).clamp(0, self.nx as isize - 1);
+        let y = (((p.y - self.domain.min.y) / dy) as isize).clamp(0, self.ny as isize - 1);
+        y as usize * self.nx + x as usize
+    }
+
+    fn normalize(&mut self) {
+        let total: f64 = self.mass.iter().sum();
+        if total > 0.0 && total.is_finite() {
+            for m in &mut self.mass {
+                *m /= total;
+            }
+        } else {
+            let cells = self.mass.len();
+            self.mass.fill(1.0 / cells as f64);
+        }
+    }
+
+    /// Pointwise product with another mass function on the same grid,
+    /// renormalized; annihilation (zero overlap) falls back to uniform.
+    pub fn product(&mut self, other: &[f64]) {
+        assert_eq!(other.len(), self.mass.len(), "grid shape mismatch");
+        for (m, &o) in self.mass.iter_mut().zip(other) {
+            *m *= o;
+        }
+        self.normalize();
+    }
+
+    /// MMSE point estimate: the belief mean.
+    pub fn mean(&self) -> Vec2 {
+        let mut acc = Vec2::ZERO;
+        for (i, &m) in self.mass.iter().enumerate() {
+            acc += self.cell_center(i) * m;
+        }
+        acc
+    }
+
+    /// MAP point estimate: center of the highest-mass cell.
+    pub fn map_estimate(&self) -> Vec2 {
+        let (idx, _) = self
+            .mass
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite masses"))
+            .expect("non-empty grid");
+        self.cell_center(idx)
+    }
+
+    /// Covariance matrix of the belief (2×2).
+    pub fn covariance(&self) -> Matrix {
+        let mean = self.mean();
+        let mut cov = Matrix::zeros(2, 2);
+        for (i, &m) in self.mass.iter().enumerate() {
+            let d = self.cell_center(i) - mean;
+            cov[(0, 0)] += m * d.x * d.x;
+            cov[(0, 1)] += m * d.x * d.y;
+            cov[(1, 1)] += m * d.y * d.y;
+        }
+        cov[(1, 0)] = cov[(0, 1)];
+        cov
+    }
+
+    /// RMS spread: `sqrt(trace(cov))` — a scalar position uncertainty.
+    pub fn spread(&self) -> f64 {
+        self.covariance().trace().sqrt()
+    }
+
+    /// Shannon entropy in nats.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .mass
+            .iter()
+            .filter(|&&m| m > 0.0)
+            .map(|&m| m * m.ln())
+            .sum::<f64>()
+    }
+
+    /// Total-variation-style L1 distance to another belief on the same grid
+    /// (in `[0, 2]`).
+    pub fn l1_distance(&self, other: &GridBelief) -> f64 {
+        assert_eq!(self.mass.len(), other.mass.len(), "grid shape mismatch");
+        self.mass
+            .iter()
+            .zip(&other.mass)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+/// Computes the message from a source belief into a target grid through a
+/// distance potential, truncated at the potential's support radius.
+fn kernel_message(
+    source: &GridBelief,
+    potential: &dyn PairPotential,
+    mass_floor: f64,
+) -> Vec<f64> {
+    let nx = source.nx;
+    let ny = source.ny;
+    let (dx, dy) = source.cell_size();
+    let mut msg = vec![0.0; nx * ny];
+    // Support radius in cells, conservatively ceil'd. Unbounded potentials
+    // scatter over the whole grid.
+    let reach = potential.max_distance();
+    let (rx, ry) = match reach {
+        Some(r) => ((r / dx).ceil() as isize, (r / dy).ceil() as isize),
+        None => (nx as isize, ny as isize),
+    };
+    for (s, &m) in source.mass.iter().enumerate() {
+        if m < mass_floor {
+            continue;
+        }
+        let sp = source.cell_center(s);
+        let sx = (s % nx) as isize;
+        let sy = (s / nx) as isize;
+        let x0 = (sx - rx).max(0) as usize;
+        let x1 = (sx + rx).min(nx as isize - 1) as usize;
+        let y0 = (sy - ry).max(0) as usize;
+        let y1 = (sy + ry).min(ny as isize - 1) as usize;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let t = y * nx + x;
+                let d = source.cell_center(t).dist(sp);
+                msg[t] += m * potential.likelihood(d);
+            }
+        }
+    }
+    // Guard against total annihilation downstream: leave a tiny floor.
+    let total: f64 = msg.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        msg.fill(1.0);
+    }
+    msg
+}
+
+/// Message from a *fixed* (anchor) source: the potential evaluated against
+/// the known position.
+fn point_message(
+    target_shape: &GridBelief,
+    source_pos: Vec2,
+    potential: &dyn PairPotential,
+) -> Vec<f64> {
+    let mut msg: Vec<f64> = (0..target_shape.mass.len())
+        .map(|t| potential.likelihood(target_shape.cell_center(t).dist(source_pos)))
+        .collect();
+    let total: f64 = msg.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        msg.fill(1.0);
+    }
+    msg
+}
+
+/// Loopy belief propagation with grid-discretized beliefs.
+#[derive(Debug, Clone, Copy)]
+pub struct GridBp {
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+    /// Source cells below this mass are skipped when scattering messages
+    /// (speed/accuracy trade-off; scaled by 1/cells internally).
+    pub mass_floor: f64,
+}
+
+impl GridBp {
+    /// Engine with an `n × n` grid and the default mass floor.
+    pub fn with_resolution(n: usize) -> Self {
+        GridBp {
+            nx: n,
+            ny: n,
+            mass_floor: 1e-4,
+        }
+    }
+
+    /// Runs BP to convergence or `opts.max_iterations`.
+    pub fn run(&self, mrf: &SpatialMrf, opts: &BpOptions) -> (Vec<GridBelief>, BpOutcome) {
+        self.run_observed(mrf, opts, |_, _| {})
+    }
+
+    /// Runs BP, invoking `observer(iteration, beliefs)` after every
+    /// iteration (used to record convergence curves).
+    pub fn run_observed<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        mut observer: F,
+    ) -> (Vec<GridBelief>, BpOutcome)
+    where
+        F: FnMut(usize, &[GridBelief]),
+    {
+        let domain = mrf.domain();
+        let floor = self.mass_floor / (self.nx * self.ny) as f64;
+
+        // Initial beliefs: priors for free vars, deltas for fixed ones.
+        let mut beliefs: Vec<GridBelief> = (0..mrf.len())
+            .map(|u| match mrf.fixed(u) {
+                Some(p) => GridBelief::delta(p, domain, self.nx, self.ny),
+                None => GridBelief::from_unary(mrf.unary(u).as_ref(), domain, self.nx, self.ny),
+            })
+            .collect();
+
+        let free = mrf.free_vars();
+        let mut outcome = BpOutcome {
+            iterations: 0,
+            converged: false,
+            messages: 0,
+        };
+
+        for iter in 0..opts.max_iterations {
+            let prev_means: Vec<Vec2> = free.iter().map(|&u| beliefs[u].mean()).collect();
+
+            let update_one = |u: usize, beliefs: &Vec<GridBelief>| -> GridBelief {
+                let mut belief =
+                    GridBelief::from_unary(mrf.unary(u).as_ref(), domain, self.nx, self.ny);
+                for &e in mrf.edges_of(u) {
+                    let v = mrf.other_end(e, u);
+                    let potential = mrf.edges()[e].potential.as_ref();
+                    let msg = match mrf.fixed(v) {
+                        Some(p) => point_message(&belief, p, potential),
+                        None => kernel_message(&beliefs[v], potential, floor),
+                    };
+                    belief.product(&msg);
+                }
+                belief
+            };
+
+            match opts.schedule {
+                Schedule::Synchronous => {
+                    let new: Vec<(usize, GridBelief)> = free
+                        .par_iter()
+                        .map(|&u| (u, update_one(u, &beliefs)))
+                        .collect();
+                    for (u, mut b) in new {
+                        if opts.damping > 0.0 {
+                            damp(&mut b, &beliefs[u], opts.damping);
+                        }
+                        beliefs[u] = b;
+                    }
+                }
+                Schedule::Sweep => {
+                    for &u in &free {
+                        let mut b = update_one(u, &beliefs);
+                        if opts.damping > 0.0 {
+                            damp(&mut b, &beliefs[u], opts.damping);
+                        }
+                        beliefs[u] = b;
+                    }
+                }
+            }
+
+            outcome.iterations = iter + 1;
+            outcome.messages += free.len() as u64;
+            observer(iter, &beliefs);
+
+            let max_shift = free
+                .iter()
+                .zip(&prev_means)
+                .map(|(&u, &prev)| beliefs[u].mean().dist(prev))
+                .fold(0.0, f64::max);
+            if max_shift < opts.tolerance {
+                outcome.converged = true;
+                break;
+            }
+        }
+        (beliefs, outcome)
+    }
+}
+
+fn damp(new: &mut GridBelief, old: &GridBelief, damping: f64) {
+    for (n, &o) in new.mass.iter_mut().zip(&old.mass) {
+        *n = (1.0 - damping) * *n + damping * o;
+    }
+    new.normalize();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential::{GaussianRange, GaussianUnary, UniformBoxUnary};
+    use std::sync::Arc;
+
+    fn domain() -> Aabb {
+        Aabb::from_size(100.0, 100.0)
+    }
+
+    #[test]
+    fn uniform_belief_properties() {
+        let b = GridBelief::uniform(domain(), 10, 10);
+        assert!((b.mass().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(b.mean().dist(Vec2::new(50.0, 50.0)) < 1e-9);
+        assert!((b.entropy() - (100f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let b = GridBelief::uniform(domain(), 20, 10);
+        for i in [0, 7, 99, 150, 199] {
+            let c = b.cell_center(i);
+            assert_eq!(b.cell_of(c), i, "roundtrip failed for {i}");
+        }
+        // Out-of-domain points clamp.
+        assert_eq!(b.cell_of(Vec2::new(-50.0, -50.0)), 0);
+        assert_eq!(b.cell_of(Vec2::new(500.0, 500.0)), 199);
+    }
+
+    #[test]
+    fn from_unary_concentrates_gaussian() {
+        let g = GaussianUnary {
+            mean: Vec2::new(30.0, 70.0),
+            sigma: 5.0,
+        };
+        let b = GridBelief::from_unary(&g, domain(), 50, 50);
+        assert!(b.mean().dist(g.mean) < 2.0);
+        assert!(b.map_estimate().dist(g.mean) < 2.0);
+        assert!(b.spread() < 10.0);
+    }
+
+    #[test]
+    fn delta_belief_has_single_cell() {
+        let b = GridBelief::delta(Vec2::new(10.0, 10.0), domain(), 10, 10);
+        assert_eq!(b.mass().iter().filter(|&&m| m > 0.0).count(), 1);
+        assert!(b.mean().dist(Vec2::new(10.0, 10.0)) < 10.0); // within a cell
+        assert_eq!(b.spread(), 0.0);
+    }
+
+    #[test]
+    fn product_concentrates() {
+        let mut a = GridBelief::from_unary(
+            &GaussianUnary {
+                mean: Vec2::new(40.0, 50.0),
+                sigma: 10.0,
+            },
+            domain(),
+            40,
+            40,
+        );
+        let b = GridBelief::from_unary(
+            &GaussianUnary {
+                mean: Vec2::new(60.0, 50.0),
+                sigma: 10.0,
+            },
+            domain(),
+            40,
+            40,
+        );
+        let spread_before = a.spread();
+        a.product(b.mass());
+        // Product of two Gaussians sits between the means with less spread.
+        assert!(a.mean().dist(Vec2::new(50.0, 50.0)) < 3.0);
+        assert!(a.spread() < spread_before);
+    }
+
+    #[test]
+    fn product_annihilation_falls_back_to_uniform() {
+        let mut a = GridBelief::delta(Vec2::new(5.0, 5.0), domain(), 10, 10);
+        let b = GridBelief::delta(Vec2::new(95.0, 95.0), domain(), 10, 10);
+        a.product(b.mass());
+        // No overlap: uniform fallback keeps inference alive.
+        assert!((a.mass().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(a.entropy() > 4.0);
+    }
+
+    #[test]
+    fn covariance_of_elongated_belief() {
+        // Mass along a horizontal line: var(x) >> var(y).
+        let mut b = GridBelief::uniform(domain(), 20, 20);
+        let mut mass = vec![0.0; 400];
+        for x in 0..20 {
+            mass[10 * 20 + x] = 1.0;
+        }
+        b.mass.copy_from_slice(&mass);
+        b.normalize();
+        let cov = b.covariance();
+        assert!(cov[(0, 0)] > 100.0 * cov[(1, 1)].max(1e-12));
+    }
+
+    /// Three nodes on a line: anchor(10,50) — u1 — anchor(90,50), ranges 40
+    /// each. Posterior for u1 should sit near (50,50).
+    #[test]
+    fn bp_trilaterates_between_anchors() {
+        let dom = domain();
+        let mut mrf = SpatialMrf::new(3, dom, Arc::new(UniformBoxUnary(dom)));
+        mrf.fix(0, Vec2::new(10.0, 50.0));
+        mrf.fix(2, Vec2::new(90.0, 50.0));
+        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 40.0, sigma: 3.0 }));
+        mrf.add_edge(1, 2, Arc::new(GaussianRange { observed: 40.0, sigma: 3.0 }));
+        let (beliefs, outcome) = GridBp::with_resolution(40).run(
+            &mrf,
+            &BpOptions {
+                max_iterations: 10,
+                tolerance: 0.5,
+                ..BpOptions::default()
+            },
+        );
+        assert!(outcome.iterations >= 1);
+        let est = beliefs[1].mean();
+        // Ring intersection is symmetric about y = 50; x pinned near 50.
+        assert!((est.x - 50.0).abs() < 5.0, "x estimate {est}");
+    }
+
+    /// A node with a Gaussian prior and one anchor range: the posterior mean
+    /// should move from the prior mean toward the ring around the anchor.
+    #[test]
+    fn bp_fuses_prior_with_measurement() {
+        let dom = domain();
+        let mut mrf = SpatialMrf::new(2, dom, Arc::new(UniformBoxUnary(dom)));
+        mrf.fix(0, Vec2::new(50.0, 50.0));
+        mrf.set_unary(
+            1,
+            Arc::new(GaussianUnary {
+                mean: Vec2::new(80.0, 50.0),
+                sigma: 10.0,
+            }),
+        );
+        // Measured distance 20 from the central anchor.
+        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 20.0, sigma: 2.0 }));
+        let (beliefs, _) = GridBp::with_resolution(50).run(
+            &mrf,
+            &BpOptions {
+                max_iterations: 5,
+                tolerance: 0.5,
+                ..BpOptions::default()
+            },
+        );
+        let est = beliefs[1].mean();
+        // Posterior concentrates near (70, 50): on the ring, pulled toward
+        // the prior side.
+        assert!(est.dist(Vec2::new(70.0, 50.0)) < 6.0, "estimate {est}");
+    }
+
+    #[test]
+    fn sweep_schedule_matches_sync_approximately() {
+        let dom = domain();
+        let mut mrf = SpatialMrf::new(3, dom, Arc::new(UniformBoxUnary(dom)));
+        mrf.fix(0, Vec2::new(20.0, 20.0));
+        mrf.fix(2, Vec2::new(80.0, 80.0));
+        let d = Vec2::new(20.0, 20.0).dist(Vec2::new(50.0, 50.0));
+        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: d, sigma: 3.0 }));
+        mrf.add_edge(1, 2, Arc::new(GaussianRange { observed: d, sigma: 3.0 }));
+        let run = |schedule| {
+            GridBp::with_resolution(40)
+                .run(
+                    &mrf,
+                    &BpOptions {
+                        max_iterations: 8,
+                        tolerance: 0.5,
+                        schedule,
+                        ..BpOptions::default()
+                    },
+                )
+                .0[1]
+                .mean()
+        };
+        let sync = run(Schedule::Synchronous);
+        let sweep = run(Schedule::Sweep);
+        assert!(sync.dist(sweep) < 8.0, "sync {sync} sweep {sweep}");
+    }
+
+    #[test]
+    fn observer_sees_every_iteration() {
+        let dom = domain();
+        let mut mrf = SpatialMrf::new(2, dom, Arc::new(UniformBoxUnary(dom)));
+        mrf.fix(0, Vec2::new(50.0, 50.0));
+        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 10.0, sigma: 2.0 }));
+        let mut seen = Vec::new();
+        let (_, outcome) = GridBp::with_resolution(20).run_observed(
+            &mrf,
+            &BpOptions {
+                max_iterations: 4,
+                tolerance: 0.0, // never converge early
+                ..BpOptions::default()
+            },
+            |iter, beliefs| {
+                seen.push((iter, beliefs.len()));
+            },
+        );
+        assert_eq!(outcome.iterations, 4);
+        assert!(!outcome.converged);
+        assert_eq!(seen, vec![(0, 2), (1, 2), (2, 2), (3, 2)]);
+        assert_eq!(outcome.messages, 4);
+    }
+
+    #[test]
+    fn l1_distance_bounds() {
+        let a = GridBelief::delta(Vec2::new(5.0, 5.0), domain(), 10, 10);
+        let b = GridBelief::delta(Vec2::new(95.0, 95.0), domain(), 10, 10);
+        assert!((a.l1_distance(&b) - 2.0).abs() < 1e-12);
+        assert_eq!(a.l1_distance(&a), 0.0);
+    }
+}

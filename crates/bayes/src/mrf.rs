@@ -1,0 +1,259 @@
+//! Spatial Markov random field description and shared BP plumbing.
+//!
+//! [`SpatialMrf`] is the inference-side model: one 2-D position variable per
+//! node, unary potentials (pre-knowledge priors / anchor deltas), and
+//! pairwise distance potentials (measurements). The two engines —
+//! [`crate::grid::GridBp`] and [`crate::particle::ParticleBp`] — consume the
+//! same description, which is what lets experiments swap the belief
+//! representation without touching the model.
+
+use crate::potential::{PairPotential, UnaryPotential};
+use std::sync::Arc;
+use wsnloc_geom::{Aabb, Vec2};
+
+/// A pairwise factor between two variables.
+pub struct MrfEdge {
+    /// First endpoint.
+    pub u: usize,
+    /// Second endpoint.
+    pub v: usize,
+    /// Distance potential.
+    pub potential: Arc<dyn PairPotential>,
+}
+
+/// A pairwise MRF over 2-D position variables.
+///
+/// ```
+/// use std::sync::Arc;
+/// use wsnloc_bayes::{BpOptions, GaussianRange, ParticleBp, SpatialMrf, UniformBoxUnary};
+/// use wsnloc_geom::{Aabb, Vec2};
+///
+/// // One anchor at (50,50); one unknown measured 20 m away.
+/// let domain = Aabb::from_size(100.0, 100.0);
+/// let mut mrf = SpatialMrf::new(2, domain, Arc::new(UniformBoxUnary(domain)));
+/// mrf.fix(0, Vec2::new(50.0, 50.0));
+/// mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 20.0, sigma: 2.0 }));
+///
+/// let (beliefs, outcome) = ParticleBp::with_particles(200)
+///     .run(&mrf, &BpOptions { max_iterations: 6, ..BpOptions::default() });
+/// assert!(outcome.iterations >= 1);
+/// // The belief concentrates on the 20 m ring around the anchor.
+/// let mean_ring: f64 = beliefs[1].particles().iter()
+///     .zip(beliefs[1].weights())
+///     .map(|(p, w)| w * p.dist(Vec2::new(50.0, 50.0)))
+///     .sum();
+/// assert!((mean_ring - 20.0).abs() < 8.0);
+/// ```
+pub struct SpatialMrf {
+    domain: Aabb,
+    unaries: Vec<Arc<dyn UnaryPotential>>,
+    fixed: Vec<Option<Vec2>>,
+    edges: Vec<MrfEdge>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl SpatialMrf {
+    /// Creates an MRF over `n` variables with the given spatial domain.
+    /// Every variable starts with `default_unary` and no fixed value.
+    pub fn new(n: usize, domain: Aabb, default_unary: Arc<dyn UnaryPotential>) -> Self {
+        SpatialMrf {
+            domain,
+            unaries: vec![default_unary; n],
+            fixed: vec![None; n],
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.unaries.len()
+    }
+
+    /// `true` iff the MRF has no variables.
+    pub fn is_empty(&self) -> bool {
+        self.unaries.is_empty()
+    }
+
+    /// The spatial domain (support of uninformative beliefs).
+    pub fn domain(&self) -> Aabb {
+        self.domain
+    }
+
+    /// Sets the prior of variable `u`.
+    pub fn set_unary(&mut self, u: usize, unary: Arc<dyn UnaryPotential>) {
+        self.unaries[u] = unary;
+    }
+
+    /// Prior of variable `u`.
+    pub fn unary(&self, u: usize) -> &Arc<dyn UnaryPotential> {
+        &self.unaries[u]
+    }
+
+    /// Fixes variable `u` to a known position (anchor). Fixed variables emit
+    /// messages but are never updated.
+    pub fn fix(&mut self, u: usize, position: Vec2) {
+        self.fixed[u] = Some(position);
+    }
+
+    /// The fixed position of `u`, if any.
+    pub fn fixed(&self, u: usize) -> Option<Vec2> {
+        self.fixed[u]
+    }
+
+    /// Ids of non-fixed variables.
+    pub fn free_vars(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&u| self.fixed[u].is_none()).collect()
+    }
+
+    /// Adds a pairwise factor; self-edges are rejected.
+    pub fn add_edge(&mut self, u: usize, v: usize, potential: Arc<dyn PairPotential>) {
+        assert!(u != v, "self-edges are not meaningful");
+        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        let id = self.edges.len();
+        self.edges.push(MrfEdge { u, v, potential });
+        self.adj[u].push(id);
+        self.adj[v].push(id);
+    }
+
+    /// All pairwise factors.
+    pub fn edges(&self) -> &[MrfEdge] {
+        &self.edges
+    }
+
+    /// Edge ids incident to `u`.
+    pub fn edges_of(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// For edge `e` incident to `u`, the opposite endpoint.
+    pub fn other_end(&self, e: usize, u: usize) -> usize {
+        let edge = &self.edges[e];
+        if edge.u == u {
+            edge.v
+        } else {
+            debug_assert_eq!(edge.v, u);
+            edge.u
+        }
+    }
+}
+
+/// Update schedule for loopy BP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// All beliefs update simultaneously from the previous iteration's
+    /// beliefs (flooding). Deterministically parallelizable — this is the
+    /// schedule the rayon path uses.
+    Synchronous,
+    /// Beliefs update in index order within an iteration, each seeing the
+    /// freshest neighbor beliefs. Usually converges in fewer iterations but
+    /// is inherently sequential.
+    Sweep,
+}
+
+/// Options shared by both BP engines.
+#[derive(Debug, Clone, Copy)]
+pub struct BpOptions {
+    /// Maximum belief-update iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the largest belief-mean displacement
+    /// between consecutive iterations, in domain units (meters).
+    pub tolerance: f64,
+    /// Fraction (0..1) of the previous belief retained each update; 0
+    /// disables damping.
+    pub damping: f64,
+    /// Update order.
+    pub schedule: Schedule,
+    /// Seed for all stochastic parts of inference (particle proposals).
+    pub seed: u64,
+}
+
+impl Default for BpOptions {
+    fn default() -> Self {
+        BpOptions {
+            max_iterations: 20,
+            tolerance: 1.0,
+            damping: 0.0,
+            schedule: Schedule::Synchronous,
+            seed: 0xB007,
+        }
+    }
+}
+
+/// What a BP run reports alongside the final beliefs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BpOutcome {
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Whether the tolerance was met before `max_iterations`.
+    pub converged: bool,
+    /// Belief broadcasts that a distributed implementation would have sent
+    /// (one per free variable per iteration).
+    pub messages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential::{GaussianRange, UniformBoxUnary};
+
+    fn mrf3() -> SpatialMrf {
+        let domain = Aabb::from_size(100.0, 100.0);
+        let mut mrf = SpatialMrf::new(3, domain, Arc::new(UniformBoxUnary(domain)));
+        mrf.fix(0, Vec2::new(10.0, 10.0));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: 20.0,
+                sigma: 2.0,
+            }),
+        );
+        mrf.add_edge(
+            1,
+            2,
+            Arc::new(GaussianRange {
+                observed: 30.0,
+                sigma: 2.0,
+            }),
+        );
+        mrf
+    }
+
+    #[test]
+    fn structure_queries() {
+        let mrf = mrf3();
+        assert_eq!(mrf.len(), 3);
+        assert_eq!(mrf.edges().len(), 2);
+        assert_eq!(mrf.edges_of(1), &[0, 1]);
+        assert_eq!(mrf.other_end(0, 1), 0);
+        assert_eq!(mrf.other_end(0, 0), 1);
+        assert_eq!(mrf.fixed(0), Some(Vec2::new(10.0, 10.0)));
+        assert_eq!(mrf.fixed(1), None);
+        assert_eq!(mrf.free_vars(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edges")]
+    fn self_edge_rejected() {
+        let domain = Aabb::from_size(1.0, 1.0);
+        let mut mrf = SpatialMrf::new(2, domain, Arc::new(UniformBoxUnary(domain)));
+        mrf.add_edge(
+            1,
+            1,
+            Arc::new(GaussianRange {
+                observed: 1.0,
+                sigma: 1.0,
+            }),
+        );
+    }
+
+    #[test]
+    fn default_options_are_reasonable() {
+        let opts = BpOptions::default();
+        assert!(opts.max_iterations > 0);
+        assert!(opts.tolerance > 0.0);
+        assert_eq!(opts.schedule, Schedule::Synchronous);
+        assert!((0.0..1.0).contains(&opts.damping));
+    }
+}

@@ -1,0 +1,204 @@
+//! One benchmark per reproduced table/figure (DESIGN.md §4).
+//!
+//! Each bench measures a single representative trial of the corresponding
+//! experiment's dominant workload, so regressions in any experiment's cost
+//! show up individually. Full tables come from the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wsnloc::crlb::mean_crlb;
+use wsnloc::prelude::*;
+use wsnloc_baselines::{DvHop, MdsMap, WeightedCentroid};
+use wsnloc_bench::{bench_bnl, bench_scenario};
+
+const NODES: usize = 100;
+const PARTICLES: usize = 100;
+const ITERS: usize = 5;
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(1));
+    g
+}
+
+fn benches(c: &mut Criterion) {
+    let scenario = bench_scenario(NODES, 0xBE);
+    let (net, truth) = scenario.build_trial(0);
+    let mut g = configure(c);
+
+    // T2: the head-to-head table is dominated by one BNL-PK run.
+    g.bench_function("bench_t2_headtohead_bnl_trial", |b| {
+        let algo = bench_bnl(PARTICLES, ITERS);
+        b.iter(|| black_box(algo.localize(&net, 0)))
+    });
+
+    // T3: scalability — one larger-network trial.
+    g.bench_function("bench_t3_scalability_225", |b| {
+        let big = bench_scenario(225, 0xBE);
+        let (bignet, _) = big.build_trial(0);
+        let algo = bench_bnl(PARTICLES, ITERS);
+        b.iter(|| black_box(algo.localize(&bignet, 0)))
+    });
+
+    // F1: anchor sweep — the low-anchor point is the hardest workload.
+    g.bench_function("bench_f1_low_anchor_bnl", |b| {
+        let mut sparse = bench_scenario(NODES, 0xF1);
+        sparse.anchors = AnchorStrategy::Random { count: 4 };
+        let (snet, _) = sparse.build_trial(0);
+        let algo = bench_bnl(PARTICLES, ITERS);
+        b.iter(|| black_box(algo.localize(&snet, 0)))
+    });
+
+    // F2: noise sweep — high-noise NLS + BNL trial.
+    g.bench_function("bench_f2_high_noise_bnl", |b| {
+        let mut noisy = bench_scenario(NODES, 0xF2);
+        noisy.ranging = RangingModel::Multiplicative { factor: 0.4 };
+        let (nnet, _) = noisy.build_trial(0);
+        let algo = bench_bnl(PARTICLES, ITERS);
+        b.iter(|| black_box(algo.localize(&nnet, 0)))
+    });
+
+    // F3: connectivity sweep — the dense-radio point has the most edges.
+    g.bench_function("bench_f3_dense_radio_bnl", |b| {
+        let mut dense = bench_scenario(NODES, 0xF3);
+        dense.radio = RadioModel::UnitDisk { range: 250.0 };
+        let (dnet, _) = dense.build_trial(0);
+        let algo = bench_bnl(PARTICLES, ITERS);
+        b.iter(|| black_box(algo.localize(&dnet, 0)))
+    });
+
+    // F4: convergence — the observed variant (callback per iteration).
+    g.bench_function("bench_f4_convergence_observed", |b| {
+        let algo = bench_bnl(PARTICLES, ITERS);
+        b.iter(|| {
+            let mut sink = 0usize;
+            let r = algo.localize_observed(&net, 0, |iter, _| sink += iter);
+            black_box((r, sink))
+        })
+    });
+
+    // F5: CDF — pooled-error bookkeeping over one full roster pass of the
+    // cheap algorithms (the BP cost is covered by T2).
+    g.bench_function("bench_f5_cheap_roster", |b| {
+        b.iter(|| {
+            black_box((
+                DvHop::default().localize(&net, 0),
+                MdsMap.localize(&net, 0),
+                WeightedCentroid.localize(&net, 0),
+            ))
+        })
+    });
+
+    // F6: pre-knowledge sweep — a tight-prior run (different mixing path).
+    g.bench_function("bench_f6_tight_prior_bnl", |b| {
+        let algo = BnlLocalizer::particle(PARTICLES)
+            .with_prior(PriorModel::DropPoint { sigma: 25.0 })
+            .with_max_iterations(ITERS)
+            .with_tolerance(0.0);
+        b.iter(|| black_box(algo.localize(&net, 0)))
+    });
+
+    // F7: topology — C-shape with a region prior (rejection sampling path).
+    g.bench_function("bench_f7_cshape_region_prior", |b| {
+        let shape = Shape::standard_c(700.0);
+        let cs = Scenario {
+            name: "bench-c".into(),
+            deployment: Deployment::Uniform(shape.clone()),
+            node_count: NODES,
+            anchors: AnchorStrategy::Random { count: 10 },
+            radio: RadioModel::UnitDisk { range: 150.0 },
+            ranging: RangingModel::Multiplicative { factor: 0.1 },
+            seed: 0xF7,
+        };
+        let (cnet, _) = cs.build_trial(0);
+        let algo = BnlLocalizer::particle(PARTICLES)
+            .with_prior(PriorModel::Region(shape))
+            .with_max_iterations(ITERS)
+            .with_tolerance(0.0);
+        b.iter(|| black_box(algo.localize(&cnet, 0)))
+    });
+
+    // F8: particle ablation — the high-particle end.
+    g.bench_function("bench_f8_400_particles", |b| {
+        let algo = bench_bnl(400, 3);
+        b.iter(|| black_box(algo.localize(&net, 0)))
+    });
+
+    // F9: grid ablation — one grid-backend run.
+    g.bench_function("bench_f9_grid_backend", |b| {
+        let small = bench_scenario(49, 0xF9);
+        let (snet, _) = small.build_trial(0);
+        let algo = BnlLocalizer::grid(30)
+            .with_prior(PriorModel::DropPoint { sigma: 100.0 })
+            .with_max_iterations(4)
+            .with_tolerance(0.0);
+        b.iter(|| black_box(algo.localize(&snet, 0)))
+    });
+
+    // F11: the parametric Gaussian backend (cheapest inference loop).
+    g.bench_function("bench_f11_gaussian_backend", |b| {
+        let algo = BnlLocalizer::gaussian()
+            .with_prior(PriorModel::DropPoint { sigma: 100.0 })
+            .with_max_iterations(ITERS * 3)
+            .with_tolerance(0.0);
+        b.iter(|| black_box(algo.localize(&net, 0)))
+    });
+
+    // F12: NLOS mixture likelihood path through BNL-PK.
+    g.bench_function("bench_f12_nlos_bnl", |b| {
+        let mut nlos = bench_scenario(NODES, 0xF12);
+        nlos.ranging = RangingModel::NlosMixture {
+            factor: 0.1,
+            outlier_prob: 0.2,
+            outlier_scale: 120.0,
+        };
+        let (nnet, _) = nlos.build_trial(0);
+        let algo = bench_bnl(PARTICLES, ITERS);
+        b.iter(|| black_box(algo.localize(&nnet, 0)))
+    });
+
+    // F14: one tracking step over a mobility snapshot (tight budget).
+    g.bench_function("bench_f14_tracking_step", |b| {
+        use wsnloc::TrackingLocalizer;
+        use wsnloc_net::mobility::{MobileWorld, RandomWaypoint};
+        let mut world = MobileWorld::new(
+            Shape::Rect(wsnloc_geom::Aabb::from_size(600.0, 600.0)),
+            80,
+            10,
+            RadioModel::UnitDisk { range: 150.0 },
+            RangingModel::Multiplicative { factor: 0.1 },
+            RandomWaypoint {
+                min_speed: 10.0,
+                max_speed: 10.0,
+                pause: 0.0,
+            },
+            1.0,
+            0xF14,
+        );
+        let snapshot = world.step();
+        let engine = BnlLocalizer::particle(PARTICLES)
+            .with_max_iterations(2)
+            .with_tolerance(0.0);
+        let mut tracker = TrackingLocalizer::new(engine, 15.0);
+        // Warm the tracker so the bench measures the steady-state step.
+        let _ = tracker.step(&snapshot, 0);
+        b.iter(|| black_box(tracker.step(&snapshot, 1)))
+    });
+
+    // F10: the CRLB assembly + SPD inversion.
+    g.bench_function("bench_f10_crlb", |b| {
+        b.iter_batched(
+            || (net.clone(), truth.clone()),
+            |(n, t)| black_box(mean_crlb(&n, &t, Some(100.0))),
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(experiment_benches, benches);
+criterion_main!(experiment_benches);

@@ -1,0 +1,191 @@
+//! Microbenchmarks for the computational kernels under the localization
+//! stack: RNG sampling, KDE evaluation, dense solves, graph primitives,
+//! resampling, and single-iteration BP updates for both backends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use wsnloc_bayes::{
+    BpOptions, GaussianRange, GridBp, ParticleBp, SpatialMrf, UniformBoxUnary,
+};
+use wsnloc_geom::kde::Kde;
+use wsnloc_geom::matrix::Matrix;
+use wsnloc_geom::rng::{systematic_resample, Xoshiro256pp};
+use wsnloc_geom::{Aabb, Vec2};
+use wsnloc_net::topology::Topology;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+
+    g.bench_function("rng_gaussian_1k", |b| {
+        let mut rng = Xoshiro256pp::seed_from(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.gaussian();
+            }
+            black_box(acc)
+        })
+    });
+
+    g.bench_function("rng_weighted_index_100", |b| {
+        let mut rng = Xoshiro256pp::seed_from(2);
+        let weights: Vec<f64> = (0..100).map(|i| (i as f64).sin().abs() + 0.01).collect();
+        b.iter(|| black_box(rng.weighted_index(&weights)))
+    });
+
+    g.bench_function("systematic_resample_300", |b| {
+        let mut rng = Xoshiro256pp::seed_from(3);
+        let weights: Vec<f64> = (0..300).map(|i| ((i * 7) % 13) as f64 + 0.1).collect();
+        b.iter(|| black_box(systematic_resample(&mut rng, &weights, 300)))
+    });
+
+    g.bench_function("kde_density_300pts", |b| {
+        let mut rng = Xoshiro256pp::seed_from(4);
+        let pts: Vec<Vec2> = (0..300).map(|_| rng.point_in(Vec2::ZERO, Vec2::splat(100.0))).collect();
+        let kde = Kde::from_points(pts, 1.0);
+        b.iter(|| black_box(kde.density(Vec2::new(50.0, 50.0))))
+    });
+
+    g.bench_function("cholesky_solve_64", |b| {
+        // SPD matrix: diagonally dominant.
+        let n = 64;
+        let mut a = Matrix::identity(n).scaled(10.0);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    a[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+                }
+            }
+        }
+        let rhs = vec![1.0; n];
+        b.iter(|| black_box(a.solve_spd(&rhs)))
+    });
+
+    g.bench_function("jacobi_eigen_32", |b| {
+        let n = 32;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = 1.0 / (1.0 + (i + j) as f64);
+            }
+        }
+        b.iter(|| black_box(a.symmetric_eigen()))
+    });
+
+    g.bench_function("bfs_hops_1k_nodes", |b| {
+        // Ring + chords graph with 1000 nodes.
+        let n = 1000;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n));
+            edges.push((i, (i + 37) % n));
+        }
+        let t = Topology::from_edges(n, &edges);
+        b.iter(|| black_box(t.hops_from(0)))
+    });
+
+    // Single synchronous BP iteration, particle backend, 25-node clique-ish
+    // MRF (the inner loop of every experiment).
+    g.bench_function("particle_bp_iteration_25nodes", |b| {
+        let domain = Aabb::from_size(300.0, 300.0);
+        let mut mrf = SpatialMrf::new(25, domain, Arc::new(UniformBoxUnary(domain)));
+        let mut rng = Xoshiro256pp::seed_from(9);
+        let pts: Vec<Vec2> = (0..25).map(|_| rng.point_in(domain.min, domain.max)).collect();
+        for i in 0..3 {
+            mrf.fix(i, pts[i]);
+        }
+        for i in 0..25 {
+            for j in (i + 1)..25 {
+                if pts[i].dist(pts[j]) < 120.0 {
+                    mrf.add_edge(
+                        i,
+                        j,
+                        Arc::new(GaussianRange {
+                            observed: pts[i].dist(pts[j]),
+                            sigma: 5.0,
+                        }),
+                    );
+                }
+            }
+        }
+        let engine = ParticleBp::with_particles(100);
+        let opts = BpOptions {
+            max_iterations: 1,
+            tolerance: 0.0,
+            ..BpOptions::default()
+        };
+        b.iter(|| black_box(engine.run(&mrf, &opts)))
+    });
+
+    g.bench_function("gaussian_bp_iteration_25nodes", |b| {
+        use wsnloc_bayes::GaussianBp;
+        let domain = Aabb::from_size(300.0, 300.0);
+        let mut mrf = SpatialMrf::new(25, domain, Arc::new(UniformBoxUnary(domain)));
+        let mut rng = Xoshiro256pp::seed_from(10);
+        let pts: Vec<Vec2> = (0..25).map(|_| rng.point_in(domain.min, domain.max)).collect();
+        for i in 0..3 {
+            mrf.fix(i, pts[i]);
+        }
+        for i in 0..25 {
+            for j in (i + 1)..25 {
+                if pts[i].dist(pts[j]) < 120.0 {
+                    mrf.add_edge(
+                        i,
+                        j,
+                        Arc::new(GaussianRange {
+                            observed: pts[i].dist(pts[j]),
+                            sigma: 5.0,
+                        }),
+                    );
+                }
+            }
+        }
+        let engine = GaussianBp::default();
+        let opts = BpOptions {
+            max_iterations: 1,
+            tolerance: 0.0,
+            ..BpOptions::default()
+        };
+        b.iter(|| black_box(engine.run(&mrf, &opts)))
+    });
+
+    g.bench_function("grid_bp_iteration_9nodes_30x30", |b| {
+        let domain = Aabb::from_size(300.0, 300.0);
+        let mut mrf = SpatialMrf::new(9, domain, Arc::new(UniformBoxUnary(domain)));
+        let pts: Vec<Vec2> = (0..9)
+            .map(|i| Vec2::new(50.0 + 100.0 * (i % 3) as f64, 50.0 + 100.0 * (i / 3) as f64))
+            .collect();
+        mrf.fix(0, pts[0]);
+        mrf.fix(8, pts[8]);
+        for i in 0..9 {
+            for j in (i + 1)..9 {
+                if pts[i].dist(pts[j]) < 150.0 {
+                    mrf.add_edge(
+                        i,
+                        j,
+                        Arc::new(GaussianRange {
+                            observed: pts[i].dist(pts[j]),
+                            sigma: 5.0,
+                        }),
+                    );
+                }
+            }
+        }
+        let engine = GridBp::with_resolution(30);
+        let opts = BpOptions {
+            max_iterations: 1,
+            tolerance: 0.0,
+            ..BpOptions::default()
+        };
+        b.iter(|| black_box(engine.run(&mrf, &opts)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(micro_benches, benches);
+criterion_main!(micro_benches);

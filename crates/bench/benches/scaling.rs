@@ -1,0 +1,49 @@
+//! Scaling benchmarks: BNL-PK wall time vs network size at constant
+//! density, and vs rayon pool size (the HPC-parallel angle — on a
+//! multi-core host the per-node belief updates of the synchronous schedule
+//! parallelize embarrassingly; on a single-core host the pools tie).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wsnloc::Localizer as _;
+use wsnloc_bench::{bench_bnl, bench_scenario};
+
+fn size_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/size");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(1));
+    for &nodes in &[50usize, 100, 200] {
+        let scenario = bench_scenario(nodes, 0x5C);
+        let (net, _) = scenario.build_trial(0);
+        let algo = bench_bnl(80, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &net, |b, net| {
+            b.iter(|| black_box(algo.localize(net, 0)))
+        });
+    }
+    g.finish();
+}
+
+fn thread_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling/threads");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(1));
+    let scenario = bench_scenario(150, 0x77);
+    let (net, _) = scenario.build_trial(0);
+    let algo = bench_bnl(80, 4);
+    for &threads in &[1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &net, |b, net| {
+            b.iter(|| pool.install(|| black_box(algo.localize(net, 0))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(scaling_benches, size_scaling, thread_scaling);
+criterion_main!(scaling_benches);

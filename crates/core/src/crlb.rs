@@ -1,0 +1,263 @@
+//! Cramér–Rao lower bound for range-based cooperative localization.
+//!
+//! The Fisher information matrix over the stacked unknown positions is
+//! assembled from (a) every range measurement — each edge `(i, j)` at true
+//! distance `d` with noise standard deviation `σ(d)` contributes
+//! `uuᵀ/σ²` to the incident 2×2 blocks, where `u` is the unit vector between
+//! the nodes — and (b) Gaussian pre-knowledge priors, each adding
+//! `I₂/σ_p²` to its node's diagonal block. The per-node position-error
+//! bound is `sqrt(tr([J⁻¹]_kk))`.
+//!
+//! The bound uses the *true* geometry (ground truth is an input): it is an
+//! evaluation-side instrument, telling experiments how far a given
+//! achieved error is from the information-theoretic floor (experiment F10),
+//! and quantifying exactly how much information pre-knowledge injects.
+
+use wsnloc_geom::Matrix;
+use wsnloc_net::{GroundTruth, Network};
+
+/// Per-node CRLB on position RMS error (meters); `None` for anchors.
+///
+/// `prior_sigma`: the standard deviation of Gaussian pre-knowledge priors
+/// applied to every unknown (use `None` for the no-pre-knowledge bound).
+/// Returns `None` for every node when the Fisher matrix is singular (an
+/// under-determined network with neither enough anchors nor priors).
+pub fn crlb_per_node(
+    network: &Network,
+    truth: &GroundTruth,
+    prior_sigma: Option<f64>,
+) -> Option<Vec<Option<f64>>> {
+    let unknowns: Vec<usize> = network.unknowns().collect();
+    if unknowns.is_empty() {
+        return Some(vec![None; network.len()]);
+    }
+    let index_of: std::collections::HashMap<usize, usize> = unknowns
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| (id, k))
+        .collect();
+    let m = unknowns.len();
+    let mut fim = Matrix::zeros(2 * m, 2 * m);
+
+    // Measurement information.
+    let ranging = network.ranging();
+    for meas in network.measurements() {
+        let pa = truth.position(meas.a);
+        let pb = truth.position(meas.b);
+        let d = pa.dist(pb).max(1e-9);
+        let u = (pa - pb) / d;
+        let sigma = ranging.noise_std(d).max(1e-9);
+        let w = 1.0 / (sigma * sigma);
+        let g = [u.x, u.y];
+        let ia = index_of.get(&meas.a).copied();
+        let ib = index_of.get(&meas.b).copied();
+        for r in 0..2 {
+            for c in 0..2 {
+                let val = w * g[r] * g[c];
+                if let Some(i) = ia {
+                    fim[(2 * i + r, 2 * i + c)] += val;
+                }
+                if let Some(j) = ib {
+                    fim[(2 * j + r, 2 * j + c)] += val;
+                }
+                if let (Some(i), Some(j)) = (ia, ib) {
+                    fim[(2 * i + r, 2 * j + c)] -= val;
+                    fim[(2 * j + r, 2 * i + c)] -= val;
+                }
+            }
+        }
+    }
+
+    // Prior information.
+    if let Some(sp) = prior_sigma {
+        let w = 1.0 / (sp * sp);
+        for k in 0..m {
+            fim[(2 * k, 2 * k)] += w;
+            fim[(2 * k + 1, 2 * k + 1)] += w;
+        }
+    } else {
+        // Uniform prior over the finite field carries negligible curvature;
+        // regularize at the scale of the field so disconnected nodes read
+        // "field-sized uncertainty" instead of breaking the inversion.
+        let diag = network.field_bounds().diagonal();
+        let w = 1.0 / (diag * diag);
+        for k in 0..2 * m {
+            fim[(k, k)] += w;
+        }
+    }
+
+    let inv = fim.inverse_spd()?;
+    let mut out = vec![None; network.len()];
+    for (k, &id) in unknowns.iter().enumerate() {
+        let var = inv[(2 * k, 2 * k)] + inv[(2 * k + 1, 2 * k + 1)];
+        out[id] = Some(var.max(0.0).sqrt());
+    }
+    Some(out)
+}
+
+/// Mean CRLB over unknowns (convenience for sweep tables).
+pub fn mean_crlb(network: &Network, truth: &GroundTruth, prior_sigma: Option<f64>) -> Option<f64> {
+    let per_node = crlb_per_node(network, truth, prior_sigma)?;
+    let values: Vec<f64> = per_node.into_iter().flatten().collect();
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnloc_geom::{Shape, Vec2};
+    use wsnloc_net::network::NetworkBuilder;
+    use wsnloc_net::{
+        AnchorStrategy, Deployment, Measurement, NodeKind, RadioModel, RangingModel,
+    };
+    use wsnloc_geom::Aabb;
+
+    /// One unknown at the center of three anchors with σ = 1 ranging.
+    fn triangle_world(sigma: f64) -> (Network, GroundTruth) {
+        let anchors = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(50.0, 90.0),
+        ];
+        let unknown = Vec2::new(50.0, 30.0);
+        let positions = vec![anchors[0], anchors[1], anchors[2], unknown];
+        let measurements: Vec<Measurement> = (0..3)
+            .map(|i| Measurement {
+                a: i,
+                b: 3,
+                distance: anchors[i].dist(unknown),
+            })
+            .collect();
+        let net = Network::from_parts(
+            Shape::Rect(Aabb::from_size(100.0, 100.0)),
+            RadioModel::UnitDisk { range: 150.0 },
+            RangingModel::AdditiveGaussian { sigma },
+            vec![
+                NodeKind::Anchor,
+                NodeKind::Anchor,
+                NodeKind::Anchor,
+                NodeKind::Unknown,
+            ],
+            vec![
+                Some(anchors[0]),
+                Some(anchors[1]),
+                Some(anchors[2]),
+                None,
+            ],
+            vec![None; 4],
+            measurements,
+        );
+        (net, GroundTruth::from_positions(positions))
+    }
+
+    #[test]
+    fn triangle_bound_scales_with_noise() {
+        let (n1, t1) = triangle_world(1.0);
+        let (n5, t5) = triangle_world(5.0);
+        let b1 = crlb_per_node(&n1, &t1, None).unwrap()[3].unwrap();
+        let b5 = crlb_per_node(&n5, &t5, None).unwrap()[3].unwrap();
+        // Bound scales linearly with σ for fixed geometry.
+        assert!((b5 / b1 - 5.0).abs() < 0.1, "b1 {b1}, b5 {b5}");
+        // With three well-spread anchors and σ=1, bound is near 1.
+        assert!(b1 > 0.5 && b1 < 2.5, "bound {b1}");
+    }
+
+    #[test]
+    fn anchors_have_no_bound() {
+        let (net, truth) = triangle_world(1.0);
+        let b = crlb_per_node(&net, &truth, None).unwrap();
+        assert!(b[0].is_none() && b[1].is_none() && b[2].is_none());
+        assert!(b[3].is_some());
+    }
+
+    #[test]
+    fn priors_tighten_the_bound() {
+        let (net, truth) = triangle_world(5.0);
+        let without = crlb_per_node(&net, &truth, None).unwrap()[3].unwrap();
+        let with = crlb_per_node(&net, &truth, Some(3.0)).unwrap()[3].unwrap();
+        assert!(with < without, "prior bound {with} vs {without}");
+        // Extremely tight prior dominates entirely.
+        let tight = crlb_per_node(&net, &truth, Some(0.01)).unwrap()[3].unwrap();
+        assert!(tight < 0.02);
+    }
+
+    #[test]
+    fn disconnected_unknown_reads_field_scale() {
+        // An unknown with no measurements at all.
+        let positions = vec![Vec2::new(10.0, 10.0), Vec2::new(50.0, 50.0)];
+        let net = Network::from_parts(
+            Shape::Rect(Aabb::from_size(100.0, 100.0)),
+            RadioModel::UnitDisk { range: 10.0 },
+            RangingModel::AdditiveGaussian { sigma: 1.0 },
+            vec![NodeKind::Anchor, NodeKind::Unknown],
+            vec![Some(positions[0]), None],
+            vec![None; 2],
+            vec![],
+        );
+        let truth = GroundTruth::from_positions(positions);
+        let b = crlb_per_node(&net, &truth, None).unwrap()[1].unwrap();
+        let diag = net.field_bounds().diagonal();
+        assert!((b - diag * (2.0f64).sqrt()).abs() < 1.0, "bound {b}");
+    }
+
+    #[test]
+    fn cooperation_tightens_bounds_network_wide() {
+        // Bound with all measurements vs bound with anchor-links only: the
+        // unknown–unknown edges must strictly add information.
+        let builder = NetworkBuilder {
+            deployment: Deployment::uniform_square(500.0),
+            node_count: 40,
+            anchors: AnchorStrategy::Random { count: 6 },
+            radio: RadioModel::UnitDisk { range: 150.0 },
+            ranging: RangingModel::AdditiveGaussian { sigma: 5.0 },
+        };
+        let (net, truth) = builder.build(11);
+        let full = mean_crlb(&net, &truth, None).unwrap();
+
+        // Strip unknown–unknown measurements.
+        let anchor_only: Vec<Measurement> = net
+            .measurements()
+            .iter()
+            .copied()
+            .filter(|m| net.is_anchor(m.a) || net.is_anchor(m.b))
+            .collect();
+        let kinds: Vec<NodeKind> = (0..net.len()).map(|i| net.kind(i)).collect();
+        let anchor_positions: Vec<Option<Vec2>> =
+            (0..net.len()).map(|i| net.anchor_position(i)).collect();
+        let stripped = Network::from_parts(
+            net.field().clone(),
+            net.radio(),
+            net.ranging(),
+            kinds,
+            anchor_positions,
+            vec![None; net.len()],
+            anchor_only,
+        );
+        let stripped_bound = mean_crlb(&stripped, &truth, None).unwrap();
+        assert!(
+            full < stripped_bound,
+            "cooperative bound {full} must beat anchor-only {stripped_bound}"
+        );
+    }
+
+    #[test]
+    fn empty_unknown_set_is_trivial() {
+        let positions = vec![Vec2::new(1.0, 1.0)];
+        let net = Network::from_parts(
+            Shape::Rect(Aabb::from_size(10.0, 10.0)),
+            RadioModel::UnitDisk { range: 5.0 },
+            RangingModel::AdditiveGaussian { sigma: 1.0 },
+            vec![NodeKind::Anchor],
+            vec![Some(positions[0])],
+            vec![None],
+            vec![],
+        );
+        let truth = GroundTruth::from_positions(positions);
+        let b = crlb_per_node(&net, &truth, None).unwrap();
+        assert_eq!(b, vec![None]);
+    }
+}

@@ -1,0 +1,491 @@
+//! The BNL-PK localizer: loopy BP on the position Bayesian network.
+//!
+//! [`BnlLocalizer`] is the paper's algorithm. It composes:
+//! - a [`PriorModel`] (the pre-knowledge),
+//! - a belief [`Backend`] — particle (nonparametric) or grid (discrete
+//!   Bayesian network),
+//! - [`BpOptions`] controlling schedule/iterations/damping,
+//! - optional negative connectivity constraints.
+//!
+//! Communication is charged per belief broadcast: in the distributed
+//! protocol each unknown node transmits a subsampled particle summary (or a
+//! Gaussian summary for the grid backend) to its neighbors once per
+//! iteration.
+
+use crate::model::{build_mrf, ModelOptions};
+use crate::prior::PriorModel;
+use crate::result::{LocalizationResult, Localizer};
+use std::time::Instant;
+use wsnloc_bayes::{BpOptions, GaussianBp, GridBp, ParticleBp, Schedule};
+use wsnloc_geom::Vec2;
+use wsnloc_net::accounting::{CommStats, WireMessage};
+use wsnloc_net::Network;
+
+/// Belief representation used by inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Nonparametric (particle) beliefs with the given particle count.
+    Particle {
+        /// Particles per unknown node.
+        particles: usize,
+    },
+    /// Grid-discretized beliefs with the given cells-per-side resolution.
+    Grid {
+        /// Cells along each axis of the field bounding box.
+        resolution: usize,
+    },
+    /// Single-Gaussian beliefs (EKF-style linearized updates) — the cheap
+    /// parametric ablation. Fast and bandwidth-minimal, but blind to the
+    /// multi-modal posteriors that motivate the nonparametric backends.
+    Gaussian,
+}
+
+/// Point-estimate extraction rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Estimator {
+    /// Posterior mean (minimum mean squared error).
+    Mmse,
+    /// Posterior mode (maximum a posteriori; grid backend only — particles
+    /// fall back to MMSE).
+    Map,
+}
+
+/// Cooperative Bayesian-network localization with pre-knowledge.
+#[derive(Debug, Clone)]
+pub struct BnlLocalizer {
+    /// Pre-knowledge model.
+    pub prior: PriorModel,
+    /// Belief representation.
+    pub backend: Backend,
+    /// BP engine options (seed is overridden per `localize` call).
+    pub bp: BpOptions,
+    /// Negative connectivity constraints per node (0 = off).
+    pub negative_constraints: usize,
+    /// Point estimate rule.
+    pub estimator: Estimator,
+    /// Particles included in each broadcast belief summary (communication
+    /// accounting; also the mixture subsample size of the particle engine).
+    pub broadcast_particles: usize,
+}
+
+impl BnlLocalizer {
+    /// Particle-backend localizer with sensible defaults and no
+    /// pre-knowledge (add one with [`BnlLocalizer::with_prior`]).
+    pub fn particle(particles: usize) -> Self {
+        BnlLocalizer {
+            prior: PriorModel::Uninformative,
+            backend: Backend::Particle { particles },
+            bp: BpOptions::default(),
+            negative_constraints: 0,
+            estimator: Estimator::Mmse,
+            broadcast_particles: 24,
+        }
+    }
+
+    /// Grid-backend localizer (the discrete Bayesian-network formulation).
+    pub fn grid(resolution: usize) -> Self {
+        BnlLocalizer {
+            prior: PriorModel::Uninformative,
+            backend: Backend::Grid { resolution },
+            bp: BpOptions::default(),
+            negative_constraints: 0,
+            estimator: Estimator::Mmse,
+            broadcast_particles: 24,
+        }
+    }
+
+    /// Gaussian-backend localizer (parametric EKF-style ablation).
+    pub fn gaussian() -> Self {
+        BnlLocalizer {
+            prior: PriorModel::Uninformative,
+            backend: Backend::Gaussian,
+            bp: BpOptions::default(),
+            negative_constraints: 0,
+            estimator: Estimator::Mmse,
+            broadcast_particles: 24,
+        }
+    }
+
+    /// Sets the pre-knowledge model.
+    pub fn with_prior(mut self, prior: PriorModel) -> Self {
+        self.prior = prior;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.bp.max_iterations = n;
+        self
+    }
+
+    /// Sets the convergence tolerance (meters of belief-mean movement).
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.bp.tolerance = tol;
+        self
+    }
+
+    /// Sets the update schedule.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.bp.schedule = schedule;
+        self
+    }
+
+    /// Sets belief damping in `[0, 1)`.
+    pub fn with_damping(mut self, damping: f64) -> Self {
+        self.bp.damping = damping;
+        self
+    }
+
+    /// Enables sampled negative connectivity constraints.
+    pub fn with_negative_constraints(mut self, per_node: usize) -> Self {
+        self.negative_constraints = per_node;
+        self
+    }
+
+    /// Sets the point-estimate rule.
+    pub fn with_estimator(mut self, estimator: Estimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Localizes and additionally reports the per-iteration estimates —
+    /// used by the convergence experiment (F4). The callback receives
+    /// `(iteration, per-node estimates)` after every BP iteration.
+    pub fn localize_observed<F>(
+        &self,
+        network: &Network,
+        seed: u64,
+        mut on_iteration: F,
+    ) -> LocalizationResult
+    where
+        F: FnMut(usize, &[Option<Vec2>]),
+    {
+        let start = Instant::now();
+        let mrf = build_mrf(
+            network,
+            &self.prior,
+            &ModelOptions {
+                negative_constraints_per_node: self.negative_constraints,
+                seed: seed ^ 0x9E37_79B9,
+            },
+        );
+        let mut opts = self.bp;
+        opts.seed = seed;
+
+        let n = network.len();
+        let mut result = LocalizationResult::empty(n);
+        for (id, pos) in network.anchors() {
+            result.estimates[id] = Some(pos);
+            result.uncertainty[id] = Some(0.0);
+        }
+
+        match self.backend {
+            Backend::Particle { particles } => {
+                let mut engine = ParticleBp::with_particles(particles);
+                engine.mixture_samples = self.broadcast_particles;
+                let (beliefs, outcome) = engine.run_observed(&mrf, &opts, |iter, beliefs| {
+                    let estimates: Vec<Option<Vec2>> = (0..n)
+                        .map(|id| match mrf.fixed(id) {
+                            Some(p) => Some(p),
+                            None => Some(beliefs[id].mean()),
+                        })
+                        .collect();
+                    on_iteration(iter, &estimates);
+                });
+                for id in mrf.free_vars() {
+                    result.estimates[id] = Some(beliefs[id].mean());
+                    result.uncertainty[id] = Some(beliefs[id].spread());
+                }
+                result.iterations = outcome.iterations;
+                result.converged = outcome.converged;
+                result.comm = self.particle_comm(outcome.messages);
+            }
+            Backend::Gaussian => {
+                let engine = GaussianBp::default();
+                let (beliefs, outcome) = engine.run_observed(&mrf, &opts, |iter, beliefs| {
+                    let estimates: Vec<Option<Vec2>> = (0..n)
+                        .map(|id| match mrf.fixed(id) {
+                            Some(p) => Some(p),
+                            None => Some(beliefs[id].mean),
+                        })
+                        .collect();
+                    on_iteration(iter, &estimates);
+                });
+                for id in mrf.free_vars() {
+                    result.estimates[id] = Some(beliefs[id].mean);
+                    result.uncertainty[id] = Some(beliefs[id].spread());
+                }
+                result.iterations = outcome.iterations;
+                result.converged = outcome.converged;
+                result.comm = self.gaussian_comm(outcome.messages);
+            }
+            Backend::Grid { resolution } => {
+                let engine = GridBp::with_resolution(resolution);
+                let (beliefs, outcome) = engine.run_observed(&mrf, &opts, |iter, beliefs| {
+                    let estimates: Vec<Option<Vec2>> = (0..n)
+                        .map(|id| match mrf.fixed(id) {
+                            Some(p) => Some(p),
+                            None => Some(beliefs[id].mean()),
+                        })
+                        .collect();
+                    on_iteration(iter, &estimates);
+                });
+                for id in mrf.free_vars() {
+                    let b = &beliefs[id];
+                    result.estimates[id] = Some(match self.estimator {
+                        Estimator::Mmse => b.mean(),
+                        Estimator::Map => b.map_estimate(),
+                    });
+                    result.uncertainty[id] = Some(b.spread());
+                }
+                result.iterations = outcome.iterations;
+                result.converged = outcome.converged;
+                result.comm = self.gaussian_comm(outcome.messages);
+            }
+        }
+
+        result.elapsed_secs = start.elapsed().as_secs_f64();
+        result
+    }
+
+    /// Bytes for one particle-summary broadcast.
+    fn particle_comm(&self, broadcasts: u64) -> CommStats {
+        let msg = WireMessage::ParticleBelief {
+            from: 0,
+            count: self.broadcast_particles as u32,
+            payload: vec![(Vec2::ZERO, 0.0); self.broadcast_particles],
+        };
+        CommStats {
+            messages: broadcasts,
+            bytes: broadcasts * msg.encoded_len() as u64,
+        }
+    }
+
+    /// Bytes for one Gaussian-summary broadcast (grid backend).
+    fn gaussian_comm(&self, broadcasts: u64) -> CommStats {
+        let msg = WireMessage::GaussianBelief {
+            from: 0,
+            mean: Vec2::ZERO,
+            cov: [0.0; 3],
+        };
+        CommStats {
+            messages: broadcasts,
+            bytes: broadcasts * msg.encoded_len() as u64,
+        }
+    }
+}
+
+impl Localizer for BnlLocalizer {
+    fn name(&self) -> String {
+        let backend = match self.backend {
+            Backend::Particle { .. } => "particle",
+            Backend::Grid { .. } => "grid",
+            Backend::Gaussian => "gaussian",
+        };
+        if self.prior.is_informative() {
+            format!("BNL-PK/{backend}")
+        } else {
+            format!("NBP/{backend}")
+        }
+    }
+
+    fn localize(&self, network: &Network, seed: u64) -> LocalizationResult {
+        self.localize_observed(network, seed, |_, _| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnloc_net::network::NetworkBuilder;
+    use wsnloc_net::{AnchorStrategy, Deployment, GroundTruth, RadioModel, RangingModel};
+
+    fn small_world(seed: u64) -> (Network, GroundTruth) {
+        NetworkBuilder {
+            deployment: Deployment::planned_square_drop(500.0, 4, 40.0),
+            node_count: 48,
+            anchors: AnchorStrategy::Grid { count: 6 },
+            radio: RadioModel::UnitDisk { range: 140.0 },
+            ranging: RangingModel::Multiplicative { factor: 0.08 },
+        }
+        .build(seed)
+    }
+
+    fn mean_error(result: &LocalizationResult, truth: &GroundTruth, net: &Network) -> f64 {
+        let errs: Vec<f64> = result
+            .errors_for(truth, Some(net))
+            .into_iter()
+            .flatten()
+            .collect();
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+
+    #[test]
+    fn particle_bnl_localizes_standard_world() {
+        let (net, truth) = small_world(1);
+        let loc = BnlLocalizer::particle(250)
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(10)
+            .with_tolerance(1.0);
+        let r = loc.localize(&net, 0);
+        assert!(r.iterations >= 1);
+        let err = mean_error(&r, &truth, &net);
+        // Radio range 140: cooperative + priors should land well under R/2.
+        assert!(err < 55.0, "mean error {err}");
+        // All unknowns localized.
+        assert!((r.coverage(net.unknowns()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preknowledge_beats_uninformative() {
+        let mut pk_total = 0.0;
+        let mut nbp_total = 0.0;
+        for trial in 0..3u64 {
+            let (net, truth) = small_world(10 + trial);
+            let pk = BnlLocalizer::particle(250)
+                .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+                .with_max_iterations(10);
+            let nbp = BnlLocalizer::particle(250).with_max_iterations(10);
+            pk_total += mean_error(&pk.localize(&net, trial), &truth, &net);
+            nbp_total += mean_error(&nbp.localize(&net, trial), &truth, &net);
+        }
+        assert!(
+            pk_total < nbp_total,
+            "pre-knowledge {pk_total} should beat uninformative {nbp_total}"
+        );
+    }
+
+    #[test]
+    fn grid_backend_localizes() {
+        let (net, truth) = small_world(2);
+        let loc = BnlLocalizer::grid(30)
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(6)
+            .with_tolerance(1.0);
+        let r = loc.localize(&net, 0);
+        let err = mean_error(&r, &truth, &net);
+        assert!(err < 70.0, "grid mean error {err}");
+    }
+
+    #[test]
+    fn anchors_keep_their_positions() {
+        let (net, truth) = small_world(3);
+        let r = BnlLocalizer::particle(100)
+            .with_max_iterations(3)
+            .localize(&net, 0);
+        for (id, pos) in net.anchors() {
+            assert_eq!(r.estimates[id], Some(pos));
+            assert_eq!(pos, truth.position(id));
+            assert_eq!(r.uncertainty[id], Some(0.0));
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let (net, _) = small_world(4);
+        let loc = BnlLocalizer::particle(120)
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(4);
+        let a = loc.localize(&net, 9);
+        let b = loc.localize(&net, 9);
+        assert_eq!(a.estimates, b.estimates);
+        let c = loc.localize(&net, 10);
+        assert_ne!(a.estimates, c.estimates);
+    }
+
+    #[test]
+    fn communication_is_charged_per_iteration() {
+        let (net, _) = small_world(5);
+        let loc = BnlLocalizer::particle(100)
+            .with_max_iterations(4)
+            .with_tolerance(0.0); // run all iterations
+        let r = loc.localize(&net, 0);
+        let unknowns = net.unknowns().count() as u64;
+        assert_eq!(r.comm.messages, 4 * unknowns);
+        assert!(r.comm.bytes > r.comm.messages * 24);
+    }
+
+    #[test]
+    fn observer_reports_each_iteration() {
+        let (net, _) = small_world(6);
+        let mut iters = Vec::new();
+        let loc = BnlLocalizer::particle(80)
+            .with_max_iterations(3)
+            .with_tolerance(0.0);
+        let _ = loc.localize_observed(&net, 0, |iter, estimates| {
+            iters.push(iter);
+            assert_eq!(estimates.len(), net.len());
+            assert!(estimates.iter().all(Option::is_some));
+        });
+        assert_eq!(iters, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn names_distinguish_preknowledge() {
+        let pk = BnlLocalizer::particle(10).with_prior(PriorModel::DropPoint { sigma: 1.0 });
+        let nbp = BnlLocalizer::particle(10);
+        assert_eq!(pk.name(), "BNL-PK/particle");
+        assert_eq!(nbp.name(), "NBP/particle");
+        assert_eq!(BnlLocalizer::grid(10).name(), "NBP/grid");
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_anchor_contact() {
+        // A node ringed by anchors should end up more certain than the
+        // network-average unknown.
+        let (net, _) = small_world(7);
+        let r = BnlLocalizer::particle(200)
+            .with_max_iterations(8)
+            .localize(&net, 0);
+        let spreads: Vec<f64> = net
+            .unknowns()
+            .filter_map(|id| r.uncertainty[id])
+            .collect();
+        assert!(!spreads.is_empty());
+        // Sanity: spreads are positive and bounded by the field diagonal.
+        for s in spreads {
+            assert!(s >= 0.0 && s < 750.0);
+        }
+    }
+
+    #[test]
+    fn gaussian_backend_localizes_with_priors() {
+        let (net, truth) = small_world(9);
+        let loc = BnlLocalizer::gaussian()
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(25)
+            .with_tolerance(0.5);
+        let r = loc.localize(&net, 0);
+        let err = mean_error(&r, &truth, &net);
+        // Parametric backend with good priors: posteriors mostly unimodal.
+        assert!(err < 60.0, "gaussian mean error {err}");
+        assert_eq!(loc.name(), "BNL-PK/gaussian");
+        // Every unknown carries an uncertainty estimate.
+        for u in net.unknowns() {
+            let spread = r.uncertainty[u].expect("gaussian spread");
+            assert!(spread > 0.0 && spread < 700.0);
+        }
+        // Gaussian summaries are tiny on the wire compared to particles.
+        let particle = BnlLocalizer::particle(100)
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(4)
+            .with_tolerance(0.0)
+            .localize(&net, 0);
+        let per_msg_gauss = r.comm.bytes as f64 / r.comm.messages.max(1) as f64;
+        let per_msg_particle =
+            particle.comm.bytes as f64 / particle.comm.messages.max(1) as f64;
+        assert!(per_msg_gauss * 5.0 < per_msg_particle);
+    }
+
+    #[test]
+    fn map_estimator_works_on_grid() {
+        let (net, truth) = small_world(8);
+        let loc = BnlLocalizer::grid(25)
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_estimator(Estimator::Map)
+            .with_max_iterations(5);
+        let r = loc.localize(&net, 0);
+        let err = mean_error(&r, &truth, &net);
+        assert!(err < 90.0, "MAP mean error {err}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Network → Bayesian network translation.
+//!
+//! [`build_mrf`] assembles the spatial Markov random field (the continuous
+//! Bayesian network of the paper) from an observable [`Network`]:
+//! anchors become fixed variables, every range measurement becomes a
+//! pairwise factor, and the chosen [`PriorModel`] supplies the unary
+//! pre-knowledge factors. Optionally, sampled non-edges become negative
+//! connectivity constraints.
+
+use crate::adapter::{ConnectivityPotential, RangingPotential};
+use crate::prior::PriorModel;
+use std::sync::Arc;
+use wsnloc_bayes::SpatialMrf;
+use wsnloc_geom::rng::Xoshiro256pp;
+use wsnloc_net::Network;
+
+/// Options for the model translation.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelOptions {
+    /// Add "not connected" factors for this many sampled non-neighbor pairs
+    /// per node (0 disables negative information). Sampling keeps the graph
+    /// sparse; exhaustively adding all ~N² non-edges would destroy the
+    /// message-passing cost model.
+    pub negative_constraints_per_node: usize,
+    /// Seed for non-edge sampling.
+    pub seed: u64,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            negative_constraints_per_node: 0,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Builds the localization MRF for a network under a prior model.
+pub fn build_mrf(network: &Network, prior: &PriorModel, opts: &ModelOptions) -> SpatialMrf {
+    let priors = prior.build(network);
+    let bounds = network.field_bounds();
+    // Seed with an arbitrary default; per-node priors overwrite every slot.
+    let mut mrf = SpatialMrf::new(network.len(), bounds, priors[0].clone());
+    for (id, p) in priors.into_iter().enumerate() {
+        mrf.set_unary(id, p);
+    }
+    for (id, pos) in network.anchors() {
+        mrf.fix(id, pos);
+    }
+    let ranging = network.ranging();
+    for m in network.measurements() {
+        mrf.add_edge(
+            m.a,
+            m.b,
+            Arc::new(RangingPotential {
+                observed: m.distance,
+                model: ranging,
+            }),
+        );
+    }
+
+    if opts.negative_constraints_per_node > 0 {
+        let mut rng = Xoshiro256pp::seed_from(opts.seed);
+        let n = network.len();
+        for u in 0..n {
+            let mut added = 0;
+            let mut attempts = 0;
+            while added < opts.negative_constraints_per_node && attempts < 20 * n {
+                attempts += 1;
+                let v = rng.index(n);
+                if v == u || network.topology().connected(u, v) {
+                    continue;
+                }
+                // Only constrain ordered pairs once.
+                if v < u {
+                    continue;
+                }
+                mrf.add_edge(
+                    u,
+                    v,
+                    Arc::new(ConnectivityPotential {
+                        radio: network.radio(),
+                        connected: false,
+                    }),
+                );
+                added += 1;
+            }
+        }
+    }
+    mrf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnloc_net::network::NetworkBuilder;
+    use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
+
+    fn network() -> Network {
+        NetworkBuilder {
+            deployment: Deployment::planned_square_drop(500.0, 3, 40.0),
+            node_count: 36,
+            anchors: AnchorStrategy::Random { count: 5 },
+            radio: RadioModel::UnitDisk { range: 150.0 },
+            ranging: RangingModel::Multiplicative { factor: 0.1 },
+        }
+        .build(3)
+        .0
+    }
+
+    #[test]
+    fn mrf_mirrors_network_structure() {
+        let net = network();
+        let mrf = build_mrf(&net, &PriorModel::Uninformative, &ModelOptions::default());
+        assert_eq!(mrf.len(), net.len());
+        assert_eq!(mrf.edges().len(), net.measurements().len());
+        // Anchors fixed at their positions.
+        for (id, pos) in net.anchors() {
+            assert_eq!(mrf.fixed(id), Some(pos));
+        }
+        assert_eq!(
+            mrf.free_vars().len(),
+            net.len() - net.anchor_count()
+        );
+    }
+
+    #[test]
+    fn edge_potentials_peak_at_measured_distance() {
+        let net = network();
+        let mrf = build_mrf(&net, &PriorModel::Uninformative, &ModelOptions::default());
+        for (e, m) in mrf.edges().iter().zip(net.measurements()) {
+            assert_eq!((e.u, e.v), (m.a, m.b));
+            let at_obs = e.potential.log_likelihood(m.distance);
+            assert!(at_obs >= e.potential.log_likelihood(m.distance * 0.7));
+            assert!(at_obs >= e.potential.log_likelihood(m.distance * 1.4));
+        }
+    }
+
+    #[test]
+    fn drop_point_priors_attach() {
+        let net = network();
+        let mrf = build_mrf(
+            &net,
+            &PriorModel::DropPoint { sigma: 60.0 },
+            &ModelOptions::default(),
+        );
+        for &u in &mrf.free_vars() {
+            let plan = net.planned_position(u).unwrap();
+            assert_eq!(mrf.unary(u).log_density(plan), 0.0);
+        }
+    }
+
+    #[test]
+    fn negative_constraints_add_extra_edges() {
+        let net = network();
+        let base = build_mrf(&net, &PriorModel::Uninformative, &ModelOptions::default());
+        let with_neg = build_mrf(
+            &net,
+            &PriorModel::Uninformative,
+            &ModelOptions {
+                negative_constraints_per_node: 2,
+                seed: 1,
+            },
+        );
+        assert!(with_neg.edges().len() > base.edges().len());
+        // Negative edges connect non-neighbors only.
+        for e in &with_neg.edges()[base.edges().len()..] {
+            assert!(!net.topology().connected(e.u, e.v));
+        }
+    }
+
+    #[test]
+    fn negative_constraint_sampling_is_deterministic() {
+        let net = network();
+        let opts = ModelOptions {
+            negative_constraints_per_node: 3,
+            seed: 77,
+        };
+        let a = build_mrf(&net, &PriorModel::Uninformative, &opts);
+        let b = build_mrf(&net, &PriorModel::Uninformative, &opts);
+        assert_eq!(a.edges().len(), b.edges().len());
+        for (x, y) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((x.u, x.v), (y.u, y.v));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! `repro` — regenerates every table and figure of the reproduction.
+//!
+//! ```text
+//! repro all                 # full suite (release build strongly advised)
+//! repro t2 f1 f6            # selected experiments
+//! repro f4 --trials 10      # override Monte-Carlo trials
+//! repro all --quick         # smoke-test resolution
+//! repro list                # print the experiment index
+//! repro all --out results/  # also write one CSV per report
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wsnloc_eval::{experiments, ExpConfig};
+
+fn usage() -> &'static str {
+    "usage: repro <list | all | ids...> [--trials N] [--particles N] [--iterations N] [--quick] [--out DIR]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let mut cfg = ExpConfig::default();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ExpConfig { quick: true, ..ExpConfig::quick() },
+            "--trials" => {
+                i += 1;
+                cfg.trials = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--trials needs a number"));
+            }
+            "--particles" => {
+                i += 1;
+                cfg.particles = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--particles needs a number"));
+            }
+            "--iterations" => {
+                i += 1;
+                cfg.iterations = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--iterations needs a number"));
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| die("--out needs a directory")),
+                ));
+            }
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if ids.iter().any(|id| id == "list") {
+        println!("experiments: {}", experiments::ids().join(", "));
+        println!("(see DESIGN.md §4 for what each one reproduces)");
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<String> = if ids.iter().any(|id| id == "all") {
+        experiments::ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        ids
+    };
+    if selected.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "config: trials={} particles={} iterations={} quick={}",
+        cfg.trials, cfg.particles, cfg.iterations, cfg.quick
+    );
+    for id in &selected {
+        let Some(reports) = experiments::by_id(id, &cfg) else {
+            eprintln!("unknown experiment id: {id} (try `repro list`)");
+            return ExitCode::FAILURE;
+        };
+        for report in reports {
+            println!("{}", report.to_ascii());
+            if let Some(dir) = &out_dir {
+                match report.write_csv(dir) {
+                    Ok(path) => eprintln!("wrote {}", path.display()),
+                    Err(e) => eprintln!("failed to write {}: {e}", report.id),
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("{}", usage());
+    std::process::exit(2)
+}

@@ -1,0 +1,69 @@
+//! F10 — achieved error against the Cramér–Rao lower bound.
+//!
+//! For each anchor fraction, the table reports the mean CRLB with and
+//! without the pre-knowledge prior term and the achieved BNL-PK / NBP
+//! errors. Reproduction criteria: (a) every achieved error sits above its
+//! matching bound; (b) the *gap between the two bounds* — the information
+//! content of pre-knowledge — widens as anchors get scarce, mirroring the
+//! F1 behaviour of the algorithms themselves.
+
+use super::{bnl, nbp, standard_scenario, N, PRIOR_SIGMA, RANGE};
+use crate::{evaluate, ExpConfig, Report};
+use wsnloc::crlb::mean_crlb;
+use wsnloc_geom::stats;
+
+/// Runs the CRLB comparison.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let fractions: Vec<f64> = if cfg.quick {
+        vec![0.08, 0.22]
+    } else {
+        vec![0.04, 0.08, 0.12, 0.16, 0.22, 0.30]
+    };
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for f in fractions {
+        let mut scenario = standard_scenario();
+        let count = ((N as f64) * f).round().max(2.0) as usize;
+        scenario.anchors = wsnloc_net::AnchorStrategy::Random { count };
+        scenario.name = format!("crlb-anchors-{count}");
+        labels.push(format!("{:.0}%", f * 100.0));
+
+        // Bounds averaged over trials.
+        let mut with_prior = Vec::new();
+        let mut without_prior = Vec::new();
+        for t in 0..cfg.trials {
+            let (net, truth) = scenario.build_trial(t);
+            if let Some(b) = mean_crlb(&net, &truth, Some(PRIOR_SIGMA)) {
+                with_prior.push(b);
+            }
+            if let Some(b) = mean_crlb(&net, &truth, None) {
+                without_prior.push(b);
+            }
+        }
+        let bnl_err = evaluate(&bnl(cfg), &scenario, cfg.trials)
+            .normalized_summary(RANGE)
+            .map_or(f64::NAN, |s| s.mean);
+        let nbp_err = evaluate(&nbp(cfg), &scenario, cfg.trials)
+            .normalized_summary(RANGE)
+            .map_or(f64::NAN, |s| s.mean);
+        data.push(vec![
+            stats::mean(&with_prior).unwrap_or(f64::NAN) / RANGE,
+            bnl_err,
+            stats::mean(&without_prior).unwrap_or(f64::NAN) / RANGE,
+            nbp_err,
+        ]);
+    }
+    vec![Report::new(
+        "f10",
+        format!("CRLB vs achieved error by anchor fraction ({} trials, /R)", cfg.trials),
+        "anchors",
+        vec![
+            "CRLB(prior)".into(),
+            "BNL-PK".into(),
+            "CRLB(none)".into(),
+            "NBP".into(),
+        ],
+        labels,
+        data,
+    )]
+}

@@ -1,0 +1,46 @@
+//! F1 — localization error vs anchor fraction.
+//!
+//! Reproduction criterion: every method improves with more anchors; the
+//! BNL-PK-over-NBP advantage is *largest at low anchor density* (priors
+//! substitute for missing anchors) and narrows as anchors saturate the
+//! field; proximity methods stay poor throughout.
+
+use super::{standard_scenario, sweep_roster, N, RANGE};
+use crate::{evaluate, ExpConfig, Report};
+
+/// Runs the anchor-fraction sweep.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let fractions: Vec<f64> = if cfg.quick {
+        vec![0.06, 0.20]
+    } else {
+        vec![0.04, 0.08, 0.12, 0.16, 0.22, 0.30]
+    };
+    let roster = sweep_roster(cfg);
+    let columns: Vec<String> = roster.iter().map(|a| a.name()).collect();
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for f in fractions {
+        let mut scenario = standard_scenario();
+        let count = ((N as f64) * f).round().max(2.0) as usize;
+        scenario.anchors = wsnloc_net::AnchorStrategy::Random { count };
+        scenario.name = format!("anchors-{count}");
+        labels.push(format!("{:.0}%", f * 100.0));
+        let row: Vec<f64> = roster
+            .iter()
+            .map(|algo| {
+                evaluate(algo.as_ref(), &scenario, cfg.trials)
+                    .normalized_summary(RANGE)
+                    .map_or(f64::NAN, |s| s.mean)
+            })
+            .collect();
+        data.push(row);
+    }
+    vec![Report::new(
+        "f1",
+        format!("mean error/R vs anchor fraction ({} trials)", cfg.trials),
+        "anchors",
+        columns,
+        labels,
+        data,
+    )]
+}

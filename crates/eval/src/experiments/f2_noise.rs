@@ -1,0 +1,53 @@
+//! F2 — localization error vs ranging-noise level.
+//!
+//! Reproduction criterion: all range-based methods degrade as the noise
+//! factor grows; Bayesian fusion degrades *gracefully* (priors and
+//! redundancy absorb noise) while the point-solver NLS degrades fastest;
+//! DV-Hop, which ignores ranges, is nearly flat.
+
+use super::{standard_scenario, bnl, nbp, RANGE};
+use crate::{evaluate, ExpConfig, Report};
+use wsnloc::Localizer;
+use wsnloc_net::RangingModel;
+
+/// Runs the noise sweep.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let factors: Vec<f64> = if cfg.quick {
+        vec![0.05, 0.3]
+    } else {
+        vec![0.02, 0.05, 0.10, 0.20, 0.30, 0.40]
+    };
+    let roster: Vec<Box<dyn Localizer>> = vec![
+        Box::new(bnl(cfg)),
+        Box::new(nbp(cfg)),
+        Box::new(wsnloc_baselines::Multilateration::nls()),
+        Box::new(wsnloc_baselines::DvHop::default()),
+    ];
+    let columns: Vec<String> = roster.iter().map(|a| a.name()).collect();
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for factor in factors {
+        let mut scenario = standard_scenario();
+        scenario.ranging = RangingModel::Multiplicative { factor };
+        scenario.name = format!("noise-{factor}");
+        labels.push(format!("{:.0}%", factor * 100.0));
+        data.push(
+            roster
+                .iter()
+                .map(|algo| {
+                    evaluate(algo.as_ref(), &scenario, cfg.trials)
+                        .normalized_summary(RANGE)
+                        .map_or(f64::NAN, |s| s.mean)
+                })
+                .collect(),
+        );
+    }
+    vec![Report::new(
+        "f2",
+        format!("mean error/R vs ranging noise factor ({} trials)", cfg.trials),
+        "noise",
+        columns,
+        labels,
+        data,
+    )]
+}

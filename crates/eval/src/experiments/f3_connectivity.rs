@@ -1,0 +1,57 @@
+//! F3 — localization error vs connectivity (radio-range sweep).
+//!
+//! Reproduction criterion: errors normalized by the *standard* range fall
+//! steeply as connectivity rises from the sparse regime, then flatten once
+//! the graph is well connected; cooperative methods exploit the extra edges
+//! most. The table also reports the realized average degree per range.
+
+use super::{standard_scenario, bnl, nbp, RANGE};
+use crate::{evaluate, ExpConfig, Report};
+use wsnloc::Localizer;
+use wsnloc_net::RadioModel;
+
+/// Runs the connectivity sweep.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let ranges: Vec<f64> = if cfg.quick {
+        vec![120.0, 200.0]
+    } else {
+        vec![100.0, 125.0, 150.0, 175.0, 200.0, 250.0]
+    };
+    let roster: Vec<Box<dyn Localizer>> = vec![
+        Box::new(bnl(cfg)),
+        Box::new(nbp(cfg)),
+        Box::new(wsnloc_baselines::DvHop::default()),
+        Box::new(wsnloc_baselines::MdsMap),
+    ];
+    let mut columns: Vec<String> = vec!["avg degree".into()];
+    columns.extend(roster.iter().map(|a| a.name()));
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for r in ranges {
+        let mut scenario = standard_scenario();
+        scenario.radio = RadioModel::UnitDisk { range: r };
+        scenario.name = format!("range-{r}");
+        labels.push(format!("{r:.0} m"));
+        // Realized degree from the first trial.
+        let (net, _) = scenario.build_trial(0);
+        let mut row = vec![net.avg_degree()];
+        // Errors stay normalized by the standard range so rows compare.
+        row.extend(roster.iter().map(|algo| {
+            evaluate(algo.as_ref(), &scenario, cfg.trials)
+                .normalized_summary(RANGE)
+                .map_or(f64::NAN, |s| s.mean)
+        }));
+        data.push(row);
+    }
+    vec![Report::new(
+        "f3",
+        format!(
+            "mean error/R vs radio range ({} trials; /R uses the standard R = {RANGE} m)",
+            cfg.trials
+        ),
+        "radio range",
+        columns,
+        labels,
+        data,
+    )]
+}

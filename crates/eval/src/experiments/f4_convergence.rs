@@ -1,0 +1,63 @@
+//! F4 — convergence: error vs BP iteration, BNL-PK against NBP.
+//!
+//! Reproduction criterion: BNL-PK *starts* lower (its iteration-0 beliefs
+//! are already prior-centered) and reaches its plateau in fewer iterations;
+//! NBP needs several flooding rounds before anchor information reaches
+//! interior nodes.
+
+use super::{bnl, nbp, standard_scenario, RANGE};
+use crate::{ExpConfig, Report};
+use wsnloc_geom::stats;
+use wsnloc_net::Scenario;
+
+fn curve(
+    localizer: &wsnloc::BnlLocalizer,
+    scenario: &Scenario,
+    iterations: usize,
+    trials: u64,
+) -> Vec<f64> {
+    let mut per_iter: Vec<Vec<f64>> = vec![Vec::new(); iterations];
+    let mut fixed = localizer.clone();
+    fixed.bp.max_iterations = iterations;
+    fixed.bp.tolerance = 0.0; // force the full trajectory
+    for t in 0..trials {
+        let (net, truth) = scenario.build_trial(t);
+        let _ = fixed.localize_observed(&net, t, |iter, estimates| {
+            let mut errs = Vec::new();
+            for id in net.unknowns() {
+                if let Some(e) = estimates[id] {
+                    errs.push(e.dist(truth.position(id)));
+                }
+            }
+            if let Some(m) = stats::mean(&errs) {
+                per_iter[iter].push(m);
+            }
+        });
+    }
+    per_iter
+        .into_iter()
+        .map(|v| stats::mean(&v).unwrap_or(f64::NAN) / RANGE)
+        .collect()
+}
+
+/// Runs the convergence curves.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let iterations = if cfg.quick { 5 } else { 12 };
+    let scenario = standard_scenario();
+    let pk = curve(&bnl(cfg), &scenario, iterations, cfg.trials);
+    let plain = curve(&nbp(cfg), &scenario, iterations, cfg.trials);
+    let labels: Vec<String> = (1..=iterations).map(|i| i.to_string()).collect();
+    let data: Vec<Vec<f64>> = pk
+        .into_iter()
+        .zip(plain)
+        .map(|(a, b)| vec![a, b])
+        .collect();
+    vec![Report::new(
+        "f4",
+        format!("mean error/R vs BP iteration ({} trials)", cfg.trials),
+        "iteration",
+        vec!["BNL-PK".into(), "NBP".into()],
+        labels,
+        data,
+    )]
+}

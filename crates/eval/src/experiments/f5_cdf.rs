@@ -1,0 +1,64 @@
+//! F5 — per-node error CDF at the standard configuration.
+//!
+//! Reproduction criterion: the BNL-PK curve dominates (lies left of / above)
+//! every other curve; cooperative curves reach 1.0 (full coverage) while
+//! anchor-neighborhood methods saturate below 1.0 at their coverage level.
+//! Unlocalized nodes are charged an infinite error, so a curve's plateau
+//! *is* its coverage.
+
+use super::{full_roster, standard_scenario, RANGE};
+use crate::{evaluate, ExpConfig, Report};
+
+/// Runs the CDF table. Levels are multiples of R from 0 to 2R.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let scenario = standard_scenario();
+    let points = if cfg.quick { 5 } else { 21 };
+    let roster = full_roster(cfg);
+    let columns: Vec<String> = roster.iter().map(|a| a.name()).collect();
+
+    // Pool errors and coverage per algorithm.
+    let mut pooled: Vec<Vec<f64>> = Vec::new();
+    let mut unknown_totals: Vec<f64> = Vec::new();
+    for algo in &roster {
+        let outcome = evaluate(algo.as_ref(), &scenario, cfg.trials);
+        // Reconstruct the unknown-node total from coverage so the CDF
+        // accounts for unlocalized nodes.
+        let total = if outcome.coverage > 0.0 {
+            outcome.pooled_errors.len() as f64 / outcome.coverage
+        } else {
+            outcome.pooled_errors.len() as f64
+        };
+        pooled.push(outcome.pooled_errors);
+        unknown_totals.push(total);
+    }
+
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for i in 0..points {
+        let level = 2.0 * RANGE * i as f64 / (points - 1) as f64;
+        labels.push(format!("{:.2}R", level / RANGE));
+        let row: Vec<f64> = pooled
+            .iter()
+            .zip(&unknown_totals)
+            .map(|(errors, &total)| {
+                if total <= 0.0 {
+                    return f64::NAN;
+                }
+                let count = errors.iter().filter(|&&e| e <= level).count();
+                count as f64 / total
+            })
+            .collect();
+        data.push(row);
+    }
+    vec![Report::new(
+        "f5",
+        format!(
+            "empirical CDF of per-node error, standard config ({} trials; plateau = coverage)",
+            cfg.trials
+        ),
+        "error level",
+        columns,
+        labels,
+        data,
+    )]
+}

@@ -1,0 +1,95 @@
+//! F6 — the value of pre-knowledge: prior quality and prior coverage.
+//!
+//! Two sweeps, both over BNL-PK at the standard configuration (true
+//! deployment scatter σ* = 100 m):
+//!
+//! - **Quality** (`f6a`): the assumed prior σ sweeps from over-confident
+//!   (25 m ≪ σ*) through well-specified (100 m) to weak (400 m).
+//!   Reproduction criterion: a U-ish curve — over-confident priors *hurt*
+//!   (they contradict the measurements), the well-specified prior is
+//!   optimal, weak priors asymptote to the NBP (no-pre-knowledge) error,
+//!   which is reported as the last row.
+//! - **Coverage** (`f6b`): the fraction of nodes holding a (well-specified)
+//!   prior sweeps 0 → 1. Criterion: error falls monotonically with
+//!   coverage; even partial pre-knowledge helps neighbors *without* priors
+//!   through message passing.
+
+use super::{nbp, standard_scenario, PRIOR_SIGMA, RANGE};
+use crate::{evaluate, ExpConfig, Report};
+use wsnloc::{BnlLocalizer, PriorModel};
+
+/// Runs both pre-knowledge sweeps.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let scenario = standard_scenario();
+
+    // --- f6a: prior quality -------------------------------------------
+    let sigmas: Vec<f64> = if cfg.quick {
+        vec![50.0, 100.0, 400.0]
+    } else {
+        vec![25.0, 50.0, 100.0, 200.0, 400.0]
+    };
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for sigma in sigmas {
+        let algo = BnlLocalizer::particle(cfg.particles)
+            .with_prior(PriorModel::DropPoint { sigma })
+            .with_max_iterations(cfg.iterations)
+            .with_tolerance(RANGE * 0.02);
+        let outcome = evaluate(&algo, &scenario, cfg.trials);
+        labels.push(format!("σ={sigma:.0}"));
+        data.push(vec![outcome
+            .normalized_summary(RANGE)
+            .map_or(f64::NAN, |s| s.mean)]);
+    }
+    // Reference row: no pre-knowledge at all.
+    let none = evaluate(&nbp(cfg), &scenario, cfg.trials);
+    labels.push("none".into());
+    data.push(vec![none
+        .normalized_summary(RANGE)
+        .map_or(f64::NAN, |s| s.mean)]);
+    let quality = Report::new(
+        "f6a",
+        format!(
+            "mean error/R vs prior σ (true scatter {PRIOR_SIGMA} m, {} trials)",
+            cfg.trials
+        ),
+        "prior",
+        vec!["BNL-PK mean/R".into()],
+        labels,
+        data,
+    );
+
+    // --- f6b: prior coverage ------------------------------------------
+    let coverages: Vec<f64> = if cfg.quick {
+        vec![0.0, 1.0]
+    } else {
+        vec![0.0, 0.25, 0.5, 0.75, 1.0]
+    };
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for coverage in coverages {
+        let algo = BnlLocalizer::particle(cfg.particles)
+            .with_prior(PriorModel::PartialDropPoint {
+                sigma: PRIOR_SIGMA,
+                coverage,
+                seed: 0xC0FFEE,
+            })
+            .with_max_iterations(cfg.iterations)
+            .with_tolerance(RANGE * 0.02);
+        let outcome = evaluate(&algo, &scenario, cfg.trials);
+        labels.push(format!("{:.0}%", coverage * 100.0));
+        data.push(vec![outcome
+            .normalized_summary(RANGE)
+            .map_or(f64::NAN, |s| s.mean)]);
+    }
+    let coverage_report = Report::new(
+        "f6b",
+        format!("mean error/R vs pre-knowledge coverage ({} trials)", cfg.trials),
+        "coverage",
+        vec!["BNL-PK mean/R".into()],
+        labels,
+        data,
+    );
+
+    vec![quality, coverage_report]
+}

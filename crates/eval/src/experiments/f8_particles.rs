@@ -1,0 +1,42 @@
+//! F8 — ablation: particle count vs accuracy and runtime.
+//!
+//! Reproduction criterion: error falls steeply up to a few hundred
+//! particles then saturates, while runtime grows linearly — the knee is
+//! where a deployment should operate.
+
+use super::{standard_scenario, PRIOR_SIGMA, RANGE};
+use crate::{evaluate, ExpConfig, Report};
+use wsnloc::{BnlLocalizer, PriorModel};
+
+/// Runs the particle-count ablation.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let counts: Vec<usize> = if cfg.quick {
+        vec![50, 150]
+    } else {
+        vec![50, 100, 200, 400, 800]
+    };
+    let scenario = standard_scenario();
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for particles in counts {
+        let algo = BnlLocalizer::particle(particles)
+            .with_prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
+            .with_max_iterations(cfg.iterations)
+            .with_tolerance(RANGE * 0.02);
+        let outcome = evaluate(&algo, &scenario, cfg.trials);
+        labels.push(particles.to_string());
+        data.push(vec![
+            outcome.normalized_summary(RANGE).map_or(f64::NAN, |s| s.mean),
+            outcome.normalized_summary(RANGE).map_or(f64::NAN, |s| s.p90),
+            outcome.secs,
+        ]);
+    }
+    vec![Report::new(
+        "f8",
+        format!("BNL-PK accuracy/runtime vs particle count ({} trials)", cfg.trials),
+        "particles",
+        vec!["mean/R".into(), "p90/R".into(), "secs".into()],
+        labels,
+        data,
+    )]
+}

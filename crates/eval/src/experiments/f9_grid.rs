@@ -1,0 +1,63 @@
+//! F9 — ablation: grid resolution for the discrete-Bayesian-network
+//! backend.
+//!
+//! The grid backend is the literal finite formulation of the paper's model;
+//! its accuracy is floored by the cell size (an estimate cannot beat
+//! ~cell/2 systematic error) and its cost grows with the fourth power of
+//! resolution (source cells × kernel cells). Run on a reduced network so
+//! the sweep stays tractable — the comparison across resolutions, not the
+//! absolute scale, is the result.
+//!
+//! Reproduction criterion: error falls as resolution rises until the
+//! cell-quantization floor meets the measurement-noise floor, while runtime
+//! explodes — motivating the particle backend as the practical choice.
+
+use super::{PRIOR_SIGMA, RANGE};
+use crate::{evaluate, ExpConfig, Report};
+use wsnloc::prelude::*;
+
+fn small_scenario() -> Scenario {
+    Scenario {
+        name: "grid-ablation".into(),
+        deployment: Deployment::planned_square_drop(500.0, 3, PRIOR_SIGMA / 2.0),
+        node_count: 64,
+        anchors: AnchorStrategy::Random { count: 8 },
+        radio: RadioModel::UnitDisk { range: 150.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.1 },
+        seed: 0x9812D,
+    }
+}
+
+/// Runs the grid-resolution ablation.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let resolutions: Vec<usize> = if cfg.quick {
+        vec![15, 25]
+    } else {
+        vec![15, 20, 30, 40, 60]
+    };
+    let scenario = small_scenario();
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for res in resolutions {
+        let algo = BnlLocalizer::grid(res)
+            .with_prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA / 2.0 })
+            .with_max_iterations(cfg.iterations.min(6))
+            .with_tolerance(RANGE * 0.02);
+        let outcome = evaluate(&algo, &scenario, cfg.trials.min(3));
+        let cell = 500.0 / res as f64;
+        labels.push(format!("{res}x{res}"));
+        data.push(vec![
+            cell,
+            outcome.normalized_summary(RANGE).map_or(f64::NAN, |s| s.mean),
+            outcome.secs,
+        ]);
+    }
+    vec![Report::new(
+        "f9",
+        "grid-backend accuracy/runtime vs resolution (64-node field)".to_string(),
+        "grid",
+        vec!["cell (m)".into(), "mean/R".into(), "secs".into()],
+        labels,
+        data,
+    )]
+}

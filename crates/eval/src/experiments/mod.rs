@@ -1,0 +1,135 @@
+//! One module per reconstructed table/figure (DESIGN.md §4).
+//!
+//! Every experiment exposes `run(cfg: &ExpConfig) -> Vec<Report>`; the
+//! [`by_id`]/[`all`] registry is what the `repro` binary and the benches
+//! drive. Errors are reported normalized by the nominal radio range (the
+//! "error/R" convention of the localization literature).
+
+pub mod f1_anchor_fraction;
+pub mod f2_noise;
+pub mod f3_connectivity;
+pub mod f4_convergence;
+pub mod f5_cdf;
+pub mod f6_preknowledge;
+pub mod f7_topology;
+pub mod f8_particles;
+pub mod f9_grid;
+pub mod f10_crlb;
+pub mod f11_backends;
+pub mod f12_nlos;
+pub mod f13_schedule;
+pub mod f14_tracking;
+pub mod t2_headtohead;
+pub mod t3_scalability;
+
+use crate::{ExpConfig, Report};
+use wsnloc::prelude::*;
+
+/// Standard-field side length (meters).
+pub const FIELD: f64 = 1000.0;
+/// Standard node count.
+pub const N: usize = 225;
+/// Standard radio range (meters) — the error normalization constant.
+pub const RANGE: f64 = 150.0;
+/// Standard anchor count (10% of N).
+pub const ANCHORS: usize = 22;
+/// Standard multiplicative ranging-noise factor.
+pub const NOISE: f64 = 0.10;
+/// Standard drop-grid resolution (5×5 planned drop points).
+pub const DROP_GRID: usize = 5;
+/// Standard deployment scatter and matching prior σ (meters).
+pub const PRIOR_SIGMA: f64 = 100.0;
+
+/// The standard scenario: drop-point deployment so pre-knowledge exists.
+pub fn standard_scenario() -> Scenario {
+    Scenario {
+        name: "standard".into(),
+        deployment: Deployment::planned_square_drop(FIELD, DROP_GRID, PRIOR_SIGMA),
+        node_count: N,
+        anchors: AnchorStrategy::Random { count: ANCHORS },
+        radio: RadioModel::UnitDisk { range: RANGE },
+        ranging: RangingModel::Multiplicative { factor: NOISE },
+        seed: 0x5EED,
+    }
+}
+
+/// BNL-PK: the paper's algorithm (particle backend, drop-point priors).
+pub fn bnl(cfg: &ExpConfig) -> BnlLocalizer {
+    BnlLocalizer::particle(cfg.particles)
+        .with_prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
+        .with_max_iterations(cfg.iterations)
+        .with_tolerance(RANGE * 0.02)
+}
+
+/// NBP: the ablation without pre-knowledge.
+pub fn nbp(cfg: &ExpConfig) -> BnlLocalizer {
+    BnlLocalizer::particle(cfg.particles)
+        .with_max_iterations(cfg.iterations)
+        .with_tolerance(RANGE * 0.02)
+}
+
+/// The full comparison roster used by T2/F5.
+pub fn full_roster(cfg: &ExpConfig) -> Vec<Box<dyn Localizer>> {
+    vec![
+        Box::new(bnl(cfg)),
+        Box::new(nbp(cfg)),
+        Box::new(wsnloc_baselines::Multilateration::iterative()),
+        Box::new(wsnloc_baselines::Multilateration::nls()),
+        Box::new(wsnloc_baselines::DvHop::default()),
+        Box::new(wsnloc_baselines::MdsMap),
+        Box::new(wsnloc_baselines::WeightedCentroid),
+        Box::new(wsnloc_baselines::Centroid),
+        Box::new(wsnloc_baselines::MinMax),
+    ]
+}
+
+/// The reduced roster for sweep figures.
+pub fn sweep_roster(cfg: &ExpConfig) -> Vec<Box<dyn Localizer>> {
+    vec![
+        Box::new(bnl(cfg)),
+        Box::new(nbp(cfg)),
+        Box::new(wsnloc_baselines::Multilateration::nls()),
+        Box::new(wsnloc_baselines::DvHop::default()),
+        Box::new(wsnloc_baselines::MdsMap),
+        Box::new(wsnloc_baselines::WeightedCentroid),
+    ]
+}
+
+/// Every experiment id, in report order.
+pub fn ids() -> Vec<&'static str> {
+    vec![
+        "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11",
+        "f12", "f13", "f14",
+    ]
+}
+
+/// Runs one experiment by id; `None` for unknown ids.
+pub fn by_id(id: &str, cfg: &ExpConfig) -> Option<Vec<Report>> {
+    Some(match id {
+        "t2" => t2_headtohead::run(cfg),
+        "t3" => t3_scalability::run(cfg),
+        "f1" => f1_anchor_fraction::run(cfg),
+        "f2" => f2_noise::run(cfg),
+        "f3" => f3_connectivity::run(cfg),
+        "f4" => f4_convergence::run(cfg),
+        "f5" => f5_cdf::run(cfg),
+        "f6" => f6_preknowledge::run(cfg),
+        "f7" => f7_topology::run(cfg),
+        "f8" => f8_particles::run(cfg),
+        "f9" => f9_grid::run(cfg),
+        "f10" => f10_crlb::run(cfg),
+        "f11" => f11_backends::run(cfg),
+        "f12" => f12_nlos::run(cfg),
+        "f13" => f13_schedule::run(cfg),
+        "f14" => f14_tracking::run(cfg),
+        _ => return None,
+    })
+}
+
+/// Runs the whole suite.
+pub fn all(cfg: &ExpConfig) -> Vec<Report> {
+    ids()
+        .into_iter()
+        .flat_map(|id| by_id(id, cfg).expect("registered id"))
+        .collect()
+}

@@ -1,0 +1,66 @@
+//! T2 — head-to-head algorithm comparison at the standard configuration.
+//!
+//! Reproduction criterion: BNL-PK posts the lowest normalized error, NBP
+//! second; the point-solvers and hop/spectral methods trail; proximity
+//! methods (WCL/Centroid/Min-Max) are the floor. Coverage distinguishes the
+//! cooperative methods (always 100%) from anchor-neighborhood methods.
+
+use super::{full_roster, standard_scenario, RANGE};
+use crate::{evaluate, ExpConfig, Report};
+use wsnloc_net::accounting::EnergyModel;
+
+/// Runs the comparison table.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let scenario = standard_scenario();
+    let (net0, _) = scenario.build_trial(0);
+    let avg_degree = net0.avg_degree();
+    let energy = EnergyModel::default();
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for algo in full_roster(cfg) {
+        let outcome = evaluate(algo.as_ref(), &scenario, cfg.trials);
+        let s = outcome
+            .normalized_summary(RANGE)
+            .expect("standard scenario always localizes something");
+        labels.push(outcome.algo.clone());
+        let node_count = scenario.node_count as f64;
+        let comm = wsnloc_net::accounting::CommStats {
+            messages: (outcome.msgs_per_node * node_count) as u64,
+            bytes: (outcome.bytes_per_node * node_count) as u64,
+        };
+        data.push(vec![
+            s.mean,
+            s.median,
+            s.p90,
+            s.rmse,
+            outcome.coverage,
+            outcome.msgs_per_node,
+            outcome.bytes_per_node / 1024.0,
+            energy.total_mj(&comm, RANGE, avg_degree) / node_count,
+            outcome.secs,
+            outcome.iterations,
+        ]);
+    }
+    vec![Report::new(
+        "t2",
+        format!(
+            "algorithm comparison, standard config ({} trials, errors /R)",
+            cfg.trials
+        ),
+        "algorithm",
+        vec![
+            "mean/R".into(),
+            "median/R".into(),
+            "p90/R".into(),
+            "rmse/R".into(),
+            "coverage".into(),
+            "msgs/node".into(),
+            "KiB/node".into(),
+            "mJ/node".into(),
+            "secs".into(),
+            "iters".into(),
+        ],
+        labels,
+        data,
+    )]
+}

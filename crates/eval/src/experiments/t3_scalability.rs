@@ -1,0 +1,91 @@
+//! T3 — scalability of BNL-PK with network size, plus the rayon scaling
+//! ablation.
+//!
+//! Node density is held constant (the field grows with N) so the message
+//! graph stays comparable; wall time should grow ~linearly in N (nodes ×
+//! bounded degree). The "speedup" column compares the default rayon pool
+//! against a forced single-thread pool — on a single-core host it reads
+//! ≈ 1.0 by construction, on a multi-core host it approaches the core
+//! count for the larger networks.
+
+use super::{bnl, ANCHORS, FIELD, N, NOISE, PRIOR_SIGMA, RANGE};
+use crate::runner::run_trial;
+use crate::{ExpConfig, Report};
+use wsnloc::prelude::*;
+use wsnloc_geom::stats;
+
+fn scenario_for(n: usize) -> Scenario {
+    // Constant density: field side scales with sqrt(n / N).
+    let side = FIELD * (n as f64 / N as f64).sqrt();
+    let drop_grid = ((n as f64).sqrt() / 3.0).round().max(2.0) as usize;
+    Scenario {
+        name: format!("scale-{n}"),
+        deployment: Deployment::planned_square_drop(side, drop_grid, PRIOR_SIGMA),
+        node_count: n,
+        anchors: AnchorStrategy::Random {
+            count: (n as f64 * ANCHORS as f64 / N as f64).round() as usize,
+        },
+        radio: RadioModel::UnitDisk { range: RANGE },
+        ranging: RangingModel::Multiplicative { factor: NOISE },
+        seed: 0x5CA1E,
+    }
+}
+
+/// Runs the scalability table.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    let sizes: Vec<usize> = if cfg.quick {
+        vec![64, 144]
+    } else {
+        vec![100, 225, 400, 625]
+    };
+    let algo = bnl(cfg);
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for n in sizes {
+        let scenario = scenario_for(n);
+        // Parallel (default pool) timing.
+        let mut par_secs = Vec::new();
+        let mut errs = Vec::new();
+        let mut msgs = Vec::new();
+        for t in 0..cfg.trials {
+            let rec = run_trial(&algo, &scenario, t);
+            par_secs.push(rec.secs);
+            msgs.push(rec.msgs_per_node);
+            if let Some(m) = stats::mean(&rec.errors) {
+                errs.push(m);
+            }
+        }
+        // Forced single-thread timing (one trial is enough for the ratio).
+        let seq_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool construction");
+        let seq_secs = seq_pool.install(|| run_trial(&algo, &scenario, 0).secs);
+        let par_mean = stats::mean(&par_secs).unwrap_or(f64::NAN);
+        labels.push(n.to_string());
+        data.push(vec![
+            stats::mean(&errs).unwrap_or(f64::NAN) / RANGE,
+            par_mean,
+            seq_secs,
+            seq_secs / par_mean,
+            stats::mean(&msgs).unwrap_or(f64::NAN),
+        ]);
+    }
+    vec![Report::new(
+        "t3",
+        format!(
+            "BNL-PK scalability at constant density ({} trials; speedup = 1-thread / default pool)",
+            cfg.trials
+        ),
+        "nodes",
+        vec![
+            "mean/R".into(),
+            "secs(par)".into(),
+            "secs(1thr)".into(),
+            "speedup".into(),
+            "msgs/node".into(),
+        ],
+        labels,
+        data,
+    )]
+}

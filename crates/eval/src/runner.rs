@@ -1,0 +1,195 @@
+//! Monte-Carlo trial runner.
+//!
+//! [`evaluate`] runs a [`Localizer`] over independent trials of a
+//! [`Scenario`] — trial `t` realizes the scenario with seed offset `t` and
+//! localizes with algorithm seed `t` — and aggregates errors, coverage,
+//! communication, and runtime. Trials run in parallel through rayon; the
+//! per-trial seeds make the aggregate independent of scheduling.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use wsnloc::Localizer;
+use wsnloc_geom::stats::{self, Welford};
+use wsnloc_net::Scenario;
+
+use crate::metrics::{localized_errors, ErrorSummary};
+
+/// Aggregated evaluation of one algorithm on one scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Algorithm display name.
+    pub algo: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Trials executed.
+    pub trials: u64,
+    /// All localized-node errors pooled across trials (meters).
+    pub pooled_errors: Vec<f64>,
+    /// Mean of per-trial mean errors (meters).
+    pub mean_error: f64,
+    /// 95% confidence half-width of `mean_error` across trials.
+    pub mean_error_ci95: f64,
+    /// Mean coverage (fraction of unknowns localized).
+    pub coverage: f64,
+    /// Mean messages per node per trial.
+    pub msgs_per_node: f64,
+    /// Mean bytes per node per trial.
+    pub bytes_per_node: f64,
+    /// Mean wall seconds per trial.
+    pub secs: f64,
+    /// Mean iterations per trial.
+    pub iterations: f64,
+    /// Mean fraction of trials that converged (iterative algorithms).
+    pub converged_frac: f64,
+}
+
+impl EvalOutcome {
+    /// Summary of the pooled error distribution (meters).
+    pub fn summary(&self) -> Option<ErrorSummary> {
+        ErrorSummary::from_errors(&self.pooled_errors)
+    }
+
+    /// Summary normalized by `scale` (typically the radio range).
+    pub fn normalized_summary(&self, scale: f64) -> Option<ErrorSummary> {
+        self.summary().map(|s| s.normalized(scale))
+    }
+}
+
+/// Per-trial raw record (used internally and by the scalability table).
+#[derive(Debug, Clone)]
+pub struct TrialRecord {
+    /// Localized-node errors (meters).
+    pub errors: Vec<f64>,
+    /// Coverage over unknowns.
+    pub coverage: f64,
+    /// Messages per node.
+    pub msgs_per_node: f64,
+    /// Bytes per node.
+    pub bytes_per_node: f64,
+    /// Algorithm wall seconds.
+    pub secs: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Converged flag.
+    pub converged: bool,
+}
+
+/// Runs one trial of `algo` on `scenario`.
+pub fn run_trial(algo: &dyn Localizer, scenario: &Scenario, trial: u64) -> TrialRecord {
+    let (network, truth) = scenario.build_trial(trial);
+    let result = algo.localize(&network, trial);
+    let errors = localized_errors(&result.errors_for(&truth, Some(&network)));
+    let n = network.len();
+    TrialRecord {
+        coverage: result.coverage(network.unknowns()),
+        msgs_per_node: result.comm.messages_per_node(n),
+        bytes_per_node: result.comm.bytes as f64 / n as f64,
+        secs: result.elapsed_secs,
+        iterations: result.iterations,
+        converged: result.converged,
+        errors,
+    }
+}
+
+/// Evaluates `algo` over `trials` Monte-Carlo realizations of `scenario`.
+pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, trials: u64) -> EvalOutcome {
+    let records: Vec<TrialRecord> = (0..trials)
+        .into_par_iter()
+        .map(|t| run_trial(algo, scenario, t))
+        .collect();
+
+    let mut pooled = Vec::new();
+    let mut mean_w = Welford::new();
+    let mut cov_w = Welford::new();
+    let mut msg_w = Welford::new();
+    let mut byte_w = Welford::new();
+    let mut sec_w = Welford::new();
+    let mut iter_w = Welford::new();
+    let mut conv_w = Welford::new();
+    let mut per_trial_means = Vec::new();
+    for r in &records {
+        if let Some(m) = stats::mean(&r.errors) {
+            mean_w.push(m);
+            per_trial_means.push(m);
+        }
+        pooled.extend_from_slice(&r.errors);
+        cov_w.push(r.coverage);
+        msg_w.push(r.msgs_per_node);
+        byte_w.push(r.bytes_per_node);
+        sec_w.push(r.secs);
+        iter_w.push(r.iterations as f64);
+        conv_w.push(if r.converged { 1.0 } else { 0.0 });
+    }
+
+    EvalOutcome {
+        algo: algo.name(),
+        scenario: scenario.name.clone(),
+        trials,
+        pooled_errors: pooled,
+        mean_error: mean_w.mean().unwrap_or(f64::NAN),
+        mean_error_ci95: stats::ci95_half_width(&per_trial_means).unwrap_or(f64::NAN),
+        coverage: cov_w.mean().unwrap_or(0.0),
+        msgs_per_node: msg_w.mean().unwrap_or(0.0),
+        bytes_per_node: byte_w.mean().unwrap_or(0.0),
+        secs: sec_w.mean().unwrap_or(0.0),
+        iterations: iter_w.mean().unwrap_or(0.0),
+        converged_frac: conv_w.mean().unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnloc_baselines::Centroid;
+    use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            name: "tiny".into(),
+            deployment: Deployment::uniform_square(300.0),
+            node_count: 40,
+            anchors: AnchorStrategy::Random { count: 8 },
+            radio: RadioModel::UnitDisk { range: 120.0 },
+            ranging: RangingModel::Multiplicative { factor: 0.05 },
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn evaluate_aggregates_trials() {
+        let outcome = evaluate(&Centroid, &tiny_scenario(), 4);
+        assert_eq!(outcome.trials, 4);
+        assert_eq!(outcome.algo, "Centroid");
+        assert!(!outcome.pooled_errors.is_empty());
+        assert!(outcome.mean_error > 0.0);
+        assert!(outcome.coverage > 0.3);
+        assert!(outcome.msgs_per_node > 0.0);
+        let s = outcome.summary().unwrap();
+        assert!(s.median <= s.p90);
+    }
+
+    #[test]
+    fn evaluate_is_deterministic_despite_parallelism() {
+        let a = evaluate(&Centroid, &tiny_scenario(), 4);
+        let b = evaluate(&Centroid, &tiny_scenario(), 4);
+        assert_eq!(a.mean_error, b.mean_error);
+        assert_eq!(a.pooled_errors.len(), b.pooled_errors.len());
+    }
+
+    #[test]
+    fn normalized_summary_scales() {
+        let outcome = evaluate(&Centroid, &tiny_scenario(), 2);
+        let raw = outcome.summary().unwrap();
+        let norm = outcome.normalized_summary(120.0).unwrap();
+        assert!((norm.mean - raw.mean / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_trial_reports_comm() {
+        let rec = run_trial(&Centroid, &tiny_scenario(), 0);
+        assert!(rec.msgs_per_node > 0.0);
+        assert!(rec.bytes_per_node > 0.0);
+        assert_eq!(rec.iterations, 1);
+        assert!(rec.converged);
+    }
+}

@@ -1,0 +1,40 @@
+//! # wsnloc-geom
+//!
+//! Geometry, small dense linear algebra, statistics, and deterministic random
+//! number generation for the `wsnloc` cooperative-localization workspace.
+//!
+//! Everything in this crate is self-contained (no external math dependencies)
+//! and deterministic: all randomness flows through [`rng::Xoshiro256pp`]
+//! streams derived from explicit `u64` seeds, so every simulated network and
+//! every Monte-Carlo experiment in the workspace is exactly reproducible.
+//!
+//! Modules:
+//! - [`vec2`] — 2-D vectors/points with the usual algebra.
+//! - [`aabb`] — axis-aligned bounding boxes.
+//! - [`shape`] — deployment-field shapes (rectangle, disk, annulus, C/L shapes,
+//!   polygons) with containment tests and rejection sampling.
+//! - [`matrix`] — row-major dense matrices with Cholesky/LU solvers and a
+//!   Jacobi symmetric eigendecomposition (used by MDS-MAP and the CRLB).
+//! - [`stats`] — summary statistics, percentiles, histograms, Welford online
+//!   accumulation.
+//! - [`rng`] — xoshiro256++ generator, SplitMix64 seeding, normal/exponential
+//!   sampling, weighted choice, shuffling, and stream splitting.
+//! - [`kde`] — Gaussian kernel density estimation with Silverman bandwidths.
+//! - [`grid`] — a uniform spatial hash grid for radius neighbor queries.
+
+#![warn(missing_docs)]
+
+pub mod aabb;
+pub mod grid;
+pub mod kde;
+pub mod matrix;
+pub mod rng;
+pub mod shape;
+pub mod stats;
+pub mod vec2;
+
+pub use aabb::Aabb;
+pub use matrix::Matrix;
+pub use rng::Xoshiro256pp;
+pub use shape::Shape;
+pub use vec2::Vec2;

@@ -1,0 +1,160 @@
+//! Terminal visualization: ASCII scatter maps of deployments and estimates.
+//!
+//! A library whose primary artifact is "where the nodes are" should be able
+//! to show it without a plotting stack. [`AsciiMap`] rasterizes point
+//! layers onto a character grid; later layers overwrite earlier ones, so
+//! draw ground truth first and estimates/anchors on top.
+
+use wsnloc_geom::{Aabb, Vec2};
+
+/// A character canvas over a spatial extent.
+#[derive(Debug, Clone)]
+pub struct AsciiMap {
+    bounds: Aabb,
+    cols: usize,
+    rows: usize,
+    cells: Vec<char>,
+}
+
+impl AsciiMap {
+    /// Canvas of `cols × rows` characters covering `bounds`. A terminal
+    /// character is ~twice as tall as wide, so `rows ≈ cols / 2` keeps the
+    /// aspect ratio visually square.
+    pub fn new(bounds: Aabb, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "canvas must be non-empty");
+        AsciiMap {
+            bounds,
+            cols,
+            rows,
+            cells: vec![' '; cols * rows],
+        }
+    }
+
+    /// Canvas with the conventional 2:1 terminal aspect correction.
+    pub fn with_width(bounds: Aabb, cols: usize) -> Self {
+        let rows = ((cols as f64 / 2.0) * bounds.height() / bounds.width())
+            .round()
+            .max(1.0) as usize;
+        AsciiMap::new(bounds, cols, rows)
+    }
+
+    fn cell_of(&self, p: Vec2) -> Option<usize> {
+        if !self.bounds.contains(p) {
+            return None;
+        }
+        let u = (p.x - self.bounds.min.x) / self.bounds.width().max(1e-12);
+        let v = (p.y - self.bounds.min.y) / self.bounds.height().max(1e-12);
+        let c = ((u * self.cols as f64) as usize).min(self.cols - 1);
+        // y grows upward in world space, downward on screen.
+        let r = (((1.0 - v) * self.rows as f64) as usize).min(self.rows - 1);
+        Some(r * self.cols + c)
+    }
+
+    /// Plots every point with the given glyph (points outside the bounds
+    /// are skipped). Returns how many landed on the canvas.
+    pub fn plot(&mut self, points: impl IntoIterator<Item = Vec2>, glyph: char) -> usize {
+        let mut drawn = 0;
+        for p in points {
+            if let Some(idx) = self.cell_of(p) {
+                self.cells[idx] = glyph;
+                drawn += 1;
+            }
+        }
+        drawn
+    }
+
+    /// Renders with a border and returns the multi-line string.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 3) * (self.rows + 2));
+        out.push('+');
+        out.extend(std::iter::repeat('-').take(self.cols));
+        out.push_str("+\n");
+        for r in 0..self.rows {
+            out.push('|');
+            out.extend(&self.cells[r * self.cols..(r + 1) * self.cols]);
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.extend(std::iter::repeat('-').take(self.cols));
+        out.push('+');
+        out
+    }
+}
+
+/// One-call map of a localization outcome: ground truth `.`, estimates `o`,
+/// anchors `A`.
+pub fn render_network_map(
+    bounds: Aabb,
+    truth: &[Vec2],
+    estimates: &[Option<Vec2>],
+    anchors: &[Vec2],
+    cols: usize,
+) -> String {
+    let mut map = AsciiMap::with_width(bounds, cols);
+    map.plot(truth.iter().copied(), '.');
+    map.plot(estimates.iter().copied().flatten(), 'o');
+    map.plot(anchors.iter().copied(), 'A');
+    map.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_land_in_corner_cells() {
+        let bounds = Aabb::from_size(100.0, 100.0);
+        let mut map = AsciiMap::new(bounds, 10, 10);
+        map.plot([Vec2::new(0.0, 0.0)], 'a'); // world bottom-left → screen bottom-left
+        map.plot([Vec2::new(99.9, 99.9)], 'b'); // world top-right → screen top-right
+        let text = map.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // First canvas line is lines[1] (border at 0); bottom is lines[10].
+        assert_eq!(lines[10].chars().nth(1), Some('a'));
+        assert_eq!(lines[1].chars().nth(10), Some('b'));
+    }
+
+    #[test]
+    fn out_of_bounds_points_are_skipped() {
+        let mut map = AsciiMap::new(Aabb::from_size(10.0, 10.0), 5, 5);
+        let drawn = map.plot([Vec2::new(-1.0, 5.0), Vec2::new(5.0, 5.0)], 'x');
+        assert_eq!(drawn, 1);
+    }
+
+    #[test]
+    fn later_layers_overwrite() {
+        let mut map = AsciiMap::new(Aabb::from_size(10.0, 10.0), 5, 5);
+        map.plot([Vec2::new(5.0, 5.0)], '.');
+        map.plot([Vec2::new(5.0, 5.0)], 'A');
+        assert!(map.render().contains('A'));
+        assert!(!map.render().contains('.'));
+    }
+
+    #[test]
+    fn render_dimensions() {
+        let map = AsciiMap::new(Aabb::from_size(10.0, 10.0), 8, 3);
+        let text = map.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5); // 3 rows + 2 borders
+        assert!(lines.iter().all(|l| l.chars().count() == 10)); // 8 + 2 borders
+    }
+
+    #[test]
+    fn aspect_correction() {
+        let map = AsciiMap::with_width(Aabb::from_size(100.0, 100.0), 40);
+        assert_eq!(map.cols, 40);
+        assert_eq!(map.rows, 20);
+    }
+
+    #[test]
+    fn network_map_end_to_end() {
+        let bounds = Aabb::from_size(100.0, 100.0);
+        let truth = vec![Vec2::new(10.0, 10.0), Vec2::new(90.0, 90.0)];
+        let estimates = vec![Some(Vec2::new(12.0, 12.0)), None];
+        let anchors = vec![Vec2::new(50.0, 50.0)];
+        let text = render_network_map(bounds, &truth, &estimates, &anchors, 30);
+        assert!(text.contains('A'));
+        assert!(text.contains('o'));
+        assert!(text.contains('.'));
+    }
+}

@@ -1,0 +1,93 @@
+//! Algorithm shootout: every localizer in the workspace on one network,
+//! with error, coverage, communication, and runtime side by side — a
+//! one-network version of experiment T2 that also demonstrates the
+//! evaluation harness API.
+//!
+//! ```text
+//! cargo run -p wsnloc --release --example algorithm_shootout [trials]
+//! ```
+
+use wsnloc::prelude::*;
+use wsnloc_baselines::{Centroid, DvHop, MdsMap, MinMax, Multilateration, WeightedCentroid};
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let scenario = Scenario::standard_with_preknowledge(100.0);
+    let r = scenario.nominal_range();
+    println!(
+        "scenario '{}': {} nodes, {} trials, R = {r} m",
+        scenario.name, scenario.node_count, trials
+    );
+
+    let bnl = BnlLocalizer::particle(200)
+        .with_prior(PriorModel::DropPoint { sigma: 100.0 })
+        .with_max_iterations(10)
+        .with_tolerance(3.0);
+    let bnl_grid = BnlLocalizer::grid(40)
+        .with_prior(PriorModel::DropPoint { sigma: 100.0 })
+        .with_max_iterations(6)
+        .with_tolerance(3.0);
+    let nbp = BnlLocalizer::particle(200)
+        .with_max_iterations(10)
+        .with_tolerance(3.0);
+
+    let algos: Vec<&dyn Localizer> = vec![
+        &bnl,
+        &bnl_grid,
+        &nbp,
+        &Multilateration { refine: true, iterative: true, gn_iterations: 10 },
+        &Multilateration { refine: true, iterative: false, gn_iterations: 10 },
+        &DvHop { refine: true },
+        &MdsMap,
+        &WeightedCentroid,
+        &Centroid,
+        &MinMax,
+    ];
+
+    println!(
+        "\n{:<18} {:>8} {:>8} {:>8} {:>9} {:>10} {:>9}",
+        "algorithm", "mean/R", "p90/R", "coverage", "msgs/node", "KiB/node", "secs"
+    );
+    for algo in algos {
+        // Average over trials by hand — the wsnloc-eval crate wraps this
+        // pattern, but the core API alone is enough.
+        let mut errs = Vec::new();
+        let mut cov = 0.0;
+        let mut msgs = 0.0;
+        let mut bytes = 0.0;
+        let mut secs = 0.0;
+        for t in 0..trials {
+            let (net, truth) = scenario.build_trial(t);
+            let result = algo.localize(&net, t);
+            errs.extend(
+                result
+                    .errors_for(&truth, Some(&net))
+                    .into_iter()
+                    .flatten(),
+            );
+            cov += result.coverage(net.unknowns()) / trials as f64;
+            msgs += result.comm.messages_per_node(net.len()) / trials as f64;
+            bytes += result.comm.bytes as f64 / net.len() as f64 / 1024.0 / trials as f64;
+            secs += result.elapsed_secs / trials as f64;
+        }
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        let p90 = errs
+            .get((errs.len() as f64 * 0.9) as usize)
+            .copied()
+            .unwrap_or(f64::NAN);
+        println!(
+            "{:<18} {:>8.3} {:>8.3} {:>8.2} {:>9.1} {:>10.3} {:>9.4}",
+            algo.name(),
+            mean / r,
+            p90 / r,
+            cov,
+            msgs,
+            bytes,
+            secs
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: simulate a sensor network, localize it with BNL-PK, print
+//! the error statistics.
+//!
+//! ```text
+//! cargo run -p wsnloc --release --example quickstart
+//! ```
+
+use wsnloc::prelude::*;
+
+fn main() {
+    // 1. Describe the world: 225 nodes aimed at a 5×5 drop grid over a
+    //    1 km² field with 100 m landing scatter, 10% random anchors, 150 m
+    //    unit-disk radios, 10% multiplicative ranging noise.
+    let scenario = Scenario::standard_with_preknowledge(100.0);
+    let (network, truth) = scenario.build_trial(0);
+    println!(
+        "network: {} nodes, {} anchors, avg degree {:.1}",
+        network.len(),
+        network.anchor_count(),
+        network.avg_degree()
+    );
+
+    // 2. Configure the localizer: particle-based Bayesian-network inference
+    //    with drop-point pre-knowledge priors.
+    let localizer = BnlLocalizer::particle(300)
+        .with_prior(PriorModel::DropPoint { sigma: 100.0 })
+        .with_max_iterations(10)
+        .with_tolerance(3.0);
+
+    // 3. Localize.
+    let result = localizer.localize(&network, 0);
+    println!(
+        "inference: {} iterations, converged = {}, {:.2}s",
+        result.iterations, result.converged, result.elapsed_secs
+    );
+    println!(
+        "communication: {:.1} messages/node, {:.2} KiB/node",
+        result.comm.messages_per_node(network.len()),
+        result.comm.bytes as f64 / network.len() as f64 / 1024.0
+    );
+
+    // 4. Score against the hidden ground truth.
+    let r = scenario.nominal_range();
+    let errors: Vec<f64> = result
+        .errors_for(&truth, Some(&network))
+        .into_iter()
+        .flatten()
+        .collect();
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    let mut sorted = errors.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "error: mean {:.1} m ({:.3} R), median {:.1} m ({:.3} R) over {} unknowns",
+        mean,
+        mean / r,
+        median,
+        median / r,
+        errors.len()
+    );
+
+    // 5. Draw the field: ground truth '.', estimates 'o', anchors 'A'.
+    let anchor_positions: Vec<Vec2> = network.anchors().map(|(_, p)| p).collect();
+    println!(
+        "{}",
+        wsnloc_net::plot::render_network_map(
+            network.field_bounds(),
+            truth.positions(),
+            &result.estimates,
+            &anchor_positions,
+            72,
+        )
+    );
+
+    // 6. Per-node uncertainty is part of the output — show the most and
+    //    least certain unknowns.
+    let mut by_spread: Vec<(usize, f64)> = network
+        .unknowns()
+        .filter_map(|id| result.uncertainty[id].map(|s| (id, s)))
+        .collect();
+    by_spread.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    if let (Some(best), Some(worst)) = (by_spread.first(), by_spread.last()) {
+        println!(
+            "belief spread: tightest node {} at {:.1} m, loosest node {} at {:.1} m",
+            best.0, best.1, worst.0, worst.1
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-algorithm ordering invariants — the qualitative claims the
+//! reproduction stands on, checked at a small but representative
+//! configuration (multiple trials pooled so the orderings are stable).
+
+use wsnloc::prelude::*;
+use wsnloc_baselines::{Centroid, DvHop, WeightedCentroid};
+use wsnloc_eval::evaluate;
+
+fn scenario() -> Scenario {
+    Scenario {
+        name: "ordering".into(),
+        deployment: Deployment::planned_square_drop(600.0, 3, 60.0),
+        node_count: 80,
+        anchors: AnchorStrategy::Random { count: 10 },
+        radio: RadioModel::UnitDisk { range: 160.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.1 },
+        seed: 0x0D0E,
+    }
+}
+
+fn bnl() -> BnlLocalizer {
+    BnlLocalizer::particle(120)
+        .with_prior(PriorModel::DropPoint { sigma: 60.0 })
+        .with_max_iterations(7)
+        .with_tolerance(2.0)
+}
+
+fn nbp() -> BnlLocalizer {
+    BnlLocalizer::particle(120)
+        .with_max_iterations(7)
+        .with_tolerance(2.0)
+}
+
+const TRIALS: u64 = 3;
+
+#[test]
+fn preknowledge_beats_no_preknowledge() {
+    let s = scenario();
+    let pk = evaluate(&bnl(), &s, TRIALS).mean_error;
+    let plain = evaluate(&nbp(), &s, TRIALS).mean_error;
+    assert!(
+        pk < plain,
+        "BNL-PK ({pk:.1} m) must beat NBP ({plain:.1} m)"
+    );
+}
+
+#[test]
+fn cooperative_beats_proximity_methods() {
+    let s = scenario();
+    let pk = evaluate(&bnl(), &s, TRIALS).mean_error;
+    let wcl = evaluate(&WeightedCentroid, &s, TRIALS).mean_error;
+    let cent = evaluate(&Centroid, &s, TRIALS).mean_error;
+    assert!(pk < wcl, "BNL-PK {pk:.1} vs WCL {wcl:.1}");
+    assert!(pk < cent, "BNL-PK {pk:.1} vs Centroid {cent:.1}");
+}
+
+#[test]
+fn bnl_has_full_coverage_where_proximity_does_not() {
+    // Sparser anchors: proximity methods lose coverage, BP never does.
+    let mut s = scenario();
+    s.anchors = AnchorStrategy::Random { count: 5 };
+    let pk = evaluate(&bnl(), &s, TRIALS);
+    let cent = evaluate(&Centroid, &s, TRIALS);
+    assert!((pk.coverage - 1.0).abs() < 1e-9);
+    assert!(cent.coverage < 1.0, "centroid coverage {}", cent.coverage);
+}
+
+#[test]
+fn more_anchors_help_bnl() {
+    let mut sparse = scenario();
+    sparse.anchors = AnchorStrategy::Random { count: 4 };
+    let mut dense = scenario();
+    dense.anchors = AnchorStrategy::Random { count: 20 };
+    let e_sparse = evaluate(&bnl(), &sparse, TRIALS).mean_error;
+    let e_dense = evaluate(&bnl(), &dense, TRIALS).mean_error;
+    assert!(
+        e_dense < e_sparse,
+        "dense anchors {e_dense:.1} should beat sparse {e_sparse:.1}"
+    );
+}
+
+#[test]
+fn preknowledge_gap_shrinks_with_anchor_density() {
+    // The paper's core claim: priors matter most when anchors are scarce.
+    let mut sparse = scenario();
+    sparse.anchors = AnchorStrategy::Random { count: 4 };
+    let mut dense = scenario();
+    dense.anchors = AnchorStrategy::Random { count: 24 };
+    let gap = |s: &Scenario| {
+        evaluate(&nbp(), s, TRIALS).mean_error - evaluate(&bnl(), s, TRIALS).mean_error
+    };
+    let sparse_gap = gap(&sparse);
+    let dense_gap = gap(&dense);
+    assert!(
+        sparse_gap > dense_gap,
+        "pre-knowledge gap should shrink with anchors: sparse {sparse_gap:.1} vs dense {dense_gap:.1}"
+    );
+}
+
+#[test]
+fn errors_are_bounded_by_field_scale() {
+    let s = scenario();
+    let diag = (2.0f64).sqrt() * 600.0;
+    for outcome in [
+        evaluate(&bnl(), &s, 1),
+        evaluate(&DvHop::default(), &s, 1),
+        evaluate(&WeightedCentroid, &s, 1),
+    ] {
+        for &e in &outcome.pooled_errors {
+            assert!(e >= 0.0 && e < 1.5 * diag, "{}: error {e}", outcome.algo);
+        }
+    }
+}

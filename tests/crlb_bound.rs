@@ -1,0 +1,99 @@
+//! The Cramér–Rao bound must actually bound: achieved errors sit above the
+//! information-theoretic floor, and pre-knowledge moves the floor the way
+//! the paper claims.
+
+use wsnloc::crlb::{crlb_per_node, mean_crlb};
+use wsnloc::prelude::*;
+use wsnloc_eval::evaluate;
+
+fn scenario() -> Scenario {
+    Scenario {
+        name: "crlb".into(),
+        deployment: Deployment::planned_square_drop(600.0, 3, 60.0),
+        node_count: 70,
+        anchors: AnchorStrategy::Grid { count: 9 },
+        radio: RadioModel::UnitDisk { range: 170.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.1 },
+        seed: 0xB0D,
+    }
+}
+
+#[test]
+fn achieved_error_respects_bound() {
+    let s = scenario();
+    // RMS achieved error over trials vs mean bound: the bound is per-node
+    // RMS, so compare RMS to RMS with a tolerance for Monte-Carlo noise.
+    let algo = BnlLocalizer::particle(150)
+        .with_prior(PriorModel::DropPoint { sigma: 60.0 })
+        .with_max_iterations(8)
+        .with_tolerance(2.0);
+    let outcome = evaluate(&algo, &s, 3);
+    let achieved_rms = outcome.summary().unwrap().rmse;
+    let mut bounds = Vec::new();
+    for t in 0..3 {
+        let (net, truth) = s.build_trial(t);
+        bounds.push(mean_crlb(&net, &truth, Some(60.0)).unwrap());
+    }
+    let bound = bounds.iter().sum::<f64>() / bounds.len() as f64;
+    assert!(
+        achieved_rms > 0.6 * bound,
+        "achieved RMS {achieved_rms:.2} m implausibly beats the CRLB {bound:.2} m"
+    );
+}
+
+#[test]
+fn prior_information_tightens_bound() {
+    let s = scenario();
+    let (net, truth) = s.build_trial(0);
+    let with = mean_crlb(&net, &truth, Some(60.0)).unwrap();
+    let without = mean_crlb(&net, &truth, None).unwrap();
+    assert!(with < without, "prior bound {with} vs {without}");
+}
+
+#[test]
+fn bound_gap_grows_when_anchors_vanish() {
+    // Pre-knowledge information matters most with few anchors (paper's
+    // claim, checked at the bound level where it is exact).
+    let mut sparse = scenario();
+    sparse.anchors = AnchorStrategy::Random { count: 3 };
+    let mut dense = scenario();
+    dense.anchors = AnchorStrategy::Random { count: 20 };
+    let gap = |s: &Scenario| {
+        let (net, truth) = s.build_trial(0);
+        mean_crlb(&net, &truth, None).unwrap() - mean_crlb(&net, &truth, Some(60.0)).unwrap()
+    };
+    assert!(gap(&sparse) > gap(&dense));
+}
+
+#[test]
+fn bound_varies_sensibly_per_node() {
+    let s = scenario();
+    let (net, truth) = s.build_trial(0);
+    let bounds = crlb_per_node(&net, &truth, Some(60.0)).unwrap();
+    let values: Vec<f64> = bounds.iter().flatten().copied().collect();
+    assert_eq!(
+        values.len(),
+        net.unknowns().count(),
+        "one bound per unknown"
+    );
+    for &b in &values {
+        assert!(b > 0.0 && b < 600.0, "bound {b}");
+    }
+    // Anchors carry no bound.
+    for (id, _) in net.anchors() {
+        assert!(bounds[id].is_none());
+    }
+}
+
+#[test]
+fn noise_scales_bound() {
+    let mut quiet = scenario();
+    quiet.ranging = RangingModel::Multiplicative { factor: 0.02 };
+    let mut loud = scenario();
+    loud.ranging = RangingModel::Multiplicative { factor: 0.3 };
+    let bound = |s: &Scenario| {
+        let (net, truth) = s.build_trial(0);
+        mean_crlb(&net, &truth, None).unwrap()
+    };
+    assert!(bound(&loud) > bound(&quiet));
+}

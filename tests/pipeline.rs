@@ -1,0 +1,87 @@
+//! End-to-end pipeline integration: scenario → network → algorithm →
+//! metrics → report, across crates.
+
+use wsnloc::prelude::*;
+use wsnloc_eval::{evaluate, experiments, ExpConfig};
+
+fn small_scenario() -> Scenario {
+    Scenario {
+        name: "pipeline".into(),
+        deployment: Deployment::planned_square_drop(500.0, 3, 50.0),
+        node_count: 60,
+        anchors: AnchorStrategy::Random { count: 8 },
+        radio: RadioModel::UnitDisk { range: 150.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.1 },
+        seed: 11,
+    }
+}
+
+#[test]
+fn scenario_to_metrics_pipeline() {
+    let scenario = small_scenario();
+    let algo = BnlLocalizer::particle(80)
+        .with_prior(PriorModel::DropPoint { sigma: 50.0 })
+        .with_max_iterations(5)
+        .with_tolerance(2.0);
+    let outcome = evaluate(&algo, &scenario, 2);
+    assert_eq!(outcome.trials, 2);
+    assert!(outcome.coverage > 0.99, "coverage {}", outcome.coverage);
+    assert!(outcome.mean_error > 0.0);
+    assert!(outcome.mean_error < 500.0);
+    let s = outcome.normalized_summary(150.0).unwrap();
+    assert!(s.median <= s.p90);
+    assert!(s.mean < 1.5);
+    assert!(outcome.msgs_per_node > 0.0);
+}
+
+#[test]
+fn quick_experiments_produce_wellformed_reports() {
+    let cfg = ExpConfig::quick();
+    // A fast representative subset: the pre-knowledge and particle-count
+    // ablations exercise sweeps, reports, and both estimators.
+    for id in ["f6", "f8"] {
+        let reports = experiments::by_id(id, &cfg).expect("known id");
+        assert!(!reports.is_empty(), "{id} produced no report");
+        for r in reports {
+            assert!(!r.row_labels.is_empty(), "{id}: empty rows");
+            assert_eq!(r.row_labels.len(), r.data.len());
+            for row in &r.data {
+                assert_eq!(row.len(), r.columns.len(), "{id}: ragged");
+                for &v in row {
+                    assert!(v.is_nan() || v.is_finite(), "{id}: bad cell {v}");
+                }
+            }
+            // Render paths must not panic.
+            let ascii = r.to_ascii();
+            assert!(ascii.contains(&r.id.to_uppercase()));
+            let csv = r.to_csv();
+            assert_eq!(csv.lines().count(), r.row_labels.len() + 1);
+        }
+    }
+}
+
+#[test]
+fn experiment_registry_is_complete() {
+    let cfg = ExpConfig::quick();
+    for id in experiments::ids() {
+        assert!(
+            [
+                "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
+                "f11", "f12", "f13", "f14"
+            ]
+            .contains(&id),
+            "unexpected id {id}"
+        );
+    }
+    assert!(experiments::by_id("nope", &cfg).is_none());
+}
+
+#[test]
+fn wire_accounting_flows_to_outcome() {
+    let scenario = small_scenario();
+    let algo = wsnloc_baselines::DvHop::default();
+    let outcome = evaluate(&algo, &scenario, 2);
+    // DV-Hop: 2 floods × anchors × nodes → 2 × anchors messages per node.
+    assert!((outcome.msgs_per_node - 16.0).abs() < 1e-9);
+    assert!(outcome.bytes_per_node > 0.0);
+}

@@ -1,0 +1,189 @@
+//! Robustness: degenerate and hostile inputs must degrade gracefully,
+//! never panic.
+
+use wsnloc::prelude::*;
+use wsnloc_baselines::{Centroid, DvHop, MdsMap, MinMax, Multilateration, WeightedCentroid};
+use wsnloc_geom::Shape;
+use wsnloc_net::{Measurement, Network, NodeKind};
+
+fn all_algorithms() -> Vec<Box<dyn Localizer>> {
+    vec![
+        Box::new(
+            BnlLocalizer::particle(60)
+                .with_max_iterations(3)
+                .with_tolerance(1.0),
+        ),
+        Box::new(
+            BnlLocalizer::grid(15)
+                .with_max_iterations(3)
+                .with_tolerance(1.0),
+        ),
+        Box::new(
+            BnlLocalizer::gaussian()
+                .with_max_iterations(5)
+                .with_tolerance(1.0),
+        ),
+        Box::new(Centroid),
+        Box::new(WeightedCentroid),
+        Box::new(MinMax),
+        Box::new(Multilateration::nls()),
+        Box::new(Multilateration::iterative()),
+        Box::new(DvHop::default()),
+        Box::new(MdsMap),
+    ]
+}
+
+fn check_contract(net: &Network) {
+    for algo in all_algorithms() {
+        let r = algo.localize(net, 0);
+        assert_eq!(r.estimates.len(), net.len(), "{}", algo.name());
+        for est in r.estimates.iter().flatten() {
+            assert!(est.is_finite(), "{} produced non-finite estimate", algo.name());
+        }
+    }
+}
+
+#[test]
+fn zero_anchor_network() {
+    let s = Scenario {
+        name: "no-anchors".into(),
+        deployment: Deployment::uniform_square(300.0),
+        node_count: 25,
+        anchors: AnchorStrategy::Random { count: 0 },
+        radio: RadioModel::UnitDisk { range: 120.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.1 },
+        seed: 1,
+    };
+    let (net, _) = s.build_trial(0);
+    assert_eq!(net.anchor_count(), 0);
+    check_contract(&net);
+}
+
+#[test]
+fn all_anchor_network() {
+    let s = Scenario {
+        name: "all-anchors".into(),
+        deployment: Deployment::uniform_square(300.0),
+        node_count: 12,
+        anchors: AnchorStrategy::Random { count: 12 },
+        radio: RadioModel::UnitDisk { range: 150.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.1 },
+        seed: 2,
+    };
+    let (net, truth) = s.build_trial(0);
+    assert_eq!(net.unknowns().count(), 0);
+    for algo in all_algorithms() {
+        let r = algo.localize(&net, 0);
+        // Every node is an anchor: perfect "localization".
+        for id in 0..net.len() {
+            assert_eq!(r.estimates[id], Some(truth.position(id)), "{}", algo.name());
+        }
+    }
+}
+
+#[test]
+fn single_node_network() {
+    let net = Network::from_parts(
+        Shape::Rect(Aabb::from_size(10.0, 10.0)),
+        RadioModel::UnitDisk { range: 5.0 },
+        RangingModel::AdditiveGaussian { sigma: 0.5 },
+        vec![NodeKind::Unknown],
+        vec![None],
+        vec![None],
+        vec![],
+    );
+    check_contract(&net);
+}
+
+#[test]
+fn disconnected_components() {
+    // Two clusters far apart; the far cluster has no anchors.
+    let s = Scenario {
+        name: "disconnected".into(),
+        deployment: Deployment::DropPoints {
+            targets: vec![Vec2::new(100.0, 100.0), Vec2::new(1900.0, 1900.0)],
+            sigma: 50.0,
+            field: Some(Shape::Rect(Aabb::from_size(2000.0, 2000.0))),
+        },
+        node_count: 40,
+        anchors: AnchorStrategy::Explicit((0..6).map(|i| i * 2).collect()),
+        radio: RadioModel::UnitDisk { range: 200.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.1 },
+        seed: 3,
+    };
+    let (net, _) = s.build_trial(0);
+    let (_, components) = net.topology().components();
+    assert!(components >= 2, "expected a split network");
+    check_contract(&net);
+}
+
+#[test]
+fn extreme_noise_network() {
+    let s = Scenario {
+        name: "chaos".into(),
+        deployment: Deployment::uniform_square(400.0),
+        node_count: 30,
+        anchors: AnchorStrategy::Random { count: 6 },
+        radio: RadioModel::UnitDisk { range: 150.0 },
+        ranging: RangingModel::Multiplicative { factor: 1.5 }, // absurd noise
+        seed: 4,
+    };
+    let (net, _) = s.build_trial(0);
+    check_contract(&net);
+}
+
+#[test]
+fn duplicate_positions_network() {
+    // All nodes at the same point: zero distances everywhere.
+    let positions = vec![Vec2::new(5.0, 5.0); 8];
+    let measurements: Vec<Measurement> = (0..8)
+        .flat_map(|a| ((a + 1)..8).map(move |b| Measurement { a, b, distance: 0.001 }))
+        .collect();
+    let net = Network::from_parts(
+        Shape::Rect(Aabb::from_size(10.0, 10.0)),
+        RadioModel::UnitDisk { range: 5.0 },
+        RangingModel::AdditiveGaussian { sigma: 0.5 },
+        vec![
+            NodeKind::Anchor,
+            NodeKind::Anchor,
+            NodeKind::Anchor,
+            NodeKind::Unknown,
+            NodeKind::Unknown,
+            NodeKind::Unknown,
+            NodeKind::Unknown,
+            NodeKind::Unknown,
+        ],
+        vec![
+            Some(positions[0]),
+            Some(positions[1]),
+            Some(positions[2]),
+            None,
+            None,
+            None,
+            None,
+            None,
+        ],
+        vec![None; 8],
+        measurements,
+    );
+    check_contract(&net);
+}
+
+#[test]
+fn nlos_saturated_network() {
+    let s = Scenario {
+        name: "all-nlos".into(),
+        deployment: Deployment::uniform_square(400.0),
+        node_count: 30,
+        anchors: AnchorStrategy::Random { count: 6 },
+        radio: RadioModel::UnitDisk { range: 150.0 },
+        ranging: RangingModel::NlosMixture {
+            factor: 0.1,
+            outlier_prob: 1.0, // every measurement is an outlier
+            outlier_scale: 100.0,
+        },
+        seed: 5,
+    };
+    let (net, _) = s.build_trial(0);
+    check_contract(&net);
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Assembles EXPERIMENTS.md from the repro suite output.
+
+Reads the template EXPERIMENTS.template.md and replaces every
+``@@TABLE:<id>@@`` marker with the corresponding table block (from ``## <ID>``
+up to the blank line before ``wrote``/next section) found in the given repro
+output files (searched in order, later files win).
+"""
+
+import re
+import sys
+
+def load_tables(paths):
+    tables = {}
+    for path in paths:
+        try:
+            text = open(path).read()
+        except FileNotFoundError:
+            continue
+        # Split on '## ' section heads.
+        for match in re.finditer(r"^## ([A-Z0-9]+) — .*?(?=\n\n|\Z)", text, re.S | re.M):
+            tid = match.group(1).lower()
+            tables[tid] = match.group(0).rstrip()
+    return tables
+
+def main():
+    template = open("EXPERIMENTS.template.md").read()
+    tables = load_tables(sys.argv[1:])
+    missing = []
+    def sub(m):
+        tid = m.group(1)
+        if tid in tables:
+            return "```\n" + tables[tid] + "\n```"
+        missing.append(tid)
+        return f"*(table {tid} not yet generated)*"
+    out = re.sub(r"@@TABLE:([a-z0-9]+)@@", sub, template)
+    open("EXPERIMENTS.md", "w").write(out)
+    if missing:
+        print("missing tables:", ", ".join(missing))
+    else:
+        print("EXPERIMENTS.md assembled with", len(tables), "tables")
+
+if __name__ == "__main__":
+    main()
