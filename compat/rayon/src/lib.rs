@@ -1,0 +1,307 @@
+//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate.
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! this shim implements the *subset* of the rayon API the workspace uses —
+//! `par_iter()` / `into_par_iter()` pipelines ending in `collect`/`sum`,
+//! and `ThreadPoolBuilder` / `ThreadPool::install` — on top of
+//! `std::thread::scope`. Semantics the workspace relies on are preserved:
+//!
+//! - **Order preservation:** `collect` returns results in input order, so
+//!   synchronous-schedule BP stays bit-deterministic across pool sizes.
+//! - **Real parallelism:** items are chunked across OS threads; small
+//!   inputs run inline to avoid spawn overhead in inner loops.
+//! - **Pool-size control:** `ThreadPool::install` scopes an effective
+//!   thread count so scaling experiments can compare 1 thread vs many.
+//!
+//! To use the real crate instead, point the `rayon` entry of
+//! `[workspace.dependencies]` back at a registry version; no call sites
+//! need to change.
+
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+
+/// Parallel-iterator entry points, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Effective thread count installed by [`ThreadPool::install`];
+    /// `None` means "use the machine's available parallelism".
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn effective_threads() -> usize {
+    INSTALLED_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, NonZeroUsize::get))
+}
+
+/// Minimum items per work chunk before forking threads pays for itself.
+const MIN_CHUNK: usize = 16;
+
+/// Applies `f` to every item, preserving order, forking across threads when
+/// the input is large enough and more than one thread is in effect.
+fn map_ordered<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = effective_threads().max(1);
+    let n = items.len();
+    if threads == 1 || n < 2 * MIN_CHUNK {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads).max(MIN_CHUNK);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let mut boxed: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut item_tail: &mut [Option<T>] = &mut boxed;
+    let mut out_tail: &mut [Option<R>] = &mut out;
+    std::thread::scope(|scope| {
+        while !item_tail.is_empty() {
+            let take = chunk.min(item_tail.len());
+            let (item_head, rest_items) = item_tail.split_at_mut(take);
+            let (out_head, rest_out) = out_tail.split_at_mut(take);
+            item_tail = rest_items;
+            out_tail = rest_out;
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, item) in out_head.iter_mut().zip(item_head.iter_mut()) {
+                    // `take()` is infallible here: every slot was `Some` above.
+                    if let Some(item) = item.take() {
+                        *slot = Some(f(item));
+                    }
+                }
+            });
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A not-yet-consumed parallel pipeline over owned items.
+///
+/// Unlike real rayon this is strict: adapters buffer, terminals fork. That
+/// keeps the shim tiny while preserving call-site compatibility.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+    /// Converts `self` into the shim's parallel pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter()` on shared slices, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Parallel pipeline over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Terminal and adapter operations on [`ParIter`], mirroring
+/// `rayon::iter::ParallelIterator`.
+pub trait ParallelIterator: Sized {
+    /// Item type flowing through the pipeline.
+    type Item: Send;
+
+    /// Maps every item through `f` (runs when the pipeline is consumed).
+    fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+
+    /// Collects results in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C;
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.collect::<Vec<_>>().into_iter().sum()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: map_ordered(self.items, f),
+        }
+    }
+
+    fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; the shim never
+/// actually fails to build.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default (machine-sized) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` threads; `0` restores the machine default.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim, but keeps rayon's
+    /// `Result` signature so call sites stay source-compatible.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped effective-parallelism setting mirroring `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count in effect for every
+    /// `par_iter` reached (transitively) from the closure on this thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_THREADS.with(|slot| slot.replace(self.num_threads));
+        let result = f();
+        INSTALLED_THREADS.with(|slot| slot.set(previous));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<u64> = (0..1000).map(|x| x * 2).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        // `data` still usable: par_iter borrowed it.
+        assert_eq!(data.len(), 4);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let total: u64 = (0..5000u64).into_par_iter().map(|x| x).sum();
+        assert_eq!(total, 5000 * 4999 / 2);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("shim pool build is infallible");
+        let inside = pool.install(super::effective_threads);
+        assert_eq!(inside, 1);
+        // Outside install the machine default is back.
+        assert!(super::effective_threads() >= 1);
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let run = |threads: usize| -> Vec<u64> {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("shim pool build is infallible")
+                .install(|| {
+                    (0..500u64)
+                        .into_par_iter()
+                        .map(|x| x.wrapping_mul(x))
+                        .collect()
+                })
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

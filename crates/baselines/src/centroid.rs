@@ -104,8 +104,16 @@ mod tests {
             vec![Some(a0), Some(a1), None],
             vec![None; 3],
             vec![
-                Measurement { a: 0, b: 2, distance: 2.0 },
-                Measurement { a: 1, b: 2, distance: 8.0 },
+                Measurement {
+                    a: 0,
+                    b: 2,
+                    distance: 2.0,
+                },
+                Measurement {
+                    a: 1,
+                    b: 2,
+                    distance: 8.0,
+                },
             ],
         )
     }
@@ -135,7 +143,11 @@ mod tests {
             vec![NodeKind::Anchor, NodeKind::Unknown, NodeKind::Unknown],
             vec![Some(Vec2::ZERO), None, None],
             vec![None; 3],
-            vec![Measurement { a: 1, b: 2, distance: 1.0 }],
+            vec![Measurement {
+                a: 1,
+                b: 2,
+                distance: 1.0,
+            }],
         );
         let r = Centroid.localize(&net, 0);
         assert_eq!(r.estimates[1], None);

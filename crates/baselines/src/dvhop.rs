@@ -96,9 +96,7 @@ impl Localizer for DvHop {
                 let refs: Vec<(Vec2, f64)> = anchors
                     .iter()
                     .enumerate()
-                    .filter_map(|(k, &(_, p))| {
-                        hop_tables[k][u].map(|h| (p, h as f64 * hop_size))
-                    })
+                    .filter_map(|(k, &(_, p))| hop_tables[k][u].map(|h| (p, h as f64 * hop_size)))
                     .collect();
                 if let Some(est) = Multilateration::solve(&refs, self.refine, 10) {
                     result.estimates[u] =
@@ -132,9 +130,9 @@ impl Localizer for DvHop {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wsnloc_geom::Shape;
     use wsnloc_net::network::NetworkBuilder;
     use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
-    use wsnloc_geom::Shape;
 
     fn dense_world(seed: u64) -> (Network, wsnloc_net::GroundTruth) {
         NetworkBuilder {

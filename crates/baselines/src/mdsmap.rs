@@ -53,10 +53,8 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the smallest distance.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("distances are finite")
+        // Total order keeps the heap consistent even if a NaN sneaks in.
+        other.dist.total_cmp(&self.dist)
     }
 }
 
@@ -106,10 +104,8 @@ impl Localizer for MdsMap {
         for (id, _) in network.anchors() {
             anchor_count[labels[id]] += 1;
         }
-        let Some((best_comp, &best_anchors)) = anchor_count
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, c)| *c)
+        let Some((best_comp, &best_anchors)) =
+            anchor_count.iter().enumerate().max_by_key(|&(_, c)| *c)
         else {
             return finish(result, network, start);
         };
@@ -121,11 +117,8 @@ impl Localizer for MdsMap {
         if m < 3 {
             return finish(result, network, start);
         }
-        let local_index: std::collections::HashMap<usize, usize> = members
-            .iter()
-            .enumerate()
-            .map(|(k, &v)| (v, k))
-            .collect();
+        let local_index: std::collections::HashMap<usize, usize> =
+            members.iter().enumerate().map(|(k, &v)| (v, k)).collect();
 
         // All-pairs shortest paths within the component.
         let mut d2 = Matrix::zeros(m, m);
@@ -163,12 +156,7 @@ impl Localizer for MdsMap {
             return finish(result, network, start);
         }
         let relative: Vec<Vec2> = (0..m)
-            .map(|k| {
-                Vec2::new(
-                    vecs[(k, 0)] * vals[0].sqrt(),
-                    vecs[(k, 1)] * vals[1].sqrt(),
-                )
-            })
+            .map(|k| Vec2::new(vecs[(k, 0)] * vals[0].sqrt(), vecs[(k, 1)] * vals[1].sqrt()))
             .collect();
 
         // Anchor alignment.
@@ -192,11 +180,7 @@ impl Localizer for MdsMap {
     }
 }
 
-fn finish(
-    mut result: LocalizationResult,
-    network: &Network,
-    start: Instant,
-) -> LocalizationResult {
+fn finish(mut result: LocalizationResult, network: &Network, start: Instant) -> LocalizationResult {
     // Centralized collection: every node reports its neighbor list once;
     // charge 8 bytes per incident measurement plus a header.
     let bytes: u64 = (0..network.len())
@@ -275,10 +259,10 @@ mod tests {
             assert!(d[v] <= m.distance + 1e-9);
         }
         // Path distance upper-bounds are at least Euclidean (up to noise).
-        for v in 1..net.len() {
-            if d[v].is_finite() {
+        for (v, &dv) in d.iter().enumerate().skip(1) {
+            if dv.is_finite() {
                 let euclid = truth.position(0).dist(truth.position(v));
-                assert!(d[v] > euclid * 0.6, "path {} vs euclid {}", d[v], euclid);
+                assert!(dv > euclid * 0.6, "path {dv} vs euclid {euclid}");
             }
         }
     }

@@ -101,9 +101,21 @@ mod tests {
     fn exact_ranges_give_small_error() {
         let truth = Vec2::new(30.0, 40.0);
         let net = world(vec![
-            Measurement { a: 0, b: 3, distance: truth.dist(Vec2::new(0.0, 0.0)) },
-            Measurement { a: 1, b: 3, distance: truth.dist(Vec2::new(100.0, 0.0)) },
-            Measurement { a: 2, b: 3, distance: truth.dist(Vec2::new(0.0, 100.0)) },
+            Measurement {
+                a: 0,
+                b: 3,
+                distance: truth.dist(Vec2::new(0.0, 0.0)),
+            },
+            Measurement {
+                a: 1,
+                b: 3,
+                distance: truth.dist(Vec2::new(100.0, 0.0)),
+            },
+            Measurement {
+                a: 2,
+                b: 3,
+                distance: truth.dist(Vec2::new(0.0, 100.0)),
+            },
         ]);
         let r = MinMax.localize(&net, 0);
         let est = r.estimates[3].unwrap();
@@ -114,7 +126,11 @@ mod tests {
 
     #[test]
     fn single_anchor_gives_box_center() {
-        let net = world(vec![Measurement { a: 0, b: 3, distance: 10.0 }]);
+        let net = world(vec![Measurement {
+            a: 0,
+            b: 3,
+            distance: 10.0,
+        }]);
         let r = MinMax.localize(&net, 0);
         // Box is [-10,10]² centered on the anchor at the origin, clamped
         // into the field → center (0,0) clamps to itself (it's a corner).
@@ -130,7 +146,11 @@ mod tests {
 
     #[test]
     fn estimate_stays_in_field() {
-        let net = world(vec![Measurement { a: 0, b: 3, distance: 300.0 }]);
+        let net = world(vec![Measurement {
+            a: 0,
+            b: 3,
+            distance: 300.0,
+        }]);
         let r = MinMax.localize(&net, 0);
         let est = r.estimates[3].unwrap();
         assert!(net.field_bounds().contains(est));

@@ -81,11 +81,9 @@ fn lls(refs: &[(Vec2, f64)]) -> Option<Vec2> {
     let mut b = Vec::with_capacity(n - 1);
     for &(p, d) in &refs[..n - 1] {
         a_rows.push(vec![2.0 * (p.x - pn.x), 2.0 * (p.y - pn.y)]);
-        b.push(
-            p.norm_sq() - pn.norm_sq() + dn * dn - d * d,
-        );
+        b.push(p.norm_sq() - pn.norm_sq() + dn * dn - d * d);
     }
-    let rows: Vec<&[f64]> = a_rows.iter().map(|r| r.as_slice()).collect();
+    let rows: Vec<&[f64]> = a_rows.iter().map(std::vec::Vec::as_slice).collect();
     let a = Matrix::from_rows(&rows);
     let sol = a.solve_least_squares(&b)?;
     let p = Vec2::new(sol[0], sol[1]);
@@ -161,9 +159,7 @@ impl Localizer for Multilateration {
                         reference[v].map(|p| (p, m.distance))
                     })
                     .collect();
-                if let Some(est) =
-                    Multilateration::solve(&refs, self.refine, self.gn_iterations)
-                {
+                if let Some(est) = Multilateration::solve(&refs, self.refine, self.gn_iterations) {
                     let est = network.field_bounds().inflated(100.0).clamp_point(est);
                     result.estimates[u] = Some(est);
                     progressed = true;

@@ -138,10 +138,7 @@ pub fn procrustes_align(src: &[Vec2], dst: &[Vec2]) -> Option<Similarity> {
     // det(R) = +1; anchor maps may legitimately need the flip).
     let rot = mul2(u, vt);
     let scale = (s[0] + s[1]) / src_var;
-    let rs = Vec2::new(
-        rot[0] * sc.x + rot[1] * sc.y,
-        rot[2] * sc.x + rot[3] * sc.y,
-    );
+    let rs = Vec2::new(rot[0] * sc.x + rot[1] * sc.y, rot[2] * sc.x + rot[3] * sc.y);
     let translation = dc - rs * scale;
     Some(Similarity {
         scale,
@@ -234,7 +231,13 @@ mod tests {
         let dst: Vec<Vec2> = src.iter().map(|p| Vec2::new(p.x, -p.y)).collect();
         let t = procrustes_align(&src, &dst).unwrap();
         for (&s, &d) in src.iter().zip(&dst) {
-            assert!(t.apply(s).dist(d) < 1e-9, "{} -> {} want {}", s, t.apply(s), d);
+            assert!(
+                t.apply(s).dist(d) < 1e-9,
+                "{} -> {} want {}",
+                s,
+                t.apply(s),
+                d
+            );
         }
         // Determinant is -1 for a reflection.
         let det = t.rot[0] * t.rot[3] - t.rot[1] * t.rot[2];
@@ -284,8 +287,15 @@ mod tests {
 
     #[test]
     fn rotation_matrix_is_orthogonal() {
-        let src = vec![Vec2::new(0.0, 0.0), Vec2::new(3.0, 1.0), Vec2::new(1.0, 4.0)];
-        let dst: Vec<Vec2> = src.iter().map(|p| p.rotated(2.0) + Vec2::new(1.0, 1.0)).collect();
+        let src = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(3.0, 1.0),
+            Vec2::new(1.0, 4.0),
+        ];
+        let dst: Vec<Vec2> = src
+            .iter()
+            .map(|p| p.rotated(2.0) + Vec2::new(1.0, 1.0))
+            .collect();
         let t = procrustes_align(&src, &dst).unwrap();
         let r = t.rot;
         let col0 = Vec2::new(r[0], r[2]);
@@ -294,7 +304,8 @@ mod tests {
         assert!((col1.norm() - 1.0).abs() < 1e-9);
         assert!(col0.dot(col1).abs() < 1e-9);
         // mat_vec sanity.
-        assert!(mat_vec([0.0, -1.0, 1.0, 0.0], Vec2::new(1.0, 0.0))
-            .dist(Vec2::new(0.0, 1.0)) < 1e-12);
+        assert!(
+            mat_vec([0.0, -1.0, 1.0, 0.0], Vec2::new(1.0, 0.0)).dist(Vec2::new(0.0, 1.0)) < 1e-12
+        );
     }
 }

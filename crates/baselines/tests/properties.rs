@@ -1,26 +1,33 @@
-//! Property-based tests for the baseline localizers.
+//! Property-based tests for the baseline localizers, on the in-tree
+//! `wsnloc_geom::check` harness (the workspace builds offline, without
+//! `proptest`).
 
-use proptest::prelude::*;
 use wsnloc::Localizer;
 use wsnloc_baselines::procrustes::{procrustes_align, svd2x2};
 use wsnloc_baselines::{Centroid, DvHop, MdsMap, MinMax, Multilateration, WeightedCentroid};
+use wsnloc_geom::check;
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::Vec2;
 use wsnloc_net::network::NetworkBuilder;
 use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
 
-fn vec2(limit: f64) -> impl Strategy<Value = Vec2> {
-    (-limit..limit, -limit..limit).prop_map(|(x, y)| Vec2::new(x, y))
+const CASES: u64 = 24;
+
+fn vec2(rng: &mut Xoshiro256pp, limit: f64) -> Vec2 {
+    Vec2::new(rng.range(-limit, limit), rng.range(-limit, limit))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn svd_reconstructs(a in -10.0..10.0f64, b in -10.0..10.0f64, c in -10.0..10.0f64, d in -10.0..10.0f64) {
-        let m = [a, b, c, d];
+#[test]
+fn svd_reconstructs() {
+    check::cases(CASES, |_, rng| {
+        let m = [
+            rng.range(-10.0, 10.0),
+            rng.range(-10.0, 10.0),
+            rng.range(-10.0, 10.0),
+            rng.range(-10.0, 10.0),
+        ];
         let (u, s, vt) = svd2x2(m);
-        prop_assert!(s[0] >= s[1] && s[1] >= -1e-9, "singular values {s:?}");
+        assert!(s[0] >= s[1] && s[1] >= -1e-9, "singular values {s:?}");
         // usv reconstruction.
         let us = [u[0] * s[0], u[1] * s[1], u[2] * s[0], u[3] * s[1]];
         let usv = [
@@ -31,42 +38,50 @@ proptest! {
         ];
         let scale = 1.0 + m.iter().map(|x| x.abs()).fold(0.0, f64::max);
         for k in 0..4 {
-            prop_assert!((usv[k] - m[k]).abs() < 1e-7 * scale, "{m:?} → {usv:?}");
+            assert!((usv[k] - m[k]).abs() < 1e-7 * scale, "{m:?} → {usv:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn procrustes_recovers_similarities(
-        pts in prop::collection::vec(vec2(100.0), 3..12),
-        theta in -3.0..3.0f64,
-        scale in 0.2..4.0f64,
-        tx in -50.0..50.0f64,
-        ty in -50.0..50.0f64,
-        reflect in any::<bool>(),
-    ) {
+#[test]
+fn procrustes_recovers_similarities() {
+    check::cases(CASES, |_, rng| {
+        let n = 3 + rng.index(9);
+        let pts: Vec<Vec2> = (0..n).map(|_| vec2(rng, 100.0)).collect();
+        let theta = rng.range(-3.0, 3.0);
+        let scale = rng.range(0.2, 4.0);
+        let t_xy = vec2(rng, 50.0);
+        let reflect = rng.bernoulli(0.5);
         // Skip degenerate (collinear-ish / collapsed) source sets.
-        let c = Vec2::centroid(&pts).unwrap();
+        let c = Vec2::centroid(&pts).expect("non-empty point set");
         let spread: f64 = pts.iter().map(|p| p.dist_sq(c)).sum();
-        prop_assume!(spread > 1.0);
+        if spread <= 1.0 {
+            return;
+        }
         let dst: Vec<Vec2> = pts
             .iter()
             .map(|p| {
                 let p = if reflect { Vec2::new(p.x, -p.y) } else { *p };
-                p.rotated(theta) * scale + Vec2::new(tx, ty)
+                p.rotated(theta) * scale + t_xy
             })
             .collect();
-        let t = procrustes_align(&pts, &dst).unwrap();
+        let t = procrustes_align(&pts, &dst).expect("non-degenerate input aligns");
         for (&s, &d) in pts.iter().zip(&dst) {
-            prop_assert!(t.apply(s).dist(d) < 1e-6 * (1.0 + d.norm()),
-                "{s} mapped to {} want {d}", t.apply(s));
+            assert!(
+                t.apply(s).dist(d) < 1e-6 * (1.0 + d.norm()),
+                "{s} mapped to {} want {d}",
+                t.apply(s)
+            );
         }
-        prop_assert!((t.scale - scale).abs() < 1e-6 * scale);
-    }
+        assert!((t.scale - scale).abs() < 1e-6 * scale);
+    });
+}
 
-    #[test]
-    fn multilateration_exact_with_clean_ranges(truth in vec2(80.0), seed in any::<u64>()) {
+#[test]
+fn multilateration_exact_with_clean_ranges() {
+    check::cases(CASES, |_, rng| {
+        let truth = vec2(rng, 80.0);
         // Four non-degenerate anchors.
-        let mut rng = Xoshiro256pp::seed_from(seed);
         let anchors: Vec<Vec2> = vec![
             Vec2::new(-100.0 + rng.f64(), -100.0),
             Vec2::new(100.0, -100.0 + rng.f64()),
@@ -74,12 +89,14 @@ proptest! {
             Vec2::new(-100.0, 100.0 + rng.f64()),
         ];
         let refs: Vec<(Vec2, f64)> = anchors.iter().map(|&a| (a, truth.dist(a))).collect();
-        let est = Multilateration::solve(&refs, true, 25).unwrap();
-        prop_assert!(est.dist(truth) < 1e-4, "estimate {est} vs {truth}");
-    }
+        let est = Multilateration::solve(&refs, true, 25).expect("clean ranges solve");
+        assert!(est.dist(truth) < 1e-4, "estimate {est} vs {truth}");
+    });
+}
 
-    #[test]
-    fn all_algorithms_respect_result_contract(seed in any::<u64>()) {
+#[test]
+fn all_algorithms_respect_result_contract() {
+    check::cases(CASES, |_, rng| {
         let (net, truth) = NetworkBuilder {
             deployment: Deployment::uniform_square(500.0),
             node_count: 50,
@@ -87,7 +104,7 @@ proptest! {
             radio: RadioModel::UnitDisk { range: 160.0 },
             ranging: RangingModel::Multiplicative { factor: 0.1 },
         }
-        .build(seed);
+        .build(rng.next_u64());
         let algos: Vec<Box<dyn Localizer>> = vec![
             Box::new(Centroid),
             Box::new(WeightedCentroid),
@@ -99,16 +116,16 @@ proptest! {
         ];
         for algo in algos {
             let r = algo.localize(&net, 0);
-            prop_assert_eq!(r.estimates.len(), net.len());
+            assert_eq!(r.estimates.len(), net.len());
             // Anchors always carry their exact position.
             for (id, pos) in net.anchors() {
-                prop_assert_eq!(r.estimates[id], Some(pos));
+                assert_eq!(r.estimates[id], Some(pos));
             }
             // Estimates are finite and not absurdly far outside the field.
             for u in net.unknowns() {
                 if let Some(e) = r.estimates[u] {
-                    prop_assert!(e.is_finite(), "{}: {e}", algo.name());
-                    prop_assert!(
+                    assert!(e.is_finite(), "{}: {e}", algo.name());
+                    assert!(
                         e.dist(truth.position(u)) < 5_000.0,
                         "{}: unreasonable estimate {e}",
                         algo.name()
@@ -116,12 +133,14 @@ proptest! {
                 }
             }
             // Comm accounting is populated.
-            prop_assert!(r.comm.messages > 0, "{} reported no messages", algo.name());
+            assert!(r.comm.messages > 0, "{} reported no messages", algo.name());
         }
-    }
+    });
+}
 
-    #[test]
-    fn dvhop_coverage_matches_reachability(seed in any::<u64>()) {
+#[test]
+fn dvhop_coverage_matches_reachability() {
+    check::cases(CASES, |_, rng| {
         let (net, _) = NetworkBuilder {
             deployment: Deployment::uniform_square(600.0),
             node_count: 60,
@@ -129,7 +148,7 @@ proptest! {
             radio: RadioModel::UnitDisk { range: 170.0 },
             ranging: RangingModel::Multiplicative { factor: 0.1 },
         }
-        .build(seed);
+        .build(rng.next_u64());
         let r = DvHop::default().localize(&net, 0);
         let anchor_ids: Vec<usize> = net.anchors().map(|(id, _)| id).collect();
         let hops = net.topology().hops_from_all(&anchor_ids);
@@ -140,13 +159,13 @@ proptest! {
                 // estimate (solver degeneracy is possible but rare —
                 // tolerate it only when references are collinear-ish, which
                 // we don't construct here).
-                prop_assert!(
+                assert!(
                     r.estimates[u].is_some() || reachable < 3,
                     "node {u} unlocalized with {reachable} anchor paths"
                 );
             } else if reachable == 0 {
-                prop_assert!(r.estimates[u].is_none());
+                assert!(r.estimates[u].is_none());
             }
         }
-    }
+    });
 }

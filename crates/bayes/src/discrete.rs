@@ -17,7 +17,7 @@
 //! the "Bayesian network" terminology of the paper and gives the workspace a
 //! reusable general-purpose BN library.
 
-use serde::{Deserialize, Serialize};
+use crate::validate::{self, GraphAudit, ValidationError};
 use std::collections::HashMap;
 use wsnloc_geom::rng::Xoshiro256pp;
 
@@ -25,7 +25,8 @@ use wsnloc_geom::rng::Xoshiro256pp;
 pub type VarId = usize;
 
 /// A discrete variable: a name and the number of states it can take.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Variable {
     /// Human-readable name (unique within a network).
     pub name: String,
@@ -38,7 +39,8 @@ pub struct Variable {
 /// `table[row * cardinality + state]` is `P(state | parent assignment row)`,
 /// where parent rows enumerate parent states in row-major order with the
 /// *last* parent varying fastest.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Cpt {
     /// Parent variable ids, in the order the table rows are indexed by.
     pub parents: Vec<VarId>,
@@ -65,7 +67,8 @@ pub struct Cpt {
 /// let posterior = net.query_enumeration(0, &[(1, 1)].into());
 /// assert!(posterior[1] > 0.2);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BayesNet {
     variables: Vec<Variable>,
     cpts: Vec<Cpt>,
@@ -81,41 +84,38 @@ impl BayesNet {
     ///
     /// Validates acyclicity, table sizes, and row normalization (each row
     /// must sum to 1 within 1e-9). Panics on violations — network structure
-    /// is programmer input, not runtime data.
+    /// is programmer input, not runtime data. Use [`BayesNet::try_new`] to
+    /// validate untrusted structure without panicking.
     pub fn new(variables: Vec<Variable>, cpts: Vec<Cpt>) -> Self {
-        assert_eq!(variables.len(), cpts.len(), "one CPT per variable");
-        let n = variables.len();
-        for (i, cpt) in cpts.iter().enumerate() {
-            let card = variables[i].cardinality;
-            assert!(card >= 1, "variable {i} has zero states");
-            let rows: usize = cpt
-                .parents
-                .iter()
-                .map(|&p| {
-                    assert!(p < n, "CPT of variable {i} references unknown parent {p}");
-                    assert!(p != i, "variable {i} cannot be its own parent");
-                    variables[p].cardinality
-                })
-                .product();
-            assert_eq!(
-                cpt.table.len(),
-                rows * card,
-                "CPT of variable {i} has wrong size"
-            );
-            for r in 0..rows {
-                let row_sum: f64 = cpt.table[r * card..(r + 1) * card].iter().sum();
-                assert!(
-                    (row_sum - 1.0).abs() < 1e-9,
-                    "CPT row {r} of variable {i} sums to {row_sum}"
-                );
-            }
+        match BayesNet::try_new(variables, cpts) {
+            Ok(net) => net,
+            Err(e) => validate::fail("BayesNet::new", &e),
         }
-        let order = topological_order(n, &cpts).expect("Bayesian network must be acyclic");
-        BayesNet {
+    }
+
+    /// Builds a network from variables and their CPTs, returning a typed
+    /// [`ValidationError`] instead of panicking when the structure is
+    /// invalid: dangling or self parents, wrong table sizes, denormalized
+    /// or non-finite rows, and cyclic parent relations are all rejected.
+    pub fn try_new(variables: Vec<Variable>, cpts: Vec<Cpt>) -> Result<Self, ValidationError> {
+        if variables.len() != cpts.len() {
+            return Err(ValidationError::EmptyDistribution {
+                context: format!(
+                    "{} variables but {} CPTs (need one CPT per variable)",
+                    variables.len(),
+                    cpts.len()
+                ),
+            });
+        }
+        let cards: Vec<usize> = variables.iter().map(|v| v.cardinality).collect();
+        GraphAudit.check_cpts(&cards, &cpts, 1e-9)?;
+        let order =
+            topological_order(variables.len(), &cpts).ok_or(ValidationError::CyclicNetwork)?;
+        Ok(BayesNet {
             variables,
             cpts,
             order,
-        }
+        })
     }
 
     /// Number of variables.
@@ -175,6 +175,7 @@ impl BayesNet {
         let mut assignment = vec![0usize; self.len()];
         self.enumerate_all(0, &mut assignment, evidence, query, &mut result);
         normalize(&mut result);
+        audit_posterior("BayesNet::query_enumeration", &result);
         result
     }
 
@@ -228,13 +229,22 @@ impl BayesNet {
             factors.push(product.sum_out(v, &self.variables));
         }
 
-        let mut result = factors
+        // The query factor is never eliminated, so the reduce always sees at
+        // least one factor; keep a uniform fallback rather than panicking.
+        let mut result = match factors
             .into_iter()
             .reduce(|a, b| a.multiply(&b, &self.variables))
-            .expect("at least the query factor remains");
+        {
+            Some(product) => product,
+            None => Factor {
+                vars: vec![query],
+                values: vec![1.0; self.variables[query].cardinality],
+            },
+        };
         // The remaining factor is over the query alone.
         assert_eq!(result.vars, vec![query], "elimination left extra vars");
         normalize(&mut result.values);
+        audit_posterior("BayesNet::query_variable_elimination", &result.values);
         result.values
     }
 
@@ -260,9 +270,8 @@ impl BayesNet {
                     let c = self.variables[v].cardinality;
                     let row = self.cpt_row(v, &assignment);
                     let probs = &self.cpts[v].table[row * c..(row + 1) * c];
-                    assignment[v] = rng
-                        .weighted_index(probs)
-                        .expect("CPT rows are normalized");
+                    // CPT rows are normalized (enforced by `try_new`).
+                    assignment[v] = rng.weighted_index(probs).unwrap_or(0);
                 }
             }
             result[assignment[query]] += weight;
@@ -278,9 +287,8 @@ impl BayesNet {
             let c = self.variables[v].cardinality;
             let row = self.cpt_row(v, &assignment);
             let probs = &self.cpts[v].table[row * c..(row + 1) * c];
-            assignment[v] = rng
-                .weighted_index(probs)
-                .expect("CPT rows are normalized");
+            // CPT rows are normalized (enforced by `try_new`).
+            assignment[v] = rng.weighted_index(probs).unwrap_or(0);
         }
         assignment
     }
@@ -303,6 +311,18 @@ fn normalize(xs: &mut [f64]) {
             *x /= total;
         }
     }
+}
+
+/// Debug/strict-mode audit of a query result. All-zero posteriors are
+/// allowed — they mean the evidence has zero probability, which `normalize`
+/// deliberately leaves untouched.
+fn audit_posterior(context: &str, posterior: &[f64]) {
+    validate::enforce(context, || {
+        if !posterior.iter().any(|&p| p > 0.0) {
+            return Ok(());
+        }
+        crate::validate::DistributionAudit::default().check_masses("posterior", posterior)
+    });
 }
 
 fn topological_order(n: usize, cpts: &[Cpt]) -> Option<Vec<VarId>> {
@@ -445,14 +465,29 @@ mod tests {
     /// (Sprinkler, Rain) → WetGrass.
     fn sprinkler() -> BayesNet {
         let variables = vec![
-            Variable { name: "Cloudy".into(), cardinality: 2 },
-            Variable { name: "Sprinkler".into(), cardinality: 2 },
-            Variable { name: "Rain".into(), cardinality: 2 },
-            Variable { name: "WetGrass".into(), cardinality: 2 },
+            Variable {
+                name: "Cloudy".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "Sprinkler".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "Rain".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "WetGrass".into(),
+                cardinality: 2,
+            },
         ];
         // State 1 = true, state 0 = false.
         let cpts = vec![
-            Cpt { parents: vec![], table: vec![0.5, 0.5] },
+            Cpt {
+                parents: vec![],
+                table: vec![0.5, 0.5],
+            },
             Cpt {
                 parents: vec![0],
                 table: vec![
@@ -494,7 +529,10 @@ mod tests {
         // P(Rain | WetGrass = true) ≈ 0.708 in the classic parameterization.
         let evidence: Evidence = [(3, 1)].into();
         let posterior = net.query_enumeration(2, &evidence);
-        assert!((posterior[1] - 0.7079).abs() < 1e-3, "posterior {posterior:?}");
+        assert!(
+            (posterior[1] - 0.7079).abs() < 1e-3,
+            "posterior {posterior:?}"
+        );
         assert!((posterior[0] + posterior[1] - 1.0).abs() < 1e-12);
     }
 
@@ -559,14 +597,32 @@ mod tests {
         // A → B → C, each binary, noisy copies.
         let flip = |p: f64| vec![1.0 - p, p, p, 1.0 - p];
         let variables = vec![
-            Variable { name: "A".into(), cardinality: 2 },
-            Variable { name: "B".into(), cardinality: 2 },
-            Variable { name: "C".into(), cardinality: 2 },
+            Variable {
+                name: "A".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "B".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "C".into(),
+                cardinality: 2,
+            },
         ];
         let cpts = vec![
-            Cpt { parents: vec![], table: vec![0.7, 0.3] },
-            Cpt { parents: vec![0], table: flip(0.1) },
-            Cpt { parents: vec![1], table: flip(0.1) },
+            Cpt {
+                parents: vec![],
+                table: vec![0.7, 0.3],
+            },
+            Cpt {
+                parents: vec![0],
+                table: flip(0.1),
+            },
+            Cpt {
+                parents: vec![1],
+                table: flip(0.1),
+            },
         ];
         let net = BayesNet::new(variables, cpts);
         // Observing C = 1 should raise P(A = 1) above its prior.
@@ -586,24 +642,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "acyclic")]
+    #[should_panic(expected = "cycle")]
     fn cyclic_network_rejected() {
         let variables = vec![
-            Variable { name: "A".into(), cardinality: 2 },
-            Variable { name: "B".into(), cardinality: 2 },
+            Variable {
+                name: "A".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "B".into(),
+                cardinality: 2,
+            },
         ];
         let cpts = vec![
-            Cpt { parents: vec![1], table: vec![0.5, 0.5, 0.5, 0.5] },
-            Cpt { parents: vec![0], table: vec![0.5, 0.5, 0.5, 0.5] },
+            Cpt {
+                parents: vec![1],
+                table: vec![0.5, 0.5, 0.5, 0.5],
+            },
+            Cpt {
+                parents: vec![0],
+                table: vec![0.5, 0.5, 0.5, 0.5],
+            },
         ];
         let _ = BayesNet::new(variables, cpts);
     }
 
     #[test]
-    #[should_panic(expected = "sums to")]
+    #[should_panic(expected = "differs from 1")]
     fn unnormalized_cpt_rejected() {
-        let variables = vec![Variable { name: "A".into(), cardinality: 2 }];
-        let cpts = vec![Cpt { parents: vec![], table: vec![0.5, 0.6] }];
+        let variables = vec![Variable {
+            name: "A".into(),
+            cardinality: 2,
+        }];
+        let cpts = vec![Cpt {
+            parents: vec![],
+            table: vec![0.5, 0.6],
+        }];
         let _ = BayesNet::new(variables, cpts);
     }
 
@@ -611,12 +685,24 @@ mod tests {
     #[should_panic(expected = "wrong size")]
     fn wrong_table_size_rejected() {
         let variables = vec![
-            Variable { name: "A".into(), cardinality: 2 },
-            Variable { name: "B".into(), cardinality: 2 },
+            Variable {
+                name: "A".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "B".into(),
+                cardinality: 2,
+            },
         ];
         let cpts = vec![
-            Cpt { parents: vec![], table: vec![0.5, 0.5] },
-            Cpt { parents: vec![0], table: vec![0.5, 0.5] }, // needs 4
+            Cpt {
+                parents: vec![],
+                table: vec![0.5, 0.5],
+            },
+            Cpt {
+                parents: vec![0],
+                table: vec![0.5, 0.5],
+            }, // needs 4
         ];
         let _ = BayesNet::new(variables, cpts);
     }
@@ -625,11 +711,20 @@ mod tests {
     fn three_state_variables() {
         // Ternary root, binary child whose distribution depends on the root.
         let variables = vec![
-            Variable { name: "Weather".into(), cardinality: 3 },
-            Variable { name: "Umbrella".into(), cardinality: 2 },
+            Variable {
+                name: "Weather".into(),
+                cardinality: 3,
+            },
+            Variable {
+                name: "Umbrella".into(),
+                cardinality: 2,
+            },
         ];
         let cpts = vec![
-            Cpt { parents: vec![], table: vec![0.5, 0.3, 0.2] },
+            Cpt {
+                parents: vec![],
+                table: vec![0.5, 0.3, 0.2],
+            },
             Cpt {
                 parents: vec![0],
                 table: vec![0.9, 0.1, 0.4, 0.6, 0.1, 0.9],

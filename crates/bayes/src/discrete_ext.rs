@@ -161,10 +161,7 @@ pub fn gibbs_query(
 /// probability consistent with the evidence, found by exhaustive search
 /// over the free variables (exponential — intended for small nets and as a
 /// reference implementation). Returns `(assignment, probability)`.
-pub fn most_probable_explanation(
-    net: &BayesNet,
-    evidence: &Evidence,
-) -> (Vec<usize>, f64) {
+pub fn most_probable_explanation(net: &BayesNet, evidence: &Evidence) -> (Vec<usize>, f64) {
     let n = net.len();
     let free: Vec<VarId> = (0..n).filter(|v| !evidence.contains_key(v)).collect();
     let mut assignment = vec![0usize; n];
@@ -204,15 +201,36 @@ mod tests {
 
     fn sprinkler() -> BayesNet {
         let variables = vec![
-            Variable { name: "Cloudy".into(), cardinality: 2 },
-            Variable { name: "Sprinkler".into(), cardinality: 2 },
-            Variable { name: "Rain".into(), cardinality: 2 },
-            Variable { name: "WetGrass".into(), cardinality: 2 },
+            Variable {
+                name: "Cloudy".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "Sprinkler".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "Rain".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "WetGrass".into(),
+                cardinality: 2,
+            },
         ];
         let cpts = vec![
-            Cpt { parents: vec![], table: vec![0.5, 0.5] },
-            Cpt { parents: vec![0], table: vec![0.5, 0.5, 0.9, 0.1] },
-            Cpt { parents: vec![0], table: vec![0.8, 0.2, 0.2, 0.8] },
+            Cpt {
+                parents: vec![],
+                table: vec![0.5, 0.5],
+            },
+            Cpt {
+                parents: vec![0],
+                table: vec![0.5, 0.5, 0.9, 0.1],
+            },
+            Cpt {
+                parents: vec![0],
+                table: vec![0.8, 0.2, 0.2, 0.8],
+            },
             Cpt {
                 parents: vec![1, 2],
                 table: vec![1.0, 0.0, 0.1, 0.9, 0.1, 0.9, 0.01, 0.99],
@@ -249,15 +267,33 @@ mod tests {
     fn d_separation_chain() {
         // A → B → C.
         let variables = vec![
-            Variable { name: "A".into(), cardinality: 2 },
-            Variable { name: "B".into(), cardinality: 2 },
-            Variable { name: "C".into(), cardinality: 2 },
+            Variable {
+                name: "A".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "B".into(),
+                cardinality: 2,
+            },
+            Variable {
+                name: "C".into(),
+                cardinality: 2,
+            },
         ];
         let flip = vec![0.9, 0.1, 0.1, 0.9];
         let cpts = vec![
-            Cpt { parents: vec![], table: vec![0.5, 0.5] },
-            Cpt { parents: vec![0], table: flip.clone() },
-            Cpt { parents: vec![1], table: flip },
+            Cpt {
+                parents: vec![],
+                table: vec![0.5, 0.5],
+            },
+            Cpt {
+                parents: vec![0],
+                table: flip.clone(),
+            },
+            Cpt {
+                parents: vec![1],
+                table: flip,
+            },
         ];
         let net = BayesNet::new(variables, cpts);
         assert!(!d_separated(&net, 0, 2, &HashSet::new()));

@@ -22,6 +22,7 @@
 //! own positional uncertainty along the line of sight.
 
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
+use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::Vec2;
@@ -103,6 +104,7 @@ impl GaussianBp {
     where
         F: FnMut(usize, &[GaussianBelief]),
     {
+        validate::enforce("GaussianBp::run", || GraphAudit.check_mrf(mrf));
         let domain = mrf.domain();
         let default_sigma = domain.diagonal() / 2.0;
         let root = Xoshiro256pp::seed_from(opts.seed);
@@ -117,7 +119,8 @@ impl GaussianBp {
                     let mut rng = root.split(0x6A05 ^ u as u64);
                     let samples: Vec<Vec2> =
                         (0..64).map(|_| mrf.unary(u).sample(&mut rng)).collect();
-                    let mean = Vec2::centroid(&samples).expect("non-empty sample");
+                    // 64 draws above, so the centroid always exists.
+                    let mean = Vec2::centroid(&samples).unwrap_or_else(|| mrf.domain().center());
                     let var = samples.iter().map(|s| s.dist_sq(mean)).sum::<f64>()
                         / samples.len() as f64
                         / 2.0;
@@ -181,6 +184,13 @@ impl GaussianBp {
 
             outcome.iterations = iter + 1;
             outcome.messages += free.len() as u64;
+            validate::enforce("GaussianBp iteration", || {
+                let audit = DistributionAudit::default();
+                for (u, b) in beliefs.iter().enumerate() {
+                    audit.check_gaussian(&format!("belief[{u}] at iteration {iter}"), b)?;
+                }
+                Ok(())
+            });
             observer(iter, &beliefs);
 
             let max_shift = free
@@ -341,7 +351,14 @@ mod tests {
                 sigma: 8.0,
             }),
         );
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 20.0, sigma: 1.5 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: 20.0,
+                sigma: 1.5,
+            }),
+        );
         let (beliefs, _) = GaussianBp::default().run(
             &mrf,
             &BpOptions {
@@ -377,9 +394,23 @@ mod tests {
             }),
         );
         // Node 2 ranges only to the uncertain node 1.
-        mrf.add_edge(1, 2, Arc::new(GaussianRange { observed: 20.0, sigma: 1.0 }));
+        mrf.add_edge(
+            1,
+            2,
+            Arc::new(GaussianRange {
+                observed: 20.0,
+                sigma: 1.0,
+            }),
+        );
         // Node 1 ranges to the anchor.
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 20.0, sigma: 1.0 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: 20.0,
+                sigma: 1.0,
+            }),
+        );
         let (beliefs, _) = GaussianBp::default().run(
             &mrf,
             &BpOptions {
@@ -404,7 +435,14 @@ mod tests {
         let dom = domain();
         let mut mrf = SpatialMrf::new(2, dom, Arc::new(UniformBoxUnary(dom)));
         mrf.fix(0, Vec2::new(50.0, 50.0));
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 15.0, sigma: 2.0 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: 15.0,
+                sigma: 2.0,
+            }),
+        );
         let opts = BpOptions {
             max_iterations: 10,
             seed: 9,

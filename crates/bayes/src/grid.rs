@@ -11,6 +11,7 @@
 
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::potential::{PairPotential, UnaryPotential};
+use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
 use wsnloc_geom::{Aabb, Matrix, Vec2};
 
@@ -39,12 +40,7 @@ impl GridBelief {
 
     /// Belief proportional to a unary potential evaluated at cell centers.
     /// Falls back to uniform when the potential has no mass on the grid.
-    pub fn from_unary(
-        potential: &dyn UnaryPotential,
-        domain: Aabb,
-        nx: usize,
-        ny: usize,
-    ) -> Self {
+    pub fn from_unary(potential: &dyn UnaryPotential, domain: Aabb, nx: usize, ny: usize) -> Self {
         let mut b = GridBelief::uniform(domain, nx, ny);
         // Evaluate in log space then exponentiate stably.
         let logs: Vec<f64> = (0..nx * ny)
@@ -154,12 +150,12 @@ impl GridBelief {
 
     /// MAP point estimate: center of the highest-mass cell.
     pub fn map_estimate(&self) -> Vec2 {
-        let (idx, _) = self
+        let idx = self
             .mass
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite masses"))
-            .expect("non-empty grid");
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i);
         self.cell_center(idx)
     }
 
@@ -206,11 +202,7 @@ impl GridBelief {
 
 /// Computes the message from a source belief into a target grid through a
 /// distance potential, truncated at the potential's support radius.
-fn kernel_message(
-    source: &GridBelief,
-    potential: &dyn PairPotential,
-    mass_floor: f64,
-) -> Vec<f64> {
+fn kernel_message(source: &GridBelief, potential: &dyn PairPotential, mass_floor: f64) -> Vec<f64> {
     let nx = source.nx;
     let ny = source.ny;
     let (dx, dy) = source.cell_size();
@@ -304,6 +296,7 @@ impl GridBp {
     where
         F: FnMut(usize, &[GridBelief]),
     {
+        validate::enforce("GridBp::run", || GraphAudit.check_mrf(mrf));
         let domain = mrf.domain();
         let floor = self.mass_floor / (self.nx * self.ny) as f64;
 
@@ -366,6 +359,13 @@ impl GridBp {
 
             outcome.iterations = iter + 1;
             outcome.messages += free.len() as u64;
+            validate::enforce("GridBp iteration", || {
+                let audit = DistributionAudit::default();
+                for (u, b) in beliefs.iter().enumerate() {
+                    audit.check_grid(&format!("belief[{u}] at iteration {iter}"), b)?;
+                }
+                Ok(())
+            });
             observer(iter, &beliefs);
 
             let max_shift = free
@@ -498,8 +498,22 @@ mod tests {
         let mut mrf = SpatialMrf::new(3, dom, Arc::new(UniformBoxUnary(dom)));
         mrf.fix(0, Vec2::new(10.0, 50.0));
         mrf.fix(2, Vec2::new(90.0, 50.0));
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 40.0, sigma: 3.0 }));
-        mrf.add_edge(1, 2, Arc::new(GaussianRange { observed: 40.0, sigma: 3.0 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: 40.0,
+                sigma: 3.0,
+            }),
+        );
+        mrf.add_edge(
+            1,
+            2,
+            Arc::new(GaussianRange {
+                observed: 40.0,
+                sigma: 3.0,
+            }),
+        );
         let (beliefs, outcome) = GridBp::with_resolution(40).run(
             &mrf,
             &BpOptions {
@@ -529,7 +543,14 @@ mod tests {
             }),
         );
         // Measured distance 20 from the central anchor.
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 20.0, sigma: 2.0 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: 20.0,
+                sigma: 2.0,
+            }),
+        );
         let (beliefs, _) = GridBp::with_resolution(50).run(
             &mrf,
             &BpOptions {
@@ -551,8 +572,22 @@ mod tests {
         mrf.fix(0, Vec2::new(20.0, 20.0));
         mrf.fix(2, Vec2::new(80.0, 80.0));
         let d = Vec2::new(20.0, 20.0).dist(Vec2::new(50.0, 50.0));
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: d, sigma: 3.0 }));
-        mrf.add_edge(1, 2, Arc::new(GaussianRange { observed: d, sigma: 3.0 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: d,
+                sigma: 3.0,
+            }),
+        );
+        mrf.add_edge(
+            1,
+            2,
+            Arc::new(GaussianRange {
+                observed: d,
+                sigma: 3.0,
+            }),
+        );
         let run = |schedule| {
             GridBp::with_resolution(40)
                 .run(
@@ -577,7 +612,14 @@ mod tests {
         let dom = domain();
         let mut mrf = SpatialMrf::new(2, dom, Arc::new(UniformBoxUnary(dom)));
         mrf.fix(0, Vec2::new(50.0, 50.0));
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 10.0, sigma: 2.0 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: 10.0,
+                sigma: 2.0,
+            }),
+        );
         let mut seen = Vec::new();
         let (_, outcome) = GridBp::with_resolution(20).run_observed(
             &mrf,

@@ -37,6 +37,7 @@ pub mod grid;
 pub mod mrf;
 pub mod particle;
 pub mod potential;
+pub mod validate;
 
 pub use gaussian::{GaussianBelief, GaussianBp};
 pub use grid::{GridBelief, GridBp};
@@ -46,3 +47,4 @@ pub use potential::{
     DeltaUnary, GaussianRange, GaussianUnary, MixtureUnary, PairPotential, UnaryPotential,
     UniformBoxUnary, UniformShapeUnary,
 };
+pub use validate::{DistributionAudit, GraphAudit, ValidationError};

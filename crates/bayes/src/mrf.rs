@@ -103,13 +103,18 @@ impl SpatialMrf {
 
     /// Ids of non-fixed variables.
     pub fn free_vars(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&u| self.fixed[u].is_none()).collect()
+        (0..self.len())
+            .filter(|&u| self.fixed[u].is_none())
+            .collect()
     }
 
     /// Adds a pairwise factor; self-edges are rejected.
     pub fn add_edge(&mut self, u: usize, v: usize, potential: Arc<dyn PairPotential>) {
         assert!(u != v, "self-edges are not meaningful");
-        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge endpoint out of range"
+        );
         let id = self.edges.len();
         self.edges.push(MrfEdge { u, v, potential });
         self.adj[u].push(id);

@@ -20,6 +20,7 @@
 
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::potential::PairPotential;
+use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
 use wsnloc_geom::kde::silverman_bandwidth;
 use wsnloc_geom::rng::{systematic_resample, Xoshiro256pp};
@@ -130,9 +131,15 @@ impl ParticleBelief {
 
     /// Systematic resample to `count` equally weighted particles.
     pub fn resampled(&self, count: usize, rng: &mut Xoshiro256pp) -> ParticleBelief {
-        let idx = systematic_resample(rng, &self.weights, count)
-            .expect("weights normalized at construction");
-        let particles: Vec<Vec2> = idx.into_iter().map(|i| self.particles[i]).collect();
+        let particles: Vec<Vec2> = match systematic_resample(rng, &self.weights, count) {
+            Some(idx) => idx.into_iter().map(|i| self.particles[i]).collect(),
+            // Total weight collapsed to zero (weights are normalized at
+            // construction, so this is a numerical edge case): recycle the
+            // existing support instead of panicking mid-inference.
+            None => (0..count)
+                .map(|k| self.particles[k % self.particles.len()])
+                .collect(),
+        };
         ParticleBelief::from_points(particles)
     }
 
@@ -140,6 +147,14 @@ impl ParticleBelief {
     pub fn bandwidth(&self, min: f64) -> f64 {
         silverman_bandwidth(&self.particles, &self.weights, min)
     }
+}
+
+/// Whole-number share of the particle budget: `round(n * fraction)`.
+///
+/// Fractions come from validated configuration in `[0, 1]`, and the cast
+/// happens once per node update — never in a per-particle loop.
+fn share(n: usize, fraction: f64) -> usize {
+    ((n as f64) * fraction).round() as usize
 }
 
 /// Loopy belief propagation with particle beliefs.
@@ -193,6 +208,7 @@ impl ParticleBp {
         F: FnMut(usize, &[ParticleBelief]),
     {
         assert!(self.particles > 0, "need at least one particle");
+        validate::enforce("ParticleBp::run", || GraphAudit.check_mrf(mrf));
         let root = Xoshiro256pp::seed_from(opts.seed);
 
         // Initialize: fixed vars are points, free vars sample their prior.
@@ -245,6 +261,13 @@ impl ParticleBp {
 
             outcome.iterations = iter + 1;
             outcome.messages += free.len() as u64;
+            validate::enforce("ParticleBp iteration", || {
+                let audit = DistributionAudit::default();
+                for (u, b) in beliefs.iter().enumerate() {
+                    audit.check_particles(&format!("belief[{u}] at iteration {iter}"), b)?;
+                }
+                Ok(())
+            });
             observer(iter, &beliefs);
 
             let max_shift = free
@@ -275,11 +298,11 @@ impl ParticleBp {
         let domain = mrf.domain();
 
         // --- Proposal ---------------------------------------------------
-        let n_prior = ((n as f64) * self.prior_fraction).round() as usize;
+        let n_prior = share(n, self.prior_fraction);
         let n_neighbor = if edges.is_empty() {
             0
         } else {
-            ((n as f64) * self.neighbor_fraction).round() as usize
+            share(n, self.neighbor_fraction)
         };
         let n_walk = n.saturating_sub(n_prior + n_neighbor);
 
@@ -287,9 +310,7 @@ impl ParticleBp {
         // (a) jittered current particles — random walk exploitation.
         let jitter = (current.bandwidth(1e-3)).max(domain.diagonal() * 1e-4);
         for _ in 0..n_walk {
-            let idx = rng
-                .weighted_index(current.weights())
-                .unwrap_or(0);
+            let idx = rng.weighted_index(current.weights()).unwrap_or(0);
             candidates.push(rng.gaussian_point(current.particles()[idx], jitter));
         }
         // (b) neighbor-ring proposals.
@@ -345,7 +366,7 @@ impl ParticleBp {
         let weighted = ParticleBelief::new(candidates, weights);
 
         // --- Resample (with damping: retain a slice of the old support) ---
-        let keep_old = ((n as f64) * opts.damping).round() as usize;
+        let keep_old = share(n, opts.damping);
         let mut resampled = weighted.resampled(n - keep_old.min(n), rng);
         if keep_old > 0 {
             let old = current.resampled(keep_old, rng);
@@ -408,10 +429,7 @@ mod tests {
 
     #[test]
     fn belief_mean_and_weights() {
-        let b = ParticleBelief::new(
-            vec![Vec2::ZERO, Vec2::new(10.0, 0.0)],
-            vec![1.0, 3.0],
-        );
+        let b = ParticleBelief::new(vec![Vec2::ZERO, Vec2::new(10.0, 0.0)], vec![1.0, 3.0]);
         assert!((b.mean().x - 7.5).abs() < 1e-12);
         assert!((b.weights()[1] - 0.75).abs() < 1e-12);
     }
@@ -430,7 +448,7 @@ mod tests {
         let degenerate = ParticleBelief::new(
             vec![Vec2::ZERO; 100],
             std::iter::once(1.0)
-                .chain(std::iter::repeat(1e-12).take(99))
+                .chain(std::iter::repeat_n(1e-12, 99))
                 .collect(),
         );
         assert!(degenerate.effective_sample_size() < 1.5);
@@ -439,10 +457,7 @@ mod tests {
     #[test]
     fn resample_concentrates_on_heavy_particles() {
         let mut rng = Xoshiro256pp::seed_from(1);
-        let b = ParticleBelief::new(
-            vec![Vec2::ZERO, Vec2::new(50.0, 0.0)],
-            vec![0.05, 0.95],
-        );
+        let b = ParticleBelief::new(vec![Vec2::ZERO, Vec2::new(50.0, 0.0)], vec![0.05, 0.95]);
         let r = b.resampled(1000, &mut rng);
         let heavy = r.particles().iter().filter(|p| p.x > 25.0).count();
         assert!((heavy as f64 / 1000.0 - 0.95).abs() < 0.03);
@@ -472,7 +487,14 @@ mod tests {
                 sigma: 8.0,
             }),
         );
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 20.0, sigma: 2.0 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: 20.0,
+                sigma: 2.0,
+            }),
+        );
         let engine = ParticleBp::with_particles(400);
         let (beliefs, outcome) = engine.run(
             &mrf,
@@ -559,8 +581,16 @@ mod tests {
         );
         // x coordinates should be recovered; y has a reflection ambiguity
         // mitigated only by the chain being collinear with the anchors.
-        assert!((beliefs[1].mean().x - 37.0).abs() < 6.0, "{}", beliefs[1].mean());
-        assert!((beliefs[2].mean().x - 63.0).abs() < 6.0, "{}", beliefs[2].mean());
+        assert!(
+            (beliefs[1].mean().x - 37.0).abs() < 6.0,
+            "{}",
+            beliefs[1].mean()
+        );
+        assert!(
+            (beliefs[2].mean().x - 63.0).abs() < 6.0,
+            "{}",
+            beliefs[2].mean()
+        );
     }
 
     #[test]
@@ -568,7 +598,14 @@ mod tests {
         let dom = domain();
         let mut mrf = SpatialMrf::new(2, dom, Arc::new(UniformBoxUnary(dom)));
         mrf.fix(0, Vec2::new(50.0, 50.0));
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 15.0, sigma: 2.0 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: 15.0,
+                sigma: 2.0,
+            }),
+        );
         let engine = ParticleBp::with_particles(200);
         let opts = BpOptions {
             max_iterations: 5,
@@ -588,8 +625,22 @@ mod tests {
         mrf.fix(0, Vec2::new(10.0, 10.0));
         mrf.fix(1, Vec2::new(90.0, 10.0));
         for u in 2..6 {
-            mrf.add_edge(0, u, Arc::new(GaussianRange { observed: 40.0, sigma: 3.0 }));
-            mrf.add_edge(1, u, Arc::new(GaussianRange { observed: 60.0, sigma: 3.0 }));
+            mrf.add_edge(
+                0,
+                u,
+                Arc::new(GaussianRange {
+                    observed: 40.0,
+                    sigma: 3.0,
+                }),
+            );
+            mrf.add_edge(
+                1,
+                u,
+                Arc::new(GaussianRange {
+                    observed: 60.0,
+                    sigma: 3.0,
+                }),
+            );
         }
         let engine = ParticleBp::with_particles(150);
         let opts = BpOptions {
@@ -609,7 +660,14 @@ mod tests {
         let dom = domain();
         let mut mrf = SpatialMrf::new(2, dom, Arc::new(UniformBoxUnary(dom)));
         mrf.fix(0, Vec2::new(50.0, 50.0));
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 10.0, sigma: 1.0 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: 10.0,
+                sigma: 1.0,
+            }),
+        );
         let engine = ParticleBp::with_particles(100);
         let (b, _) = engine.run(
             &mrf,
@@ -629,7 +687,13 @@ mod tests {
         let dom = domain();
         let prior_mean = Vec2::new(25.0, 75.0);
         let mut mrf = SpatialMrf::new(1, dom, Arc::new(UniformBoxUnary(dom)));
-        mrf.set_unary(0, Arc::new(GaussianUnary { mean: prior_mean, sigma: 5.0 }));
+        mrf.set_unary(
+            0,
+            Arc::new(GaussianUnary {
+                mean: prior_mean,
+                sigma: 5.0,
+            }),
+        );
         let engine = ParticleBp::with_particles(300);
         let (b, _) = engine.run(
             &mrf,

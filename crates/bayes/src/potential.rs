@@ -187,9 +187,9 @@ impl UnaryPotential for MixtureUnary {
 
     fn sample(&self, rng: &mut Xoshiro256pp) -> Vec2 {
         let weights: Vec<f64> = self.components.iter().map(|(w, _)| *w).collect();
-        let idx = rng
-            .weighted_index(&weights)
-            .expect("weights normalized at construction");
+        // Weights are normalized at construction; fall back to the first
+        // component if the mass has degenerated.
+        let idx = rng.weighted_index(&weights).unwrap_or(0);
         self.components[idx].1.sample(rng)
     }
 }
@@ -247,10 +247,8 @@ mod tests {
         assert!((g.log_density(Vec2::new(12.0, 10.0)) + 0.5).abs() < 1e-12);
         let mut rng = Xoshiro256pp::seed_from(2);
         let n = 20_000;
-        let mean_dist: f64 = (0..n)
-            .map(|_| g.sample(&mut rng).dist(g.mean))
-            .sum::<f64>()
-            / n as f64;
+        let mean_dist: f64 =
+            (0..n).map(|_| g.sample(&mut rng).dist(g.mean)).sum::<f64>() / n as f64;
         // Rayleigh mean = σ·sqrt(π/2) ≈ 2.5066.
         assert!((mean_dist - 2.0 * (std::f64::consts::PI / 2.0).sqrt()).abs() < 0.05);
     }

@@ -1,6 +1,7 @@
-//! Property-based tests for the Bayesian-network substrate.
+//! Property-based tests for the Bayesian-network substrate, on the
+//! in-tree `wsnloc_geom::check` harness (the workspace builds offline,
+//! without `proptest`).
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
 use wsnloc_bayes::discrete::{BayesNet, Cpt, Evidence, Variable};
@@ -9,8 +10,11 @@ use wsnloc_bayes::{
     BpOptions, GaussianRange, GaussianUnary, GridBelief, ParticleBelief, SpatialMrf,
     UniformBoxUnary,
 };
+use wsnloc_geom::check;
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::{Aabb, Vec2};
+
+const CASES: u64 = 24;
 
 /// Random two-layer BN: `roots` root variables, `leaves` leaf variables,
 /// each leaf with 1–2 random root parents and random (normalized) CPTs.
@@ -47,124 +51,158 @@ fn random_bn(seed: u64, roots: usize, leaves: usize) -> BayesNet {
     BayesNet::new(variables, cpts)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn ve_matches_enumeration_on_random_networks(seed in any::<u64>(), query in 0usize..6) {
-        let net = random_bn(seed, 3, 3);
-        let query = query % net.len();
-        for evidence in [Evidence::new(), [( (query + 1) % net.len(), 1usize)].into()] {
-            if evidence.contains_key(&query) { continue; }
+#[test]
+fn ve_matches_enumeration_on_random_networks() {
+    check::cases(CASES, |_, rng| {
+        let net = random_bn(rng.next_u64(), 3, 3);
+        let query = rng.index(net.len());
+        for evidence in [Evidence::new(), [((query + 1) % net.len(), 1usize)].into()] {
+            if evidence.contains_key(&query) {
+                continue;
+            }
             let e = net.query_enumeration(query, &evidence);
             let v = net.query_variable_elimination(query, &evidence);
             for (a, b) in e.iter().zip(&v) {
-                prop_assert!((a - b).abs() < 1e-9, "{e:?} vs {v:?}");
+                assert!((a - b).abs() < 1e-9, "{e:?} vs {v:?}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn posteriors_are_normalized(seed in any::<u64>()) {
-        let net = random_bn(seed, 3, 3);
+#[test]
+fn posteriors_are_normalized() {
+    check::cases(CASES, |_, rng| {
+        let net = random_bn(rng.next_u64(), 3, 3);
         let post = net.query_enumeration(0, &[(4usize, 1usize)].into());
-        prop_assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         for p in post {
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+            assert!((0.0..=1.0 + 1e-12).contains(&p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn forward_samples_have_positive_probability(seed in any::<u64>()) {
-        let net = random_bn(seed, 3, 3);
-        let mut rng = Xoshiro256pp::seed_from(seed ^ 0xABCD);
+#[test]
+fn forward_samples_have_positive_probability() {
+    check::cases(CASES, |_, rng| {
+        let net = random_bn(rng.next_u64(), 3, 3);
+        let mut sampler = Xoshiro256pp::seed_from(rng.next_u64() ^ 0xABCD);
         for _ in 0..20 {
-            let s = net.sample(&mut rng);
-            prop_assert!(net.joint_prob(&s) > 0.0);
+            let s = net.sample(&mut sampler);
+            assert!(net.joint_prob(&s) > 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn d_separation_is_symmetric(seed in any::<u64>(), x in 0usize..6, y in 0usize..6) {
-        let net = random_bn(seed, 3, 3);
-        let (x, y) = (x % net.len(), y % net.len());
-        if x == y { return Ok(()); }
+#[test]
+fn d_separation_is_symmetric() {
+    check::cases(CASES, |_, rng| {
+        let net = random_bn(rng.next_u64(), 3, 3);
+        let x = rng.index(net.len());
+        let y = rng.index(net.len());
+        if x == y {
+            return;
+        }
         for z in [HashSet::new(), HashSet::from([(x + 1) % net.len()])] {
             let z: HashSet<usize> = z.into_iter().filter(|&v| v != x && v != y).collect();
-            prop_assert_eq!(
-                d_separated(&net, x, y, &z),
-                d_separated(&net, y, x, &z)
-            );
+            assert_eq!(d_separated(&net, x, y, &z), d_separated(&net, y, x, &z));
         }
-    }
+    });
+}
 
-    #[test]
-    fn markov_blanket_never_contains_self(seed in any::<u64>(), v in 0usize..6) {
-        let net = random_bn(seed, 3, 3);
-        let v = v % net.len();
-        prop_assert!(!markov_blanket(&net, v).contains(&v));
-    }
+#[test]
+fn markov_blanket_never_contains_self() {
+    check::cases(CASES, |_, rng| {
+        let net = random_bn(rng.next_u64(), 3, 3);
+        let v = rng.index(net.len());
+        assert!(!markov_blanket(&net, v).contains(&v));
+    });
+}
 
-    #[test]
-    fn grid_belief_mass_is_normalized(nx in 2usize..20, ny in 2usize..20, mx in 0.0..100.0f64, my in 0.0..100.0f64, sigma in 1.0..50.0f64) {
+#[test]
+fn grid_belief_mass_is_normalized() {
+    check::cases(CASES, |_, rng| {
+        let nx = 2 + rng.index(18);
+        let ny = 2 + rng.index(18);
+        let mean = Vec2::new(rng.range(0.0, 100.0), rng.range(0.0, 100.0));
+        let sigma = rng.range(1.0, 50.0);
         let domain = Aabb::from_size(100.0, 100.0);
-        let b = GridBelief::from_unary(
-            &GaussianUnary { mean: Vec2::new(mx, my), sigma },
-            domain, nx, ny,
-        );
-        prop_assert!((b.mass().iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        prop_assert!(b.mass().iter().all(|&m| m >= 0.0));
+        let b = GridBelief::from_unary(&GaussianUnary { mean, sigma }, domain, nx, ny);
+        assert!((b.mass().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(b.mass().iter().all(|&m| m >= 0.0));
         // Mean inside the domain.
-        prop_assert!(domain.contains(b.mean()));
-    }
+        assert!(domain.contains(b.mean()));
+    });
+}
 
-    #[test]
-    fn grid_cell_roundtrip(nx in 1usize..30, ny in 1usize..30, idx in any::<u32>()) {
+#[test]
+fn grid_cell_roundtrip() {
+    check::cases(CASES, |_, rng| {
+        let nx = 1 + rng.index(29);
+        let ny = 1 + rng.index(29);
         let b = GridBelief::uniform(Aabb::from_size(57.0, 31.0), nx, ny);
-        let i = idx as usize % (nx * ny);
-        prop_assert_eq!(b.cell_of(b.cell_center(i)), i);
-    }
+        let i = rng.index(nx * ny);
+        assert_eq!(b.cell_of(b.cell_center(i)), i);
+    });
+}
 
-    #[test]
-    fn particle_belief_resample_preserves_support(seed in any::<u64>(), n in 1usize..200) {
-        let mut rng = Xoshiro256pp::seed_from(seed);
-        let pts: Vec<Vec2> = (0..n).map(|_| rng.point_in(Vec2::ZERO, Vec2::splat(10.0))).collect();
+#[test]
+fn particle_belief_resample_preserves_support() {
+    check::cases(CASES, |_, rng| {
+        let n = 1 + rng.index(199);
+        let pts: Vec<Vec2> = (0..n)
+            .map(|_| rng.point_in(Vec2::ZERO, Vec2::splat(10.0)))
+            .collect();
         let weights: Vec<f64> = (0..n).map(|_| rng.f64() + 1e-9).collect();
         let b = ParticleBelief::new(pts.clone(), weights);
-        let r = b.resampled(n, &mut rng);
+        let r = b.resampled(n, rng);
         // Every resampled particle is one of the originals.
         for p in r.particles() {
-            prop_assert!(pts.iter().any(|q| q == p));
+            assert!(pts.iter().any(|q| q == p));
         }
-        prop_assert!((r.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
-    }
+        assert!((r.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn particle_ess_bounded(seed in any::<u64>(), n in 2usize..100) {
-        let mut rng = Xoshiro256pp::seed_from(seed);
+#[test]
+fn particle_ess_bounded() {
+    check::cases(CASES, |_, rng| {
+        let n = 2 + rng.index(98);
         let pts = vec![Vec2::ZERO; n];
         let weights: Vec<f64> = (0..n).map(|_| rng.f64() + 1e-12).collect();
         let b = ParticleBelief::new(pts, weights);
         let ess = b.effective_sample_size();
-        prop_assert!(ess >= 1.0 - 1e-9 && ess <= n as f64 + 1e-9, "ess {ess}");
-    }
+        assert!(ess >= 1.0 - 1e-9 && ess <= n as f64 + 1e-9, "ess {ess}");
+    });
+}
 
-    #[test]
-    fn bp_single_anchor_ring_distance_recovered(seed in any::<u64>(), d in 10.0..40.0f64) {
+#[test]
+fn bp_single_anchor_ring_distance_recovered() {
+    check::cases(CASES, |_, rng| {
         // One anchor + ring measurement: the belief should concentrate at
         // the right *distance* from the anchor, whatever the bearing.
+        let d = rng.range(10.0, 40.0);
         let domain = Aabb::from_size(100.0, 100.0);
         let mut mrf = SpatialMrf::new(2, domain, Arc::new(UniformBoxUnary(domain)));
         let anchor = Vec2::new(50.0, 50.0);
         mrf.fix(0, anchor);
-        mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: d, sigma: 1.5 }));
+        mrf.add_edge(
+            0,
+            1,
+            Arc::new(GaussianRange {
+                observed: d,
+                sigma: 1.5,
+            }),
+        );
         let engine = wsnloc_bayes::ParticleBp::with_particles(200);
-        let (beliefs, _) = engine.run(&mrf, &BpOptions {
-            max_iterations: 8,
-            tolerance: 0.0,
-            seed,
-            ..BpOptions::default()
-        });
+        let (beliefs, _) = engine.run(
+            &mrf,
+            &BpOptions {
+                max_iterations: 8,
+                tolerance: 0.0,
+                seed: rng.next_u64(),
+                ..BpOptions::default()
+            },
+        );
         // Weighted mean distance of particles to the anchor ≈ d.
         let mean_dist: f64 = beliefs[1]
             .particles()
@@ -172,6 +210,9 @@ proptest! {
             .zip(beliefs[1].weights())
             .map(|(p, w)| w * p.dist(anchor))
             .sum();
-        prop_assert!((mean_dist - d).abs() < 6.0, "mean ring distance {mean_dist} vs {d}");
-    }
+        assert!(
+            (mean_dist - d).abs() < 6.0,
+            "mean ring distance {mean_dist} vs {d}"
+        );
+    });
 }

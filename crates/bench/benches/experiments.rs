@@ -4,19 +4,23 @@
 //! experiment's dominant workload, so regressions in any experiment's cost
 //! show up individually. Full tables come from the `repro` binary.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use wsnloc::crlb::mean_crlb;
 use wsnloc::prelude::*;
 use wsnloc_baselines::{DvHop, MdsMap, WeightedCentroid};
+use wsnloc_bench::harness::{BatchSize, Criterion};
 use wsnloc_bench::{bench_bnl, bench_scenario};
+use wsnloc_bench::{criterion_group, criterion_main};
 
 const NODES: usize = 100;
 const PARTICLES: usize = 100;
 const ITERS: usize = 5;
 
-fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+use wsnloc_bench::harness::measurement::WallTime;
+use wsnloc_bench::harness::BenchmarkGroup;
+
+fn configure(c: &mut Criterion) -> BenchmarkGroup<'_, WallTime> {
     let mut g = c.benchmark_group("experiments");
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(8));
@@ -32,7 +36,7 @@ fn benches(c: &mut Criterion) {
     // T2: the head-to-head table is dominated by one BNL-PK run.
     g.bench_function("bench_t2_headtohead_bnl_trial", |b| {
         let algo = bench_bnl(PARTICLES, ITERS);
-        b.iter(|| black_box(algo.localize(&net, 0)))
+        b.iter(|| black_box(algo.localize(&net, 0)));
     });
 
     // T3: scalability — one larger-network trial.
@@ -40,7 +44,7 @@ fn benches(c: &mut Criterion) {
         let big = bench_scenario(225, 0xBE);
         let (bignet, _) = big.build_trial(0);
         let algo = bench_bnl(PARTICLES, ITERS);
-        b.iter(|| black_box(algo.localize(&bignet, 0)))
+        b.iter(|| black_box(algo.localize(&bignet, 0)));
     });
 
     // F1: anchor sweep — the low-anchor point is the hardest workload.
@@ -49,7 +53,7 @@ fn benches(c: &mut Criterion) {
         sparse.anchors = AnchorStrategy::Random { count: 4 };
         let (snet, _) = sparse.build_trial(0);
         let algo = bench_bnl(PARTICLES, ITERS);
-        b.iter(|| black_box(algo.localize(&snet, 0)))
+        b.iter(|| black_box(algo.localize(&snet, 0)));
     });
 
     // F2: noise sweep — high-noise NLS + BNL trial.
@@ -58,7 +62,7 @@ fn benches(c: &mut Criterion) {
         noisy.ranging = RangingModel::Multiplicative { factor: 0.4 };
         let (nnet, _) = noisy.build_trial(0);
         let algo = bench_bnl(PARTICLES, ITERS);
-        b.iter(|| black_box(algo.localize(&nnet, 0)))
+        b.iter(|| black_box(algo.localize(&nnet, 0)));
     });
 
     // F3: connectivity sweep — the dense-radio point has the most edges.
@@ -67,7 +71,7 @@ fn benches(c: &mut Criterion) {
         dense.radio = RadioModel::UnitDisk { range: 250.0 };
         let (dnet, _) = dense.build_trial(0);
         let algo = bench_bnl(PARTICLES, ITERS);
-        b.iter(|| black_box(algo.localize(&dnet, 0)))
+        b.iter(|| black_box(algo.localize(&dnet, 0)));
     });
 
     // F4: convergence — the observed variant (callback per iteration).
@@ -77,7 +81,7 @@ fn benches(c: &mut Criterion) {
             let mut sink = 0usize;
             let r = algo.localize_observed(&net, 0, |iter, _| sink += iter);
             black_box((r, sink))
-        })
+        });
     });
 
     // F5: CDF — pooled-error bookkeeping over one full roster pass of the
@@ -89,7 +93,7 @@ fn benches(c: &mut Criterion) {
                 MdsMap.localize(&net, 0),
                 WeightedCentroid.localize(&net, 0),
             ))
-        })
+        });
     });
 
     // F6: pre-knowledge sweep — a tight-prior run (different mixing path).
@@ -98,7 +102,7 @@ fn benches(c: &mut Criterion) {
             .with_prior(PriorModel::DropPoint { sigma: 25.0 })
             .with_max_iterations(ITERS)
             .with_tolerance(0.0);
-        b.iter(|| black_box(algo.localize(&net, 0)))
+        b.iter(|| black_box(algo.localize(&net, 0)));
     });
 
     // F7: topology — C-shape with a region prior (rejection sampling path).
@@ -118,13 +122,13 @@ fn benches(c: &mut Criterion) {
             .with_prior(PriorModel::Region(shape))
             .with_max_iterations(ITERS)
             .with_tolerance(0.0);
-        b.iter(|| black_box(algo.localize(&cnet, 0)))
+        b.iter(|| black_box(algo.localize(&cnet, 0)));
     });
 
     // F8: particle ablation — the high-particle end.
     g.bench_function("bench_f8_400_particles", |b| {
         let algo = bench_bnl(400, 3);
-        b.iter(|| black_box(algo.localize(&net, 0)))
+        b.iter(|| black_box(algo.localize(&net, 0)));
     });
 
     // F9: grid ablation — one grid-backend run.
@@ -135,7 +139,7 @@ fn benches(c: &mut Criterion) {
             .with_prior(PriorModel::DropPoint { sigma: 100.0 })
             .with_max_iterations(4)
             .with_tolerance(0.0);
-        b.iter(|| black_box(algo.localize(&snet, 0)))
+        b.iter(|| black_box(algo.localize(&snet, 0)));
     });
 
     // F11: the parametric Gaussian backend (cheapest inference loop).
@@ -144,7 +148,7 @@ fn benches(c: &mut Criterion) {
             .with_prior(PriorModel::DropPoint { sigma: 100.0 })
             .with_max_iterations(ITERS * 3)
             .with_tolerance(0.0);
-        b.iter(|| black_box(algo.localize(&net, 0)))
+        b.iter(|| black_box(algo.localize(&net, 0)));
     });
 
     // F12: NLOS mixture likelihood path through BNL-PK.
@@ -157,7 +161,7 @@ fn benches(c: &mut Criterion) {
         };
         let (nnet, _) = nlos.build_trial(0);
         let algo = bench_bnl(PARTICLES, ITERS);
-        b.iter(|| black_box(algo.localize(&nnet, 0)))
+        b.iter(|| black_box(algo.localize(&nnet, 0)));
     });
 
     // F14: one tracking step over a mobility snapshot (tight budget).
@@ -185,7 +189,7 @@ fn benches(c: &mut Criterion) {
         let mut tracker = TrackingLocalizer::new(engine, 15.0);
         // Warm the tracker so the bench measures the steady-state step.
         let _ = tracker.step(&snapshot, 0);
-        b.iter(|| black_box(tracker.step(&snapshot, 1)))
+        b.iter(|| black_box(tracker.step(&snapshot, 1)));
     });
 
     // F10: the CRLB assembly + SPD inversion.
@@ -194,7 +198,7 @@ fn benches(c: &mut Criterion) {
             || (net.clone(), truth.clone()),
             |(n, t)| black_box(mean_crlb(&n, &t, Some(100.0))),
             BatchSize::LargeInput,
-        )
+        );
     });
 
     g.finish();

@@ -2,13 +2,12 @@
 //! stack: RNG sampling, KDE evaluation, dense solves, graph primitives,
 //! resampling, and single-iteration BP updates for both backends.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
-use wsnloc_bayes::{
-    BpOptions, GaussianRange, GridBp, ParticleBp, SpatialMrf, UniformBoxUnary,
-};
+use wsnloc_bayes::{BpOptions, GaussianRange, GridBp, ParticleBp, SpatialMrf, UniformBoxUnary};
+use wsnloc_bench::harness::Criterion;
+use wsnloc_bench::{criterion_group, criterion_main};
 use wsnloc_geom::kde::Kde;
 use wsnloc_geom::matrix::Matrix;
 use wsnloc_geom::rng::{systematic_resample, Xoshiro256pp};
@@ -28,26 +27,28 @@ fn benches(c: &mut Criterion) {
                 acc += rng.gaussian();
             }
             black_box(acc)
-        })
+        });
     });
 
     g.bench_function("rng_weighted_index_100", |b| {
         let mut rng = Xoshiro256pp::seed_from(2);
         let weights: Vec<f64> = (0..100).map(|i| (i as f64).sin().abs() + 0.01).collect();
-        b.iter(|| black_box(rng.weighted_index(&weights)))
+        b.iter(|| black_box(rng.weighted_index(&weights)));
     });
 
     g.bench_function("systematic_resample_300", |b| {
         let mut rng = Xoshiro256pp::seed_from(3);
         let weights: Vec<f64> = (0..300).map(|i| ((i * 7) % 13) as f64 + 0.1).collect();
-        b.iter(|| black_box(systematic_resample(&mut rng, &weights, 300)))
+        b.iter(|| black_box(systematic_resample(&mut rng, &weights, 300)));
     });
 
     g.bench_function("kde_density_300pts", |b| {
         let mut rng = Xoshiro256pp::seed_from(4);
-        let pts: Vec<Vec2> = (0..300).map(|_| rng.point_in(Vec2::ZERO, Vec2::splat(100.0))).collect();
+        let pts: Vec<Vec2> = (0..300)
+            .map(|_| rng.point_in(Vec2::ZERO, Vec2::splat(100.0)))
+            .collect();
         let kde = Kde::from_points(pts, 1.0);
-        b.iter(|| black_box(kde.density(Vec2::new(50.0, 50.0))))
+        b.iter(|| black_box(kde.density(Vec2::new(50.0, 50.0))));
     });
 
     g.bench_function("cholesky_solve_64", |b| {
@@ -62,7 +63,7 @@ fn benches(c: &mut Criterion) {
             }
         }
         let rhs = vec![1.0; n];
-        b.iter(|| black_box(a.solve_spd(&rhs)))
+        b.iter(|| black_box(a.solve_spd(&rhs)));
     });
 
     g.bench_function("jacobi_eigen_32", |b| {
@@ -73,7 +74,7 @@ fn benches(c: &mut Criterion) {
                 a[(i, j)] = 1.0 / (1.0 + (i + j) as f64);
             }
         }
-        b.iter(|| black_box(a.symmetric_eigen()))
+        b.iter(|| black_box(a.symmetric_eigen()));
     });
 
     g.bench_function("bfs_hops_1k_nodes", |b| {
@@ -85,7 +86,7 @@ fn benches(c: &mut Criterion) {
             edges.push((i, (i + 37) % n));
         }
         let t = Topology::from_edges(n, &edges);
-        b.iter(|| black_box(t.hops_from(0)))
+        b.iter(|| black_box(t.hops_from(0)));
     });
 
     // Single synchronous BP iteration, particle backend, 25-node clique-ish
@@ -94,9 +95,11 @@ fn benches(c: &mut Criterion) {
         let domain = Aabb::from_size(300.0, 300.0);
         let mut mrf = SpatialMrf::new(25, domain, Arc::new(UniformBoxUnary(domain)));
         let mut rng = Xoshiro256pp::seed_from(9);
-        let pts: Vec<Vec2> = (0..25).map(|_| rng.point_in(domain.min, domain.max)).collect();
-        for i in 0..3 {
-            mrf.fix(i, pts[i]);
+        let pts: Vec<Vec2> = (0..25)
+            .map(|_| rng.point_in(domain.min, domain.max))
+            .collect();
+        for (i, &p) in pts.iter().enumerate().take(3) {
+            mrf.fix(i, p);
         }
         for i in 0..25 {
             for j in (i + 1)..25 {
@@ -118,7 +121,7 @@ fn benches(c: &mut Criterion) {
             tolerance: 0.0,
             ..BpOptions::default()
         };
-        b.iter(|| black_box(engine.run(&mrf, &opts)))
+        b.iter(|| black_box(engine.run(&mrf, &opts)));
     });
 
     g.bench_function("gaussian_bp_iteration_25nodes", |b| {
@@ -126,9 +129,11 @@ fn benches(c: &mut Criterion) {
         let domain = Aabb::from_size(300.0, 300.0);
         let mut mrf = SpatialMrf::new(25, domain, Arc::new(UniformBoxUnary(domain)));
         let mut rng = Xoshiro256pp::seed_from(10);
-        let pts: Vec<Vec2> = (0..25).map(|_| rng.point_in(domain.min, domain.max)).collect();
-        for i in 0..3 {
-            mrf.fix(i, pts[i]);
+        let pts: Vec<Vec2> = (0..25)
+            .map(|_| rng.point_in(domain.min, domain.max))
+            .collect();
+        for (i, &p) in pts.iter().enumerate().take(3) {
+            mrf.fix(i, p);
         }
         for i in 0..25 {
             for j in (i + 1)..25 {
@@ -150,7 +155,7 @@ fn benches(c: &mut Criterion) {
             tolerance: 0.0,
             ..BpOptions::default()
         };
-        b.iter(|| black_box(engine.run(&mrf, &opts)))
+        b.iter(|| black_box(engine.run(&mrf, &opts)));
     });
 
     g.bench_function("grid_bp_iteration_9nodes_30x30", |b| {
@@ -181,7 +186,7 @@ fn benches(c: &mut Criterion) {
             tolerance: 0.0,
             ..BpOptions::default()
         };
-        b.iter(|| black_box(engine.run(&mrf, &opts)))
+        b.iter(|| black_box(engine.run(&mrf, &opts)));
     });
 
     g.finish();

@@ -3,11 +3,12 @@
 //! multi-core host the per-node belief updates of the synchronous schedule
 //! parallelize embarrassingly; on a single-core host the pools tie).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use wsnloc::Localizer as _;
+use wsnloc_bench::harness::{BenchmarkId, Criterion};
 use wsnloc_bench::{bench_bnl, bench_scenario};
+use wsnloc_bench::{criterion_group, criterion_main};
 
 fn size_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("scaling/size");
@@ -19,7 +20,7 @@ fn size_scaling(c: &mut Criterion) {
         let (net, _) = scenario.build_trial(0);
         let algo = bench_bnl(80, 4);
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &net, |b, net| {
-            b.iter(|| black_box(algo.localize(net, 0)))
+            b.iter(|| black_box(algo.localize(net, 0)));
         });
     }
     g.finish();
@@ -39,7 +40,7 @@ fn thread_scaling(c: &mut Criterion) {
             .build()
             .expect("pool");
         g.bench_with_input(BenchmarkId::from_parameter(threads), &net, |b, net| {
-            b.iter(|| pool.install(|| black_box(algo.localize(net, 0))))
+            b.iter(|| pool.install(|| black_box(algo.localize(net, 0))));
         });
     }
     g.finish();

@@ -132,7 +132,10 @@ mod tests {
             model: RangingModel::Multiplicative { factor: 0.05 },
         };
         let mut rng = Xoshiro256pp::seed_from(4);
-        let mean: f64 = (0..10_000).map(|_| p.sample_distance(&mut rng)).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000)
+            .map(|_| p.sample_distance(&mut rng))
+            .sum::<f64>()
+            / 10_000.0;
         assert!((mean - 60.0).abs() < 1.0);
     }
 

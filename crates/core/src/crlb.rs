@@ -109,12 +109,10 @@ pub fn mean_crlb(network: &Network, truth: &GroundTruth, prior_sigma: Option<f64
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wsnloc_geom::Aabb;
     use wsnloc_geom::{Shape, Vec2};
     use wsnloc_net::network::NetworkBuilder;
-    use wsnloc_net::{
-        AnchorStrategy, Deployment, Measurement, NodeKind, RadioModel, RangingModel,
-    };
-    use wsnloc_geom::Aabb;
+    use wsnloc_net::{AnchorStrategy, Deployment, Measurement, NodeKind, RadioModel, RangingModel};
 
     /// One unknown at the center of three anchors with σ = 1 ranging.
     fn triangle_world(sigma: f64) -> (Network, GroundTruth) {
@@ -142,12 +140,7 @@ mod tests {
                 NodeKind::Anchor,
                 NodeKind::Unknown,
             ],
-            vec![
-                Some(anchors[0]),
-                Some(anchors[1]),
-                Some(anchors[2]),
-                None,
-            ],
+            vec![Some(anchors[0]), Some(anchors[1]), Some(anchors[2]), None],
             vec![None; 4],
             measurements,
         );

@@ -57,16 +57,16 @@ pub mod result;
 pub mod tracking;
 
 pub use localizer::{Backend, BnlLocalizer, Estimator};
-pub use result::{LocalizationResult, Localizer};
 pub use prior::PriorModel;
+pub use result::{LocalizationResult, Localizer};
 pub use tracking::TrackingLocalizer;
 
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::crlb::crlb_per_node;
     pub use crate::localizer::{Backend, BnlLocalizer, Estimator};
-    pub use crate::result::{LocalizationResult, Localizer};
     pub use crate::prior::PriorModel;
+    pub use crate::result::{LocalizationResult, Localizer};
     pub use crate::tracking::TrackingLocalizer;
     pub use wsnloc_bayes::{BpOptions, Schedule};
     pub use wsnloc_geom::{Aabb, Shape, Vec2};

@@ -437,14 +437,11 @@ mod tests {
         let r = BnlLocalizer::particle(200)
             .with_max_iterations(8)
             .localize(&net, 0);
-        let spreads: Vec<f64> = net
-            .unknowns()
-            .filter_map(|id| r.uncertainty[id])
-            .collect();
+        let spreads: Vec<f64> = net.unknowns().filter_map(|id| r.uncertainty[id]).collect();
         assert!(!spreads.is_empty());
         // Sanity: spreads are positive and bounded by the field diagonal.
         for s in spreads {
-            assert!(s >= 0.0 && s < 750.0);
+            assert!((0.0..750.0).contains(&s));
         }
     }
 
@@ -472,8 +469,7 @@ mod tests {
             .with_tolerance(0.0)
             .localize(&net, 0);
         let per_msg_gauss = r.comm.bytes as f64 / r.comm.messages.max(1) as f64;
-        let per_msg_particle =
-            particle.comm.bytes as f64 / particle.comm.messages.max(1) as f64;
+        let per_msg_particle = particle.comm.bytes as f64 / particle.comm.messages.max(1) as f64;
         assert!(per_msg_gauss * 5.0 < per_msg_particle);
     }
 

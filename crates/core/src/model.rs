@@ -118,10 +118,7 @@ mod tests {
         for (id, pos) in net.anchors() {
             assert_eq!(mrf.fixed(id), Some(pos));
         }
-        assert_eq!(
-            mrf.free_vars().len(),
-            net.len() - net.anchor_count()
-        );
+        assert_eq!(mrf.free_vars().len(), net.len() - net.anchor_count());
     }
 
     #[test]

@@ -8,16 +8,16 @@
 //! and its *coverage* (which fraction of nodes has any pre-knowledge at
 //! all) — both are swept by experiment F6.
 
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use wsnloc_geom::Vec2;
 use wsnloc_bayes::{GaussianUnary, UnaryPotential, UniformBoxUnary, UniformShapeUnary};
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::Shape;
+use wsnloc_geom::Vec2;
 use wsnloc_net::Network;
 
 /// What is known about unknown-node positions before measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PriorModel {
     /// No pre-knowledge: uniform over the field bounding box. This ablation
     /// turns BNL-PK into plain cooperative NBP.
@@ -68,9 +68,10 @@ impl PriorModel {
             PriorModel::Uninformative => vec![uninformative; network.len()],
             PriorModel::DropPoint { sigma } => (0..network.len())
                 .map(|id| match network.planned_position(id) {
-                    Some(mean) => {
-                        Arc::new(GaussianUnary { mean, sigma: *sigma }) as Arc<dyn UnaryPotential>
-                    }
+                    Some(mean) => Arc::new(GaussianUnary {
+                        mean,
+                        sigma: *sigma,
+                    }) as Arc<dyn UnaryPotential>,
                     None => uninformative.clone(),
                 })
                 .collect(),
@@ -90,8 +91,7 @@ impl PriorModel {
                     .collect()
             }
             PriorModel::Region(shape) => {
-                let region: Arc<dyn UnaryPotential> =
-                    Arc::new(UniformShapeUnary(shape.clone()));
+                let region: Arc<dyn UnaryPotential> = Arc::new(UniformShapeUnary(shape.clone()));
                 vec![region; network.len()]
             }
             PriorModel::PartialDropPoint {
@@ -102,10 +102,11 @@ impl PriorModel {
                 let mut rng = Xoshiro256pp::seed_from(*seed);
                 (0..network.len())
                     .map(|id| match network.planned_position(id) {
-                        Some(mean) if rng.bernoulli(*coverage) => {
-                            Arc::new(GaussianUnary { mean, sigma: *sigma })
-                                as Arc<dyn UnaryPotential>
-                        }
+                        Some(mean) if rng.bernoulli(*coverage) => Arc::new(GaussianUnary {
+                            mean,
+                            sigma: *sigma,
+                        })
+                            as Arc<dyn UnaryPotential>,
                         _ => uninformative.clone(),
                     })
                     .collect()
@@ -124,8 +125,8 @@ impl PriorModel {
 mod tests {
     use super::*;
     use wsnloc_geom::Vec2;
-    use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
     use wsnloc_net::network::NetworkBuilder;
+    use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
 
     fn planned_network() -> Network {
         NetworkBuilder {
@@ -167,10 +168,10 @@ mod tests {
     fn drop_point_prior_centers_on_plan() {
         let net = planned_network();
         let priors = PriorModel::DropPoint { sigma: 50.0 }.build(&net);
-        for id in 0..net.len() {
+        for (id, prior) in priors.iter().enumerate() {
             let plan = net.planned_position(id).unwrap();
-            assert_eq!(priors[id].log_density(plan), 0.0);
-            assert!(priors[id].log_density(plan + Vec2::new(100.0, 0.0)) < -1.0);
+            assert_eq!(prior.log_density(plan), 0.0);
+            assert!(prior.log_density(plan + Vec2::new(100.0, 0.0)) < -1.0);
         }
     }
 

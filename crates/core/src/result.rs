@@ -1,12 +1,12 @@
 //! Localization results and the common algorithm interface.
 
-use serde::{Deserialize, Serialize};
 use wsnloc_geom::Vec2;
 use wsnloc_net::accounting::CommStats;
 use wsnloc_net::{GroundTruth, Network};
 
 /// The output of one localization run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LocalizationResult {
     /// Per-node position estimate. Anchors carry their known position;
     /// `None` marks unknowns the algorithm could not localize (e.g. DV-Hop

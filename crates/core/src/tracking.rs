@@ -180,10 +180,7 @@ mod tests {
         // No divergence: late errors comparable to early ones.
         let early = errors[1];
         let late = errors[7];
-        assert!(
-            late < 3.0 * early + 30.0,
-            "tracker diverged: {errors:?}"
-        );
+        assert!(late < 3.0 * early + 30.0, "tracker diverged: {errors:?}");
     }
 
     #[test]

@@ -30,7 +30,12 @@ fn main() -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => cfg = ExpConfig { quick: true, ..ExpConfig::quick() },
+            "--quick" => {
+                cfg = ExpConfig {
+                    quick: true,
+                    ..ExpConfig::quick()
+                }
+            }
             "--trials" => {
                 i += 1;
                 cfg.trials = args
@@ -55,7 +60,8 @@ fn main() -> ExitCode {
             "--out" => {
                 i += 1;
                 out_dir = Some(PathBuf::from(
-                    args.get(i).unwrap_or_else(|| die("--out needs a directory")),
+                    args.get(i)
+                        .unwrap_or_else(|| die("--out needs a directory")),
                 ));
             }
             other => ids.push(other.to_string()),
@@ -70,7 +76,10 @@ fn main() -> ExitCode {
     }
 
     let selected: Vec<String> = if ids.iter().any(|id| id == "all") {
-        experiments::ids().iter().map(|s| s.to_string()).collect()
+        experiments::ids()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect()
     } else {
         ids
     };

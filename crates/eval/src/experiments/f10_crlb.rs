@@ -55,7 +55,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     }
     vec![Report::new(
         "f10",
-        format!("CRLB vs achieved error by anchor fraction ({} trials, /R)", cfg.trials),
+        format!(
+            "CRLB vs achieved error by anchor fraction ({} trials, /R)",
+            cfg.trials
+        ),
         "anchors",
         vec![
             "CRLB(prior)".into(),

@@ -29,7 +29,9 @@ fn scenario() -> Scenario {
 /// Runs the backend comparison.
 pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let scenario = scenario();
-    let prior = PriorModel::DropPoint { sigma: PRIOR_SIGMA / 2.0 };
+    let prior = PriorModel::DropPoint {
+        sigma: PRIOR_SIGMA / 2.0,
+    };
     let iters = cfg.iterations;
     let tol = RANGE * 0.02;
     let backends: Vec<(String, BnlLocalizer)> = vec![

@@ -41,7 +41,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         let outcome = evaluate(&algo, &scenario, cfg.trials);
         labels.push(label);
         data.push(vec![
-            outcome.normalized_summary(RANGE).map_or(f64::NAN, |s| s.mean),
+            outcome
+                .normalized_summary(RANGE)
+                .map_or(f64::NAN, |s| s.mean),
             outcome.iterations,
             outcome.converged_frac,
             outcome.secs,

@@ -25,11 +25,7 @@ use wsnloc_net::mobility::{MobileWorld, RandomWaypoint};
 const STEPS: usize = 8;
 const WARMUP: usize = 2;
 
-fn run_world(
-    speed: f64,
-    trial: u64,
-    cfg: &ExpConfig,
-) -> (f64, f64, f64) {
+fn run_world(speed: f64, trial: u64, cfg: &ExpConfig) -> (f64, f64, f64) {
     let mut world = MobileWorld::new(
         Shape::Rect(Aabb::from_size(600.0, 600.0)),
         80,

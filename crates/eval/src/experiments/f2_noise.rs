@@ -5,7 +5,7 @@
 //! redundancy absorb noise) while the point-solver NLS degrades fastest;
 //! DV-Hop, which ignores ranges, is nearly flat.
 
-use super::{standard_scenario, bnl, nbp, RANGE};
+use super::{bnl, nbp, standard_scenario, RANGE};
 use crate::{evaluate, ExpConfig, Report};
 use wsnloc::Localizer;
 use wsnloc_net::RangingModel;
@@ -44,7 +44,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     }
     vec![Report::new(
         "f2",
-        format!("mean error/R vs ranging noise factor ({} trials)", cfg.trials),
+        format!(
+            "mean error/R vs ranging noise factor ({} trials)",
+            cfg.trials
+        ),
         "noise",
         columns,
         labels,

@@ -5,7 +5,7 @@
 //! the graph is well connected; cooperative methods exploit the extra edges
 //! most. The table also reports the realized average degree per range.
 
-use super::{standard_scenario, bnl, nbp, RANGE};
+use super::{bnl, nbp, standard_scenario, RANGE};
 use crate::{evaluate, ExpConfig, Report};
 use wsnloc::Localizer;
 use wsnloc_net::RadioModel;

@@ -47,11 +47,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let pk = curve(&bnl(cfg), &scenario, iterations, cfg.trials);
     let plain = curve(&nbp(cfg), &scenario, iterations, cfg.trials);
     let labels: Vec<String> = (1..=iterations).map(|i| i.to_string()).collect();
-    let data: Vec<Vec<f64>> = pk
-        .into_iter()
-        .zip(plain)
-        .map(|(a, b)| vec![a, b])
-        .collect();
+    let data: Vec<Vec<f64>> = pk.into_iter().zip(plain).map(|(a, b)| vec![a, b]).collect();
     vec![Report::new(
         "f4",
         format!("mean error/R vs BP iteration ({} trials)", cfg.trials),

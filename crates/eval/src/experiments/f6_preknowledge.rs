@@ -84,7 +84,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     }
     let coverage_report = Report::new(
         "f6b",
-        format!("mean error/R vs pre-knowledge coverage ({} trials)", cfg.trials),
+        format!(
+            "mean error/R vs pre-knowledge coverage ({} trials)",
+            cfg.trials
+        ),
         "coverage",
         vec!["BNL-PK mean/R".into()],
         labels,

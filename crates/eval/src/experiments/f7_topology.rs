@@ -33,12 +33,18 @@ fn scenario_for(shape: Shape, name: &str) -> Scenario {
 pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let shapes: Vec<(&str, Shape)> = if cfg.quick {
         vec![
-            ("square", Shape::Rect(wsnloc_geom::Aabb::from_size(FIELD, FIELD))),
+            (
+                "square",
+                Shape::Rect(wsnloc_geom::Aabb::from_size(FIELD, FIELD)),
+            ),
             ("C-shape", Shape::standard_c(FIELD)),
         ]
     } else {
         vec![
-            ("square", Shape::Rect(wsnloc_geom::Aabb::from_size(FIELD, FIELD))),
+            (
+                "square",
+                Shape::Rect(wsnloc_geom::Aabb::from_size(FIELD, FIELD)),
+            ),
             ("C-shape", Shape::standard_c(FIELD)),
             ("O-shape", Shape::standard_o(FIELD)),
         ]

@@ -26,14 +26,21 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         let outcome = evaluate(&algo, &scenario, cfg.trials);
         labels.push(particles.to_string());
         data.push(vec![
-            outcome.normalized_summary(RANGE).map_or(f64::NAN, |s| s.mean),
-            outcome.normalized_summary(RANGE).map_or(f64::NAN, |s| s.p90),
+            outcome
+                .normalized_summary(RANGE)
+                .map_or(f64::NAN, |s| s.mean),
+            outcome
+                .normalized_summary(RANGE)
+                .map_or(f64::NAN, |s| s.p90),
             outcome.secs,
         ]);
     }
     vec![Report::new(
         "f8",
-        format!("BNL-PK accuracy/runtime vs particle count ({} trials)", cfg.trials),
+        format!(
+            "BNL-PK accuracy/runtime vs particle count ({} trials)",
+            cfg.trials
+        ),
         "particles",
         vec!["mean/R".into(), "p90/R".into(), "secs".into()],
         labels,

@@ -40,7 +40,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut data = Vec::new();
     for res in resolutions {
         let algo = BnlLocalizer::grid(res)
-            .with_prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA / 2.0 })
+            .with_prior(PriorModel::DropPoint {
+                sigma: PRIOR_SIGMA / 2.0,
+            })
             .with_max_iterations(cfg.iterations.min(6))
             .with_tolerance(RANGE * 0.02);
         let outcome = evaluate(&algo, &scenario, cfg.trials.min(3));
@@ -48,7 +50,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         labels.push(format!("{res}x{res}"));
         data.push(vec![
             cell,
-            outcome.normalized_summary(RANGE).map_or(f64::NAN, |s| s.mean),
+            outcome
+                .normalized_summary(RANGE)
+                .map_or(f64::NAN, |s| s.mean),
             outcome.secs,
         ]);
     }

@@ -5,6 +5,11 @@
 //! drive. Errors are reported normalized by the nominal radio range (the
 //! "error/R" convention of the localization literature).
 
+pub mod f10_crlb;
+pub mod f11_backends;
+pub mod f12_nlos;
+pub mod f13_schedule;
+pub mod f14_tracking;
 pub mod f1_anchor_fraction;
 pub mod f2_noise;
 pub mod f3_connectivity;
@@ -14,11 +19,6 @@ pub mod f6_preknowledge;
 pub mod f7_topology;
 pub mod f8_particles;
 pub mod f9_grid;
-pub mod f10_crlb;
-pub mod f11_backends;
-pub mod f12_nlos;
-pub mod f13_schedule;
-pub mod f14_tracking;
 pub mod t2_headtohead;
 pub mod t3_scalability;
 
@@ -98,8 +98,8 @@ pub fn sweep_roster(cfg: &ExpConfig) -> Vec<Box<dyn Localizer>> {
 /// Every experiment id, in report order.
 pub fn ids() -> Vec<&'static str> {
     vec![
-        "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11",
-        "f12", "f13", "f14",
+        "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
+        "f13", "f14",
     ]
 }
 

@@ -1,10 +1,10 @@
 //! Error metrics over localization results.
 
-use serde::{Deserialize, Serialize};
 use wsnloc_geom::stats;
 
 /// Summary statistics of a set of per-node localization errors (meters).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ErrorSummary {
     /// Number of localized nodes contributing errors.
     pub n: usize,
@@ -73,7 +73,9 @@ mod tests {
 
     #[test]
     fn normalization_divides_everything() {
-        let s = ErrorSummary::from_errors(&[10.0, 20.0]).unwrap().normalized(10.0);
+        let s = ErrorSummary::from_errors(&[10.0, 20.0])
+            .unwrap()
+            .normalized(10.0);
         assert!((s.mean - 1.5).abs() < 1e-12);
         assert!((s.median - 1.5).abs() < 1e-12);
         assert_eq!(s.n, 2);

@@ -7,7 +7,6 @@
 //! per-trial seeds make the aggregate independent of scheduling.
 
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use wsnloc::Localizer;
 use wsnloc_geom::stats::{self, Welford};
 use wsnloc_net::Scenario;
@@ -15,7 +14,8 @@ use wsnloc_net::Scenario;
 use crate::metrics::{localized_errors, ErrorSummary};
 
 /// Aggregated evaluation of one algorithm on one scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EvalOutcome {
     /// Algorithm display name.
     pub algo: String,

@@ -1,11 +1,11 @@
 //! Table reports: aligned ASCII for the terminal, CSV for plotting.
 
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// A rectangular experiment report: labeled rows of numeric columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Report {
     /// Experiment id ("f1", "t2", …).
     pub id: String,

@@ -4,10 +4,10 @@
 //! bounds. An [`Aabb`] is closed: both edges are inside.
 
 use crate::vec2::Vec2;
-use serde::{Deserialize, Serialize};
 
 /// A closed axis-aligned rectangle `[min.x, max.x] × [min.y, max.y]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Aabb {
     /// Lower-left corner.
     pub min: Vec2,

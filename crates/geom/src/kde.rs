@@ -21,7 +21,11 @@ pub fn gaussian_kernel(d2: f64, h: f64) -> f64 {
 /// distributions get wider kernels. Returns `min_bandwidth` when the sample
 /// is empty or has collapsed to a point.
 pub fn silverman_bandwidth(points: &[Vec2], weights: &[f64], min_bandwidth: f64) -> f64 {
-    assert_eq!(points.len(), weights.len(), "points/weights length mismatch");
+    assert_eq!(
+        points.len(),
+        weights.len(),
+        "points/weights length mismatch"
+    );
     let total: f64 = weights.iter().sum();
     if points.is_empty() || total <= 0.0 {
         return min_bandwidth;
@@ -39,7 +43,11 @@ pub fn silverman_bandwidth(points: &[Vec2], weights: &[f64], min_bandwidth: f64)
     }
     // Per-axis variance: the 2-D squared deviation splits across two axes.
     let sigma = (var / total / 2.0).sqrt();
-    let ess = if sq_weight > 0.0 { total * total / sq_weight } else { 1.0 };
+    let ess = if sq_weight > 0.0 {
+        total * total / sq_weight
+    } else {
+        1.0
+    };
     // d = 2 → exponent -1/(d+4) = -1/6; constant n^{-1/6}.
     let h = sigma * ess.powf(-1.0 / 6.0);
     h.max(min_bandwidth)
@@ -59,7 +67,11 @@ impl Kde {
     /// inputs are empty, mismatched, or the weights are not summable to a
     /// positive value.
     pub fn new(points: Vec<Vec2>, mut weights: Vec<f64>, bandwidth: f64) -> Self {
-        assert_eq!(points.len(), weights.len(), "points/weights length mismatch");
+        assert_eq!(
+            points.len(),
+            weights.len(),
+            "points/weights length mismatch"
+        );
         assert!(!points.is_empty(), "KDE needs at least one particle");
         assert!(bandwidth > 0.0, "KDE bandwidth must be positive");
         let total: f64 = weights.iter().sum();
@@ -120,9 +132,9 @@ impl Kde {
     /// Draws one sample: pick a component by weight, then jitter by the
     /// kernel.
     pub fn sample(&self, rng: &mut crate::rng::Xoshiro256pp) -> Vec2 {
-        let idx = rng
-            .weighted_index(&self.weights)
-            .expect("KDE weights normalized at construction");
+        // Weights are normalized at construction; if the mass has somehow
+        // degenerated to zero, fall back to the first component.
+        let idx = rng.weighted_index(&self.weights).unwrap_or(0);
         rng.gaussian_point(self.points[idx], self.bandwidth)
     }
 }
@@ -158,9 +170,7 @@ mod tests {
 
     #[test]
     fn silverman_scales_with_spread() {
-        let tight: Vec<Vec2> = (0..50)
-            .map(|i| Vec2::new(i as f64 * 0.01, 0.0))
-            .collect();
+        let tight: Vec<Vec2> = (0..50).map(|i| Vec2::new(i as f64 * 0.01, 0.0)).collect();
         let wide: Vec<Vec2> = (0..50).map(|i| Vec2::new(i as f64, 0.0)).collect();
         let w = vec![1.0; 50];
         let ht = silverman_bandwidth(&tight, &w, 1e-9);
@@ -186,11 +196,7 @@ mod tests {
 
     #[test]
     fn kde_weights_normalize() {
-        let kde = Kde::new(
-            vec![Vec2::ZERO, Vec2::new(1.0, 0.0)],
-            vec![2.0, 6.0],
-            0.5,
-        );
+        let kde = Kde::new(vec![Vec2::ZERO, Vec2::new(1.0, 0.0)], vec![2.0, 6.0], 0.5);
         assert!((kde.weights()[0] - 0.25).abs() < 1e-12);
         assert!((kde.weights()[1] - 0.75).abs() < 1e-12);
         assert!((kde.mean().x - 0.75).abs() < 1e-12);
@@ -198,16 +204,10 @@ mod tests {
 
     #[test]
     fn kde_sampling_tracks_mixture() {
-        let kde = Kde::new(
-            vec![Vec2::ZERO, Vec2::new(100.0, 0.0)],
-            vec![0.2, 0.8],
-            1.0,
-        );
+        let kde = Kde::new(vec![Vec2::ZERO, Vec2::new(100.0, 0.0)], vec![0.2, 0.8], 1.0);
         let mut rng = Xoshiro256pp::seed_from(7);
         let n = 20_000;
-        let right = (0..n)
-            .filter(|_| kde.sample(&mut rng).x > 50.0)
-            .count();
+        let right = (0..n).filter(|_| kde.sample(&mut rng).x > 50.0).count();
         let frac = right as f64 / n as f64;
         assert!((frac - 0.8).abs() < 0.02, "right fraction {frac}");
     }

@@ -21,10 +21,13 @@
 //!   sampling, weighted choice, shuffling, and stream splitting.
 //! - [`kde`] — Gaussian kernel density estimation with Silverman bandwidths.
 //! - [`grid`] — a uniform spatial hash grid for radius neighbor queries.
+//! - [`check`] — a miniature seeded property-test harness (the workspace
+//!   builds without registry access, so `proptest` is unavailable).
 
 #![warn(missing_docs)]
 
 pub mod aabb;
+pub mod check;
 pub mod grid;
 pub mod kde;
 pub mod matrix;

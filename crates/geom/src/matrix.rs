@@ -12,7 +12,6 @@
 //! contiguous rows, per the perf-book guidance of iterating row-major data in
 //! row order.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
@@ -25,7 +24,8 @@ use std::ops::{Add, Index, IndexMut, Mul, Sub};
 /// let b = a.mul_vec(&x);
 /// assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -60,7 +60,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds from a flat row-major vector; panics if the length mismatches.
@@ -114,13 +118,13 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "mul_vec shape mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(v) {
                 acc += a * b;
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }
@@ -262,8 +266,7 @@ impl Matrix {
             perm.swap(col, pivot_row);
             let prow = perm[col];
             let pv = a[prow * n + col];
-            for r in (col + 1)..n {
-                let row = perm[r];
+            for &row in &perm[(col + 1)..] {
                 let factor = a[row * n + col] / pv;
                 a[row * n + col] = factor;
                 for c in (col + 1)..n {
@@ -339,8 +342,13 @@ impl Matrix {
                     }
                     let app = a[(p, p)];
                     let aqq = a[(q, q)];
-                    let theta = 0.5 * (aqq - app).atan2(2.0 * apq)
-                        * if (aqq - app).abs() < 1e-300 && apq.abs() < 1e-300 { 0.0 } else { 1.0 };
+                    let theta = 0.5
+                        * (aqq - app).atan2(2.0 * apq)
+                        * if (aqq - app).abs() < 1e-300 && apq.abs() < 1e-300 {
+                            0.0
+                        } else {
+                            1.0
+                        };
                     // Classic stable rotation computation.
                     let tau = (aqq - app) / (2.0 * apq);
                     let t = if tau >= 0.0 {
@@ -376,7 +384,7 @@ impl Matrix {
         }
 
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).unwrap());
+        order.sort_by(|&i, &j| a[(j, j)].total_cmp(&a[(i, i)]));
         let eigenvalues: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
         let mut vectors = Matrix::zeros(n, n);
         for (new_col, &old_col) in order.iter().enumerate() {
@@ -414,11 +422,20 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -426,11 +443,20 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -445,7 +471,9 @@ impl Mul for &Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
-                if aik == 0.0 {
+                // Sparsity fast path: skip structural zeros. Exact bit test,
+                // not a tolerance comparison — ±0.0 only.
+                if aik.abs().to_bits() == 0 {
                     continue;
                 }
                 let rrow = rhs.row(k);
@@ -591,7 +619,7 @@ mod tests {
         // Fit y = 2x + 1 from noisy-free samples: exact recovery.
         let xs = [0.0, 1.0, 2.0, 3.0];
         let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
-        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(std::vec::Vec::as_slice).collect();
         let a = Matrix::from_rows(&refs);
         let b: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
         let sol = a.solve_least_squares(&b).unwrap();

@@ -66,7 +66,8 @@ impl Xoshiro256pp {
     /// deterministic: worker `i` always receives `rng.split(i as u64)`.
     pub fn split(&self, tag: u64) -> Xoshiro256pp {
         // Mix the current state with the tag through SplitMix64.
-        let mut sm = self.s[0] ^ self.s[1].rotate_left(17) ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sm =
+            self.s[0] ^ self.s[1].rotate_left(17) ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),
@@ -196,7 +197,7 @@ impl Xoshiro256pp {
     /// weights are treated as zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
         let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
-        if !(total > 0.0) || !total.is_finite() {
+        if total <= 0.0 || !total.is_finite() {
             return None;
         }
         let mut target = self.f64() * total;
@@ -248,7 +249,7 @@ pub fn systematic_resample(
     count: usize,
 ) -> Option<Vec<usize>> {
     let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
-    if !(total > 0.0) || !total.is_finite() || count == 0 {
+    if total <= 0.0 || !total.is_finite() || count == 0 {
         return if count == 0 { Some(Vec::new()) } else { None };
     }
     let step = total / count as f64;

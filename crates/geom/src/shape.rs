@@ -8,10 +8,10 @@
 use crate::aabb::Aabb;
 use crate::rng::Xoshiro256pp;
 use crate::vec2::Vec2;
-use serde::{Deserialize, Serialize};
 
 /// A deployment region in the plane.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Shape {
     /// Solid axis-aligned rectangle.
     Rect(Aabb),
@@ -91,17 +91,18 @@ impl Shape {
                 *center - Vec2::splat(*radius),
                 *center + Vec2::splat(*radius),
             ),
-            Shape::Annulus { center, outer, .. }
-            | Shape::CShape { center, outer, .. } => Aabb::new(
-                *center - Vec2::splat(*outer),
-                *center + Vec2::splat(*outer),
-            ),
+            Shape::Annulus { center, outer, .. } | Shape::CShape { center, outer, .. } => {
+                Aabb::new(*center - Vec2::splat(*outer), *center + Vec2::splat(*outer))
+            }
             Shape::LShape {
                 vertical,
                 horizontal,
             } => vertical.union(horizontal),
-            Shape::Polygon(vs) => Aabb::from_points(vs)
-                .expect("polygon must have at least one vertex"),
+            // An empty polygon has no extent; collapse to the origin rather
+            // than panicking deep inside a deployment pipeline.
+            Shape::Polygon(vs) => {
+                Aabb::from_points(vs).unwrap_or_else(|| Aabb::new(Vec2::ZERO, Vec2::ZERO))
+            }
         }
     }
 
@@ -176,8 +177,9 @@ impl Shape {
 
     /// Uniform sample inside the region by rejection from the bounding box.
     ///
-    /// Panics if 10 000 consecutive rejections occur (a degenerate shape whose
-    /// area is ≲ 0.01% of its bounding box).
+    /// If 10 000 consecutive rejections occur (a degenerate shape whose area
+    /// is ≲ 0.01% of its bounding box) the draw falls back to an
+    /// unconstrained bounding-box sample instead of aborting the caller.
     pub fn sample(&self, rng: &mut Xoshiro256pp) -> Vec2 {
         let bb = self.bounding_box();
         for _ in 0..10_000 {
@@ -186,7 +188,7 @@ impl Shape {
                 return p;
             }
         }
-        panic!("Shape::sample: rejection sampling failed — degenerate shape?");
+        rng.point_in(bb.min, bb.max)
     }
 
     /// Draws `n` uniform samples.

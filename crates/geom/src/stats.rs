@@ -6,8 +6,6 @@
 //! inputs are asserted finite in debug builds and NaNs would poison sorts,
 //! so generators upstream must never emit them.
 
-use serde::{Deserialize, Serialize};
-
 /// Arithmetic mean; `None` on empty input.
 pub fn mean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
@@ -41,6 +39,15 @@ pub fn rms(xs: &[f64]) -> Option<f64> {
     }
 }
 
+/// Sorts a copy of `xs` ascending under IEEE-754 total order
+/// ([`f64::total_cmp`]): NaNs sort to the ends instead of poisoning the
+/// comparator. The shared helper behind every order-statistic routine here.
+pub fn sorted_total(xs: &[f64]) -> Vec<f64> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted
+}
+
 /// Quantile with linear interpolation between order statistics
 /// (the "R-7" definition used by NumPy's default). `q` is clamped to [0, 1].
 /// `None` on empty input.
@@ -48,9 +55,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
     if xs.is_empty() {
         return None;
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
-    Some(quantile_sorted(&sorted, q))
+    Some(quantile_sorted(&sorted_total(xs), q))
 }
 
 /// Quantile of an already-sorted slice (ascending). Panics on empty input.
@@ -85,8 +90,7 @@ pub fn ci95_half_width(xs: &[f64]) -> Option<f64> {
 /// reproduce per-node error CDF figures.
 pub fn empirical_cdf(xs: &[f64], max: f64, points: usize) -> Vec<(f64, f64)> {
     assert!(points >= 2, "need at least two CDF points");
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+    let sorted = sorted_total(xs);
     let n = sorted.len();
     (0..points)
         .map(|i| {
@@ -100,7 +104,8 @@ pub fn empirical_cdf(xs: &[f64], max: f64, points: usize) -> Vec<(f64, f64)> {
 
 /// One-pass (Welford) accumulator for mean and variance; usable online and
 /// mergeable across parallel shards.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -148,15 +153,16 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
     }
 }
 
 /// Fixed-bin histogram over `[lo, hi)` with out-of-range clamping; used for
 /// belief visualization and distribution sanity checks.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -5,13 +5,13 @@
 //! `Vec2`. It is `Copy`, 16 bytes, and all operations are `#[inline]` so the
 //! hot message-passing loops stay allocation-free.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A 2-D vector (or point) with `f64` components.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vec2 {
     /// Horizontal component (meters in simulation space).
     pub x: f64,
@@ -158,7 +158,11 @@ impl Vec2 {
     /// Weighted mean of a point set. Returns `None` when the total weight is
     /// not strictly positive (all-zero weights, empty input, or negative sum).
     pub fn weighted_centroid(points: &[Vec2], weights: &[f64]) -> Option<Vec2> {
-        assert_eq!(points.len(), weights.len(), "points/weights length mismatch");
+        assert_eq!(
+            points.len(),
+            weights.len(),
+            "points/weights length mismatch"
+        );
         let mut acc = Vec2::ZERO;
         let mut total = 0.0;
         for (&p, &w) in points.iter().zip(weights) {
@@ -334,7 +338,10 @@ mod tests {
     fn rotation_and_angle() {
         let v = Vec2::new(1.0, 0.0).rotated(std::f64::consts::FRAC_PI_2);
         assert!(v.dist(Vec2::new(0.0, 1.0)) < 1e-12);
-        assert!(approx(Vec2::new(0.0, 1.0).angle(), std::f64::consts::FRAC_PI_2));
+        assert!(approx(
+            Vec2::new(0.0, 1.0).angle(),
+            std::f64::consts::FRAC_PI_2
+        ));
         assert!(Vec2::from_angle(0.7).dist(Vec2::new(0.7f64.cos(), 0.7f64.sin())) < 1e-15);
         assert_eq!(Vec2::new(1.0, 0.0).perp(), Vec2::new(0.0, 1.0));
     }
@@ -362,7 +369,11 @@ mod tests {
 
     #[test]
     fn centroid_of_points() {
-        let pts = [Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0), Vec2::new(1.0, 3.0)];
+        let pts = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(1.0, 3.0),
+        ];
         assert_eq!(Vec2::centroid(&pts), Some(Vec2::new(1.0, 1.0)));
         assert_eq!(Vec2::centroid(&[]), None);
     }

@@ -1,144 +1,203 @@
-//! Property-based tests for the geometry/numerics substrate.
+//! Property-based tests for the geometry/numerics substrate, on the
+//! in-tree [`check`] harness (the workspace builds offline, without
+//! `proptest`).
 
-use proptest::prelude::*;
+use wsnloc_geom::check;
 use wsnloc_geom::matrix::Matrix;
 use wsnloc_geom::rng::{systematic_resample, Xoshiro256pp};
 use wsnloc_geom::stats;
 use wsnloc_geom::{Aabb, Shape, Vec2};
 
-fn finite_f64() -> impl Strategy<Value = f64> {
-    -1e6..1e6f64
+const CASES: u64 = 24;
+
+fn finite_f64(rng: &mut Xoshiro256pp) -> f64 {
+    rng.range(-1e6, 1e6)
 }
 
-fn vec2() -> impl Strategy<Value = Vec2> {
-    (finite_f64(), finite_f64()).prop_map(|(x, y)| Vec2::new(x, y))
+fn vec2(rng: &mut Xoshiro256pp) -> Vec2 {
+    Vec2::new(finite_f64(rng), finite_f64(rng))
 }
 
-proptest! {
-    #[test]
-    fn vec_add_commutes(a in vec2(), b in vec2()) {
-        prop_assert_eq!(a + b, b + a);
-    }
+fn vec_of_f64(rng: &mut Xoshiro256pp, lo: usize, hi: usize, min: f64, max: f64) -> Vec<f64> {
+    let n = lo + rng.index(hi - lo);
+    (0..n).map(|_| rng.range(min, max)).collect()
+}
 
-    #[test]
-    fn vec_add_associates(a in vec2(), b in vec2(), c in vec2()) {
+#[test]
+fn vec_add_commutes() {
+    check::cases(CASES, |_, rng| {
+        let (a, b) = (vec2(rng), vec2(rng));
+        assert_eq!(a + b, b + a);
+    });
+}
+
+#[test]
+fn vec_add_associates() {
+    check::cases(CASES, |_, rng| {
+        let (a, b, c) = (vec2(rng), vec2(rng), vec2(rng));
         let lhs = (a + b) + c;
         let rhs = a + (b + c);
-        prop_assert!(lhs.dist(rhs) < 1e-6 * (1.0 + lhs.norm()));
-    }
+        assert!(lhs.dist(rhs) < 1e-6 * (1.0 + lhs.norm()));
+    });
+}
 
-    #[test]
-    fn scalar_distributes(a in vec2(), b in vec2(), k in -1e3..1e3f64) {
+#[test]
+fn scalar_distributes() {
+    check::cases(CASES, |_, rng| {
+        let (a, b) = (vec2(rng), vec2(rng));
+        let k = rng.range(-1e3, 1e3);
         let lhs = (a + b) * k;
         let rhs = a * k + b * k;
-        prop_assert!(lhs.dist(rhs) < 1e-6 * (1.0 + lhs.norm()));
-    }
+        assert!(lhs.dist(rhs) < 1e-6 * (1.0 + lhs.norm()));
+    });
+}
 
-    #[test]
-    fn triangle_inequality(a in vec2(), b in vec2(), c in vec2()) {
-        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9 * (1.0 + a.norm() + c.norm()));
-    }
+#[test]
+fn triangle_inequality() {
+    check::cases(CASES, |_, rng| {
+        let (a, b, c) = (vec2(rng), vec2(rng), vec2(rng));
+        assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9 * (1.0 + a.norm() + c.norm()));
+    });
+}
 
-    #[test]
-    fn rotation_preserves_norm(v in vec2(), theta in -10.0..10.0f64) {
+#[test]
+fn rotation_preserves_norm() {
+    check::cases(CASES, |_, rng| {
+        let v = vec2(rng);
+        let theta = rng.range(-10.0, 10.0);
         let r = v.rotated(theta);
-        prop_assert!((r.norm() - v.norm()).abs() < 1e-6 * (1.0 + v.norm()));
-    }
+        assert!((r.norm() - v.norm()).abs() < 1e-6 * (1.0 + v.norm()));
+    });
+}
 
-    #[test]
-    fn normalized_has_unit_norm(v in vec2()) {
-        if let Some(u) = v.try_normalize() {
-            prop_assert!((u.norm() - 1.0).abs() < 1e-9);
+#[test]
+fn normalized_has_unit_norm() {
+    check::cases(CASES, |_, rng| {
+        if let Some(u) = vec2(rng).try_normalize() {
+            assert!((u.norm() - 1.0).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn dot_cauchy_schwarz(a in vec2(), b in vec2()) {
-        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-6);
-    }
+#[test]
+fn dot_cauchy_schwarz() {
+    check::cases(CASES, |_, rng| {
+        let (a, b) = (vec2(rng), vec2(rng));
+        assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-6);
+    });
+}
 
-    #[test]
-    fn aabb_from_points_contains_all(pts in prop::collection::vec(vec2(), 1..50)) {
-        let bb = Aabb::from_points(&pts).unwrap();
+#[test]
+fn aabb_from_points_contains_all() {
+    check::cases(CASES, |_, rng| {
+        let n = 1 + rng.index(49);
+        let pts: Vec<Vec2> = (0..n).map(|_| vec2(rng)).collect();
+        let bb = Aabb::from_points(&pts).expect("non-empty point set has a bounding box");
         for p in pts {
-            prop_assert!(bb.contains(p));
+            assert!(bb.contains(p));
         }
-    }
+    });
+}
 
-    #[test]
-    fn aabb_clamp_is_inside(p in vec2()) {
+#[test]
+fn aabb_clamp_is_inside() {
+    check::cases(CASES, |_, rng| {
         let bb = Aabb::from_size(100.0, 40.0);
-        prop_assert!(bb.contains(bb.clamp_point(p)));
-    }
+        assert!(bb.contains(bb.clamp_point(vec2(rng))));
+    });
+}
 
-    #[test]
-    fn aabb_union_contains_both(a in vec2(), b in vec2(), c in vec2(), d in vec2()) {
-        let b1 = Aabb::from_points(&[a, b]).unwrap();
-        let b2 = Aabb::from_points(&[c, d]).unwrap();
+#[test]
+fn aabb_union_contains_both() {
+    check::cases(CASES, |_, rng| {
+        let (a, b, c, d) = (vec2(rng), vec2(rng), vec2(rng), vec2(rng));
+        let b1 = Aabb::from_points(&[a, b]).expect("two points bound a box");
+        let b2 = Aabb::from_points(&[c, d]).expect("two points bound a box");
         let u = b1.union(&b2);
-        prop_assert!(u.contains(a) && u.contains(b) && u.contains(c) && u.contains(d));
-    }
+        assert!(u.contains(a) && u.contains(b) && u.contains(c) && u.contains(d));
+    });
+}
 
-    #[test]
-    fn rng_f64_stays_in_unit_interval(seed in any::<u64>()) {
-        let mut rng = Xoshiro256pp::seed_from(seed);
+#[test]
+fn rng_f64_stays_in_unit_interval() {
+    check::cases(CASES, |_, rng| {
+        let mut inner = Xoshiro256pp::seed_from(rng.next_u64());
         for _ in 0..100 {
-            let x = rng.f64();
-            prop_assert!((0.0..1.0).contains(&x));
+            let x = inner.f64();
+            assert!((0.0..1.0).contains(&x));
         }
-    }
+    });
+}
 
-    #[test]
-    fn rng_index_in_range(seed in any::<u64>(), n in 1usize..1000) {
-        let mut rng = Xoshiro256pp::seed_from(seed);
+#[test]
+fn rng_index_in_range() {
+    check::cases(CASES, |_, rng| {
+        let n = 1 + rng.index(999);
+        let mut inner = Xoshiro256pp::seed_from(rng.next_u64());
         for _ in 0..50 {
-            prop_assert!(rng.index(n) < n);
+            assert!(inner.index(n) < n);
         }
-    }
+    });
+}
 
-    #[test]
-    fn shuffle_preserves_multiset(seed in any::<u64>(), mut xs in prop::collection::vec(0u32..100, 0..40)) {
-        let mut rng = Xoshiro256pp::seed_from(seed);
+#[test]
+fn shuffle_preserves_multiset() {
+    check::cases(CASES, |_, rng| {
+        let n = rng.index(40);
+        let mut xs: Vec<u32> = (0..n).map(|_| rng.index(100) as u32).collect();
         let mut expected = xs.clone();
         rng.shuffle(&mut xs);
         expected.sort_unstable();
         xs.sort_unstable();
-        prop_assert_eq!(xs, expected);
-    }
+        assert_eq!(xs, expected);
+    });
+}
 
-    #[test]
-    fn resample_indices_valid(seed in any::<u64>(), weights in prop::collection::vec(0.0..10.0f64, 1..30), count in 0usize..100) {
-        let mut rng = Xoshiro256pp::seed_from(seed);
-        if let Some(idx) = systematic_resample(&mut rng, &weights, count) {
-            prop_assert_eq!(idx.len(), count);
+#[test]
+fn resample_indices_valid() {
+    check::cases(CASES, |_, rng| {
+        let weights = vec_of_f64(rng, 1, 30, 0.0, 10.0);
+        let count = rng.index(100);
+        if let Some(idx) = systematic_resample(rng, &weights, count) {
+            assert_eq!(idx.len(), count);
             for i in idx {
-                prop_assert!(i < weights.len());
-                prop_assert!(weights[i] > 0.0 || weights.iter().all(|&w| w == 0.0));
+                assert!(i < weights.len());
+                assert!(weights[i] > 0.0 || weights.iter().all(|&w| w == 0.0));
             }
         } else {
-            prop_assert!(weights.iter().sum::<f64>() <= 0.0);
+            assert!(weights.iter().sum::<f64>() <= 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn quantile_between_min_and_max(xs in prop::collection::vec(-1e3..1e3f64, 1..100), q in 0.0..1.0f64) {
-        let v = stats::quantile(&xs, q).unwrap();
-        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
-    }
+#[test]
+fn quantile_between_min_and_max() {
+    check::cases(CASES, |_, rng| {
+        let xs = vec_of_f64(rng, 1, 100, -1e3, 1e3);
+        let q = rng.f64();
+        let v = stats::quantile(&xs, q).expect("non-empty sample has quantiles");
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    });
+}
 
-    #[test]
-    fn quantiles_are_monotone_in_q(xs in prop::collection::vec(-1e3..1e3f64, 2..60)) {
-        let q25 = stats::quantile(&xs, 0.25).unwrap();
-        let q50 = stats::quantile(&xs, 0.5).unwrap();
-        let q90 = stats::quantile(&xs, 0.9).unwrap();
-        prop_assert!(q25 <= q50 + 1e-12 && q50 <= q90 + 1e-12);
-    }
+#[test]
+fn quantiles_are_monotone_in_q() {
+    check::cases(CASES, |_, rng| {
+        let xs = vec_of_f64(rng, 2, 60, -1e3, 1e3);
+        let q25 = stats::quantile(&xs, 0.25).expect("non-empty");
+        let q50 = stats::quantile(&xs, 0.5).expect("non-empty");
+        let q90 = stats::quantile(&xs, 0.9).expect("non-empty");
+        assert!(q25 <= q50 + 1e-12 && q50 <= q90 + 1e-12);
+    });
+}
 
-    #[test]
-    fn welford_merge_is_order_independent(xs in prop::collection::vec(-1e3..1e3f64, 2..60), split in 1usize..59) {
-        let split = split.min(xs.len() - 1);
+#[test]
+fn welford_merge_is_order_independent() {
+    check::cases(CASES, |_, rng| {
+        let xs = vec_of_f64(rng, 2, 60, -1e3, 1e3);
+        let split = (1 + rng.index(58)).min(xs.len() - 1);
         let mut whole = stats::Welford::new();
         xs.iter().for_each(|&x| whole.push(x));
         let (l, r) = xs.split_at(split);
@@ -147,48 +206,66 @@ proptest! {
         l.iter().for_each(|&x| wl.push(x));
         r.iter().for_each(|&x| wr.push(x));
         wl.merge(&wr);
-        prop_assert!((wl.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-8);
-    }
+        let merged = wl.mean().expect("merged accumulator is non-empty");
+        let direct = whole.mean().expect("whole accumulator is non-empty");
+        assert!((merged - direct).abs() < 1e-8);
+    });
+}
 
-    #[test]
-    fn shape_samples_are_contained(seed in any::<u64>(), side in 10.0..500.0f64) {
-        let mut rng = Xoshiro256pp::seed_from(seed);
-        for shape in [Shape::standard_c(side), Shape::standard_o(side), Shape::Rect(Aabb::from_size(side, side))] {
-            for p in shape.sample_n(&mut rng, 20) {
-                prop_assert!(shape.contains(p));
+#[test]
+fn shape_samples_are_contained() {
+    check::cases(CASES, |_, rng| {
+        let side = rng.range(10.0, 500.0);
+        for shape in [
+            Shape::standard_c(side),
+            Shape::standard_o(side),
+            Shape::Rect(Aabb::from_size(side, side)),
+        ] {
+            for p in shape.sample_n(rng, 20) {
+                assert!(shape.contains(p));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn spd_solve_recovers_solution(x0 in finite_f64(), x1 in finite_f64(), x2 in finite_f64()) {
+#[test]
+fn spd_solve_recovers_solution() {
+    check::cases(CASES, |_, rng| {
         // Build an SPD matrix A = Mᵀ M + I and verify A⁻¹(A x) == x.
         let m = Matrix::from_rows(&[&[1.0, 0.5, 0.0], &[0.2, 2.0, 0.3], &[0.0, -0.4, 1.5]]);
         let a = &(&m.transpose() * &m) + &Matrix::identity(3);
-        let x = vec![x0, x1, x2];
+        let x = vec![finite_f64(rng), finite_f64(rng), finite_f64(rng)];
         let b = a.mul_vec(&x);
-        let sol = a.solve_spd(&b).unwrap();
+        let sol = a.solve_spd(&b).expect("SPD by construction");
         let scale = 1.0 + x.iter().map(|v| v.abs()).fold(0.0, f64::max);
         for (s, v) in sol.iter().zip(&x) {
-            prop_assert!((s - v).abs() < 1e-6 * scale);
+            assert!((s - v).abs() < 1e-6 * scale);
         }
-    }
+    });
+}
 
-    #[test]
-    fn lu_solve_matches_spd_solve(a0 in 1.0..10.0f64, a1 in -3.0..3.0f64, a2 in 1.0..10.0f64) {
+#[test]
+fn lu_solve_matches_spd_solve() {
+    check::cases(CASES, |_, rng| {
+        let a0 = rng.range(1.0, 10.0);
+        let a1 = rng.range(-3.0, 3.0);
+        let a2 = rng.range(1.0, 10.0);
         let a = Matrix::from_rows(&[&[a0 + 3.0, a1], &[a1, a2 + 3.0]]);
         let b = [1.0, -2.0];
         let x_spd = a.solve_spd(&b);
         let x_lu = a.solve_lu(&b);
         if let (Some(s), Some(l)) = (x_spd, x_lu) {
-            prop_assert!((s[0] - l[0]).abs() < 1e-8);
-            prop_assert!((s[1] - l[1]).abs() < 1e-8);
+            assert!((s[0] - l[0]).abs() < 1e-8);
+            assert!((s[1] - l[1]).abs() < 1e-8);
         }
-    }
+    });
+}
 
-    #[test]
-    fn eigen_sum_equals_trace(d in prop::collection::vec(-5.0..5.0f64, 6)) {
+#[test]
+fn eigen_sum_equals_trace() {
+    check::cases(CASES, |_, rng| {
         // Symmetric matrix from arbitrary entries.
+        let d: Vec<f64> = (0..6).map(|_| rng.range(-5.0, 5.0)).collect();
         let a = Matrix::from_rows(&[
             &[d[0], d[1], d[2]],
             &[d[1], d[3], d[4]],
@@ -196,6 +273,6 @@ proptest! {
         ]);
         let (vals, _) = a.symmetric_eigen();
         let sum: f64 = vals.iter().sum();
-        prop_assert!((sum - a.trace()).abs() < 1e-8 * (1.0 + a.frobenius_norm()));
-    }
+        assert!((sum - a.trace()).abs() < 1e-8 * (1.0 + a.frobenius_norm()));
+    });
 }

@@ -5,16 +5,68 @@
 //! energy budgets. This module provides:
 //!
 //! - [`WireMessage`], the on-air payloads a distributed implementation would
-//!   send, with a compact binary encoding (via `bytes`) so byte counts are
-//!   honest rather than guessed;
+//!   send, with a compact hand-rolled big-endian encoding so byte counts
+//!   are honest rather than guessed;
 //! - [`MessageLedger`], a thread-safe counter of per-node messages and bytes
 //!   that inference code charges as it exchanges beliefs. The ledger is
-//!   shared across rayon workers, hence the `parking_lot` mutex.
+//!   shared across rayon workers, hence the mutex.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use wsnloc_geom::Vec2;
+
+/// Big-endian cursor over an encoded [`WireMessage`]; each getter consumes
+/// its bytes or reports exhaustion via `None`.
+struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let (head, tail) = self.data.split_at_checked(N)?;
+        self.data = tail;
+        head.try_into().ok()
+    }
+
+    fn get_u8(&mut self) -> Option<u8> {
+        self.take::<1>().map(|b| b[0])
+    }
+
+    fn get_u16(&mut self) -> Option<u16> {
+        self.take::<2>().map(u16::from_be_bytes)
+    }
+
+    fn get_u32(&mut self) -> Option<u32> {
+        self.take::<4>().map(u32::from_be_bytes)
+    }
+
+    fn get_f64(&mut self) -> Option<f64> {
+        self.take::<8>().map(f64::from_be_bytes)
+    }
+
+    fn get_vec2(&mut self) -> Option<Vec2> {
+        Some(Vec2::new(self.get_f64()?, self.get_f64()?))
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
 
 /// Payloads exchanged by distributed localization algorithms.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,53 +112,53 @@ pub enum WireMessage {
 
 impl WireMessage {
     /// Serializes to the compact wire format.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
         match self {
             WireMessage::AnchorAnnounce {
                 anchor,
                 position,
                 hops,
             } => {
-                buf.put_u8(0);
-                buf.put_u32(*anchor);
-                buf.put_f64(position.x);
-                buf.put_f64(position.y);
-                buf.put_u16(*hops);
+                buf.push(0);
+                put_u32(&mut buf, *anchor);
+                put_f64(&mut buf, position.x);
+                put_f64(&mut buf, position.y);
+                put_u16(&mut buf, *hops);
             }
             WireMessage::HopSizeAnnounce {
                 anchor,
                 meters_per_hop,
             } => {
-                buf.put_u8(1);
-                buf.put_u32(*anchor);
-                buf.put_f64(*meters_per_hop);
+                buf.push(1);
+                put_u32(&mut buf, *anchor);
+                put_f64(&mut buf, *meters_per_hop);
             }
             WireMessage::ParticleBelief {
                 from,
                 count,
                 payload,
             } => {
-                buf.put_u8(2);
-                buf.put_u32(*from);
-                buf.put_u32(*count);
+                buf.push(2);
+                put_u32(&mut buf, *from);
+                put_u32(&mut buf, *count);
                 for (p, w) in payload {
-                    buf.put_f64(p.x);
-                    buf.put_f64(p.y);
-                    buf.put_f64(*w);
+                    put_f64(&mut buf, p.x);
+                    put_f64(&mut buf, p.y);
+                    put_f64(&mut buf, *w);
                 }
             }
             WireMessage::GaussianBelief { from, mean, cov } => {
-                buf.put_u8(3);
-                buf.put_u32(*from);
-                buf.put_f64(mean.x);
-                buf.put_f64(mean.y);
+                buf.push(3);
+                put_u32(&mut buf, *from);
+                put_f64(&mut buf, mean.x);
+                put_f64(&mut buf, mean.y);
                 for c in cov {
-                    buf.put_f64(*c);
+                    put_f64(&mut buf, *c);
                 }
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Size of the encoded form in bytes, without encoding.
@@ -121,70 +173,47 @@ impl WireMessage {
 
     /// Decodes a message previously produced by [`WireMessage::encode`].
     /// Returns `None` on malformed input.
-    pub fn decode(mut data: Bytes) -> Option<WireMessage> {
-        if data.remaining() < 1 {
-            return None;
-        }
-        match data.get_u8() {
-            0 => {
-                if data.remaining() < 22 {
-                    return None;
-                }
-                Some(WireMessage::AnchorAnnounce {
-                    anchor: data.get_u32(),
-                    position: Vec2::new(data.get_f64(), data.get_f64()),
-                    hops: data.get_u16(),
-                })
-            }
-            1 => {
-                if data.remaining() < 12 {
-                    return None;
-                }
-                Some(WireMessage::HopSizeAnnounce {
-                    anchor: data.get_u32(),
-                    meters_per_hop: data.get_f64(),
-                })
-            }
+    pub fn decode(data: &[u8]) -> Option<WireMessage> {
+        let mut data = Reader::new(data);
+        match data.get_u8()? {
+            0 => Some(WireMessage::AnchorAnnounce {
+                anchor: data.get_u32()?,
+                position: data.get_vec2()?,
+                hops: data.get_u16()?,
+            }),
+            1 => Some(WireMessage::HopSizeAnnounce {
+                anchor: data.get_u32()?,
+                meters_per_hop: data.get_f64()?,
+            }),
             2 => {
-                if data.remaining() < 8 {
-                    return None;
-                }
-                let from = data.get_u32();
-                let count = data.get_u32();
+                let from = data.get_u32()?;
+                let count = data.get_u32()?;
                 if data.remaining() < count as usize * 24 {
                     return None;
                 }
-                let payload = (0..count)
-                    .map(|_| {
-                        (
-                            Vec2::new(data.get_f64(), data.get_f64()),
-                            data.get_f64(),
-                        )
-                    })
-                    .collect();
+                let mut payload = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    payload.push((data.get_vec2()?, data.get_f64()?));
+                }
                 Some(WireMessage::ParticleBelief {
                     from,
                     count,
                     payload,
                 })
             }
-            3 => {
-                if data.remaining() < 44 {
-                    return None;
-                }
-                Some(WireMessage::GaussianBelief {
-                    from: data.get_u32(),
-                    mean: Vec2::new(data.get_f64(), data.get_f64()),
-                    cov: [data.get_f64(), data.get_f64(), data.get_f64()],
-                })
-            }
+            3 => Some(WireMessage::GaussianBelief {
+                from: data.get_u32()?,
+                mean: data.get_vec2()?,
+                cov: [data.get_f64()?, data.get_f64()?, data.get_f64()?],
+            }),
             _ => None,
         }
     }
 }
 
 /// Aggregate communication statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CommStats {
     /// Total messages sent.
     pub messages: u64,
@@ -207,7 +236,8 @@ impl CommStats {
 /// cost per bit on both ends plus a transmit-amplifier term that grows with
 /// range squared. Lets experiments convert [`CommStats`] into energy —
 /// the currency WSN papers ultimately argue in.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnergyModel {
     /// Electronics energy per bit, nJ (typ. 50).
     pub elec_nj_per_bit: f64,
@@ -269,9 +299,17 @@ impl MessageLedger {
         }
     }
 
+    /// Locks the ledger; a poisoned lock (panicking charge) is recovered
+    /// since the counters stay internally consistent under every panic.
+    fn locked(&self) -> std::sync::MutexGuard<'_, LedgerInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Charges one transmission of `bytes` payload bytes to `sender`.
     pub fn charge(&self, sender: usize, bytes: usize) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         inner.per_node_messages[sender] += 1;
         inner.per_node_bytes[sender] += bytes as u64;
     }
@@ -285,14 +323,14 @@ impl MessageLedger {
     /// heard by `count` neighbors counted as one send — call with 1 — or a
     /// per-neighbor unicast model — call with the neighbor count).
     pub fn charge_many(&self, sender: usize, bytes: usize, count: u64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.locked();
         inner.per_node_messages[sender] += count;
         inner.per_node_bytes[sender] += bytes as u64 * count;
     }
 
     /// Totals across all nodes.
     pub fn totals(&self) -> CommStats {
-        let inner = self.inner.lock();
+        let inner = self.locked();
         CommStats {
             messages: inner.per_node_messages.iter().sum(),
             bytes: inner.per_node_bytes.iter().sum(),
@@ -301,7 +339,7 @@ impl MessageLedger {
 
     /// Per-node message counts.
     pub fn per_node_messages(&self) -> Vec<u64> {
-        self.inner.lock().per_node_messages.clone()
+        self.locked().per_node_messages.clone()
     }
 }
 
@@ -318,7 +356,7 @@ mod tests {
         };
         let enc = msg.encode();
         assert_eq!(enc.len(), msg.encoded_len());
-        assert_eq!(WireMessage::decode(enc), Some(msg));
+        assert_eq!(WireMessage::decode(&enc), Some(msg));
     }
 
     #[test]
@@ -327,7 +365,7 @@ mod tests {
             anchor: 3,
             meters_per_hop: 87.5,
         };
-        assert_eq!(WireMessage::decode(msg.encode()), Some(msg));
+        assert_eq!(WireMessage::decode(&msg.encode()), Some(msg));
     }
 
     #[test]
@@ -343,7 +381,7 @@ mod tests {
         };
         let enc = msg.encode();
         assert_eq!(enc.len(), msg.encoded_len());
-        assert_eq!(WireMessage::decode(enc), Some(msg));
+        assert_eq!(WireMessage::decode(&enc), Some(msg));
     }
 
     #[test]
@@ -353,7 +391,7 @@ mod tests {
             mean: Vec2::new(5.0, 6.0),
             cov: [2.0, 0.1, 3.0],
         };
-        assert_eq!(WireMessage::decode(msg.encode()), Some(msg));
+        assert_eq!(WireMessage::decode(&msg.encode()), Some(msg));
     }
 
     #[test]
@@ -364,10 +402,9 @@ mod tests {
             payload: vec![(Vec2::ZERO, 0.5), (Vec2::ZERO, 0.5)],
         };
         let enc = msg.encode();
-        let truncated = enc.slice(0..enc.len() - 5);
-        assert_eq!(WireMessage::decode(truncated), None);
-        assert_eq!(WireMessage::decode(Bytes::new()), None);
-        assert_eq!(WireMessage::decode(Bytes::from_static(&[9, 0, 0])), None);
+        assert_eq!(WireMessage::decode(&enc[..enc.len() - 5]), None);
+        assert_eq!(WireMessage::decode(&[]), None);
+        assert_eq!(WireMessage::decode(&[9, 0, 0]), None);
     }
 
     #[test]

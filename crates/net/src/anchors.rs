@@ -5,12 +5,12 @@
 //! coverage holes, perimeter placement maximizes geometric dilution for
 //! interior nodes, grid placement is the engineered best case.
 
-use serde::{Deserialize, Serialize};
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::{Aabb, Vec2};
 
 /// How anchors are selected from the deployed node population.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AnchorStrategy {
     /// Select `count` anchors uniformly at random.
     Random {
@@ -48,25 +48,17 @@ impl AnchorStrategy {
     /// Picks anchor node indices given realized positions and the field
     /// bounds. Returns a sorted, duplicate-free list of at most
     /// `positions.len()` indices.
-    pub fn select(
-        &self,
-        positions: &[Vec2],
-        bounds: Aabb,
-        rng: &mut Xoshiro256pp,
-    ) -> Vec<usize> {
+    pub fn select(&self, positions: &[Vec2], bounds: Aabb, rng: &mut Xoshiro256pp) -> Vec<usize> {
         let n = positions.len();
         let count = self.count().min(n);
         let mut chosen = match self {
-            AnchorStrategy::Explicit(ids) => {
-                ids.iter().copied().filter(|&i| i < n).collect()
-            }
+            AnchorStrategy::Explicit(ids) => ids.iter().copied().filter(|&i| i < n).collect(),
             AnchorStrategy::Random { .. } => rng.sample_indices(n, count),
             AnchorStrategy::Perimeter { .. } => {
                 let mut by_edge_dist: Vec<usize> = (0..n).collect();
                 by_edge_dist.sort_by(|&a, &b| {
                     edge_distance(positions[a], bounds)
-                        .partial_cmp(&edge_distance(positions[b], bounds))
-                        .expect("finite positions")
+                        .total_cmp(&edge_distance(positions[b], bounds))
                 });
                 by_edge_dist.truncate(count);
                 by_edge_dist
@@ -84,15 +76,11 @@ impl AnchorStrategy {
                             bounds.min.x + bounds.width() * (c as f64 + 0.5) / k as f64,
                             bounds.min.y + bounds.height() * (r as f64 + 0.5) / k as f64,
                         );
-                        if let Some(best) = (0..n)
-                            .filter(|&i| !taken[i])
-                            .min_by(|&a, &b| {
-                                positions[a]
-                                    .dist_sq(target)
-                                    .partial_cmp(&positions[b].dist_sq(target))
-                                    .expect("finite positions")
-                            })
-                        {
+                        if let Some(best) = (0..n).filter(|&i| !taken[i]).min_by(|&a, &b| {
+                            positions[a]
+                                .dist_sq(target)
+                                .total_cmp(&positions[b].dist_sq(target))
+                        }) {
                             taken[best] = true;
                             picked.push(best);
                         }

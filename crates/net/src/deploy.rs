@@ -6,12 +6,12 @@
 //! source of pre-knowledge priors: an aerial drop knows each sensor's target
 //! coordinate but not where the wind actually put it.
 
-use serde::{Deserialize, Serialize};
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::{Aabb, Shape, Vec2};
 
 /// How nodes are placed in the field.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Deployment {
     /// Independent uniform placement inside a shape. No planned positions
     /// exist (pre-knowledge reduces to "somewhere in the field").
@@ -49,7 +49,8 @@ pub enum Deployment {
 }
 
 /// The result of realizing a deployment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Placement {
     /// Realized (true) node positions — hidden from algorithms.
     pub positions: Vec<Vec2>,
@@ -90,16 +91,18 @@ impl Deployment {
         match self {
             Deployment::Uniform(s) => s.clone(),
             Deployment::Fixed(positions) => {
+                // An empty fixed deployment degenerates to a unit box.
                 let bb = Aabb::from_points(positions)
-                    .expect("Fixed deployment needs at least one position")
+                    .unwrap_or_else(|| Aabb::from_size(1.0, 1.0))
                     .inflated(1.0);
                 Shape::Rect(bb)
             }
             Deployment::GridJitter { bounds, .. } => Shape::Rect(*bounds),
             Deployment::DropPoints { field, targets, .. } => field.clone().unwrap_or_else(|| {
-                // Unbounded scatter: use a generous box around the targets.
+                // Unbounded scatter: use a generous box around the targets
+                // (or a unit box when there are none).
                 let bb = Aabb::from_points(targets)
-                    .expect("DropPoints needs at least one target")
+                    .unwrap_or_else(|| Aabb::from_size(1.0, 1.0))
                     .inflated(1.0);
                 Shape::Rect(bb)
             }),
@@ -284,7 +287,11 @@ mod tests {
 
     #[test]
     fn fixed_deployment_passes_positions_through() {
-        let pts = vec![Vec2::new(1.0, 2.0), Vec2::new(3.0, 4.0), Vec2::new(5.0, 6.0)];
+        let pts = vec![
+            Vec2::new(1.0, 2.0),
+            Vec2::new(3.0, 4.0),
+            Vec2::new(5.0, 6.0),
+        ];
         let d = Deployment::Fixed(pts.clone());
         let mut rng = Xoshiro256pp::seed_from(1);
         let p = d.realize(2, &mut rng);

@@ -8,11 +8,11 @@
 //! inference likelihood matches the simulator exactly — the "well-specified
 //! model" regime the paper's Bayesian formulation assumes.
 
-use serde::{Deserialize, Serialize};
 use wsnloc_geom::rng::Xoshiro256pp;
 
 /// A symmetric pairwise range observation between nodes `a` and `b`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Measurement {
     /// First endpoint (node index).
     pub a: usize,
@@ -23,7 +23,8 @@ pub struct Measurement {
 }
 
 /// Noise model for distance observations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RangingModel {
     /// `observed = true + N(0, sigma²)`, truncated at a small positive floor.
     AdditiveGaussian {
@@ -77,9 +78,7 @@ impl RangingModel {
         debug_assert!(true_dist >= 0.0);
         let raw = match self {
             RangingModel::AdditiveGaussian { sigma } => rng.normal(true_dist, *sigma),
-            RangingModel::Multiplicative { factor } => {
-                true_dist * (1.0 + rng.normal(0.0, *factor))
-            }
+            RangingModel::Multiplicative { factor } => true_dist * (1.0 + rng.normal(0.0, *factor)),
             RangingModel::LogNormal { sigma_log } => {
                 (true_dist.max(MIN_DISTANCE).ln() + rng.normal(0.0, *sigma_log)).exp()
             }
@@ -152,8 +151,7 @@ impl RangingModel {
                 // LOS component (normalized in obs for fixed d).
                 let sd = factor * true_dist;
                 let z = (observed - true_dist) / sd;
-                let los = (-0.5 * z * z).exp()
-                    / (sd * (std::f64::consts::TAU).sqrt());
+                let los = (-0.5 * z * z).exp() / (sd * (std::f64::consts::TAU).sqrt());
                 // NLOS component: exponential excess, approximating the
                 // multiplicative smear as negligible relative to the scale.
                 let lambda = 1.0 / outlier_scale.max(1e-9);
@@ -287,7 +285,7 @@ mod tests {
         let m = RangingModel::from_rssi(6.0, 3.0);
         match m {
             RangingModel::LogNormal { sigma_log } => {
-                assert!((sigma_log - 0.460_517).abs() < 1e-5)
+                assert!((sigma_log - 0.460_517).abs() < 1e-5);
             }
             _ => panic!("expected LogNormal"),
         }

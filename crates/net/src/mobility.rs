@@ -9,16 +9,16 @@
 //! [`Network`] snapshot per tick while anchors stay fixed.
 
 use crate::anchors::AnchorStrategy;
+use crate::deploy::Deployment;
 use crate::measure::RangingModel;
 use crate::network::{Network, NetworkBuilder};
 use crate::radio::RadioModel;
-use crate::deploy::Deployment;
-use serde::{Deserialize, Serialize};
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::{Shape, Vec2};
 
 /// Random-waypoint mobility parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RandomWaypoint {
     /// Minimum leg speed (m/s), > 0.
     pub min_speed: f64,
@@ -206,17 +206,16 @@ mod tests {
     #[test]
     fn unknowns_move_at_the_configured_speed() {
         let mut w = world(2, 10.0);
-        let anchor_set: std::collections::HashSet<usize> =
-            w.anchor_ids().iter().copied().collect();
+        let anchor_set: std::collections::HashSet<usize> = w.anchor_ids().iter().copied().collect();
         let before = w.positions().to_vec();
         let _ = w.step(); // t=0 snapshot: no motion yet
         let _ = w.step(); // one dt of motion
         let mut moved = 0;
-        for i in 0..before.len() {
+        for (i, &b) in before.iter().enumerate() {
             if anchor_set.contains(&i) {
                 continue;
             }
-            let d = w.positions()[i].dist(before[i]);
+            let d = w.positions()[i].dist(b);
             // One step at 10 m/s for 1 s, unless the node arrived early.
             assert!(d <= 10.0 + 1e-9, "node {i} moved {d}");
             if d > 1.0 {
@@ -232,9 +231,7 @@ mod tests {
         for _ in 0..50 {
             let _ = w.step();
             for &p in w.positions() {
-                assert!(
-                    p.x >= -1e-9 && p.y >= -1e-9 && p.x <= 500.0 + 1e-9 && p.y <= 500.0 + 1e-9
-                );
+                assert!(p.x >= -1e-9 && p.y >= -1e-9 && p.x <= 500.0 + 1e-9 && p.y <= 500.0 + 1e-9);
             }
         }
     }

@@ -16,7 +16,6 @@ use crate::deploy::Deployment;
 use crate::measure::{Measurement, RangingModel};
 use crate::radio::RadioModel;
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 use wsnloc_geom::grid::SpatialGrid;
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::{Aabb, Shape, Vec2};
@@ -25,7 +24,8 @@ use wsnloc_geom::{Aabb, Shape, Vec2};
 pub type NodeId = usize;
 
 /// Whether a node knows its own position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeKind {
     /// Position known a priori (GPS/manual placement).
     Anchor,
@@ -34,7 +34,8 @@ pub enum NodeKind {
 }
 
 /// The observable simulation state: what localization algorithms receive.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Network {
     field: Shape,
     radio: RadioModel,
@@ -51,7 +52,8 @@ pub struct Network {
 }
 
 /// The hidden true positions, for evaluation only.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GroundTruth {
     positions: Vec<Vec2>,
 }
@@ -233,7 +235,8 @@ impl Network {
 }
 
 /// Configures and generates a network + ground truth pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetworkBuilder {
     /// Node placement model.
     pub deployment: Deployment,
@@ -425,7 +428,10 @@ mod tests {
         // Scatter σ = 80 → mean offset ≈ 80·sqrt(π/2)/… ~ 100; just check
         // plans are informative but not exact.
         let mean_err = total_err / net.len() as f64;
-        assert!(mean_err > 10.0 && mean_err < 250.0, "mean plan error {mean_err}");
+        assert!(
+            mean_err > 10.0 && mean_err < 250.0,
+            "mean plan error {mean_err}"
+        );
     }
 
     #[test]

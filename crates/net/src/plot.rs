@@ -67,7 +67,7 @@ impl AsciiMap {
     pub fn render(&self) -> String {
         let mut out = String::with_capacity((self.cols + 3) * (self.rows + 2));
         out.push('+');
-        out.extend(std::iter::repeat('-').take(self.cols));
+        out.extend(std::iter::repeat_n('-', self.cols));
         out.push_str("+\n");
         for r in 0..self.rows {
             out.push('|');
@@ -75,7 +75,7 @@ impl AsciiMap {
             out.push_str("|\n");
         }
         out.push('+');
-        out.extend(std::iter::repeat('-').take(self.cols));
+        out.extend(std::iter::repeat_n('-', self.cols));
         out.push('+');
         out
     }

@@ -11,11 +11,11 @@
 //! by Bayesian inference (the probability of observing "connected" given a
 //! hypothesized pair of positions).
 
-use serde::{Deserialize, Serialize};
 use wsnloc_geom::rng::Xoshiro256pp;
 
 /// Link model between two nodes at a known true distance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RadioModel {
     /// Deterministic disk: connected iff `distance <= range`.
     UnitDisk {
@@ -134,9 +134,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         tau
     } else {

@@ -9,11 +9,11 @@
 //!
 //! `RSSI(d) = P₀ − 10·η·log₁₀(d/d₀) + N(0, σ_dB²)`
 
-use serde::{Deserialize, Serialize};
 use wsnloc_geom::rng::Xoshiro256pp;
 
 /// Log-distance path-loss channel model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PathLossModel {
     /// Received power at the reference distance (dBm).
     pub p0_dbm: f64,
@@ -63,7 +63,8 @@ impl PathLossModel {
 
 /// One calibration observation: a known distance and the RSSI measured at
 /// it (anchor–anchor pairs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CalibrationSample {
     /// True (known) distance, meters.
     pub distance: f64,
@@ -128,10 +129,8 @@ pub fn calibrate_from_anchors(
 ) -> (Option<PathLossModel>, Vec<CalibrationSample>) {
     let mut samples = Vec::new();
     for m in network.measurements() {
-        let (Some(pa), Some(pb)) = (
-            network.anchor_position(m.a),
-            network.anchor_position(m.b),
-        ) else {
+        let (Some(pa), Some(pb)) = (network.anchor_position(m.a), network.anchor_position(m.b))
+        else {
             continue;
         };
         let d = pa.dist(pb);
@@ -221,7 +220,10 @@ mod tests {
     fn fit_rejects_degenerate_inputs() {
         assert!(fit_path_loss(&[], 1.0).is_none());
         assert!(fit_path_loss(
-            &[CalibrationSample { distance: 5.0, rssi_dbm: -60.0 }],
+            &[CalibrationSample {
+                distance: 5.0,
+                rssi_dbm: -60.0
+            }],
             1.0
         )
         .is_none());

@@ -10,7 +10,6 @@ use crate::deploy::Deployment;
 use crate::measure::RangingModel;
 use crate::network::{GroundTruth, Network, NetworkBuilder};
 use crate::radio::RadioModel;
-use serde::{Deserialize, Serialize};
 
 /// A complete, named simulation configuration.
 ///
@@ -24,7 +23,8 @@ use serde::{Deserialize, Serialize};
 ///     assert_eq!(pos, truth.position(id));
 /// }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Scenario {
     /// Human-readable label used in reports.
     pub name: String,
@@ -118,12 +118,24 @@ mod tests {
         assert!(net.planned_position(0).is_some());
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn scenario_serde_roundtrip() {
         let s = Scenario::standard_with_preknowledge(80.0);
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         // Same config must regenerate the same world.
+        let (_, t1) = s.build_trial(3);
+        let (_, t2) = back.build_trial(3);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn cloned_scenario_regenerates_identical_world() {
+        // Stand-in for the serde roundtrip while the `serde` feature is
+        // parked: the config alone must determine the generated world.
+        let s = Scenario::standard_with_preknowledge(80.0);
+        let back = s.clone();
         let (_, t1) = s.build_trial(3);
         let (_, t2) = back.build_trial(3);
         assert_eq!(t1, t2);

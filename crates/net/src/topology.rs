@@ -4,11 +4,11 @@
 //! message passing both operate on the *graph* induced by the radio model.
 //! This module provides that graph plus the BFS primitives they need.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Undirected adjacency structure over node indices `0..n`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Topology {
     adj: Vec<Vec<usize>>,
 }
@@ -79,7 +79,8 @@ impl Topology {
         dist[source] = Some(0);
         queue.push_back(source);
         while let Some(v) = queue.pop_front() {
-            let d = dist[v].expect("queued nodes have distances");
+            // Nodes are only queued after their distance is set.
+            let Some(d) = dist[v] else { continue };
             for &w in &self.adj[v] {
                 if dist[w].is_none() {
                     dist[w] = Some(d + 1);

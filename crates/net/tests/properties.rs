@@ -1,18 +1,24 @@
-//! Property-based tests for the WSN simulation substrate.
+//! Property-based tests for the WSN simulation substrate, on the in-tree
+//! `wsnloc_geom::check` harness (the workspace builds offline, without
+//! `proptest`).
 
-use proptest::prelude::*;
-use wsnloc_net::accounting::WireMessage;
-use wsnloc_net::topology::Topology;
-use wsnloc_net::network::NetworkBuilder;
-use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
+use wsnloc_geom::check;
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::Vec2;
+use wsnloc_net::accounting::WireMessage;
+use wsnloc_net::network::NetworkBuilder;
+use wsnloc_net::topology::Topology;
+use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn network_invariants_hold(seed in any::<u64>(), n in 20usize..120, anchors in 2usize..10, range in 100.0..400.0f64) {
+#[test]
+fn network_invariants_hold() {
+    check::cases(CASES, |_, rng| {
+        let seed = rng.next_u64();
+        let n = 20 + rng.index(100);
+        let anchors = 2 + rng.index(8);
+        let range = rng.range(100.0, 400.0);
         let b = NetworkBuilder {
             deployment: Deployment::uniform_square(1000.0),
             node_count: n,
@@ -21,24 +27,26 @@ proptest! {
             ranging: RangingModel::Multiplicative { factor: 0.1 },
         };
         let (net, truth) = b.build(seed);
-        prop_assert_eq!(net.len(), n);
-        prop_assert_eq!(net.anchor_count(), anchors.min(n));
+        assert_eq!(net.len(), n);
+        assert_eq!(net.anchor_count(), anchors.min(n));
         // Measurements reference valid ids, are positive, and correspond to
         // in-range pairs.
         for m in net.measurements() {
-            prop_assert!(m.a < n && m.b < n && m.a != m.b);
-            prop_assert!(m.distance > 0.0);
-            prop_assert!(truth.position(m.a).dist(truth.position(m.b)) <= range + 1e-9);
-            prop_assert!(net.topology().connected(m.a, m.b));
+            assert!(m.a < n && m.b < n && m.a != m.b);
+            assert!(m.distance > 0.0);
+            assert!(truth.position(m.a).dist(truth.position(m.b)) <= range + 1e-9);
+            assert!(net.topology().connected(m.a, m.b));
         }
         // Anchor positions match ground truth.
         for (id, pos) in net.anchors() {
-            prop_assert_eq!(pos, truth.position(id));
+            assert_eq!(pos, truth.position(id));
         }
-    }
+    });
+}
 
-    #[test]
-    fn hop_counts_never_undercut_euclid_over_range(seed in any::<u64>()) {
+#[test]
+fn hop_counts_never_undercut_euclid_over_range() {
+    check::cases(CASES, |_, rng| {
         // In a unit-disk graph, h hops cannot cover more than h·range meters.
         let b = NetworkBuilder {
             deployment: Deployment::uniform_square(500.0),
@@ -47,66 +55,105 @@ proptest! {
             radio: RadioModel::UnitDisk { range: 120.0 },
             ranging: RangingModel::AdditiveGaussian { sigma: 1.0 },
         };
-        let (net, truth) = b.build(seed);
+        let (net, truth) = b.build(rng.next_u64());
         let hops = net.topology().hops_from(0);
         for (v, h) in hops.iter().enumerate() {
             if let Some(h) = h {
                 let d = truth.position(0).dist(truth.position(v));
-                prop_assert!(d <= (*h as f64) * 120.0 + 1e-9,
-                    "node {v}: {h} hops but distance {d}");
+                assert!(
+                    d <= (*h as f64) * 120.0 + 1e-9,
+                    "node {v}: {h} hops but distance {d}"
+                );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn wire_messages_roundtrip(anchor in any::<u32>(), x in -1e5..1e5f64, y in -1e5..1e5f64, hops in any::<u16>()) {
-        let msg = WireMessage::AnchorAnnounce { anchor, position: Vec2::new(x, y), hops };
-        prop_assert_eq!(WireMessage::decode(msg.encode()), Some(msg));
-    }
+#[test]
+fn wire_messages_roundtrip() {
+    check::cases(CASES, |_, rng| {
+        let msg = WireMessage::AnchorAnnounce {
+            anchor: rng.next_u64() as u32,
+            position: Vec2::new(rng.range(-1e5, 1e5), rng.range(-1e5, 1e5)),
+            hops: (rng.next_u64() & 0xFFFF) as u16,
+        };
+        assert_eq!(WireMessage::decode(&msg.encode()), Some(msg));
+    });
+}
 
-    #[test]
-    fn particle_messages_roundtrip(from in any::<u32>(), pts in prop::collection::vec((-1e4..1e4f64, -1e4..1e4f64, 0.0..1.0f64), 0..40)) {
-        let payload: Vec<(Vec2, f64)> = pts.iter().map(|&(x, y, w)| (Vec2::new(x, y), w)).collect();
-        let msg = WireMessage::ParticleBelief { from, count: payload.len() as u32, payload };
+#[test]
+fn particle_messages_roundtrip() {
+    check::cases(CASES, |_, rng| {
+        let n = rng.index(40);
+        let payload: Vec<(Vec2, f64)> = (0..n)
+            .map(|_| {
+                (
+                    Vec2::new(rng.range(-1e4, 1e4), rng.range(-1e4, 1e4)),
+                    rng.f64(),
+                )
+            })
+            .collect();
+        let msg = WireMessage::ParticleBelief {
+            from: rng.next_u64() as u32,
+            count: payload.len() as u32,
+            payload,
+        };
         let enc = msg.encode();
-        prop_assert_eq!(enc.len(), msg.encoded_len());
-        prop_assert_eq!(WireMessage::decode(enc), Some(msg));
-    }
+        assert_eq!(enc.len(), msg.encoded_len());
+        assert_eq!(WireMessage::decode(&enc), Some(msg));
+    });
+}
 
-    #[test]
-    fn observed_ranges_track_truth(seed in any::<u64>(), d in 1.0..500.0f64, factor in 0.01..0.3f64) {
+#[test]
+fn observed_ranges_track_truth() {
+    check::cases(CASES, |_, rng| {
+        let d = rng.range(1.0, 500.0);
+        let factor = rng.range(0.01, 0.3);
         let m = RangingModel::Multiplicative { factor };
-        let mut rng = Xoshiro256pp::seed_from(seed);
-        let mean: f64 = (0..2000).map(|_| m.observe(d, &mut rng)).sum::<f64>() / 2000.0;
+        let mut sampler = Xoshiro256pp::seed_from(rng.next_u64());
+        let mean: f64 = (0..2000).map(|_| m.observe(d, &mut sampler)).sum::<f64>() / 2000.0;
         // Mean within 5 relative sd of truth.
-        prop_assert!((mean - d).abs() < 5.0 * factor * d / (2000f64).sqrt() * 10.0 + 1e-6);
-    }
+        assert!((mean - d).abs() < 5.0 * factor * d / (2000f64).sqrt() * 10.0 + 1e-6);
+    });
+}
 
-    #[test]
-    fn connect_prob_bounded(d in 0.0..1e4f64, range in 1.0..500.0f64, sigma in 0.5..10.0f64) {
-        let m = RadioModel::LogNormal { range, path_loss_exp: 3.0, sigma_db: sigma };
+#[test]
+fn connect_prob_bounded() {
+    check::cases(CASES, |_, rng| {
+        let d = rng.range(0.0, 1e4);
+        let range = rng.range(1.0, 500.0);
+        let sigma = rng.range(0.5, 10.0);
+        let m = RadioModel::LogNormal {
+            range,
+            path_loss_exp: 3.0,
+            sigma_db: sigma,
+        };
         let p = m.connect_prob(d);
-        prop_assert!((0.0..=1.0).contains(&p));
-    }
+        assert!((0.0..=1.0).contains(&p));
+    });
+}
 
-    #[test]
-    fn components_partition_nodes(n in 2usize..60, edges in prop::collection::vec((0usize..60, 0usize..60), 0..120)) {
-        let edges: Vec<(usize, usize)> = edges.into_iter()
+#[test]
+fn components_partition_nodes() {
+    check::cases(CASES, |_, rng| {
+        let n = 2 + rng.index(58);
+        let edge_count = rng.index(120);
+        let edges: Vec<(usize, usize)> = (0..edge_count)
+            .map(|_| (rng.index(60), rng.index(60)))
             .filter(|&(a, b)| a < n && b < n)
             .collect();
         let t = Topology::from_edges(n, &edges);
         let (labels, count) = t.components();
-        prop_assert_eq!(labels.len(), n);
+        assert_eq!(labels.len(), n);
         // Labels dense in 0..count.
         for &l in &labels {
-            prop_assert!(l < count);
+            assert!(l < count);
         }
         // Connected nodes share labels.
         for &(a, b) in &edges {
             if a != b {
-                prop_assert_eq!(labels[a], labels[b]);
+                assert_eq!(labels[a], labels[b]);
             }
         }
-    }
+    });
 }
-

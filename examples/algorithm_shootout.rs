@@ -38,8 +38,16 @@ fn main() {
         &bnl,
         &bnl_grid,
         &nbp,
-        &Multilateration { refine: true, iterative: true, gn_iterations: 10 },
-        &Multilateration { refine: true, iterative: false, gn_iterations: 10 },
+        &Multilateration {
+            refine: true,
+            iterative: true,
+            gn_iterations: 10,
+        },
+        &Multilateration {
+            refine: true,
+            iterative: false,
+            gn_iterations: 10,
+        },
         &DvHop { refine: true },
         &MdsMap,
         &WeightedCentroid,
@@ -62,12 +70,7 @@ fn main() {
         for t in 0..trials {
             let (net, truth) = scenario.build_trial(t);
             let result = algo.localize(&net, t);
-            errs.extend(
-                result
-                    .errors_for(&truth, Some(&net))
-                    .into_iter()
-                    .flatten(),
-            );
+            errs.extend(result.errors_for(&truth, Some(&net)).into_iter().flatten());
             cov += result.coverage(net.unknowns()) / trials as f64;
             msgs += result.comm.messages_per_node(net.len()) / trials as f64;
             bytes += result.comm.bytes as f64 / net.len() as f64 / 1024.0 / trials as f64;

@@ -10,8 +10,8 @@
 //! ```
 
 use wsnloc::prelude::*;
-use wsnloc_net::rssi::{calibrate_from_anchors, PathLossModel};
 use wsnloc_geom::rng::Xoshiro256pp;
+use wsnloc_net::rssi::{calibrate_from_anchors, PathLossModel};
 
 fn main() {
     // The true channel is harsher than the textbook assumption.

@@ -78,11 +78,15 @@ fn main() {
         ),
         (
             "flight plan, wind underestimated 3x",
-            PriorModel::DropPoint { sigma: SCATTER / 3.0 },
+            PriorModel::DropPoint {
+                sigma: SCATTER / 3.0,
+            },
         ),
         (
             "flight plan, wind overestimated 3x",
-            PriorModel::DropPoint { sigma: SCATTER * 3.0 },
+            PriorModel::DropPoint {
+                sigma: SCATTER * 3.0,
+            },
         ),
     ];
 
@@ -102,8 +106,7 @@ fn main() {
         .unknowns()
         .map(|id| {
             net.planned_position(id)
-                .map(|p| p.dist(truth.position(id)))
-                .unwrap_or(f64::NAN)
+                .map_or(f64::NAN, |p| p.dist(truth.position(id)))
         })
         .sum::<f64>()
         / net.unknowns().count() as f64;

@@ -110,11 +110,7 @@ fn grid_map_and_mmse_estimators_are_close_on_unimodal_posteriors() {
     let mut count = 0;
     for u in net.unknowns() {
         count += 1;
-        if mmse.estimates[u]
-            .unwrap()
-            .dist(map.estimates[u].unwrap())
-            > 3.0 * cell
-        {
+        if mmse.estimates[u].unwrap().dist(map.estimates[u].unwrap()) > 3.0 * cell {
             far += 1;
         }
     }

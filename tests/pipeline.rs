@@ -66,8 +66,8 @@ fn experiment_registry_is_complete() {
     for id in experiments::ids() {
         assert!(
             [
-                "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10",
-                "f11", "f12", "f13", "f14"
+                "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11",
+                "f12", "f13", "f14"
             ]
             .contains(&id),
             "unexpected id {id}"

@@ -38,7 +38,11 @@ fn check_contract(net: &Network) {
         let r = algo.localize(net, 0);
         assert_eq!(r.estimates.len(), net.len(), "{}", algo.name());
         for est in r.estimates.iter().flatten() {
-            assert!(est.is_finite(), "{} produced non-finite estimate", algo.name());
+            assert!(
+                est.is_finite(),
+                "{} produced non-finite estimate",
+                algo.name()
+            );
         }
     }
 }
@@ -135,9 +139,15 @@ fn extreme_noise_network() {
 #[test]
 fn duplicate_positions_network() {
     // All nodes at the same point: zero distances everywhere.
-    let positions = vec![Vec2::new(5.0, 5.0); 8];
+    let positions = [Vec2::new(5.0, 5.0); 8];
     let measurements: Vec<Measurement> = (0..8)
-        .flat_map(|a| ((a + 1)..8).map(move |b| Measurement { a, b, distance: 0.001 }))
+        .flat_map(|a| {
+            ((a + 1)..8).map(move |b| Measurement {
+                a,
+                b,
+                distance: 0.001,
+            })
+        })
         .collect();
     let net = Network::from_parts(
         Shape::Rect(Aabb::from_size(10.0, 10.0)),

@@ -1,0 +1,213 @@
+//! The audited-exception file (`xtask-lint.toml`).
+//!
+//! Every entry silences exactly one rule on lines of one file that contain
+//! a given substring, and must carry a `reason` explaining why the
+//! violation is acceptable. The parser handles the narrow TOML subset the
+//! file uses — `[[allow]]` tables of `key = "string"` pairs — so the tool
+//! stays dependency-free.
+
+use std::cell::Cell;
+use std::fmt;
+use std::path::Path;
+
+/// One audited exception.
+#[derive(Debug)]
+pub(crate) struct Entry {
+    /// Rule id this entry silences (e.g. `no-unwrap`).
+    pub(crate) rule: String,
+    /// Workspace-relative path, forward slashes.
+    pub(crate) path: String,
+    /// Substring the offending line must contain.
+    pub(crate) contains: String,
+    /// Human justification; required.
+    pub(crate) reason: String,
+    /// Set when the entry silenced at least one finding (stale-entry check).
+    pub(crate) used: Cell<bool>,
+}
+
+/// Parsed allowlist.
+#[derive(Debug, Default)]
+pub(crate) struct Allowlist {
+    entries: Vec<Entry>,
+}
+
+/// Error produced while reading or parsing the allowlist.
+#[derive(Debug)]
+pub(crate) struct ParseError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Allowlist {
+    /// Loads and parses the allowlist; a missing file is an empty allowlist.
+    pub(crate) fn load(path: &Path) -> Result<Allowlist, ParseError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(err(0, e.to_string())),
+        }
+    }
+
+    /// Parses the `[[allow]]` subset of TOML the allowlist uses.
+    pub(crate) fn parse(text: &str) -> Result<Allowlist, ParseError> {
+        let mut entries = Vec::new();
+        let mut current: Option<(usize, [Option<String>; 4])> = None;
+
+        let mut finish =
+            |current: &mut Option<(usize, [Option<String>; 4])>| -> Result<(), ParseError> {
+                if let Some((at, [rule, path, contains, reason])) = current.take() {
+                    let missing = |name| err(at, format!("[[allow]] entry missing `{name}`"));
+                    entries.push(Entry {
+                        rule: rule.ok_or_else(|| missing("rule"))?,
+                        path: path.ok_or_else(|| missing("path"))?,
+                        contains: contains.ok_or_else(|| missing("contains"))?,
+                        reason: reason.ok_or_else(|| missing("reason"))?,
+                        used: Cell::new(false),
+                    });
+                }
+                Ok(())
+            };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(&mut current)?;
+                current = Some((lineno, [None, None, None, None]));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(lineno, format!("unrecognized line `{line}`")));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                return Err(err(
+                    lineno,
+                    format!("value for `{key}` must be a quoted string"),
+                ));
+            };
+            let Some((_, fields)) = current.as_mut() else {
+                return Err(err(lineno, "key outside an [[allow]] entry"));
+            };
+            let slot = match key {
+                "rule" => &mut fields[0],
+                "path" => &mut fields[1],
+                "contains" => &mut fields[2],
+                "reason" => &mut fields[3],
+                _ => return Err(err(lineno, format!("unknown key `{key}`"))),
+            };
+            if slot.is_some() {
+                return Err(err(lineno, format!("duplicate key `{key}`")));
+            }
+            *slot = Some(value.to_string());
+        }
+        finish(&mut current)?;
+
+        for e in &entries {
+            if e.reason.trim().len() < 10 {
+                return Err(err(
+                    0,
+                    format!(
+                        "entry for {}:{} has a trivial reason; justify the exception",
+                        e.path, e.contains
+                    ),
+                ));
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// `true` (and marks the entry used) if a finding is covered.
+    pub(crate) fn permits(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        for e in &self.entries {
+            if e.rule == rule && e.path == path && line_text.contains(&e.contains) {
+                e.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding — candidates for deletion.
+    pub(crate) fn stale(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter().filter(|e| !e.used.get())
+    }
+
+    /// Number of entries that silenced at least one finding.
+    pub(crate) fn used_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.used.get()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let text = r#"
+# comment
+[[allow]]
+rule = "no-unwrap"
+path = "crates/geom/src/matrix.rs"
+contains = "solve(rhs).unwrap()"
+reason = "factorization already checked; solve is infallible"
+
+[[allow]]
+rule = "float-eq"
+path = "crates/net/src/radio.rs"
+contains = "range == 0.0"
+reason = "sentinel comparison against an exact literal"
+"#;
+        let a = Allowlist::parse(text).expect("parses");
+        assert!(a.permits(
+            "no-unwrap",
+            "crates/geom/src/matrix.rs",
+            "let x = chol.solve(rhs).unwrap();"
+        ));
+        assert!(!a.permits("no-unwrap", "crates/geom/src/matrix.rs", "foo.unwrap()"));
+        assert!(!a.permits(
+            "no-expect",
+            "crates/geom/src/matrix.rs",
+            "solve(rhs).unwrap()"
+        ));
+        assert_eq!(a.stale().count(), 1);
+        assert_eq!(a.used_count(), 1);
+    }
+
+    #[test]
+    fn rejects_missing_reason() {
+        let text = "[[allow]]\nrule = \"no-unwrap\"\npath = \"a.rs\"\ncontains = \"x\"\n";
+        assert!(Allowlist::parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_trivial_reason() {
+        let text =
+            "[[allow]]\nrule = \"no-unwrap\"\npath = \"a.rs\"\ncontains = \"x\"\nreason = \"ok\"\n";
+        assert!(Allowlist::parse(text).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let a = Allowlist::load(Path::new("/nonexistent/xtask-lint.toml")).expect("empty");
+        assert_eq!(a.stale().count(), 0);
+    }
+}

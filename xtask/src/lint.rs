@@ -1,0 +1,358 @@
+//! The repo-specific static-analysis rules.
+//!
+//! Rules are line-oriented: comments are stripped, doc lines and
+//! `#[cfg(test)]` regions are skipped, and each surviving line is matched
+//! against every rule whose scope covers the file. This is deliberately a
+//! lexical tool — it has no false-negative-free guarantee, but it catches
+//! the bug classes that have historically corrupted inference results
+//! (panicking float comparisons, unseeded randomness, silent float→index
+//! truncation) at near-zero cost and with zero dependencies.
+//!
+//! | id                  | scope            | what it rejects                                   |
+//! |---------------------|------------------|---------------------------------------------------|
+//! | `no-unwrap`         | library crates   | `.unwrap()` outside tests                         |
+//! | `no-expect`         | library crates   | `.expect(` outside tests                          |
+//! | `no-panic`          | library crates   | `panic!` / `todo!` / `unimplemented!` / `unreachable!` |
+//! | `unseeded-rng`      | library + eval   | `thread_rng` / `from_entropy` (nondeterminism)    |
+//! | `partial-cmp-unwrap`| library crates   | `partial_cmp(..).unwrap()` (panics on NaN)        |
+//! | `float-eq`          | library crates   | `==` / `!=` against a float literal               |
+//! | `float-index-cast`  | `wsnloc-bayes`   | float→integer `as` casts in inference hot loops   |
+//!
+//! Audited exceptions live in `xtask-lint.toml` (see [`crate::allowlist`]).
+
+use crate::allowlist::Allowlist;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` must be panic-free and deterministic.
+const LIBRARY_CRATES: [&str; 5] = [
+    "crates/geom",
+    "crates/net",
+    "crates/bayes",
+    "crates/core",
+    "crates/baselines",
+];
+
+/// Additional roots where only the determinism (RNG) rule applies: the
+/// evaluation harness may panic on broken configs, but silent
+/// nondeterminism there invalidates every reported number.
+const RNG_ONLY_ROOTS: [&str; 2] = ["crates/eval", "crates/bench"];
+
+/// One rule violation at a specific source line.
+#[derive(Debug)]
+pub(crate) struct Violation {
+    /// Workspace-relative path.
+    pub(crate) path: String,
+    /// 1-based line number.
+    pub(crate) line: usize,
+    /// Rule id.
+    pub(crate) rule: &'static str,
+    /// The offending line, trimmed.
+    pub(crate) excerpt: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub(crate) struct Report {
+    /// Violations not covered by the allowlist, in path/line order.
+    pub(crate) violations: Vec<Violation>,
+    /// Non-fatal notes (stale allowlist entries).
+    pub(crate) warnings: Vec<String>,
+    /// Number of files scanned.
+    pub(crate) files_scanned: usize,
+    /// Allowlist entries that silenced at least one finding.
+    pub(crate) exceptions_used: usize,
+}
+
+/// Runs every rule over the workspace at `root`.
+pub(crate) fn run(root: &Path, allow: &Allowlist) -> io::Result<Report> {
+    let mut report = Report::default();
+
+    let scan_root = |rel_root: &str, rng_only: bool, report: &mut Report| -> io::Result<()> {
+        let src = root.join(rel_root).join("src");
+        if !src.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("expected source directory {} is missing", src.display()),
+            ));
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let text = std::fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            report.files_scanned += 1;
+            scan_file(&rel, &text, rng_only, allow, &mut report.violations);
+        }
+        Ok(())
+    };
+
+    for crate_root in LIBRARY_CRATES {
+        scan_root(crate_root, false, &mut report)?;
+    }
+    for crate_root in RNG_ONLY_ROOTS {
+        scan_root(crate_root, true, &mut report)?;
+    }
+
+    for stale in allow.stale() {
+        report.warnings.push(format!(
+            "stale allowlist entry: rule `{}` for {} (`{}`) matched nothing — delete it",
+            stale.rule, stale.path, stale.contains
+        ));
+    }
+    report.exceptions_used = allow.used_count();
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans one file. `rng_only` restricts to the determinism rule.
+fn scan_file(rel: &str, text: &str, rng_only: bool, allow: &Allowlist, out: &mut Vec<Violation>) {
+    let in_bayes = rel.starts_with("crates/bayes/");
+    for (idx, raw) in text.lines().enumerate() {
+        let trimmed = raw.trim();
+        // Everything from the test module down is exempt: by convention the
+        // `#[cfg(test)] mod tests` block is the tail of each file.
+        if trimmed == "#[cfg(test)]" {
+            break;
+        }
+        // Doc lines are exempt (doctests exercise error paths freely).
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") || trimmed.starts_with("//") {
+            continue;
+        }
+        let code = strip_comment(raw);
+        let line = idx + 1;
+        let mut emit = |rule: &'static str| {
+            if !allow.permits(rule, rel, raw) {
+                out.push(Violation {
+                    path: rel.to_string(),
+                    line,
+                    rule,
+                    excerpt: raw.trim().to_string(),
+                });
+            }
+        };
+
+        if code.contains("thread_rng") || code.contains("from_entropy") {
+            emit("unseeded-rng");
+        }
+        if rng_only {
+            continue;
+        }
+
+        let has_unwrap = code.contains(".unwrap()");
+        if code.contains("partial_cmp") && (has_unwrap || code.contains(".expect(")) {
+            emit("partial-cmp-unwrap");
+        } else {
+            if has_unwrap {
+                emit("no-unwrap");
+            }
+            if code.contains(".expect(") {
+                emit("no-expect");
+            }
+        }
+        if ["panic!(", "todo!(", "unimplemented!(", "unreachable!("]
+            .iter()
+            .any(|m| code.contains(m))
+        {
+            emit("no-panic");
+        }
+        if float_literal_comparison(&code) {
+            emit("float-eq");
+        }
+        if in_bayes && float_index_cast(&code) {
+            emit("float-index-cast");
+        }
+    }
+}
+
+/// Truncates `line` at a `//` comment that is not inside a string literal.
+fn strip_comment(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1,
+            b'"' => in_string = !in_string,
+            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return line[..i].to_string();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line.to_string()
+}
+
+/// `true` if the line compares something to a float literal with `==`/`!=`.
+fn float_literal_comparison(code: &str) -> bool {
+    for op in ["==", "!="] {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(op) {
+            let at = start + pos;
+            // Reject `<=`, `>=`, `!==`-like contexts and pattern `=>`.
+            let before = code[..at].trim_end();
+            let after = code[at + op.len()..].trim_start();
+            if is_float_literal_token(first_token(after))
+                || is_float_literal_token(last_token(before))
+            {
+                return true;
+            }
+            start = at + op.len();
+        }
+    }
+    false
+}
+
+fn first_token(s: &str) -> &str {
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-'))
+        .unwrap_or(s.len());
+    &s[..end]
+}
+
+fn last_token(s: &str) -> &str {
+    let start = s
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-'))
+        .map_or(0, |i| i + 1);
+    &s[start..]
+}
+
+/// `true` for tokens like `0.0`, `1.5e3`, `2.`, `-3.25`, `1.0f64`.
+fn is_float_literal_token(tok: &str) -> bool {
+    let tok = tok.strip_prefix('-').unwrap_or(tok);
+    let tok = tok.strip_suffix("f64").unwrap_or(tok);
+    let tok = tok.strip_suffix("f32").unwrap_or(tok);
+    if tok.is_empty() || !tok.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let mut seen_dot = false;
+    for c in tok.chars() {
+        match c {
+            '0'..='9' | 'e' | 'E' | '_' => {}
+            '.' if !seen_dot => seen_dot = true,
+            _ => return false,
+        }
+    }
+    seen_dot
+}
+
+/// `true` if the line casts a float expression to an index type: an
+/// ` as usize`/`u32`/`i64` cast on a line with float evidence (a rounding
+/// call or an `f64` value) — the pattern that silently truncates or wraps
+/// on NaN/negative input inside inference hot loops.
+fn float_index_cast(code: &str) -> bool {
+    let casts = [" as usize", " as u32", " as u64", " as i32", " as i64"];
+    let float_evidence = [".floor()", ".ceil()", ".round()", ".trunc()", "f64"];
+    casts.iter().any(|c| code.contains(c)) && float_evidence.iter().any(|e| code.contains(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_literal_tokens() {
+        assert!(is_float_literal_token("0.0"));
+        assert!(is_float_literal_token("1.5"));
+        assert!(is_float_literal_token("-3.25"));
+        assert!(is_float_literal_token("1.0f64"));
+        assert!(is_float_literal_token("1_000.5"));
+        assert!(!is_float_literal_token("10"));
+        assert!(!is_float_literal_token("x"));
+        assert!(!is_float_literal_token("self.0"));
+        assert!(!is_float_literal_token(""));
+    }
+
+    #[test]
+    fn comparison_detection() {
+        assert!(float_literal_comparison("if x == 0.0 {"));
+        assert!(float_literal_comparison("if 1.5 != y {"));
+        assert!(!float_literal_comparison("if x == y {"));
+        assert!(!float_literal_comparison("if n == 10 {"));
+        assert!(!float_literal_comparison("if x <= 0.5 {"));
+        assert!(!float_literal_comparison("match x { _ => 0.0 }"));
+    }
+
+    #[test]
+    fn comment_stripping() {
+        assert_eq!(strip_comment("let x = 1; // y.unwrap()"), "let x = 1; ");
+        assert_eq!(
+            strip_comment("let s = \"https://a\"; x"),
+            "let s = \"https://a\"; x"
+        );
+    }
+
+    #[test]
+    fn index_cast_detection() {
+        assert!(float_index_cast("let i = (x / cell).floor() as usize;"));
+        assert!(float_index_cast("let i = (p.x * inv) as usize; // f64"));
+        assert!(!float_index_cast("let i = count as usize;"));
+    }
+
+    #[test]
+    fn scan_flags_and_allows() {
+        let allow = Allowlist::parse(
+            "[[allow]]\nrule = \"no-unwrap\"\npath = \"crates/bayes/src/x.rs\"\n\
+             contains = \"audited.unwrap()\"\nreason = \"checked non-empty two lines above\"\n",
+        )
+        .expect("allowlist parses");
+        let text = "\
+fn f() {\n\
+    let a = audited.unwrap();\n\
+    let b = other.unwrap();\n\
+    let c = list.iter().max_by(|a, b| a.partial_cmp(b).unwrap());\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn g() { let _ = in_tests.unwrap(); }\n\
+}\n";
+        let mut out = Vec::new();
+        scan_file("crates/bayes/src/x.rs", text, false, &allow, &mut out);
+        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["no-unwrap", "partial-cmp-unwrap"]);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn rng_rule() {
+        let mut out = Vec::new();
+        scan_file(
+            "crates/eval/src/x.rs",
+            "fn f() { let mut r = rand::thread_rng(); }\n",
+            true,
+            &Allowlist::default(),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unseeded-rng");
+    }
+}

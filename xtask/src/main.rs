@@ -1,0 +1,105 @@
+//! Workspace automation driver (`cargo xtask <command>`).
+//!
+//! The only command so far is `lint`, the repo-specific static-analysis
+//! gate described in the README's "Correctness tooling" section. It
+//! enforces rules no off-the-shelf tool knows about this codebase:
+//! panic-freedom of the library crates, seeded-only randomness, and
+//! total-order float handling in the inference stack.
+
+mod allowlist;
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cargo xtask lint [--root <dir>] [--allowlist <file>]\n\
+         \n\
+         commands:\n\
+         \x20 lint    run the repo-specific static-analysis rules over the\n\
+         \x20         workspace library crates; exits 1 on any violation\n\
+         \n\
+         options:\n\
+         \x20 --root <dir>        workspace root (default: parent of xtask/)\n\
+         \x20 --allowlist <file>  audited-exception file (default: <root>/xtask-lint.toml)"
+    );
+    std::process::exit(2)
+}
+
+fn default_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is <root>/xtask at compile time; runtime cwd under
+    // `cargo xtask` is the workspace root, so prefer the compile-time anchor.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else { usage() };
+    if command != "lint" {
+        eprintln!("unknown command `{command}`");
+        usage();
+    }
+
+    let mut root = default_root();
+    let mut allowlist_path: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => usage(),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist_path = Some(PathBuf::from(v)),
+                None => usage(),
+            },
+            _ => {
+                eprintln!("unknown flag `{flag}`");
+                usage();
+            }
+        }
+    }
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("xtask-lint.toml"));
+
+    let allow = match allowlist::Allowlist::load(&allowlist_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "xtask lint: cannot read allowlist {}: {e}",
+                allowlist_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match lint::run(&root, &allow) {
+        Ok(report) => {
+            for warning in &report.warnings {
+                eprintln!("warning: {warning}");
+            }
+            if report.violations.is_empty() {
+                eprintln!(
+                    "xtask lint: clean ({} files, {} audited exceptions)",
+                    report.files_scanned, report.exceptions_used
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+                eprintln!(
+                    "xtask lint: {} violation(s) in {} files scanned",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
