@@ -19,7 +19,9 @@
 
 use crate::validate::{self, GraphAudit, ValidationError};
 use std::collections::HashMap;
+use std::time::Instant;
 use wsnloc_geom::rng::Xoshiro256pp;
+use wsnloc_obs::{InferenceObserver, ObsEvent, SpanKind};
 
 /// Identifier of a variable within a [`BayesNet`].
 pub type VarId = usize;
@@ -277,6 +279,67 @@ impl BayesNet {
             result[assignment[query]] += weight;
         }
         normalize(&mut result);
+        result
+    }
+
+    /// Like [`BayesNet::query_enumeration`], additionally reporting the
+    /// query as an [`ObsEvent::DiscreteQuery`] plus a timing span.
+    pub fn query_enumeration_observed(
+        &self,
+        query: VarId,
+        evidence: &Evidence,
+        obs: &dyn InferenceObserver,
+    ) -> Vec<f64> {
+        let start = Instant::now();
+        let result = self.query_enumeration(query, evidence);
+        obs.on_event(&ObsEvent::DiscreteQuery {
+            method: "enumeration",
+            variables: self.len(),
+            samples: 0,
+        });
+        obs.on_span(SpanKind::MessagePassing, start.elapsed().as_secs_f64());
+        result
+    }
+
+    /// Like [`BayesNet::query_variable_elimination`], additionally
+    /// reporting the query as an [`ObsEvent::DiscreteQuery`] plus a timing
+    /// span.
+    pub fn query_variable_elimination_observed(
+        &self,
+        query: VarId,
+        evidence: &Evidence,
+        obs: &dyn InferenceObserver,
+    ) -> Vec<f64> {
+        let start = Instant::now();
+        let result = self.query_variable_elimination(query, evidence);
+        obs.on_event(&ObsEvent::DiscreteQuery {
+            method: "variable_elimination",
+            variables: self.len(),
+            samples: 0,
+        });
+        obs.on_span(SpanKind::MessagePassing, start.elapsed().as_secs_f64());
+        result
+    }
+
+    /// Like [`BayesNet::query_likelihood_weighting`], additionally
+    /// reporting the query (with its sample count) as an
+    /// [`ObsEvent::DiscreteQuery`] plus a timing span.
+    pub fn query_likelihood_weighting_observed(
+        &self,
+        query: VarId,
+        evidence: &Evidence,
+        samples: usize,
+        rng: &mut Xoshiro256pp,
+        obs: &dyn InferenceObserver,
+    ) -> Vec<f64> {
+        let start = Instant::now();
+        let result = self.query_likelihood_weighting(query, evidence, samples, rng);
+        obs.on_event(&ObsEvent::DiscreteQuery {
+            method: "likelihood_weighting",
+            variables: self.len(),
+            samples: samples as u64,
+        });
+        obs.on_span(SpanKind::MessagePassing, start.elapsed().as_secs_f64());
         result
     }
 
@@ -739,5 +802,37 @@ mod tests {
         }
         // P(weather=2 | umbrella) > prior 0.2.
         assert!(e[2] > 0.2);
+    }
+
+    #[test]
+    fn observed_queries_report_events() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        struct EventCounter {
+            queries: AtomicU64,
+            samples: AtomicU64,
+        }
+        impl InferenceObserver for EventCounter {
+            fn on_event(&self, event: &ObsEvent) {
+                if let ObsEvent::DiscreteQuery { samples, .. } = event {
+                    self.queries.fetch_add(1, Ordering::Relaxed);
+                    self.samples.fetch_add(*samples, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let net = sprinkler();
+        let evidence: Evidence = [(3usize, 1usize)].into();
+        let counter = EventCounter::default();
+        let e = net.query_enumeration_observed(0, &evidence, &counter);
+        let v = net.query_variable_elimination_observed(0, &evidence, &counter);
+        for (a, b) in e.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        let mut rng = Xoshiro256pp::seed_from(5);
+        let _ = net.query_likelihood_weighting_observed(0, &evidence, 500, &mut rng, &counter);
+        assert_eq!(counter.queries.load(Ordering::Relaxed), 3);
+        assert_eq!(counter.samples.load(Ordering::Relaxed), 500);
     }
 }

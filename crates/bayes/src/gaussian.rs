@@ -24,8 +24,13 @@
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
+use std::time::Instant;
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::Vec2;
+use wsnloc_obs::{
+    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, RunInfo, RunSummary,
+    SpanKind,
+};
 
 /// A 2-D Gaussian belief: mean and covariance (row-major 2×2, symmetric).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,15 +96,44 @@ impl Default for GaussianBp {
 impl GaussianBp {
     /// Runs BP to convergence or `opts.max_iterations`.
     pub fn run(&self, mrf: &SpatialMrf, opts: &BpOptions) -> (Vec<GaussianBelief>, BpOutcome) {
-        self.run_observed(mrf, opts, |_, _| {})
+        self.run_full(mrf, opts, &NullObserver, |_, _| {})
     }
 
-    /// Runs BP, invoking `observer(iteration, beliefs)` per iteration.
+    /// Runs BP, reporting telemetry into `obs` (run metadata, spans,
+    /// per-iteration belief-mean residuals and communication counts).
+    pub fn run_with(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        obs: &dyn InferenceObserver,
+    ) -> (Vec<GaussianBelief>, BpOutcome) {
+        self.run_full(mrf, opts, obs, |_, _| {})
+    }
+
+    /// Runs BP, invoking `observer(iteration, beliefs)` per iteration
+    /// (belief-level hook; for structured telemetry use
+    /// [`GaussianBp::run_with`]).
     pub fn run_observed<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
-        mut observer: F,
+        observer: F,
+    ) -> (Vec<GaussianBelief>, BpOutcome)
+    where
+        F: FnMut(usize, &[GaussianBelief]),
+    {
+        self.run_full(mrf, opts, &NullObserver, observer)
+    }
+
+    /// Runs BP with both a structured telemetry observer and a
+    /// belief-level per-iteration closure (the superset entry point the
+    /// core localizer drives).
+    pub fn run_full<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        obs: &dyn InferenceObserver,
+        mut on_iter: F,
     ) -> (Vec<GaussianBelief>, BpOutcome)
     where
         F: FnMut(usize, &[GaussianBelief]),
@@ -108,6 +142,21 @@ impl GaussianBp {
         let domain = mrf.domain();
         let default_sigma = domain.diagonal() / 2.0;
         let root = Xoshiro256pp::seed_from(opts.seed);
+        let free_ids = mrf.free_vars();
+        obs.on_run_start(&RunInfo {
+            backend: "gaussian",
+            nodes: mrf.len(),
+            free: free_ids.len(),
+            edges: mrf.edges().len(),
+            max_iterations: opts.max_iterations,
+            tolerance: opts.tolerance,
+            damping: opts.damping,
+            schedule: opts.schedule.name(),
+            message_bytes: opts.message_bytes,
+            seed: opts.seed,
+        });
+        let wants_residuals = obs.wants_residuals();
+        let init_start = Instant::now();
 
         // Prior moments per node: sample the unary to estimate mean/variance
         // (exact for Gaussian priors up to Monte-Carlo noise; a reasonable
@@ -142,15 +191,18 @@ impl GaussianBp {
                 b
             })
             .collect();
+        obs.on_span(SpanKind::PriorInit, init_start.elapsed().as_secs_f64());
 
-        let free = mrf.free_vars();
+        let free = free_ids;
         let mut outcome = BpOutcome {
             iterations: 0,
             converged: false,
             messages: 0,
         };
 
+        let loop_start = Instant::now();
         for iter in 0..opts.max_iterations {
+            let iter_start = Instant::now();
             let prev_means: Vec<Vec2> = free.iter().map(|&u| beliefs[u].mean).collect();
 
             let update_one = |u: usize, beliefs: &Vec<GaussianBelief>| -> GaussianBelief {
@@ -191,18 +243,52 @@ impl GaussianBp {
                 }
                 Ok(())
             });
-            observer(iter, &beliefs);
+            on_iter(iter, &beliefs);
 
             let max_shift = free
                 .iter()
                 .zip(&prev_means)
                 .map(|(&u, &prev)| beliefs[u].mean.dist(prev))
                 .fold(0.0, f64::max);
+            let residuals: Vec<NodeResidual> = if wants_residuals {
+                wsnloc_obs::accounting::note_residual_buffer();
+                free.iter()
+                    .zip(&prev_means)
+                    .map(|(&u, &prev)| NodeResidual {
+                        node: u,
+                        residual: beliefs[u].mean.dist(prev),
+                        kl: None,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            obs.on_iteration(&IterationRecord {
+                iteration: iter,
+                max_shift,
+                comm: CommStats {
+                    messages: free.len() as u64,
+                    bytes: free.len() as u64 * opts.message_bytes,
+                },
+                damping: opts.damping,
+                schedule: opts.schedule.name(),
+                secs: iter_start.elapsed().as_secs_f64(),
+                residuals,
+            });
             if max_shift < opts.tolerance {
                 outcome.converged = true;
                 break;
             }
         }
+        obs.on_span(SpanKind::MessagePassing, loop_start.elapsed().as_secs_f64());
+        obs.on_run_end(&RunSummary {
+            iterations: outcome.iterations,
+            converged: outcome.converged,
+            comm: CommStats {
+                messages: outcome.messages,
+                bytes: outcome.messages * opts.message_bytes,
+            },
+        });
         (beliefs, outcome)
     }
 
@@ -323,12 +409,12 @@ mod tests {
         }
         let (beliefs, outcome) = GaussianBp::default().run(
             &mrf,
-            &BpOptions {
-                max_iterations: 30,
-                tolerance: 0.05,
-                seed: 1,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(30)
+                .tolerance(0.05)
+                .seed(1)
+                .try_build()
+                .expect("valid options"),
         );
         assert!(outcome.converged);
         let est = beliefs[3].mean;
@@ -361,12 +447,12 @@ mod tests {
         );
         let (beliefs, _) = GaussianBp::default().run(
             &mrf,
-            &BpOptions {
-                max_iterations: 25,
-                tolerance: 0.05,
-                seed: 2,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(25)
+                .tolerance(0.05)
+                .seed(2)
+                .try_build()
+                .expect("valid options"),
         );
         let est = beliefs[1].mean;
         assert!(est.dist(Vec2::new(70.0, 50.0)) < 3.0, "estimate {est}");
@@ -413,12 +499,12 @@ mod tests {
         );
         let (beliefs, _) = GaussianBp::default().run(
             &mrf,
-            &BpOptions {
-                max_iterations: 20,
-                tolerance: 0.05,
-                seed: 3,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(20)
+                .tolerance(0.05)
+                .seed(3)
+                .try_build()
+                .expect("valid options"),
         );
         // Node 2's spread must exceed node 1's: its information came through
         // an uncertain relay.
@@ -443,11 +529,11 @@ mod tests {
                 sigma: 2.0,
             }),
         );
-        let opts = BpOptions {
-            max_iterations: 10,
-            seed: 9,
-            ..BpOptions::default()
-        };
+        let opts = BpOptions::builder()
+            .max_iterations(10)
+            .seed(9)
+            .try_build()
+            .expect("valid options");
         let engine = GaussianBp::default();
         let (a, _) = engine.run(&mrf, &opts);
         let (b, _) = engine.run(&mrf, &opts);
@@ -467,11 +553,11 @@ mod tests {
         );
         let (beliefs, _) = GaussianBp::default().run(
             &mrf,
-            &BpOptions {
-                max_iterations: 5,
-                seed: 4,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(5)
+                .seed(4)
+                .try_build()
+                .expect("valid options"),
         );
         assert!(beliefs[0].mean.dist(Vec2::new(20.0, 80.0)) < 4.0);
         assert!((beliefs[0].spread() - 5.0 * (2.0f64).sqrt()).abs() < 3.0);

@@ -13,7 +13,12 @@ use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::potential::{PairPotential, UnaryPotential};
 use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
+use std::time::Instant;
 use wsnloc_geom::{Aabb, Matrix, Vec2};
+use wsnloc_obs::{
+    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, RunInfo, RunSummary,
+    SpanKind,
+};
 
 /// A probability mass function over the cells of a fixed grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,6 +203,23 @@ impl GridBelief {
             .map(|(a, b)| (a - b).abs())
             .sum()
     }
+
+    /// KL divergence `KL(self ‖ other)` in nats, on the same grid.
+    ///
+    /// Cells where `self` carries no mass contribute nothing; cells where
+    /// `self` has mass but `other` does not are evaluated against a 1e-300
+    /// floor rather than returning infinity, so the result stays finite and
+    /// summarizable for convergence curves.
+    pub fn kl_divergence(&self, other: &GridBelief) -> f64 {
+        assert_eq!(self.mass.len(), other.mass.len(), "grid shape mismatch");
+        self.mass
+            .iter()
+            .zip(&other.mass)
+            .filter(|(&p, _)| p > 0.0)
+            .map(|(&p, &q)| p * (p.ln() - q.max(1e-300).ln()))
+            .sum::<f64>()
+            .max(0.0)
+    }
 }
 
 /// Computes the message from a source belief into a target grid through a
@@ -282,16 +304,44 @@ impl GridBp {
 
     /// Runs BP to convergence or `opts.max_iterations`.
     pub fn run(&self, mrf: &SpatialMrf, opts: &BpOptions) -> (Vec<GridBelief>, BpOutcome) {
-        self.run_observed(mrf, opts, |_, _| {})
+        self.run_full(mrf, opts, &NullObserver, |_, _| {})
+    }
+
+    /// Runs BP, reporting telemetry into `obs` (run metadata, spans,
+    /// per-iteration L1/KL belief residuals and communication counts).
+    pub fn run_with(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        obs: &dyn InferenceObserver,
+    ) -> (Vec<GridBelief>, BpOutcome) {
+        self.run_full(mrf, opts, obs, |_, _| {})
     }
 
     /// Runs BP, invoking `observer(iteration, beliefs)` after every
-    /// iteration (used to record convergence curves).
+    /// iteration (belief-level hook for convergence experiments; for
+    /// structured telemetry use [`GridBp::run_with`]).
     pub fn run_observed<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
-        mut observer: F,
+        observer: F,
+    ) -> (Vec<GridBelief>, BpOutcome)
+    where
+        F: FnMut(usize, &[GridBelief]),
+    {
+        self.run_full(mrf, opts, &NullObserver, observer)
+    }
+
+    /// Runs BP with both a structured telemetry observer and a
+    /// belief-level per-iteration closure (the superset entry point the
+    /// core localizer drives).
+    pub fn run_full<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        obs: &dyn InferenceObserver,
+        mut on_iter: F,
     ) -> (Vec<GridBelief>, BpOutcome)
     where
         F: FnMut(usize, &[GridBelief]),
@@ -299,24 +349,49 @@ impl GridBp {
         validate::enforce("GridBp::run", || GraphAudit.check_mrf(mrf));
         let domain = mrf.domain();
         let floor = self.mass_floor / (self.nx * self.ny) as f64;
+        let free = mrf.free_vars();
+        obs.on_run_start(&RunInfo {
+            backend: "grid",
+            nodes: mrf.len(),
+            free: free.len(),
+            edges: mrf.edges().len(),
+            max_iterations: opts.max_iterations,
+            tolerance: opts.tolerance,
+            damping: opts.damping,
+            schedule: opts.schedule.name(),
+            message_bytes: opts.message_bytes,
+            seed: opts.seed,
+        });
+        let wants_residuals = obs.wants_residuals();
 
         // Initial beliefs: priors for free vars, deltas for fixed ones.
+        let init_start = Instant::now();
         let mut beliefs: Vec<GridBelief> = (0..mrf.len())
             .map(|u| match mrf.fixed(u) {
                 Some(p) => GridBelief::delta(p, domain, self.nx, self.ny),
                 None => GridBelief::from_unary(mrf.unary(u).as_ref(), domain, self.nx, self.ny),
             })
             .collect();
+        obs.on_span(SpanKind::PriorInit, init_start.elapsed().as_secs_f64());
 
-        let free = mrf.free_vars();
         let mut outcome = BpOutcome {
             iterations: 0,
             converged: false,
             messages: 0,
         };
 
+        let loop_start = Instant::now();
         for iter in 0..opts.max_iterations {
+            let iter_start = Instant::now();
             let prev_means: Vec<Vec2> = free.iter().map(|&u| beliefs[u].mean()).collect();
+            // Grid residuals (L1/KL) need the previous cell masses; the
+            // clone happens only when the observer asks for residuals.
+            let prev_beliefs: Option<Vec<GridBelief>> = if wants_residuals {
+                wsnloc_obs::accounting::note_residual_buffer();
+                Some(free.iter().map(|&u| beliefs[u].clone()).collect())
+            } else {
+                None
+            };
 
             let update_one = |u: usize, beliefs: &Vec<GridBelief>| -> GridBelief {
                 let mut belief =
@@ -366,18 +441,51 @@ impl GridBp {
                 }
                 Ok(())
             });
-            observer(iter, &beliefs);
+            on_iter(iter, &beliefs);
 
             let max_shift = free
                 .iter()
                 .zip(&prev_means)
                 .map(|(&u, &prev)| beliefs[u].mean().dist(prev))
                 .fold(0.0, f64::max);
+            let residuals: Vec<NodeResidual> = match &prev_beliefs {
+                Some(prev) => free
+                    .iter()
+                    .zip(prev)
+                    .map(|(&u, p)| NodeResidual {
+                        node: u,
+                        residual: beliefs[u].l1_distance(p),
+                        kl: Some(beliefs[u].kl_divergence(p)),
+                    })
+                    .collect(),
+                None => Vec::new(),
+            };
+            obs.on_iteration(&IterationRecord {
+                iteration: iter,
+                max_shift,
+                comm: CommStats {
+                    messages: free.len() as u64,
+                    bytes: free.len() as u64 * opts.message_bytes,
+                },
+                damping: opts.damping,
+                schedule: opts.schedule.name(),
+                secs: iter_start.elapsed().as_secs_f64(),
+                residuals,
+            });
             if max_shift < opts.tolerance {
                 outcome.converged = true;
                 break;
             }
         }
+        obs.on_span(SpanKind::MessagePassing, loop_start.elapsed().as_secs_f64());
+        obs.on_run_end(&RunSummary {
+            iterations: outcome.iterations,
+            converged: outcome.converged,
+            comm: CommStats {
+                messages: outcome.messages,
+                bytes: outcome.messages * opts.message_bytes,
+            },
+        });
         (beliefs, outcome)
     }
 }
@@ -516,11 +624,11 @@ mod tests {
         );
         let (beliefs, outcome) = GridBp::with_resolution(40).run(
             &mrf,
-            &BpOptions {
-                max_iterations: 10,
-                tolerance: 0.5,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(10)
+                .tolerance(0.5)
+                .try_build()
+                .expect("valid options"),
         );
         assert!(outcome.iterations >= 1);
         let est = beliefs[1].mean();
@@ -553,11 +661,11 @@ mod tests {
         );
         let (beliefs, _) = GridBp::with_resolution(50).run(
             &mrf,
-            &BpOptions {
-                max_iterations: 5,
-                tolerance: 0.5,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(5)
+                .tolerance(0.5)
+                .try_build()
+                .expect("valid options"),
         );
         let est = beliefs[1].mean();
         // Posterior concentrates near (70, 50): on the ring, pulled toward
@@ -592,12 +700,12 @@ mod tests {
             GridBp::with_resolution(40)
                 .run(
                     &mrf,
-                    &BpOptions {
-                        max_iterations: 8,
-                        tolerance: 0.5,
-                        schedule,
-                        ..BpOptions::default()
-                    },
+                    &BpOptions::builder()
+                        .max_iterations(8)
+                        .tolerance(0.5)
+                        .schedule(schedule)
+                        .try_build()
+                        .expect("valid options"),
                 )
                 .0[1]
                 .mean()
@@ -623,11 +731,11 @@ mod tests {
         let mut seen = Vec::new();
         let (_, outcome) = GridBp::with_resolution(20).run_observed(
             &mrf,
-            &BpOptions {
-                max_iterations: 4,
-                tolerance: 0.0, // never converge early
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(4)
+                .tolerance(0.0) // never converge early
+                .try_build()
+                .expect("valid options"),
             |iter, beliefs| {
                 seen.push((iter, beliefs.len()));
             },
@@ -644,5 +752,26 @@ mod tests {
         let b = GridBelief::delta(Vec2::new(95.0, 95.0), domain(), 10, 10);
         assert!((a.l1_distance(&b) - 2.0).abs() < 1e-12);
         assert_eq!(a.l1_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let uniform = GridBelief::uniform(domain(), 10, 10);
+        let peaked = GridBelief::from_unary(
+            &GaussianUnary {
+                mean: Vec2::new(50.0, 50.0),
+                sigma: 5.0,
+            },
+            domain(),
+            10,
+            10,
+        );
+        // Self-divergence is zero; divergence from a different belief is
+        // positive and finite, even against zero-mass cells.
+        assert_eq!(peaked.kl_divergence(&peaked), 0.0);
+        assert!(peaked.kl_divergence(&uniform) > 0.0);
+        let delta = GridBelief::delta(Vec2::new(5.0, 5.0), domain(), 10, 10);
+        let kl = peaked.kl_divergence(&delta);
+        assert!(kl.is_finite() && kl > 0.0);
     }
 }

@@ -41,7 +41,7 @@ pub mod validate;
 
 pub use gaussian::{GaussianBelief, GaussianBp};
 pub use grid::{GridBelief, GridBp};
-pub use mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
+pub use mrf::{BpOptions, BpOptionsBuilder, BpOutcome, Schedule, SpatialMrf};
 pub use particle::{ParticleBelief, ParticleBp};
 pub use potential::{
     DeltaUnary, GaussianRange, GaussianUnary, MixtureUnary, PairPotential, UnaryPotential,

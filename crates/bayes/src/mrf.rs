@@ -8,6 +8,7 @@
 //! representation without touching the model.
 
 use crate::potential::{PairPotential, UnaryPotential};
+use crate::validate::ValidationError;
 use std::sync::Arc;
 use wsnloc_geom::{Aabb, Vec2};
 
@@ -34,8 +35,8 @@ pub struct MrfEdge {
 /// mrf.fix(0, Vec2::new(50.0, 50.0));
 /// mrf.add_edge(0, 1, Arc::new(GaussianRange { observed: 20.0, sigma: 2.0 }));
 ///
-/// let (beliefs, outcome) = ParticleBp::with_particles(200)
-///     .run(&mrf, &BpOptions { max_iterations: 6, ..BpOptions::default() });
+/// let opts = BpOptions::builder().max_iterations(6).try_build().unwrap();
+/// let (beliefs, outcome) = ParticleBp::with_particles(200).run(&mrf, &opts);
 /// assert!(outcome.iterations >= 1);
 /// // The belief concentrates on the 20 m ring around the anchor.
 /// let mean_ring: f64 = beliefs[1].particles().iter()
@@ -156,6 +157,16 @@ pub enum Schedule {
     Sweep,
 }
 
+impl Schedule {
+    /// Stable snake_case label used in telemetry and trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Synchronous => "synchronous",
+            Schedule::Sweep => "sweep",
+        }
+    }
+}
+
 /// Options shared by both BP engines.
 #[derive(Debug, Clone, Copy)]
 pub struct BpOptions {
@@ -171,6 +182,11 @@ pub struct BpOptions {
     pub schedule: Schedule,
     /// Seed for all stochastic parts of inference (particle proposals).
     pub seed: u64,
+    /// Wire bytes one belief broadcast costs in the distributed protocol
+    /// being simulated. Engines multiply it into the per-iteration byte
+    /// counts reported to observers; 0 (the default) means "no
+    /// communication accounting attached".
+    pub message_bytes: u64,
 }
 
 impl Default for BpOptions {
@@ -181,7 +197,112 @@ impl Default for BpOptions {
             damping: 0.0,
             schedule: Schedule::Synchronous,
             seed: 0xB007,
+            message_bytes: 0,
         }
+    }
+}
+
+impl BpOptions {
+    /// Starts a validated builder seeded with [`BpOptions::default`].
+    ///
+    /// This is the preferred construction path; struct-literal construction
+    /// keeps working but bypasses range validation.
+    pub fn builder() -> BpOptionsBuilder {
+        BpOptionsBuilder {
+            opts: BpOptions::default(),
+        }
+    }
+
+    /// Validates every field, returning `self` unchanged on success. This
+    /// is the same check [`BpOptionsBuilder::try_build`] applies; exposed so
+    /// higher-level builders can validate options they assembled elsewhere.
+    pub fn validated(self) -> Result<BpOptions, ValidationError> {
+        if self.max_iterations == 0 {
+            return Err(ValidationError::InvalidOption {
+                option: "max_iterations",
+                value: 0.0,
+                requirement: "must be at least 1",
+            });
+        }
+        if !self.tolerance.is_finite() || self.tolerance < 0.0 {
+            return Err(ValidationError::InvalidOption {
+                option: "tolerance",
+                value: self.tolerance,
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !self.damping.is_finite() || !(0.0..1.0).contains(&self.damping) {
+            return Err(ValidationError::InvalidOption {
+                option: "damping",
+                value: self.damping,
+                requirement: "must lie in [0, 1)",
+            });
+        }
+        Ok(self)
+    }
+}
+
+/// Builder for [`BpOptions`] with typed validation at
+/// [`BpOptionsBuilder::try_build`].
+///
+/// ```
+/// use wsnloc_bayes::{BpOptions, Schedule};
+/// let opts = BpOptions::builder()
+///     .max_iterations(12)
+///     .tolerance(0.5)
+///     .damping(0.3)
+///     .schedule(Schedule::Sweep)
+///     .seed(7)
+///     .try_build()
+///     .expect("valid options");
+/// assert_eq!(opts.max_iterations, 12);
+/// assert!(BpOptions::builder().damping(1.5).try_build().is_err());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BpOptionsBuilder {
+    opts: BpOptions,
+}
+
+impl BpOptionsBuilder {
+    /// Maximum belief-update iterations (must be at least 1).
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.opts.max_iterations = n;
+        self
+    }
+
+    /// Convergence threshold in domain units (finite and non-negative).
+    pub fn tolerance(mut self, t: f64) -> Self {
+        self.opts.tolerance = t;
+        self
+    }
+
+    /// Damping factor (in `[0, 1)`).
+    pub fn damping(mut self, d: f64) -> Self {
+        self.opts.damping = d;
+        self
+    }
+
+    /// Update schedule.
+    pub fn schedule(mut self, s: Schedule) -> Self {
+        self.opts.schedule = s;
+        self
+    }
+
+    /// Seed for the stochastic parts of inference.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.opts.seed = s;
+        self
+    }
+
+    /// Wire bytes per belief broadcast (for observer byte accounting).
+    pub fn message_bytes(mut self, b: u64) -> Self {
+        self.opts.message_bytes = b;
+        self
+    }
+
+    /// Validates every field and returns the finished options.
+    pub fn try_build(self) -> Result<BpOptions, ValidationError> {
+        self.opts.validated()
     }
 }
 
@@ -260,5 +381,63 @@ mod tests {
         assert!(opts.tolerance > 0.0);
         assert_eq!(opts.schedule, Schedule::Synchronous);
         assert!((0.0..1.0).contains(&opts.damping));
+        assert_eq!(opts.message_bytes, 0);
+    }
+
+    #[test]
+    fn builder_roundtrips_valid_options() {
+        let opts = BpOptions::builder()
+            .max_iterations(7)
+            .tolerance(0.25)
+            .damping(0.5)
+            .schedule(Schedule::Sweep)
+            .seed(123)
+            .message_bytes(40)
+            .try_build()
+            .unwrap();
+        assert_eq!(opts.max_iterations, 7);
+        assert_eq!(opts.tolerance, 0.25);
+        assert_eq!(opts.damping, 0.5);
+        assert_eq!(opts.schedule, Schedule::Sweep);
+        assert_eq!(opts.seed, 123);
+        assert_eq!(opts.message_bytes, 40);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_options() {
+        assert!(matches!(
+            BpOptions::builder().max_iterations(0).try_build(),
+            Err(ValidationError::InvalidOption {
+                option: "max_iterations",
+                ..
+            })
+        ));
+        assert!(matches!(
+            BpOptions::builder().tolerance(f64::NAN).try_build(),
+            Err(ValidationError::InvalidOption {
+                option: "tolerance",
+                ..
+            })
+        ));
+        assert!(matches!(
+            BpOptions::builder().damping(1.0).try_build(),
+            Err(ValidationError::InvalidOption {
+                option: "damping",
+                ..
+            })
+        ));
+        assert!(matches!(
+            BpOptions::builder().damping(-0.1).try_build(),
+            Err(ValidationError::InvalidOption {
+                option: "damping",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn schedule_names_are_stable() {
+        assert_eq!(Schedule::Synchronous.name(), "synchronous");
+        assert_eq!(Schedule::Sweep.name(), "sweep");
     }
 }

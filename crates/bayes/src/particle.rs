@@ -22,9 +22,14 @@ use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::potential::PairPotential;
 use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
+use std::time::Instant;
 use wsnloc_geom::kde::silverman_bandwidth;
 use wsnloc_geom::rng::{systematic_resample, Xoshiro256pp};
 use wsnloc_geom::{Matrix, Vec2};
+use wsnloc_obs::{
+    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, RunInfo, RunSummary,
+    SpanKind,
+};
 
 /// A weighted particle representation of a position belief.
 #[derive(Debug, Clone, PartialEq)]
@@ -193,16 +198,44 @@ impl ParticleBp {
 
     /// Runs BP to convergence or `opts.max_iterations`.
     pub fn run(&self, mrf: &SpatialMrf, opts: &BpOptions) -> (Vec<ParticleBelief>, BpOutcome) {
-        self.run_observed(mrf, opts, |_, _| {})
+        self.run_full(mrf, opts, &NullObserver, |_, _| {})
+    }
+
+    /// Runs BP, reporting telemetry into `obs` (run metadata, spans,
+    /// per-iteration residuals and communication counts).
+    pub fn run_with(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        obs: &dyn InferenceObserver,
+    ) -> (Vec<ParticleBelief>, BpOutcome) {
+        self.run_full(mrf, opts, obs, |_, _| {})
     }
 
     /// Runs BP, invoking `observer(iteration, beliefs)` after each
-    /// iteration.
+    /// iteration (belief-level hook for convergence experiments; for
+    /// structured telemetry use [`ParticleBp::run_with`]).
     pub fn run_observed<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
-        mut observer: F,
+        observer: F,
+    ) -> (Vec<ParticleBelief>, BpOutcome)
+    where
+        F: FnMut(usize, &[ParticleBelief]),
+    {
+        self.run_full(mrf, opts, &NullObserver, observer)
+    }
+
+    /// Runs BP with both a structured telemetry observer and a
+    /// belief-level per-iteration closure (the superset entry point the
+    /// core localizer drives).
+    pub fn run_full<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        obs: &dyn InferenceObserver,
+        mut on_iter: F,
     ) -> (Vec<ParticleBelief>, BpOutcome)
     where
         F: FnMut(usize, &[ParticleBelief]),
@@ -210,8 +243,23 @@ impl ParticleBp {
         assert!(self.particles > 0, "need at least one particle");
         validate::enforce("ParticleBp::run", || GraphAudit.check_mrf(mrf));
         let root = Xoshiro256pp::seed_from(opts.seed);
+        let free = mrf.free_vars();
+        obs.on_run_start(&RunInfo {
+            backend: "particle",
+            nodes: mrf.len(),
+            free: free.len(),
+            edges: mrf.edges().len(),
+            max_iterations: opts.max_iterations,
+            tolerance: opts.tolerance,
+            damping: opts.damping,
+            schedule: opts.schedule.name(),
+            message_bytes: opts.message_bytes,
+            seed: opts.seed,
+        });
+        let wants_residuals = obs.wants_residuals();
 
         // Initialize: fixed vars are points, free vars sample their prior.
+        let init_start = Instant::now();
         let mut beliefs: Vec<ParticleBelief> = (0..mrf.len())
             .map(|u| match mrf.fixed(u) {
                 Some(p) => ParticleBelief::point(p),
@@ -224,15 +272,17 @@ impl ParticleBp {
                 }
             })
             .collect();
+        obs.on_span(SpanKind::PriorInit, init_start.elapsed().as_secs_f64());
 
-        let free = mrf.free_vars();
         let mut outcome = BpOutcome {
             iterations: 0,
             converged: false,
             messages: 0,
         };
 
+        let loop_start = Instant::now();
         for iter in 0..opts.max_iterations {
+            let iter_start = Instant::now();
             let prev_means: Vec<Vec2> = free.iter().map(|&u| beliefs[u].mean()).collect();
             // Per-iteration, per-node deterministic RNG streams.
             let iter_tag = (iter as u64 + 1) << 32;
@@ -268,18 +318,54 @@ impl ParticleBp {
                 }
                 Ok(())
             });
-            observer(iter, &beliefs);
+            on_iter(iter, &beliefs);
 
             let max_shift = free
                 .iter()
                 .zip(&prev_means)
                 .map(|(&u, &prev)| beliefs[u].mean().dist(prev))
                 .fold(0.0, f64::max);
+            // Residuals (belief-mean displacement per node) are computed
+            // only when the observer asks — the zero-cost contract.
+            let residuals: Vec<NodeResidual> = if wants_residuals {
+                wsnloc_obs::accounting::note_residual_buffer();
+                free.iter()
+                    .zip(&prev_means)
+                    .map(|(&u, &prev)| NodeResidual {
+                        node: u,
+                        residual: beliefs[u].mean().dist(prev),
+                        kl: None,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            obs.on_iteration(&IterationRecord {
+                iteration: iter,
+                max_shift,
+                comm: CommStats {
+                    messages: free.len() as u64,
+                    bytes: free.len() as u64 * opts.message_bytes,
+                },
+                damping: opts.damping,
+                schedule: opts.schedule.name(),
+                secs: iter_start.elapsed().as_secs_f64(),
+                residuals,
+            });
             if max_shift < opts.tolerance {
                 outcome.converged = true;
                 break;
             }
         }
+        obs.on_span(SpanKind::MessagePassing, loop_start.elapsed().as_secs_f64());
+        obs.on_run_end(&RunSummary {
+            iterations: outcome.iterations,
+            converged: outcome.converged,
+            comm: CommStats {
+                messages: outcome.messages,
+                bytes: outcome.messages * opts.message_bytes,
+            },
+        });
         (beliefs, outcome)
     }
 
@@ -498,12 +584,12 @@ mod tests {
         let engine = ParticleBp::with_particles(400);
         let (beliefs, outcome) = engine.run(
             &mrf,
-            &BpOptions {
-                max_iterations: 15,
-                tolerance: 0.3,
-                seed: 42,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(15)
+                .tolerance(0.3)
+                .seed(42)
+                .try_build()
+                .expect("valid options"),
         );
         assert!(outcome.iterations >= 2);
         let est = beliefs[1].mean();
@@ -534,12 +620,12 @@ mod tests {
         let engine = ParticleBp::with_particles(500);
         let (beliefs, _) = engine.run(
             &mrf,
-            &BpOptions {
-                max_iterations: 12,
-                tolerance: 0.2,
-                seed: 7,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(12)
+                .tolerance(0.2)
+                .seed(7)
+                .try_build()
+                .expect("valid options"),
         );
         let est = beliefs[3].mean();
         assert!(est.dist(truth) < 4.0, "estimate {est} vs truth {truth}");
@@ -572,12 +658,12 @@ mod tests {
         let engine = ParticleBp::with_particles(600);
         let (beliefs, _) = engine.run(
             &mrf,
-            &BpOptions {
-                max_iterations: 25,
-                tolerance: 0.2,
-                seed: 3,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(25)
+                .tolerance(0.2)
+                .seed(3)
+                .try_build()
+                .expect("valid options"),
         );
         // x coordinates should be recovered; y has a reflection ambiguity
         // mitigated only by the chain being collinear with the anchors.
@@ -607,11 +693,11 @@ mod tests {
             }),
         );
         let engine = ParticleBp::with_particles(200);
-        let opts = BpOptions {
-            max_iterations: 5,
-            seed: 99,
-            ..BpOptions::default()
-        };
+        let opts = BpOptions::builder()
+            .max_iterations(5)
+            .seed(99)
+            .try_build()
+            .expect("valid options");
         let (b1, _) = engine.run(&mrf, &opts);
         let (b2, _) = engine.run(&mrf, &opts);
         assert_eq!(b1[1], b2[1]);
@@ -643,11 +729,11 @@ mod tests {
             );
         }
         let engine = ParticleBp::with_particles(150);
-        let opts = BpOptions {
-            max_iterations: 6,
-            seed: 5,
-            ..BpOptions::default()
-        };
+        let opts = BpOptions::builder()
+            .max_iterations(6)
+            .seed(5)
+            .try_build()
+            .expect("valid options");
         let (b1, _) = engine.run(&mrf, &opts);
         let (b2, _) = engine.run(&mrf, &opts);
         for (x, y) in b1.iter().zip(&b2) {
@@ -671,13 +757,13 @@ mod tests {
         let engine = ParticleBp::with_particles(100);
         let (b, _) = engine.run(
             &mrf,
-            &BpOptions {
-                max_iterations: 3,
-                damping: 0.5,
-                seed: 11,
-                tolerance: 0.0,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(3)
+                .damping(0.5)
+                .seed(11)
+                .tolerance(0.0)
+                .try_build()
+                .expect("valid options"),
         );
         assert_eq!(b[1].len(), 100);
     }
@@ -697,11 +783,11 @@ mod tests {
         let engine = ParticleBp::with_particles(300);
         let (b, _) = engine.run(
             &mrf,
-            &BpOptions {
-                max_iterations: 4,
-                seed: 2,
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(4)
+                .seed(2)
+                .try_build()
+                .expect("valid options"),
         );
         assert!(b[0].mean().dist(prior_mean) < 2.0);
     }

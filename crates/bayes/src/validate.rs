@@ -120,6 +120,15 @@ pub enum ValidationError {
     NoAnchors,
     /// A directed network's parent relation contains a cycle.
     CyclicNetwork,
+    /// A builder was handed a configuration value outside its valid range.
+    InvalidOption {
+        /// The option's field name (e.g. `"damping"`).
+        option: &'static str,
+        /// The rejected value, widened to `f64` for uniform reporting.
+        value: f64,
+        /// Human-readable statement of the valid range.
+        requirement: &'static str,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -186,6 +195,13 @@ impl fmt::Display for ValidationError {
                     f,
                     "parent relation contains a cycle (network must be a DAG)"
                 )
+            }
+            ValidationError::InvalidOption {
+                option,
+                value,
+                requirement,
+            } => {
+                write!(f, "option `{option}` = {value} is invalid: {requirement}")
             }
         }
     }

@@ -196,12 +196,12 @@ fn bp_single_anchor_ring_distance_recovered() {
         let engine = wsnloc_bayes::ParticleBp::with_particles(200);
         let (beliefs, _) = engine.run(
             &mrf,
-            &BpOptions {
-                max_iterations: 8,
-                tolerance: 0.0,
-                seed: rng.next_u64(),
-                ..BpOptions::default()
-            },
+            &BpOptions::builder()
+                .max_iterations(8)
+                .tolerance(0.0)
+                .seed(rng.next_u64())
+                .try_build()
+                .expect("valid options"),
         );
         // Weighted mean distance of particles to the anchor ≈ d.
         let mean_dist: f64 = beliefs[1]

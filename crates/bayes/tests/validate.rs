@@ -43,12 +43,12 @@ fn random_mrf(rng: &mut Xoshiro256pp) -> SpatialMrf {
 }
 
 fn options(rng: &mut Xoshiro256pp) -> BpOptions {
-    BpOptions {
-        max_iterations: 4,
-        tolerance: 0.0,
-        seed: rng.next_u64(),
-        ..BpOptions::default()
-    }
+    BpOptions::builder()
+        .max_iterations(4)
+        .tolerance(0.0)
+        .seed(rng.next_u64())
+        .try_build()
+        .expect("valid options")
 }
 
 #[test]

@@ -13,6 +13,42 @@ use wsnloc_geom::matrix::Matrix;
 use wsnloc_geom::rng::{systematic_resample, Xoshiro256pp};
 use wsnloc_geom::{Aabb, Vec2};
 use wsnloc_net::topology::Topology;
+use wsnloc_obs::{NullObserver, TraceObserver};
+
+/// Shared 25-node fixture for the particle-BP iteration benches so the
+/// plain / null-observer / trace-observer variants time identical work.
+fn particle_bench_fixture() -> (SpatialMrf, ParticleBp, BpOptions) {
+    let domain = Aabb::from_size(300.0, 300.0);
+    let mut mrf = SpatialMrf::new(25, domain, Arc::new(UniformBoxUnary(domain)));
+    let mut rng = Xoshiro256pp::seed_from(9);
+    let pts: Vec<Vec2> = (0..25)
+        .map(|_| rng.point_in(domain.min, domain.max))
+        .collect();
+    for (i, &p) in pts.iter().enumerate().take(3) {
+        mrf.fix(i, p);
+    }
+    for i in 0..25 {
+        for j in (i + 1)..25 {
+            if pts[i].dist(pts[j]) < 120.0 {
+                mrf.add_edge(
+                    i,
+                    j,
+                    Arc::new(GaussianRange {
+                        observed: pts[i].dist(pts[j]),
+                        sigma: 5.0,
+                    }),
+                );
+            }
+        }
+    }
+    let engine = ParticleBp::with_particles(100);
+    let opts = BpOptions::builder()
+        .max_iterations(1)
+        .tolerance(0.0)
+        .try_build()
+        .expect("valid options");
+    (mrf, engine, opts)
+}
 
 fn benches(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro");
@@ -92,36 +128,26 @@ fn benches(c: &mut Criterion) {
     // Single synchronous BP iteration, particle backend, 25-node clique-ish
     // MRF (the inner loop of every experiment).
     g.bench_function("particle_bp_iteration_25nodes", |b| {
-        let domain = Aabb::from_size(300.0, 300.0);
-        let mut mrf = SpatialMrf::new(25, domain, Arc::new(UniformBoxUnary(domain)));
-        let mut rng = Xoshiro256pp::seed_from(9);
-        let pts: Vec<Vec2> = (0..25)
-            .map(|_| rng.point_in(domain.min, domain.max))
-            .collect();
-        for (i, &p) in pts.iter().enumerate().take(3) {
-            mrf.fix(i, p);
-        }
-        for i in 0..25 {
-            for j in (i + 1)..25 {
-                if pts[i].dist(pts[j]) < 120.0 {
-                    mrf.add_edge(
-                        i,
-                        j,
-                        Arc::new(GaussianRange {
-                            observed: pts[i].dist(pts[j]),
-                            sigma: 5.0,
-                        }),
-                    );
-                }
-            }
-        }
-        let engine = ParticleBp::with_particles(100);
-        let opts = BpOptions {
-            max_iterations: 1,
-            tolerance: 0.0,
-            ..BpOptions::default()
-        };
+        let (mrf, engine, opts) = particle_bench_fixture();
         b.iter(|| black_box(engine.run(&mrf, &opts)));
+    });
+
+    // Observer-overhead pair: the same particle BP iteration through the
+    // explicit observer entry point, first with the default `NullObserver`
+    // (must be indistinguishable from `run`) and then with a recording
+    // `TraceObserver` (the price of full telemetry).
+    g.bench_function("particle_bp_iteration_null_observer", |b| {
+        let (mrf, engine, opts) = particle_bench_fixture();
+        b.iter(|| black_box(engine.run_with(&mrf, &opts, &NullObserver)));
+    });
+
+    g.bench_function("particle_bp_iteration_trace_observer", |b| {
+        let (mrf, engine, opts) = particle_bench_fixture();
+        b.iter(|| {
+            let tracer = TraceObserver::new();
+            black_box(engine.run_with(&mrf, &opts, &tracer));
+            black_box(tracer.take_runs())
+        });
     });
 
     g.bench_function("gaussian_bp_iteration_25nodes", |b| {
@@ -150,11 +176,11 @@ fn benches(c: &mut Criterion) {
             }
         }
         let engine = GaussianBp::default();
-        let opts = BpOptions {
-            max_iterations: 1,
-            tolerance: 0.0,
-            ..BpOptions::default()
-        };
+        let opts = BpOptions::builder()
+            .max_iterations(1)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid options");
         b.iter(|| black_box(engine.run(&mrf, &opts)));
     });
 
@@ -181,11 +207,11 @@ fn benches(c: &mut Criterion) {
             }
         }
         let engine = GridBp::with_resolution(30);
-        let opts = BpOptions {
-            max_iterations: 1,
-            tolerance: 0.0,
-            ..BpOptions::default()
-        };
+        let opts = BpOptions::builder()
+            .max_iterations(1)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid options");
         b.iter(|| black_box(engine.run(&mrf, &opts)));
     });
 

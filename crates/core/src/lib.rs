@@ -45,6 +45,10 @@
 //! - [`result`] — [`LocalizationResult`] and error computation.
 //! - [`crlb`] — the Cramér–Rao lower bound for range-based cooperative
 //!   localization with Gaussian priors.
+//! - [`obs`] (re-export of `wsnloc_obs`) — convergence telemetry: attach an
+//!   [`obs::TraceObserver`] via [`Localizer::localize_with_observer`] to
+//!   record per-iteration residuals, communication, timing spans, and
+//!   structured events, or stream them to JSONL with [`obs::JsonlSink`].
 
 #![warn(missing_docs)]
 
@@ -56,21 +60,23 @@ pub mod prior;
 pub mod result;
 pub mod tracking;
 
-pub use localizer::{Backend, BnlLocalizer, Estimator};
+pub use localizer::{Backend, BnlLocalizer, BnlLocalizerBuilder, Estimator};
 pub use prior::PriorModel;
 pub use result::{LocalizationResult, Localizer};
 pub use tracking::TrackingLocalizer;
+pub use wsnloc_obs as obs;
 
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::crlb::crlb_per_node;
-    pub use crate::localizer::{Backend, BnlLocalizer, Estimator};
+    pub use crate::localizer::{Backend, BnlLocalizer, BnlLocalizerBuilder, Estimator};
     pub use crate::prior::PriorModel;
     pub use crate::result::{LocalizationResult, Localizer};
     pub use crate::tracking::TrackingLocalizer;
-    pub use wsnloc_bayes::{BpOptions, Schedule};
+    pub use wsnloc_bayes::{BpOptions, Schedule, ValidationError};
     pub use wsnloc_geom::{Aabb, Shape, Vec2};
     pub use wsnloc_net::{
         AnchorStrategy, Deployment, GroundTruth, Network, RadioModel, RangingModel, Scenario,
     };
+    pub use wsnloc_obs::{InferenceObserver, JsonlSink, NullObserver, TraceObserver};
 }

@@ -16,10 +16,11 @@ use crate::model::{build_mrf, ModelOptions};
 use crate::prior::PriorModel;
 use crate::result::{LocalizationResult, Localizer};
 use std::time::Instant;
-use wsnloc_bayes::{BpOptions, GaussianBp, GridBp, ParticleBp, Schedule};
+use wsnloc_bayes::{BpOptions, GaussianBp, GridBp, ParticleBp, Schedule, ValidationError};
 use wsnloc_geom::Vec2;
 use wsnloc_net::accounting::{CommStats, WireMessage};
 use wsnloc_net::Network;
+use wsnloc_obs::{InferenceObserver, NullObserver, ObsEvent, SpanKind};
 
 /// Belief representation used by inference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,30 +46,181 @@ pub enum Backend {
 pub enum Estimator {
     /// Posterior mean (minimum mean squared error).
     Mmse,
-    /// Posterior mode (maximum a posteriori; grid backend only — particles
-    /// fall back to MMSE).
+    /// Posterior mode (maximum a posteriori). Only the grid backend can
+    /// extract a mode from its beliefs; the particle and Gaussian backends
+    /// fall back to MMSE and report the switch as an
+    /// [`ObsEvent::MapFallbackToMmse`] observer event rather than silently.
     Map,
 }
 
 /// Cooperative Bayesian-network localization with pre-knowledge.
+///
+/// Construct through [`BnlLocalizer::builder`] (validated) or the
+/// [`BnlLocalizer::particle`]/[`BnlLocalizer::grid`]/
+/// [`BnlLocalizer::gaussian`] convenience constructors plus `with_*`
+/// chaining. The fields remain public for backward compatibility but are
+/// deprecated as a construction surface — struct-literal construction
+/// bypasses the builder's range validation and will break when fields are
+/// added.
 #[derive(Debug, Clone)]
 pub struct BnlLocalizer {
     /// Pre-knowledge model.
+    ///
+    /// Deprecated as a construction surface: prefer
+    /// [`BnlLocalizerBuilder::prior`].
+    #[doc(hidden)]
     pub prior: PriorModel,
     /// Belief representation.
+    ///
+    /// Deprecated as a construction surface: prefer
+    /// [`BnlLocalizer::builder`].
+    #[doc(hidden)]
     pub backend: Backend,
     /// BP engine options (seed is overridden per `localize` call).
+    ///
+    /// Deprecated as a construction surface: prefer the builder's
+    /// `max_iterations`/`tolerance`/`damping`/`schedule` setters.
+    #[doc(hidden)]
     pub bp: BpOptions,
     /// Negative connectivity constraints per node (0 = off).
+    ///
+    /// Deprecated as a construction surface: prefer
+    /// [`BnlLocalizerBuilder::negative_constraints`].
+    #[doc(hidden)]
     pub negative_constraints: usize,
     /// Point estimate rule.
+    ///
+    /// Deprecated as a construction surface: prefer
+    /// [`BnlLocalizerBuilder::estimator`].
+    #[doc(hidden)]
     pub estimator: Estimator,
     /// Particles included in each broadcast belief summary (communication
     /// accounting; also the mixture subsample size of the particle engine).
+    ///
+    /// Deprecated as a construction surface: prefer
+    /// [`BnlLocalizerBuilder::broadcast_particles`].
+    #[doc(hidden)]
     pub broadcast_particles: usize,
 }
 
+/// Validated builder for [`BnlLocalizer`].
+///
+/// ```
+/// use wsnloc::prelude::*;
+/// let loc = BnlLocalizer::builder(Backend::Particle { particles: 300 })
+///     .prior(PriorModel::DropPoint { sigma: 40.0 })
+///     .max_iterations(10)
+///     .tolerance(1.0)
+///     .try_build()
+///     .expect("valid configuration");
+/// assert_eq!(loc.name(), "BNL-PK/particle");
+///
+/// // Out-of-range configurations are typed errors, not runtime surprises:
+/// assert!(BnlLocalizer::builder(Backend::Particle { particles: 0 })
+///     .try_build()
+///     .is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BnlLocalizerBuilder {
+    inner: BnlLocalizer,
+}
+
+impl BnlLocalizerBuilder {
+    /// Sets the pre-knowledge model.
+    pub fn prior(mut self, prior: PriorModel) -> Self {
+        self.inner.prior = prior;
+        self
+    }
+
+    /// Sets the iteration cap (must be at least 1).
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.inner.bp.max_iterations = n;
+        self
+    }
+
+    /// Sets the convergence tolerance in meters (finite, non-negative).
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.inner.bp.tolerance = tol;
+        self
+    }
+
+    /// Sets belief damping (in `[0, 1)`).
+    pub fn damping(mut self, damping: f64) -> Self {
+        self.inner.bp.damping = damping;
+        self
+    }
+
+    /// Sets the update schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.inner.bp.schedule = schedule;
+        self
+    }
+
+    /// Sets the point-estimate rule.
+    pub fn estimator(mut self, estimator: Estimator) -> Self {
+        self.inner.estimator = estimator;
+        self
+    }
+
+    /// Sets sampled negative connectivity constraints per node (0 = off).
+    pub fn negative_constraints(mut self, per_node: usize) -> Self {
+        self.inner.negative_constraints = per_node;
+        self
+    }
+
+    /// Sets the broadcast belief summary size (must be at least 1).
+    pub fn broadcast_particles(mut self, count: usize) -> Self {
+        self.inner.broadcast_particles = count;
+        self
+    }
+
+    /// Validates the configuration and returns the finished localizer.
+    pub fn try_build(self) -> Result<BnlLocalizer, ValidationError> {
+        match self.inner.backend {
+            Backend::Particle { particles: 0 } => {
+                return Err(ValidationError::InvalidOption {
+                    option: "particles",
+                    value: 0.0,
+                    requirement: "must be at least 1",
+                });
+            }
+            Backend::Grid { resolution } if resolution < 2 => {
+                return Err(ValidationError::InvalidOption {
+                    option: "resolution",
+                    value: resolution as f64,
+                    requirement: "must be at least 2 cells per side",
+                });
+            }
+            _ => {}
+        }
+        if self.inner.broadcast_particles == 0 {
+            return Err(ValidationError::InvalidOption {
+                option: "broadcast_particles",
+                value: 0.0,
+                requirement: "must be at least 1",
+            });
+        }
+        self.inner.bp.validated()?;
+        Ok(self.inner)
+    }
+}
+
 impl BnlLocalizer {
+    /// Starts a validated [`BnlLocalizerBuilder`] for the given backend,
+    /// with the same defaults as the convenience constructors.
+    pub fn builder(backend: Backend) -> BnlLocalizerBuilder {
+        BnlLocalizerBuilder {
+            inner: BnlLocalizer {
+                prior: PriorModel::Uninformative,
+                backend,
+                bp: BpOptions::default(),
+                negative_constraints: 0,
+                estimator: Estimator::Mmse,
+                broadcast_particles: 24,
+            },
+        }
+    }
+
     /// Particle-backend localizer with sensible defaults and no
     /// pre-knowledge (add one with [`BnlLocalizer::with_prior`]).
     pub fn particle(particles: usize) -> Self {
@@ -155,12 +307,29 @@ impl BnlLocalizer {
         &self,
         network: &Network,
         seed: u64,
+        on_iteration: F,
+    ) -> LocalizationResult
+    where
+        F: FnMut(usize, &[Option<Vec2>]),
+    {
+        self.localize_inner(network, seed, &NullObserver, on_iteration)
+    }
+
+    /// The full localization path: builds the model, runs the configured
+    /// backend with both the structured `obs` observer and the
+    /// estimate-level `on_iteration` callback, and extracts the result.
+    fn localize_inner<F>(
+        &self,
+        network: &Network,
+        seed: u64,
+        obs: &dyn InferenceObserver,
         mut on_iteration: F,
     ) -> LocalizationResult
     where
         F: FnMut(usize, &[Option<Vec2>]),
     {
         let start = Instant::now();
+        let build_start = Instant::now();
         let mrf = build_mrf(
             network,
             &self.prior,
@@ -169,8 +338,10 @@ impl BnlLocalizer {
                 seed: seed ^ 0x9E37_79B9,
             },
         );
+        let build_secs = build_start.elapsed().as_secs_f64();
         let mut opts = self.bp;
         opts.seed = seed;
+        opts.message_bytes = self.broadcast_message_bytes();
 
         let n = network.len();
         let mut result = LocalizationResult::empty(n);
@@ -179,11 +350,14 @@ impl BnlLocalizer {
             result.uncertainty[id] = Some(0.0);
         }
 
+        // TraceObserver opens its record at the engine's `on_run_start`, so
+        // the model-build span (measured above) and the estimate-extraction
+        // span are reported after the run instead of in wall-clock order.
         match self.backend {
             Backend::Particle { particles } => {
                 let mut engine = ParticleBp::with_particles(particles);
                 engine.mixture_samples = self.broadcast_particles;
-                let (beliefs, outcome) = engine.run_observed(&mrf, &opts, |iter, beliefs| {
+                let (beliefs, outcome) = engine.run_full(&mrf, &opts, obs, |iter, beliefs| {
                     let estimates: Vec<Option<Vec2>> = (0..n)
                         .map(|id| match mrf.fixed(id) {
                             Some(p) => Some(p),
@@ -192,17 +366,28 @@ impl BnlLocalizer {
                         .collect();
                     on_iteration(iter, &estimates);
                 });
+                obs.on_span(SpanKind::ModelBuild, build_secs);
+                if self.estimator == Estimator::Map {
+                    obs.on_event(&ObsEvent::MapFallbackToMmse {
+                        backend: "particle",
+                    });
+                }
+                let extract_start = Instant::now();
                 for id in mrf.free_vars() {
                     result.estimates[id] = Some(beliefs[id].mean());
                     result.uncertainty[id] = Some(beliefs[id].spread());
                 }
+                obs.on_span(
+                    SpanKind::EstimateExtract,
+                    extract_start.elapsed().as_secs_f64(),
+                );
                 result.iterations = outcome.iterations;
                 result.converged = outcome.converged;
                 result.comm = self.particle_comm(outcome.messages);
             }
             Backend::Gaussian => {
                 let engine = GaussianBp::default();
-                let (beliefs, outcome) = engine.run_observed(&mrf, &opts, |iter, beliefs| {
+                let (beliefs, outcome) = engine.run_full(&mrf, &opts, obs, |iter, beliefs| {
                     let estimates: Vec<Option<Vec2>> = (0..n)
                         .map(|id| match mrf.fixed(id) {
                             Some(p) => Some(p),
@@ -211,17 +396,28 @@ impl BnlLocalizer {
                         .collect();
                     on_iteration(iter, &estimates);
                 });
+                obs.on_span(SpanKind::ModelBuild, build_secs);
+                if self.estimator == Estimator::Map {
+                    obs.on_event(&ObsEvent::MapFallbackToMmse {
+                        backend: "gaussian",
+                    });
+                }
+                let extract_start = Instant::now();
                 for id in mrf.free_vars() {
                     result.estimates[id] = Some(beliefs[id].mean);
                     result.uncertainty[id] = Some(beliefs[id].spread());
                 }
+                obs.on_span(
+                    SpanKind::EstimateExtract,
+                    extract_start.elapsed().as_secs_f64(),
+                );
                 result.iterations = outcome.iterations;
                 result.converged = outcome.converged;
                 result.comm = self.gaussian_comm(outcome.messages);
             }
             Backend::Grid { resolution } => {
                 let engine = GridBp::with_resolution(resolution);
-                let (beliefs, outcome) = engine.run_observed(&mrf, &opts, |iter, beliefs| {
+                let (beliefs, outcome) = engine.run_full(&mrf, &opts, obs, |iter, beliefs| {
                     let estimates: Vec<Option<Vec2>> = (0..n)
                         .map(|id| match mrf.fixed(id) {
                             Some(p) => Some(p),
@@ -230,6 +426,8 @@ impl BnlLocalizer {
                         .collect();
                     on_iteration(iter, &estimates);
                 });
+                obs.on_span(SpanKind::ModelBuild, build_secs);
+                let extract_start = Instant::now();
                 for id in mrf.free_vars() {
                     let b = &beliefs[id];
                     result.estimates[id] = Some(match self.estimator {
@@ -238,6 +436,10 @@ impl BnlLocalizer {
                     });
                     result.uncertainty[id] = Some(b.spread());
                 }
+                obs.on_span(
+                    SpanKind::EstimateExtract,
+                    extract_start.elapsed().as_secs_f64(),
+                );
                 result.iterations = outcome.iterations;
                 result.converged = outcome.converged;
                 result.comm = self.gaussian_comm(outcome.messages);
@@ -248,16 +450,29 @@ impl BnlLocalizer {
         result
     }
 
+    /// Encoded size of one belief broadcast for the configured backend —
+    /// what the observer's per-iteration byte accounting charges.
+    fn broadcast_message_bytes(&self) -> u64 {
+        let msg = match self.backend {
+            Backend::Particle { .. } => WireMessage::ParticleBelief {
+                from: 0,
+                count: self.broadcast_particles as u32,
+                payload: vec![(Vec2::ZERO, 0.0); self.broadcast_particles],
+            },
+            Backend::Grid { .. } | Backend::Gaussian => WireMessage::GaussianBelief {
+                from: 0,
+                mean: Vec2::ZERO,
+                cov: [0.0; 3],
+            },
+        };
+        msg.encoded_len() as u64
+    }
+
     /// Bytes for one particle-summary broadcast.
     fn particle_comm(&self, broadcasts: u64) -> CommStats {
-        let msg = WireMessage::ParticleBelief {
-            from: 0,
-            count: self.broadcast_particles as u32,
-            payload: vec![(Vec2::ZERO, 0.0); self.broadcast_particles],
-        };
         CommStats {
             messages: broadcasts,
-            bytes: broadcasts * msg.encoded_len() as u64,
+            bytes: broadcasts * self.broadcast_message_bytes(),
         }
     }
 
@@ -291,6 +506,15 @@ impl Localizer for BnlLocalizer {
 
     fn localize(&self, network: &Network, seed: u64) -> LocalizationResult {
         self.localize_observed(network, seed, |_, _| {})
+    }
+
+    fn localize_with_observer(
+        &self,
+        network: &Network,
+        seed: u64,
+        observer: &dyn InferenceObserver,
+    ) -> LocalizationResult {
+        self.localize_inner(network, seed, observer, |_, _| {})
     }
 }
 
@@ -471,6 +695,117 @@ mod tests {
         let per_msg_gauss = r.comm.bytes as f64 / r.comm.messages.max(1) as f64;
         let per_msg_particle = particle.comm.bytes as f64 / particle.comm.messages.max(1) as f64;
         assert!(per_msg_gauss * 5.0 < per_msg_particle);
+    }
+
+    #[test]
+    fn builder_validates_and_matches_with_chain() {
+        let built = BnlLocalizer::builder(Backend::Particle { particles: 120 })
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(4)
+            .tolerance(1.0)
+            .damping(0.2)
+            .try_build()
+            .expect("valid config");
+        let chained = BnlLocalizer::particle(120)
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(4)
+            .with_tolerance(1.0)
+            .with_damping(0.2);
+        let (net, _) = small_world(11);
+        assert_eq!(
+            built.localize(&net, 3).estimates,
+            chained.localize(&net, 3).estimates
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        assert!(BnlLocalizer::builder(Backend::Particle { particles: 0 })
+            .try_build()
+            .is_err());
+        assert!(BnlLocalizer::builder(Backend::Grid { resolution: 1 })
+            .try_build()
+            .is_err());
+        assert!(BnlLocalizer::builder(Backend::Gaussian)
+            .broadcast_particles(0)
+            .try_build()
+            .is_err());
+        assert!(BnlLocalizer::builder(Backend::Gaussian)
+            .damping(1.0)
+            .try_build()
+            .is_err());
+        let err = BnlLocalizer::builder(Backend::Gaussian)
+            .max_iterations(0)
+            .try_build()
+            .expect_err("zero iterations must fail");
+        assert!(err.to_string().contains("max_iterations"));
+    }
+
+    #[test]
+    fn trace_observer_sees_full_run() {
+        use wsnloc_obs::TraceObserver;
+        let (net, _) = small_world(12);
+        let loc = BnlLocalizer::particle(80)
+            .with_max_iterations(3)
+            .with_tolerance(0.0);
+        let obs = TraceObserver::new();
+        let r = loc.localize_with_observer(&net, 0, &obs);
+        let run = obs.last_run().expect("one recorded run");
+        assert_eq!(run.info.backend, "particle");
+        assert_eq!(run.iterations.len(), r.iterations);
+        assert_eq!(run.summary.map(|s| s.comm.messages), Some(r.comm.messages));
+        // Byte accounting through the observer matches the result's ledger.
+        assert_eq!(run.summary.map(|s| s.comm.bytes), Some(r.comm.bytes));
+        let spans: Vec<_> = run.spans.iter().map(|(k, _)| *k).collect();
+        assert!(spans.contains(&wsnloc_obs::SpanKind::ModelBuild));
+        assert!(spans.contains(&wsnloc_obs::SpanKind::PriorInit));
+        assert!(spans.contains(&wsnloc_obs::SpanKind::MessagePassing));
+        assert!(spans.contains(&wsnloc_obs::SpanKind::EstimateExtract));
+        // Residuals recorded for every free node each iteration.
+        let free = net.unknowns().count();
+        assert!(run.iterations.iter().all(|it| it.residuals.len() == free));
+    }
+
+    #[test]
+    fn map_fallback_is_reported_not_silent() {
+        use wsnloc_obs::{ObsEvent, TraceObserver};
+        let (net, _) = small_world(13);
+        for (loc, backend) in [
+            (
+                BnlLocalizer::particle(60)
+                    .with_estimator(Estimator::Map)
+                    .with_max_iterations(2),
+                "particle",
+            ),
+            (
+                BnlLocalizer::gaussian()
+                    .with_estimator(Estimator::Map)
+                    .with_max_iterations(2),
+                "gaussian",
+            ),
+        ] {
+            let obs = TraceObserver::new();
+            let mmse = loc
+                .clone()
+                .with_estimator(Estimator::Mmse)
+                .localize(&net, 0);
+            let map = loc.localize_with_observer(&net, 0, &obs);
+            // The fallback means MAP and MMSE coincide on these backends…
+            assert_eq!(map.estimates, mmse.estimates);
+            // …and the switch is reported as a structured event.
+            let run = obs.last_run().expect("run recorded");
+            assert!(run
+                .events
+                .iter()
+                .any(|e| matches!(e, ObsEvent::MapFallbackToMmse { backend: b } if *b == backend)));
+        }
+        // The grid backend has a real mode: no fallback event.
+        let obs = TraceObserver::new();
+        let _ = BnlLocalizer::grid(20)
+            .with_estimator(Estimator::Map)
+            .with_max_iterations(2)
+            .localize_with_observer(&net, 0, &obs);
+        assert!(obs.last_run().expect("run").events.is_empty());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use wsnloc_geom::Vec2;
 use wsnloc_net::accounting::CommStats;
 use wsnloc_net::{GroundTruth, Network};
+use wsnloc_obs::InferenceObserver;
 
 /// The output of one localization run.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +91,21 @@ pub trait Localizer: Send + Sync {
     /// internal randomness; the same `(network, seed)` pair must return the
     /// same result.
     fn localize(&self, network: &Network, seed: u64) -> LocalizationResult;
+
+    /// Like [`Localizer::localize`], reporting convergence telemetry into
+    /// `observer` along the way. The default implementation ignores the
+    /// observer and delegates to `localize` — the right behavior for
+    /// one-shot baselines (DV-Hop, MDS, …) that have no iteration structure
+    /// to report. Iterative algorithms override this.
+    fn localize_with_observer(
+        &self,
+        network: &Network,
+        seed: u64,
+        observer: &dyn InferenceObserver,
+    ) -> LocalizationResult {
+        let _ = observer;
+        self.localize(network, seed)
+    }
 }
 
 #[cfg(test)]

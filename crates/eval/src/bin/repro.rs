@@ -7,14 +7,24 @@
 //! repro all --quick         # smoke-test resolution
 //! repro list                # print the experiment index
 //! repro all --out results/  # also write one CSV per report
+//! repro trace               # record BP telemetry to trace.jsonl
+//! repro trace --backend grid --out traces/  # per-backend trace file
 //! ```
+//!
+//! The `trace` subcommand runs the standard scenario with a recording
+//! observer attached and writes a replayable `trace.jsonl` (schema: see the
+//! README's "Observability" section) with one JSON record per line —
+//! `run_start`, per-iteration residual/communication records, timing
+//! spans, structured events, and `run_end`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use wsnloc_eval::{experiments, ExpConfig};
+use wsnloc::prelude::*;
+use wsnloc_eval::{evaluate, experiments, EvalConfig, ExpConfig, Parallelism};
+use wsnloc_obs::write_jsonl;
 
 fn usage() -> &'static str {
-    "usage: repro <list | all | ids...> [--trials N] [--particles N] [--iterations N] [--quick] [--out DIR]"
+    "usage: repro <list | trace | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--out DIR]"
 }
 
 fn main() -> ExitCode {
@@ -26,6 +36,7 @@ fn main() -> ExitCode {
 
     let mut cfg = ExpConfig::default();
     let mut out_dir: Option<PathBuf> = None;
+    let mut backend = String::from("particle");
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -64,6 +75,13 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| die("--out needs a directory")),
                 ));
             }
+            "--backend" => {
+                i += 1;
+                backend = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| die("--backend needs particle|grid|gaussian"));
+            }
             other => ids.push(other.to_string()),
         }
         i += 1;
@@ -73,6 +91,10 @@ fn main() -> ExitCode {
         println!("experiments: {}", experiments::ids().join(", "));
         println!("(see DESIGN.md §4 for what each one reproduces)");
         return ExitCode::SUCCESS;
+    }
+
+    if ids.iter().any(|id| id == "trace") {
+        return run_trace(&cfg, &backend, out_dir.as_deref());
     }
 
     let selected: Vec<String> = if ids.iter().any(|id| id == "all") {
@@ -106,6 +128,93 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the standard scenario with a recording observer and writes the
+/// collected runs to `trace.jsonl` (in `out_dir` when given).
+fn run_trace(cfg: &ExpConfig, backend: &str, out_dir: Option<&std::path::Path>) -> ExitCode {
+    let backend = match backend {
+        "particle" => Backend::Particle {
+            particles: cfg.particles,
+        },
+        "grid" => Backend::Grid { resolution: 30 },
+        "gaussian" => Backend::Gaussian,
+        other => {
+            eprintln!("unknown backend: {other} (want particle|grid|gaussian)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let algo = match BnlLocalizer::builder(backend)
+        .prior(PriorModel::DropPoint {
+            sigma: experiments::PRIOR_SIGMA,
+        })
+        .max_iterations(cfg.iterations)
+        .tolerance(experiments::RANGE * 0.02)
+        .try_build()
+    {
+        Ok(algo) => algo,
+        Err(e) => {
+            eprintln!("invalid localizer configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenario = experiments::standard_scenario();
+    eprintln!(
+        "tracing {} on '{}': trials={} iterations={}",
+        algo.name(),
+        scenario.name,
+        cfg.trials,
+        cfg.iterations
+    );
+    // Sequential trials keep the trace file in trial order.
+    let outcome = evaluate(
+        &algo,
+        &scenario,
+        &EvalConfig::trials(cfg.trials)
+            .with_traces()
+            .with_parallelism(Parallelism::Sequential),
+    );
+    let Some(agg) = outcome.trace.as_ref() else {
+        eprintln!("no traces were collected");
+        return ExitCode::FAILURE;
+    };
+
+    let path = out_dir.map_or_else(|| PathBuf::from("trace.jsonl"), |d| d.join("trace.jsonl"));
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("failed to create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let lines =
+        match JsonlSink::create(&path).and_then(|mut sink| write_jsonl(&agg.traces, &mut sink)) {
+            Ok(lines) => lines,
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+    eprintln!(
+        "wrote {} lines ({} runs) to {}",
+        lines,
+        agg.runs,
+        path.display()
+    );
+    for (label, secs) in &agg.mean_span_secs {
+        eprintln!("  span {label}: {:.1} ms/run", secs * 1e3);
+    }
+    if let Some(last) = agg.mean_residual_curve.last() {
+        eprintln!(
+            "  mean max-residual: {:.3} (iter 0) -> {:.3} (iter {})",
+            agg.mean_residual_curve.first().copied().unwrap_or(f64::NAN),
+            last,
+            agg.mean_residual_curve.len() - 1
+        );
     }
     ExitCode::SUCCESS
 }

@@ -8,7 +8,7 @@
 //! F1 behaviour of the algorithms themselves.
 
 use super::{bnl, nbp, standard_scenario, N, PRIOR_SIGMA, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::crlb::mean_crlb;
 use wsnloc_geom::stats;
 
@@ -40,10 +40,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
                 without_prior.push(b);
             }
         }
-        let bnl_err = evaluate(&bnl(cfg), &scenario, cfg.trials)
+        let bnl_err = evaluate(&bnl(cfg), &scenario, &EvalConfig::trials(cfg.trials))
             .normalized_summary(RANGE)
             .map_or(f64::NAN, |s| s.mean);
-        let nbp_err = evaluate(&nbp(cfg), &scenario, cfg.trials)
+        let nbp_err = evaluate(&nbp(cfg), &scenario, &EvalConfig::trials(cfg.trials))
             .normalized_summary(RANGE)
             .map_or(f64::NAN, |s| s.mean);
         data.push(vec![

@@ -9,7 +9,7 @@
 //! argument for the paper's nonparametric formulation.
 
 use super::{PRIOR_SIGMA, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::prelude::*;
 
 fn scenario() -> Scenario {
@@ -68,7 +68,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut labels = Vec::new();
     let mut data = Vec::new();
     for (label, algo) in backends {
-        let outcome = evaluate(&algo, &scenario, cfg.trials);
+        let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials));
         let s = outcome.normalized_summary(RANGE);
         labels.push(label);
         data.push(vec![

@@ -13,7 +13,7 @@
 //! range-free DV-Hop is flat by construction.
 
 use super::{standard_scenario, PRIOR_SIGMA, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::prelude::*;
 
 /// Runs the NLOS robustness sweep.
@@ -57,7 +57,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
             algos
                 .into_iter()
                 .map(|algo| {
-                    evaluate(algo, &scenario, cfg.trials)
+                    evaluate(algo, &scenario, &EvalConfig::trials(cfg.trials))
                         .normalized_summary(RANGE)
                         .map_or(f64::NAN, |s| s.mean)
                 })

@@ -9,7 +9,7 @@
 //! fixed points approximate the same posterior.
 
 use super::{standard_scenario, PRIOR_SIGMA, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::prelude::*;
 
 /// Runs the schedule/damping ablation.
@@ -38,7 +38,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
             .with_schedule(schedule)
             .with_damping(damping)
             .with_tolerance(RANGE * 0.02);
-        let outcome = evaluate(&algo, &scenario, cfg.trials);
+        let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials));
         labels.push(label);
         data.push(vec![
             outcome

@@ -6,7 +6,7 @@
 //! field; proximity methods stay poor throughout.
 
 use super::{standard_scenario, sweep_roster, N, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 
 /// Runs the anchor-fraction sweep.
 pub fn run(cfg: &ExpConfig) -> Vec<Report> {
@@ -28,7 +28,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         let row: Vec<f64> = roster
             .iter()
             .map(|algo| {
-                evaluate(algo.as_ref(), &scenario, cfg.trials)
+                evaluate(algo.as_ref(), &scenario, &EvalConfig::trials(cfg.trials))
                     .normalized_summary(RANGE)
                     .map_or(f64::NAN, |s| s.mean)
             })

@@ -6,7 +6,7 @@
 //! DV-Hop, which ignores ranges, is nearly flat.
 
 use super::{bnl, nbp, standard_scenario, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::Localizer;
 use wsnloc_net::RangingModel;
 
@@ -35,7 +35,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
             roster
                 .iter()
                 .map(|algo| {
-                    evaluate(algo.as_ref(), &scenario, cfg.trials)
+                    evaluate(algo.as_ref(), &scenario, &EvalConfig::trials(cfg.trials))
                         .normalized_summary(RANGE)
                         .map_or(f64::NAN, |s| s.mean)
                 })

@@ -6,7 +6,7 @@
 //! most. The table also reports the realized average degree per range.
 
 use super::{bnl, nbp, standard_scenario, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::Localizer;
 use wsnloc_net::RadioModel;
 
@@ -37,7 +37,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         let mut row = vec![net.avg_degree()];
         // Errors stay normalized by the standard range so rows compare.
         row.extend(roster.iter().map(|algo| {
-            evaluate(algo.as_ref(), &scenario, cfg.trials)
+            evaluate(algo.as_ref(), &scenario, &EvalConfig::trials(cfg.trials))
                 .normalized_summary(RANGE)
                 .map_or(f64::NAN, |s| s.mean)
         }));

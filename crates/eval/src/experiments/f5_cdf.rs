@@ -7,7 +7,7 @@
 //! *is* its coverage.
 
 use super::{full_roster, standard_scenario, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 
 /// Runs the CDF table. Levels are multiples of R from 0 to 2R.
 pub fn run(cfg: &ExpConfig) -> Vec<Report> {
@@ -20,7 +20,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut pooled: Vec<Vec<f64>> = Vec::new();
     let mut unknown_totals: Vec<f64> = Vec::new();
     for algo in &roster {
-        let outcome = evaluate(algo.as_ref(), &scenario, cfg.trials);
+        let outcome = evaluate(algo.as_ref(), &scenario, &EvalConfig::trials(cfg.trials));
         // Reconstruct the unknown-node total from coverage so the CDF
         // accounts for unlocalized nodes.
         let total = if outcome.coverage > 0.0 {

@@ -15,7 +15,7 @@
 //!   through message passing.
 
 use super::{nbp, standard_scenario, PRIOR_SIGMA, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::{BnlLocalizer, PriorModel};
 
 /// Runs both pre-knowledge sweeps.
@@ -35,14 +35,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
             .with_prior(PriorModel::DropPoint { sigma })
             .with_max_iterations(cfg.iterations)
             .with_tolerance(RANGE * 0.02);
-        let outcome = evaluate(&algo, &scenario, cfg.trials);
+        let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials));
         labels.push(format!("σ={sigma:.0}"));
         data.push(vec![outcome
             .normalized_summary(RANGE)
             .map_or(f64::NAN, |s| s.mean)]);
     }
     // Reference row: no pre-knowledge at all.
-    let none = evaluate(&nbp(cfg), &scenario, cfg.trials);
+    let none = evaluate(&nbp(cfg), &scenario, &EvalConfig::trials(cfg.trials));
     labels.push("none".into());
     data.push(vec![none
         .normalized_summary(RANGE)
@@ -76,7 +76,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
             })
             .with_max_iterations(cfg.iterations)
             .with_tolerance(RANGE * 0.02);
-        let outcome = evaluate(&algo, &scenario, cfg.trials);
+        let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials));
         labels.push(format!("{:.0}%", coverage * 100.0));
         data.push(vec![outcome
             .normalized_summary(RANGE)

@@ -13,7 +13,7 @@
 //! wrong (the hole).
 
 use super::{ANCHORS, FIELD, N, NOISE, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::prelude::*;
 use wsnloc_geom::Shape;
 
@@ -78,7 +78,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
             algos
                 .into_iter()
                 .map(|algo| {
-                    evaluate(algo, &scenario, cfg.trials)
+                    evaluate(algo, &scenario, &EvalConfig::trials(cfg.trials))
                         .normalized_summary(RANGE)
                         .map_or(f64::NAN, |s| s.mean)
                 })

@@ -5,7 +5,7 @@
 //! where a deployment should operate.
 
 use super::{standard_scenario, PRIOR_SIGMA, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::{BnlLocalizer, PriorModel};
 
 /// Runs the particle-count ablation.
@@ -23,7 +23,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
             .with_prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
             .with_max_iterations(cfg.iterations)
             .with_tolerance(RANGE * 0.02);
-        let outcome = evaluate(&algo, &scenario, cfg.trials);
+        let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials));
         labels.push(particles.to_string());
         data.push(vec![
             outcome

@@ -13,7 +13,7 @@
 //! explodes — motivating the particle backend as the practical choice.
 
 use super::{PRIOR_SIGMA, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::prelude::*;
 
 fn small_scenario() -> Scenario {
@@ -45,7 +45,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
             })
             .with_max_iterations(cfg.iterations.min(6))
             .with_tolerance(RANGE * 0.02);
-        let outcome = evaluate(&algo, &scenario, cfg.trials.min(3));
+        let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials.min(3)));
         let cell = 500.0 / res as f64;
         labels.push(format!("{res}x{res}"));
         data.push(vec![

@@ -6,7 +6,7 @@
 //! cooperative methods (always 100%) from anchor-neighborhood methods.
 
 use super::{full_roster, standard_scenario, RANGE};
-use crate::{evaluate, ExpConfig, Report};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc_net::accounting::EnergyModel;
 
 /// Runs the comparison table.
@@ -18,7 +18,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut labels = Vec::new();
     let mut data = Vec::new();
     for algo in full_roster(cfg) {
-        let outcome = evaluate(algo.as_ref(), &scenario, cfg.trials);
+        let outcome = evaluate(algo.as_ref(), &scenario, &EvalConfig::trials(cfg.trials));
         let s = outcome
             .normalized_summary(RANGE)
             .expect("standard scenario always localizes something");

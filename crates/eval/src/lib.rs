@@ -20,7 +20,9 @@ pub mod runner;
 pub mod table;
 
 pub use metrics::ErrorSummary;
-pub use runner::{evaluate, EvalOutcome};
+pub use runner::{
+    evaluate, run_trial, run_trial_observed, EvalConfig, EvalOutcome, Parallelism, TraceAggregate,
+};
 pub use table::Report;
 
 /// Knobs shared by every experiment. `Default` gives the paper-scale

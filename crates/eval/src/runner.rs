@@ -2,16 +2,166 @@
 //!
 //! [`evaluate`] runs a [`Localizer`] over independent trials of a
 //! [`Scenario`] — trial `t` realizes the scenario with seed offset `t` and
-//! localizes with algorithm seed `t` — and aggregates errors, coverage,
-//! communication, and runtime. Trials run in parallel through rayon; the
-//! per-trial seeds make the aggregate independent of scheduling.
+//! localizes with algorithm seed `seed_base + t` — and aggregates errors,
+//! coverage, communication, and runtime. How many trials, how they are
+//! scheduled, and what telemetry they report is configured through
+//! [`EvalConfig`]; `EvalConfig::trials(n)` reproduces the historical
+//! positional call `evaluate(algo, scenario, n)`.
+//!
+//! Trials run in parallel through rayon by default; the per-trial seeds make
+//! the aggregate independent of scheduling.
 
 use rayon::prelude::*;
+use std::sync::Arc;
 use wsnloc::Localizer;
 use wsnloc_geom::stats::{self, Welford};
 use wsnloc_net::Scenario;
+use wsnloc_obs::{FanoutObserver, InferenceObserver, RunTrace, TraceObserver};
 
 use crate::metrics::{localized_errors, ErrorSummary};
+
+/// How [`evaluate`] schedules its trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use whatever rayon pool is ambient (the default — trials fan out
+    /// across the global pool, or the pool of an enclosing `install`).
+    #[default]
+    Ambient,
+    /// Run trials one after another on the calling thread.
+    Sequential,
+    /// Run trials on a dedicated pool of this many threads. Falls back to
+    /// the ambient pool if the pool cannot be built.
+    Threads(usize),
+}
+
+/// Options for [`evaluate`]. `EvalConfig::trials(n)` matches the behavior
+/// of the old positional `evaluate(algo, scenario, n)` signature exactly;
+/// everything else is opt-in.
+#[derive(Clone, Default)]
+pub struct EvalConfig {
+    /// Monte-Carlo trials to run.
+    pub trials: u64,
+    /// Added to the trial index to form both the scenario realization seed
+    /// and the algorithm seed (default 0, the historical behavior).
+    pub seed_base: u64,
+    /// Observer attached to *every* trial's inference run. Because trials
+    /// may run concurrently, a recording observer here sees interleaved
+    /// runs — combine with [`Parallelism::Sequential`] for ordered traces,
+    /// or use [`EvalConfig::collect_traces`], which records per trial.
+    pub observer: Option<Arc<dyn InferenceObserver>>,
+    /// Trial scheduling.
+    pub parallelism: Parallelism,
+    /// Record a [`RunTrace`] per trial (one private [`TraceObserver`] each,
+    /// so parallel trials cannot interleave) and aggregate them into
+    /// [`EvalOutcome::trace`]. Residual computation makes traced runs
+    /// slower; leave off for timing-sensitive evaluations.
+    pub collect_traces: bool,
+}
+
+impl std::fmt::Debug for EvalConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalConfig")
+            .field("trials", &self.trials)
+            .field("seed_base", &self.seed_base)
+            .field("observer", &self.observer.as_ref().map(|_| "<dyn>"))
+            .field("parallelism", &self.parallelism)
+            .field("collect_traces", &self.collect_traces)
+            .finish()
+    }
+}
+
+impl EvalConfig {
+    /// Configuration equivalent to the historical
+    /// `evaluate(algo, scenario, trials)` call.
+    pub fn trials(trials: u64) -> Self {
+        EvalConfig {
+            trials,
+            ..EvalConfig::default()
+        }
+    }
+
+    /// Sets the seed base (trial `t` uses seed `seed_base + t`).
+    pub fn with_seed_base(mut self, seed_base: u64) -> Self {
+        self.seed_base = seed_base;
+        self
+    }
+
+    /// Attaches an observer to every trial's inference run.
+    pub fn with_observer(mut self, observer: Arc<dyn InferenceObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Sets the trial scheduling policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Enables per-trial trace recording into [`EvalOutcome::trace`].
+    pub fn with_traces(mut self) -> Self {
+        self.collect_traces = true;
+        self
+    }
+}
+
+/// Cross-trial aggregation of recorded [`RunTrace`]s (present on
+/// [`EvalOutcome::trace`] when [`EvalConfig::collect_traces`] was set).
+#[derive(Debug, Clone, Default)]
+pub struct TraceAggregate {
+    /// Inference runs traced (≥ trials; tracking localizers run several
+    /// inference rounds per trial).
+    pub runs: u64,
+    /// Mean convergence curve: entry `i` averages the max per-node residual
+    /// at iteration `i` over every run that reached iteration `i`.
+    pub mean_residual_curve: Vec<f64>,
+    /// Mean seconds per timed phase per run, keyed by the span's stable
+    /// label (`"model_build"`, `"prior_init"`, …).
+    pub mean_span_secs: Vec<(&'static str, f64)>,
+    /// Structured events emitted across all runs.
+    pub events: u64,
+    /// The raw traces, in trial order — ready for
+    /// [`wsnloc_obs::write_jsonl`].
+    pub traces: Vec<RunTrace>,
+}
+
+impl TraceAggregate {
+    fn from_traces(traces: Vec<RunTrace>) -> Self {
+        let mut curve_w: Vec<Welford> = Vec::new();
+        let mut span_sums: Vec<(&'static str, f64)> = Vec::new();
+        let mut events = 0u64;
+        for run in &traces {
+            for (i, iter) in run.iterations.iter().enumerate() {
+                if let Some(max) = iter.max_residual() {
+                    if curve_w.len() <= i {
+                        curve_w.resize_with(i + 1, Welford::new);
+                    }
+                    curve_w[i].push(max);
+                }
+            }
+            for (kind, secs) in &run.spans {
+                let label = kind.label();
+                match span_sums.iter_mut().find(|(l, _)| *l == label) {
+                    Some((_, total)) => *total += secs,
+                    None => span_sums.push((label, *secs)),
+                }
+            }
+            events += run.events.len() as u64;
+        }
+        let runs = traces.len() as u64;
+        let denom = (runs as f64).max(1.0);
+        TraceAggregate {
+            runs,
+            mean_residual_curve: curve_w.iter().filter_map(Welford::mean).collect(),
+            mean_span_secs: span_sums
+                .into_iter()
+                .map(|(l, total)| (l, total / denom))
+                .collect(),
+            events,
+            traces,
+        }
+    }
+}
 
 /// Aggregated evaluation of one algorithm on one scenario.
 #[derive(Debug, Clone)]
@@ -41,6 +191,10 @@ pub struct EvalOutcome {
     pub iterations: f64,
     /// Mean fraction of trials that converged (iterative algorithms).
     pub converged_frac: f64,
+    /// Convergence telemetry aggregated across trials; `Some` only when the
+    /// evaluation ran with [`EvalConfig::collect_traces`].
+    #[cfg_attr(feature = "serde", serde(skip))]
+    pub trace: Option<TraceAggregate>,
 }
 
 impl EvalOutcome {
@@ -76,8 +230,30 @@ pub struct TrialRecord {
 
 /// Runs one trial of `algo` on `scenario`.
 pub fn run_trial(algo: &dyn Localizer, scenario: &Scenario, trial: u64) -> TrialRecord {
+    trial_record(algo, scenario, trial, None)
+}
+
+/// Like [`run_trial`], reporting inference telemetry into `observer`.
+pub fn run_trial_observed(
+    algo: &dyn Localizer,
+    scenario: &Scenario,
+    trial: u64,
+    observer: &dyn InferenceObserver,
+) -> TrialRecord {
+    trial_record(algo, scenario, trial, Some(observer))
+}
+
+fn trial_record(
+    algo: &dyn Localizer,
+    scenario: &Scenario,
+    trial: u64,
+    observer: Option<&dyn InferenceObserver>,
+) -> TrialRecord {
     let (network, truth) = scenario.build_trial(trial);
-    let result = algo.localize(&network, trial);
+    let result = match observer {
+        Some(obs) => algo.localize_with_observer(&network, trial, obs),
+        None => algo.localize(&network, trial),
+    };
     let errors = localized_errors(&result.errors_for(&truth, Some(&network)));
     let n = network.len();
     TrialRecord {
@@ -91,12 +267,37 @@ pub fn run_trial(algo: &dyn Localizer, scenario: &Scenario, trial: u64) -> Trial
     }
 }
 
-/// Evaluates `algo` over `trials` Monte-Carlo realizations of `scenario`.
-pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, trials: u64) -> EvalOutcome {
-    let records: Vec<TrialRecord> = (0..trials)
-        .into_par_iter()
-        .map(|t| run_trial(algo, scenario, t))
-        .collect();
+/// Evaluates `algo` over Monte-Carlo realizations of `scenario` as
+/// configured by `config`.
+pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, config: &EvalConfig) -> EvalOutcome {
+    let run_one = |t: u64| -> (TrialRecord, Vec<RunTrace>) {
+        let seed = config.seed_base + t;
+        let external = config.observer.as_deref();
+        if config.collect_traces {
+            let tracer = TraceObserver::new();
+            let record = match external {
+                Some(ext) => {
+                    let fan = FanoutObserver::new(vec![&tracer, ext]);
+                    run_trial_observed(algo, scenario, seed, &fan)
+                }
+                None => run_trial_observed(algo, scenario, seed, &tracer),
+            };
+            (record, tracer.take_runs())
+        } else if let Some(ext) = external {
+            (run_trial_observed(algo, scenario, seed, ext), Vec::new())
+        } else {
+            (run_trial(algo, scenario, seed), Vec::new())
+        }
+    };
+
+    let results: Vec<(TrialRecord, Vec<RunTrace>)> = match config.parallelism {
+        Parallelism::Sequential => (0..config.trials).map(run_one).collect(),
+        Parallelism::Ambient => (0..config.trials).into_par_iter().map(run_one).collect(),
+        Parallelism::Threads(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
+            Ok(pool) => pool.install(|| (0..config.trials).into_par_iter().map(run_one).collect()),
+            Err(_) => (0..config.trials).into_par_iter().map(run_one).collect(),
+        },
+    };
 
     let mut pooled = Vec::new();
     let mut mean_w = Welford::new();
@@ -107,7 +308,8 @@ pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, trials: u64) -> EvalO
     let mut iter_w = Welford::new();
     let mut conv_w = Welford::new();
     let mut per_trial_means = Vec::new();
-    for r in &records {
+    let mut traces = Vec::new();
+    for (r, trial_traces) in results {
         if let Some(m) = stats::mean(&r.errors) {
             mean_w.push(m);
             per_trial_means.push(m);
@@ -119,12 +321,13 @@ pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, trials: u64) -> EvalO
         sec_w.push(r.secs);
         iter_w.push(r.iterations as f64);
         conv_w.push(if r.converged { 1.0 } else { 0.0 });
+        traces.extend(trial_traces);
     }
 
     EvalOutcome {
         algo: algo.name(),
         scenario: scenario.name.clone(),
-        trials,
+        trials: config.trials,
         pooled_errors: pooled,
         mean_error: mean_w.mean().unwrap_or(f64::NAN),
         mean_error_ci95: stats::ci95_half_width(&per_trial_means).unwrap_or(f64::NAN),
@@ -134,12 +337,16 @@ pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, trials: u64) -> EvalO
         secs: sec_w.mean().unwrap_or(0.0),
         iterations: iter_w.mean().unwrap_or(0.0),
         converged_frac: conv_w.mean().unwrap_or(0.0),
+        trace: config
+            .collect_traces
+            .then(|| TraceAggregate::from_traces(traces)),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wsnloc::BnlLocalizer;
     use wsnloc_baselines::Centroid;
     use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
 
@@ -157,28 +364,47 @@ mod tests {
 
     #[test]
     fn evaluate_aggregates_trials() {
-        let outcome = evaluate(&Centroid, &tiny_scenario(), 4);
+        let outcome = evaluate(&Centroid, &tiny_scenario(), &EvalConfig::trials(4));
         assert_eq!(outcome.trials, 4);
         assert_eq!(outcome.algo, "Centroid");
         assert!(!outcome.pooled_errors.is_empty());
         assert!(outcome.mean_error > 0.0);
         assert!(outcome.coverage > 0.3);
         assert!(outcome.msgs_per_node > 0.0);
+        assert!(outcome.trace.is_none());
         let s = outcome.summary().unwrap();
         assert!(s.median <= s.p90);
     }
 
     #[test]
     fn evaluate_is_deterministic_despite_parallelism() {
-        let a = evaluate(&Centroid, &tiny_scenario(), 4);
-        let b = evaluate(&Centroid, &tiny_scenario(), 4);
+        let a = evaluate(&Centroid, &tiny_scenario(), &EvalConfig::trials(4));
+        let b = evaluate(&Centroid, &tiny_scenario(), &EvalConfig::trials(4));
         assert_eq!(a.mean_error, b.mean_error);
         assert_eq!(a.pooled_errors.len(), b.pooled_errors.len());
+        // Scheduling policy changes nothing either.
+        let c = evaluate(
+            &Centroid,
+            &tiny_scenario(),
+            &EvalConfig::trials(4).with_parallelism(Parallelism::Sequential),
+        );
+        assert_eq!(a.mean_error, c.mean_error);
+    }
+
+    #[test]
+    fn seed_base_shifts_the_trial_stream() {
+        let a = evaluate(&Centroid, &tiny_scenario(), &EvalConfig::trials(2));
+        let b = evaluate(
+            &Centroid,
+            &tiny_scenario(),
+            &EvalConfig::trials(2).with_seed_base(100),
+        );
+        assert_ne!(a.mean_error, b.mean_error);
     }
 
     #[test]
     fn normalized_summary_scales() {
-        let outcome = evaluate(&Centroid, &tiny_scenario(), 2);
+        let outcome = evaluate(&Centroid, &tiny_scenario(), &EvalConfig::trials(2));
         let raw = outcome.summary().unwrap();
         let norm = outcome.normalized_summary(120.0).unwrap();
         assert!((norm.mean - raw.mean / 120.0).abs() < 1e-12);
@@ -191,5 +417,56 @@ mod tests {
         assert!(rec.bytes_per_node > 0.0);
         assert_eq!(rec.iterations, 1);
         assert!(rec.converged);
+    }
+
+    #[test]
+    fn collect_traces_aggregates_per_trial_runs() {
+        let algo = BnlLocalizer::particle(60)
+            .with_max_iterations(3)
+            .with_tolerance(0.0);
+        let outcome = evaluate(
+            &algo,
+            &tiny_scenario(),
+            &EvalConfig::trials(3).with_traces(),
+        );
+        let agg = outcome.trace.as_ref().expect("traces collected");
+        assert_eq!(agg.runs, 3);
+        assert_eq!(agg.traces.len(), 3);
+        assert_eq!(agg.mean_residual_curve.len(), 3);
+        assert!(agg.mean_residual_curve.iter().all(|r| r.is_finite()));
+        // Per-trial observers keep trial traces separate even under the
+        // parallel scheduler: every trace is a complete run.
+        for t in &agg.traces {
+            assert_eq!(t.iterations.len(), 3);
+            assert!(t.summary.is_some());
+        }
+        assert!(agg
+            .mean_span_secs
+            .iter()
+            .any(|(label, _)| *label == "message_passing"));
+        // Baselines have no inference loop: tracing them records nothing.
+        let base = evaluate(
+            &Centroid,
+            &tiny_scenario(),
+            &EvalConfig::trials(2).with_traces(),
+        );
+        assert_eq!(base.trace.expect("aggregate present").runs, 0);
+    }
+
+    #[test]
+    fn shared_observer_sees_all_trials() {
+        use std::sync::Arc;
+        let algo = BnlLocalizer::particle(40)
+            .with_max_iterations(2)
+            .with_tolerance(0.0);
+        let obs = Arc::new(TraceObserver::new());
+        let _ = evaluate(
+            &algo,
+            &tiny_scenario(),
+            &EvalConfig::trials(3)
+                .with_observer(obs.clone())
+                .with_parallelism(Parallelism::Sequential),
+        );
+        assert_eq!(obs.run_count(), 3);
     }
 }

@@ -1,0 +1,51 @@
+//! # wsnloc-obs
+//!
+//! Convergence telemetry and structured observability for the loopy-BP
+//! inference stack. Before this crate existed, the only visibility into a
+//! BP run was a single wall-clock timestamp; the non-convergence regimes
+//! that dominate multipath deployments were invisible until the final
+//! posterior came out wrong. This crate makes the loop *observable while it
+//! runs*:
+//!
+//! - [`InferenceObserver`] — the hook trait every BP engine reports into:
+//!   run metadata, per-iteration records (per-node belief residuals,
+//!   message/byte counts, damping, schedule phase), span-style timings
+//!   around model build / prior init / message passing / estimate
+//!   extraction, structured events, and a convergence verdict.
+//! - [`NullObserver`] — the default. Engines check
+//!   [`InferenceObserver::wants_residuals`] before computing anything
+//!   observer-only, so a run with the null observer does no residual work
+//!   and allocates no trace storage (asserted by the
+//!   [`accounting`] counters in tests).
+//! - [`TraceObserver`] — records everything into an in-memory [`RunTrace`]
+//!   per run, behind a mutex so the synchronous-schedule rayon path can
+//!   report from worker threads.
+//! - [`TraceSink`] / [`JsonlSink`] — serialize recorded traces to JSON
+//!   Lines (`trace.jsonl`), one self-describing record per line, with a
+//!   hand-rolled encoder because the build environment has no serde. The
+//!   schema is documented in the README ("Observability") and on
+//!   [`write_jsonl`].
+//!
+//! Residual conventions (what "belief residual" means per backend):
+//! grid beliefs report the L1 distance between successive cell-mass
+//! vectors (in `[0, 2]`) plus the KL divergence of the new belief from the
+//! old; particle and Gaussian beliefs report the belief-mean displacement
+//! in meters. All residuals are deterministic functions of the beliefs, so
+//! for the synchronous schedule they are bit-identical across thread
+//! counts.
+
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod observer;
+pub mod sink;
+pub mod trace;
+
+pub use wsnloc_net::accounting::CommStats;
+
+pub use observer::{
+    FanoutObserver, InferenceObserver, IterationRecord, NodeResidual, NullObserver, ObsEvent,
+    RunInfo, RunSummary, SpanKind,
+};
+pub use sink::{write_jsonl, JsonlSink, TraceSink, VecSink};
+pub use trace::{RunTrace, TraceObserver};

@@ -21,11 +21,14 @@ fn main() {
     );
 
     // 2. Configure the localizer: particle-based Bayesian-network inference
-    //    with drop-point pre-knowledge priors.
-    let localizer = BnlLocalizer::particle(300)
-        .with_prior(PriorModel::DropPoint { sigma: 100.0 })
-        .with_max_iterations(10)
-        .with_tolerance(3.0);
+    //    with drop-point pre-knowledge priors. The builder validates the
+    //    configuration up front instead of panicking at localize time.
+    let localizer = BnlLocalizer::builder(Backend::Particle { particles: 300 })
+        .prior(PriorModel::DropPoint { sigma: 100.0 })
+        .max_iterations(10)
+        .tolerance(3.0)
+        .try_build()
+        .expect("valid localizer configuration");
 
     // 3. Localize.
     let result = localizer.localize(&network, 0);

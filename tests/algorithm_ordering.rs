@@ -4,7 +4,7 @@
 
 use wsnloc::prelude::*;
 use wsnloc_baselines::{Centroid, DvHop, WeightedCentroid};
-use wsnloc_eval::evaluate;
+use wsnloc_eval::{evaluate, EvalConfig};
 
 fn scenario() -> Scenario {
     Scenario {
@@ -36,8 +36,8 @@ const TRIALS: u64 = 3;
 #[test]
 fn preknowledge_beats_no_preknowledge() {
     let s = scenario();
-    let pk = evaluate(&bnl(), &s, TRIALS).mean_error;
-    let plain = evaluate(&nbp(), &s, TRIALS).mean_error;
+    let pk = evaluate(&bnl(), &s, &EvalConfig::trials(TRIALS)).mean_error;
+    let plain = evaluate(&nbp(), &s, &EvalConfig::trials(TRIALS)).mean_error;
     assert!(
         pk < plain,
         "BNL-PK ({pk:.1} m) must beat NBP ({plain:.1} m)"
@@ -47,9 +47,9 @@ fn preknowledge_beats_no_preknowledge() {
 #[test]
 fn cooperative_beats_proximity_methods() {
     let s = scenario();
-    let pk = evaluate(&bnl(), &s, TRIALS).mean_error;
-    let wcl = evaluate(&WeightedCentroid, &s, TRIALS).mean_error;
-    let cent = evaluate(&Centroid, &s, TRIALS).mean_error;
+    let pk = evaluate(&bnl(), &s, &EvalConfig::trials(TRIALS)).mean_error;
+    let wcl = evaluate(&WeightedCentroid, &s, &EvalConfig::trials(TRIALS)).mean_error;
+    let cent = evaluate(&Centroid, &s, &EvalConfig::trials(TRIALS)).mean_error;
     assert!(pk < wcl, "BNL-PK {pk:.1} vs WCL {wcl:.1}");
     assert!(pk < cent, "BNL-PK {pk:.1} vs Centroid {cent:.1}");
 }
@@ -59,8 +59,8 @@ fn bnl_has_full_coverage_where_proximity_does_not() {
     // Sparser anchors: proximity methods lose coverage, BP never does.
     let mut s = scenario();
     s.anchors = AnchorStrategy::Random { count: 5 };
-    let pk = evaluate(&bnl(), &s, TRIALS);
-    let cent = evaluate(&Centroid, &s, TRIALS);
+    let pk = evaluate(&bnl(), &s, &EvalConfig::trials(TRIALS));
+    let cent = evaluate(&Centroid, &s, &EvalConfig::trials(TRIALS));
     assert!((pk.coverage - 1.0).abs() < 1e-9);
     assert!(cent.coverage < 1.0, "centroid coverage {}", cent.coverage);
 }
@@ -71,8 +71,8 @@ fn more_anchors_help_bnl() {
     sparse.anchors = AnchorStrategy::Random { count: 4 };
     let mut dense = scenario();
     dense.anchors = AnchorStrategy::Random { count: 20 };
-    let e_sparse = evaluate(&bnl(), &sparse, TRIALS).mean_error;
-    let e_dense = evaluate(&bnl(), &dense, TRIALS).mean_error;
+    let e_sparse = evaluate(&bnl(), &sparse, &EvalConfig::trials(TRIALS)).mean_error;
+    let e_dense = evaluate(&bnl(), &dense, &EvalConfig::trials(TRIALS)).mean_error;
     assert!(
         e_dense < e_sparse,
         "dense anchors {e_dense:.1} should beat sparse {e_sparse:.1}"
@@ -87,7 +87,8 @@ fn preknowledge_gap_shrinks_with_anchor_density() {
     let mut dense = scenario();
     dense.anchors = AnchorStrategy::Random { count: 24 };
     let gap = |s: &Scenario| {
-        evaluate(&nbp(), s, TRIALS).mean_error - evaluate(&bnl(), s, TRIALS).mean_error
+        evaluate(&nbp(), s, &EvalConfig::trials(TRIALS)).mean_error
+            - evaluate(&bnl(), s, &EvalConfig::trials(TRIALS)).mean_error
     };
     let sparse_gap = gap(&sparse);
     let dense_gap = gap(&dense);
@@ -102,9 +103,9 @@ fn errors_are_bounded_by_field_scale() {
     let s = scenario();
     let diag = (2.0f64).sqrt() * 600.0;
     for outcome in [
-        evaluate(&bnl(), &s, 1),
-        evaluate(&DvHop::default(), &s, 1),
-        evaluate(&WeightedCentroid, &s, 1),
+        evaluate(&bnl(), &s, &EvalConfig::trials(1)),
+        evaluate(&DvHop::default(), &s, &EvalConfig::trials(1)),
+        evaluate(&WeightedCentroid, &s, &EvalConfig::trials(1)),
     ] {
         for &e in &outcome.pooled_errors {
             assert!(e >= 0.0 && e < 1.5 * diag, "{}: error {e}", outcome.algo);

@@ -4,7 +4,7 @@
 
 use wsnloc::crlb::{crlb_per_node, mean_crlb};
 use wsnloc::prelude::*;
-use wsnloc_eval::evaluate;
+use wsnloc_eval::{evaluate, EvalConfig};
 
 fn scenario() -> Scenario {
     Scenario {
@@ -27,7 +27,7 @@ fn achieved_error_respects_bound() {
         .with_prior(PriorModel::DropPoint { sigma: 60.0 })
         .with_max_iterations(8)
         .with_tolerance(2.0);
-    let outcome = evaluate(&algo, &s, 3);
+    let outcome = evaluate(&algo, &s, &EvalConfig::trials(3));
     let achieved_rms = outcome.summary().unwrap().rmse;
     let mut bounds = Vec::new();
     for t in 0..3 {

@@ -2,7 +2,7 @@
 //! yield bit-identical results regardless of rayon scheduling or pool size.
 
 use wsnloc::prelude::*;
-use wsnloc_eval::evaluate;
+use wsnloc_eval::{evaluate, EvalConfig};
 
 fn scenario() -> Scenario {
     Scenario {
@@ -73,7 +73,7 @@ fn evaluation_is_deterministic_across_pool_sizes() {
             .num_threads(threads)
             .build()
             .unwrap()
-            .install(|| evaluate(&algo(), &s, 3).mean_error)
+            .install(|| evaluate(&algo(), &s, &EvalConfig::trials(3)).mean_error)
     };
     assert_eq!(run(1), run(3));
 }

@@ -1,0 +1,216 @@
+//! Observer-layer guarantees: the zero-cost contract of `NullObserver`,
+//! thread-count-independent telemetry under the synchronous schedule, the
+//! builder-first validation surface, structured MAP-fallback events, and
+//! the trace.jsonl serialization path end to end.
+
+use std::sync::Mutex;
+use wsnloc::prelude::*;
+use wsnloc_eval::{evaluate, EvalConfig, Parallelism};
+use wsnloc_obs::{accounting, write_jsonl, ObsEvent, VecSink};
+
+/// The accounting counters are process-wide, so every test that runs
+/// inference (bumping them) or asserts on them takes this lock first.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn scenario() -> Scenario {
+    Scenario {
+        name: "observability".into(),
+        deployment: Deployment::planned_square_drop(500.0, 3, 50.0),
+        node_count: 40,
+        anchors: AnchorStrategy::Random { count: 6 },
+        radio: RadioModel::UnitDisk { range: 160.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.1 },
+        seed: 0x0B5,
+    }
+}
+
+fn algo() -> BnlLocalizer {
+    BnlLocalizer::builder(Backend::Particle { particles: 80 })
+        .prior(PriorModel::DropPoint { sigma: 50.0 })
+        .max_iterations(4)
+        .tolerance(0.0) // full trajectory: every iteration reports
+        .try_build()
+        .expect("valid localizer configuration")
+}
+
+#[test]
+fn trace_residuals_are_bit_identical_across_pool_sizes() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // The synchronous schedule parallelizes belief updates over rayon
+    // workers; residuals are deterministic functions of the beliefs, so
+    // the recorded telemetry must not depend on the pool size.
+    let (net, _) = scenario().build_trial(0);
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool")
+            .install(|| {
+                let tracer = TraceObserver::new();
+                let result = algo().localize_with_observer(&net, 11, &tracer);
+                (result, tracer.take_runs())
+            })
+    };
+    let (res1, runs1) = run(1);
+    let (res4, runs4) = run(4);
+    assert_eq!(res1.estimates, res4.estimates);
+    assert_eq!(runs1.len(), 1);
+    assert_eq!(runs4.len(), 1);
+    assert_eq!(runs1[0].info, runs4[0].info);
+    assert_eq!(runs1[0].iterations.len(), runs4[0].iterations.len());
+    for (a, b) in runs1[0].iterations.iter().zip(&runs4[0].iterations) {
+        // Bit-identical: exact f64 equality on every per-node residual and
+        // on the convergence quantity itself. Only wall-clock timing may
+        // differ between the two runs.
+        assert_eq!(a.iteration, b.iteration);
+        assert!(a.max_shift.to_bits() == b.max_shift.to_bits());
+        assert_eq!(a.comm, b.comm);
+        assert_eq!(a.residuals.len(), b.residuals.len());
+        for (ra, rb) in a.residuals.iter().zip(&b.residuals) {
+            assert_eq!(ra.node, rb.node);
+            assert!(ra.residual.to_bits() == rb.residual.to_bits());
+            assert_eq!(ra.kl.map(f64::to_bits), rb.kl.map(f64::to_bits));
+        }
+    }
+}
+
+#[test]
+fn null_observer_does_no_trace_accounting() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let (net, _) = scenario().build_trial(1);
+    // Warm up once so lazily-initialized state can't masquerade as
+    // observer cost.
+    let _ = algo().localize(&net, 3);
+
+    let buffers_before = accounting::residual_buffers();
+    let records_before = accounting::iteration_records();
+    let _ = algo().localize(&net, 4); // default path: &NullObserver
+    let _ = algo().localize_with_observer(&net, 5, &NullObserver);
+    assert_eq!(
+        accounting::residual_buffers(),
+        buffers_before,
+        "NullObserver run allocated residual buffers"
+    );
+    assert_eq!(
+        accounting::iteration_records(),
+        records_before,
+        "NullObserver run stored iteration records"
+    );
+
+    // Sanity check that the counters are live at all: a recording
+    // observer must move both.
+    let tracer = TraceObserver::new();
+    let _ = algo().localize_with_observer(&net, 6, &tracer);
+    assert!(accounting::residual_buffers() > buffers_before);
+    assert!(accounting::iteration_records() > records_before);
+}
+
+#[test]
+fn builder_rejects_invalid_configuration_before_any_run() {
+    assert!(BnlLocalizer::builder(Backend::Particle { particles: 0 })
+        .try_build()
+        .is_err());
+    assert!(BnlLocalizer::builder(Backend::Grid { resolution: 1 })
+        .try_build()
+        .is_err());
+    assert!(BnlLocalizer::builder(Backend::Gaussian)
+        .tolerance(f64::NAN)
+        .try_build()
+        .is_err());
+    assert!(BnlLocalizer::builder(Backend::Gaussian)
+        .damping(1.0)
+        .try_build()
+        .is_err());
+    let err = BnlLocalizer::builder(Backend::Particle { particles: 50 })
+        .max_iterations(0)
+        .try_build()
+        .expect_err("zero iterations must not validate");
+    assert!(err.to_string().contains("max_iterations"));
+}
+
+#[test]
+fn map_fallback_is_a_structured_event() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let (net, _) = scenario().build_trial(2);
+    let algo = BnlLocalizer::builder(Backend::Gaussian)
+        .prior(PriorModel::DropPoint { sigma: 50.0 })
+        .max_iterations(3)
+        .estimator(Estimator::Map)
+        .try_build()
+        .expect("valid localizer configuration");
+    let tracer = TraceObserver::new();
+    let _ = algo.localize_with_observer(&net, 0, &tracer);
+    let run = tracer.last_run().expect("one recorded run");
+    assert!(
+        run.events.iter().any(|e| matches!(
+            e,
+            ObsEvent::MapFallbackToMmse {
+                backend: "gaussian"
+            }
+        )),
+        "gaussian backend must report the MAP->MMSE fallback, got {:?}",
+        run.events
+    );
+}
+
+#[test]
+fn evaluate_traces_serialize_to_replayable_jsonl() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let outcome = evaluate(
+        &algo(),
+        &scenario(),
+        &EvalConfig::trials(2)
+            .with_traces()
+            .with_parallelism(Parallelism::Sequential),
+    );
+    let agg = outcome.trace.expect("with_traces collects an aggregate");
+    assert_eq!(agg.runs, 2);
+    assert_eq!(agg.mean_residual_curve.len(), 4);
+
+    let mut sink = VecSink::new();
+    let lines = write_jsonl(&agg.traces, &mut sink).expect("in-memory sink");
+    assert_eq!(lines, sink.lines.len());
+    // One run_start/run_end pair per trial, contiguous records in between.
+    let starts: Vec<usize> = sink
+        .lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.starts_with("{\"type\":\"run_start\""))
+        .map(|(i, _)| i)
+        .collect();
+    let ends: Vec<usize> = sink
+        .lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.starts_with("{\"type\":\"run_end\""))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(starts.len(), 2);
+    assert_eq!(ends.len(), 2);
+    assert_eq!(starts[0], 0);
+    assert_eq!(*ends.last().expect("two run ends"), sink.lines.len() - 1);
+    assert!(starts[1] > ends[0], "runs must not interleave");
+    assert!(sink
+        .lines
+        .iter()
+        .any(|l| l.contains("\"span\":\"model_build\"")));
+    assert!(sink
+        .lines
+        .iter()
+        .any(|l| l.contains("\"span\":\"message_passing\"")));
+    for line in &sink.lines {
+        assert_eq!(
+            line.matches('{').count(),
+            line.matches('}').count(),
+            "unbalanced braces in {line}"
+        );
+    }
+}

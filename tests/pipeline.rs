@@ -2,7 +2,7 @@
 //! metrics → report, across crates.
 
 use wsnloc::prelude::*;
-use wsnloc_eval::{evaluate, experiments, ExpConfig};
+use wsnloc_eval::{evaluate, experiments, EvalConfig, ExpConfig};
 
 fn small_scenario() -> Scenario {
     Scenario {
@@ -23,7 +23,7 @@ fn scenario_to_metrics_pipeline() {
         .with_prior(PriorModel::DropPoint { sigma: 50.0 })
         .with_max_iterations(5)
         .with_tolerance(2.0);
-    let outcome = evaluate(&algo, &scenario, 2);
+    let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(2));
     assert_eq!(outcome.trials, 2);
     assert!(outcome.coverage > 0.99, "coverage {}", outcome.coverage);
     assert!(outcome.mean_error > 0.0);
@@ -80,7 +80,7 @@ fn experiment_registry_is_complete() {
 fn wire_accounting_flows_to_outcome() {
     let scenario = small_scenario();
     let algo = wsnloc_baselines::DvHop::default();
-    let outcome = evaluate(&algo, &scenario, 2);
+    let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(2));
     // DV-Hop: 2 floods × anchors × nodes → 2 × anchors messages per node.
     assert!((outcome.msgs_per_node - 16.0).abs() < 1e-9);
     assert!(outcome.bytes_per_node > 0.0);

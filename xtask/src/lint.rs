@@ -14,6 +14,7 @@
 //! | `no-expect`         | library crates   | `.expect(` outside tests                          |
 //! | `no-panic`          | library crates   | `panic!` / `todo!` / `unimplemented!` / `unreachable!` |
 //! | `unseeded-rng`      | library + eval   | `thread_rng` / `from_entropy` (nondeterminism)    |
+//! | `no-println`        | library + eval   | `println!` / `eprintln!` outside `src/bin/`       |
 //! | `partial-cmp-unwrap`| library crates   | `partial_cmp(..).unwrap()` (panics on NaN)        |
 //! | `float-eq`          | library crates   | `==` / `!=` against a float literal               |
 //! | `float-index-cast`  | `wsnloc-bayes`   | float→integer `as` casts in inference hot loops   |
@@ -26,10 +27,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose `src/` must be panic-free and deterministic.
-const LIBRARY_CRATES: [&str; 5] = [
+const LIBRARY_CRATES: [&str; 6] = [
     "crates/geom",
     "crates/net",
     "crates/bayes",
+    "crates/obs",
     "crates/core",
     "crates/baselines",
 ];
@@ -136,6 +138,7 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// Scans one file. `rng_only` restricts to the determinism rule.
 fn scan_file(rel: &str, text: &str, rng_only: bool, allow: &Allowlist, out: &mut Vec<Violation>) {
     let in_bayes = rel.starts_with("crates/bayes/");
+    let in_bin = rel.contains("/src/bin/");
     for (idx, raw) in text.lines().enumerate() {
         let trimmed = raw.trim();
         // Everything from the test module down is exempt: by convention the
@@ -162,6 +165,13 @@ fn scan_file(rel: &str, text: &str, rng_only: bool, allow: &Allowlist, out: &mut
 
         if code.contains("thread_rng") || code.contains("from_entropy") {
             emit("unseeded-rng");
+        }
+        // Library and harness code must report through return values or the
+        // observer layer, never ad-hoc stdout/stderr writes. Binary targets
+        // (`src/bin/`) are CLI surfaces and exempt by scope; the `println!`
+        // substring also covers `eprintln!`.
+        if !in_bin && code.contains("println!") {
+            emit("no-println");
         }
         if rng_only {
             continue;
@@ -340,6 +350,26 @@ mod tests {\n\
         let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
         assert_eq!(rules, vec!["no-unwrap", "partial-cmp-unwrap"]);
         assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn println_rule_flags_libraries_not_binaries() {
+        let allow = Allowlist::default();
+        let text = "fn f() {\n    println!(\"hi\");\n    eprintln!(\"uh oh\");\n}\n";
+        let mut out = Vec::new();
+        scan_file("crates/obs/src/x.rs", text, false, &allow, &mut out);
+        let rules: Vec<&str> = out.iter().map(|v| v.rule).collect();
+        assert_eq!(rules, vec!["no-println", "no-println"]);
+
+        // The rule also covers the rng-only roots (eval/bench)...
+        out.clear();
+        scan_file("crates/eval/src/x.rs", text, true, &allow, &mut out);
+        assert_eq!(out.len(), 2);
+
+        // ...but binary targets are CLI surfaces and exempt.
+        out.clear();
+        scan_file("crates/eval/src/bin/repro.rs", text, true, &allow, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]
