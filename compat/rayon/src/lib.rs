@@ -3,23 +3,36 @@
 //! The build environment for this workspace has no crates.io access, so
 //! this shim implements the *subset* of the rayon API the workspace uses —
 //! `par_iter()` / `into_par_iter()` pipelines ending in `collect`/`sum`,
-//! and `ThreadPoolBuilder` / `ThreadPool::install` — on top of
-//! `std::thread::scope`. Semantics the workspace relies on are preserved:
+//! and `ThreadPoolBuilder` / `ThreadPool::install` — on top of a
+//! lazily-initialized persistent worker pool. Semantics the workspace
+//! relies on are preserved:
 //!
 //! - **Order preservation:** `collect` returns results in input order, so
 //!   synchronous-schedule BP stays bit-deterministic across pool sizes.
-//! - **Real parallelism:** items are chunked across OS threads; small
-//!   inputs run inline to avoid spawn overhead in inner loops.
+//! - **Real parallelism:** items are chunked across long-lived OS worker
+//!   threads (spawned once, on first use — not per call); small inputs
+//!   run inline to avoid queueing overhead in inner loops.
 //! - **Pool-size control:** `ThreadPool::install` scopes an effective
 //!   thread count so scaling experiments can compare 1 thread vs many.
+//!   The installed count governs *chunking* (and therefore results are a
+//!   pure function of it), while the shared workers simply execute
+//!   whatever chunks exist, so beliefs stay bit-identical across pool
+//!   sizes.
+//! - **Nesting safety:** a thread waiting on its own parallel map helps
+//!   drain the shared queue instead of sleeping, so `par_iter` inside a
+//!   `par_iter` job (or inside nested `install` scopes) cannot deadlock.
 //!
 //! To use the real crate instead, point the `rayon` entry of
 //! `[workspace.dependencies]` back at a registry version; no call sites
 //! need to change.
 
+use std::any::Any;
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Parallel-iterator entry points, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -41,8 +54,173 @@ fn effective_threads() -> usize {
 /// Minimum items per work chunk before forking threads pays for itself.
 const MIN_CHUNK: usize = 16;
 
-/// Applies `f` to every item, preserving order, forking across threads when
-/// the input is large enough and more than one thread is in effect.
+/// Locks a mutex, recovering the guard if a panicking thread poisoned it
+/// (jobs run under `catch_unwind`, so state behind the lock stays
+/// consistent).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A type-erased chunk job sitting in the shared queue.
+///
+/// Jobs capture borrows of the submitting `map_ordered` frame; the
+/// `'static` here is erased via [`erase_lifetime`], made sound because
+/// [`run_batch`] never returns (or unwinds) until every job of its batch
+/// has finished running.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The long-lived worker pool backing every parallel map.
+///
+/// Workers are spawned once, on first use, and park on `job_ready`
+/// between calls — the per-call `std::thread::scope` spawning this
+/// replaces paid OS thread creation and teardown inside every BP
+/// iteration.
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+}
+
+/// Completion latch for one `map_ordered` call's set of chunk jobs.
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    /// Jobs submitted but not yet finished.
+    remaining: usize,
+    /// First panic payload caught from a job, re-raised on the caller.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Batch {
+    fn new(jobs: usize) -> Batch {
+        Batch {
+            state: Mutex::new(BatchState {
+                remaining: jobs,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Marks one job finished, recording its panic payload if any, and
+    /// wakes batch waiters when the last job completes.
+    fn finish_job(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut state = lock(&self.state);
+        state.remaining = state.remaining.saturating_sub(1);
+        if let Some(payload) = panic {
+            state.panic.get_or_insert(payload);
+        }
+        let all_done = state.remaining == 0;
+        drop(state);
+        if all_done {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// The process-wide pool, spawning its workers on first access.
+fn pool() -> &'static Arc<PoolShared> {
+    static POOL: OnceLock<Arc<PoolShared>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+        });
+        // The caller of every map helps execute its own batch, so the
+        // machine is saturated with one fewer dedicated worker.
+        let workers = std::thread::available_parallelism()
+            .map_or(1, NonZeroUsize::get)
+            .saturating_sub(1)
+            .max(1);
+        for i in 0..workers {
+            let s = Arc::clone(&shared);
+            // A failed spawn degrades capacity, never correctness: the
+            // caller-helping loop in `run_batch` executes queued jobs
+            // itself, so the map still completes.
+            let _ = std::thread::Builder::new()
+                .name(format!("wsnloc-par-{i}"))
+                .spawn(move || worker_loop(&s));
+        }
+        shared
+    })
+}
+
+/// A detached worker: pop a job, run it, park when the queue is empty.
+fn worker_loop(shared: &PoolShared) {
+    let mut queue = lock(&shared.queue);
+    loop {
+        match queue.pop_front() {
+            Some(job) => {
+                drop(queue);
+                job();
+                queue = lock(&shared.queue);
+            }
+            None => {
+                queue = shared
+                    .job_ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+/// Erases the lifetime of a chunk job so it can sit in the `'static`
+/// queue.
+///
+/// # Safety
+///
+/// The job borrows the submitting `map_ordered` frame's locals. The
+/// caller must not return or unwind past those locals until the job has
+/// finished running; [`run_batch`] enforces this by draining the batch
+/// latch to zero before returning — and before re-raising any job panic.
+unsafe fn erase_lifetime<'a>(job: Box<dyn FnOnce() + Send + 'a>) -> Job {
+    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(job) }
+}
+
+/// Blocks until every job of `batch` has finished, executing queued jobs
+/// (from any batch) while waiting.
+///
+/// The caller lending its thread is what makes nested parallelism safe:
+/// a thread blocked here never sleeps while the queue is non-empty, so a
+/// `par_iter` issued from inside a pool job always finds an executor —
+/// in the worst case, itself.
+fn run_batch(shared: &PoolShared, batch: &Batch) {
+    loop {
+        let job = lock(&shared.queue).pop_front();
+        if let Some(job) = job {
+            job();
+            continue;
+        }
+        // Queue empty: every job submitted before this call (including
+        // all of this batch's) has been claimed by some thread, so
+        // sleeping on the latch cannot strand work.
+        let mut state = lock(&batch.state);
+        while state.remaining > 0 {
+            state = batch
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        let panic = state.panic.take();
+        drop(state);
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        return;
+    }
+}
+
+/// Applies `f` to every item, preserving order, dispatching chunks onto
+/// the persistent worker pool when the input is large enough and more
+/// than one thread is in effect.
+///
+/// Chunk boundaries depend only on the *effective* (installed) thread
+/// count, never on how many workers happen to execute them, so results
+/// are bit-identical across pool sizes — and identical to a sequential
+/// run.
 fn map_ordered<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -55,12 +233,16 @@ where
         return items.into_iter().map(f).collect();
     }
     let chunk = n.div_ceil(threads).max(MIN_CHUNK);
+    let jobs = n.div_ceil(chunk);
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     let mut boxed: Vec<Option<T>> = items.into_iter().map(Some).collect();
-    let mut item_tail: &mut [Option<T>] = &mut boxed;
-    let mut out_tail: &mut [Option<R>] = &mut out;
-    std::thread::scope(|scope| {
+    let batch = Batch::new(jobs);
+    let shared = pool();
+    {
+        let mut item_tail: &mut [Option<T>] = &mut boxed;
+        let mut out_tail: &mut [Option<R>] = &mut out;
+        let mut queue = lock(&shared.queue);
         while !item_tail.is_empty() {
             let take = chunk.min(item_tail.len());
             let (item_head, rest_items) = item_tail.split_at_mut(take);
@@ -68,16 +250,27 @@ where
             item_tail = rest_items;
             out_tail = rest_out;
             let f = &f;
-            scope.spawn(move || {
-                for (slot, item) in out_head.iter_mut().zip(item_head.iter_mut()) {
-                    // `take()` is infallible here: every slot was `Some` above.
-                    if let Some(item) = item.take() {
-                        *slot = Some(f(item));
+            let batch = &batch;
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    for (slot, item) in out_head.iter_mut().zip(item_head.iter_mut()) {
+                        // `take()` is infallible here: every slot was `Some` above.
+                        if let Some(item) = item.take() {
+                            *slot = Some(f(item));
+                        }
                     }
-                }
+                }));
+                batch.finish_job(result.err());
             });
+            // SAFETY: `run_batch` below drains the batch latch before
+            // this frame (and the borrows of `f`/`boxed`/`out`/`batch`)
+            // can go away, by return or by unwind.
+            queue.push_back(unsafe { erase_lifetime(job) });
         }
-    });
+        drop(queue);
+        shared.job_ready.notify_all();
+    }
+    run_batch(shared, &batch);
     out.into_iter().flatten().collect()
 }
 
@@ -303,5 +496,92 @@ mod tests {
                 })
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn workers_are_reused_across_calls() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // With per-call thread spawning, every call would mint fresh
+        // ThreadIds and the union below would grow with the call count.
+        // The persistent pool bounds it by the worker count plus the
+        // threads that help drain batches.
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let calls = 8;
+        for _ in 0..calls {
+            let v: Vec<u64> = (0..512u64)
+                .into_par_iter()
+                .map(|x| {
+                    ids.lock()
+                        .expect("id set lock")
+                        .insert(std::thread::current().id());
+                    x
+                })
+                .collect();
+            assert_eq!(v.len(), 512);
+        }
+        let distinct = ids.lock().expect("id set lock").len();
+        let machine = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+        // Generous slack for concurrently running tests helping on the
+        // shared queue; per-call spawning would reach ~calls × machine.
+        let cap = 2 * machine + 2;
+        assert!(
+            distinct <= cap,
+            "thread churn: {distinct} distinct ids across {calls} calls (cap {cap})"
+        );
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("shim pool build is infallible");
+        let inner = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("shim pool build is infallible");
+        let observed = outer.install(|| {
+            let before = super::effective_threads();
+            let nested = inner.install(super::effective_threads);
+            let after = super::effective_threads();
+            (before, nested, after)
+        });
+        assert_eq!(observed, (3, 2, 3));
+    }
+
+    #[test]
+    fn nested_parallel_maps_complete() {
+        // An inner par_iter issued from inside a pool job must find an
+        // executor even when every worker is busy with outer jobs — the
+        // caller-helping loop guarantees progress.
+        let v: Vec<u64> = (0..128u64)
+            .into_par_iter()
+            .map(|x| {
+                let inner: u64 = (0..64u64).into_par_iter().map(|y| y).sum();
+                x + inner
+            })
+            .collect();
+        let inner_sum = 64 * 63 / 2;
+        for (x, &got) in v.iter().enumerate() {
+            assert_eq!(got, x as u64 + inner_sum);
+        }
+    }
+
+    #[test]
+    fn job_panics_propagate_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u64> = (0..256u64)
+                .into_par_iter()
+                .map(|x| {
+                    assert!(x != 200, "deliberate test panic");
+                    x
+                })
+                .collect();
+        });
+        assert!(result.is_err(), "a panicking job must fail the map");
+        // The pool survives a panicked batch.
+        let v: Vec<u64> = (0..256u64).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(v.len(), 256);
     }
 }

@@ -13,11 +13,13 @@ use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::potential::{PairPotential, UnaryPotential};
 use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 use wsnloc_geom::{Aabb, Matrix, Vec2};
 use wsnloc_obs::{
-    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, RunInfo, RunSummary,
-    SpanKind,
+    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, ObsEvent, RunInfo,
+    RunSummary, SpanKind,
 };
 
 /// A probability mass function over the cells of a fixed grid.
@@ -222,9 +224,28 @@ impl GridBelief {
     }
 }
 
+/// Guard against total annihilation downstream: a zero or non-finite
+/// message total is replaced by a flat message. Returns whether the
+/// fallback fired (callers surface it as
+/// [`ObsEvent::GridUniformFallback`]).
+fn finalize_message(msg: &mut [f64]) -> bool {
+    let total: f64 = msg.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        msg.fill(1.0);
+        true
+    } else {
+        false
+    }
+}
+
 /// Computes the message from a source belief into a target grid through a
 /// distance potential, truncated at the potential's support radius.
-fn kernel_message(source: &GridBelief, potential: &dyn PairPotential, mass_floor: f64) -> Vec<f64> {
+/// Returns the message and whether the uniform fallback fired.
+fn kernel_message(
+    source: &GridBelief,
+    potential: &dyn PairPotential,
+    mass_floor: f64,
+) -> (Vec<f64>, bool) {
     let nx = source.nx;
     let ny = source.ny;
     let (dx, dy) = source.cell_size();
@@ -255,29 +276,211 @@ fn kernel_message(source: &GridBelief, potential: &dyn PairPotential, mass_floor
             }
         }
     }
-    // Guard against total annihilation downstream: leave a tiny floor.
-    let total: f64 = msg.iter().sum();
-    if total <= 0.0 || !total.is_finite() {
-        msg.fill(1.0);
-    }
-    msg
+    let collapsed = finalize_message(&mut msg);
+    (msg, collapsed)
 }
 
 /// Message from a *fixed* (anchor) source: the potential evaluated against
-/// the known position.
+/// the known position. Returns the message and whether the uniform
+/// fallback fired.
 fn point_message(
     target_shape: &GridBelief,
     source_pos: Vec2,
     potential: &dyn PairPotential,
-) -> Vec<f64> {
+) -> (Vec<f64>, bool) {
     let mut msg: Vec<f64> = (0..target_shape.mass.len())
         .map(|t| potential.likelihood(target_shape.cell_center(t).dist(source_pos)))
         .collect();
-    let total: f64 = msg.iter().sum();
-    if total <= 0.0 || !total.is_finite() {
-        msg.fill(1.0);
+    let collapsed = finalize_message(&mut msg);
+    (msg, collapsed)
+}
+
+/// A translation-invariant kernel table: the potential's likelihood
+/// tabulated over integer cell offsets `(Δx, Δy)` once per run, so the
+/// per-message scatter becomes table-lookup multiply–adds on contiguous
+/// rows instead of a dyn-dispatched `exp()` per (source cell × kernel
+/// cell) pair.
+struct KernelStencil {
+    /// Support radius in cells along x.
+    rx: isize,
+    /// Support radius in cells along y.
+    ry: isize,
+    /// Likelihood table, `(2·ry+1) × (2·rx+1)` row-major by `Δy`.
+    table: Vec<f64>,
+}
+
+impl KernelStencil {
+    /// Tabulates `potential` for an `nx × ny` grid with cell size
+    /// `(dx, dy)`. `None` when the potential opts out of discretization
+    /// (see [`PairPotential::discretized_kernel`]); callers then scatter
+    /// through the pointwise [`kernel_message`] path.
+    fn build(
+        potential: &dyn PairPotential,
+        nx: usize,
+        ny: usize,
+        dx: f64,
+        dy: f64,
+    ) -> Option<KernelStencil> {
+        let (rx, ry) = match potential.max_distance() {
+            Some(r) => ((r / dx).ceil() as isize, (r / dy).ceil() as isize),
+            None => (nx as isize, ny as isize),
+        };
+        // Offsets beyond the grid extent can never be scattered to, so an
+        // oversized support radius is clamped before tabulation (the
+        // clamp keeps every reachable offset: |Δx| ≤ nx − 1 < nx).
+        let rx = rx.clamp(0, nx as isize) as usize;
+        let ry = ry.clamp(0, ny as isize) as usize;
+        let table = potential.discretized_kernel(dx, dy, rx, ry)?;
+        if table.len() != (2 * rx + 1) * (2 * ry + 1) {
+            return None; // malformed custom kernel: fall back to pointwise
+        }
+        Some(KernelStencil {
+            rx: rx as isize,
+            ry: ry as isize,
+            table,
+        })
     }
-    msg
+}
+
+/// [`kernel_message`] through a precomputed [`KernelStencil`]: the same
+/// truncated scatter, with the potential evaluation replaced by offset
+/// table lookups over row-contiguous slices. Returns the message and
+/// whether the uniform fallback fired.
+fn stencil_message(
+    source: &GridBelief,
+    stencil: &KernelStencil,
+    mass_floor: f64,
+) -> (Vec<f64>, bool) {
+    let nx = source.nx;
+    let ny = source.ny;
+    let mut msg = vec![0.0; nx * ny];
+    let width = 2 * stencil.rx as usize + 1;
+    for (s, &m) in source.mass.iter().enumerate() {
+        if m < mass_floor {
+            continue;
+        }
+        let sx = (s % nx) as isize;
+        let sy = (s / nx) as isize;
+        let x0 = (sx - stencil.rx).max(0);
+        let x1 = (sx + stencil.rx).min(nx as isize - 1);
+        let y0 = (sy - stencil.ry).max(0);
+        let y1 = (sy + stencil.ry).min(ny as isize - 1);
+        for y in y0..=y1 {
+            let krow = ((y - sy + stencil.ry) as usize) * width;
+            let k0 = krow + (x0 - sx + stencil.rx) as usize;
+            let t0 = y as usize * nx + x0 as usize;
+            let cols = (x1 - x0) as usize + 1;
+            let out = &mut msg[t0..t0 + cols];
+            let ker = &stencil.table[k0..k0 + cols];
+            for (t, &k) in out.iter_mut().zip(ker) {
+                *t += m * k;
+            }
+        }
+    }
+    let collapsed = finalize_message(&mut msg);
+    (msg, collapsed)
+}
+
+/// Iteration-invariant message state, built once per run.
+///
+/// Three quantities never change across BP iterations: the prior-derived
+/// initial beliefs (unary potentials don't change), the anchor messages
+/// (fixed positions don't move), and the kernel tables of distance-only
+/// potentials (on a regular grid the likelihood depends only on the cell
+/// offset). The seed path recomputed all three inside every
+/// `update_one`; this cache hoists them out of the iteration loop.
+struct MessageCache {
+    /// Initial beliefs: priors for free variables, deltas for fixed
+    /// ones. The free entries double as each update's starting belief.
+    init: Vec<GridBelief>,
+    /// Per-edge anchor message — `Some` iff exactly one endpoint is
+    /// fixed, computed in the fixed→free direction.
+    anchor_msgs: Vec<Option<Vec<f64>>>,
+    /// Per-edge index into `stencils` — `Some` iff both endpoints are
+    /// free and the potential discretizes.
+    edge_stencils: Vec<Option<usize>>,
+    /// Deduplicated stencil tables: edges sharing a potential (by `Arc`
+    /// identity) share one entry.
+    stencils: Vec<KernelStencil>,
+}
+
+impl MessageCache {
+    fn build(
+        mrf: &SpatialMrf,
+        domain: Aabb,
+        nx: usize,
+        ny: usize,
+        obs: &dyn InferenceObserver,
+    ) -> MessageCache {
+        let init: Vec<GridBelief> = (0..mrf.len())
+            .map(|u| match mrf.fixed(u) {
+                Some(p) => GridBelief::delta(p, domain, nx, ny),
+                None => GridBelief::from_unary(mrf.unary(u).as_ref(), domain, nx, ny),
+            })
+            .collect();
+        // Geometry template for anchor messages: point_message reads only
+        // cell centers, identical across all beliefs on this grid.
+        let shape = GridBelief::uniform(domain, nx, ny);
+        let (dx, dy) = shape.cell_size();
+        let mut anchor_msgs = Vec::with_capacity(mrf.edges().len());
+        let mut edge_stencils = Vec::with_capacity(mrf.edges().len());
+        let mut stencils: Vec<KernelStencil> = Vec::new();
+        let mut by_potential: HashMap<usize, Option<usize>> = HashMap::new();
+        for (e, edge) in mrf.edges().iter().enumerate() {
+            let anchor = match (mrf.fixed(edge.u), mrf.fixed(edge.v)) {
+                (Some(p), None) | (None, Some(p)) => {
+                    let (msg, collapsed) = point_message(&shape, p, edge.potential.as_ref());
+                    if collapsed {
+                        obs.on_event(&ObsEvent::GridUniformFallback {
+                            edge: e,
+                            stage: "point",
+                        });
+                    }
+                    Some(msg)
+                }
+                _ => None,
+            };
+            // Kernel messages only flow along free–free edges; fixed
+            // sources use the anchor message and fixed targets are never
+            // updated.
+            let stencil = if anchor.is_none()
+                && mrf.fixed(edge.u).is_none()
+                && mrf.fixed(edge.v).is_none()
+            {
+                let key = Arc::as_ptr(&edge.potential) as *const () as usize;
+                *by_potential.entry(key).or_insert_with(|| {
+                    KernelStencil::build(edge.potential.as_ref(), nx, ny, dx, dy).map(|s| {
+                        stencils.push(s);
+                        stencils.len() - 1
+                    })
+                })
+            } else {
+                None
+            };
+            anchor_msgs.push(anchor);
+            edge_stencils.push(stencil);
+        }
+        MessageCache {
+            init,
+            anchor_msgs,
+            edge_stencils,
+            stencils,
+        }
+    }
+
+    /// The cached anchor message for edge `e`, when one exists.
+    fn anchor(&self, e: usize) -> Option<&[f64]> {
+        self.anchor_msgs.get(e).and_then(|m| m.as_deref())
+    }
+
+    /// The shared stencil for edge `e`, when the potential discretizes.
+    fn stencil(&self, e: usize) -> Option<&KernelStencil> {
+        self.edge_stencils
+            .get(e)
+            .copied()
+            .flatten()
+            .and_then(|i| self.stencils.get(i))
+    }
 }
 
 /// Loopy belief propagation with grid-discretized beliefs.
@@ -290,6 +493,11 @@ pub struct GridBp {
     /// Source cells below this mass are skipped when scattering messages
     /// (speed/accuracy trade-off; scaled by 1/cells internally).
     pub mass_floor: f64,
+    /// Whether the per-run message cache (prior beliefs, anchor messages,
+    /// kernel stencils) is used. On by default; disabling it runs the
+    /// recompute-everything reference path, kept for equivalence tests
+    /// and before/after benchmarks.
+    pub cache_messages: bool,
 }
 
 impl GridBp {
@@ -299,7 +507,17 @@ impl GridBp {
             nx: n,
             ny: n,
             mass_floor: 1e-4,
+            cache_messages: true,
         }
+    }
+
+    /// The same engine with the per-run message cache disabled: every
+    /// prior, anchor message, and kernel evaluation is recomputed from
+    /// the potentials each iteration, exactly as the pre-cache engine
+    /// did.
+    pub fn without_message_cache(mut self) -> Self {
+        self.cache_messages = false;
+        self
     }
 
     /// Runs BP to convergence or `opts.max_iterations`.
@@ -365,13 +583,24 @@ impl GridBp {
         let wants_residuals = obs.wants_residuals();
 
         // Initial beliefs: priors for free vars, deltas for fixed ones.
+        // With the message cache on, the iteration-invariant pieces
+        // (priors, anchor messages, kernel stencils) are built here, once,
+        // and the initial beliefs are shared with the cache.
         let init_start = Instant::now();
-        let mut beliefs: Vec<GridBelief> = (0..mrf.len())
-            .map(|u| match mrf.fixed(u) {
-                Some(p) => GridBelief::delta(p, domain, self.nx, self.ny),
-                None => GridBelief::from_unary(mrf.unary(u).as_ref(), domain, self.nx, self.ny),
-            })
-            .collect();
+        let cache = if self.cache_messages {
+            Some(MessageCache::build(mrf, domain, self.nx, self.ny, obs))
+        } else {
+            None
+        };
+        let mut beliefs: Vec<GridBelief> = match &cache {
+            Some(c) => c.init.clone(),
+            None => (0..mrf.len())
+                .map(|u| match mrf.fixed(u) {
+                    Some(p) => GridBelief::delta(p, domain, self.nx, self.ny),
+                    None => GridBelief::from_unary(mrf.unary(u).as_ref(), domain, self.nx, self.ny),
+                })
+                .collect(),
+        };
         obs.on_span(SpanKind::PriorInit, init_start.elapsed().as_secs_f64());
 
         let mut outcome = BpOutcome {
@@ -394,16 +623,47 @@ impl GridBp {
             };
 
             let update_one = |u: usize, beliefs: &Vec<GridBelief>| -> GridBelief {
-                let mut belief =
-                    GridBelief::from_unary(mrf.unary(u).as_ref(), domain, self.nx, self.ny);
+                let mut belief = match &cache {
+                    Some(c) => c.init[u].clone(),
+                    None => GridBelief::from_unary(mrf.unary(u).as_ref(), domain, self.nx, self.ny),
+                };
                 for &e in mrf.edges_of(u) {
                     let v = mrf.other_end(e, u);
                     let potential = mrf.edges()[e].potential.as_ref();
-                    let msg = match mrf.fixed(v) {
-                        Some(p) => point_message(&belief, p, potential),
-                        None => kernel_message(&beliefs[v], potential, floor),
-                    };
-                    belief.product(&msg);
+                    match mrf.fixed(v) {
+                        Some(p) => {
+                            // Anchor message: cached once per run (its
+                            // fallback, if any, was reported at build
+                            // time), recomputed only on the reference
+                            // path.
+                            if let Some(msg) = cache.as_ref().and_then(|c| c.anchor(e)) {
+                                belief.product(msg);
+                            } else {
+                                let (msg, collapsed) = point_message(&belief, p, potential);
+                                if collapsed {
+                                    obs.on_event(&ObsEvent::GridUniformFallback {
+                                        edge: e,
+                                        stage: "point",
+                                    });
+                                }
+                                belief.product(&msg);
+                            }
+                        }
+                        None => {
+                            let (msg, collapsed) =
+                                match cache.as_ref().and_then(|c| c.stencil(e)) {
+                                    Some(st) => stencil_message(&beliefs[v], st, floor),
+                                    None => kernel_message(&beliefs[v], potential, floor),
+                                };
+                            if collapsed {
+                                obs.on_event(&ObsEvent::GridUniformFallback {
+                                    edge: e,
+                                    stage: "kernel",
+                                });
+                            }
+                            belief.product(&msg);
+                        }
+                    }
                 }
                 belief
             };
@@ -744,6 +1004,70 @@ mod tests {
         assert!(!outcome.converged);
         assert_eq!(seen, vec![(0, 2), (1, 2), (2, 2), (3, 2)]);
         assert_eq!(outcome.messages, 4);
+    }
+
+    #[test]
+    fn stencil_message_matches_kernel_message() {
+        let pot = GaussianRange {
+            observed: 30.0,
+            sigma: 4.0,
+        };
+        let src = GridBelief::from_unary(
+            &GaussianUnary {
+                mean: Vec2::new(40.0, 60.0),
+                sigma: 12.0,
+            },
+            domain(),
+            25,
+            25,
+        );
+        let (dx, dy) = src.cell_size();
+        let st = KernelStencil::build(&pot, 25, 25, dx, dy).expect("rangepotential discretizes");
+        let floor = 1e-4 / 625.0;
+        let (reference, ref_collapsed) = kernel_message(&src, &pot, floor);
+        let (cached, cache_collapsed) = stencil_message(&src, &st, floor);
+        assert_eq!(ref_collapsed, cache_collapsed);
+        for (t, (a, b)) in reference.iter().zip(&cached).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                "cell {t}: reference {a} vs stencil {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_run_matches_reference_run() {
+        let dom = domain();
+        let mut mrf = SpatialMrf::new(4, dom, Arc::new(UniformBoxUnary(dom)));
+        mrf.fix(0, Vec2::new(10.0, 50.0));
+        mrf.fix(3, Vec2::new(90.0, 50.0));
+        for (u, v, d) in [(0, 1, 30.0), (1, 2, 25.0), (2, 3, 30.0), (1, 3, 52.0)] {
+            mrf.add_edge(
+                u,
+                v,
+                Arc::new(GaussianRange {
+                    observed: d,
+                    sigma: 3.0,
+                }),
+            );
+        }
+        let opts = BpOptions::builder()
+            .max_iterations(6)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid options");
+        let engine = GridBp::with_resolution(30);
+        let (cached, co) = engine.run(&mrf, &opts);
+        let (reference, ro) = engine.without_message_cache().run(&mrf, &opts);
+        assert_eq!(co.iterations, ro.iterations);
+        for (u, (c, r)) in cached.iter().zip(&reference).enumerate() {
+            for (i, (a, b)) in c.mass().iter().zip(r.mass()).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-9,
+                    "belief[{u}] cell {i}: cached {a} vs reference {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -162,6 +162,19 @@ fn share(n: usize, fraction: f64) -> usize {
     ((n as f64) * fraction).round() as usize
 }
 
+/// Per-edge neighbor context resolved once per node update: the other
+/// endpoint, its potential, and its anchor position when fixed. Hoisting
+/// this out of the per-candidate loops removes the repeated edge-table
+/// and fixed-map lookups from the weighting hot path.
+struct EdgeCtx<'a> {
+    /// The neighbor variable.
+    v: usize,
+    /// The edge's distance potential.
+    potential: &'a dyn PairPotential,
+    /// The neighbor's position when it is a fixed anchor.
+    fixed: Option<Vec2>,
+}
+
 /// Loopy belief propagation with particle beliefs.
 #[derive(Debug, Clone, Copy)]
 pub struct ParticleBp {
@@ -382,6 +395,23 @@ impl ParticleBp {
         let edges = mrf.edges_of(u);
         let n = self.particles;
         let domain = mrf.domain();
+        let unary = mrf.unary(u).as_ref();
+
+        // Neighbor context — other endpoint, potential, anchor position —
+        // is invariant across the proposal and weighting loops below;
+        // resolve it once per update instead of per candidate. The RNG
+        // call sequence is untouched, so results stay bit-identical.
+        let ctx: Vec<EdgeCtx<'_>> = edges
+            .iter()
+            .map(|&e| {
+                let v = mrf.other_end(e, u);
+                EdgeCtx {
+                    v,
+                    potential: mrf.edges()[e].potential.as_ref(),
+                    fixed: mrf.fixed(v),
+                }
+            })
+            .collect();
 
         // --- Proposal ---------------------------------------------------
         let n_prior = share(n, self.prior_fraction);
@@ -401,39 +431,35 @@ impl ParticleBp {
         }
         // (b) neighbor-ring proposals.
         for _ in 0..n_neighbor {
-            let &e = &edges[rng.index(edges.len())];
-            let v = mrf.other_end(e, u);
-            let potential = mrf.edges()[e].potential.as_ref();
-            let anchor_point = match mrf.fixed(v) {
+            let c = &ctx[rng.index(ctx.len())];
+            let anchor_point = match c.fixed {
                 Some(p) => p,
                 None => {
-                    let nb = &beliefs[v];
+                    let nb = &beliefs[c.v];
                     let idx = rng.weighted_index(nb.weights()).unwrap_or(0);
                     nb.particles()[idx]
                 }
             };
-            let d = potential.sample_distance(rng);
+            let d = c.potential.sample_distance(rng);
             let theta = rng.range(0.0, std::f64::consts::TAU);
             candidates.push(anchor_point + Vec2::from_angle(theta) * d);
         }
         // (c) prior refreshes.
         for _ in 0..n_prior {
-            candidates.push(mrf.unary(u).sample(rng));
+            candidates.push(unary.sample(rng));
         }
         // Pad in the unlikely rounding shortfall.
         while candidates.len() < n {
-            candidates.push(mrf.unary(u).sample(rng));
+            candidates.push(unary.sample(rng));
         }
 
         // --- Weighting ----------------------------------------------------
         let log_weights: Vec<f64> = candidates
             .iter()
             .map(|&x| {
-                let mut lw = mrf.unary(u).log_density(x);
-                for &e in edges {
-                    let v = mrf.other_end(e, u);
-                    let potential = mrf.edges()[e].potential.as_ref();
-                    lw += self.mixture_log_likelihood(x, &beliefs[v], mrf.fixed(v), potential, rng);
+                let mut lw = unary.log_density(x);
+                for c in &ctx {
+                    lw += self.mixture_log_likelihood(x, &beliefs[c.v], c.fixed, c.potential, rng);
                 }
                 lw
             })

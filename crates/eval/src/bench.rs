@@ -1,0 +1,210 @@
+//! Pinned perf benchmarks behind `repro bench`.
+//!
+//! Unlike the statistical harness in `crates/bench`, these run fixed
+//! scenarios and emit compact JSON (`BENCH_grid.json`,
+//! `BENCH_particle.json`) meant to be committed alongside the code, so
+//! the perf trajectory of the message-passing hot path is visible in
+//! review diffs. The grid bench times the same inference twice — with
+//! the per-run message cache (kernel stencils + hoisted priors/anchor
+//! messages) and on the recompute-everything reference path — and
+//! reports the speedup.
+
+use std::sync::Arc;
+use std::time::Instant;
+use wsnloc_bayes::{
+    BpOptions, GaussianBp, GaussianRange, GridBp, ParticleBp, SpatialMrf, UniformBoxUnary,
+};
+use wsnloc_geom::rng::Xoshiro256pp;
+use wsnloc_geom::{Aabb, Vec2};
+
+/// Grid resolution of the pinned grid scenario (the workspace default).
+pub const GRID_RESOLUTION: usize = 30;
+/// Iteration cap of the pinned grid scenario.
+pub const GRID_ITERATIONS: usize = 3;
+
+/// Median wall seconds over `samples` executions of `f`.
+fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// The pinned grid scenario: a 3×3 lattice (two opposite corners
+/// anchored) on a 300×300 m field, ranging edges between lattice
+/// neighbors — the `grid_bp_iteration_9nodes_30x30` microbench fixture
+/// with a multi-iteration cap.
+fn grid_fixture() -> (SpatialMrf, BpOptions) {
+    let domain = Aabb::from_size(300.0, 300.0);
+    let mut mrf = SpatialMrf::new(9, domain, Arc::new(UniformBoxUnary(domain)));
+    let pts: Vec<Vec2> = (0..9)
+        .map(|i| Vec2::new(50.0 + 100.0 * (i % 3) as f64, 50.0 + 100.0 * (i / 3) as f64))
+        .collect();
+    mrf.fix(0, pts[0]);
+    mrf.fix(8, pts[8]);
+    for i in 0..9 {
+        for j in (i + 1)..9 {
+            if pts[i].dist(pts[j]) < 150.0 {
+                mrf.add_edge(
+                    i,
+                    j,
+                    Arc::new(GaussianRange {
+                        observed: pts[i].dist(pts[j]),
+                        sigma: 5.0,
+                    }),
+                );
+            }
+        }
+    }
+    let opts = BpOptions::builder()
+        .max_iterations(GRID_ITERATIONS)
+        .tolerance(0.0)
+        .try_build()
+        .expect("pinned grid options are valid");
+    (mrf, opts)
+}
+
+/// The pinned particle/Gaussian scenario: 25 random nodes (3 anchored)
+/// on a 300×300 m field with 120 m ranging radius — the
+/// `particle_bp_iteration_25nodes` microbench fixture.
+fn cooperative_fixture() -> (SpatialMrf, BpOptions) {
+    let domain = Aabb::from_size(300.0, 300.0);
+    let mut mrf = SpatialMrf::new(25, domain, Arc::new(UniformBoxUnary(domain)));
+    let mut rng = Xoshiro256pp::seed_from(9);
+    let pts: Vec<Vec2> = (0..25)
+        .map(|_| rng.point_in(domain.min, domain.max))
+        .collect();
+    for (i, &p) in pts.iter().enumerate().take(3) {
+        mrf.fix(i, p);
+    }
+    for i in 0..25 {
+        for j in (i + 1)..25 {
+            if pts[i].dist(pts[j]) < 120.0 {
+                mrf.add_edge(
+                    i,
+                    j,
+                    Arc::new(GaussianRange {
+                        observed: pts[i].dist(pts[j]),
+                        sigma: 5.0,
+                    }),
+                );
+            }
+        }
+    }
+    let opts = BpOptions::builder()
+        .max_iterations(1)
+        .tolerance(0.0)
+        .try_build()
+        .expect("pinned cooperative options are valid");
+    (mrf, opts)
+}
+
+/// Runs the grid message-passing bench (cached vs reference path) and
+/// returns the `BENCH_grid.json` contents.
+pub fn grid_bench_json(samples: usize) -> String {
+    let (mrf, opts) = grid_fixture();
+    let cached_engine = GridBp::with_resolution(GRID_RESOLUTION);
+    let reference_engine = cached_engine.without_message_cache();
+    let (_, outcome) = cached_engine.run(&mrf, &opts);
+    let cached_secs = median_secs(samples, || {
+        cached_engine.run(&mrf, &opts);
+    });
+    let uncached_secs = median_secs(samples, || {
+        reference_engine.run(&mrf, &opts);
+    });
+    let speedup = if cached_secs > 0.0 {
+        uncached_secs / cached_secs
+    } else {
+        f64::INFINITY
+    };
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"grid_message_passing\",\n",
+            "  \"scenario\": \"lattice_9nodes_300x300\",\n",
+            "  \"resolution\": {resolution},\n",
+            "  \"samples\": {samples},\n",
+            "  \"iterations\": {iterations},\n",
+            "  \"messages\": {messages},\n",
+            "  \"cached_secs\": {cached:.6},\n",
+            "  \"uncached_secs\": {uncached:.6},\n",
+            "  \"speedup\": {speedup:.2}\n",
+            "}}\n"
+        ),
+        resolution = GRID_RESOLUTION,
+        samples = samples.max(1),
+        iterations = outcome.iterations,
+        messages = outcome.messages,
+        cached = cached_secs,
+        uncached = uncached_secs,
+        speedup = speedup,
+    )
+}
+
+/// Runs the particle and Gaussian benches on the pinned cooperative
+/// scenario and returns the `BENCH_particle.json` contents.
+pub fn particle_bench_json(samples: usize) -> String {
+    let (mrf, opts) = cooperative_fixture();
+    let particle_engine = ParticleBp::with_particles(100);
+    let (_, particle_outcome) = particle_engine.run(&mrf, &opts);
+    let particle_secs = median_secs(samples, || {
+        particle_engine.run(&mrf, &opts);
+    });
+    let gaussian_engine = GaussianBp::default();
+    let (_, gaussian_outcome) = gaussian_engine.run(&mrf, &opts);
+    let gaussian_secs = median_secs(samples, || {
+        gaussian_engine.run(&mrf, &opts);
+    });
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"particle_and_gaussian_bp\",\n",
+            "  \"scenario\": \"cooperative_25nodes_300x300\",\n",
+            "  \"samples\": {samples},\n",
+            "  \"particle\": {{\n",
+            "    \"particles\": 100,\n",
+            "    \"iterations\": {p_iters},\n",
+            "    \"messages\": {p_msgs},\n",
+            "    \"secs\": {p_secs:.6}\n",
+            "  }},\n",
+            "  \"gaussian\": {{\n",
+            "    \"iterations\": {g_iters},\n",
+            "    \"messages\": {g_msgs},\n",
+            "    \"secs\": {g_secs:.6}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        samples = samples.max(1),
+        p_iters = particle_outcome.iterations,
+        p_msgs = particle_outcome.messages,
+        p_secs = particle_secs,
+        g_iters = gaussian_outcome.iterations,
+        g_msgs = gaussian_outcome.messages,
+        g_secs = gaussian_secs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_bench_reports_plausible_json() {
+        let json = grid_bench_json(1);
+        assert!(json.contains("\"bench\": \"grid_message_passing\""));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"iterations\": 3"));
+    }
+
+    #[test]
+    fn particle_bench_reports_both_backends() {
+        let json = particle_bench_json(1);
+        assert!(json.contains("\"particle\""));
+        assert!(json.contains("\"gaussian\""));
+    }
+}

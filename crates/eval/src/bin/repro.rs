@@ -9,6 +9,8 @@
 //! repro all --out results/  # also write one CSV per report
 //! repro trace               # record BP telemetry to trace.jsonl
 //! repro trace --backend grid --out traces/  # per-backend trace file
+//! repro bench               # write BENCH_grid.json / BENCH_particle.json
+//! repro bench --out perf/   # same, into a directory
 //! ```
 //!
 //! The `trace` subcommand runs the standard scenario with a recording
@@ -24,7 +26,7 @@ use wsnloc_eval::{evaluate, experiments, EvalConfig, ExpConfig, Parallelism};
 use wsnloc_obs::write_jsonl;
 
 fn usage() -> &'static str {
-    "usage: repro <list | trace | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--out DIR]"
+    "usage: repro <list | trace | bench | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--out DIR]"
 }
 
 fn main() -> ExitCode {
@@ -95,6 +97,10 @@ fn main() -> ExitCode {
 
     if ids.iter().any(|id| id == "trace") {
         return run_trace(&cfg, &backend, out_dir.as_deref());
+    }
+
+    if ids.iter().any(|id| id == "bench") {
+        return run_bench(out_dir.as_deref());
     }
 
     let selected: Vec<String> = if ids.iter().any(|id| id == "all") {
@@ -215,6 +221,34 @@ fn run_trace(cfg: &ExpConfig, backend: &str, out_dir: Option<&std::path::Path>) 
             last,
             agg.mean_residual_curve.len() - 1
         );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the pinned perf benches and writes `BENCH_grid.json` /
+/// `BENCH_particle.json` (into `out_dir` when given) so the perf
+/// trajectory is tracked in version control.
+fn run_bench(out_dir: Option<&std::path::Path>) -> ExitCode {
+    const SAMPLES: usize = 5;
+    let dir = out_dir.unwrap_or_else(|| std::path::Path::new("."));
+    if !dir.as_os_str().is_empty() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed to create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("grid message-passing bench: cached vs reference path ({SAMPLES} samples each)...");
+    let grid = wsnloc_eval::bench::grid_bench_json(SAMPLES);
+    eprintln!("particle/gaussian bench ({SAMPLES} samples each)...");
+    let particle = wsnloc_eval::bench::particle_bench_json(SAMPLES);
+    for (name, contents) in [("BENCH_grid.json", &grid), ("BENCH_particle.json", &particle)] {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        print!("{contents}");
     }
     ExitCode::SUCCESS
 }

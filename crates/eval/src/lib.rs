@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod experiments;
 pub mod metrics;
 pub mod runner;

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use wsnloc::Localizer;
 use wsnloc_geom::stats::{self, Welford};
 use wsnloc_net::Scenario;
-use wsnloc_obs::{FanoutObserver, InferenceObserver, RunTrace, TraceObserver};
+use wsnloc_obs::{FanoutObserver, InferenceObserver, ObsEvent, RunTrace, TraceObserver};
 
 use crate::metrics::{localized_errors, ErrorSummary};
 
@@ -295,7 +295,19 @@ pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, config: &EvalConfig) 
         Parallelism::Ambient => (0..config.trials).into_par_iter().map(run_one).collect(),
         Parallelism::Threads(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
             Ok(pool) => pool.install(|| (0..config.trials).into_par_iter().map(run_one).collect()),
-            Err(_) => (0..config.trials).into_par_iter().map(run_one).collect(),
+            Err(e) => {
+                // The fallback to the ambient pool is benign for results
+                // (per-trial seeds make the aggregate schedule-independent)
+                // but must not be silent: scaling experiments comparing
+                // thread counts would otherwise measure the wrong pool.
+                if let Some(obs) = config.observer.as_deref() {
+                    obs.on_event(&ObsEvent::ThreadPoolFallback {
+                        requested: n,
+                        error: e.to_string(),
+                    });
+                }
+                (0..config.trials).into_par_iter().map(run_one).collect()
+            }
         },
     };
 

@@ -124,6 +124,27 @@ pub enum ObsEvent {
         /// The backend that lacks a mode extractor.
         backend: &'static str,
     },
+    /// A grid BP message collapsed to the uniform fallback: the scattered
+    /// (or anchor-evaluated) likelihood summed to zero or a non-finite
+    /// total, so the engine substituted a flat message to keep inference
+    /// alive. Previously this degradation was silent.
+    GridUniformFallback {
+        /// Edge id (index into the MRF's edge list) whose message
+        /// collapsed.
+        edge: usize,
+        /// `"kernel"` for a free-neighbor scatter, `"point"` for a
+        /// fixed-(anchor-)source message.
+        stage: &'static str,
+    },
+    /// A dedicated evaluation thread pool could not be built; the trials
+    /// fell back to the ambient rayon pool. Previously this fallback was
+    /// silent.
+    ThreadPoolFallback {
+        /// Thread count that was requested.
+        requested: usize,
+        /// The pool-build error, stringified.
+        error: String,
+    },
     /// A discrete Bayesian-network query ran.
     DiscreteQuery {
         /// `"enumeration"`, `"variable_elimination"`, or

@@ -13,6 +13,8 @@
 //!  "mean_residual":..,"residuals":[{"node":..,"residual":..,"kl":..},..]}
 //! {"type":"span","span":"model_build|prior_init|message_passing|estimate_extract","secs":..}
 //! {"type":"event","event":"map_fallback_to_mmse","backend":..}
+//! {"type":"event","event":"grid_uniform_fallback","edge":..,"stage":"kernel|point"}
+//! {"type":"event","event":"thread_pool_fallback","requested":..,"error":..}
 //! {"type":"event","event":"discrete_query","method":..,"variables":..,"samples":..}
 //! {"type":"event","event":"note","message":..}
 //! {"type":"run_end","iterations":..,"converged":..,"messages":..,"bytes":..}
@@ -166,6 +168,16 @@ fn event_line(event: &ObsEvent) -> String {
             push_json_str(&mut s, "map_fallback_to_mmse");
             s.push_str(",\"backend\":");
             push_json_str(&mut s, backend);
+        }
+        ObsEvent::GridUniformFallback { edge, stage } => {
+            push_json_str(&mut s, "grid_uniform_fallback");
+            let _ = write!(s, ",\"edge\":{edge},\"stage\":");
+            push_json_str(&mut s, stage);
+        }
+        ObsEvent::ThreadPoolFallback { requested, error } => {
+            push_json_str(&mut s, "thread_pool_fallback");
+            let _ = write!(s, ",\"requested\":{requested},\"error\":");
+            push_json_str(&mut s, error);
         }
         ObsEvent::DiscreteQuery {
             method,
@@ -321,6 +333,35 @@ mod tests {
         assert!(sink.lines[1].contains("\"kl\":0.05"));
         assert!(sink.lines[2].contains("\"span\":\"message_passing\""));
         assert!(sink.lines[4].contains("\"converged\":false"));
+    }
+
+    #[test]
+    fn serializes_fallback_events() {
+        let mut run = sample_run();
+        run.events = vec![
+            ObsEvent::GridUniformFallback {
+                edge: 7,
+                stage: "kernel",
+            },
+            ObsEvent::ThreadPoolFallback {
+                requested: 8,
+                error: "no threads".to_owned(),
+            },
+        ];
+        let mut sink = VecSink::new();
+        write_jsonl(&[run], &mut sink).unwrap();
+        assert!(sink
+            .lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"grid_uniform_fallback\"")
+                && l.contains("\"edge\":7")
+                && l.contains("\"stage\":\"kernel\"")));
+        assert!(sink
+            .lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"thread_pool_fallback\"")
+                && l.contains("\"requested\":8")
+                && l.contains("\"error\":\"no threads\"")));
     }
 
     #[test]

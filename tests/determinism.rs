@@ -79,6 +79,50 @@ fn evaluation_is_deterministic_across_pool_sizes() {
 }
 
 #[test]
+fn grid_bp_is_bit_identical_across_pool_sizes() {
+    // The persistent-worker rayon shim chunks by the *installed* thread
+    // count, never by how many workers execute the chunks — so the
+    // synchronous grid schedule (stencil cache included) must be
+    // bit-identical from 1 thread to many.
+    let s = scenario();
+    let (net, _) = s.build_trial(1);
+    let g = BnlLocalizer::grid(25)
+        .with_prior(PriorModel::DropPoint { sigma: 50.0 })
+        .with_max_iterations(4);
+    let run = |threads| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| g.localize(&net, 5))
+    };
+    let single = run(1);
+    let duo = run(2);
+    let quad = run(4);
+    assert_eq!(single.estimates, duo.estimates);
+    assert_eq!(single.estimates, quad.estimates);
+    assert_eq!(single.iterations, quad.iterations);
+}
+
+#[test]
+fn particle_bp_is_bit_identical_across_pool_sizes() {
+    let s = scenario();
+    let (net, _) = s.build_trial(2);
+    let run = |threads| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| algo().localize(&net, 11))
+    };
+    let single = run(1);
+    let duo = run(2);
+    let quad = run(4);
+    assert_eq!(single.estimates, duo.estimates);
+    assert_eq!(single.estimates, quad.estimates);
+}
+
+#[test]
 fn different_seeds_give_different_results() {
     let s = scenario();
     let (net, _) = s.build_trial(0);
