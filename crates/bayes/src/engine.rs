@@ -1,0 +1,127 @@
+//! The unified BP-engine abstraction.
+//!
+//! The three backends (grid, particle, Gaussian) historically exposed
+//! three copy-pasted `run`/`run_with`/`run_observed`/`run_full` entry
+//! points each. [`BpEngine`] collapses that surface: each backend
+//! implements exactly one required method — [`BpEngine::run_transported`],
+//! the superset entry point taking a [`Transport`] — and inherits the
+//! rest. Callers that only need beliefs keep the old tuple-returning
+//! convenience methods; callers that inject faults or need structured
+//! telemetry use `run_transported` and get a [`RunOutcome`].
+//!
+//! [`Belief`] is the minimal read surface the core localizer needs to
+//! turn a backend's belief into a point estimate without knowing which
+//! backend produced it.
+
+use crate::mrf::{BpOptions, BpOutcome, SpatialMrf};
+use crate::transport::Transport;
+use wsnloc_geom::Vec2;
+use wsnloc_obs::{InferenceObserver, NullObserver};
+
+/// Backend-agnostic read access to a posterior position belief.
+pub trait Belief {
+    /// Whether [`Belief::map_estimate`] can return `Some` for this
+    /// representation (only the grid backend has a mode extractor).
+    const SUPPORTS_MAP: bool;
+
+    /// MMSE point estimate: the posterior mean.
+    fn mean(&self) -> Vec2;
+
+    /// Scalar positional uncertainty (RMS spread, meters).
+    fn spread(&self) -> f64;
+
+    /// MAP point estimate, for representations that support one.
+    fn map_estimate(&self) -> Option<Vec2>;
+}
+
+/// Everything one BP run produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<B> {
+    /// Final beliefs, indexed by MRF variable.
+    pub beliefs: Vec<B>,
+    /// Iteration/convergence/message counters.
+    pub bp: BpOutcome,
+}
+
+/// A loopy-BP inference engine over a [`SpatialMrf`].
+///
+/// One required method; the convenience quartet is provided. All
+/// engines are deterministic in (`mrf`, `opts`, transport plan): the
+/// same inputs give bit-identical beliefs.
+pub trait BpEngine {
+    /// The belief representation this engine produces.
+    type Belief: Belief + Clone + Send + Sync;
+
+    /// Stable backend name, as reported in run telemetry ("grid",
+    /// "particle", "gaussian").
+    fn backend_name(&self) -> &'static str;
+
+    /// Runs BP with every inter-node message routed through
+    /// `transport`, reporting structured telemetry into `obs` and
+    /// invoking `on_iter(iteration, beliefs)` after every iteration.
+    ///
+    /// With [`Transport::perfect`] this is the exact fault-free code
+    /// path (bit-identical to the pre-transport engines); a faulted
+    /// transport drops/delays/weakens messages per its `FaultPlan`
+    /// while the engine keeps beliefs normalized and finite.
+    fn run_transported<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        transport: &Transport,
+        obs: &dyn InferenceObserver,
+        on_iter: F,
+    ) -> RunOutcome<Self::Belief>
+    where
+        F: FnMut(usize, &[Self::Belief]);
+
+    /// Runs BP to convergence or `opts.max_iterations`.
+    fn run(&self, mrf: &SpatialMrf, opts: &BpOptions) -> (Vec<Self::Belief>, BpOutcome) {
+        let out = self.run_transported(mrf, opts, &Transport::perfect(), &NullObserver, |_, _| {});
+        (out.beliefs, out.bp)
+    }
+
+    /// Runs BP, reporting telemetry into `obs` (run metadata, spans,
+    /// per-iteration residuals and communication counts).
+    fn run_with(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        obs: &dyn InferenceObserver,
+    ) -> (Vec<Self::Belief>, BpOutcome) {
+        let out = self.run_transported(mrf, opts, &Transport::perfect(), obs, |_, _| {});
+        (out.beliefs, out.bp)
+    }
+
+    /// Runs BP, invoking `observer(iteration, beliefs)` after every
+    /// iteration (belief-level hook for convergence experiments; for
+    /// structured telemetry use [`BpEngine::run_with`]).
+    fn run_observed<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        observer: F,
+    ) -> (Vec<Self::Belief>, BpOutcome)
+    where
+        F: FnMut(usize, &[Self::Belief]),
+    {
+        let out = self.run_transported(mrf, opts, &Transport::perfect(), &NullObserver, observer);
+        (out.beliefs, out.bp)
+    }
+
+    /// Runs BP with both a structured telemetry observer and a
+    /// belief-level per-iteration closure, on the perfect transport.
+    fn run_full<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        obs: &dyn InferenceObserver,
+        on_iter: F,
+    ) -> (Vec<Self::Belief>, BpOutcome)
+    where
+        F: FnMut(usize, &[Self::Belief]),
+    {
+        let out = self.run_transported(mrf, opts, &Transport::perfect(), obs, on_iter);
+        (out.beliefs, out.bp)
+    }
+}

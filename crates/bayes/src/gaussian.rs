@@ -21,15 +21,16 @@
 //! `s² = σ_d² + gᵀΣᵥg` the measurement variance inflated by the neighbor's
 //! own positional uncertainty along the line of sight.
 
+use crate::engine::{BpEngine, RunOutcome};
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
+use crate::transport::{Transport, TransportSession, Verdict};
 use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
 use std::time::Instant;
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::Vec2;
 use wsnloc_obs::{
-    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, RunInfo, RunSummary,
-    SpanKind,
+    CommStats, InferenceObserver, IterationRecord, NodeResidual, RunInfo, RunSummary, SpanKind,
 };
 
 /// A 2-D Gaussian belief: mean and covariance (row-major 2×2, symmetric).
@@ -69,6 +70,22 @@ impl GaussianBelief {
     }
 }
 
+impl crate::engine::Belief for GaussianBelief {
+    const SUPPORTS_MAP: bool = false;
+
+    fn mean(&self) -> Vec2 {
+        self.mean
+    }
+
+    fn spread(&self) -> f64 {
+        GaussianBelief::spread(self)
+    }
+
+    fn map_estimate(&self) -> Option<Vec2> {
+        None
+    }
+}
+
 /// 2×2 symmetric inverse; `None` when singular.
 fn inv2(m: [f64; 4]) -> Option<[f64; 4]> {
     let det = m[0] * m[3] - m[1] * m[2];
@@ -93,48 +110,28 @@ impl Default for GaussianBp {
     }
 }
 
-impl GaussianBp {
-    /// Runs BP to convergence or `opts.max_iterations`.
-    pub fn run(&self, mrf: &SpatialMrf, opts: &BpOptions) -> (Vec<GaussianBelief>, BpOutcome) {
-        self.run_full(mrf, opts, &NullObserver, |_, _| {})
+impl BpEngine for GaussianBp {
+    type Belief = GaussianBelief;
+
+    fn backend_name(&self) -> &'static str {
+        "gaussian"
     }
 
-    /// Runs BP, reporting telemetry into `obs` (run metadata, spans,
-    /// per-iteration belief-mean residuals and communication counts).
-    pub fn run_with(
+    /// The superset entry point the core localizer drives: structured
+    /// telemetry observer, belief-level per-iteration closure, and a
+    /// message [`Transport`]. With the perfect transport this is
+    /// bit-identical to the pre-transport engine; under a fault plan,
+    /// undelivered neighbor beliefs are replaced by held snapshots
+    /// (their information contribution scaled by `alpha`),
+    /// never-received links contribute nothing, and dead nodes freeze.
+    fn run_transported<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
-        obs: &dyn InferenceObserver,
-    ) -> (Vec<GaussianBelief>, BpOutcome) {
-        self.run_full(mrf, opts, obs, |_, _| {})
-    }
-
-    /// Runs BP, invoking `observer(iteration, beliefs)` per iteration
-    /// (belief-level hook; for structured telemetry use
-    /// [`GaussianBp::run_with`]).
-    pub fn run_observed<F>(
-        &self,
-        mrf: &SpatialMrf,
-        opts: &BpOptions,
-        observer: F,
-    ) -> (Vec<GaussianBelief>, BpOutcome)
-    where
-        F: FnMut(usize, &[GaussianBelief]),
-    {
-        self.run_full(mrf, opts, &NullObserver, observer)
-    }
-
-    /// Runs BP with both a structured telemetry observer and a
-    /// belief-level per-iteration closure (the superset entry point the
-    /// core localizer drives).
-    pub fn run_full<F>(
-        &self,
-        mrf: &SpatialMrf,
-        opts: &BpOptions,
+        transport: &Transport,
         obs: &dyn InferenceObserver,
         mut on_iter: F,
-    ) -> (Vec<GaussianBelief>, BpOutcome)
+    ) -> RunOutcome<GaussianBelief>
     where
         F: FnMut(usize, &[GaussianBelief]),
     {
@@ -156,6 +153,8 @@ impl GaussianBp {
             seed: opts.seed,
         });
         let wants_residuals = obs.wants_residuals();
+        // Fault state for this run; `None` on the perfect transport.
+        let mut session = transport.session::<GaussianBelief>(mrf, opts.seed);
         let init_start = Instant::now();
 
         // Prior moments per node: sample the unary to estimate mean/variance
@@ -203,16 +202,25 @@ impl GaussianBp {
         let loop_start = Instant::now();
         for iter in 0..opts.max_iterations {
             let iter_start = Instant::now();
+            // Roll this iteration's link fates and deaths (sequentially,
+            // before the parallel updates); dead nodes stop updating.
+            if let Some(s) = session.as_mut() {
+                s.begin_iteration(iter, &beliefs, obs);
+            }
+            let active_owned: Option<Vec<usize>> = session
+                .as_ref()
+                .map(|s| free.iter().copied().filter(|&u| s.node_alive(u)).collect());
+            let active: &[usize] = active_owned.as_deref().unwrap_or(&free);
             let prev_means: Vec<Vec2> = free.iter().map(|&u| beliefs[u].mean).collect();
 
             let update_one = |u: usize, beliefs: &Vec<GaussianBelief>| -> GaussianBelief {
-                self.update_node(mrf, u, &priors[u], beliefs)
+                self.update_node(mrf, u, &priors[u], beliefs, session.as_ref())
                     .unwrap_or(beliefs[u])
             };
 
             match opts.schedule {
                 Schedule::Synchronous => {
-                    let new: Vec<(usize, GaussianBelief)> = free
+                    let new: Vec<(usize, GaussianBelief)> = active
                         .par_iter()
                         .map(|&u| (u, update_one(u, &beliefs)))
                         .collect();
@@ -224,7 +232,7 @@ impl GaussianBp {
                     }
                 }
                 Schedule::Sweep => {
-                    for &u in &free {
+                    for &u in active {
                         let mut b = update_one(u, &beliefs);
                         if opts.damping > 0.0 {
                             b.mean = b.mean.lerp(beliefs[u].mean, opts.damping);
@@ -235,7 +243,7 @@ impl GaussianBp {
             }
 
             outcome.iterations = iter + 1;
-            outcome.messages += free.len() as u64;
+            outcome.messages += active.len() as u64;
             validate::enforce("GaussianBp iteration", || {
                 let audit = DistributionAudit::default();
                 for (u, b) in beliefs.iter().enumerate() {
@@ -267,8 +275,8 @@ impl GaussianBp {
                 iteration: iter,
                 max_shift,
                 comm: CommStats {
-                    messages: free.len() as u64,
-                    bytes: free.len() as u64 * opts.message_bytes,
+                    messages: active.len() as u64,
+                    bytes: active.len() as u64 * opts.message_bytes,
                 },
                 damping: opts.damping,
                 schedule: opts.schedule.name(),
@@ -289,9 +297,14 @@ impl GaussianBp {
                 bytes: outcome.messages * opts.message_bytes,
             },
         });
-        (beliefs, outcome)
+        RunOutcome {
+            beliefs,
+            bp: outcome,
+        }
     }
+}
 
+impl GaussianBp {
     /// One information-form update; `None` when the posterior information
     /// matrix is singular (keeps the previous belief).
     fn update_node(
@@ -300,6 +313,7 @@ impl GaussianBp {
         u: usize,
         prior: &GaussianBelief,
         beliefs: &[GaussianBelief],
+        session: Option<&TransportSession<GaussianBelief>>,
     ) -> Option<GaussianBelief> {
         let mu = beliefs[u].mean;
         // Prior information.
@@ -316,7 +330,25 @@ impl GaussianBp {
                 continue; // non-range potentials are ignored by this backend
             };
             let v = mrf.other_end(e, u);
-            let nb = &beliefs[v];
+            // Transport verdict: skip never-received links, read the
+            // last delivered snapshot instead of the live neighbor
+            // belief, and scale the measurement information by the
+            // staleness discount `alpha`. Absent a session, alpha is 1
+            // (which multiplies exactly, keeping the perfect path
+            // bit-identical) and the snapshot is the live belief.
+            let mut alpha = 1.0;
+            let mut held: Option<&GaussianBelief> = None;
+            if let Some(s) = session {
+                let into_v = edge.v == u;
+                match s.verdict(e, into_v) {
+                    Verdict::Skip => continue,
+                    Verdict::Deliver { alpha: a } => {
+                        alpha = a;
+                        held = s.snapshot(e, into_v);
+                    }
+                }
+            }
+            let nb = held.unwrap_or(&beliefs[v]);
             let diff = mu - nb.mean;
             let dist = diff.norm();
             if dist < 1e-6 {
@@ -330,12 +362,12 @@ impl GaussianBp {
             let r = observed - dist;
             // Pseudo-measurement of gᵀx with value gᵀμᵤ + r.
             let z = g.dot(mu) + r;
-            lam[0] += g.x * g.x / s2;
-            lam[1] += g.x * g.y / s2;
-            lam[2] += g.y * g.x / s2;
-            lam[3] += g.y * g.y / s2;
-            eta[0] += g.x * z / s2;
-            eta[1] += g.y * z / s2;
+            lam[0] += alpha * (g.x * g.x / s2);
+            lam[1] += alpha * (g.x * g.y / s2);
+            lam[2] += alpha * (g.y * g.x / s2);
+            lam[3] += alpha * (g.y * g.y / s2);
+            eta[0] += alpha * (g.x * z / s2);
+            eta[1] += alpha * (g.y * z / s2);
         }
 
         let cov = inv2(lam)?;

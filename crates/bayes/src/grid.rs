@@ -9,8 +9,10 @@
 //! support radius, so the cost per message is
 //! `O(active source cells × kernel cells)` rather than `O(cells²)`.
 
+use crate::engine::{BpEngine, RunOutcome};
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::potential::{PairPotential, UnaryPotential};
+use crate::transport::{Transport, Verdict};
 use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -18,8 +20,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use wsnloc_geom::{Aabb, Matrix, Vec2};
 use wsnloc_obs::{
-    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, ObsEvent, RunInfo,
-    RunSummary, SpanKind,
+    CommStats, InferenceObserver, IterationRecord, NodeResidual, ObsEvent, RunInfo, RunSummary,
+    SpanKind,
 };
 
 /// A probability mass function over the cells of a fixed grid.
@@ -221,6 +223,22 @@ impl GridBelief {
             .map(|(&p, &q)| p * (p.ln() - q.max(1e-300).ln()))
             .sum::<f64>()
             .max(0.0)
+    }
+}
+
+impl crate::engine::Belief for GridBelief {
+    const SUPPORTS_MAP: bool = true;
+
+    fn mean(&self) -> Vec2 {
+        GridBelief::mean(self)
+    }
+
+    fn spread(&self) -> f64 {
+        GridBelief::spread(self)
+    }
+
+    fn map_estimate(&self) -> Option<Vec2> {
+        Some(GridBelief::map_estimate(self))
     }
 }
 
@@ -443,20 +461,18 @@ impl MessageCache {
             // Kernel messages only flow along free–free edges; fixed
             // sources use the anchor message and fixed targets are never
             // updated.
-            let stencil = if anchor.is_none()
-                && mrf.fixed(edge.u).is_none()
-                && mrf.fixed(edge.v).is_none()
-            {
-                let key = Arc::as_ptr(&edge.potential) as *const () as usize;
-                *by_potential.entry(key).or_insert_with(|| {
-                    KernelStencil::build(edge.potential.as_ref(), nx, ny, dx, dy).map(|s| {
-                        stencils.push(s);
-                        stencils.len() - 1
+            let stencil =
+                if anchor.is_none() && mrf.fixed(edge.u).is_none() && mrf.fixed(edge.v).is_none() {
+                    let key = Arc::as_ptr(&edge.potential) as *const () as usize;
+                    *by_potential.entry(key).or_insert_with(|| {
+                        KernelStencil::build(edge.potential.as_ref(), nx, ny, dx, dy).map(|s| {
+                            stencils.push(s);
+                            stencils.len() - 1
+                        })
                     })
-                })
-            } else {
-                None
-            };
+                } else {
+                    None
+                };
             anchor_msgs.push(anchor);
             edge_stencils.push(stencil);
         }
@@ -519,48 +535,30 @@ impl GridBp {
         self.cache_messages = false;
         self
     }
+}
 
-    /// Runs BP to convergence or `opts.max_iterations`.
-    pub fn run(&self, mrf: &SpatialMrf, opts: &BpOptions) -> (Vec<GridBelief>, BpOutcome) {
-        self.run_full(mrf, opts, &NullObserver, |_, _| {})
+impl BpEngine for GridBp {
+    type Belief = GridBelief;
+
+    fn backend_name(&self) -> &'static str {
+        "grid"
     }
 
-    /// Runs BP, reporting telemetry into `obs` (run metadata, spans,
-    /// per-iteration L1/KL belief residuals and communication counts).
-    pub fn run_with(
+    /// The superset entry point the core localizer drives: structured
+    /// telemetry observer, belief-level per-iteration closure, and a
+    /// message [`Transport`]. With the perfect transport this is
+    /// bit-identical to the pre-transport engine; under a fault plan,
+    /// undelivered messages fall back per the plan's drop policy
+    /// (stale held messages are tempered as `m^α`), never-received
+    /// links contribute nothing, and dead nodes freeze.
+    fn run_transported<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
-        obs: &dyn InferenceObserver,
-    ) -> (Vec<GridBelief>, BpOutcome) {
-        self.run_full(mrf, opts, obs, |_, _| {})
-    }
-
-    /// Runs BP, invoking `observer(iteration, beliefs)` after every
-    /// iteration (belief-level hook for convergence experiments; for
-    /// structured telemetry use [`GridBp::run_with`]).
-    pub fn run_observed<F>(
-        &self,
-        mrf: &SpatialMrf,
-        opts: &BpOptions,
-        observer: F,
-    ) -> (Vec<GridBelief>, BpOutcome)
-    where
-        F: FnMut(usize, &[GridBelief]),
-    {
-        self.run_full(mrf, opts, &NullObserver, observer)
-    }
-
-    /// Runs BP with both a structured telemetry observer and a
-    /// belief-level per-iteration closure (the superset entry point the
-    /// core localizer drives).
-    pub fn run_full<F>(
-        &self,
-        mrf: &SpatialMrf,
-        opts: &BpOptions,
+        transport: &Transport,
         obs: &dyn InferenceObserver,
         mut on_iter: F,
-    ) -> (Vec<GridBelief>, BpOutcome)
+    ) -> RunOutcome<GridBelief>
     where
         F: FnMut(usize, &[GridBelief]),
     {
@@ -581,6 +579,10 @@ impl GridBp {
             seed: opts.seed,
         });
         let wants_residuals = obs.wants_residuals();
+        // Fault state for this run; `None` on the perfect transport, in
+        // which case every session touchpoint below compiles down to
+        // the fault-free path.
+        let mut session = transport.session::<GridBelief>(mrf, opts.seed);
 
         // Initial beliefs: priors for free vars, deltas for fixed ones.
         // With the message cache on, the iteration-invariant pieces
@@ -612,6 +614,15 @@ impl GridBp {
         let loop_start = Instant::now();
         for iter in 0..opts.max_iterations {
             let iter_start = Instant::now();
+            // Roll this iteration's link fates and deaths (sequentially,
+            // before the parallel updates); dead nodes stop updating.
+            if let Some(s) = session.as_mut() {
+                s.begin_iteration(iter, &beliefs, obs);
+            }
+            let active_owned: Option<Vec<usize>> = session
+                .as_ref()
+                .map(|s| free.iter().copied().filter(|&u| s.node_alive(u)).collect());
+            let active: &[usize] = active_owned.as_deref().unwrap_or(&free);
             let prev_means: Vec<Vec2> = free.iter().map(|&u| beliefs[u].mean()).collect();
             // Grid residuals (L1/KL) need the previous cell masses; the
             // clone happens only when the observer asks for residuals.
@@ -630,6 +641,24 @@ impl GridBp {
                 for &e in mrf.edges_of(u) {
                     let v = mrf.other_end(e, u);
                     let potential = mrf.edges()[e].potential.as_ref();
+                    // Transport verdict: skip never-received links,
+                    // temper held-but-aging content by `alpha`, and use
+                    // the last delivered snapshot instead of the live
+                    // neighbor belief. Absent a session (perfect
+                    // transport), alpha is 1 and the snapshot is the
+                    // live belief — the original code path.
+                    let mut alpha = 1.0;
+                    let mut held: Option<&GridBelief> = None;
+                    if let Some(s) = session.as_ref() {
+                        let into_v = mrf.edges()[e].v == u;
+                        match s.verdict(e, into_v) {
+                            Verdict::Skip => continue,
+                            Verdict::Deliver { alpha: a } => {
+                                alpha = a;
+                                held = s.snapshot(e, into_v);
+                            }
+                        }
+                    }
                     match mrf.fixed(v) {
                         Some(p) => {
                             // Anchor message: cached once per run (its
@@ -637,23 +666,31 @@ impl GridBp {
                             // time), recomputed only on the reference
                             // path.
                             if let Some(msg) = cache.as_ref().and_then(|c| c.anchor(e)) {
-                                belief.product(msg);
+                                if alpha < 1.0 {
+                                    let mut tempered = msg.to_vec();
+                                    temper_message(&mut tempered, alpha);
+                                    belief.product(&tempered);
+                                } else {
+                                    belief.product(msg);
+                                }
                             } else {
-                                let (msg, collapsed) = point_message(&belief, p, potential);
+                                let (mut msg, collapsed) = point_message(&belief, p, potential);
                                 if collapsed {
                                     obs.on_event(&ObsEvent::GridUniformFallback {
                                         edge: e,
                                         stage: "point",
                                     });
                                 }
+                                temper_message(&mut msg, alpha);
                                 belief.product(&msg);
                             }
                         }
                         None => {
-                            let (msg, collapsed) =
+                            let source = held.unwrap_or(&beliefs[v]);
+                            let (mut msg, collapsed) =
                                 match cache.as_ref().and_then(|c| c.stencil(e)) {
-                                    Some(st) => stencil_message(&beliefs[v], st, floor),
-                                    None => kernel_message(&beliefs[v], potential, floor),
+                                    Some(st) => stencil_message(source, st, floor),
+                                    None => kernel_message(source, potential, floor),
                                 };
                             if collapsed {
                                 obs.on_event(&ObsEvent::GridUniformFallback {
@@ -661,6 +698,7 @@ impl GridBp {
                                     stage: "kernel",
                                 });
                             }
+                            temper_message(&mut msg, alpha);
                             belief.product(&msg);
                         }
                     }
@@ -670,7 +708,7 @@ impl GridBp {
 
             match opts.schedule {
                 Schedule::Synchronous => {
-                    let new: Vec<(usize, GridBelief)> = free
+                    let new: Vec<(usize, GridBelief)> = active
                         .par_iter()
                         .map(|&u| (u, update_one(u, &beliefs)))
                         .collect();
@@ -682,7 +720,7 @@ impl GridBp {
                     }
                 }
                 Schedule::Sweep => {
-                    for &u in &free {
+                    for &u in active {
                         let mut b = update_one(u, &beliefs);
                         if opts.damping > 0.0 {
                             damp(&mut b, &beliefs[u], opts.damping);
@@ -693,7 +731,7 @@ impl GridBp {
             }
 
             outcome.iterations = iter + 1;
-            outcome.messages += free.len() as u64;
+            outcome.messages += active.len() as u64;
             validate::enforce("GridBp iteration", || {
                 let audit = DistributionAudit::default();
                 for (u, b) in beliefs.iter().enumerate() {
@@ -724,8 +762,8 @@ impl GridBp {
                 iteration: iter,
                 max_shift,
                 comm: CommStats {
-                    messages: free.len() as u64,
-                    bytes: free.len() as u64 * opts.message_bytes,
+                    messages: active.len() as u64,
+                    bytes: active.len() as u64 * opts.message_bytes,
                 },
                 damping: opts.damping,
                 schedule: opts.schedule.name(),
@@ -746,7 +784,10 @@ impl GridBp {
                 bytes: outcome.messages * opts.message_bytes,
             },
         });
-        (beliefs, outcome)
+        RunOutcome {
+            beliefs,
+            bp: outcome,
+        }
     }
 }
 
@@ -755,6 +796,22 @@ fn damp(new: &mut GridBelief, old: &GridBelief, damping: f64) {
         *n = (1.0 - damping) * *n + damping * o;
     }
     new.normalize();
+}
+
+/// Staleness discount for held messages: raises each cell to `alpha`
+/// (tempering), so `alpha = 1` is the identity and `alpha → 0`
+/// flattens the message toward "no information" — the receiver falls
+/// back to its prior and remaining neighbors.
+fn temper_message(msg: &mut [f64], alpha: f64) {
+    if alpha >= 1.0 {
+        return;
+    }
+    let a = alpha.max(0.0);
+    for m in msg.iter_mut() {
+        if *m > 0.0 {
+            *m = m.powf(a);
+        }
+    }
 }
 
 #[cfg(test)]

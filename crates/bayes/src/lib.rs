@@ -32,13 +32,16 @@
 
 pub mod discrete;
 pub mod discrete_ext;
+pub mod engine;
 pub mod gaussian;
 pub mod grid;
 pub mod mrf;
 pub mod particle;
 pub mod potential;
+pub mod transport;
 pub mod validate;
 
+pub use engine::{Belief, BpEngine, RunOutcome};
 pub use gaussian::{GaussianBelief, GaussianBp};
 pub use grid::{GridBelief, GridBp};
 pub use mrf::{BpOptions, BpOptionsBuilder, BpOutcome, Schedule, SpatialMrf};
@@ -47,4 +50,5 @@ pub use potential::{
     DeltaUnary, GaussianRange, GaussianUnary, MixtureUnary, PairPotential, UnaryPotential,
     UniformBoxUnary, UniformShapeUnary,
 };
+pub use transport::Transport;
 pub use validate::{DistributionAudit, GraphAudit, ValidationError};

@@ -26,7 +26,7 @@ pub struct MrfEdge {
 ///
 /// ```
 /// use std::sync::Arc;
-/// use wsnloc_bayes::{BpOptions, GaussianRange, ParticleBp, SpatialMrf, UniformBoxUnary};
+/// use wsnloc_bayes::{BpEngine, BpOptions, GaussianRange, ParticleBp, SpatialMrf, UniformBoxUnary};
 /// use wsnloc_geom::{Aabb, Vec2};
 ///
 /// // One anchor at (50,50); one unknown measured 20 m away.
@@ -167,8 +167,16 @@ impl Schedule {
     }
 }
 
-/// Options shared by both BP engines.
+/// Options shared by all BP engines.
+///
+/// Construct through [`BpOptions::builder`] (or start from
+/// [`BpOptions::default`] and pass the result through
+/// [`BpOptions::validated`]). The struct is `#[non_exhaustive]`: fields
+/// stay publicly *readable* — engines consume them directly — but
+/// struct-literal construction outside this crate is a compile error,
+/// so every externally built value has gone through range validation.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct BpOptions {
     /// Maximum belief-update iterations.
     pub max_iterations: usize,
@@ -205,8 +213,10 @@ impl Default for BpOptions {
 impl BpOptions {
     /// Starts a validated builder seeded with [`BpOptions::default`].
     ///
-    /// This is the preferred construction path; struct-literal construction
-    /// keeps working but bypasses range validation.
+    /// The builder (or [`BpOptions::validated`]) is the only external
+    /// construction path — the struct is `#[non_exhaustive]`, so
+    /// struct-literal construction that would bypass range validation
+    /// no longer compiles outside this crate.
     pub fn builder() -> BpOptionsBuilder {
         BpOptionsBuilder {
             opts: BpOptions::default(),

@@ -18,8 +18,10 @@
 //! overcounts loops but converges fast and matches the distributed protocol
 //! a WSN would actually run.
 
+use crate::engine::{BpEngine, RunOutcome};
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::potential::PairPotential;
+use crate::transport::{Transport, TransportSession, Verdict};
 use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -27,8 +29,7 @@ use wsnloc_geom::kde::silverman_bandwidth;
 use wsnloc_geom::rng::{systematic_resample, Xoshiro256pp};
 use wsnloc_geom::{Matrix, Vec2};
 use wsnloc_obs::{
-    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, RunInfo, RunSummary,
-    SpanKind,
+    CommStats, InferenceObserver, IterationRecord, NodeResidual, RunInfo, RunSummary, SpanKind,
 };
 
 /// A weighted particle representation of a position belief.
@@ -162,17 +163,39 @@ fn share(n: usize, fraction: f64) -> usize {
     ((n as f64) * fraction).round() as usize
 }
 
-/// Per-edge neighbor context resolved once per node update: the other
-/// endpoint, its potential, and its anchor position when fixed. Hoisting
-/// this out of the per-candidate loops removes the repeated edge-table
-/// and fixed-map lookups from the weighting hot path.
+impl crate::engine::Belief for ParticleBelief {
+    const SUPPORTS_MAP: bool = false;
+
+    fn mean(&self) -> Vec2 {
+        ParticleBelief::mean(self)
+    }
+
+    fn spread(&self) -> f64 {
+        ParticleBelief::spread(self)
+    }
+
+    fn map_estimate(&self) -> Option<Vec2> {
+        None
+    }
+}
+
+/// Per-edge neighbor context resolved once per node update: the
+/// neighbor belief the transport delivered (live on the perfect path, a
+/// held snapshot under faults), its potential, its anchor position when
+/// fixed, and the staleness discount. Hoisting this out of the
+/// per-candidate loops removes the repeated edge-table and fixed-map
+/// lookups from the weighting hot path; edges whose link has never
+/// delivered are absent entirely.
 struct EdgeCtx<'a> {
-    /// The neighbor variable.
-    v: usize,
+    /// The neighbor belief to propose from and weight against.
+    belief: &'a ParticleBelief,
     /// The edge's distance potential.
     potential: &'a dyn PairPotential,
     /// The neighbor's position when it is a fixed anchor.
     fixed: Option<Vec2>,
+    /// Staleness discount on the edge's log-likelihood contribution
+    /// (1.0 on the perfect transport).
+    alpha: f64,
 }
 
 /// Loopy belief propagation with particle beliefs.
@@ -208,48 +231,31 @@ impl ParticleBp {
             ..ParticleBp::default()
         }
     }
+}
 
-    /// Runs BP to convergence or `opts.max_iterations`.
-    pub fn run(&self, mrf: &SpatialMrf, opts: &BpOptions) -> (Vec<ParticleBelief>, BpOutcome) {
-        self.run_full(mrf, opts, &NullObserver, |_, _| {})
+impl BpEngine for ParticleBp {
+    type Belief = ParticleBelief;
+
+    fn backend_name(&self) -> &'static str {
+        "particle"
     }
 
-    /// Runs BP, reporting telemetry into `obs` (run metadata, spans,
-    /// per-iteration residuals and communication counts).
-    pub fn run_with(
+    /// The superset entry point the core localizer drives: structured
+    /// telemetry observer, belief-level per-iteration closure, and a
+    /// message [`Transport`]. With the perfect transport this is
+    /// bit-identical to the pre-transport engine; under a fault plan,
+    /// undelivered neighbor beliefs are replaced by held snapshots
+    /// (their log-likelihood contribution discounted by `alpha`),
+    /// never-received links drop out of the proposal/weighting mix, and
+    /// dead nodes freeze.
+    fn run_transported<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
-        obs: &dyn InferenceObserver,
-    ) -> (Vec<ParticleBelief>, BpOutcome) {
-        self.run_full(mrf, opts, obs, |_, _| {})
-    }
-
-    /// Runs BP, invoking `observer(iteration, beliefs)` after each
-    /// iteration (belief-level hook for convergence experiments; for
-    /// structured telemetry use [`ParticleBp::run_with`]).
-    pub fn run_observed<F>(
-        &self,
-        mrf: &SpatialMrf,
-        opts: &BpOptions,
-        observer: F,
-    ) -> (Vec<ParticleBelief>, BpOutcome)
-    where
-        F: FnMut(usize, &[ParticleBelief]),
-    {
-        self.run_full(mrf, opts, &NullObserver, observer)
-    }
-
-    /// Runs BP with both a structured telemetry observer and a
-    /// belief-level per-iteration closure (the superset entry point the
-    /// core localizer drives).
-    pub fn run_full<F>(
-        &self,
-        mrf: &SpatialMrf,
-        opts: &BpOptions,
+        transport: &Transport,
         obs: &dyn InferenceObserver,
         mut on_iter: F,
-    ) -> (Vec<ParticleBelief>, BpOutcome)
+    ) -> RunOutcome<ParticleBelief>
     where
         F: FnMut(usize, &[ParticleBelief]),
     {
@@ -270,6 +276,8 @@ impl ParticleBp {
             seed: opts.seed,
         });
         let wants_residuals = obs.wants_residuals();
+        // Fault state for this run; `None` on the perfect transport.
+        let mut session = transport.session::<ParticleBelief>(mrf, opts.seed);
 
         // Initialize: fixed vars are points, free vars sample their prior.
         let init_start = Instant::now();
@@ -296,18 +304,27 @@ impl ParticleBp {
         let loop_start = Instant::now();
         for iter in 0..opts.max_iterations {
             let iter_start = Instant::now();
+            // Roll this iteration's link fates and deaths (sequentially,
+            // before the parallel updates); dead nodes stop updating.
+            if let Some(s) = session.as_mut() {
+                s.begin_iteration(iter, &beliefs, obs);
+            }
+            let active_owned: Option<Vec<usize>> = session
+                .as_ref()
+                .map(|s| free.iter().copied().filter(|&u| s.node_alive(u)).collect());
+            let active: &[usize] = active_owned.as_deref().unwrap_or(&free);
             let prev_means: Vec<Vec2> = free.iter().map(|&u| beliefs[u].mean()).collect();
             // Per-iteration, per-node deterministic RNG streams.
             let iter_tag = (iter as u64 + 1) << 32;
 
             let update_one = |u: usize, beliefs: &Vec<ParticleBelief>| -> ParticleBelief {
                 let mut rng = root.split(iter_tag | u as u64);
-                self.update_node(mrf, u, beliefs, opts, &mut rng)
+                self.update_node(mrf, u, beliefs, session.as_ref(), opts, &mut rng)
             };
 
             match opts.schedule {
                 Schedule::Synchronous => {
-                    let new: Vec<(usize, ParticleBelief)> = free
+                    let new: Vec<(usize, ParticleBelief)> = active
                         .par_iter()
                         .map(|&u| (u, update_one(u, &beliefs)))
                         .collect();
@@ -316,14 +333,14 @@ impl ParticleBp {
                     }
                 }
                 Schedule::Sweep => {
-                    for &u in &free {
+                    for &u in active {
                         beliefs[u] = update_one(u, &beliefs);
                     }
                 }
             }
 
             outcome.iterations = iter + 1;
-            outcome.messages += free.len() as u64;
+            outcome.messages += active.len() as u64;
             validate::enforce("ParticleBp iteration", || {
                 let audit = DistributionAudit::default();
                 for (u, b) in beliefs.iter().enumerate() {
@@ -357,8 +374,8 @@ impl ParticleBp {
                 iteration: iter,
                 max_shift,
                 comm: CommStats {
-                    messages: free.len() as u64,
-                    bytes: free.len() as u64 * opts.message_bytes,
+                    messages: active.len() as u64,
+                    bytes: active.len() as u64 * opts.message_bytes,
                 },
                 damping: opts.damping,
                 schedule: opts.schedule.name(),
@@ -379,15 +396,23 @@ impl ParticleBp {
                 bytes: outcome.messages * opts.message_bytes,
             },
         });
-        (beliefs, outcome)
+        RunOutcome {
+            beliefs,
+            bp: outcome,
+        }
     }
+}
 
-    /// One SPAWN-style importance update of node `u`.
+impl ParticleBp {
+    /// One SPAWN-style importance update of node `u`, against the
+    /// neighbor beliefs the transport session delivered (or the live
+    /// beliefs on the perfect transport).
     fn update_node(
         &self,
         mrf: &SpatialMrf,
         u: usize,
         beliefs: &[ParticleBelief],
+        session: Option<&TransportSession<ParticleBelief>>,
         opts: &BpOptions,
         rng: &mut Xoshiro256pp,
     ) -> ParticleBelief {
@@ -397,25 +422,40 @@ impl ParticleBp {
         let domain = mrf.domain();
         let unary = mrf.unary(u).as_ref();
 
-        // Neighbor context — other endpoint, potential, anchor position —
-        // is invariant across the proposal and weighting loops below;
-        // resolve it once per update instead of per candidate. The RNG
-        // call sequence is untouched, so results stay bit-identical.
+        // Neighbor context — delivered belief, potential, anchor position,
+        // staleness discount — is invariant across the proposal and
+        // weighting loops below; resolve it once per update instead of
+        // per candidate. On the perfect transport the RNG call sequence
+        // is untouched, so results stay bit-identical; under faults,
+        // never-received links are filtered out here.
         let ctx: Vec<EdgeCtx<'_>> = edges
             .iter()
-            .map(|&e| {
+            .filter_map(|&e| {
                 let v = mrf.other_end(e, u);
-                EdgeCtx {
-                    v,
+                let mut alpha = 1.0;
+                let mut held: Option<&ParticleBelief> = None;
+                if let Some(s) = session {
+                    let into_v = mrf.edges()[e].v == u;
+                    match s.verdict(e, into_v) {
+                        Verdict::Skip => return None,
+                        Verdict::Deliver { alpha: a } => {
+                            alpha = a;
+                            held = s.snapshot(e, into_v);
+                        }
+                    }
+                }
+                Some(EdgeCtx {
+                    belief: held.unwrap_or(&beliefs[v]),
                     potential: mrf.edges()[e].potential.as_ref(),
                     fixed: mrf.fixed(v),
-                }
+                    alpha,
+                })
             })
             .collect();
 
         // --- Proposal ---------------------------------------------------
         let n_prior = share(n, self.prior_fraction);
-        let n_neighbor = if edges.is_empty() {
+        let n_neighbor = if ctx.is_empty() {
             0
         } else {
             share(n, self.neighbor_fraction)
@@ -435,7 +475,7 @@ impl ParticleBp {
             let anchor_point = match c.fixed {
                 Some(p) => p,
                 None => {
-                    let nb = &beliefs[c.v];
+                    let nb = c.belief;
                     let idx = rng.weighted_index(nb.weights()).unwrap_or(0);
                     nb.particles()[idx]
                 }
@@ -459,7 +499,10 @@ impl ParticleBp {
             .map(|&x| {
                 let mut lw = unary.log_density(x);
                 for c in &ctx {
-                    lw += self.mixture_log_likelihood(x, &beliefs[c.v], c.fixed, c.potential, rng);
+                    // alpha == 1 multiplies exactly (IEEE), so the
+                    // perfect path stays bit-identical.
+                    lw += c.alpha
+                        * self.mixture_log_likelihood(x, c.belief, c.fixed, c.potential, rng);
                 }
                 lw
             })

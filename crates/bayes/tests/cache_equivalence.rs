@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 use wsnloc_bayes::{
-    BpOptions, GaussianRange, GaussianUnary, GridBelief, GridBp, PairPotential, Schedule,
+    BpEngine, BpOptions, GaussianRange, GaussianUnary, GridBelief, GridBp, PairPotential, Schedule,
     SpatialMrf, UniformBoxUnary,
 };
 use wsnloc_geom::check;
@@ -57,12 +57,12 @@ fn random_mrf(rng: &mut Xoshiro256pp, opt_out: bool) -> SpatialMrf {
         .collect();
     mrf.fix(0, pts[0]);
     mrf.fix(1, pts[1]);
-    for u in 2..n {
+    for (u, pt) in pts.iter().enumerate().skip(2) {
         if rng.f64() < 0.5 {
             mrf.set_unary(
                 u,
                 Arc::new(GaussianUnary {
-                    mean: pts[u] + Vec2::new(rng.gaussian() * 5.0, rng.gaussian() * 5.0),
+                    mean: *pt + Vec2::new(rng.gaussian() * 5.0, rng.gaussian() * 5.0),
                     sigma: 8.0 + 10.0 * rng.f64(),
                 }),
             );

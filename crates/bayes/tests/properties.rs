@@ -7,7 +7,7 @@ use std::sync::Arc;
 use wsnloc_bayes::discrete::{BayesNet, Cpt, Evidence, Variable};
 use wsnloc_bayes::discrete_ext::{d_separated, markov_blanket};
 use wsnloc_bayes::{
-    BpOptions, GaussianRange, GaussianUnary, GridBelief, ParticleBelief, SpatialMrf,
+    BpEngine, BpOptions, GaussianRange, GaussianUnary, GridBelief, ParticleBelief, SpatialMrf,
     UniformBoxUnary,
 };
 use wsnloc_geom::check;

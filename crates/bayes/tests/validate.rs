@@ -5,8 +5,8 @@
 use std::sync::Arc;
 use wsnloc_bayes::discrete::{BayesNet, Cpt, Variable};
 use wsnloc_bayes::{
-    BpOptions, DistributionAudit, GaussianBp, GaussianRange, GraphAudit, GridBp, ParticleBp,
-    SpatialMrf, UniformBoxUnary, ValidationError,
+    BpEngine, BpOptions, DistributionAudit, GaussianBp, GaussianRange, GraphAudit, GridBp,
+    ParticleBp, SpatialMrf, UniformBoxUnary, ValidationError,
 };
 use wsnloc_geom::check;
 use wsnloc_geom::rng::Xoshiro256pp;

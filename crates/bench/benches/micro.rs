@@ -5,7 +5,9 @@
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
-use wsnloc_bayes::{BpOptions, GaussianRange, GridBp, ParticleBp, SpatialMrf, UniformBoxUnary};
+use wsnloc_bayes::{
+    BpEngine, BpOptions, GaussianRange, GridBp, ParticleBp, SpatialMrf, UniformBoxUnary,
+};
 use wsnloc_bench::harness::Criterion;
 use wsnloc_bench::{criterion_group, criterion_main};
 use wsnloc_geom::kde::Kde;

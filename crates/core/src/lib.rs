@@ -73,10 +73,11 @@ pub mod prelude {
     pub use crate::prior::PriorModel;
     pub use crate::result::{LocalizationResult, Localizer};
     pub use crate::tracking::TrackingLocalizer;
-    pub use wsnloc_bayes::{BpOptions, Schedule, ValidationError};
+    pub use wsnloc_bayes::{BpEngine, BpOptions, Schedule, Transport, ValidationError};
     pub use wsnloc_geom::{Aabb, Shape, Vec2};
     pub use wsnloc_net::{
-        AnchorStrategy, Deployment, GroundTruth, Network, RadioModel, RangingModel, Scenario,
+        AnchorStrategy, DeathModel, Deployment, DropPolicy, FaultPlan, GroundTruth, LossModel,
+        Network, NodeDeath, RadioModel, RangingModel, Scenario,
     };
     pub use wsnloc_obs::{InferenceObserver, JsonlSink, NullObserver, TraceObserver};
 }

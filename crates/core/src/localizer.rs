@@ -15,11 +15,15 @@
 use crate::model::{build_mrf, ModelOptions};
 use crate::prior::PriorModel;
 use crate::result::{LocalizationResult, Localizer};
+use std::sync::Arc;
 use std::time::Instant;
-use wsnloc_bayes::{BpOptions, GaussianBp, GridBp, ParticleBp, Schedule, ValidationError};
+use wsnloc_bayes::{
+    Belief, BpEngine, BpOptions, GaussianBp, GridBp, ParticleBp, Schedule, SpatialMrf, Transport,
+    ValidationError,
+};
 use wsnloc_geom::Vec2;
 use wsnloc_net::accounting::{CommStats, WireMessage};
-use wsnloc_net::Network;
+use wsnloc_net::{FaultPlan, Network};
 use wsnloc_obs::{InferenceObserver, NullObserver, ObsEvent, SpanKind};
 
 /// Belief representation used by inference.
@@ -58,49 +62,26 @@ pub enum Estimator {
 /// Construct through [`BnlLocalizer::builder`] (validated) or the
 /// [`BnlLocalizer::particle`]/[`BnlLocalizer::grid`]/
 /// [`BnlLocalizer::gaussian`] convenience constructors plus `with_*`
-/// chaining. The fields remain public for backward compatibility but are
-/// deprecated as a construction surface — struct-literal construction
-/// bypasses the builder's range validation and will break when fields are
-/// added.
+/// chaining. Fields are crate-private: struct-literal construction would
+/// bypass the builder's range validation.
 #[derive(Debug, Clone)]
 pub struct BnlLocalizer {
     /// Pre-knowledge model.
-    ///
-    /// Deprecated as a construction surface: prefer
-    /// [`BnlLocalizerBuilder::prior`].
-    #[doc(hidden)]
-    pub prior: PriorModel,
+    pub(crate) prior: PriorModel,
     /// Belief representation.
-    ///
-    /// Deprecated as a construction surface: prefer
-    /// [`BnlLocalizer::builder`].
-    #[doc(hidden)]
-    pub backend: Backend,
+    pub(crate) backend: Backend,
     /// BP engine options (seed is overridden per `localize` call).
-    ///
-    /// Deprecated as a construction surface: prefer the builder's
-    /// `max_iterations`/`tolerance`/`damping`/`schedule` setters.
-    #[doc(hidden)]
-    pub bp: BpOptions,
+    pub(crate) bp: BpOptions,
     /// Negative connectivity constraints per node (0 = off).
-    ///
-    /// Deprecated as a construction surface: prefer
-    /// [`BnlLocalizerBuilder::negative_constraints`].
-    #[doc(hidden)]
-    pub negative_constraints: usize,
+    pub(crate) negative_constraints: usize,
     /// Point estimate rule.
-    ///
-    /// Deprecated as a construction surface: prefer
-    /// [`BnlLocalizerBuilder::estimator`].
-    #[doc(hidden)]
-    pub estimator: Estimator,
+    pub(crate) estimator: Estimator,
     /// Particles included in each broadcast belief summary (communication
     /// accounting; also the mixture subsample size of the particle engine).
-    ///
-    /// Deprecated as a construction surface: prefer
-    /// [`BnlLocalizerBuilder::broadcast_particles`].
-    #[doc(hidden)]
-    pub broadcast_particles: usize,
+    pub(crate) broadcast_particles: usize,
+    /// Fault-injection plan applied to inter-node messaging (`None` =
+    /// perfect transport, the bit-identical fault-free path).
+    pub(crate) fault_plan: Option<Arc<FaultPlan>>,
 }
 
 /// Validated builder for [`BnlLocalizer`].
@@ -174,6 +155,18 @@ impl BnlLocalizerBuilder {
         self
     }
 
+    /// Injects faults into inter-node messaging per `plan` (message loss,
+    /// node death, stale delivery). A [`FaultPlan::none`] plan compiles to
+    /// the perfect transport — the bit-identical fault-free path.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.inner.fault_plan = if plan.is_none() {
+            None
+        } else {
+            Some(Arc::new(plan))
+        };
+        self
+    }
+
     /// Validates the configuration and returns the finished localizer.
     pub fn try_build(self) -> Result<BnlLocalizer, ValidationError> {
         match self.inner.backend {
@@ -217,6 +210,7 @@ impl BnlLocalizer {
                 negative_constraints: 0,
                 estimator: Estimator::Mmse,
                 broadcast_particles: 24,
+                fault_plan: None,
             },
         }
     }
@@ -231,6 +225,7 @@ impl BnlLocalizer {
             negative_constraints: 0,
             estimator: Estimator::Mmse,
             broadcast_particles: 24,
+            fault_plan: None,
         }
     }
 
@@ -243,6 +238,7 @@ impl BnlLocalizer {
             negative_constraints: 0,
             estimator: Estimator::Mmse,
             broadcast_particles: 24,
+            fault_plan: None,
         }
     }
 
@@ -255,6 +251,7 @@ impl BnlLocalizer {
             negative_constraints: 0,
             estimator: Estimator::Mmse,
             broadcast_particles: 24,
+            fault_plan: None,
         }
     }
 
@@ -297,6 +294,18 @@ impl BnlLocalizer {
     /// Sets the point-estimate rule.
     pub fn with_estimator(mut self, estimator: Estimator) -> Self {
         self.estimator = estimator;
+        self
+    }
+
+    /// Injects faults into inter-node messaging per `plan` (message loss,
+    /// node death, stale delivery). A [`FaultPlan::none`] plan compiles to
+    /// the perfect transport — the bit-identical fault-free path.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = if plan.is_none() {
+            None
+        } else {
+            Some(Arc::new(plan))
+        };
         self
     }
 
@@ -350,6 +359,11 @@ impl BnlLocalizer {
             result.uncertainty[id] = Some(0.0);
         }
 
+        let transport = match &self.fault_plan {
+            Some(plan) => Transport::faulted(Arc::clone(plan)),
+            None => Transport::perfect(),
+        };
+
         // TraceObserver opens its record at the engine's `on_run_start`, so
         // the model-build span (measured above) and the estimate-extraction
         // span are reported after the run instead of in wall-clock order.
@@ -357,97 +371,98 @@ impl BnlLocalizer {
             Backend::Particle { particles } => {
                 let mut engine = ParticleBp::with_particles(particles);
                 engine.mixture_samples = self.broadcast_particles;
-                let (beliefs, outcome) = engine.run_full(&mrf, &opts, obs, |iter, beliefs| {
-                    let estimates: Vec<Option<Vec2>> = (0..n)
-                        .map(|id| match mrf.fixed(id) {
-                            Some(p) => Some(p),
-                            None => Some(beliefs[id].mean()),
-                        })
-                        .collect();
-                    on_iteration(iter, &estimates);
-                });
-                obs.on_span(SpanKind::ModelBuild, build_secs);
-                if self.estimator == Estimator::Map {
-                    obs.on_event(&ObsEvent::MapFallbackToMmse {
-                        backend: "particle",
-                    });
-                }
-                let extract_start = Instant::now();
-                for id in mrf.free_vars() {
-                    result.estimates[id] = Some(beliefs[id].mean());
-                    result.uncertainty[id] = Some(beliefs[id].spread());
-                }
-                obs.on_span(
-                    SpanKind::EstimateExtract,
-                    extract_start.elapsed().as_secs_f64(),
+                self.run_backend(
+                    &engine,
+                    &mrf,
+                    &opts,
+                    &transport,
+                    obs,
+                    build_secs,
+                    &mut result,
+                    &mut on_iteration,
                 );
-                result.iterations = outcome.iterations;
-                result.converged = outcome.converged;
-                result.comm = self.particle_comm(outcome.messages);
             }
-            Backend::Gaussian => {
-                let engine = GaussianBp::default();
-                let (beliefs, outcome) = engine.run_full(&mrf, &opts, obs, |iter, beliefs| {
-                    let estimates: Vec<Option<Vec2>> = (0..n)
-                        .map(|id| match mrf.fixed(id) {
-                            Some(p) => Some(p),
-                            None => Some(beliefs[id].mean),
-                        })
-                        .collect();
-                    on_iteration(iter, &estimates);
-                });
-                obs.on_span(SpanKind::ModelBuild, build_secs);
-                if self.estimator == Estimator::Map {
-                    obs.on_event(&ObsEvent::MapFallbackToMmse {
-                        backend: "gaussian",
-                    });
-                }
-                let extract_start = Instant::now();
-                for id in mrf.free_vars() {
-                    result.estimates[id] = Some(beliefs[id].mean);
-                    result.uncertainty[id] = Some(beliefs[id].spread());
-                }
-                obs.on_span(
-                    SpanKind::EstimateExtract,
-                    extract_start.elapsed().as_secs_f64(),
-                );
-                result.iterations = outcome.iterations;
-                result.converged = outcome.converged;
-                result.comm = self.gaussian_comm(outcome.messages);
-            }
-            Backend::Grid { resolution } => {
-                let engine = GridBp::with_resolution(resolution);
-                let (beliefs, outcome) = engine.run_full(&mrf, &opts, obs, |iter, beliefs| {
-                    let estimates: Vec<Option<Vec2>> = (0..n)
-                        .map(|id| match mrf.fixed(id) {
-                            Some(p) => Some(p),
-                            None => Some(beliefs[id].mean()),
-                        })
-                        .collect();
-                    on_iteration(iter, &estimates);
-                });
-                obs.on_span(SpanKind::ModelBuild, build_secs);
-                let extract_start = Instant::now();
-                for id in mrf.free_vars() {
-                    let b = &beliefs[id];
-                    result.estimates[id] = Some(match self.estimator {
-                        Estimator::Mmse => b.mean(),
-                        Estimator::Map => b.map_estimate(),
-                    });
-                    result.uncertainty[id] = Some(b.spread());
-                }
-                obs.on_span(
-                    SpanKind::EstimateExtract,
-                    extract_start.elapsed().as_secs_f64(),
-                );
-                result.iterations = outcome.iterations;
-                result.converged = outcome.converged;
-                result.comm = self.gaussian_comm(outcome.messages);
-            }
+            Backend::Gaussian => self.run_backend(
+                &GaussianBp::default(),
+                &mrf,
+                &opts,
+                &transport,
+                obs,
+                build_secs,
+                &mut result,
+                &mut on_iteration,
+            ),
+            Backend::Grid { resolution } => self.run_backend(
+                &GridBp::with_resolution(resolution),
+                &mrf,
+                &opts,
+                &transport,
+                obs,
+                build_secs,
+                &mut result,
+                &mut on_iteration,
+            ),
         }
 
         result.elapsed_secs = start.elapsed().as_secs_f64();
         result
+    }
+
+    /// Backend-generic run-and-extract: drives [`BpEngine::run_transported`]
+    /// with the estimate-level iteration callback, then reads point
+    /// estimates and uncertainties out of the final beliefs through the
+    /// [`Belief`] trait. A MAP request on a backend without a mode extractor
+    /// falls back to MMSE and reports the switch as an observer event.
+    #[allow(clippy::too_many_arguments)]
+    fn run_backend<E, F>(
+        &self,
+        engine: &E,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        transport: &Transport,
+        obs: &dyn InferenceObserver,
+        build_secs: f64,
+        result: &mut LocalizationResult,
+        mut on_iteration: F,
+    ) where
+        E: BpEngine,
+        F: FnMut(usize, &[Option<Vec2>]),
+    {
+        let n = result.estimates.len();
+        let out = engine.run_transported(mrf, opts, transport, obs, |iter, beliefs| {
+            let estimates: Vec<Option<Vec2>> = (0..n)
+                .map(|id| match mrf.fixed(id) {
+                    Some(p) => Some(p),
+                    None => Some(beliefs[id].mean()),
+                })
+                .collect();
+            on_iteration(iter, &estimates);
+        });
+        obs.on_span(SpanKind::ModelBuild, build_secs);
+        let want_map = self.estimator == Estimator::Map;
+        if want_map && !E::Belief::SUPPORTS_MAP {
+            obs.on_event(&ObsEvent::MapFallbackToMmse {
+                backend: engine.backend_name(),
+            });
+        }
+        let extract_start = Instant::now();
+        for id in mrf.free_vars() {
+            let b = &out.beliefs[id];
+            let estimate = if want_map {
+                b.map_estimate().unwrap_or_else(|| b.mean())
+            } else {
+                b.mean()
+            };
+            result.estimates[id] = Some(estimate);
+            result.uncertainty[id] = Some(b.spread());
+        }
+        obs.on_span(
+            SpanKind::EstimateExtract,
+            extract_start.elapsed().as_secs_f64(),
+        );
+        result.iterations = out.bp.iterations;
+        result.converged = out.bp.converged;
+        result.comm = self.comm_stats(out.bp.messages);
     }
 
     /// Encoded size of one belief broadcast for the configured backend —
@@ -468,24 +483,12 @@ impl BnlLocalizer {
         msg.encoded_len() as u64
     }
 
-    /// Bytes for one particle-summary broadcast.
-    fn particle_comm(&self, broadcasts: u64) -> CommStats {
+    /// Communication ledger for `broadcasts` belief transmissions, charged
+    /// at the configured backend's wire-encoded summary size.
+    fn comm_stats(&self, broadcasts: u64) -> CommStats {
         CommStats {
             messages: broadcasts,
             bytes: broadcasts * self.broadcast_message_bytes(),
-        }
-    }
-
-    /// Bytes for one Gaussian-summary broadcast (grid backend).
-    fn gaussian_comm(&self, broadcasts: u64) -> CommStats {
-        let msg = WireMessage::GaussianBelief {
-            from: 0,
-            mean: Vec2::ZERO,
-            cov: [0.0; 3],
-        };
-        CommStats {
-            messages: broadcasts,
-            bytes: broadcasts * msg.encoded_len() as u64,
         }
     }
 }

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 use wsnloc_bayes::{
-    BpOptions, GaussianBp, GaussianRange, GridBp, ParticleBp, SpatialMrf, UniformBoxUnary,
+    BpEngine, BpOptions, GaussianBp, GaussianRange, GridBp, ParticleBp, SpatialMrf, UniformBoxUnary,
 };
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::{Aabb, Vec2};

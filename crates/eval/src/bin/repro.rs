@@ -241,7 +241,10 @@ fn run_bench(out_dir: Option<&std::path::Path>) -> ExitCode {
     let grid = wsnloc_eval::bench::grid_bench_json(SAMPLES);
     eprintln!("particle/gaussian bench ({SAMPLES} samples each)...");
     let particle = wsnloc_eval::bench::particle_bench_json(SAMPLES);
-    for (name, contents) in [("BENCH_grid.json", &grid), ("BENCH_particle.json", &particle)] {
+    for (name, contents) in [
+        ("BENCH_grid.json", &grid),
+        ("BENCH_particle.json", &particle),
+    ] {
         let path = dir.join(name);
         if let Err(e) = std::fs::write(&path, contents) {
             eprintln!("failed to write {}: {e}", path.display());

@@ -1,0 +1,208 @@
+//! F15 — fault tolerance: localization under message loss and node death.
+//!
+//! The BP engines exchange beliefs over the `Transport` seam, which a
+//! seeded [`FaultPlan`] degrades per iteration: i.i.d. message loss with
+//! either the hold-last or the decay-to-prior substitution policy, and a
+//! random fraction of free nodes dying before the first exchange. The
+//! non-iterative baselines (NLS, DV-Hop) cannot lose per-iteration
+//! messages, so they face the *persistent* equivalent —
+//! [`FaultPlan::degrade_network`] removes each measurement with the
+//! long-run loss probability and every measurement touching a dead node.
+//!
+//! Reproduction criterion: BNL-PK's mean error degrades gracefully and
+//! monotonically as the loss rate climbs 0→50% and stays finite even
+//! when half the cooperating neighbors fall silent; the least-squares
+//! baseline loses measurements it cannot re-request and degrades faster.
+//! The third report counts the injected faults as seen through the
+//! observer stream (dropped / died / stale), confirming the telemetry
+//! path end to end.
+
+use super::{standard_scenario, PRIOR_SIGMA, RANGE};
+use crate::{evaluate, EvalConfig, ExpConfig, Report};
+use wsnloc::obs::TraceObserver;
+use wsnloc::prelude::*;
+
+/// Seed for every fault plan in this experiment (mixed with the trial
+/// seed by the transport layer, so trials still decorrelate).
+const FAULT_SEED: u64 = 0xFA17;
+
+/// A non-iterative baseline facing the persistent equivalent of a fault
+/// plan: it localizes the degraded network instead of losing messages.
+struct DegradedBaseline<L> {
+    inner: L,
+    plan: FaultPlan,
+}
+
+impl<L: Localizer> Localizer for DegradedBaseline<L> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn localize(&self, network: &Network, seed: u64) -> LocalizationResult {
+        self.inner
+            .localize(&self.plan.degrade_network(network, seed), seed)
+    }
+}
+
+/// BNL-PK with the standard pre-knowledge configuration and a fault plan.
+fn bnl_with_plan(cfg: &ExpConfig, plan: FaultPlan) -> BnlLocalizer {
+    BnlLocalizer::particle(cfg.particles)
+        .with_prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
+        .with_max_iterations(cfg.iterations)
+        .with_tolerance(RANGE * 0.02)
+        .with_fault_plan(plan)
+}
+
+/// Mean error/R of `algo` on the standard scenario.
+fn mean_err(algo: &dyn Localizer, cfg: &ExpConfig) -> f64 {
+    evaluate(algo, &standard_scenario(), &EvalConfig::trials(cfg.trials))
+        .normalized_summary(RANGE)
+        .map_or(f64::NAN, |s| s.mean)
+}
+
+/// Mean error/R vs i.i.d. loss rate, hold-last and decay policies
+/// against persistently degraded baselines.
+fn loss_sweep(cfg: &ExpConfig) -> Report {
+    let rates: Vec<f64> = if cfg.quick {
+        vec![0.0, 0.3]
+    } else {
+        vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+    };
+    let columns = vec![
+        "BNL-PK (hold-last)".to_string(),
+        "BNL-PK (decay)".to_string(),
+        "NLS".to_string(),
+        "DV-Hop".to_string(),
+    ];
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for &rate in &rates {
+        labels.push(format!("{:.0}%", rate * 100.0));
+        let hold = bnl_with_plan(cfg, FaultPlan::iid_loss(FAULT_SEED, rate));
+        let decay = bnl_with_plan(
+            cfg,
+            FaultPlan::iid_loss(FAULT_SEED, rate)
+                .with_drop_policy(DropPolicy::DecayToPrior { decay: 0.6 }),
+        );
+        let nls = DegradedBaseline {
+            inner: wsnloc_baselines::Multilateration::nls(),
+            plan: FaultPlan::iid_loss(FAULT_SEED, rate),
+        };
+        let dvhop = DegradedBaseline {
+            inner: wsnloc_baselines::DvHop::default(),
+            plan: FaultPlan::iid_loss(FAULT_SEED, rate),
+        };
+        let algos: Vec<&dyn Localizer> = vec![&hold, &decay, &nls, &dvhop];
+        data.push(algos.into_iter().map(|a| mean_err(a, cfg)).collect());
+    }
+    Report::new(
+        "f15",
+        format!("mean error/R vs message-loss rate ({} trials)", cfg.trials),
+        "loss rate",
+        columns,
+        labels,
+        data,
+    )
+}
+
+/// Mean error/R vs the fraction of free nodes dead from iteration 0.
+fn death_sweep(cfg: &ExpConfig) -> Report {
+    let fractions: Vec<f64> = if cfg.quick {
+        vec![0.0, 0.2]
+    } else {
+        vec![0.0, 0.1, 0.2, 0.3, 0.5]
+    };
+    let columns = vec![
+        "BNL-PK".to_string(),
+        "NLS".to_string(),
+        "DV-Hop".to_string(),
+    ];
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for &fraction in &fractions {
+        labels.push(format!("{:.0}%", fraction * 100.0));
+        let plan = FaultPlan::iid_loss(FAULT_SEED, 0.0).with_deaths(DeathModel::Random {
+            fraction,
+            at_iteration: 0,
+        });
+        let bnl = bnl_with_plan(cfg, plan.clone());
+        let nls = DegradedBaseline {
+            inner: wsnloc_baselines::Multilateration::nls(),
+            plan: plan.clone(),
+        };
+        let dvhop = DegradedBaseline {
+            inner: wsnloc_baselines::DvHop::default(),
+            plan,
+        };
+        let algos: Vec<&dyn Localizer> = vec![&bnl, &nls, &dvhop];
+        data.push(algos.into_iter().map(|a| mean_err(a, cfg)).collect());
+    }
+    Report::new(
+        "f15",
+        format!(
+            "mean error/R vs dead free-node fraction ({} trials)",
+            cfg.trials
+        ),
+        "dead fraction",
+        columns,
+        labels,
+        data,
+    )
+}
+
+/// Fault events observed during a single probe run per loss rate: every
+/// injected fault must surface through the observer stream.
+fn event_probe(cfg: &ExpConfig) -> Report {
+    let rates: Vec<f64> = if cfg.quick {
+        vec![0.3]
+    } else {
+        vec![0.1, 0.3, 0.5]
+    };
+    let columns = vec![
+        "messages dropped".to_string(),
+        "nodes died".to_string(),
+        "stale deliveries".to_string(),
+    ];
+    let (net, _) = standard_scenario().build_trial(0);
+    let mut labels = Vec::new();
+    let mut data = Vec::new();
+    for &rate in &rates {
+        labels.push(format!("{:.0}%", rate * 100.0));
+        let plan = FaultPlan::iid_loss(FAULT_SEED, rate)
+            .with_stale_prob(0.05)
+            .with_deaths(DeathModel::Random {
+                fraction: 0.1,
+                at_iteration: 1,
+            });
+        let loc = bnl_with_plan(cfg, plan).with_tolerance(0.0);
+        let obs = TraceObserver::new();
+        let _ = loc.localize_with_observer(&net, 0, &obs);
+        let run = obs.last_run();
+        let events = run.map(|r| r.events).unwrap_or_default();
+        let mut dropped = 0u64;
+        let mut died = 0u64;
+        let mut stale = 0u64;
+        for e in &events {
+            match e {
+                wsnloc::obs::ObsEvent::MessageDropped { count, .. } => dropped += count,
+                wsnloc::obs::ObsEvent::NodeDied { .. } => died += 1,
+                wsnloc::obs::ObsEvent::StaleMessageUsed { count, .. } => stale += count,
+                _ => {}
+            }
+        }
+        data.push(vec![dropped as f64, died as f64, stale as f64]);
+    }
+    Report::new(
+        "f15",
+        "fault events seen by the observer (single probe run)".to_string(),
+        "loss rate",
+        columns,
+        labels,
+        data,
+    )
+}
+
+/// Runs the fault-tolerance sweeps.
+pub fn run(cfg: &ExpConfig) -> Vec<Report> {
+    vec![loss_sweep(cfg), death_sweep(cfg), event_probe(cfg)]
+}

@@ -17,9 +17,10 @@ fn curve(
     trials: u64,
 ) -> Vec<f64> {
     let mut per_iter: Vec<Vec<f64>> = vec![Vec::new(); iterations];
-    let mut fixed = localizer.clone();
-    fixed.bp.max_iterations = iterations;
-    fixed.bp.tolerance = 0.0; // force the full trajectory
+    let fixed = localizer
+        .clone()
+        .with_max_iterations(iterations)
+        .with_tolerance(0.0); // force the full trajectory
     for t in 0..trials {
         let (net, truth) = scenario.build_trial(t);
         let _ = fixed.localize_observed(&net, t, |iter, estimates| {

@@ -10,6 +10,7 @@ pub mod f11_backends;
 pub mod f12_nlos;
 pub mod f13_schedule;
 pub mod f14_tracking;
+pub mod f15_faults;
 pub mod f1_anchor_fraction;
 pub mod f2_noise;
 pub mod f3_connectivity;
@@ -99,7 +100,7 @@ pub fn sweep_roster(cfg: &ExpConfig) -> Vec<Box<dyn Localizer>> {
 pub fn ids() -> Vec<&'static str> {
     vec![
         "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
-        "f13", "f14",
+        "f13", "f14", "f15",
     ]
 }
 
@@ -122,6 +123,7 @@ pub fn by_id(id: &str, cfg: &ExpConfig) -> Option<Vec<Report>> {
         "f12" => f12_nlos::run(cfg),
         "f13" => f13_schedule::run(cfg),
         "f14" => f14_tracking::run(cfg),
+        "f15" => f15_faults::run(cfg),
         _ => return None,
     })
 }

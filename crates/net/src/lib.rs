@@ -31,12 +31,17 @@
 //!    parameters as learnable pre-knowledge).
 //! 8. **Scenario** ([`scenario`]) — a serializable description of an entire
 //!    simulation configuration (field, N, anchors, radio, noise, seed).
+//! 9. **Faults** ([`faults`]) — seeded communication-fault schedules
+//!    (message loss, node death, stale delivery, asymmetric links) consumed
+//!    by the BP transport seam and, in persistent-equivalent form, by
+//!    non-iterative baselines.
 
 #![warn(missing_docs)]
 
 pub mod accounting;
 pub mod anchors;
 pub mod deploy;
+pub mod faults;
 pub mod measure;
 pub mod mobility;
 pub mod network;
@@ -48,6 +53,7 @@ pub mod topology;
 
 pub use anchors::AnchorStrategy;
 pub use deploy::Deployment;
+pub use faults::{DeathModel, DropPolicy, FaultPlan, LossModel, NodeDeath};
 pub use measure::{Measurement, RangingModel};
 pub use network::{GroundTruth, Network, NodeId, NodeKind};
 pub use radio::RadioModel;

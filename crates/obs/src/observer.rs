@@ -145,6 +145,30 @@ pub enum ObsEvent {
         /// The pool-build error, stringified.
         error: String,
     },
+    /// One or more BP messages were lost to the fault transport this
+    /// iteration (aggregated per iteration to keep trace volume sane).
+    MessageDropped {
+        /// BP iteration (0-based) in which the drops occurred.
+        iteration: usize,
+        /// Number of directed-link messages lost this iteration.
+        count: u64,
+    },
+    /// A node died under the active fault plan: it stops transmitting
+    /// from this iteration on, but its neighbors keep localizing.
+    NodeDied {
+        /// BP iteration (0-based) at which the node fell silent.
+        iteration: usize,
+        /// The node that died.
+        node: usize,
+    },
+    /// One or more links delivered a stale (delayed, previously seen)
+    /// message this iteration instead of fresh content.
+    StaleMessageUsed {
+        /// BP iteration (0-based) in which the stale deliveries occurred.
+        iteration: usize,
+        /// Number of directed links that delivered stale content.
+        count: u64,
+    },
     /// A discrete Bayesian-network query ran.
     DiscreteQuery {
         /// `"enumeration"`, `"variable_elimination"`, or

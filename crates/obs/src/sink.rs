@@ -179,6 +179,18 @@ fn event_line(event: &ObsEvent) -> String {
             let _ = write!(s, ",\"requested\":{requested},\"error\":");
             push_json_str(&mut s, error);
         }
+        ObsEvent::MessageDropped { iteration, count } => {
+            push_json_str(&mut s, "message_dropped");
+            let _ = write!(s, ",\"iteration\":{iteration},\"count\":{count}");
+        }
+        ObsEvent::NodeDied { iteration, node } => {
+            push_json_str(&mut s, "node_died");
+            let _ = write!(s, ",\"iteration\":{iteration},\"node\":{node}");
+        }
+        ObsEvent::StaleMessageUsed { iteration, count } => {
+            push_json_str(&mut s, "stale_message_used");
+            let _ = write!(s, ",\"iteration\":{iteration},\"count\":{count}");
+        }
         ObsEvent::DiscreteQuery {
             method,
             variables,

@@ -179,6 +179,123 @@ fn duplicate_positions_network() {
     check_contract(&net);
 }
 
+fn faulted_world(seed: u64) -> (Network, wsnloc_net::GroundTruth) {
+    let s = Scenario {
+        name: "faulted".into(),
+        deployment: Deployment::planned_square_drop(500.0, 4, 40.0),
+        node_count: 48,
+        anchors: AnchorStrategy::Grid { count: 6 },
+        radio: RadioModel::UnitDisk { range: 140.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.08 },
+        seed,
+    };
+    s.build_trial(0)
+}
+
+fn bnl_backends() -> Vec<BnlLocalizer> {
+    vec![
+        BnlLocalizer::particle(80)
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(4)
+            .with_tolerance(1.0),
+        BnlLocalizer::grid(18)
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(4)
+            .with_tolerance(1.0),
+        BnlLocalizer::gaussian()
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(6)
+            .with_tolerance(1.0),
+    ]
+}
+
+#[test]
+fn fault_free_plan_is_bit_identical() {
+    // FaultPlan::none() must compile down to the exact fault-free code
+    // path — bit-identical estimates on every backend.
+    let (net, _) = faulted_world(21);
+    for loc in bnl_backends() {
+        let clean = loc.localize(&net, 7);
+        let planned = loc
+            .clone()
+            .with_fault_plan(FaultPlan::none())
+            .localize(&net, 7);
+        assert_eq!(clean.estimates, planned.estimates, "{}", loc.name());
+        assert_eq!(clean.uncertainty, planned.uncertainty, "{}", loc.name());
+    }
+}
+
+#[test]
+fn total_blackout_keeps_beliefs_finite() {
+    // Loss rate 1.0: every inter-node message of every iteration is
+    // dropped. Beliefs must stay normalized and finite — estimates fall
+    // back to the (prior × anchor) information each node holds locally.
+    let (net, _) = faulted_world(22);
+    let bounds = net.field_bounds();
+    for loc in bnl_backends() {
+        let r = loc
+            .clone()
+            .with_fault_plan(FaultPlan::iid_loss(3, 1.0))
+            .localize(&net, 0);
+        for id in net.unknowns() {
+            let est = r.estimates[id].expect("blackout estimate");
+            assert!(est.is_finite(), "{} non-finite under blackout", loc.name());
+            assert!(
+                est.x >= bounds.min.x - 1.0
+                    && est.x <= bounds.max.x + 1.0
+                    && est.y >= bounds.min.y - 1.0
+                    && est.y <= bounds.max.y + 1.0,
+                "{} estimate {est} left the field under blackout",
+                loc.name()
+            );
+            let spread = r.uncertainty[id].expect("blackout spread");
+            assert!(spread.is_finite() && spread >= 0.0, "{}", loc.name());
+        }
+    }
+}
+
+#[test]
+fn dead_anchor_network_still_localizes_in_field() {
+    // Kill an anchor and two free nodes before the first exchange: the
+    // surviving neighborhood keeps localizing and every estimate stays
+    // inside (a margin of) the deployment field.
+    let (net, _) = faulted_world(23);
+    let dead_anchor = net.anchors().next().expect("an anchor").0;
+    let mut dead_free = net.unknowns();
+    let deaths = vec![
+        wsnloc_net::NodeDeath {
+            node: dead_anchor,
+            at_iteration: 0,
+        },
+        wsnloc_net::NodeDeath {
+            node: dead_free.next().expect("a free node"),
+            at_iteration: 0,
+        },
+        wsnloc_net::NodeDeath {
+            node: dead_free.next().expect("a second free node"),
+            at_iteration: 2,
+        },
+    ];
+    let plan = FaultPlan::iid_loss(5, 0.2).with_deaths(DeathModel::Explicit(deaths));
+    let bounds = net.field_bounds();
+    let margin = 0.25 * bounds.width().max(bounds.height());
+    for loc in bnl_backends() {
+        let r = loc.clone().with_fault_plan(plan.clone()).localize(&net, 0);
+        for id in net.unknowns() {
+            let est = r.estimates[id].expect("estimate despite dead anchor");
+            assert!(est.is_finite(), "{}", loc.name());
+            assert!(
+                est.x >= bounds.min.x - margin
+                    && est.x <= bounds.max.x + margin
+                    && est.y >= bounds.min.y - margin
+                    && est.y <= bounds.max.y + margin,
+                "{} estimate {est} far outside the field with a dead anchor",
+                loc.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn nlos_saturated_network() {
     let s = Scenario {
