@@ -32,7 +32,53 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Parallel maps that ran inline (single-thread install or input below
+/// the chunking threshold).
+static INLINE_MAPS: AtomicU64 = AtomicU64::new(0);
+/// Parallel maps dispatched onto the worker pool.
+static POOL_BATCHES: AtomicU64 = AtomicU64::new(0);
+/// Chunk jobs pushed onto the shared queue, across all batches.
+static POOL_JOBS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide dispatch counters for the shim's worker pool.
+///
+/// Observability consumers snapshot this before and after a workload and
+/// diff the two — the counters only ever grow. Relaxed ordering: callers
+/// want totals, not happens-before edges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel maps that ran on the calling thread without queueing.
+    pub inline_maps: u64,
+    /// Parallel maps that fanned out to the worker pool.
+    pub batches: u64,
+    /// Chunk jobs queued across all pool batches.
+    pub jobs: u64,
+}
+
+impl PoolStats {
+    /// Counter-wise `self - earlier`, saturating at zero.
+    #[must_use]
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            inline_maps: self.inline_maps.saturating_sub(earlier.inline_maps),
+            batches: self.batches.saturating_sub(earlier.batches),
+            jobs: self.jobs.saturating_sub(earlier.jobs),
+        }
+    }
+}
+
+/// Snapshots the cumulative [`PoolStats`] counters.
+#[must_use]
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        inline_maps: INLINE_MAPS.load(Ordering::Relaxed),
+        batches: POOL_BATCHES.load(Ordering::Relaxed),
+        jobs: POOL_JOBS.load(Ordering::Relaxed),
+    }
+}
 
 /// Parallel-iterator entry points, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -234,10 +280,13 @@ where
     let threads = effective_threads().max(1);
     let n = items.len();
     if threads == 1 || n < 2 * MIN_CHUNK {
+        INLINE_MAPS.fetch_add(1, Ordering::Relaxed);
         return items.into_iter().map(f).collect();
     }
     let chunk = n.div_ceil(threads).max(MIN_CHUNK);
     let jobs = n.div_ceil(chunk);
+    POOL_BATCHES.fetch_add(1, Ordering::Relaxed);
+    POOL_JOBS.fetch_add(jobs as u64, Ordering::Relaxed);
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     let mut boxed: Vec<Option<T>> = items.into_iter().map(Some).collect();
@@ -576,6 +625,27 @@ mod tests {
         for (x, &got) in v.iter().enumerate() {
             assert_eq!(got, x as u64 + inner_sum);
         }
+    }
+
+    #[test]
+    fn pool_stats_count_dispatch_decisions() {
+        let before = pool_stats();
+        // Tiny input: runs inline regardless of thread count.
+        let _: Vec<u64> = (0..4u64).into_par_iter().map(|x| x).collect();
+        let mid = pool_stats().since(&before);
+        assert!(mid.inline_maps >= 1);
+        // Single-thread install: also inline, even for large inputs.
+        ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("shim pool build is infallible")
+            .install(|| {
+                let _: Vec<u64> = (0..512u64).into_par_iter().map(|x| x).collect();
+            });
+        let after = pool_stats().since(&before);
+        assert!(after.inline_maps >= 2);
+        // Counters are monotone.
+        assert!(after.batches >= mid.batches && after.jobs >= mid.jobs);
     }
 
     #[test]

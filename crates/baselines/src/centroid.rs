@@ -7,11 +7,11 @@
 //! Communication: each anchor broadcasts its position once
 //! (`messages = #anchors`, AnchorAnnounce-sized payloads).
 
-use std::time::Instant;
 use wsnloc::{LocalizationResult, Localizer};
 use wsnloc_geom::Vec2;
 use wsnloc_net::accounting::{CommStats, WireMessage};
 use wsnloc_net::Network;
+use wsnloc_obs::Stopwatch;
 
 /// Unweighted centroid of heard anchors.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,7 +35,7 @@ fn anchor_comm(network: &Network) -> CommStats {
 }
 
 fn run(network: &Network, weighted: bool) -> LocalizationResult {
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut result = LocalizationResult::empty(network.len());
     for (id, pos) in network.anchors() {
         result.estimates[id] = Some(pos);
@@ -62,7 +62,7 @@ fn run(network: &Network, weighted: bool) -> LocalizationResult {
     result.comm = anchor_comm(network);
     result.iterations = 1;
     result.converged = true;
-    result.elapsed_secs = start.elapsed().as_secs_f64();
+    result.elapsed_secs = start.elapsed_secs();
     result
 }
 

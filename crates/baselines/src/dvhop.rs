@@ -16,11 +16,11 @@
 //! Communication: each flood re-broadcasts once per node per anchor, so
 //! `messages ≈ 2 · #anchors · N` (announce + hop-size phases).
 
-use std::time::Instant;
 use wsnloc::{LocalizationResult, Localizer};
 use wsnloc_geom::Vec2;
 use wsnloc_net::accounting::{CommStats, WireMessage};
 use wsnloc_net::Network;
+use wsnloc_obs::Stopwatch;
 
 use crate::multilateration::Multilateration;
 
@@ -43,7 +43,7 @@ impl Localizer for DvHop {
     }
 
     fn localize(&self, network: &Network, _seed: u64) -> LocalizationResult {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let n = network.len();
         let mut result = LocalizationResult::empty(n);
         for (id, pos) in network.anchors() {
@@ -122,7 +122,7 @@ impl Localizer for DvHop {
         };
         result.iterations = 1;
         result.converged = true;
-        result.elapsed_secs = start.elapsed().as_secs_f64();
+        result.elapsed_secs = start.elapsed_secs();
         result
     }
 }

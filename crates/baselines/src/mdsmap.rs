@@ -21,11 +21,11 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::time::Instant;
 use wsnloc::{LocalizationResult, Localizer};
 use wsnloc_geom::{Matrix, Vec2};
 use wsnloc_net::accounting::CommStats;
 use wsnloc_net::Network;
+use wsnloc_obs::Stopwatch;
 
 use crate::procrustes::procrustes_align;
 
@@ -90,7 +90,7 @@ impl Localizer for MdsMap {
     }
 
     fn localize(&self, network: &Network, _seed: u64) -> LocalizationResult {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let n = network.len();
         let mut result = LocalizationResult::empty(n);
         for (id, pos) in network.anchors() {
@@ -180,7 +180,11 @@ impl Localizer for MdsMap {
     }
 }
 
-fn finish(mut result: LocalizationResult, network: &Network, start: Instant) -> LocalizationResult {
+fn finish(
+    mut result: LocalizationResult,
+    network: &Network,
+    start: Stopwatch,
+) -> LocalizationResult {
     // Centralized collection: every node reports its neighbor list once;
     // charge 8 bytes per incident measurement plus a header.
     let bytes: u64 = (0..network.len())
@@ -192,7 +196,7 @@ fn finish(mut result: LocalizationResult, network: &Network, start: Instant) -> 
     };
     result.iterations = 1;
     result.converged = true;
-    result.elapsed_secs = start.elapsed().as_secs_f64();
+    result.elapsed_secs = start.elapsed_secs();
     result
 }
 

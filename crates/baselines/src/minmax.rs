@@ -7,11 +7,11 @@
 //!
 //! Communication: one broadcast per anchor, as for centroid methods.
 
-use std::time::Instant;
 use wsnloc::{LocalizationResult, Localizer};
 use wsnloc_geom::Vec2;
 use wsnloc_net::accounting::{CommStats, WireMessage};
 use wsnloc_net::Network;
+use wsnloc_obs::Stopwatch;
 
 /// Bounding-box intersection localization.
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,7 +23,7 @@ impl Localizer for MinMax {
     }
 
     fn localize(&self, network: &Network, _seed: u64) -> LocalizationResult {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut result = LocalizationResult::empty(network.len());
         for (id, pos) in network.anchors() {
             result.estimates[id] = Some(pos);
@@ -64,7 +64,7 @@ impl Localizer for MinMax {
         };
         result.iterations = 1;
         result.converged = true;
-        result.elapsed_secs = start.elapsed().as_secs_f64();
+        result.elapsed_secs = start.elapsed_secs();
         result
     }
 }

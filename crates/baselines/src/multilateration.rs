@@ -17,11 +17,11 @@
 //! Communication: one broadcast per anchor, plus one per promoted
 //! pseudo-anchor per round in iterative mode.
 
-use std::time::Instant;
 use wsnloc::{LocalizationResult, Localizer};
 use wsnloc_geom::{Matrix, Vec2};
 use wsnloc_net::accounting::{CommStats, WireMessage};
 use wsnloc_net::Network;
+use wsnloc_obs::Stopwatch;
 
 /// Configurable multilateration baseline.
 #[derive(Debug, Clone, Copy)]
@@ -132,7 +132,7 @@ impl Localizer for Multilateration {
     }
 
     fn localize(&self, network: &Network, _seed: u64) -> LocalizationResult {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let n = network.len();
         let mut result = LocalizationResult::empty(n);
         // Reference set: position + "is pseudo" flag per node.
@@ -185,7 +185,7 @@ impl Localizer for Multilateration {
         };
         result.iterations = rounds;
         result.converged = true;
-        result.elapsed_secs = start.elapsed().as_secs_f64();
+        result.elapsed_secs = start.elapsed_secs();
         result
     }
 }

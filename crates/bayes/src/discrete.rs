@@ -19,8 +19,8 @@
 
 use crate::validate::{self, GraphAudit, ValidationError};
 use std::collections::HashMap;
-use std::time::Instant;
 use wsnloc_geom::rng::Xoshiro256pp;
+use wsnloc_obs::Stopwatch;
 use wsnloc_obs::{InferenceObserver, ObsEvent, SpanKind};
 
 /// Identifier of a variable within a [`BayesNet`].
@@ -290,14 +290,14 @@ impl BayesNet {
         evidence: &Evidence,
         obs: &dyn InferenceObserver,
     ) -> Vec<f64> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let result = self.query_enumeration(query, evidence);
         obs.on_event(&ObsEvent::DiscreteQuery {
             method: "enumeration",
             variables: self.len(),
             samples: 0,
         });
-        obs.on_span(SpanKind::MessagePassing, start.elapsed().as_secs_f64());
+        obs.on_span(SpanKind::MessagePassing, start.elapsed_secs());
         result
     }
 
@@ -310,14 +310,14 @@ impl BayesNet {
         evidence: &Evidence,
         obs: &dyn InferenceObserver,
     ) -> Vec<f64> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let result = self.query_variable_elimination(query, evidence);
         obs.on_event(&ObsEvent::DiscreteQuery {
             method: "variable_elimination",
             variables: self.len(),
             samples: 0,
         });
-        obs.on_span(SpanKind::MessagePassing, start.elapsed().as_secs_f64());
+        obs.on_span(SpanKind::MessagePassing, start.elapsed_secs());
         result
     }
 
@@ -332,14 +332,14 @@ impl BayesNet {
         rng: &mut Xoshiro256pp,
         obs: &dyn InferenceObserver,
     ) -> Vec<f64> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let result = self.query_likelihood_weighting(query, evidence, samples, rng);
         obs.on_event(&ObsEvent::DiscreteQuery {
             method: "likelihood_weighting",
             variables: self.len(),
             samples: samples as u64,
         });
-        obs.on_span(SpanKind::MessagePassing, start.elapsed().as_secs_f64());
+        obs.on_span(SpanKind::MessagePassing, start.elapsed_secs());
         result
     }
 

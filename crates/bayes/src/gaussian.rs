@@ -26,9 +26,9 @@ use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::transport::{Transport, TransportSession, Verdict};
 use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
-use std::time::Instant;
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::Vec2;
+use wsnloc_obs::Stopwatch;
 use wsnloc_obs::{
     CommStats, InferenceObserver, IterationRecord, NodeResidual, RunInfo, RunSummary, SpanKind,
 };
@@ -155,7 +155,7 @@ impl BpEngine for GaussianBp {
         let wants_residuals = obs.wants_residuals();
         // Fault state for this run; `None` on the perfect transport.
         let mut session = transport.session::<GaussianBelief>(mrf, opts.seed);
-        let init_start = Instant::now();
+        let init_start = Stopwatch::start();
 
         // Prior moments per node: sample the unary to estimate mean/variance
         // (exact for Gaussian priors up to Monte-Carlo noise; a reasonable
@@ -190,7 +190,7 @@ impl BpEngine for GaussianBp {
                 b
             })
             .collect();
-        obs.on_span(SpanKind::PriorInit, init_start.elapsed().as_secs_f64());
+        obs.on_span(SpanKind::PriorInit, init_start.elapsed_secs());
 
         let free = free_ids;
         let mut outcome = BpOutcome {
@@ -199,9 +199,9 @@ impl BpEngine for GaussianBp {
             messages: 0,
         };
 
-        let loop_start = Instant::now();
+        let loop_start = Stopwatch::start();
         for iter in 0..opts.max_iterations {
-            let iter_start = Instant::now();
+            let iter_start = Stopwatch::start();
             // Roll this iteration's link fates and deaths (sequentially,
             // before the parallel updates); dead nodes stop updating.
             if let Some(s) = session.as_mut() {
@@ -280,7 +280,7 @@ impl BpEngine for GaussianBp {
                 },
                 damping: opts.damping,
                 schedule: opts.schedule.name(),
-                secs: iter_start.elapsed().as_secs_f64(),
+                secs: iter_start.elapsed_secs(),
                 residuals,
             });
             if max_shift < opts.tolerance {
@@ -288,7 +288,7 @@ impl BpEngine for GaussianBp {
                 break;
             }
         }
-        obs.on_span(SpanKind::MessagePassing, loop_start.elapsed().as_secs_f64());
+        obs.on_span(SpanKind::MessagePassing, loop_start.elapsed_secs());
         obs.on_run_end(&RunSummary {
             iterations: outcome.iterations,
             converged: outcome.converged,

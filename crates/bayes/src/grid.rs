@@ -17,8 +17,8 @@ use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 use wsnloc_geom::{Aabb, Matrix, Vec2};
+use wsnloc_obs::Stopwatch;
 use wsnloc_obs::{
     CommStats, InferenceObserver, IterationRecord, NodeResidual, ObsEvent, RunInfo, RunSummary,
     SpanKind,
@@ -588,7 +588,7 @@ impl BpEngine for GridBp {
         // With the message cache on, the iteration-invariant pieces
         // (priors, anchor messages, kernel stencils) are built here, once,
         // and the initial beliefs are shared with the cache.
-        let init_start = Instant::now();
+        let init_start = Stopwatch::start();
         let cache = if self.cache_messages {
             Some(MessageCache::build(mrf, domain, self.nx, self.ny, obs))
         } else {
@@ -603,7 +603,7 @@ impl BpEngine for GridBp {
                 })
                 .collect(),
         };
-        obs.on_span(SpanKind::PriorInit, init_start.elapsed().as_secs_f64());
+        obs.on_span(SpanKind::PriorInit, init_start.elapsed_secs());
 
         let mut outcome = BpOutcome {
             iterations: 0,
@@ -611,9 +611,9 @@ impl BpEngine for GridBp {
             messages: 0,
         };
 
-        let loop_start = Instant::now();
+        let loop_start = Stopwatch::start();
         for iter in 0..opts.max_iterations {
-            let iter_start = Instant::now();
+            let iter_start = Stopwatch::start();
             // Roll this iteration's link fates and deaths (sequentially,
             // before the parallel updates); dead nodes stop updating.
             if let Some(s) = session.as_mut() {
@@ -767,7 +767,7 @@ impl BpEngine for GridBp {
                 },
                 damping: opts.damping,
                 schedule: opts.schedule.name(),
-                secs: iter_start.elapsed().as_secs_f64(),
+                secs: iter_start.elapsed_secs(),
                 residuals,
             });
             if max_shift < opts.tolerance {
@@ -775,7 +775,7 @@ impl BpEngine for GridBp {
                 break;
             }
         }
-        obs.on_span(SpanKind::MessagePassing, loop_start.elapsed().as_secs_f64());
+        obs.on_span(SpanKind::MessagePassing, loop_start.elapsed_secs());
         obs.on_run_end(&RunSummary {
             iterations: outcome.iterations,
             converged: outcome.converged,

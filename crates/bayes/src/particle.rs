@@ -24,10 +24,10 @@ use crate::potential::PairPotential;
 use crate::transport::{Transport, TransportSession, Verdict};
 use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
-use std::time::Instant;
 use wsnloc_geom::kde::silverman_bandwidth;
 use wsnloc_geom::rng::{systematic_resample, Xoshiro256pp};
 use wsnloc_geom::{Matrix, Vec2};
+use wsnloc_obs::Stopwatch;
 use wsnloc_obs::{
     CommStats, InferenceObserver, IterationRecord, NodeResidual, RunInfo, RunSummary, SpanKind,
 };
@@ -280,7 +280,7 @@ impl BpEngine for ParticleBp {
         let mut session = transport.session::<ParticleBelief>(mrf, opts.seed);
 
         // Initialize: fixed vars are points, free vars sample their prior.
-        let init_start = Instant::now();
+        let init_start = Stopwatch::start();
         let mut beliefs: Vec<ParticleBelief> = (0..mrf.len())
             .map(|u| match mrf.fixed(u) {
                 Some(p) => ParticleBelief::point(p),
@@ -293,7 +293,7 @@ impl BpEngine for ParticleBp {
                 }
             })
             .collect();
-        obs.on_span(SpanKind::PriorInit, init_start.elapsed().as_secs_f64());
+        obs.on_span(SpanKind::PriorInit, init_start.elapsed_secs());
 
         let mut outcome = BpOutcome {
             iterations: 0,
@@ -301,9 +301,9 @@ impl BpEngine for ParticleBp {
             messages: 0,
         };
 
-        let loop_start = Instant::now();
+        let loop_start = Stopwatch::start();
         for iter in 0..opts.max_iterations {
-            let iter_start = Instant::now();
+            let iter_start = Stopwatch::start();
             // Roll this iteration's link fates and deaths (sequentially,
             // before the parallel updates); dead nodes stop updating.
             if let Some(s) = session.as_mut() {
@@ -379,7 +379,7 @@ impl BpEngine for ParticleBp {
                 },
                 damping: opts.damping,
                 schedule: opts.schedule.name(),
-                secs: iter_start.elapsed().as_secs_f64(),
+                secs: iter_start.elapsed_secs(),
                 residuals,
             });
             if max_shift < opts.tolerance {
@@ -387,7 +387,7 @@ impl BpEngine for ParticleBp {
                 break;
             }
         }
-        obs.on_span(SpanKind::MessagePassing, loop_start.elapsed().as_secs_f64());
+        obs.on_span(SpanKind::MessagePassing, loop_start.elapsed_secs());
         obs.on_run_end(&RunSummary {
             iterations: outcome.iterations,
             converged: outcome.converged,

@@ -16,7 +16,6 @@ use crate::model::{build_mrf, ModelOptions};
 use crate::prior::PriorModel;
 use crate::result::{LocalizationResult, Localizer};
 use std::sync::Arc;
-use std::time::Instant;
 use wsnloc_bayes::{
     Belief, BpEngine, BpOptions, GaussianBp, GridBp, ParticleBp, Schedule, SpatialMrf, Transport,
     ValidationError,
@@ -24,6 +23,7 @@ use wsnloc_bayes::{
 use wsnloc_geom::Vec2;
 use wsnloc_net::accounting::{CommStats, WireMessage};
 use wsnloc_net::{FaultPlan, Network};
+use wsnloc_obs::Stopwatch;
 use wsnloc_obs::{InferenceObserver, NullObserver, ObsEvent, SpanKind};
 
 /// Belief representation used by inference.
@@ -337,8 +337,8 @@ impl BnlLocalizer {
     where
         F: FnMut(usize, &[Option<Vec2>]),
     {
-        let start = Instant::now();
-        let build_start = Instant::now();
+        let start = Stopwatch::start();
+        let build_start = Stopwatch::start();
         let mrf = build_mrf(
             network,
             &self.prior,
@@ -347,7 +347,7 @@ impl BnlLocalizer {
                 seed: seed ^ 0x9E37_79B9,
             },
         );
-        let build_secs = build_start.elapsed().as_secs_f64();
+        let build_secs = build_start.elapsed_secs();
         let mut opts = self.bp;
         opts.seed = seed;
         opts.message_bytes = self.broadcast_message_bytes();
@@ -404,7 +404,7 @@ impl BnlLocalizer {
             ),
         }
 
-        result.elapsed_secs = start.elapsed().as_secs_f64();
+        result.elapsed_secs = start.elapsed_secs();
         result
     }
 
@@ -445,7 +445,7 @@ impl BnlLocalizer {
                 backend: engine.backend_name(),
             });
         }
-        let extract_start = Instant::now();
+        let extract_start = Stopwatch::start();
         for id in mrf.free_vars() {
             let b = &out.beliefs[id];
             let estimate = if want_map {
@@ -456,10 +456,7 @@ impl BnlLocalizer {
             result.estimates[id] = Some(estimate);
             result.uncertainty[id] = Some(b.spread());
         }
-        obs.on_span(
-            SpanKind::EstimateExtract,
-            extract_start.elapsed().as_secs_f64(),
-        );
+        obs.on_span(SpanKind::EstimateExtract, extract_start.elapsed_secs());
         result.iterations = out.bp.iterations;
         result.converged = out.bp.converged;
         result.comm = self.comm_stats(out.bp.messages);

@@ -10,12 +10,12 @@
 //! reports the speedup.
 
 use std::sync::Arc;
-use std::time::Instant;
 use wsnloc_bayes::{
     BpEngine, BpOptions, GaussianBp, GaussianRange, GridBp, ParticleBp, SpatialMrf, UniformBoxUnary,
 };
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::{Aabb, Vec2};
+use wsnloc_obs::{parse_json, JsonValue, Stopwatch};
 
 /// Grid resolution of the pinned grid scenario (the workspace default).
 pub const GRID_RESOLUTION: usize = 30;
@@ -26,9 +26,9 @@ pub const GRID_ITERATIONS: usize = 3;
 fn median_secs(samples: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..samples.max(1))
         .map(|_| {
-            let start = Instant::now();
+            let start = Stopwatch::start();
             f();
-            start.elapsed().as_secs_f64()
+            start.elapsed_secs()
         })
         .collect();
     times.sort_by(f64::total_cmp);
@@ -189,6 +189,70 @@ pub fn particle_bench_json(samples: usize) -> String {
     )
 }
 
+/// Compares a freshly-measured bench JSON against the pinned one.
+///
+/// Timing fields (keys ending in `secs`) regress only when the fresh
+/// number exceeds `pinned * tolerance` — getting faster is never a
+/// failure, and neither is a derived `speedup` shift. Every other field
+/// (scenario shape, iteration and message counts) must match exactly:
+/// a changed message count means the bench is no longer measuring the
+/// same work, which would make the timing comparison meaningless.
+///
+/// Returns the list of regressions, empty on success.
+pub fn check_bench_json(pinned: &str, fresh: &str, tolerance: f64) -> Result<Vec<String>, String> {
+    let pinned = parse_json(pinned).map_err(|e| format!("pinned JSON: {e}"))?;
+    let fresh = parse_json(fresh).map_err(|e| format!("fresh JSON: {e}"))?;
+    let mut failures = Vec::new();
+    check_value("", &pinned, &fresh, tolerance, &mut failures);
+    Ok(failures)
+}
+
+fn check_value(
+    path: &str,
+    pinned: &JsonValue,
+    fresh: &JsonValue,
+    tolerance: f64,
+    failures: &mut Vec<String>,
+) {
+    if path.ends_with("speedup") {
+        return; // derived from the timings; checked via its inputs
+    }
+    if path.ends_with("secs") {
+        match (pinned.as_f64(), fresh.as_f64()) {
+            (Some(want), Some(got)) if got.is_finite() && want.is_finite() => {
+                let budget = want * tolerance;
+                if got > budget {
+                    failures.push(format!(
+                        "{path}: {got:.6}s exceeds pinned {want:.6}s x tolerance {tolerance} = {budget:.6}s"
+                    ));
+                }
+            }
+            _ => failures.push(format!("{path}: expected a finite timing in both files")),
+        }
+        return;
+    }
+    match pinned {
+        JsonValue::Obj(fields) => {
+            for (key, want) in fields {
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match fresh.get(key) {
+                    Some(got) => check_value(&child, want, got, tolerance, failures),
+                    None => failures.push(format!("{child}: missing from fresh output")),
+                }
+            }
+        }
+        want => {
+            if want != fresh {
+                failures.push(format!("{path}: pinned {want:?} != fresh {fresh:?}"));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +270,51 @@ mod tests {
         let json = particle_bench_json(1);
         assert!(json.contains("\"particle\""));
         assert!(json.contains("\"gaussian\""));
+    }
+
+    #[test]
+    fn check_passes_identical_json_and_faster_timings() {
+        let pinned = "{\"bench\":\"b\",\"messages\":10,\"cached_secs\":0.010}";
+        assert_eq!(
+            check_bench_json(pinned, pinned, 1.0).expect("parses"),
+            Vec::<String>::new()
+        );
+        // Faster than pinned is fine even at tolerance 1.0.
+        let fresh = "{\"bench\":\"b\",\"messages\":10,\"cached_secs\":0.002}";
+        assert!(check_bench_json(pinned, fresh, 1.0)
+            .expect("parses")
+            .is_empty());
+    }
+
+    #[test]
+    fn check_flags_slow_timings_within_tolerance_only() {
+        let pinned = "{\"secs\":0.010}";
+        let slower = "{\"secs\":0.018}";
+        assert!(check_bench_json(pinned, slower, 2.0)
+            .expect("parses")
+            .is_empty());
+        let failures = check_bench_json(pinned, slower, 1.5).expect("parses");
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("exceeds pinned"));
+    }
+
+    #[test]
+    fn check_flags_shape_drift_and_missing_fields() {
+        let pinned = "{\"messages\":10,\"nested\":{\"secs\":0.01,\"speedup\":9.0}}";
+        let drifted = "{\"messages\":12,\"nested\":{\"speedup\":1.0}}";
+        let failures = check_bench_json(pinned, drifted, 10.0).expect("parses");
+        // messages mismatch + nested.secs missing; speedup is never checked.
+        assert_eq!(failures.len(), 2);
+        assert!(failures.iter().any(|f| f.starts_with("messages:")));
+        assert!(failures.iter().any(|f| f.contains("nested.secs")));
+        assert!(check_bench_json("{", "{}", 1.0).is_err());
+    }
+
+    #[test]
+    fn fresh_bench_passes_against_its_own_output() {
+        let json = grid_bench_json(1);
+        // Same measurement vs itself with slack for noise: no failures.
+        let failures = check_bench_json(&json, &json, 1.0).expect("parses");
+        assert!(failures.is_empty(), "self-check failed: {failures:?}");
     }
 }

@@ -9,8 +9,10 @@
 //! repro all --out results/  # also write one CSV per report
 //! repro trace               # record BP telemetry to trace.jsonl
 //! repro trace --backend grid --out traces/  # per-backend trace file
+//! repro analyze trace.jsonl # replay a trace into convergence/fault/flame tables
 //! repro bench               # write BENCH_grid.json / BENCH_particle.json
 //! repro bench --out perf/   # same, into a directory
+//! repro bench --check --tolerance 2.0  # compare fresh numbers to the pinned JSONs
 //! ```
 //!
 //! The `trace` subcommand runs the standard scenario with a recording
@@ -18,15 +20,20 @@
 //! README's "Observability" section) with one JSON record per line —
 //! `run_start`, per-iteration residual/communication records, timing
 //! spans, structured events, and `run_end`.
+//!
+//! The `analyze` subcommand replays a recorded trace through the *same*
+//! `MetricsObserver`/`SpanProfiler` pair a live run uses, so its tables
+//! match the live snapshot exactly (the fold is order-insensitive and
+//! the JSONL encoder round-trips every finite float).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use wsnloc::prelude::*;
-use wsnloc_eval::{evaluate, experiments, EvalConfig, ExpConfig, Parallelism};
+use wsnloc_eval::{bench, evaluate, experiments, EvalConfig, ExpConfig, Parallelism};
 use wsnloc_obs::write_jsonl;
 
 fn usage() -> &'static str {
-    "usage: repro <list | trace | bench | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--out DIR]"
+    "usage: repro <list | trace | analyze [FILE] | bench [--check] | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--tolerance R] [--out DIR]"
 }
 
 fn main() -> ExitCode {
@@ -39,10 +46,21 @@ fn main() -> ExitCode {
     let mut cfg = ExpConfig::default();
     let mut out_dir: Option<PathBuf> = None;
     let mut backend = String::from("particle");
+    let mut check = false;
+    let mut tolerance = 1.5f64;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--check" => check = true,
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t > 0.0)
+                    .unwrap_or_else(|| die("--tolerance needs a positive ratio"));
+            }
             "--quick" => {
                 cfg = ExpConfig {
                     quick: true,
@@ -99,8 +117,15 @@ fn main() -> ExitCode {
         return run_trace(&cfg, &backend, out_dir.as_deref());
     }
 
+    if let Some(pos) = ids.iter().position(|id| id == "analyze") {
+        let path = ids
+            .get(pos + 1)
+            .map_or_else(|| PathBuf::from("trace.jsonl"), PathBuf::from);
+        return run_analyze(&path, out_dir.as_deref());
+    }
+
     if ids.iter().any(|id| id == "bench") {
-        return run_bench(out_dir.as_deref());
+        return run_bench(out_dir.as_deref(), check, tolerance);
     }
 
     let selected: Vec<String> = if ids.iter().any(|id| id == "all") {
@@ -175,12 +200,14 @@ fn run_trace(cfg: &ExpConfig, backend: &str, out_dir: Option<&std::path::Path>) 
         cfg.trials,
         cfg.iterations
     );
-    // Sequential trials keep the trace file in trial order.
+    // Sequential trials keep the trace file in trial order; metrics ride
+    // along so the live snapshot can be compared against `repro analyze`.
     let outcome = evaluate(
         &algo,
         &scenario,
         &EvalConfig::trials(cfg.trials)
             .with_traces()
+            .with_metrics()
             .with_parallelism(Parallelism::Sequential),
     );
     let Some(agg) = outcome.trace.as_ref() else {
@@ -197,14 +224,18 @@ fn run_trace(cfg: &ExpConfig, backend: &str, out_dir: Option<&std::path::Path>) 
             }
         }
     }
-    let lines =
-        match JsonlSink::create(&path).and_then(|mut sink| write_jsonl(&agg.traces, &mut sink)) {
-            Ok(lines) => lines,
-            Err(e) => {
-                eprintln!("failed to write {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
+    let lines = match JsonlSink::create(&path).and_then(|mut sink| {
+        let lines = write_jsonl(&agg.traces, &mut sink)?;
+        // Surface buffered-write errors now instead of losing them in drop.
+        sink.finish()?;
+        Ok(lines)
+    }) {
+        Ok(lines) => lines,
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!(
         "wrote {} lines ({} runs) to {}",
         lines,
@@ -222,29 +253,110 @@ fn run_trace(cfg: &ExpConfig, backend: &str, out_dir: Option<&std::path::Path>) 
             agg.mean_residual_curve.len() - 1
         );
     }
+    if let Some(metrics) = outcome.metrics.as_ref() {
+        println!("{}", metrics.overall.convergence_table());
+    }
     ExitCode::SUCCESS
 }
 
-/// Runs the pinned perf benches and writes `BENCH_grid.json` /
+/// Replays a recorded `trace.jsonl` through the live analytics path and
+/// prints convergence, fault, and span tables. With `--out DIR`, also
+/// writes the OpenMetrics rendering to `DIR/metrics.prom`.
+fn run_analyze(path: &std::path::Path, out_dir: Option<&std::path::Path>) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("failed to read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = match wsnloc_obs::analyze_str(&text) {
+        Ok(analysis) => analysis,
+        Err(e) => {
+            eprintln!("failed to parse {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "analyzed {}: {} runs ({} incomplete)",
+        path.display(),
+        analysis.runs,
+        analysis.incomplete_runs
+    );
+    println!("{}", analysis.snapshot.convergence_table());
+    println!("{}", analysis.snapshot.fault_table());
+    println!("{}", analysis.flame_table);
+    if let Some(dir) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed to create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let prom = dir.join("metrics.prom");
+        if let Err(e) = std::fs::write(&prom, &analysis.openmetrics) {
+            eprintln!("failed to write {}: {e}", prom.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", prom.display());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the pinned perf benches. Default mode writes `BENCH_grid.json` /
 /// `BENCH_particle.json` (into `out_dir` when given) so the perf
-/// trajectory is tracked in version control.
-fn run_bench(out_dir: Option<&std::path::Path>) -> ExitCode {
+/// trajectory is tracked in version control; `--check` mode instead
+/// compares the fresh numbers against the pinned files (read from
+/// `out_dir` or the working directory) and exits nonzero on regression.
+fn run_bench(out_dir: Option<&std::path::Path>, check: bool, tolerance: f64) -> ExitCode {
     const SAMPLES: usize = 5;
     let dir = out_dir.unwrap_or_else(|| std::path::Path::new("."));
-    if !dir.as_os_str().is_empty() {
+    if !check && !dir.as_os_str().is_empty() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("failed to create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
     eprintln!("grid message-passing bench: cached vs reference path ({SAMPLES} samples each)...");
-    let grid = wsnloc_eval::bench::grid_bench_json(SAMPLES);
+    let grid = bench::grid_bench_json(SAMPLES);
     eprintln!("particle/gaussian bench ({SAMPLES} samples each)...");
-    let particle = wsnloc_eval::bench::particle_bench_json(SAMPLES);
-    for (name, contents) in [
+    let particle = bench::particle_bench_json(SAMPLES);
+    let outputs = [
         ("BENCH_grid.json", &grid),
         ("BENCH_particle.json", &particle),
-    ] {
+    ];
+    if check {
+        let mut regressed = false;
+        for (name, fresh) in outputs {
+            let path = dir.join(name);
+            let pinned = match std::fs::read_to_string(&path) {
+                Ok(pinned) => pinned,
+                Err(e) => {
+                    eprintln!("failed to read pinned {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match bench::check_bench_json(&pinned, fresh, tolerance) {
+                Ok(failures) if failures.is_empty() => {
+                    eprintln!("{name}: ok (tolerance {tolerance})");
+                }
+                Ok(failures) => {
+                    regressed = true;
+                    for failure in failures {
+                        eprintln!("{name}: REGRESSION {failure}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return if regressed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    for (name, contents) in outputs {
         let path = dir.join(name);
         if let Err(e) = std::fs::write(&path, contents) {
             eprintln!("failed to write {}: {e}", path.display());

@@ -22,7 +22,8 @@ pub mod table;
 
 pub use metrics::ErrorSummary;
 pub use runner::{
-    evaluate, run_trial, run_trial_observed, EvalConfig, EvalOutcome, Parallelism, TraceAggregate,
+    evaluate, run_trial, run_trial_observed, EvalConfig, EvalOutcome, MetricsAggregate,
+    Parallelism, TraceAggregate,
 };
 pub use table::Report;
 

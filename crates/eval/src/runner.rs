@@ -12,11 +12,15 @@
 //! the aggregate independent of scheduling.
 
 use rayon::prelude::*;
+use rayon::PoolStats;
 use std::sync::Arc;
 use wsnloc::Localizer;
 use wsnloc_geom::stats::{self, Welford};
 use wsnloc_net::Scenario;
-use wsnloc_obs::{FanoutObserver, InferenceObserver, ObsEvent, RunTrace, TraceObserver};
+use wsnloc_obs::{
+    FanoutObserver, InferenceObserver, MetricsObserver, MetricsSnapshot, ObsEvent, RunTrace,
+    TraceObserver,
+};
 
 use crate::metrics::{localized_errors, ErrorSummary};
 
@@ -56,6 +60,12 @@ pub struct EvalConfig {
     /// [`EvalOutcome::trace`]. Residual computation makes traced runs
     /// slower; leave off for timing-sensitive evaluations.
     pub collect_traces: bool,
+    /// Fold a [`MetricsSnapshot`] per trial (one private
+    /// [`MetricsObserver`] each) and aggregate them into
+    /// [`EvalOutcome::metrics`], alongside the worker-pool dispatch
+    /// counters for the whole evaluation. Enables residual computation,
+    /// so metered runs are slower than bare ones.
+    pub collect_metrics: bool,
 }
 
 impl std::fmt::Debug for EvalConfig {
@@ -66,6 +76,7 @@ impl std::fmt::Debug for EvalConfig {
             .field("observer", &self.observer.as_ref().map(|_| "<dyn>"))
             .field("parallelism", &self.parallelism)
             .field("collect_traces", &self.collect_traces)
+            .field("collect_metrics", &self.collect_metrics)
             .finish()
     }
 }
@@ -103,6 +114,29 @@ impl EvalConfig {
         self.collect_traces = true;
         self
     }
+
+    /// Enables per-trial metric folding into [`EvalOutcome::metrics`].
+    pub fn with_metrics(mut self) -> Self {
+        self.collect_metrics = true;
+        self
+    }
+}
+
+/// Metric snapshots folded across an evaluation (present on
+/// [`EvalOutcome::metrics`] when [`EvalConfig::collect_metrics`] was
+/// set).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsAggregate {
+    /// One snapshot per trial, in trial order, each folded by a private
+    /// [`MetricsObserver`] so parallel trials cannot interleave.
+    pub per_trial: Vec<MetricsSnapshot>,
+    /// The trial snapshots merged ([`MetricsSnapshot::merge`]) — equal to
+    /// what a single observer watching the trials back-to-back would have
+    /// folded.
+    pub overall: MetricsSnapshot,
+    /// Worker-pool dispatch counters accumulated during this evaluation
+    /// (process-wide: concurrent evaluations share the counters).
+    pub pool: PoolStats,
 }
 
 /// Cross-trial aggregation of recorded [`RunTrace`]s (present on
@@ -195,6 +229,10 @@ pub struct EvalOutcome {
     /// evaluation ran with [`EvalConfig::collect_traces`].
     #[cfg_attr(feature = "serde", serde(skip))]
     pub trace: Option<TraceAggregate>,
+    /// Per-trial metric snapshots and their merge; `Some` only when the
+    /// evaluation ran with [`EvalConfig::collect_metrics`].
+    #[cfg_attr(feature = "serde", serde(skip))]
+    pub metrics: Option<MetricsAggregate>,
 }
 
 impl EvalOutcome {
@@ -270,27 +308,40 @@ fn trial_record(
 /// Evaluates `algo` over Monte-Carlo realizations of `scenario` as
 /// configured by `config`.
 pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, config: &EvalConfig) -> EvalOutcome {
-    let run_one = |t: u64| -> (TrialRecord, Vec<RunTrace>) {
+    type TrialOutput = (TrialRecord, Vec<RunTrace>, Option<MetricsSnapshot>);
+    let run_one = |t: u64| -> TrialOutput {
         let seed = config.seed_base + t;
-        let external = config.observer.as_deref();
-        if config.collect_traces {
-            let tracer = TraceObserver::new();
-            let record = match external {
-                Some(ext) => {
-                    let fan = FanoutObserver::new(vec![&tracer, ext]);
-                    run_trial_observed(algo, scenario, seed, &fan)
-                }
-                None => run_trial_observed(algo, scenario, seed, &tracer),
-            };
-            (record, tracer.take_runs())
-        } else if let Some(ext) = external {
-            (run_trial_observed(algo, scenario, seed, ext), Vec::new())
-        } else {
-            (run_trial(algo, scenario, seed), Vec::new())
+        let tracer = config.collect_traces.then(TraceObserver::new);
+        let meter = config.collect_metrics.then(MetricsObserver::new);
+        // Per-trial recorders first, shared external observer last; with
+        // no recorders configured the bare (zero-cost) path is taken.
+        let mut hooks: Vec<&dyn InferenceObserver> = Vec::new();
+        if let Some(tracer) = tracer.as_ref() {
+            hooks.push(tracer);
         }
+        if let Some(meter) = meter.as_ref() {
+            hooks.push(meter);
+        }
+        if let Some(ext) = config.observer.as_deref() {
+            hooks.push(ext);
+        }
+        let record = match hooks.as_slice() {
+            [] => run_trial(algo, scenario, seed),
+            [only] => run_trial_observed(algo, scenario, seed, *only),
+            _ => {
+                let fan = FanoutObserver::new(hooks);
+                run_trial_observed(algo, scenario, seed, &fan)
+            }
+        };
+        (
+            record,
+            tracer.map(|t| t.take_runs()).unwrap_or_default(),
+            meter.as_ref().map(MetricsObserver::snapshot),
+        )
     };
 
-    let results: Vec<(TrialRecord, Vec<RunTrace>)> = match config.parallelism {
+    let pool_before = config.collect_metrics.then(rayon::pool_stats);
+    let results: Vec<TrialOutput> = match config.parallelism {
         Parallelism::Sequential => (0..config.trials).map(run_one).collect(),
         Parallelism::Ambient => (0..config.trials).into_par_iter().map(run_one).collect(),
         Parallelism::Threads(n) => match rayon::ThreadPoolBuilder::new().num_threads(n).build() {
@@ -321,7 +372,8 @@ pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, config: &EvalConfig) 
     let mut conv_w = Welford::new();
     let mut per_trial_means = Vec::new();
     let mut traces = Vec::new();
-    for (r, trial_traces) in results {
+    let mut snapshots = Vec::new();
+    for (r, trial_traces, trial_metrics) in results {
         if let Some(m) = stats::mean(&r.errors) {
             mean_w.push(m);
             per_trial_means.push(m);
@@ -334,7 +386,13 @@ pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, config: &EvalConfig) 
         iter_w.push(r.iterations as f64);
         conv_w.push(if r.converged { 1.0 } else { 0.0 });
         traces.extend(trial_traces);
+        snapshots.extend(trial_metrics);
     }
+    let metrics = pool_before.map(|before| MetricsAggregate {
+        overall: MetricsSnapshot::merge(&snapshots),
+        per_trial: snapshots,
+        pool: rayon::pool_stats().since(&before),
+    });
 
     EvalOutcome {
         algo: algo.name(),
@@ -352,6 +410,7 @@ pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, config: &EvalConfig) 
         trace: config
             .collect_traces
             .then(|| TraceAggregate::from_traces(traces)),
+        metrics,
     }
 }
 
@@ -463,6 +522,36 @@ mod tests {
             &EvalConfig::trials(2).with_traces(),
         );
         assert_eq!(base.trace.expect("aggregate present").runs, 0);
+    }
+
+    #[test]
+    fn collect_metrics_aggregates_per_trial_snapshots() {
+        let algo = BnlLocalizer::particle(60)
+            .with_max_iterations(3)
+            .with_tolerance(0.0);
+        let outcome = evaluate(
+            &algo,
+            &tiny_scenario(),
+            &EvalConfig::trials(3).with_metrics(),
+        );
+        let agg = outcome.metrics.as_ref().expect("metrics collected");
+        assert_eq!(agg.per_trial.len(), 3);
+        assert_eq!(agg.overall.runs, 3);
+        assert_eq!(agg.overall.iterations, 9);
+        assert!(!agg.overall.per_iteration.is_empty());
+        assert!(agg.overall.per_iteration[0].residual_q50.is_some());
+        // The merge equals the sum of the parts.
+        let msgs: u64 = agg.per_trial.iter().map(|s| s.messages).sum();
+        assert_eq!(agg.overall.messages, msgs);
+        // Metrics and traces compose; without either flag both stay None.
+        let both = evaluate(
+            &algo,
+            &tiny_scenario(),
+            &EvalConfig::trials(1).with_metrics().with_traces(),
+        );
+        assert!(both.metrics.is_some() && both.trace.is_some());
+        let bare = evaluate(&algo, &tiny_scenario(), &EvalConfig::trials(1));
+        assert!(bare.metrics.is_none() && bare.trace.is_none());
     }
 
     #[test]

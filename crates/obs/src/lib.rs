@@ -24,7 +24,26 @@
 //!   Lines (`trace.jsonl`), one self-describing record per line, with a
 //!   hand-rolled encoder because the build environment has no serde. The
 //!   schema is documented in the README ("Observability") and on
-//!   [`write_jsonl`].
+//!   [`write_jsonl`]. The sink flushes on drop so panicked runs still
+//!   leave parseable lines behind.
+//!
+//! On top of the raw event stream sits the aggregation tier:
+//!
+//! - [`MetricsRegistry`] — sharded [`Counter`]s, [`Gauge`]s, and
+//!   log-bucket [`Histogram`]s with an OpenMetrics text exporter
+//!   ([`MetricsRegistry::render_openmetrics`]).
+//! - [`MetricsObserver`] — folds every [`ObsEvent`], iteration record,
+//!   and span into a [`MetricsSnapshot`] (per-iteration residual
+//!   quantiles, comm totals, fault counts) while mirroring the totals
+//!   into a registry. The fold is *order-insensitive*, which is what
+//!   makes trace replay equal the live run.
+//! - [`SpanProfiler`] — hierarchical wall-clock attribution
+//!   (self/child split, flame-table rendering) over the fixed BP span
+//!   hierarchy; [`Stopwatch`] is the one sanctioned timing primitive
+//!   outside this crate (enforced by `cargo xtask lint`).
+//! - [`analyze_str`] / [`replay`] — parse `trace.jsonl` back into
+//!   [`RunTrace`]s and feed them through the same observers a live run
+//!   uses, so `repro analyze` and in-process metrics share one path.
 //!
 //! Residual conventions (what "belief residual" means per backend):
 //! grid beliefs report the L1 distance between successive cell-mass
@@ -37,15 +56,25 @@
 #![warn(missing_docs)]
 
 pub mod accounting;
+pub mod fold;
+pub mod metrics;
 pub mod observer;
+pub mod profiler;
+pub mod replay;
 pub mod sink;
 pub mod trace;
 
 pub use wsnloc_net::accounting::CommStats;
 
+pub use fold::{EventCounts, IterationMetrics, MetricsObserver, MetricsSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use observer::{
     FanoutObserver, InferenceObserver, IterationRecord, NodeResidual, NullObserver, ObsEvent,
     RunInfo, RunSummary, SpanKind,
+};
+pub use profiler::{SpanGuard, SpanProfiler, Stopwatch};
+pub use replay::{
+    analyze_str, parse_json, parse_jsonl, replay, JsonValue, ReplayError, TraceAnalysis,
 };
 pub use sink::{write_jsonl, JsonlSink, TraceSink, VecSink};
 pub use trace::{RunTrace, TraceObserver};

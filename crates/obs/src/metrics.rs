@@ -1,0 +1,472 @@
+//! The metrics registry: sharded counters, gauges, log-scale
+//! histograms, and a Prometheus/OpenMetrics text exporter.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Lock-free hot path.** Handles ([`Counter`], [`Gauge`],
+//!    [`Histogram`]) are `Arc`s over atomics; `inc`/`set`/`observe`
+//!    never take a lock. The registry's mutex guards *registration and
+//!    rendering only* — both cold.
+//! 2. **Shard contended counters.** A [`Counter`] spreads increments
+//!    over cache-line-padded shards selected by a per-thread index, so
+//!    rayon workers bumping the same counter do not ping-pong a cache
+//!    line. Reads sum the shards (monotonic, but not a snapshot —
+//!    exactly the Prometheus counter contract).
+//! 3. **Fixed buckets.** Histograms use immutable log-scale bucket
+//!    bounds chosen at registration ([`Histogram::log_bounds`] builds a
+//!    1–2–5 series), so `observe` is a bounded linear scan with no
+//!    allocation.
+//!
+//! [`MetricsRegistry::render_openmetrics`] serializes every registered
+//! metric in the OpenMetrics text format (`# TYPE`/`# HELP` headers,
+//! `_total` counter samples, `_bucket{le="…"}`/`_sum`/`_count`
+//! histogram series), ready to be scraped or written to a `.prom` file.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Shards per counter. Small powers of two beyond the worker count buy
+/// nothing; 16 covers every pool the eval harness builds.
+const SHARDS: usize = 16;
+
+/// A cache-line-padded atomic cell, so adjacent shards never share a
+/// line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+/// Monotonically increasing index handing each thread its own shard.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's counter shard, assigned on first use.
+    static THREAD_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| *s)
+}
+
+/// A monotonically increasing counter, sharded across cache lines.
+/// Cloning shares the underlying cells.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cells: Arc<[PaddedCell; SHARDS]>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter {
+            cells: Arc::new(std::array::from_fn(|_| PaddedCell::default())),
+        }
+    }
+}
+
+impl Counter {
+    /// A fresh counter at zero (detached from any registry).
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. Lock-free: one relaxed `fetch_add` on this thread's
+    /// shard.
+    pub fn add(&self, n: u64) {
+        self.cells[thread_shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value: the sum over shards.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A last-write-wins gauge holding one `f64`. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// A fresh gauge at zero (detached from any registry).
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Stores `v`.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The last stored value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram state: immutable bounds, atomic per-bucket counts.
+#[derive(Debug)]
+struct HistogramCore {
+    /// Upper bucket bounds, strictly increasing. An implicit `+Inf`
+    /// bucket follows the last bound.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, as f64 bits (CAS-updated).
+    sum_bits: AtomicU64,
+    total: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Observation is lock-free: a bounded scan
+/// of the immutable bounds plus relaxed atomic updates. Cloning shares
+/// the buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// A histogram with the given upper bucket bounds (sorted
+    /// ascending; an `+Inf` overflow bucket is implicit).
+    #[must_use]
+    pub fn with_bounds(mut bounds: Vec<f64>) -> Self {
+        bounds.retain(|b| b.is_finite());
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds,
+                counts,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                total: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Log-scale 1–2–5 bounds covering `[lo, hi]` (both positive), e.g.
+    /// `log_bounds(1e-6, 10.0)` → `1e-6, 2e-6, 5e-6, …, 5.0, 10.0`.
+    /// The canonical shape for latency-style metrics.
+    #[must_use]
+    pub fn log_bounds(lo: f64, hi: f64) -> Vec<f64> {
+        let lo = lo.abs().max(1e-12);
+        let hi = hi.abs().max(lo);
+        let mut bounds = Vec::new();
+        let mut decade = 10f64.powi(lo.log10().floor() as i32);
+        while decade <= hi * 1.0000001 {
+            for mult in [1.0, 2.0, 5.0] {
+                let b = decade * mult;
+                if b >= lo * 0.9999999 && b <= hi * 1.0000001 {
+                    bounds.push(b);
+                }
+            }
+            decade *= 10.0;
+        }
+        bounds
+    }
+
+    /// Records one observation. Non-finite values count toward the
+    /// overflow bucket and are excluded from the sum.
+    pub fn observe(&self, v: f64) {
+        let c = &self.core;
+        let idx = if v.is_finite() {
+            c.bounds
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(c.bounds.len())
+        } else {
+            c.bounds.len()
+        };
+        c.counts[idx].fetch_add(1, Ordering::Relaxed);
+        c.total.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            // CAS loop: f64 add has no native atomic; contention here is
+            // bounded by the same sharding callers use for counters.
+            let mut cur = c.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + v).to_bits();
+                match c.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.core.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of finite observed values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative counts per bound (OpenMetrics `le` semantics),
+    /// including the trailing `+Inf` bucket.
+    #[must_use]
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.core.bounds.len() + 1);
+        for (i, count) in self.core.counts.iter().enumerate() {
+            acc += count.load(Ordering::Relaxed);
+            let bound = self.core.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+/// A registered metric: name, help text, and the shared handle.
+#[derive(Debug, Clone)]
+enum MetricKind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct MetricEntry {
+    name: String,
+    help: String,
+    kind: MetricKind,
+}
+
+/// A named collection of metrics with an OpenMetrics text exporter.
+///
+/// Registration returns shared handles; re-registering a name returns
+/// the existing handle (a kind mismatch returns a fresh *detached*
+/// handle rather than corrupting the registered one — callers that hit
+/// this path keep working, their samples just stay private).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<MetricEntry>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn locked(&self) -> MutexGuard<'_, Vec<MetricEntry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The counter registered as `name`, creating it if new.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut entries = self.locked();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            if let MetricKind::Counter(c) = &e.kind {
+                return c.clone();
+            }
+            return Counter::new();
+        }
+        let c = Counter::new();
+        entries.push(MetricEntry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            kind: MetricKind::Counter(c.clone()),
+        });
+        c
+    }
+
+    /// The gauge registered as `name`, creating it if new.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut entries = self.locked();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            if let MetricKind::Gauge(g) = &e.kind {
+                return g.clone();
+            }
+            return Gauge::new();
+        }
+        let g = Gauge::new();
+        entries.push(MetricEntry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            kind: MetricKind::Gauge(g.clone()),
+        });
+        g
+    }
+
+    /// The histogram registered as `name`, creating it with `bounds` if
+    /// new (existing histograms keep their original bounds).
+    pub fn histogram(&self, name: &str, help: &str, bounds: Vec<f64>) -> Histogram {
+        let mut entries = self.locked();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            if let MetricKind::Histogram(h) = &e.kind {
+                return h.clone();
+            }
+            return Histogram::with_bounds(bounds);
+        }
+        let h = Histogram::with_bounds(bounds);
+        entries.push(MetricEntry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            kind: MetricKind::Histogram(h.clone()),
+        });
+        h
+    }
+
+    /// Serializes every registered metric in the OpenMetrics text
+    /// format, metrics sorted by name, terminated by `# EOF`.
+    #[must_use]
+    pub fn render_openmetrics(&self) -> String {
+        use std::fmt::Write as _;
+        let entries = self.locked();
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| entries[a].name.cmp(&entries[b].name));
+        let mut out = String::new();
+        for idx in order {
+            let e = &entries[idx];
+            if !e.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+            }
+            match &e.kind {
+                MetricKind::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    let _ = writeln!(out, "{}_total {}", e.name, c.value());
+                }
+                MetricKind::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    let _ = writeln!(out, "{} {}", e.name, g.value());
+                }
+                MetricKind::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                    for (bound, count) in h.cumulative_buckets() {
+                        if bound.is_finite() {
+                            let _ = writeln!(out, "{}_bucket{{le=\"{bound}\"}} {count}", e.name);
+                        } else {
+                            let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {count}", e.name);
+                        }
+                    }
+                    let _ = writeln!(out, "{}_sum {}", e.name, h.sum());
+                    let _ = writeln!(out, "{}_count {}", e.name, h.count());
+                }
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("wsnloc_test_ops", "ops");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+        // Re-registration returns the same cells.
+        let again = reg.counter("wsnloc_test_ops", "ops");
+        again.add(5);
+        assert_eq!(c.value(), 4005);
+    }
+
+    #[test]
+    fn gauge_holds_last_write() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.set(-1.25);
+        assert!((g.value() + 1.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn histogram_buckets_cumulate() {
+        let h = Histogram::with_bounds(vec![0.001, 0.01, 0.1]);
+        h.observe(0.0005);
+        h.observe(0.005);
+        h.observe(0.05);
+        h.observe(5.0); // overflow
+        h.observe(f64::NAN); // overflow, excluded from sum
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 5.0555).abs() < 1e-12);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0].1, 1);
+        assert_eq!(buckets[1].1, 2);
+        assert_eq!(buckets[2].1, 3);
+        assert_eq!(buckets[3].1, 5);
+        assert!(buckets[3].0.is_infinite());
+    }
+
+    #[test]
+    fn log_bounds_build_a_125_series() {
+        let b = Histogram::log_bounds(1e-3, 1.0);
+        assert_eq!(b.len(), 10);
+        assert!((b[0] - 1e-3).abs() < 1e-15);
+        assert!((b[1] - 2e-3).abs() < 1e-15);
+        assert!((b[2] - 5e-3).abs() < 1e-15);
+        assert!((b[9] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn openmetrics_rendering_is_sorted_and_terminated() {
+        let reg = MetricsRegistry::new();
+        reg.counter("wsnloc_zeta", "last").inc();
+        reg.gauge("wsnloc_alpha", "first").set(3.0);
+        let h = reg.histogram("wsnloc_mid", "middle", vec![0.1, 1.0]);
+        h.observe(0.5);
+        let text = reg.render_openmetrics();
+        let alpha = text.find("wsnloc_alpha").expect("gauge rendered");
+        let mid = text.find("wsnloc_mid").expect("histogram rendered");
+        let zeta = text.find("wsnloc_zeta").expect("counter rendered");
+        assert!(alpha < mid && mid < zeta, "sorted by name");
+        assert!(text.contains("# TYPE wsnloc_zeta counter"));
+        assert!(text.contains("wsnloc_zeta_total 1"));
+        assert!(text.contains("wsnloc_mid_bucket{le=\"1\"} 1"));
+        assert!(text.contains("wsnloc_mid_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("wsnloc_mid_sum 0.5"));
+        assert!(text.contains("wsnloc_mid_count 1"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_handle() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("wsnloc_dual", "counter");
+        c.inc();
+        // Asking for the same name as a gauge must not corrupt the
+        // registered counter.
+        let g = reg.gauge("wsnloc_dual", "gauge");
+        g.set(9.0);
+        assert!(reg.render_openmetrics().contains("wsnloc_dual_total 1"));
+    }
+}

@@ -43,40 +43,65 @@ pub trait TraceSink {
 }
 
 /// A [`TraceSink`] writing newline-delimited JSON to any [`Write`].
+///
+/// The sink flushes on [`finish`](JsonlSink::finish) and again on drop,
+/// so a run that panics mid-trace still leaves every completed line on
+/// disk — each line is written whole, so the worst a crash can truncate
+/// is the line in flight, never earlier records.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
-    out: W,
+    // `None` only after `finish` has consumed the writer.
+    out: Option<W>,
 }
 
 impl JsonlSink<BufWriter<File>> {
     /// Creates (truncating) `path` and returns a buffered file sink.
     pub fn create(path: &Path) -> io::Result<Self> {
         Ok(JsonlSink {
-            out: BufWriter::new(File::create(path)?),
+            out: Some(BufWriter::new(File::create(path)?)),
         })
     }
+}
+
+fn finished_err() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "sink already finished")
 }
 
 impl<W: Write> JsonlSink<W> {
     /// Wraps an arbitrary writer.
     pub fn new(out: W) -> Self {
-        JsonlSink { out }
+        JsonlSink { out: Some(out) }
     }
 
-    /// Unwraps the sink, returning the inner writer.
-    pub fn into_inner(self) -> W {
-        self.out
+    /// Flushes and consumes the sink, surfacing any buffered I/O error
+    /// that a plain drop would have to swallow.
+    pub fn finish(mut self) -> io::Result<()> {
+        match self.out.take() {
+            Some(mut out) => out.flush(),
+            None => Ok(()),
+        }
     }
 }
 
 impl<W: Write> TraceSink for JsonlSink<W> {
     fn write_line(&mut self, line: &str) -> io::Result<()> {
-        self.out.write_all(line.as_bytes())?;
-        self.out.write_all(b"\n")
+        let out = self.out.as_mut().ok_or_else(finished_err)?;
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        self.out.flush()
+        self.out.as_mut().ok_or_else(finished_err)?.flush()
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        // Best effort: unwinding out of a panicked run must not lose
+        // buffered lines; errors here have nowhere to go.
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -404,11 +429,51 @@ mod tests {
 
     #[test]
     fn jsonl_sink_writes_newlines() {
-        let mut sink = JsonlSink::new(Vec::new());
-        sink.write_line("{\"a\":1}").unwrap();
-        sink.write_line("{\"b\":2}").unwrap();
-        let buf = sink.into_inner();
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            sink.write_line("{\"a\":1}").unwrap();
+            sink.write_line("{\"b\":2}").unwrap();
+            sink.finish().unwrap();
+        }
         assert_eq!(String::from_utf8(buf).unwrap(), "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn drop_flushes_buffered_lines() {
+        use std::sync::{Arc, Mutex};
+
+        /// A writer that buffers internally and only publishes on flush,
+        /// mimicking `BufWriter<File>`.
+        struct FlushVisible {
+            pending: Vec<u8>,
+            published: Arc<Mutex<Vec<u8>>>,
+        }
+        impl Write for FlushVisible {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.pending.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                if let Ok(mut published) = self.published.lock() {
+                    published.extend_from_slice(&self.pending);
+                }
+                self.pending.clear();
+                Ok(())
+            }
+        }
+
+        let published = Arc::new(Mutex::new(Vec::new()));
+        {
+            let mut sink = JsonlSink::new(FlushVisible {
+                pending: Vec::new(),
+                published: Arc::clone(&published),
+            });
+            sink.write_line("{\"a\":1}").unwrap();
+            // No explicit flush/finish: the drop must publish the line.
+        }
+        let seen = published.lock().unwrap().clone();
+        assert_eq!(String::from_utf8(seen).unwrap(), "{\"a\":1}\n");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use std::sync::Mutex;
 use wsnloc::prelude::*;
 use wsnloc_eval::{evaluate, EvalConfig, Parallelism};
-use wsnloc_obs::{accounting, write_jsonl, ObsEvent, VecSink};
+use wsnloc_obs::{accounting, analyze_str, parse_jsonl, write_jsonl, ObsEvent, VecSink};
 
 /// The accounting counters are process-wide, so every test that runs
 /// inference (bumping them) or asserts on them takes this lock first.
@@ -157,6 +157,86 @@ fn map_fallback_is_a_structured_event() {
         "gaussian backend must report the MAP->MMSE fallback, got {:?}",
         run.events
     );
+}
+
+#[test]
+fn analyze_reproduces_the_live_metrics_snapshot() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // The acceptance invariant of the aggregation tier: replaying a
+    // recorded trace through `analyze` yields *exactly* the snapshot the
+    // live MetricsObserver folded — same per-iteration residual
+    // quantiles, comm totals, and fault-event counts. This holds because
+    // the JSONL encoder round-trips every finite f64 (shortest-repr
+    // printing + correctly-rounded parsing) and the fold is insensitive
+    // to the record reordering serialization introduces.
+    let outcome = evaluate(
+        &algo(),
+        &scenario(),
+        &EvalConfig::trials(2)
+            .with_traces()
+            .with_metrics()
+            .with_parallelism(Parallelism::Sequential),
+    );
+    let live = outcome.metrics.expect("with_metrics collects snapshots");
+    let agg = outcome.trace.expect("with_traces collects traces");
+
+    let mut sink = VecSink::new();
+    write_jsonl(&agg.traces, &mut sink).expect("in-memory sink");
+    let analysis = analyze_str(&sink.lines.join("\n")).expect("recorded trace parses");
+
+    assert_eq!(analysis.runs as u64, agg.runs);
+    assert_eq!(analysis.incomplete_runs, 0);
+    assert_eq!(
+        analysis.snapshot, live.overall,
+        "replayed snapshot must equal the live fold"
+    );
+    // The rendered artifacts come from the same data.
+    assert!(analysis.flame_table.contains("message_passing"));
+    assert!(analysis.flame_table.contains("iteration"));
+    assert!(analysis.openmetrics.contains("wsnloc_bp_runs_total 2"));
+    assert!(analysis.openmetrics.contains(&format!(
+        "wsnloc_bp_messages_total {}",
+        live.overall.messages
+    )));
+}
+
+#[test]
+fn panicked_run_still_yields_parseable_jsonl() {
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // Record a real run, then serialize it through a buffered file sink
+    // on a thread that panics before any explicit flush: the sink's Drop
+    // must push every completed line to disk, and the parser must accept
+    // the result (the interrupted run simply has no run_end record).
+    let (net, _) = scenario().build_trial(3);
+    let tracer = TraceObserver::new();
+    let _ = algo().localize_with_observer(&net, 7, &tracer);
+    let mut runs = tracer.take_runs();
+    assert_eq!(runs.len(), 1);
+    runs[0].summary = None; // the crash happened before the verdict
+
+    let dir = std::env::temp_dir().join(format!("wsnloc-poison-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.jsonl");
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut sink = JsonlSink::create(&path).expect("create trace file");
+        write_jsonl(&runs, &mut sink).expect("serialize");
+        panic!("simulated mid-run crash before finish()");
+    }));
+    assert!(panicked.is_err(), "the writer thread must have panicked");
+
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    let parsed = parse_jsonl(&text).expect("every flushed line parses");
+    assert_eq!(parsed, runs, "nothing written before the panic was lost");
+    assert!(parsed[0].summary.is_none());
+    let analysis = analyze_str(&text).expect("interrupted traces analyze");
+    assert_eq!(analysis.incomplete_runs, 1);
+    assert_eq!(analysis.snapshot.runs, 1);
+    assert_eq!(analysis.snapshot.converged_runs, 0);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

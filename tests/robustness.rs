@@ -297,6 +297,126 @@ fn dead_anchor_network_still_localizes_in_field() {
 }
 
 #[test]
+fn decay_to_prior_with_unit_decay_matches_hold_last() {
+    // DecayToPrior scales held-content information by decay^age; with
+    // decay = 1.0 the scale factor is exactly 1.0 at every age, and the
+    // policy consumes no randomness, so the run must be bit-identical to
+    // HoldLast on every backend — the gaussian arm included.
+    let (net, _) = faulted_world(24);
+    let lossy = FaultPlan::iid_loss(11, 0.4);
+    for loc in bnl_backends() {
+        let hold = loc
+            .clone()
+            .with_fault_plan(lossy.clone().with_drop_policy(DropPolicy::HoldLast))
+            .localize(&net, 3);
+        let unit = loc
+            .clone()
+            .with_fault_plan(
+                lossy
+                    .clone()
+                    .with_drop_policy(DropPolicy::DecayToPrior { decay: 1.0 }),
+            )
+            .localize(&net, 3);
+        assert_eq!(hold.estimates, unit.estimates, "{}", loc.name());
+        assert_eq!(hold.uncertainty, unit.uncertainty, "{}", loc.name());
+    }
+}
+
+#[test]
+fn gaussian_decay_to_prior_scales_held_information() {
+    // With decay < 1, every iteration a link survives on held content
+    // weakens that content's information contribution, so the gaussian
+    // posterior must move away from the HoldLast one — while staying
+    // finite and inside sane uncertainty bounds.
+    let (net, _) = faulted_world(25);
+    let gaussian = || {
+        BnlLocalizer::gaussian()
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(6)
+            .with_tolerance(0.0)
+    };
+    let lossy = FaultPlan::iid_loss(13, 0.5);
+    let hold = gaussian()
+        .with_fault_plan(lossy.clone().with_drop_policy(DropPolicy::HoldLast))
+        .localize(&net, 0);
+    let decayed = gaussian()
+        .with_fault_plan(
+            lossy
+                .clone()
+                .with_drop_policy(DropPolicy::DecayToPrior { decay: 0.05 }),
+        )
+        .localize(&net, 0);
+    assert_ne!(
+        hold.estimates, decayed.estimates,
+        "alpha-scaling never engaged: no link aged under 50% loss?"
+    );
+    for id in net.unknowns() {
+        let est = decayed.estimates[id].expect("estimate under decay policy");
+        assert!(est.is_finite(), "non-finite gaussian estimate under decay");
+        let spread = decayed.uncertainty[id].expect("spread under decay policy");
+        assert!(spread.is_finite() && spread >= 0.0);
+    }
+}
+
+#[test]
+fn stale_event_counts_match_transport_deliveries_exactly() {
+    // stale_prob = 1.0 with no losses makes every delivery after a
+    // link's first a stale duplicate. The first iteration delivers fresh
+    // on every link, so the transport performs exactly
+    // active_links x (iterations - 1) stale deliveries, where a directed
+    // link is active iff its receiver is a free node — and the
+    // StaleMessageUsed events must account for every single one.
+    let (net, _) = faulted_world(26);
+    let active_links: u64 = net
+        .measurements()
+        .iter()
+        .map(|m| u64::from(!net.is_anchor(m.a)) + u64::from(!net.is_anchor(m.b)))
+        .sum();
+    assert!(active_links > 0, "degenerate fixture");
+    let plan = FaultPlan::none().with_stale_prob(1.0);
+    for loc in [
+        BnlLocalizer::particle(80).with_max_iterations(4),
+        BnlLocalizer::grid(18).with_max_iterations(4),
+        BnlLocalizer::gaussian().with_max_iterations(4),
+    ] {
+        let loc = loc
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_tolerance(0.0) // run all iterations: no early convergence
+            .with_fault_plan(plan.clone());
+        let tracer = TraceObserver::new();
+        let result = loc.localize_with_observer(&net, 5, &tracer);
+        let run = tracer.last_run().expect("one recorded run");
+        let mut per_iteration = vec![0u64; result.iterations];
+        for event in &run.events {
+            if let wsnloc::obs::ObsEvent::StaleMessageUsed { iteration, count } = event {
+                per_iteration[*iteration] += count;
+            }
+        }
+        assert_eq!(
+            per_iteration[0],
+            0,
+            "{}: first delivery is fresh",
+            loc.name()
+        );
+        for (iter, &count) in per_iteration.iter().enumerate().skip(1) {
+            assert_eq!(
+                count,
+                active_links,
+                "{}: iteration {iter} must report one stale delivery per active link",
+                loc.name()
+            );
+        }
+        let total: u64 = per_iteration.iter().sum();
+        assert_eq!(
+            total,
+            active_links * (result.iterations as u64 - 1),
+            "{}",
+            loc.name()
+        );
+    }
+}
+
+#[test]
 fn nlos_saturated_network() {
     let s = Scenario {
         name: "all-nlos".into(),

@@ -15,6 +15,7 @@
 //! | `no-panic`          | library crates   | `panic!` / `todo!` / `unimplemented!` / `unreachable!` |
 //! | `unseeded-rng`      | library + eval   | `thread_rng` / `from_entropy` (nondeterminism)    |
 //! | `no-println`        | library + eval   | `println!` / `eprintln!` outside `src/bin/`       |
+//! | `no-instant`        | all but `wsnloc-obs` | raw `Instant::now` (timing must flow through `Stopwatch`) |
 //! | `partial-cmp-unwrap`| library crates   | `partial_cmp(..).unwrap()` (panics on NaN)        |
 //! | `float-eq`          | library crates   | `==` / `!=` against a float literal               |
 //! | `float-index-cast`  | `wsnloc-bayes`   | float→integer `as` casts in inference hot loops   |
@@ -172,6 +173,12 @@ fn scan_file(rel: &str, text: &str, rng_only: bool, allow: &Allowlist, out: &mut
         // substring also covers `eprintln!`.
         if !in_bin && code.contains("println!") {
             emit("no-println");
+        }
+        // All wall-clock timing flows through `wsnloc_obs::Stopwatch` (and
+        // the span profiler built on it); raw `Instant::now` anywhere else
+        // bypasses the one timing primitive observability can account for.
+        if !rel.starts_with("crates/obs/") && code.contains("Instant::now") {
+            emit("no-instant");
         }
         if rng_only {
             continue;
@@ -369,6 +376,36 @@ mod tests {\n\
         // ...but binary targets are CLI surfaces and exempt.
         out.clear();
         scan_file("crates/eval/src/bin/repro.rs", text, true, &allow, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn instant_rule_exempts_only_the_obs_crate() {
+        let allow = Allowlist::default();
+        let text = "fn f() { let t = std::time::Instant::now(); }\n";
+        // Library crates: flagged.
+        let mut out = Vec::new();
+        scan_file("crates/bayes/src/x.rs", text, false, &allow, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "no-instant");
+        // Harness roots (even rng-only scope): flagged.
+        out.clear();
+        scan_file("crates/bench/src/x.rs", text, true, &allow, &mut out);
+        assert_eq!(out.len(), 1);
+        // The obs crate owns the timing primitive: exempt.
+        out.clear();
+        scan_file("crates/obs/src/profiler.rs", text, false, &allow, &mut out);
+        assert!(out.is_empty());
+        // Doc comments mentioning Instant (e.g. "Instantiates") don't trip
+        // the rule; neither does the word inside a code comment.
+        out.clear();
+        scan_file(
+            "crates/bayes/src/y.rs",
+            "/// Instantiates per-run state.\nfn g() {} // Instant::now\n",
+            false,
+            &allow,
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
