@@ -35,6 +35,16 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
+/// Schedule-permutation hook for the determinism audit. `0` means off
+/// (production default); any other value stores `seed + 1` and makes
+/// every pool batch push its chunk jobs in a seeded pseudo-random order
+/// instead of input order. Because output slots are fixed per chunk and
+/// the batch latch drains before `map_ordered` returns, a permuted
+/// schedule MUST produce bit-identical results — the audit harness
+/// (`cargo xtask audit-determinism`) flips this hook to prove that no
+/// caller smuggles order-dependence through the pool.
+static SCHEDULE_PERMUTATION: AtomicU64 = AtomicU64::new(0);
+
 /// Parallel maps that ran inline (single-thread install or input below
 /// the chunking threshold).
 static INLINE_MAPS: AtomicU64 = AtomicU64::new(0);
@@ -78,6 +88,27 @@ pub fn pool_stats() -> PoolStats {
         batches: POOL_BATCHES.load(Ordering::Relaxed),
         jobs: POOL_JOBS.load(Ordering::Relaxed),
     }
+}
+
+/// Installs (or clears, with `None`) a deterministic permutation of the
+/// order chunk jobs are pushed onto the shared queue.
+///
+/// Diagnostic hook for the schedule-perturbation audit: chunk *contents*
+/// and output slots are untouched, only queue order changes, so results
+/// must stay bit-identical. Process-global; not for production use.
+pub fn set_schedule_permutation(seed: Option<u64>) {
+    let encoded = seed.map_or(0, |s| s.wrapping_add(1));
+    SCHEDULE_PERMUTATION.store(encoded, Ordering::Relaxed);
+}
+
+/// `splitmix64` step — the standard 64-bit mixer; tiny, seedable, and
+/// dependency-free, which is all the permutation hook needs.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Parallel-iterator entry points, mirroring `rayon::prelude`.
@@ -227,6 +258,8 @@ fn worker_loop(shared: &PoolShared) {
 /// finished running; [`run_batch`] enforces this by draining the batch
 /// latch to zero before returning — and before re-raising any job panic.
 unsafe fn erase_lifetime<'a>(job: Box<dyn FnOnce() + Send + 'a>) -> Job {
+    // SAFETY: lifetime extension only — same layout, and the caller
+    // upholds the contract above (the borrowed frame outlives the job).
     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(job) }
 }
 
@@ -285,7 +318,7 @@ where
     }
     let chunk = n.div_ceil(threads).max(MIN_CHUNK);
     let jobs = n.div_ceil(chunk);
-    POOL_BATCHES.fetch_add(1, Ordering::Relaxed);
+    let batch_idx = POOL_BATCHES.fetch_add(1, Ordering::Relaxed);
     POOL_JOBS.fetch_add(jobs as u64, Ordering::Relaxed);
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
@@ -295,7 +328,7 @@ where
     {
         let mut item_tail: &mut [Option<T>] = &mut boxed;
         let mut out_tail: &mut [Option<R>] = &mut out;
-        let mut queue = lock(&shared.queue);
+        let mut pending: Vec<Job> = Vec::with_capacity(jobs);
         while !item_tail.is_empty() {
             let take = chunk.min(item_tail.len());
             let (item_head, rest_items) = item_tail.split_at_mut(take);
@@ -318,8 +351,22 @@ where
             // SAFETY: `run_batch` below drains the batch latch before
             // this frame (and the borrows of `f`/`boxed`/`out`/`batch`)
             // can go away, by return or by unwind.
-            queue.push_back(unsafe { erase_lifetime(job) });
+            pending.push(unsafe { erase_lifetime(job) });
         }
+        // Audit hook: under a schedule permutation, enqueue the chunk
+        // jobs in a seeded shuffle (per batch) instead of input order.
+        // Each job still writes only its own output slots, so this must
+        // not change results — the determinism audit relies on it.
+        let perm = SCHEDULE_PERMUTATION.load(Ordering::Relaxed);
+        if perm != 0 && pending.len() > 1 {
+            let mut state = (perm - 1) ^ batch_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for i in (1..pending.len()).rev() {
+                let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+                pending.swap(i, j);
+            }
+        }
+        let mut queue = lock(&shared.queue);
+        queue.extend(pending);
         drop(queue);
         shared.job_ready.notify_all();
     }
@@ -532,6 +579,29 @@ mod tests {
         assert_eq!(inside, 1);
         // Outside install the machine default is back.
         assert!(super::effective_threads() >= 1);
+    }
+
+    #[test]
+    fn schedule_permutation_does_not_change_results() {
+        let run = || -> Vec<u64> {
+            ThreadPoolBuilder::new()
+                .num_threads(4)
+                .build()
+                .expect("shim pool build is infallible")
+                .install(|| {
+                    (0..2000u64)
+                        .into_par_iter()
+                        .map(|x| x.wrapping_mul(0x9E37_79B9).rotate_left(7))
+                        .collect()
+                })
+        };
+        let baseline = run();
+        for seed in [0u64, 1, 42, u64::MAX] {
+            set_schedule_permutation(Some(seed));
+            let permuted = run();
+            set_schedule_permutation(None);
+            assert_eq!(baseline, permuted, "seed {seed} changed results");
+        }
     }
 
     #[test]

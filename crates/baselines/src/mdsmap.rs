@@ -117,7 +117,7 @@ impl Localizer for MdsMap {
         if m < 3 {
             return finish(result, network, start);
         }
-        let local_index: std::collections::HashMap<usize, usize> =
+        let local_index: std::collections::BTreeMap<usize, usize> =
             members.iter().enumerate().map(|(k, &v)| (v, k)).collect();
 
         // All-pairs shortest paths within the component.

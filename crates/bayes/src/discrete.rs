@@ -18,7 +18,7 @@
 //! reusable general-purpose BN library.
 
 use crate::validate::{self, GraphAudit, ValidationError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_obs::Stopwatch;
 use wsnloc_obs::{InferenceObserver, ObsEvent, SpanKind};
@@ -79,7 +79,7 @@ pub struct BayesNet {
 }
 
 /// A (partial) assignment of states to variables.
-pub type Evidence = HashMap<VarId, usize>;
+pub type Evidence = BTreeMap<VarId, usize>;
 
 impl BayesNet {
     /// Builds a network from variables and their CPTs.
@@ -420,7 +420,7 @@ struct Factor {
 }
 
 impl Factor {
-    fn stride_index(&self, assignment: &HashMap<VarId, usize>, variables: &[Variable]) -> usize {
+    fn stride_index(&self, assignment: &BTreeMap<VarId, usize>, variables: &[Variable]) -> usize {
         let mut idx = 0;
         for &v in &self.vars {
             idx = idx * variables[v].cardinality + assignment[&v];
@@ -446,7 +446,7 @@ impl Factor {
             .iter()
             .map(|&v| variables[v].cardinality)
             .product();
-        let mut assignment: HashMap<VarId, usize> = HashMap::new();
+        let mut assignment: BTreeMap<VarId, usize> = BTreeMap::new();
         let mut values = Vec::new();
         for flat in 0..total {
             let mut rem = flat;
@@ -474,7 +474,7 @@ impl Factor {
         }
         let total: usize = vars.iter().map(|&v| variables[v].cardinality).product();
         let mut values = Vec::with_capacity(total);
-        let mut assignment: HashMap<VarId, usize> = HashMap::new();
+        let mut assignment: BTreeMap<VarId, usize> = BTreeMap::new();
         for flat in 0..total {
             let mut rem = flat;
             for &v in vars.iter().rev() {
@@ -492,7 +492,7 @@ impl Factor {
         let vars: Vec<VarId> = self.vars.iter().copied().filter(|&v| v != var).collect();
         let total: usize = vars.iter().map(|&v| variables[v].cardinality).product();
         let mut values = vec![0.0; total.max(1)];
-        let mut assignment: HashMap<VarId, usize> = HashMap::new();
+        let mut assignment: BTreeMap<VarId, usize> = BTreeMap::new();
         let full: usize = self
             .vars
             .iter()

@@ -9,7 +9,7 @@
 //! informative for which nodes).
 
 use crate::discrete::{BayesNet, Evidence, VarId};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use wsnloc_geom::rng::Xoshiro256pp;
 
 /// Directed-graph views used by the structural queries.
@@ -26,8 +26,8 @@ fn children_of(net: &BayesNet, v: VarId) -> Vec<VarId> {
 /// The Markov blanket of `v`: parents, children, and children's other
 /// parents. Conditioned on its blanket, `v` is independent of the rest of
 /// the network — the basis of the Gibbs sweep below.
-pub fn markov_blanket(net: &BayesNet, v: VarId) -> HashSet<VarId> {
-    let mut blanket: HashSet<VarId> = parents_of(net, v).iter().copied().collect();
+pub fn markov_blanket(net: &BayesNet, v: VarId) -> BTreeSet<VarId> {
+    let mut blanket: BTreeSet<VarId> = parents_of(net, v).iter().copied().collect();
     for c in children_of(net, v) {
         blanket.insert(c);
         for &p in parents_of(net, c) {
@@ -46,7 +46,7 @@ pub fn markov_blanket(net: &BayesNet, v: VarId) -> HashSet<VarId> {
 /// algorithm (Koller & Friedman, Algorithm 3.1): a trail is active unless it
 /// contains a chain/fork blocked by `z` or a collider whose descendants
 /// avoid `z`.
-pub fn d_separated(net: &BayesNet, x: VarId, y: VarId, z: &HashSet<VarId>) -> bool {
+pub fn d_separated(net: &BayesNet, x: VarId, y: VarId, z: &BTreeSet<VarId>) -> bool {
     if x == y {
         return false;
     }
@@ -63,7 +63,7 @@ pub fn d_separated(net: &BayesNet, x: VarId, y: VarId, z: &HashSet<VarId>) -> bo
 
     // BFS over (node, direction) where direction is how we *arrived*:
     // `true` = arrived from a child (moving up), `false` = from a parent.
-    let mut visited: HashSet<(VarId, bool)> = HashSet::new();
+    let mut visited: BTreeSet<(VarId, bool)> = BTreeSet::new();
     let mut queue: VecDeque<(VarId, bool)> = VecDeque::new();
     // Leaving x in both directions.
     queue.push_back((x, true));
@@ -244,23 +244,23 @@ mod tests {
         let net = sprinkler();
         // Sprinkler's blanket: parent Cloudy, child WetGrass, co-parent Rain.
         let blanket = markov_blanket(&net, 1);
-        assert_eq!(blanket, HashSet::from([0, 2, 3]));
+        assert_eq!(blanket, BTreeSet::from([0, 2, 3]));
         // Cloudy's blanket: children Sprinkler/Rain (no co-parents beyond
         // each other... Sprinkler and Rain share child WetGrass but Cloudy
         // isn't its parent).
-        assert_eq!(markov_blanket(&net, 0), HashSet::from([1, 2]));
+        assert_eq!(markov_blanket(&net, 0), BTreeSet::from([1, 2]));
     }
 
     #[test]
     fn d_separation_fork_and_collider() {
         let net = sprinkler();
         // Sprinkler and Rain share the fork Cloudy: dependent marginally...
-        assert!(!d_separated(&net, 1, 2, &HashSet::new()));
+        assert!(!d_separated(&net, 1, 2, &BTreeSet::new()));
         // ...independent given Cloudy (the collider WetGrass is unobserved).
-        assert!(d_separated(&net, 1, 2, &HashSet::from([0])));
+        assert!(d_separated(&net, 1, 2, &BTreeSet::from([0])));
         // Observing the collider WetGrass re-couples them ("explaining
         // away"), even with Cloudy observed.
-        assert!(!d_separated(&net, 1, 2, &HashSet::from([0, 3])));
+        assert!(!d_separated(&net, 1, 2, &BTreeSet::from([0, 3])));
     }
 
     #[test]
@@ -296,8 +296,8 @@ mod tests {
             },
         ];
         let net = BayesNet::new(variables, cpts);
-        assert!(!d_separated(&net, 0, 2, &HashSet::new()));
-        assert!(d_separated(&net, 0, 2, &HashSet::from([1])));
+        assert!(!d_separated(&net, 0, 2, &BTreeSet::new()));
+        assert!(d_separated(&net, 0, 2, &BTreeSet::from([1])));
     }
 
     #[test]

@@ -292,7 +292,10 @@ impl<B: Clone> TransportSession<B> {
                 DropPolicy::HoldLast => 1.0,
                 DropPolicy::DecayToPrior { decay } => {
                     let d = decay.clamp(0.0, 1.0);
-                    d.powi(age.min(10_000) as i32).max(1e-12)
+                    // Capped at 10_000, the exponent always fits an i32;
+                    // try_from keeps the conversion audit-clean.
+                    let exp = i32::try_from(age.min(10_000)).unwrap_or(10_000);
+                    d.powi(exp).max(1e-12)
                 }
             }
         };

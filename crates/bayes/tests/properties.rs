@@ -2,7 +2,7 @@
 //! in-tree `wsnloc_geom::check` harness (the workspace builds offline,
 //! without `proptest`).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use wsnloc_bayes::discrete::{BayesNet, Cpt, Evidence, Variable};
 use wsnloc_bayes::discrete_ext::{d_separated, markov_blanket};
@@ -102,8 +102,8 @@ fn d_separation_is_symmetric() {
         if x == y {
             return;
         }
-        for z in [HashSet::new(), HashSet::from([(x + 1) % net.len()])] {
-            let z: HashSet<usize> = z.into_iter().filter(|&v| v != x && v != y).collect();
+        for z in [BTreeSet::new(), BTreeSet::from([(x + 1) % net.len()])] {
+            let z: BTreeSet<usize> = z.into_iter().filter(|&v| v != x && v != y).collect();
             assert_eq!(d_separated(&net, x, y, &z), d_separated(&net, y, x, &z));
         }
     });

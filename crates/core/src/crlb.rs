@@ -31,7 +31,7 @@ pub fn crlb_per_node(
     if unknowns.is_empty() {
         return Some(vec![None; network.len()]);
     }
-    let index_of: std::collections::HashMap<usize, usize> = unknowns
+    let index_of: std::collections::BTreeMap<usize, usize> = unknowns
         .iter()
         .enumerate()
         .map(|(k, &id)| (id, k))

@@ -468,7 +468,7 @@ impl BnlLocalizer {
         let msg = match self.backend {
             Backend::Particle { .. } => WireMessage::ParticleBelief {
                 from: 0,
-                count: self.broadcast_particles as u32,
+                count: u32::try_from(self.broadcast_particles).unwrap_or(u32::MAX),
                 payload: vec![(Vec2::ZERO, 0.0); self.broadcast_particles],
             },
             Backend::Grid { .. } | Backend::Gaussian => WireMessage::GaussianBelief {

@@ -1,0 +1,231 @@
+//! Schedule-perturbation determinism audit (`repro audit-determinism`,
+//! usually invoked as `cargo xtask audit-determinism`).
+//!
+//! The static lint tier can reject *patterns* that tend to break
+//! determinism (unseeded RNG, `HashMap` iteration, unfenced atomics);
+//! this module is the dynamic complement: it *executes* grid and
+//! particle BP under every combination of worker-pool thread count and
+//! seeded schedule permutation (the `rayon` shim's
+//! `set_schedule_permutation` hook shuffles the order chunk jobs reach
+//! the shared queue) and asserts that beliefs and folded metrics are
+//! **bit-identical** to a sequential reference run.
+//!
+//! Because the shim assigns each chunk a fixed output slot and drains
+//! the batch latch before returning, a permuted schedule cannot change
+//! results *through the pool*; any divergence this audit finds is an
+//! order-dependence smuggled in by a caller — exactly the class of bug
+//! thread-count sweeps alone can miss. It needs no nightly sanitizers
+//! and runs offline, so it doubles as a poor-man's race detector in CI.
+
+use wsnloc::prelude::*;
+use wsnloc_obs::{MetricsObserver, MetricsSnapshot};
+
+/// The perturbation matrix one audit run sweeps.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Worker-pool sizes to install, in order; the first entry paired
+    /// with an unpermuted schedule is the reference run.
+    pub thread_counts: Vec<usize>,
+    /// Seeds for the shim's schedule-permutation hook. Each thread count
+    /// also runs once unpermuted.
+    pub permutation_seeds: Vec<u64>,
+}
+
+impl AuditConfig {
+    /// The CI gate matrix: thread counts {1,2,4,8} × 8 seeded schedule
+    /// permutations (plus the unpermuted schedule at each count).
+    #[must_use]
+    pub fn full() -> AuditConfig {
+        AuditConfig {
+            thread_counts: vec![1, 2, 4, 8],
+            permutation_seeds: (0..8).map(|i| 0xA0D1_7000 + i * 7919).collect(),
+        }
+    }
+
+    /// Reduced matrix for `--quick` smoke runs: {1,2,4} × 3 seeds.
+    #[must_use]
+    pub fn quick() -> AuditConfig {
+        AuditConfig {
+            thread_counts: vec![1, 2, 4],
+            permutation_seeds: vec![0xA0D1_7000, 0xA0D1_8EEF, 0xA0D1_BEEF],
+        }
+    }
+}
+
+/// What one audit sweep observed.
+#[derive(Debug)]
+pub struct AuditOutcome {
+    /// Localization runs executed (reference runs included).
+    pub runs: usize,
+    /// One line per diverging run: backend, thread count, permutation
+    /// seed, and which fingerprint component differed.
+    pub failures: Vec<String>,
+}
+
+impl AuditOutcome {
+    /// `true` when every run matched the reference bit-for-bit.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Everything a run must reproduce exactly, with floats carried as raw
+/// bits so `-0.0`/`NaN` cannot hide behind `PartialEq`.
+#[derive(PartialEq)]
+struct Fingerprint {
+    estimates: Vec<Option<(u64, u64)>>,
+    uncertainty: Vec<Option<u64>>,
+    iterations: usize,
+    converged: bool,
+    metrics: MetricsSnapshot,
+}
+
+fn fingerprint(result: &LocalizationResult, metrics: MetricsSnapshot) -> Fingerprint {
+    Fingerprint {
+        estimates: result
+            .estimates
+            .iter()
+            .map(|e| e.map(|p| (p.x.to_bits(), p.y.to_bits())))
+            .collect(),
+        uncertainty: result
+            .uncertainty
+            .iter()
+            .map(|u| u.map(f64::to_bits))
+            .collect(),
+        iterations: result.iterations,
+        converged: result.converged,
+        metrics: normalize(metrics),
+    }
+}
+
+/// Zeroes the one wall-clock field of a snapshot (span durations) so the
+/// comparison is purely structural; call counts stay significant.
+fn normalize(mut snapshot: MetricsSnapshot) -> MetricsSnapshot {
+    for (_, secs, _) in &mut snapshot.span_secs {
+        *secs = 0.0;
+    }
+    snapshot
+}
+
+/// The audited workload: same drop-cluster scenario the determinism
+/// tier-1 tests pin, exercised by both iterative backends.
+fn audit_scenario() -> Scenario {
+    Scenario {
+        name: "audit-determinism".into(),
+        deployment: Deployment::planned_square_drop(500.0, 3, 50.0),
+        node_count: 50,
+        anchors: AnchorStrategy::Random { count: 7 },
+        radio: RadioModel::UnitDisk { range: 150.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.1 },
+        seed: 0xA0D17,
+    }
+}
+
+fn backends() -> Vec<(&'static str, BnlLocalizer)> {
+    let prior = PriorModel::DropPoint { sigma: 50.0 };
+    vec![
+        (
+            "grid",
+            BnlLocalizer::grid(25)
+                .with_prior(prior.clone())
+                .with_max_iterations(4),
+        ),
+        (
+            "particle",
+            BnlLocalizer::particle(100)
+                .with_prior(prior)
+                .with_max_iterations(5)
+                .with_tolerance(0.0),
+        ),
+    ]
+}
+
+/// Runs the full perturbation sweep and reports every divergence.
+///
+/// The schedule-permutation hook is process-global; the sweep always
+/// clears it before returning, including on the failure paths.
+#[must_use]
+pub fn audit_determinism(config: &AuditConfig) -> AuditOutcome {
+    let mut outcome = AuditOutcome {
+        runs: 0,
+        failures: Vec::new(),
+    };
+    let scenario = audit_scenario();
+    let (network, _truth) = scenario.build_trial(0);
+
+    let run = |threads: usize, permutation: Option<u64>, algo: &BnlLocalizer| -> Fingerprint {
+        rayon::set_schedule_permutation(permutation);
+        let observer = MetricsObserver::new();
+        let result = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pool build is infallible")
+            .install(|| algo.localize_with_observer(&network, 0xF1DE, &observer));
+        rayon::set_schedule_permutation(None);
+        fingerprint(&result, observer.snapshot())
+    };
+
+    for (label, algo) in backends() {
+        let reference = run(
+            config.thread_counts.first().copied().unwrap_or(1),
+            None,
+            &algo,
+        );
+        outcome.runs += 1;
+        for &threads in &config.thread_counts {
+            let schedules =
+                std::iter::once(None).chain(config.permutation_seeds.iter().map(|&s| Some(s)));
+            for permutation in schedules {
+                let got = run(threads, permutation, &algo);
+                outcome.runs += 1;
+                if got != reference {
+                    let schedule = permutation
+                        .map_or_else(|| "input-order".to_string(), |s| format!("seed {s:#x}"));
+                    let what = diverged(&reference, &got);
+                    outcome.failures.push(format!(
+                        "{label}: threads={threads} schedule={schedule}: {what} diverged from the sequential reference"
+                    ));
+                }
+            }
+        }
+    }
+    outcome
+}
+
+/// Names the first fingerprint component that differs, for actionable
+/// failure lines.
+fn diverged(reference: &Fingerprint, got: &Fingerprint) -> &'static str {
+    if got.estimates != reference.estimates {
+        "belief estimates"
+    } else if got.uncertainty != reference.uncertainty {
+        "belief uncertainty"
+    } else if got.iterations != reference.iterations || got.converged != reference.converged {
+        "convergence trajectory"
+    } else {
+        "metrics fold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_is_bit_identical() {
+        let outcome = audit_determinism(&AuditConfig {
+            thread_counts: vec![1, 2],
+            permutation_seeds: vec![0xA0D1_7000],
+        });
+        // 2 backends × (1 reference + 2 thread counts × 2 schedules).
+        assert_eq!(outcome.runs, 10);
+        assert!(outcome.passed(), "divergences: {:?}", outcome.failures);
+    }
+
+    #[test]
+    fn normalize_zeroes_only_span_durations() {
+        let observer = MetricsObserver::new();
+        let snapshot = normalize(observer.snapshot());
+        assert!(snapshot.span_secs.iter().all(|(_, secs, _)| *secs == 0.0));
+    }
+}

@@ -13,6 +13,8 @@
 //! repro bench               # write BENCH_grid.json / BENCH_particle.json
 //! repro bench --out perf/   # same, into a directory
 //! repro bench --check --tolerance 2.0  # compare fresh numbers to the pinned JSONs
+//! repro audit-determinism             # schedule-perturbation determinism audit
+//! repro audit-determinism --quick     # reduced matrix for CI smoke jobs
 //! ```
 //!
 //! The `trace` subcommand runs the standard scenario with a recording
@@ -33,7 +35,7 @@ use wsnloc_eval::{bench, evaluate, experiments, EvalConfig, ExpConfig, Paralleli
 use wsnloc_obs::write_jsonl;
 
 fn usage() -> &'static str {
-    "usage: repro <list | trace | analyze [FILE] | bench [--check] | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--tolerance R] [--out DIR]"
+    "usage: repro <list | trace | analyze [FILE] | bench [--check] | audit-determinism | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--tolerance R] [--out DIR]"
 }
 
 fn main() -> ExitCode {
@@ -128,6 +130,10 @@ fn main() -> ExitCode {
         return run_bench(out_dir.as_deref(), check, tolerance);
     }
 
+    if ids.iter().any(|id| id == "audit-determinism") {
+        return run_audit(cfg.quick);
+    }
+
     let selected: Vec<String> = if ids.iter().any(|id| id == "all") {
         experiments::ids()
             .iter()
@@ -161,6 +167,39 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Runs the schedule-perturbation determinism audit (the dynamic half of
+/// the correctness gate; see `wsnloc_eval::audit`).
+fn run_audit(quick: bool) -> ExitCode {
+    let config = if quick {
+        wsnloc_eval::AuditConfig::quick()
+    } else {
+        wsnloc_eval::AuditConfig::full()
+    };
+    eprintln!(
+        "audit-determinism: threads {:?} x {} schedule permutations (+ input order), grid + particle BP",
+        config.thread_counts,
+        config.permutation_seeds.len()
+    );
+    let outcome = wsnloc_eval::audit_determinism(&config);
+    if outcome.passed() {
+        eprintln!(
+            "audit-determinism: {} runs, all bit-identical to the sequential reference",
+            outcome.runs
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &outcome.failures {
+            eprintln!("audit-determinism: FAIL {failure}");
+        }
+        eprintln!(
+            "audit-determinism: {} of {} runs diverged",
+            outcome.failures.len(),
+            outcome.runs
+        );
+        ExitCode::FAILURE
+    }
 }
 
 /// Runs the standard scenario with a recording observer and writes the

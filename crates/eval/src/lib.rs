@@ -14,12 +14,14 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bench;
 pub mod experiments;
 pub mod metrics;
 pub mod runner;
 pub mod table;
 
+pub use audit::{audit_determinism, AuditConfig, AuditOutcome};
 pub use metrics::ErrorSummary;
 pub use runner::{
     evaluate, run_trial, run_trial_observed, EvalConfig, EvalOutcome, MetricsAggregate,

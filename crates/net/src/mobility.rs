@@ -127,7 +127,7 @@ impl MobileWorld {
     }
 
     fn advance(&mut self) {
-        let anchor_set: std::collections::HashSet<usize> =
+        let anchor_set: std::collections::BTreeSet<usize> =
             self.anchor_ids.iter().copied().collect();
         for i in 0..self.positions.len() {
             if anchor_set.contains(&i) {
@@ -206,7 +206,8 @@ mod tests {
     #[test]
     fn unknowns_move_at_the_configured_speed() {
         let mut w = world(2, 10.0);
-        let anchor_set: std::collections::HashSet<usize> = w.anchor_ids().iter().copied().collect();
+        let anchor_set: std::collections::BTreeSet<usize> =
+            w.anchor_ids().iter().copied().collect();
         let before = w.positions().to_vec();
         let _ = w.step(); // t=0 snapshot: no motion yet
         let _ = w.step(); // one dt of motion

@@ -1,0 +1,823 @@
+//! A minimal hand-rolled Rust lexer for the lint engine.
+//!
+//! The PR 1 linter matched substrings on comment-stripped lines, which
+//! cannot tell `Instant::now` in code from `Instant::now` in a string
+//! literal, loses track of nested `/* /* */ */` comments, and relies on
+//! the convention that `#[cfg(test)]` is always the tail of a file. This
+//! module lexes real tokens instead: strings (cooked, raw, byte, C),
+//! char literals vs lifetimes, nested block comments, doc comments, and
+//! numeric literals with suffixes — enough structure for every rule in
+//! [`crate::lint`] to match on token sequences rather than text.
+//!
+//! It is deliberately *not* a full lexer: no macro expansion, no shebang
+//! handling, no Unicode identifiers (the workspace is ASCII-identifier
+//! only, enforced by rustfmt). Unknown bytes are skipped rather than
+//! rejected so a future syntax extension degrades to missed tokens, not
+//! a lint crash.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokKind {
+    /// Identifiers and keywords, including raw identifiers (`r#type`
+    /// lexes as an `Ident` with text `type`).
+    Ident,
+    /// Integer or float literal, suffix included (`1.0f64`).
+    Num,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, `c"…"`. Text is the raw source slice, quotes included.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`), label included.
+    Lifetime,
+    /// Operator or delimiter; two-character operators (`==`, `::`, …)
+    /// lex as a single token.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub(crate) struct Tok {
+    pub(crate) kind: TokKind,
+    pub(crate) text: String,
+    pub(crate) line: usize,
+}
+
+/// One comment (line, doc, or block) with its line span. The lint engine
+/// needs comments for exactly one rule — `unsafe-safety-comment` — so
+/// only the safety marker is extracted, not the text.
+#[derive(Debug, Clone)]
+pub(crate) struct Comment {
+    /// 1-based line of the first character.
+    pub(crate) start_line: usize,
+    /// 1-based line of the last character (equals `start_line` for line
+    /// comments; block comments may span many).
+    pub(crate) end_line: usize,
+    /// Whether the comment carries a safety justification: `SAFETY` in
+    /// line/block comments or a `# Safety` doc heading.
+    pub(crate) has_safety: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub(crate) struct LexFile {
+    /// All tokens outside comments, in source order. Test-scoped tokens
+    /// are still present; [`strip_test_scopes`] removes them.
+    pub(crate) tokens: Vec<Tok>,
+    /// All comments, in source order.
+    pub(crate) comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Two-character operators lexed as one token. Order irrelevant: all
+/// entries are matched before any single-character fallback.
+const TWO_CHAR_PUNCT: [&str; 20] = [
+    "==", "!=", "<=", ">=", "=>", "->", "::", "..", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=",
+    "%=", "^=", "&=", "|=",
+];
+
+fn comment_has_safety(text: &str) -> bool {
+    text.contains("SAFETY") || text.contains("# Safety")
+}
+
+/// Lexes `text` into tokens and comments.
+pub(crate) fn lex(text: &str) -> LexFile {
+    let b = text.as_bytes();
+    let mut out = LexFile::default();
+    let mut i = 0;
+    let mut line = 1;
+
+    // Counts newlines in `text[from..to]` — used after consuming a
+    // multi-line construct in one step.
+    let newlines = |from: usize, to: usize| text[from..to].bytes().filter(|&c| c == b'\n').count();
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            // Line comment (incl. `///` and `//!` docs).
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    start_line: line,
+                    end_line: line,
+                    has_safety: comment_has_safety(&text[start..i]),
+                });
+            }
+            // Block comment, nesting tracked.
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    start_line,
+                    end_line: line,
+                    has_safety: comment_has_safety(&text[start..i]),
+                });
+            }
+            b'"' => {
+                let (end, crossed) = cooked_string_end(b, i);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: text[i..end].to_string(),
+                    line,
+                });
+                line += crossed;
+                i = end;
+            }
+            b'\'' => {
+                let (tok, end) = char_or_lifetime(text, b, i, line);
+                line += newlines(i, end);
+                out.tokens.push(tok);
+                i = end;
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let ident = &text[start..i];
+                // String prefixes: r"…", r#"…"#, b"…", br#"…"#, c"…".
+                let raw_capable = matches!(ident, "r" | "br" | "cr");
+                let cooked_prefix = matches!(ident, "b" | "c");
+                if (raw_capable || cooked_prefix) && b.get(i) == Some(&b'"') {
+                    let end = if raw_capable {
+                        raw_string_end(b, i, 0)
+                    } else {
+                        cooked_string_end(b, i).0
+                    };
+                    line += newlines(start, end);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Str,
+                        text: text[start..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                } else if raw_capable && b.get(i) == Some(&b'#') {
+                    let mut hashes = 0;
+                    while b.get(i + hashes) == Some(&b'#') {
+                        hashes += 1;
+                    }
+                    if b.get(i + hashes) == Some(&b'"') {
+                        let end = raw_string_end(b, i + hashes, hashes);
+                        let tok_line = line;
+                        line += newlines(start, end);
+                        out.tokens.push(Tok {
+                            kind: TokKind::Str,
+                            text: text[start..end].to_string(),
+                            line: tok_line,
+                        });
+                        i = end;
+                    } else if ident == "r"
+                        && hashes == 1
+                        && b.get(i + 1).copied().is_some_and(is_ident_start)
+                    {
+                        // Raw identifier `r#type`: lex the inner ident.
+                        i += 1;
+                        let istart = i;
+                        while i < b.len() && is_ident_continue(b[i]) {
+                            i += 1;
+                        }
+                        out.tokens.push(Tok {
+                            kind: TokKind::Ident,
+                            text: text[istart..i].to_string(),
+                            line,
+                        });
+                    } else {
+                        out.tokens.push(Tok {
+                            kind: TokKind::Ident,
+                            text: ident.to_string(),
+                            line,
+                        });
+                    }
+                } else if ident == "b" && b.get(i) == Some(&b'\'') {
+                    // Byte literal b'…'.
+                    let (tok, end) = char_or_lifetime(text, b, i, line);
+                    line += newlines(i, end);
+                    out.tokens.push(Tok {
+                        kind: tok.kind,
+                        text: text[start..end].to_string(),
+                        line: tok.line,
+                    });
+                    i = end;
+                } else {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Ident,
+                        text: ident.to_string(),
+                        line,
+                    });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let end = number_end(b, i);
+                out.tokens.push(Tok {
+                    kind: TokKind::Num,
+                    text: text[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            _ if c.is_ascii() => {
+                let two = b.get(i + 1).map(|&n| [c, n]);
+                let matched = two.and_then(|pair| {
+                    let s = std::str::from_utf8(&pair).ok()?;
+                    TWO_CHAR_PUNCT.contains(&s).then(|| s.to_string())
+                });
+                if let Some(op) = matched {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Punct,
+                        text: op,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            // Non-ASCII outside strings/comments: skip the byte. The
+            // workspace has no Unicode identifiers; anything else here is
+            // already a compile error, and the linter must not crash on it.
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Returns `(end_index_past_closing_quote, newlines_crossed)` for a cooked
+/// string starting at the opening quote `b[at] == b'"'`.
+fn cooked_string_end(b: &[u8], at: usize) -> (usize, usize) {
+    let mut i = at + 1;
+    let mut crossed = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, crossed),
+            b'\n' => {
+                crossed += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (b.len(), crossed)
+}
+
+/// End index (past the final hash) of a raw string whose opening quote is
+/// at `b[at]`, terminated by a quote followed by `hashes` `#`s.
+fn raw_string_end(b: &[u8], at: usize, hashes: usize) -> usize {
+    let mut i = at + 1;
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..].len() >= hashes
+            && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) at `b[at] == b'\''`.
+fn char_or_lifetime(text: &str, b: &[u8], at: usize, line: usize) -> (Tok, usize) {
+    let next = b.get(at + 1).copied();
+    match next {
+        // Escape sequence: definitely a char literal.
+        Some(b'\\') => {
+            let mut i = at + 1;
+            while i < b.len() && b[i] != b'\'' {
+                if b[i] == b'\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            let end = (i + 1).min(b.len());
+            (
+                Tok {
+                    kind: TokKind::Char,
+                    text: text[at..end].to_string(),
+                    line,
+                },
+                end,
+            )
+        }
+        // `'a'` is a char literal; `'a` followed by anything else is a
+        // lifetime (or loop label — same token shape).
+        Some(c) if is_ident_start(c) => {
+            if b.get(at + 2) == Some(&b'\'') {
+                (
+                    Tok {
+                        kind: TokKind::Char,
+                        text: text[at..at + 3].to_string(),
+                        line,
+                    },
+                    at + 3,
+                )
+            } else {
+                let mut i = at + 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                (
+                    Tok {
+                        kind: TokKind::Lifetime,
+                        text: text[at..i].to_string(),
+                        line,
+                    },
+                    i,
+                )
+            }
+        }
+        // Non-identifier char payload (`'.'`, `'∞'`): scan for the close
+        // quote within the literal's few bytes.
+        Some(_) => {
+            let mut i = at + 1;
+            while i < b.len() && b[i] != b'\'' && b[i] != b'\n' {
+                i += 1;
+            }
+            let end = (i + 1).min(b.len());
+            (
+                Tok {
+                    kind: TokKind::Char,
+                    text: text[at..end].to_string(),
+                    line,
+                },
+                end,
+            )
+        }
+        None => (
+            Tok {
+                kind: TokKind::Punct,
+                text: "'".to_string(),
+                line,
+            },
+            at + 1,
+        ),
+    }
+}
+
+/// End index of a numeric literal starting at a digit. Handles `0x…`
+/// bases, `1_000.5`, `2.`, `1.5e-3`, and type suffixes (`1.0f64`), and
+/// stops before `.` when it begins a range (`1..n`) or a method call
+/// (`1.max(2)`).
+fn number_end(b: &[u8], at: usize) -> usize {
+    let mut i = at;
+    if b[i] == b'0' && matches!(b.get(i + 1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B')) {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'.' {
+        let after = b.get(i + 1).copied();
+        let is_range = after == Some(b'.');
+        let is_method = after.is_some_and(is_ident_start);
+        if !is_range && !is_method {
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    if i < b.len() && matches!(b[i], b'e' | b'E') {
+        let mut j = i + 1;
+        if matches!(b.get(j), Some(b'+' | b'-')) {
+            j += 1;
+        }
+        if b.get(j).copied().is_some_and(|c| c.is_ascii_digit()) {
+            i = j;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (f64, u32, usize, …).
+    while i < b.len() && is_ident_continue(b[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// `true` if a [`TokKind::Num`] token is a float literal: it has a
+/// fractional dot, a float suffix, or a decimal exponent.
+pub(crate) fn is_float_lit(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.bytes().any(|c| matches!(c, b'e' | b'E'))
+}
+
+/// Removes tokens inside test-only scopes, structurally:
+///
+/// - an item annotated `#[cfg(test)]` (or `#[cfg(any(test, …))]` — any
+///   `cfg` attribute mentioning `test` outside a `not(…)`), including any
+///   further attributes between the `cfg` and the item;
+/// - a `mod tests { … }` item, the workspace's unit-test convention;
+/// - everything after an inner `#![cfg(test)]`.
+///
+/// "Item" is approximated as: tokens up to the first `;` at bracket depth
+/// zero, or a `{ … }` group balanced to its close. That covers `fn`,
+/// `mod`, `impl`, `use`, `static`, and expression statements — everything
+/// the rules could otherwise misfire on.
+pub(crate) fn strip_test_scopes(tokens: Vec<Tok>) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        // `#` `!`? `[` … `]` — an attribute.
+        if tokens[i].text == "#" && tokens[i].kind == TokKind::Punct {
+            let inner = tokens.get(i + 1).is_some_and(|t| t.text == "!");
+            let open = i + 1 + usize::from(inner);
+            if tokens.get(open).is_some_and(|t| t.text == "[") {
+                let close = matching_bracket(&tokens, open);
+                if attr_is_cfg_test(&tokens[open + 1..close]) {
+                    if inner {
+                        // `#![cfg(test)]`: the whole remaining scope is
+                        // test-only.
+                        return out;
+                    }
+                    i = skip_attrs_and_item(&tokens, close + 1);
+                    continue;
+                }
+            }
+        }
+        // `mod tests { … }` without an explicit cfg.
+        if tokens[i].kind == TokKind::Ident
+            && tokens[i].text == "mod"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "tests")
+        {
+            i = skip_attrs_and_item(&tokens, i);
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// `true` if the attribute body (tokens between `[` and `]`) is a `cfg`
+/// mentioning `test`. Conservatively keeps scanning when a `not` appears
+/// anywhere — `#[cfg(not(test))]` is live code.
+fn attr_is_cfg_test(body: &[Tok]) -> bool {
+    if body.first().map(|t| t.text.as_str()) != Some("cfg") {
+        return false;
+    }
+    let mut saw_test = false;
+    for t in body {
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "not" => return false,
+                "test" => saw_test = true,
+                _ => {}
+            }
+        }
+    }
+    saw_test
+}
+
+/// Index of the `]`/`}`/`)` matching the opener at `open`.
+pub(crate) fn matching_bracket(tokens: &[Tok], open: usize) -> usize {
+    let (o, c) = match tokens[open].text.as_str() {
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        "(" => ("(", ")"),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+    }
+    tokens.len() - 1
+}
+
+/// Skips any further `#[…]` attribute groups starting at `from`, then one
+/// item (to a top-level `;` or through a balanced `{ … }`). Returns the
+/// index of the first token after the item.
+fn skip_attrs_and_item(tokens: &[Tok], from: usize) -> usize {
+    let mut i = from;
+    while tokens.get(i).is_some_and(|t| t.text == "#")
+        && tokens.get(i + 1).is_some_and(|t| t.text == "[")
+    {
+        i = matching_bracket(tokens, i + 1) + 1;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" => return matching_bracket(tokens, i) + 1,
+                ";" if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    fn surviving_idents(src: &str) -> Vec<String> {
+        strip_test_scopes(lex(src).tokens)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // The false-positive class the line scanner could not handle:
+        // rule trigger text inside a string literal.
+        let src = r##"let msg = "never call Instant::now or .unwrap() here";"##;
+        assert!(!idents(src)
+            .iter()
+            .any(|t| t == "Instant" || t == "unwrap" || t == "now"));
+    }
+
+    #[test]
+    fn raw_strings_lex_as_one_token() {
+        let src = "let re = r#\"quote \" inside, and thread_rng too\"#; next";
+        let lexed = lex(src);
+        let strs: Vec<&Tok> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("thread_rng"));
+        assert!(idents(src).contains(&"next".to_string()));
+        assert!(!idents(src).contains(&"thread_rng".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_more_hashes_and_byte_strings() {
+        let src = r####"let a = r##"one "# still inside"##; let b = br#"bytes"#; tail"####;
+        let toks = lex(src);
+        let strs = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 2);
+        assert!(idents(src).contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        // `/* /* */ */` — the inner close must not end the outer comment.
+        let src = "before /* outer /* inner */ still comment .unwrap() */ after";
+        let names = idents(src);
+        assert_eq!(names, vec!["before", "after"]);
+    }
+
+    #[test]
+    fn block_comment_line_spans_are_tracked() {
+        let src = "a\n/* one\ntwo\nthree */\nb";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].start_line, 2);
+        assert_eq!(lexed.comments[0].end_line, 4);
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "b")
+            .expect("b lexed");
+        assert_eq!(b.line, 5);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn char_escapes_and_quote_literals() {
+        let src = r"let q = '\''; let n = '\n'; let u = '\u{1F600}';";
+        let chars: Vec<String> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], r"'\''");
+    }
+
+    #[test]
+    fn numbers_floats_and_ranges() {
+        let toks = lex("let a = 1.5e-3f64; for i in 0..10 { x[i .max(2)]; } 0xFFu8");
+        let nums: Vec<String> = toks
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert!(nums.contains(&"1.5e-3f64".to_string()));
+        assert!(nums.contains(&"0".to_string()) && nums.contains(&"10".to_string()));
+        assert!(nums.contains(&"0xFFu8".to_string()));
+        assert!(is_float_lit("1.5e-3f64"));
+        assert!(is_float_lit("2."));
+        assert!(is_float_lit("1e3"));
+        assert!(!is_float_lit("10"));
+        assert!(!is_float_lit("0xFFu8"));
+    }
+
+    #[test]
+    fn two_char_operators_lex_whole() {
+        let ops: Vec<String> = lex("a == b != c => d :: e .. f")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "=>", "::", ".."]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments_not_tokens() {
+        let src = "/// Instantiates things via Instant::now\nfn g() {}";
+        let names = idents(src);
+        assert_eq!(names, vec!["fn", "g"]);
+        assert_eq!(lex(src).comments.len(), 1);
+    }
+
+    #[test]
+    fn safety_markers_are_detected() {
+        assert!(lex("// SAFETY: latch drained below\n").comments[0].has_safety);
+        assert!(lex("/* SAFETY:\n multi-line */").comments[0].has_safety);
+        assert!(lex("/// # Safety\n").comments[0].has_safety);
+        assert!(!lex("// safe enough, probably\n").comments[0].has_safety);
+    }
+
+    #[test]
+    fn cfg_test_items_are_stripped_structurally() {
+        // A cfg(test) item in the *middle* of a file, followed by live
+        // code — the tail-of-file heuristic this replaces missed the
+        // violation in `late`.
+        let src = "\
+fn early() { ok(); }\n\
+#[cfg(test)]\n\
+fn helper() { test_only.unwrap(); }\n\
+fn late() { flagged.unwrap(); }\n";
+        let names = surviving_idents(src);
+        assert!(names.contains(&"flagged".to_string()));
+        assert!(names.contains(&"unwrap".to_string()));
+        assert!(!names.contains(&"test_only".to_string()));
+        assert!(!names.contains(&"helper".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_mod_with_inner_braces_is_skipped_whole() {
+        let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn nested() { if x { y { } } }\n\
+    struct S;\n\
+}\n\
+fn live() {}\n";
+        let names = surviving_idents(src);
+        assert_eq!(names, vec!["fn", "live"]);
+    }
+
+    #[test]
+    fn mod_tests_without_cfg_is_also_skipped() {
+        let src = "mod tests { fn t() { x.unwrap(); } }\nfn live() {}";
+        let names = surviving_idents(src);
+        assert!(!names.contains(&"unwrap".to_string()));
+        assert!(names.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn live() { flagged.unwrap(); }";
+        let names = surviving_idents(src);
+        assert!(names.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn cfg_any_test_is_stripped() {
+        let src =
+            "#[cfg(any(test, feature = \"slow\"))]\nfn helper() { h.unwrap(); }\nfn live() {}";
+        let names = surviving_idents(src);
+        assert!(!names.contains(&"unwrap".to_string()));
+        assert!(names.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn cfg_attr_is_not_a_test_scope() {
+        let src = "#[cfg_attr(feature = \"serde\", derive(Serialize))]\nstruct S { x: f64 }";
+        let names = surviving_idents(src);
+        assert!(names.contains(&"struct".to_string()));
+    }
+
+    #[test]
+    fn attributes_between_cfg_test_and_item_are_skipped_too() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { h.unwrap(); }\nfn live() {}";
+        let names = surviving_idents(src);
+        assert!(!names.contains(&"unwrap".to_string()));
+        assert!(names.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_consumes_to_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let names = surviving_idents(src);
+        assert!(!names.contains(&"HashMap".to_string()));
+        assert!(names.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn inner_cfg_test_truncates_the_file() {
+        let src = "#![cfg(test)]\nfn everything_here_is_test() { x.unwrap(); }";
+        assert!(surviving_idents(src).is_empty());
+    }
+
+    #[test]
+    fn item_with_semicolons_inside_brackets_is_one_item() {
+        // `[u8; 4]` — the `;` at bracket depth 1 must not end the item.
+        let src = "#[cfg(test)]\nstatic BUF: [u8; 4] = [0; 4];\nfn live() {}";
+        let names = surviving_idents(src);
+        assert_eq!(names, vec!["fn", "live"]);
+    }
+}
