@@ -3,11 +3,14 @@
 //! The three backends (grid, particle, Gaussian) historically exposed
 //! three copy-pasted `run`/`run_with`/`run_observed`/`run_full` entry
 //! points each. [`BpEngine`] collapses that surface: each backend
-//! implements exactly one required method — [`BpEngine::run_transported`],
-//! the superset entry point taking a [`Transport`] — and inherits the
-//! rest. Callers that only need beliefs keep the old tuple-returning
-//! convenience methods; callers that inject faults or need structured
-//! telemetry use `run_transported` and get a [`RunOutcome`].
+//! implements exactly one required method — [`BpEngine::run_carried`],
+//! the superset entry point taking a [`Transport`] and optional
+//! warm-start beliefs carried over from a previous epoch — and inherits
+//! the rest. Callers that only need beliefs keep the old
+//! tuple-returning convenience methods; callers that inject faults or
+//! need structured telemetry use [`BpEngine::run_transported`] and get
+//! a [`RunOutcome`]; streaming/tracking callers thread last epoch's
+//! posterior (motion-convolved) back in through `run_carried`.
 //!
 //! [`Belief`] is the minimal read surface the core localizer needs to
 //! turn a backend's belief into a point estimate without knowing which
@@ -46,8 +49,8 @@ pub struct RunOutcome<B> {
 /// A loopy-BP inference engine over a [`SpatialMrf`].
 ///
 /// One required method; the convenience quartet is provided. All
-/// engines are deterministic in (`mrf`, `opts`, transport plan): the
-/// same inputs give bit-identical beliefs.
+/// engines are deterministic in (`mrf`, `opts`, transport plan, warm
+/// beliefs): the same inputs give bit-identical beliefs.
 pub trait BpEngine {
     /// The belief representation this engine produces.
     type Belief: Belief + Clone + Send + Sync;
@@ -55,6 +58,33 @@ pub trait BpEngine {
     /// Stable backend name, as reported in run telemetry ("grid",
     /// "particle", "gaussian").
     fn backend_name(&self) -> &'static str;
+
+    /// The superset entry point: runs BP with every inter-node message
+    /// routed through `transport`, optionally warm-starting from
+    /// carried beliefs, reporting structured telemetry into `obs` and
+    /// invoking `on_iter(iteration, beliefs)` after every iteration.
+    ///
+    /// `warm`, when supplied, must hold one belief per MRF variable
+    /// (entries for fixed/anchor variables are ignored). Each free
+    /// variable's carried belief replaces its prior-derived initial
+    /// belief *and* acts as the epoch prior in every update, so a
+    /// posterior carried over from a previous epoch (convolved with a
+    /// motion model by the caller) is not double-counted against the
+    /// pre-knowledge unary it already absorbed. With `warm = None`
+    /// this is exactly the historical cold-start path, bit for bit —
+    /// per-node RNG streams are split, not advanced, so skipping a
+    /// node's initial sampling cannot perturb any other node.
+    fn run_carried<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        transport: &Transport,
+        warm: Option<&[Self::Belief]>,
+        obs: &dyn InferenceObserver,
+        on_iter: F,
+    ) -> RunOutcome<Self::Belief>
+    where
+        F: FnMut(usize, &[Self::Belief]);
 
     /// Runs BP with every inter-node message routed through
     /// `transport`, reporting structured telemetry into `obs` and
@@ -73,7 +103,10 @@ pub trait BpEngine {
         on_iter: F,
     ) -> RunOutcome<Self::Belief>
     where
-        F: FnMut(usize, &[Self::Belief]);
+        F: FnMut(usize, &[Self::Belief]),
+    {
+        self.run_carried(mrf, opts, transport, None, obs, on_iter)
+    }
 
     /// Runs BP to convergence or `opts.max_iterations`.
     fn run(&self, mrf: &SpatialMrf, opts: &BpOptions) -> (Vec<Self::Belief>, BpOutcome) {

@@ -118,17 +118,22 @@ impl BpEngine for GaussianBp {
     }
 
     /// The superset entry point the core localizer drives: structured
-    /// telemetry observer, belief-level per-iteration closure, and a
-    /// message [`Transport`]. With the perfect transport this is
-    /// bit-identical to the pre-transport engine; under a fault plan,
-    /// undelivered neighbor beliefs are replaced by held snapshots
-    /// (their information contribution scaled by `alpha`),
-    /// never-received links contribute nothing, and dead nodes freeze.
-    fn run_transported<F>(
+    /// telemetry observer, belief-level per-iteration closure, a
+    /// message [`Transport`], and optional warm-start beliefs. With the
+    /// perfect transport and no warm beliefs this is bit-identical to
+    /// the pre-transport engine; under a fault plan, undelivered
+    /// neighbor beliefs are replaced by held snapshots (their
+    /// information contribution scaled by `alpha`), never-received
+    /// links contribute nothing, and dead nodes freeze. A warm belief
+    /// replaces both the sampled prior moments and the jittered initial
+    /// belief of its free node — the textbook predict/update recursion
+    /// with the carried Gaussian as the predicted prior.
+    fn run_carried<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
         transport: &Transport,
+        warm: Option<&[GaussianBelief]>,
         obs: &dyn InferenceObserver,
         mut on_iter: F,
     ) -> RunOutcome<GaussianBelief>
@@ -161,9 +166,12 @@ impl BpEngine for GaussianBp {
         // (exact for Gaussian priors up to Monte-Carlo noise; a reasonable
         // moment match for boxes and shapes).
         let priors: Vec<GaussianBelief> = (0..mrf.len())
-            .map(|u| match mrf.fixed(u) {
-                Some(p) => GaussianBelief::point(p),
-                None => {
+            .map(|u| match (mrf.fixed(u), warm) {
+                (Some(p), _) => GaussianBelief::point(p),
+                // Carried-over epoch prior: the previous posterior,
+                // already motion-convolved by the caller.
+                (None, Some(w)) => w[u],
+                (None, None) => {
                     let mut rng = root.split(0x6A05 ^ u as u64);
                     let samples: Vec<Vec2> =
                         (0..64).map(|_| mrf.unary(u).sample(&mut rng)).collect();
@@ -183,7 +191,10 @@ impl BpEngine for GaussianBp {
             .enumerate()
             .map(|(u, p)| {
                 let mut b = *p;
-                if mrf.fixed(u).is_none() {
+                // Warm starts skip the symmetry-breaking jitter: the
+                // carried mean is already a meaningful linearization
+                // point, not a coincident initialization.
+                if mrf.fixed(u).is_none() && warm.is_none() {
                     let mut rng = root.split(0x11773 ^ u as u64);
                     b.mean += Vec2::new(rng.gaussian(), rng.gaussian()) * self.init_jitter;
                 }

@@ -224,6 +224,89 @@ impl GridBelief {
             .sum::<f64>()
             .max(0.0)
     }
+
+    /// Motion-model predict step on the cell array: an optional affine
+    /// remap through the state-transition matrix `f` (row-major 2×2;
+    /// bilinear gather through `f⁻¹`, identity and singular `f` skip
+    /// it) followed by a separable truncated-Gaussian blur of
+    /// `(sigma_x, sigma_y)` meters — the discrete convolution with the
+    /// process noise `N(0, Q)`. The result is renormalized; sigmas of
+    /// zero leave the corresponding axis untouched.
+    #[must_use]
+    pub fn predicted(&self, f: [f64; 4], sigma_x: f64, sigma_y: f64) -> GridBelief {
+        let mut out = self.clone();
+        let identity = f == [1.0, 0.0, 0.0, 1.0];
+        let det = f[0] * f[3] - f[1] * f[2];
+        if !identity && det.abs() > 1e-12 && det.is_finite() {
+            // x_prev = f⁻¹ · x: gather each target cell's mass from the
+            // bilinearly-interpolated source location.
+            let inv = [f[3] / det, -f[1] / det, -f[2] / det, f[0] / det];
+            let (dx, dy) = self.cell_size();
+            let mut remapped = vec![0.0; self.mass.len()];
+            for (i, slot) in remapped.iter_mut().enumerate() {
+                let c = self.cell_center(i);
+                let s = Vec2::new(inv[0] * c.x + inv[1] * c.y, inv[2] * c.x + inv[3] * c.y);
+                // Fractional cell coordinates of the source point.
+                let fx = (s.x - self.domain.min.x) / dx - 0.5;
+                let fy = (s.y - self.domain.min.y) / dy - 0.5;
+                let x0 = fx.floor();
+                let y0 = fy.floor();
+                let (tx, ty) = (fx - x0, fy - y0);
+                for (gx, gy, w) in [
+                    (x0, y0, (1.0 - tx) * (1.0 - ty)),
+                    (x0 + 1.0, y0, tx * (1.0 - ty)),
+                    (x0, y0 + 1.0, (1.0 - tx) * ty),
+                    (x0 + 1.0, y0 + 1.0, tx * ty),
+                ] {
+                    if gx >= 0.0 && gy >= 0.0 && gx < self.nx as f64 && gy < self.ny as f64 {
+                        *slot += w * self.mass[gy as usize * self.nx + gx as usize];
+                    }
+                }
+            }
+            out.mass = remapped;
+        }
+        let (dx, dy) = self.cell_size();
+        blur_axis(&mut out.mass, self.nx, self.ny, sigma_x / dx, true);
+        blur_axis(&mut out.mass, self.nx, self.ny, sigma_y / dy, false);
+        out.normalize();
+        out
+    }
+}
+
+/// One pass of a separable truncated-Gaussian blur along the x (row)
+/// or y (column) axis, with `sigma` in cell units. Kernel support is
+/// truncated at 3σ and renormalized, so mass never leaks off the grid
+/// edges asymmetrically. A sub-cell sigma is a no-op.
+fn blur_axis(mass: &mut [f64], nx: usize, ny: usize, sigma: f64, along_x: bool) {
+    if sigma <= 1e-6 || !sigma.is_finite() {
+        return;
+    }
+    let radius = ((3.0 * sigma).ceil() as usize).max(1);
+    let kernel: Vec<f64> = (0..=radius)
+        .map(|k| (-0.5 * (k as f64 / sigma).powi(2)).exp())
+        .collect();
+    let out: Vec<f64> = (0..mass.len())
+        .map(|i| {
+            let (x, y) = (i % nx, i / nx);
+            let (pos, len) = if along_x { (x, nx) } else { (y, ny) };
+            let mut acc = 0.0;
+            let mut norm = 0.0;
+            let lo = pos.saturating_sub(radius);
+            let hi = (pos + radius).min(len - 1);
+            for q in lo..=hi {
+                let w = kernel[q.abs_diff(pos)];
+                let j = if along_x { y * nx + q } else { q * nx + x };
+                acc += w * mass[j];
+                norm += w;
+            }
+            if norm > 0.0 {
+                acc / norm
+            } else {
+                mass[i]
+            }
+        })
+        .collect();
+    mass.copy_from_slice(&out);
 }
 
 impl crate::engine::Belief for GridBelief {
@@ -545,17 +628,23 @@ impl BpEngine for GridBp {
     }
 
     /// The superset entry point the core localizer drives: structured
-    /// telemetry observer, belief-level per-iteration closure, and a
-    /// message [`Transport`]. With the perfect transport this is
-    /// bit-identical to the pre-transport engine; under a fault plan,
-    /// undelivered messages fall back per the plan's drop policy
-    /// (stale held messages are tempered as `m^α`), never-received
-    /// links contribute nothing, and dead nodes freeze.
-    fn run_transported<F>(
+    /// telemetry observer, belief-level per-iteration closure, a
+    /// message [`Transport`], and optional warm-start beliefs. With the
+    /// perfect transport and no warm beliefs this is bit-identical to
+    /// the pre-transport engine; under a fault plan, undelivered
+    /// messages fall back per the plan's drop policy (stale held
+    /// messages are tempered as `m^α`), never-received links contribute
+    /// nothing, and dead nodes freeze. A warm belief (same grid shape)
+    /// replaces the prior-derived base belief of its free node both at
+    /// initialization and inside every update product, so the carried
+    /// posterior acts as this epoch's prior instead of re-applying the
+    /// pre-knowledge unary it already absorbed.
+    fn run_carried<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
         transport: &Transport,
+        warm: Option<&[GridBelief]>,
         obs: &dyn InferenceObserver,
         mut on_iter: F,
     ) -> RunOutcome<GridBelief>
@@ -594,14 +683,29 @@ impl BpEngine for GridBp {
         } else {
             None
         };
-        let mut beliefs: Vec<GridBelief> = match &cache {
-            Some(c) => c.init.clone(),
-            None => (0..mrf.len())
-                .map(|u| match mrf.fixed(u) {
+        // The per-node base belief every update product starts from:
+        // warm carried beliefs (when supplied, for free nodes whose
+        // grid shape matches) shadow the prior-derived initial belief.
+        let base_of = |u: usize| -> GridBelief {
+            if mrf.fixed(u).is_none() {
+                if let Some(w) = warm {
+                    let b = &w[u];
+                    if b.nx == self.nx && b.ny == self.ny && b.domain == domain {
+                        return b.clone();
+                    }
+                }
+            }
+            match &cache {
+                Some(c) => c.init[u].clone(),
+                None => match mrf.fixed(u) {
                     Some(p) => GridBelief::delta(p, domain, self.nx, self.ny),
                     None => GridBelief::from_unary(mrf.unary(u).as_ref(), domain, self.nx, self.ny),
-                })
-                .collect(),
+                },
+            }
+        };
+        let mut beliefs: Vec<GridBelief> = match (&cache, warm) {
+            (Some(c), None) => c.init.clone(),
+            _ => (0..mrf.len()).map(base_of).collect(),
         };
         obs.on_span(SpanKind::PriorInit, init_start.elapsed_secs());
 
@@ -634,10 +738,7 @@ impl BpEngine for GridBp {
             };
 
             let update_one = |u: usize, beliefs: &Vec<GridBelief>| -> GridBelief {
-                let mut belief = match &cache {
-                    Some(c) => c.init[u].clone(),
-                    None => GridBelief::from_unary(mrf.unary(u).as_ref(), domain, self.nx, self.ny),
-                };
+                let mut belief = base_of(u);
                 for &e in mrf.edges_of(u) {
                     let v = mrf.other_end(e, u);
                     let potential = mrf.edges()[e].potential.as_ref();

@@ -35,6 +35,7 @@ pub mod discrete_ext;
 pub mod engine;
 pub mod gaussian;
 pub mod grid;
+pub mod motion;
 pub mod mrf;
 pub mod particle;
 pub mod potential;
@@ -44,6 +45,7 @@ pub mod validate;
 pub use engine::{Belief, BpEngine, RunOutcome};
 pub use gaussian::{GaussianBelief, GaussianBp};
 pub use grid::{GridBelief, GridBp};
+pub use motion::MotionModel;
 pub use mrf::{BpOptions, BpOptionsBuilder, BpOutcome, Schedule, SpatialMrf};
 pub use particle::{ParticleBelief, ParticleBp};
 pub use potential::{

@@ -20,7 +20,7 @@
 
 use crate::engine::{BpEngine, RunOutcome};
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
-use crate::potential::PairPotential;
+use crate::potential::{PairPotential, UnaryPotential};
 use crate::transport::{Transport, TransportSession, Verdict};
 use crate::validate::{self, DistributionAudit, GraphAudit};
 use rayon::prelude::*;
@@ -153,6 +153,34 @@ impl ParticleBelief {
     pub fn bandwidth(&self, min: f64) -> f64 {
         silverman_bandwidth(&self.particles, &self.weights, min)
     }
+
+    /// KDE log-density at `x`: `log Σᵢ wᵢ·N(x; pᵢ, h²I)` with an
+    /// isotropic Gaussian kernel of bandwidth `h` (log-sum-exp
+    /// stabilized). This is what lets a carried particle set act as a
+    /// *prior* in a later importance-weighting pass, not just as a
+    /// sample support.
+    pub fn kde_log_density(&self, x: Vec2, bandwidth: f64) -> f64 {
+        let h2 = bandwidth.max(1e-9).powi(2);
+        let log_norm = -(std::f64::consts::TAU * h2).ln();
+        let log_kernel = |p: Vec2, w: f64| w.ln() - 0.5 * x.dist_sq(p) / h2;
+        let mut max_l = f64::NEG_INFINITY;
+        for (&p, &w) in self.particles.iter().zip(&self.weights) {
+            if w > 0.0 {
+                max_l = max_l.max(log_kernel(p, w));
+            }
+        }
+        if max_l == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        let sum: f64 = self
+            .particles
+            .iter()
+            .zip(&self.weights)
+            .filter(|&(_, &w)| w > 0.0)
+            .map(|(&p, &w)| (log_kernel(p, w) - max_l).exp())
+            .sum();
+        max_l + sum.ln() + log_norm
+    }
 }
 
 /// Whole-number share of the particle budget: `round(n * fraction)`.
@@ -198,6 +226,42 @@ struct EdgeCtx<'a> {
     alpha: f64,
 }
 
+/// The effective per-epoch prior of one node: the MRF unary on a cold
+/// start, or the carried (motion-predicted) belief on a warm start.
+/// Both proposal refreshes and the prior term of the importance
+/// weights go through this, so a carried posterior is never
+/// re-multiplied by the pre-knowledge unary it already absorbed.
+enum EpochPrior<'a> {
+    /// Cold start: sample and weight against the node's unary.
+    Unary(&'a dyn UnaryPotential),
+    /// Warm start: sample and weight against the carried belief's KDE.
+    Carried {
+        /// The carried particle set.
+        belief: &'a ParticleBelief,
+        /// KDE kernel bandwidth for sampling and density evaluation.
+        bandwidth: f64,
+    },
+}
+
+impl EpochPrior<'_> {
+    fn sample(&self, rng: &mut Xoshiro256pp) -> Vec2 {
+        match self {
+            EpochPrior::Unary(u) => u.sample(rng),
+            EpochPrior::Carried { belief, bandwidth } => {
+                let idx = rng.weighted_index(belief.weights()).unwrap_or(0);
+                rng.gaussian_point(belief.particles()[idx], *bandwidth)
+            }
+        }
+    }
+
+    fn log_density(&self, x: Vec2) -> f64 {
+        match self {
+            EpochPrior::Unary(u) => u.log_density(x),
+            EpochPrior::Carried { belief, bandwidth } => belief.kde_log_density(x, *bandwidth),
+        }
+    }
+}
+
 /// Loopy belief propagation with particle beliefs.
 #[derive(Debug, Clone, Copy)]
 pub struct ParticleBp {
@@ -241,18 +305,24 @@ impl BpEngine for ParticleBp {
     }
 
     /// The superset entry point the core localizer drives: structured
-    /// telemetry observer, belief-level per-iteration closure, and a
-    /// message [`Transport`]. With the perfect transport this is
-    /// bit-identical to the pre-transport engine; under a fault plan,
-    /// undelivered neighbor beliefs are replaced by held snapshots
-    /// (their log-likelihood contribution discounted by `alpha`),
+    /// telemetry observer, belief-level per-iteration closure, a
+    /// message [`Transport`], and optional warm-start beliefs. With the
+    /// perfect transport and no warm beliefs this is bit-identical to
+    /// the pre-transport engine; under a fault plan, undelivered
+    /// neighbor beliefs are replaced by held snapshots (their
+    /// log-likelihood contribution discounted by `alpha`),
     /// never-received links drop out of the proposal/weighting mix, and
-    /// dead nodes freeze.
-    fn run_transported<F>(
+    /// dead nodes freeze. A warm particle set replaces a free node's
+    /// prior-sampled initial belief, and its KDE stands in for the
+    /// unary in proposal refreshes and importance weights — the
+    /// particle-filter predict/update recursion, with propagation and
+    /// jitter applied by the caller before the run.
+    fn run_carried<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
         transport: &Transport,
+        warm: Option<&[ParticleBelief]>,
         obs: &dyn InferenceObserver,
         mut on_iter: F,
     ) -> RunOutcome<ParticleBelief>
@@ -282,15 +352,32 @@ impl BpEngine for ParticleBp {
         // Initialize: fixed vars are points, free vars sample their prior.
         let init_start = Stopwatch::start();
         let mut beliefs: Vec<ParticleBelief> = (0..mrf.len())
-            .map(|u| match mrf.fixed(u) {
-                Some(p) => ParticleBelief::point(p),
-                None => {
+            .map(|u| match (mrf.fixed(u), warm) {
+                (Some(p), _) => ParticleBelief::point(p),
+                // Carried-over epoch prior: the previous posterior's
+                // particle set, already propagated + jittered by the
+                // caller. Skipping the init sampling is safe for
+                // determinism because `split` derives, not advances,
+                // the per-node streams.
+                (None, Some(w)) => w[u].clone(),
+                (None, None) => {
                     let mut rng = root.split(u as u64);
                     let pts: Vec<Vec2> = (0..self.particles)
                         .map(|_| mrf.unary(u).sample(&mut rng))
                         .collect();
                     ParticleBelief::from_points(pts)
                 }
+            })
+            .collect();
+        // Per-node epoch priors: carried beliefs shadow the unary for
+        // free nodes; the KDE bandwidth matches the walk-jitter floor.
+        let epoch_priors: Vec<EpochPrior<'_>> = (0..mrf.len())
+            .map(|u| match warm {
+                Some(w) if mrf.fixed(u).is_none() => EpochPrior::Carried {
+                    belief: &w[u],
+                    bandwidth: w[u].bandwidth(1e-3).max(mrf.domain().diagonal() * 1e-4),
+                },
+                _ => EpochPrior::Unary(mrf.unary(u).as_ref()),
             })
             .collect();
         obs.on_span(SpanKind::PriorInit, init_start.elapsed_secs());
@@ -319,7 +406,15 @@ impl BpEngine for ParticleBp {
 
             let update_one = |u: usize, beliefs: &Vec<ParticleBelief>| -> ParticleBelief {
                 let mut rng = root.split(iter_tag | u as u64);
-                self.update_node(mrf, u, beliefs, session.as_ref(), opts, &mut rng)
+                self.update_node(
+                    mrf,
+                    u,
+                    beliefs,
+                    session.as_ref(),
+                    opts,
+                    &epoch_priors[u],
+                    &mut rng,
+                )
             };
 
             match opts.schedule {
@@ -406,7 +501,10 @@ impl BpEngine for ParticleBp {
 impl ParticleBp {
     /// One SPAWN-style importance update of node `u`, against the
     /// neighbor beliefs the transport session delivered (or the live
-    /// beliefs on the perfect transport).
+    /// beliefs on the perfect transport). `prior` is the node's epoch
+    /// prior — its unary on a cold start, the carried belief's KDE on a
+    /// warm start.
+    #[allow(clippy::too_many_arguments)]
     fn update_node(
         &self,
         mrf: &SpatialMrf,
@@ -414,13 +512,13 @@ impl ParticleBp {
         beliefs: &[ParticleBelief],
         session: Option<&TransportSession<ParticleBelief>>,
         opts: &BpOptions,
+        prior: &EpochPrior<'_>,
         rng: &mut Xoshiro256pp,
     ) -> ParticleBelief {
         let current = &beliefs[u];
         let edges = mrf.edges_of(u);
         let n = self.particles;
         let domain = mrf.domain();
-        let unary = mrf.unary(u).as_ref();
 
         // Neighbor context — delivered belief, potential, anchor position,
         // staleness discount — is invariant across the proposal and
@@ -486,18 +584,18 @@ impl ParticleBp {
         }
         // (c) prior refreshes.
         for _ in 0..n_prior {
-            candidates.push(unary.sample(rng));
+            candidates.push(prior.sample(rng));
         }
         // Pad in the unlikely rounding shortfall.
         while candidates.len() < n {
-            candidates.push(unary.sample(rng));
+            candidates.push(prior.sample(rng));
         }
 
         // --- Weighting ----------------------------------------------------
         let log_weights: Vec<f64> = candidates
             .iter()
             .map(|&x| {
-                let mut lw = unary.log_density(x);
+                let mut lw = prior.log_density(x);
                 for c in &ctx {
                     // alpha == 1 multiplies exactly (IEEE), so the
                     // perfect path stays bit-identical.

@@ -186,7 +186,10 @@ fn benches(c: &mut Criterion) {
         let engine = BnlLocalizer::particle(PARTICLES)
             .with_max_iterations(2)
             .with_tolerance(0.0);
-        let mut tracker = TrackingLocalizer::new(engine, 15.0);
+        let mut tracker = TrackingLocalizer::builder(engine)
+            .motion_per_step(15.0)
+            .try_build()
+            .expect("valid tracker");
         // Warm the tracker so the bench measures the steady-state step.
         let _ = tracker.step(&snapshot, 0);
         b.iter(|| black_box(tracker.step(&snapshot, 1)));

@@ -42,6 +42,10 @@
 //! - [`model`] — [`model::build_mrf`]: network → Bayesian network.
 //! - [`localizer`] — the [`BnlLocalizer`] engine and the
 //!   [`Localizer`] trait every algorithm in the workspace implements.
+//! - [`session`] — [`session::LocalizationSession`]: the streaming
+//!   entry point; one BP solve per measurement epoch with posterior
+//!   beliefs motion-predicted and carried into the next epoch.
+//!   One-shot [`Localizer::localize`] is the single-epoch case.
 //! - [`result`] — [`LocalizationResult`] and error computation.
 //! - [`crlb`] — the Cramér–Rao lower bound for range-based cooperative
 //!   localization with Gaussian priors.
@@ -58,12 +62,15 @@ pub mod localizer;
 pub mod model;
 pub mod prior;
 pub mod result;
+pub mod session;
 pub mod tracking;
 
 pub use localizer::{Backend, BnlLocalizer, BnlLocalizerBuilder, Estimator};
 pub use prior::PriorModel;
 pub use result::{LocalizationResult, Localizer};
-pub use tracking::TrackingLocalizer;
+pub use session::{CarriedBeliefs, LocalizationSession};
+pub use tracking::{TrackingLocalizer, TrackingLocalizerBuilder};
+pub use wsnloc_bayes::MotionModel;
 pub use wsnloc_obs as obs;
 
 /// Convenient glob import for applications.
@@ -72,8 +79,11 @@ pub mod prelude {
     pub use crate::localizer::{Backend, BnlLocalizer, BnlLocalizerBuilder, Estimator};
     pub use crate::prior::PriorModel;
     pub use crate::result::{LocalizationResult, Localizer};
-    pub use crate::tracking::TrackingLocalizer;
-    pub use wsnloc_bayes::{BpEngine, BpOptions, Schedule, Transport, ValidationError};
+    pub use crate::session::{CarriedBeliefs, LocalizationSession};
+    pub use crate::tracking::{TrackingLocalizer, TrackingLocalizerBuilder};
+    pub use wsnloc_bayes::{
+        BpEngine, BpOptions, MotionModel, Schedule, Transport, ValidationError,
+    };
     pub use wsnloc_geom::{Aabb, Shape, Vec2};
     pub use wsnloc_net::{
         AnchorStrategy, DeathModel, Deployment, DropPolicy, FaultPlan, GroundTruth, LossModel,

@@ -15,6 +15,7 @@
 use crate::model::{build_mrf, ModelOptions};
 use crate::prior::PriorModel;
 use crate::result::{LocalizationResult, Localizer};
+use crate::session::{CarriedBeliefs, LocalizationSession};
 use std::sync::Arc;
 use wsnloc_bayes::{
     Belief, BpEngine, BpOptions, GaussianBp, GridBp, ParticleBp, Schedule, SpatialMrf, Transport,
@@ -321,19 +322,30 @@ impl BnlLocalizer {
     where
         F: FnMut(usize, &[Option<Vec2>]),
     {
-        self.localize_inner(network, seed, &NullObserver, on_iteration)
+        LocalizationSession::new(self.clone()).advance_full(
+            network,
+            seed,
+            &NullObserver,
+            on_iteration,
+        )
     }
 
-    /// The full localization path: builds the model, runs the configured
-    /// backend with both the structured `obs` observer and the
-    /// estimate-level `on_iteration` callback, and extracts the result.
-    fn localize_inner<F>(
+    /// The full single-epoch localization path: builds the model, runs the
+    /// configured backend — warm-started from `warm` carried beliefs when
+    /// present and backend-compatible, else cold from the pre-knowledge
+    /// prior — with both the structured `obs` observer and the
+    /// estimate-level `on_iteration` callback, then extracts the result and
+    /// hands the final posterior beliefs back for the next epoch. This is
+    /// the one code path under every public entry point: one-shot
+    /// [`BnlLocalizer::localize`] is a fresh session advanced once.
+    pub(crate) fn localize_epoch<F>(
         &self,
         network: &Network,
         seed: u64,
+        warm: Option<&CarriedBeliefs>,
         obs: &dyn InferenceObserver,
         mut on_iteration: F,
-    ) -> LocalizationResult
+    ) -> (LocalizationResult, CarriedBeliefs)
     where
         F: FnMut(usize, &[Option<Vec2>]),
     {
@@ -367,52 +379,76 @@ impl BnlLocalizer {
         // TraceObserver opens its record at the engine's `on_run_start`, so
         // the model-build span (measured above) and the estimate-extraction
         // span are reported after the run instead of in wall-clock order.
-        match self.backend {
+        // A carried-belief bundle from a different backend (the session's
+        // engine was reconfigured) degrades to a cold start rather than
+        // guessing a conversion.
+        let carried = match self.backend {
             Backend::Particle { particles } => {
                 let mut engine = ParticleBp::with_particles(particles);
                 engine.mixture_samples = self.broadcast_particles;
-                self.run_backend(
+                let w = match warm {
+                    Some(CarriedBeliefs::Particle(v)) => Some(v.as_slice()),
+                    _ => None,
+                };
+                CarriedBeliefs::Particle(self.run_backend(
                     &engine,
                     &mrf,
                     &opts,
                     &transport,
+                    w,
                     obs,
                     build_secs,
                     &mut result,
                     &mut on_iteration,
-                );
+                ))
             }
-            Backend::Gaussian => self.run_backend(
-                &GaussianBp::default(),
-                &mrf,
-                &opts,
-                &transport,
-                obs,
-                build_secs,
-                &mut result,
-                &mut on_iteration,
-            ),
-            Backend::Grid { resolution } => self.run_backend(
-                &GridBp::with_resolution(resolution),
-                &mrf,
-                &opts,
-                &transport,
-                obs,
-                build_secs,
-                &mut result,
-                &mut on_iteration,
-            ),
-        }
+            Backend::Gaussian => {
+                let w = match warm {
+                    Some(CarriedBeliefs::Gaussian(v)) => Some(v.as_slice()),
+                    _ => None,
+                };
+                CarriedBeliefs::Gaussian(self.run_backend(
+                    &GaussianBp::default(),
+                    &mrf,
+                    &opts,
+                    &transport,
+                    w,
+                    obs,
+                    build_secs,
+                    &mut result,
+                    &mut on_iteration,
+                ))
+            }
+            Backend::Grid { resolution } => {
+                let w = match warm {
+                    Some(CarriedBeliefs::Grid(v)) => Some(v.as_slice()),
+                    _ => None,
+                };
+                CarriedBeliefs::Grid(self.run_backend(
+                    &GridBp::with_resolution(resolution),
+                    &mrf,
+                    &opts,
+                    &transport,
+                    w,
+                    obs,
+                    build_secs,
+                    &mut result,
+                    &mut on_iteration,
+                ))
+            }
+        };
 
         result.elapsed_secs = start.elapsed_secs();
-        result
+        (result, carried)
     }
 
-    /// Backend-generic run-and-extract: drives [`BpEngine::run_transported`]
-    /// with the estimate-level iteration callback, then reads point
-    /// estimates and uncertainties out of the final beliefs through the
-    /// [`Belief`] trait. A MAP request on a backend without a mode extractor
-    /// falls back to MMSE and reports the switch as an observer event.
+    /// Backend-generic run-and-extract: drives [`BpEngine::run_carried`]
+    /// with the warm beliefs and the estimate-level iteration callback,
+    /// then reads point estimates and uncertainties out of the final
+    /// beliefs through the [`Belief`] trait and returns those beliefs for
+    /// epoch carry-over. A MAP request on a backend without a mode
+    /// extractor falls back to MMSE and reports the switch as an observer
+    /// event.
     #[allow(clippy::too_many_arguments)]
     fn run_backend<E, F>(
         &self,
@@ -420,16 +456,18 @@ impl BnlLocalizer {
         mrf: &SpatialMrf,
         opts: &BpOptions,
         transport: &Transport,
+        warm: Option<&[E::Belief]>,
         obs: &dyn InferenceObserver,
         build_secs: f64,
         result: &mut LocalizationResult,
         mut on_iteration: F,
-    ) where
+    ) -> Vec<E::Belief>
+    where
         E: BpEngine,
         F: FnMut(usize, &[Option<Vec2>]),
     {
         let n = result.estimates.len();
-        let out = engine.run_transported(mrf, opts, transport, obs, |iter, beliefs| {
+        let out = engine.run_carried(mrf, opts, transport, warm, obs, |iter, beliefs| {
             let estimates: Vec<Option<Vec2>> = (0..n)
                 .map(|id| match mrf.fixed(id) {
                     Some(p) => Some(p),
@@ -460,6 +498,7 @@ impl BnlLocalizer {
         result.iterations = out.bp.iterations;
         result.converged = out.bp.converged;
         result.comm = self.comm_stats(out.bp.messages);
+        out.beliefs
     }
 
     /// Encoded size of one belief broadcast for the configured backend —
@@ -514,7 +553,7 @@ impl Localizer for BnlLocalizer {
         seed: u64,
         observer: &dyn InferenceObserver,
     ) -> LocalizationResult {
-        self.localize_inner(network, seed, observer, |_, _| {})
+        LocalizationSession::new(self.clone()).advance_observed(network, seed, observer)
     }
 }
 

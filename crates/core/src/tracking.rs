@@ -2,100 +2,142 @@
 //!
 //! The static algorithm extends to mobility by sequential Bayesian
 //! filtering: each time step's posterior, convolved with a motion model,
-//! becomes the next step's *pre-knowledge*. [`TrackingLocalizer`] wraps a
-//! [`BnlLocalizer`] and maintains that recursion:
-//!
-//! - step 0: localize with the configured initial prior;
-//! - step t: per-node Gaussian priors centered on the previous estimates
-//!   with σ = (previous belief spread) + (expected motion per step) — an
-//!   intentionally conservative inflation, since loopy-BP posteriors
-//!   understate their own uncertainty.
+//! becomes the next step's *pre-knowledge*. [`TrackingLocalizer`] is the
+//! tracking facade over a [`LocalizationSession`]: it carries the full
+//! per-node **beliefs** between steps (grid histograms, particle sets, or
+//! Gaussian moments — see [`crate::session::CarriedBeliefs`]), applying
+//! the configured [`MotionModel`] as the predict step, rather than
+//! collapsing each posterior to a Gaussian summary and re-entering it as
+//! a unary prior.
 //!
 //! The payoff is *budget*, not just accuracy: with a temporal prior, two or
 //! three BP iterations per step suffice, where a memoryless localizer needs
 //! its full flooding schedule from scratch every step (experiment F14).
+//!
+//! Construct through [`TrackingLocalizer::builder`] — the motion
+//! configuration is validated into a typed [`ValidationError`] instead of
+//! silently producing a tracker that never inflates its prior.
 
 use crate::localizer::BnlLocalizer;
-use crate::prior::PriorModel;
 use crate::result::{LocalizationResult, Localizer};
-use wsnloc_geom::Vec2;
+use crate::session::LocalizationSession;
+use wsnloc_bayes::{MotionModel, ValidationError};
 use wsnloc_net::Network;
 
 /// Sequential Bayesian tracker over network snapshots.
+///
+/// ```
+/// use wsnloc::prelude::*;
+///
+/// let tracker = TrackingLocalizer::builder(BnlLocalizer::particle(100))
+///     .motion_per_step(5.0)
+///     .try_build()
+///     .expect("valid tracker");
+/// assert_eq!(tracker.name(), "Track(NBP/particle)");
+///
+/// // A non-finite motion budget is a typed error, not a silent NaN:
+/// assert!(TrackingLocalizer::builder(BnlLocalizer::particle(100))
+///     .motion_per_step(f64::NAN)
+///     .try_build()
+///     .is_err());
+/// ```
 #[derive(Debug, Clone)]
 pub struct TrackingLocalizer {
-    /// The per-step inference engine (its `prior` field is used only for
-    /// the first step).
-    pub engine: BnlLocalizer,
-    /// Expected per-step displacement (meters): `max_speed · dt` of the
-    /// mobility model, inflating the temporal prior.
-    pub motion_per_step: f64,
-    /// Belief state carried between steps.
-    state: Option<TrackState>,
+    /// The epoch session carrying beliefs between steps.
+    pub(crate) session: LocalizationSession,
 }
 
+/// Validated builder for [`TrackingLocalizer`].
 #[derive(Debug, Clone)]
-struct TrackState {
-    means: Vec<Option<Vec2>>,
-    sigmas: Vec<f64>,
+pub struct TrackingLocalizerBuilder {
+    engine: BnlLocalizer,
+    motion: Option<MotionModel>,
+    motion_per_step: Option<f64>,
+}
+
+impl TrackingLocalizerBuilder {
+    /// Sets the expected per-step displacement (meters): `max_speed · dt`
+    /// of the mobility model, used as the isotropic process-noise sigma.
+    /// Must be finite and non-negative.
+    #[must_use]
+    pub fn motion_per_step(mut self, meters: f64) -> Self {
+        self.motion_per_step = Some(meters);
+        self.motion = None;
+        self
+    }
+
+    /// Sets a full motion model (state transition plus anisotropic
+    /// process noise), overriding [`Self::motion_per_step`].
+    #[must_use]
+    pub fn motion(mut self, model: MotionModel) -> Self {
+        self.motion = Some(model);
+        self.motion_per_step = None;
+        self
+    }
+
+    /// Validates the configuration and returns the finished tracker.
+    ///
+    /// # Errors
+    /// [`ValidationError::InvalidOption`] when no motion was configured or
+    /// `motion_per_step` is negative or non-finite.
+    pub fn try_build(self) -> Result<TrackingLocalizer, ValidationError> {
+        let motion = match (self.motion, self.motion_per_step) {
+            (Some(model), _) => model,
+            (None, Some(meters)) => MotionModel::new([1.0, 0.0, 0.0, 1.0], meters, meters)?,
+            (None, None) => {
+                return Err(ValidationError::InvalidOption {
+                    option: "motion",
+                    value: f64::NAN,
+                    requirement: "a tracker needs motion_per_step(..) or motion(..)",
+                });
+            }
+        };
+        Ok(TrackingLocalizer {
+            session: LocalizationSession::new(self.engine).with_motion(motion),
+        })
+    }
 }
 
 impl TrackingLocalizer {
-    /// Creates a tracker. `engine.prior` supplies the step-0 prior.
-    pub fn new(engine: BnlLocalizer, motion_per_step: f64) -> Self {
-        TrackingLocalizer {
+    /// Starts a validated builder around the per-step inference engine
+    /// (whose prior supplies the step-0 pre-knowledge).
+    #[must_use]
+    pub fn builder(engine: BnlLocalizer) -> TrackingLocalizerBuilder {
+        TrackingLocalizerBuilder {
             engine,
-            motion_per_step,
-            state: None,
+            motion: None,
+            motion_per_step: None,
         }
     }
 
-    /// Resets to the initial (step-0) prior.
+    /// The underlying per-step engine configuration.
+    #[must_use]
+    pub fn engine(&self) -> &BnlLocalizer {
+        self.session.engine()
+    }
+
+    /// Resets to the initial (step-0) prior, dropping carried beliefs.
     pub fn reset(&mut self) {
-        self.state = None;
+        self.session.reset();
     }
 
-    /// Processes one snapshot and returns its localization result, carrying
-    /// the posterior forward as the next step's prior.
+    /// Processes one snapshot and returns its localization result,
+    /// carrying the motion-predicted posterior beliefs forward as the
+    /// next step's pre-knowledge. A network whose size changed since the
+    /// previous step cold-starts instead of carrying stale beliefs.
     pub fn step(&mut self, network: &Network, seed: u64) -> LocalizationResult {
-        let mut engine = self.engine.clone();
-        if let Some(state) = &self.state {
-            assert_eq!(
-                state.means.len(),
-                network.len(),
-                "network size changed between tracking steps"
-            );
-            engine.prior = PriorModel::PerNodeGaussian {
-                means: state.means.clone(),
-                sigmas: state.sigmas.clone(),
-            };
-        }
-        let result = engine.localize(network, seed);
-
-        // Posterior → next prior. Loopy BP posteriors are overconfident
-        // (evidence is double-counted around loops), so the carried sigma is
-        // the *sum* of spread and motion rather than their RSS — a
-        // conservative inflation that keeps the tracker self-correcting.
-        let means = result.estimates.clone();
-        let sigmas: Vec<f64> = (0..network.len())
-            .map(|id| {
-                let spread = result.uncertainty[id].unwrap_or(0.0);
-                spread + self.motion_per_step
-            })
-            .collect();
-        self.state = Some(TrackState { means, sigmas });
-        result
+        self.session.advance(network, seed)
     }
 }
 
 impl Localizer for TrackingLocalizer {
     fn name(&self) -> String {
-        format!("Track({})", self.engine.name())
+        format!("Track({})", self.session.engine().name())
     }
 
     /// Stateless single-shot interface: equivalent to a fresh step 0.
     fn localize(&self, network: &Network, seed: u64) -> LocalizationResult {
-        self.engine.localize(network, seed)
+        self.session.engine().localize(network, seed)
     }
 }
 
@@ -103,7 +145,7 @@ impl Localizer for TrackingLocalizer {
 mod tests {
     use super::*;
     use wsnloc_geom::stats;
-    use wsnloc_geom::{Aabb, Shape};
+    use wsnloc_geom::{Aabb, Shape, Vec2};
     use wsnloc_net::mobility::{MobileWorld, RandomWaypoint};
     use wsnloc_net::{GroundTruth, RadioModel, RangingModel};
 
@@ -134,6 +176,13 @@ mod tests {
             .with_tolerance(0.0)
     }
 
+    fn tracker(motion_per_step: f64) -> TrackingLocalizer {
+        TrackingLocalizer::builder(engine())
+            .motion_per_step(motion_per_step)
+            .try_build()
+            .expect("valid tracker")
+    }
+
     fn step_error(result: &LocalizationResult, net: &Network, truth: &[Vec2]) -> f64 {
         let gt = GroundTruth::from_positions(truth.to_vec());
         let errs: Vec<f64> = result
@@ -147,7 +196,7 @@ mod tests {
     #[test]
     fn tracking_beats_memoryless_on_later_steps() {
         let mut w = world(1, 8.0);
-        let mut tracker = TrackingLocalizer::new(engine(), 10.0);
+        let mut tracker = tracker(10.0);
         let memoryless = engine();
         let mut tracked = Vec::new();
         let mut fresh = Vec::new();
@@ -170,7 +219,7 @@ mod tests {
     #[test]
     fn tracker_error_stays_bounded_over_time() {
         let mut w = world(2, 12.0);
-        let mut tracker = TrackingLocalizer::new(engine(), 15.0);
+        let mut tracker = tracker(15.0);
         let mut errors = Vec::new();
         for t in 0..8u64 {
             let net = w.step();
@@ -187,7 +236,7 @@ mod tests {
     fn reset_restores_initial_prior() {
         let mut w = world(3, 5.0);
         let net = w.step();
-        let mut tracker = TrackingLocalizer::new(engine(), 6.0);
+        let mut tracker = tracker(6.0);
         let first = tracker.step(&net, 0);
         tracker.reset();
         let again = tracker.step(&net, 0);
@@ -196,7 +245,23 @@ mod tests {
 
     #[test]
     fn name_reflects_engine() {
-        let tracker = TrackingLocalizer::new(engine(), 5.0);
-        assert_eq!(tracker.name(), "Track(NBP/particle)");
+        assert_eq!(tracker(5.0).name(), "Track(NBP/particle)");
+    }
+
+    #[test]
+    fn builder_requires_valid_motion() {
+        assert!(TrackingLocalizer::builder(engine()).try_build().is_err());
+        assert!(TrackingLocalizer::builder(engine())
+            .motion_per_step(-1.0)
+            .try_build()
+            .is_err());
+        assert!(TrackingLocalizer::builder(engine())
+            .motion_per_step(f64::INFINITY)
+            .try_build()
+            .is_err());
+        assert!(TrackingLocalizer::builder(engine())
+            .motion(MotionModel::random_walk(4.0))
+            .try_build()
+            .is_ok());
     }
 }

@@ -4,11 +4,12 @@
 //! The static lint tier can reject *patterns* that tend to break
 //! determinism (unseeded RNG, `HashMap` iteration, unfenced atomics);
 //! this module is the dynamic complement: it *executes* grid and
-//! particle BP under every combination of worker-pool thread count and
-//! seeded schedule permutation (the `rayon` shim's
-//! `set_schedule_permutation` hook shuffles the order chunk jobs reach
-//! the shared queue) and asserts that beliefs and folded metrics are
-//! **bit-identical** to a sequential reference run.
+//! particle BP — plus a multi-tenant streaming-engine scenario with
+//! belief carry-over and overload shedding — under every combination of
+//! worker-pool thread count and seeded schedule permutation (the `rayon`
+//! shim's `set_schedule_permutation` hook shuffles the order chunk jobs
+//! reach the shared queue) and asserts that beliefs and folded metrics
+//! are **bit-identical** to a sequential reference run.
 //!
 //! Because the shim assigns each chunk a fixed output slot and drains
 //! the batch latch before returning, a permuted schedule cannot change
@@ -19,6 +20,7 @@
 
 use wsnloc::prelude::*;
 use wsnloc_obs::{MetricsObserver, MetricsSnapshot};
+use wsnloc_serve::{EngineConfig, MeasurementEpoch, SessionConfig, StreamingEngine};
 
 /// The perturbation matrix one audit run sweeps.
 #[derive(Debug, Clone)]
@@ -141,6 +143,58 @@ fn backends() -> Vec<(&'static str, BnlLocalizer)> {
     ]
 }
 
+/// The audited streaming workload: three tenant sessions on the audit
+/// network (distinct per-tenant seeds), three epochs of belief
+/// carry-over, and a per-tick capacity of two so the round-robin shed
+/// path (decay-to-prior coasting) executes under perturbation too. The
+/// fingerprint concatenates every update's estimates/uncertainty in
+/// tenant order and merges the per-tenant metrics folds.
+fn stream_fingerprint(network: &Network) -> Fingerprint {
+    let mut engine = StreamingEngine::new(EngineConfig {
+        capacity_per_tick: 2,
+        shed_policy: DropPolicy::DecayToPrior { decay: 0.5 },
+    });
+    let localizer = BnlLocalizer::particle(80)
+        .with_prior(PriorModel::DropPoint { sigma: 50.0 })
+        .with_max_iterations(3)
+        .with_tolerance(0.0);
+    let session_cfg = SessionConfig::new(localizer).with_motion(MotionModel::random_walk(4.0));
+    let ids: Vec<_> = (0..3u64)
+        .map(|_| engine.open_session(session_cfg.clone()))
+        .collect();
+    let mut estimates = Vec::new();
+    let mut uncertainty = Vec::new();
+    let mut iterations = 0;
+    let mut converged = true;
+    for e in 0..3u64 {
+        for (u, id) in ids.iter().enumerate() {
+            engine.submit(
+                *id,
+                MeasurementEpoch::new(network.clone(), 0xF1DE ^ (u as u64) ^ (e << 8)),
+            );
+        }
+        for up in engine.tick() {
+            estimates.extend(
+                up.result
+                    .estimates
+                    .iter()
+                    .map(|p| p.map(|p| (p.x.to_bits(), p.y.to_bits()))),
+            );
+            uncertainty.extend(up.result.uncertainty.iter().map(|u| u.map(f64::to_bits)));
+            iterations += up.result.iterations;
+            converged &= up.result.converged || up.degraded;
+        }
+    }
+    let parts: Vec<MetricsSnapshot> = ids.iter().filter_map(|&id| engine.metrics(id)).collect();
+    Fingerprint {
+        estimates,
+        uncertainty,
+        iterations,
+        converged,
+        metrics: normalize(MetricsSnapshot::merge(&parts)),
+    }
+}
+
 /// Runs the full perturbation sweep and reports every divergence.
 ///
 /// The schedule-permutation hook is process-global; the sweep always
@@ -190,6 +244,37 @@ pub fn audit_determinism(config: &AuditConfig) -> AuditOutcome {
             }
         }
     }
+
+    // Streaming workload: the multi-tenant engine batches whole tenant
+    // solves through the pool, so its determinism deserves its own sweep.
+    let stream_run = |threads: usize, permutation: Option<u64>| -> Fingerprint {
+        rayon::set_schedule_permutation(permutation);
+        let fp = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("shim pool build is infallible")
+            .install(|| stream_fingerprint(&network));
+        rayon::set_schedule_permutation(None);
+        fp
+    };
+    let reference = stream_run(config.thread_counts.first().copied().unwrap_or(1), None);
+    outcome.runs += 1;
+    for &threads in &config.thread_counts {
+        let schedules =
+            std::iter::once(None).chain(config.permutation_seeds.iter().map(|&s| Some(s)));
+        for permutation in schedules {
+            let got = stream_run(threads, permutation);
+            outcome.runs += 1;
+            if got != reference {
+                let schedule = permutation
+                    .map_or_else(|| "input-order".to_string(), |s| format!("seed {s:#x}"));
+                let what = diverged(&reference, &got);
+                outcome.failures.push(format!(
+                    "streaming: threads={threads} schedule={schedule}: {what} diverged from the sequential reference"
+                ));
+            }
+        }
+    }
     outcome
 }
 
@@ -217,8 +302,9 @@ mod tests {
             thread_counts: vec![1, 2],
             permutation_seeds: vec![0xA0D1_7000],
         });
-        // 2 backends × (1 reference + 2 thread counts × 2 schedules).
-        assert_eq!(outcome.runs, 10);
+        // 3 workloads (grid, particle, streaming engine) ×
+        // (1 reference + 2 thread counts × 2 schedules).
+        assert_eq!(outcome.runs, 15);
         assert!(outcome.passed(), "divergences: {:?}", outcome.failures);
     }
 

@@ -2,7 +2,8 @@
 //!
 //! Unlike the statistical harness in `crates/bench`, these run fixed
 //! scenarios and emit compact JSON (`BENCH_grid.json`,
-//! `BENCH_particle.json`) meant to be committed alongside the code, so
+//! `BENCH_particle.json`, `BENCH_stream.json`) meant to be committed
+//! alongside the code, so
 //! the perf trajectory of the message-passing hot path is visible in
 //! review diffs. The grid bench times the same inference twice — with
 //! the per-run message cache (kernel stencils + hoisted priors/anchor
@@ -189,6 +190,87 @@ pub fn particle_bench_json(samples: usize) -> String {
     )
 }
 
+/// Tenant count of the pinned streaming scenario.
+pub const STREAM_TENANTS: usize = 64;
+/// Per-epoch BP iteration budget of the pinned streaming scenario.
+pub const STREAM_ITERATIONS: usize = 2;
+
+/// Runs the streaming-engine bench and returns the `BENCH_stream.json`
+/// contents: one engine hosting 64 tenant sessions (30-node networks,
+/// particle backend, 2-iteration budget with belief carry-over), timed
+/// over whole warm ticks — every tenant advancing one epoch — so the
+/// pinned `epoch_secs` is the end-to-end cost of one tenant-epoch
+/// including scheduling, belief predict, and the parallel BP batch.
+pub fn stream_bench_json(samples: usize) -> String {
+    use wsnloc_net::network::NetworkBuilder;
+    use wsnloc_net::{AnchorStrategy, Deployment, Network, RadioModel, RangingModel};
+    use wsnloc_serve::{EngineConfig, MeasurementEpoch, SessionConfig, StreamingEngine};
+
+    const NODES: usize = 30;
+    const PARTICLES: usize = 50;
+    let networks: Vec<Network> = (0..STREAM_TENANTS as u64)
+        .map(|t| {
+            NetworkBuilder {
+                deployment: Deployment::planned_square_drop(400.0, 3, 40.0),
+                node_count: NODES,
+                anchors: AnchorStrategy::Random { count: 5 },
+                radio: RadioModel::UnitDisk { range: 150.0 },
+                ranging: RangingModel::Multiplicative { factor: 0.1 },
+            }
+            .build(0xBE9C ^ t)
+            .0
+        })
+        .collect();
+    let localizer = wsnloc::BnlLocalizer::particle(PARTICLES)
+        .with_max_iterations(STREAM_ITERATIONS)
+        .with_tolerance(0.0);
+    let session_cfg =
+        SessionConfig::new(localizer).with_motion(wsnloc_bayes::MotionModel::random_walk(2.0));
+    let mut engine = StreamingEngine::new(EngineConfig::default());
+    let ids: Vec<_> = (0..STREAM_TENANTS)
+        .map(|_| engine.open_session(session_cfg.clone()))
+        .collect();
+    // Warm every session first so the timed ticks measure the
+    // carried-belief steady state, not the cold start.
+    for (u, id) in ids.iter().enumerate() {
+        engine.submit(*id, MeasurementEpoch::new(networks[u].clone(), 0));
+    }
+    let warmed = engine.tick().len();
+    let mut epoch_seed = 1u64;
+    let tick_secs = median_secs(samples, || {
+        for (u, id) in ids.iter().enumerate() {
+            engine.submit(*id, MeasurementEpoch::new(networks[u].clone(), epoch_seed));
+        }
+        epoch_seed += 1;
+        engine.tick();
+    });
+    let epoch_secs = tick_secs / STREAM_TENANTS as f64;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"streaming_engine\",\n",
+            "  \"scenario\": \"stream_64tenants_30nodes\",\n",
+            "  \"tenants\": {tenants},\n",
+            "  \"nodes\": {nodes},\n",
+            "  \"particles\": {particles},\n",
+            "  \"iterations\": {iterations},\n",
+            "  \"samples\": {samples},\n",
+            "  \"warmed\": {warmed},\n",
+            "  \"tick_secs\": {tick:.6},\n",
+            "  \"epoch_secs\": {epoch:.6}\n",
+            "}}\n"
+        ),
+        tenants = STREAM_TENANTS,
+        nodes = NODES,
+        particles = PARTICLES,
+        iterations = STREAM_ITERATIONS,
+        samples = samples.max(1),
+        warmed = warmed,
+        tick = tick_secs,
+        epoch = epoch_secs,
+    )
+}
+
 /// Compares a freshly-measured bench JSON against the pinned one.
 ///
 /// Timing fields (keys ending in `secs`) regress only when the fresh
@@ -270,6 +352,15 @@ mod tests {
         let json = particle_bench_json(1);
         assert!(json.contains("\"particle\""));
         assert!(json.contains("\"gaussian\""));
+    }
+
+    #[test]
+    fn stream_bench_reports_epoch_timing() {
+        let json = stream_bench_json(1);
+        assert!(json.contains("\"bench\": \"streaming_engine\""));
+        assert!(json.contains(&format!("\"tenants\": {STREAM_TENANTS}")));
+        assert!(json.contains(&format!("\"warmed\": {STREAM_TENANTS}")));
+        assert!(json.contains("\"epoch_secs\""));
     }
 
     #[test]

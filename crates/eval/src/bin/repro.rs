@@ -10,7 +10,7 @@
 //! repro trace               # record BP telemetry to trace.jsonl
 //! repro trace --backend grid --out traces/  # per-backend trace file
 //! repro analyze trace.jsonl # replay a trace into convergence/fault/flame tables
-//! repro bench               # write BENCH_grid.json / BENCH_particle.json
+//! repro bench               # write BENCH_grid.json / BENCH_particle.json / BENCH_stream.json
 //! repro bench --out perf/   # same, into a directory
 //! repro bench --check --tolerance 2.0  # compare fresh numbers to the pinned JSONs
 //! repro audit-determinism             # schedule-perturbation determinism audit
@@ -178,7 +178,7 @@ fn run_audit(quick: bool) -> ExitCode {
         wsnloc_eval::AuditConfig::full()
     };
     eprintln!(
-        "audit-determinism: threads {:?} x {} schedule permutations (+ input order), grid + particle BP",
+        "audit-determinism: threads {:?} x {} schedule permutations (+ input order), grid + particle BP + streaming engine",
         config.thread_counts,
         config.permutation_seeds.len()
     );
@@ -341,7 +341,8 @@ fn run_analyze(path: &std::path::Path, out_dir: Option<&std::path::Path>) -> Exi
 }
 
 /// Runs the pinned perf benches. Default mode writes `BENCH_grid.json` /
-/// `BENCH_particle.json` (into `out_dir` when given) so the perf
+/// `BENCH_particle.json` / `BENCH_stream.json` (into `out_dir` when
+/// given) so the perf
 /// trajectory is tracked in version control; `--check` mode instead
 /// compares the fresh numbers against the pinned files (read from
 /// `out_dir` or the working directory) and exits nonzero on regression.
@@ -358,9 +359,15 @@ fn run_bench(out_dir: Option<&std::path::Path>, check: bool, tolerance: f64) -> 
     let grid = bench::grid_bench_json(SAMPLES);
     eprintln!("particle/gaussian bench ({SAMPLES} samples each)...");
     let particle = bench::particle_bench_json(SAMPLES);
+    eprintln!(
+        "streaming engine bench: {} warm tenant epochs per tick ({SAMPLES} samples)...",
+        bench::STREAM_TENANTS
+    );
+    let stream = bench::stream_bench_json(SAMPLES);
     let outputs = [
         ("BENCH_grid.json", &grid),
         ("BENCH_particle.json", &particle),
+        ("BENCH_stream.json", &stream),
     ];
     if check {
         let mut regressed = false;

@@ -46,7 +46,10 @@ fn run_world(speed: f64, trial: u64, cfg: &ExpConfig) -> (f64, f64, f64) {
     let full = BnlLocalizer::particle(cfg.particles)
         .with_max_iterations(cfg.iterations)
         .with_tolerance(RANGE * 0.02);
-    let mut tracker = TrackingLocalizer::new(tight.clone(), speed.max(0.1) * 1.5);
+    let mut tracker = TrackingLocalizer::builder(tight.clone())
+        .motion_per_step(speed.max(0.1) * 1.5)
+        .try_build()
+        .expect("valid tracker");
 
     let mut track_err = Vec::new();
     let mut tight_err = Vec::new();

@@ -11,6 +11,7 @@ pub mod f12_nlos;
 pub mod f13_schedule;
 pub mod f14_tracking;
 pub mod f15_faults;
+pub mod f16_streaming;
 pub mod f1_anchor_fraction;
 pub mod f2_noise;
 pub mod f3_connectivity;
@@ -100,7 +101,7 @@ pub fn sweep_roster(cfg: &ExpConfig) -> Vec<Box<dyn Localizer>> {
 pub fn ids() -> Vec<&'static str> {
     vec![
         "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
-        "f13", "f14", "f15",
+        "f13", "f14", "f15", "f16",
     ]
 }
 
@@ -124,6 +125,7 @@ pub fn by_id(id: &str, cfg: &ExpConfig) -> Option<Vec<Report>> {
         "f13" => f13_schedule::run(cfg),
         "f14" => f14_tracking::run(cfg),
         "f15" => f15_faults::run(cfg),
+        "f16" => f16_streaming::run(cfg),
         _ => return None,
     })
 }

@@ -48,6 +48,10 @@ pub struct EventCounts {
     pub pool_fallbacks: u64,
     /// Discrete Bayesian-network queries.
     pub discrete_queries: u64,
+    /// Streaming-tenant epochs advanced (BP ran).
+    pub epoch_advances: u64,
+    /// Streaming-tenant epochs shed under overload (coasted, no BP).
+    pub tenants_shed: u64,
     /// Free-form notes.
     pub notes: u64,
 }
@@ -157,6 +161,8 @@ impl MetricsSnapshot {
             e.grid_uniform_fallbacks += p.events.grid_uniform_fallbacks;
             e.pool_fallbacks += p.events.pool_fallbacks;
             e.discrete_queries += p.events.discrete_queries;
+            e.epoch_advances += p.events.epoch_advances;
+            e.tenants_shed += p.events.tenants_shed;
             e.notes += p.events.notes;
             if out.per_iteration.len() < p.per_iteration.len() {
                 out.per_iteration
@@ -316,6 +322,8 @@ pub struct MetricsObserver {
     grid_fallbacks: Counter,
     pool_fallbacks: Counter,
     discrete_queries: Counter,
+    epoch_advances: Counter,
+    tenants_shed: Counter,
     notes: Counter,
     iter_secs: Histogram,
     residual_hist: Histogram,
@@ -365,6 +373,14 @@ impl MetricsObserver {
             ),
             pool_fallbacks: c("wsnloc_pool_fallbacks", "thread-pool build failures"),
             discrete_queries: c("wsnloc_discrete_queries", "discrete BN queries"),
+            epoch_advances: c(
+                "wsnloc_stream_epochs_advanced",
+                "streaming-tenant epochs that ran BP",
+            ),
+            tenants_shed: c(
+                "wsnloc_stream_tenants_shed",
+                "streaming-tenant epochs shed under overload",
+            ),
             notes: c("wsnloc_notes", "free-form observer notes"),
             iter_secs: registry.histogram(
                 "wsnloc_bp_iteration_seconds",
@@ -420,6 +436,8 @@ impl MetricsObserver {
                 grid_uniform_fallbacks: self.grid_fallbacks.value(),
                 pool_fallbacks: self.pool_fallbacks.value(),
                 discrete_queries: self.discrete_queries.value(),
+                epoch_advances: self.epoch_advances.value(),
+                tenants_shed: self.tenants_shed.value(),
                 notes: self.notes.value(),
             },
             per_iteration,
@@ -473,6 +491,8 @@ impl InferenceObserver for MetricsObserver {
             ObsEvent::GridUniformFallback { .. } => self.grid_fallbacks.inc(),
             ObsEvent::ThreadPoolFallback { .. } => self.pool_fallbacks.inc(),
             ObsEvent::DiscreteQuery { .. } => self.discrete_queries.inc(),
+            ObsEvent::EpochAdvanced { .. } => self.epoch_advances.inc(),
+            ObsEvent::TenantShed { .. } => self.tenants_shed.inc(),
             ObsEvent::Note { .. } => self.notes.inc(),
             ObsEvent::MessageDropped { iteration, count } => {
                 self.dropped.add(*count);

@@ -179,6 +179,23 @@ pub enum ObsEvent {
         /// Samples drawn (0 for exact methods).
         samples: u64,
     },
+    /// A streaming tenant's session advanced one measurement epoch
+    /// (ran BP warm-started from the carried beliefs).
+    EpochAdvanced {
+        /// Tenant (session) id within the streaming engine.
+        tenant: u64,
+        /// 0-based epoch index within that tenant's stream.
+        epoch: u64,
+    },
+    /// A streaming tenant was shed under overload this tick: its session
+    /// coasted on the motion model (beliefs decay toward the prior)
+    /// instead of running BP.
+    TenantShed {
+        /// Tenant (session) id within the streaming engine.
+        tenant: u64,
+        /// 0-based epoch index the tenant coasted through.
+        epoch: u64,
+    },
     /// Free-form annotation.
     Note {
         /// The annotation text.

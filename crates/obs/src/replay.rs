@@ -506,6 +506,14 @@ fn parse_event(v: &JsonValue) -> Result<Option<ObsEvent>, String> {
             variables: field_usize(v, "variables")?,
             samples: field_u64(v, "samples")?,
         }),
+        "epoch_advanced" => Some(ObsEvent::EpochAdvanced {
+            tenant: field_u64(v, "tenant")?,
+            epoch: field_u64(v, "epoch")?,
+        }),
+        "tenant_shed" => Some(ObsEvent::TenantShed {
+            tenant: field_u64(v, "tenant")?,
+            epoch: field_u64(v, "epoch")?,
+        }),
         "note" => Some(ObsEvent::Note {
             message: field_str(v, "message")?.to_owned(),
         }),

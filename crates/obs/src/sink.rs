@@ -16,6 +16,8 @@
 //! {"type":"event","event":"grid_uniform_fallback","edge":..,"stage":"kernel|point"}
 //! {"type":"event","event":"thread_pool_fallback","requested":..,"error":..}
 //! {"type":"event","event":"discrete_query","method":..,"variables":..,"samples":..}
+//! {"type":"event","event":"epoch_advanced","tenant":..,"epoch":..}
+//! {"type":"event","event":"tenant_shed","tenant":..,"epoch":..}
 //! {"type":"event","event":"note","message":..}
 //! {"type":"run_end","iterations":..,"converged":..,"messages":..,"bytes":..}
 //! ```
@@ -225,6 +227,14 @@ fn event_line(event: &ObsEvent) -> String {
             s.push_str(",\"method\":");
             push_json_str(&mut s, method);
             let _ = write!(s, ",\"variables\":{variables},\"samples\":{samples}");
+        }
+        ObsEvent::EpochAdvanced { tenant, epoch } => {
+            push_json_str(&mut s, "epoch_advanced");
+            let _ = write!(s, ",\"tenant\":{tenant},\"epoch\":{epoch}");
+        }
+        ObsEvent::TenantShed { tenant, epoch } => {
+            push_json_str(&mut s, "tenant_shed");
+            let _ = write!(s, ",\"tenant\":{tenant},\"epoch\":{epoch}");
         }
         ObsEvent::Note { message } => {
             push_json_str(&mut s, "note");

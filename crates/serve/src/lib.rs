@@ -1,0 +1,573 @@
+//! # wsnloc-serve
+//!
+//! A streaming, multi-tenant localization service over the epoch-session
+//! API. A long-running [`StreamingEngine`] multiplexes many concurrent
+//! tenant scenarios — each an independent
+//! [`LocalizationSession`] with its own localizer configuration, motion
+//! model, and belief state — over one shared worker pool:
+//!
+//! - tenants [`open_session`](StreamingEngine::open_session) and
+//!   [`submit`](StreamingEngine::submit) [`MeasurementEpoch`]s (a network
+//!   snapshot plus that epoch's seed);
+//! - each [`tick`](StreamingEngine::tick) drains at most one epoch per
+//!   tenant, solving the admitted tenants as one parallel batch and
+//!   returning a [`PositionUpdate`] per processed epoch;
+//! - when more tenants have work than
+//!   [`EngineConfig::capacity_per_tick`] admits, the overflow is *shed*:
+//!   instead of running BP, the tenant's session degrades per the
+//!   configured [`DropPolicy`] — `DecayToPrior` coasts on the motion
+//!   model (uncertainty grows toward the prior), `HoldLast` freezes the
+//!   carried beliefs — and the update is flagged
+//!   [`degraded`](PositionUpdate::degraded);
+//! - per-tenant [`MetricsSnapshot`]s and an engine-level
+//!   [`MetricsRegistry`] expose epoch/shed totals for scraping.
+//!
+//! **Determinism.** Tenant state is fully isolated (sessions never share
+//! RNG streams, beliefs, or seeds) and admission is a pure function of
+//! the tick index and the ready set (a round-robin window over ascending
+//! ids), so every tenant's trajectory is bit-identical to running that
+//! tenant alone — independent of batching order, pool size, or how many
+//! other tenants the engine hosts. The cross-tenant soak test pins this
+//! with `f64::to_bits` fingerprints.
+
+#![warn(missing_docs)]
+
+use rayon::{IntoParallelIterator, ParallelIterator};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use wsnloc::session::LocalizationSession;
+use wsnloc::{BnlLocalizer, LocalizationResult, MotionModel};
+use wsnloc_net::{DropPolicy, Network};
+use wsnloc_obs::{
+    Counter, InferenceObserver, MetricsObserver, MetricsRegistry, MetricsSnapshot, ObsEvent,
+};
+
+/// Opaque handle identifying one tenant's session within an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    /// The numeric id (stable for the engine's lifetime; also the
+    /// `tenant` field of trace events).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Per-tenant configuration handed to
+/// [`StreamingEngine::open_session`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    localizer: BnlLocalizer,
+    motion: Option<MotionModel>,
+}
+
+impl SessionConfig {
+    /// A session around a configured localizer, with no between-epoch
+    /// motion model (static scenario observed repeatedly).
+    #[must_use]
+    pub fn new(localizer: BnlLocalizer) -> Self {
+        SessionConfig {
+            localizer,
+            motion: None,
+        }
+    }
+
+    /// Sets the between-epoch motion model (the predict step applied to
+    /// carried beliefs, and the decay law while coasting).
+    #[must_use]
+    pub fn with_motion(mut self, motion: MotionModel) -> Self {
+        self.motion = Some(motion);
+        self
+    }
+}
+
+/// One epoch of measurements a tenant submits: the network snapshot to
+/// localize and the seed driving that epoch's stochastic parts.
+#[derive(Debug, Clone)]
+pub struct MeasurementEpoch {
+    /// The observed network (fresh measurements, current topology).
+    pub network: Network,
+    /// Seed for this epoch's inference (per tenant, per epoch).
+    pub seed: u64,
+}
+
+impl MeasurementEpoch {
+    /// Bundles a snapshot with its epoch seed.
+    #[must_use]
+    pub fn new(network: Network, seed: u64) -> Self {
+        MeasurementEpoch { network, seed }
+    }
+}
+
+/// The engine's answer for one processed epoch of one tenant.
+#[derive(Debug, Clone)]
+pub struct PositionUpdate {
+    /// Which tenant this update belongs to.
+    pub tenant: SessionId,
+    /// 0-based epoch index within the tenant's stream.
+    pub epoch: u64,
+    /// `true` when the tenant was shed this tick: no BP ran and the
+    /// estimates come from the degraded (coasted or held) beliefs.
+    pub degraded: bool,
+    /// The epoch's localization result.
+    pub result: LocalizationResult,
+}
+
+/// Engine-wide scheduling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Tenants admitted to the BP solve batch per tick; the rest of the
+    /// ready tenants are shed. `0` means unlimited (never shed).
+    pub capacity_per_tick: usize,
+    /// What a shed tenant's session does instead of running BP:
+    /// [`DropPolicy::DecayToPrior`] coasts on the motion model (the
+    /// session-level decay law; the policy's numeric decay rate is
+    /// governed by the motion model's process noise),
+    /// [`DropPolicy::HoldLast`] freezes the carried beliefs.
+    pub shed_policy: DropPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            capacity_per_tick: 0,
+            shed_policy: DropPolicy::DecayToPrior { decay: 0.5 },
+        }
+    }
+}
+
+/// One tenant's full state: session, epoch queue, private metrics fold.
+#[derive(Debug)]
+struct Tenant {
+    session: LocalizationSession,
+    queue: VecDeque<MeasurementEpoch>,
+    /// Private observer (own registry) so per-tenant snapshots never mix
+    /// with other tenants' totals.
+    metrics: MetricsObserver,
+}
+
+/// A long-running, multi-tenant localization engine.
+///
+/// ```
+/// use wsnloc::prelude::*;
+/// use wsnloc_serve::{EngineConfig, MeasurementEpoch, SessionConfig, StreamingEngine};
+///
+/// let scenario = Scenario::standard_with_preknowledge(100.0);
+/// let (network, _truth) = scenario.build_trial(0);
+/// let engine_cfg = EngineConfig {
+///     capacity_per_tick: 1,
+///     ..EngineConfig::default()
+/// };
+/// let mut engine = StreamingEngine::new(engine_cfg);
+///
+/// let localizer = BnlLocalizer::particle(60).with_max_iterations(2);
+/// let cfg = SessionConfig::new(localizer).with_motion(MotionModel::random_walk(3.0));
+/// let a = engine.open_session(cfg.clone());
+/// let b = engine.open_session(cfg);
+/// engine.submit(a, MeasurementEpoch::new(network.clone(), 1));
+/// engine.submit(b, MeasurementEpoch::new(network, 1));
+///
+/// // Capacity 1: one tenant solves, the other sheds (degraded update).
+/// let updates = engine.tick();
+/// assert_eq!(updates.len(), 2);
+/// assert_eq!(updates.iter().filter(|u| u.degraded).count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct StreamingEngine {
+    config: EngineConfig,
+    tenants: BTreeMap<u64, Tenant>,
+    next_id: u64,
+    /// Lifetime tick count — drives the round-robin admission rotation.
+    ticks: u64,
+    registry: Arc<MetricsRegistry>,
+    ticks_total: Counter,
+    epochs_solved: Counter,
+    epochs_shed: Counter,
+}
+
+impl StreamingEngine {
+    /// An engine with its own private metrics registry.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        StreamingEngine::with_registry(config, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// An engine exporting its scheduler counters into a shared
+    /// `registry` (per-tenant folds stay private regardless).
+    #[must_use]
+    pub fn with_registry(config: EngineConfig, registry: Arc<MetricsRegistry>) -> Self {
+        StreamingEngine {
+            ticks_total: registry.counter("wsnloc_serve_ticks", "scheduler ticks executed"),
+            epochs_solved: registry
+                .counter("wsnloc_serve_epochs_solved", "tenant epochs that ran BP"),
+            epochs_shed: registry.counter(
+                "wsnloc_serve_epochs_shed",
+                "tenant epochs shed under overload",
+            ),
+            config,
+            tenants: BTreeMap::new(),
+            next_id: 0,
+            ticks: 0,
+            registry,
+        }
+    }
+
+    /// The registry the engine's scheduler counters export into.
+    #[must_use]
+    pub fn registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Opens a tenant session and returns its handle.
+    pub fn open_session(&mut self, cfg: SessionConfig) -> SessionId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut session = LocalizationSession::new(cfg.localizer);
+        if let Some(motion) = cfg.motion {
+            session = session.with_motion(motion);
+        }
+        self.tenants.insert(
+            id,
+            Tenant {
+                session,
+                queue: VecDeque::new(),
+                metrics: MetricsObserver::new(),
+            },
+        );
+        SessionId(id)
+    }
+
+    /// Closes a session, dropping its state and any queued epochs.
+    /// Returns `false` if the id was unknown (already closed).
+    pub fn close_session(&mut self, id: SessionId) -> bool {
+        self.tenants.remove(&id.0).is_some()
+    }
+
+    /// Enqueues one measurement epoch for a tenant. Returns `false`
+    /// (and drops the epoch) if the session does not exist.
+    pub fn submit(&mut self, id: SessionId, epoch: MeasurementEpoch) -> bool {
+        match self.tenants.get_mut(&id.0) {
+            Some(t) => {
+                t.queue.push_back(epoch);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Open sessions.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Queued epochs for one tenant.
+    #[must_use]
+    pub fn pending(&self, id: SessionId) -> Option<usize> {
+        self.tenants.get(&id.0).map(|t| t.queue.len())
+    }
+
+    /// Queued epochs across all tenants.
+    #[must_use]
+    pub fn pending_total(&self) -> usize {
+        self.tenants.values().map(|t| t.queue.len()).sum()
+    }
+
+    /// Whether a tenant holds carried beliefs (has completed at least
+    /// one epoch since opening or being reset by a scenario change).
+    #[must_use]
+    pub fn is_warm(&self, id: SessionId) -> bool {
+        self.tenants.get(&id.0).is_some_and(|t| t.session.is_warm())
+    }
+
+    /// Freezes a tenant's private metrics fold into a snapshot.
+    #[must_use]
+    pub fn metrics(&self, id: SessionId) -> Option<MetricsSnapshot> {
+        self.tenants.get(&id.0).map(|t| t.metrics.snapshot())
+    }
+
+    /// Runs one scheduler tick: drains at most one queued epoch per
+    /// tenant, admits up to [`EngineConfig::capacity_per_tick`] ready
+    /// tenants to a parallel BP batch, sheds the rest per the drop
+    /// policy, and returns every produced update sorted by tenant id.
+    /// Tenants with empty queues are untouched.
+    ///
+    /// Admission is a deterministic round-robin: the window over the
+    /// ready tenants (ascending id) rotates by one each tick, so under
+    /// sustained overload every tenant keeps solving some epochs instead
+    /// of the highest ids being starved forever.
+    pub fn tick(&mut self) -> Vec<PositionUpdate> {
+        let tick_idx = self.ticks;
+        self.ticks += 1;
+        self.ticks_total.inc();
+        let mut ready: Vec<u64> = self
+            .tenants
+            .iter()
+            .filter(|(_, t)| !t.queue.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        if !ready.is_empty() {
+            let offset = (tick_idx % ready.len() as u64) as usize;
+            ready.rotate_left(offset);
+        }
+        let admit = if self.config.capacity_per_tick == 0 {
+            ready.len()
+        } else {
+            self.config.capacity_per_tick.min(ready.len())
+        };
+        let (solve_ids, shed_ids) = ready.split_at(admit);
+
+        let mut updates = Vec::with_capacity(ready.len());
+
+        // Shed the overflow: degraded epochs, no BP, sequential (cheap).
+        for &id in shed_ids {
+            let Some(t) = self.tenants.get_mut(&id) else {
+                continue;
+            };
+            let Some(epoch) = t.queue.pop_front() else {
+                continue;
+            };
+            let epoch_idx = t.session.epoch();
+            let result = match self.config.shed_policy {
+                DropPolicy::HoldLast => t.session.hold(&epoch.network),
+                DropPolicy::DecayToPrior { .. } => t.session.coast(&epoch.network, epoch.seed),
+            };
+            t.metrics.on_event(&ObsEvent::TenantShed {
+                tenant: id,
+                epoch: epoch_idx,
+            });
+            self.epochs_shed.inc();
+            updates.push(PositionUpdate {
+                tenant: SessionId(id),
+                epoch: epoch_idx,
+                degraded: true,
+                result,
+            });
+        }
+
+        // Solve the admitted batch on the worker pool. Tenants move into
+        // the jobs (session + private observer travel together) and move
+        // back afterwards; isolation makes the parallel order irrelevant.
+        let mut jobs: Vec<(u64, Tenant, MeasurementEpoch)> = Vec::with_capacity(solve_ids.len());
+        for &id in solve_ids {
+            if let Some(mut t) = self.tenants.remove(&id) {
+                match t.queue.pop_front() {
+                    Some(epoch) => jobs.push((id, t, epoch)),
+                    None => {
+                        self.tenants.insert(id, t);
+                    }
+                }
+            }
+        }
+        let solved: Vec<(u64, Tenant, u64, LocalizationResult)> = jobs
+            .into_par_iter()
+            .map(|(id, mut t, epoch)| {
+                let epoch_idx = t.session.epoch();
+                let result = t
+                    .session
+                    .advance_observed(&epoch.network, epoch.seed, &t.metrics);
+                t.metrics.on_event(&ObsEvent::EpochAdvanced {
+                    tenant: id,
+                    epoch: epoch_idx,
+                });
+                (id, t, epoch_idx, result)
+            })
+            .collect();
+        for (id, t, epoch_idx, result) in solved {
+            self.epochs_solved.inc();
+            self.tenants.insert(id, t);
+            updates.push(PositionUpdate {
+                tenant: SessionId(id),
+                epoch: epoch_idx,
+                degraded: false,
+                result,
+            });
+        }
+        updates.sort_by_key(|u| u.tenant.0);
+        updates
+    }
+
+    /// Ticks until every queue is drained, concatenating the updates.
+    pub fn drain(&mut self) -> Vec<PositionUpdate> {
+        let mut all = Vec::new();
+        while self.pending_total() > 0 {
+            all.extend(self.tick());
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsnloc::prelude::*;
+    use wsnloc_net::network::NetworkBuilder;
+    use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
+
+    fn net(seed: u64) -> Network {
+        NetworkBuilder {
+            deployment: Deployment::planned_square_drop(500.0, 4, 40.0),
+            node_count: 40,
+            anchors: AnchorStrategy::Random { count: 6 },
+            radio: RadioModel::UnitDisk { range: 180.0 },
+            ranging: RangingModel::Multiplicative { factor: 0.05 },
+        }
+        .build(seed)
+        .0
+    }
+
+    fn localizer() -> BnlLocalizer {
+        BnlLocalizer::particle(60)
+            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
+            .with_max_iterations(2)
+            .with_tolerance(0.0)
+    }
+
+    fn cfg() -> SessionConfig {
+        SessionConfig::new(localizer()).with_motion(MotionModel::random_walk(3.0))
+    }
+
+    #[test]
+    fn single_tenant_matches_direct_session() {
+        let network = net(1);
+        let mut engine = StreamingEngine::new(EngineConfig::default());
+        let id = engine.open_session(cfg());
+        for s in 0..3u64 {
+            engine.submit(id, MeasurementEpoch::new(network.clone(), s));
+        }
+        let updates = engine.drain();
+
+        let mut session =
+            LocalizationSession::new(localizer()).with_motion(MotionModel::random_walk(3.0));
+        for (s, u) in updates.iter().enumerate() {
+            let direct = session.advance(&network, s as u64);
+            assert_eq!(u.epoch, s as u64);
+            assert!(!u.degraded);
+            assert_eq!(u.result.estimates, direct.estimates);
+            assert_eq!(u.result.uncertainty, direct.uncertainty);
+        }
+    }
+
+    #[test]
+    fn capacity_sheds_overflow_and_recovers() {
+        let network = net(2);
+        let mut engine = StreamingEngine::new(EngineConfig {
+            capacity_per_tick: 2,
+            shed_policy: DropPolicy::DecayToPrior { decay: 0.5 },
+        });
+        let ids: Vec<SessionId> = (0..3).map(|_| engine.open_session(cfg())).collect();
+        // Warm every tenant with an uncontended tick each (ticks 0..3).
+        for &id in &ids {
+            engine.submit(id, MeasurementEpoch::new(network.clone(), 0));
+            let warm = engine.tick();
+            assert_eq!(warm.len(), 1);
+            assert!(!warm[0].degraded);
+        }
+        // Contend on tick 3: round-robin offset 3 % 3 == 0, so the window
+        // admits tenants 0 and 1 and sheds tenant 2.
+        for &id in &ids {
+            engine.submit(id, MeasurementEpoch::new(network.clone(), 1));
+        }
+        let second = engine.tick();
+        assert_eq!(second.len(), 3);
+        assert!(!second[0].degraded && !second[1].degraded && second[2].degraded);
+        // The shed (warm) tenant still reports estimates for every node.
+        let shed = &second[2];
+        assert!(shed.result.estimates.iter().all(Option::is_some));
+        assert_eq!(shed.result.iterations, 0);
+        // And a later uncontended tick lets it solve again.
+        engine.submit(ids[2], MeasurementEpoch::new(network.clone(), 2));
+        let third = engine.tick();
+        assert_eq!(third.len(), 1);
+        assert!(!third[0].degraded);
+    }
+
+    #[test]
+    fn hold_last_freezes_uncertainty_decay_inflates_it() {
+        let network = net(3);
+        let run = |policy: DropPolicy| {
+            let mut engine = StreamingEngine::new(EngineConfig {
+                capacity_per_tick: 1,
+                shed_policy: policy,
+            });
+            let keep = engine.open_session(cfg());
+            let shed = engine.open_session(cfg());
+            // Warm both with an uncontended tick each.
+            engine.submit(keep, MeasurementEpoch::new(network.clone(), 0));
+            engine.tick();
+            engine.submit(shed, MeasurementEpoch::new(network.clone(), 0));
+            let warm = engine.tick();
+            // Now contend on tick 2: round-robin offset 2 % 2 == 0 admits
+            // the first tenant and sheds the second.
+            engine.submit(keep, MeasurementEpoch::new(network.clone(), 1));
+            engine.submit(shed, MeasurementEpoch::new(network.clone(), 1));
+            let contended = engine.tick();
+            (warm[0].result.clone(), contended[1].result.clone())
+        };
+        let (held_before, held) = run(DropPolicy::HoldLast);
+        let (decay_before, decayed) = run(DropPolicy::DecayToPrior { decay: 0.5 });
+        for id in network.unknowns() {
+            // HoldLast re-reports the frozen beliefs verbatim…
+            assert_eq!(held.estimates[id], held_before.estimates[id]);
+            assert_eq!(held.uncertainty[id], held_before.uncertainty[id]);
+            // …while DecayToPrior's motion predict grows the spread.
+            let (before, after) = (decay_before.uncertainty[id], decayed.uncertainty[id]);
+            if let (Some(b), Some(a)) = (before, after) {
+                assert!(a > b, "coasting must inflate uncertainty: {a} <= {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_tenant_metrics_stay_isolated() {
+        let network = net(4);
+        let mut engine = StreamingEngine::new(EngineConfig {
+            capacity_per_tick: 1,
+            shed_policy: DropPolicy::DecayToPrior { decay: 0.5 },
+        });
+        let a = engine.open_session(cfg());
+        let b = engine.open_session(cfg());
+        for s in 0..2u64 {
+            engine.submit(a, MeasurementEpoch::new(network.clone(), s));
+            engine.submit(b, MeasurementEpoch::new(network.clone(), s));
+            engine.tick();
+        }
+        let ma = engine.metrics(a).expect("tenant a metrics");
+        let mb = engine.metrics(b).expect("tenant b metrics");
+        // Round-robin under capacity 1: each tenant solved one epoch and
+        // was shed once, and each fold only saw its own tenant's events.
+        assert_eq!(ma.runs, 1);
+        assert_eq!(ma.events.epoch_advances, 1);
+        assert_eq!(ma.events.tenants_shed, 1);
+        assert_eq!(mb.runs, 1);
+        assert_eq!(mb.events.epoch_advances, 1);
+        assert_eq!(mb.events.tenants_shed, 1);
+        // Engine-level scheduler counters see both tenants.
+        let scrape = engine.registry().render_openmetrics();
+        assert!(scrape.contains("wsnloc_serve_epochs_solved_total 2"));
+        assert!(scrape.contains("wsnloc_serve_epochs_shed_total 2"));
+    }
+
+    #[test]
+    fn close_and_unknown_sessions() {
+        let network = net(5);
+        let mut engine = StreamingEngine::new(EngineConfig::default());
+        let id = engine.open_session(cfg());
+        assert_eq!(engine.tenant_count(), 1);
+        assert!(engine.submit(id, MeasurementEpoch::new(network.clone(), 0)));
+        assert_eq!(engine.pending(id), Some(1));
+        assert!(engine.close_session(id));
+        assert!(!engine.close_session(id));
+        assert!(!engine.submit(id, MeasurementEpoch::new(network, 0)));
+        assert_eq!(engine.pending(id), None);
+        assert!(engine.tick().is_empty());
+    }
+}

@@ -34,7 +34,10 @@ fn main() {
     let tight = BnlLocalizer::particle(200)
         .with_max_iterations(2)
         .with_tolerance(0.0);
-    let mut tracker = TrackingLocalizer::new(tight.clone(), speed * 1.5);
+    let mut tracker = TrackingLocalizer::builder(tight.clone())
+        .motion_per_step(speed * 1.5)
+        .try_build()
+        .expect("valid tracker");
 
     println!("80 nodes, 10 anchors, nodes move at {speed} m/s, 2 BP iterations per step\n");
     println!(

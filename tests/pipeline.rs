@@ -67,7 +67,7 @@ fn experiment_registry_is_complete() {
         assert!(
             [
                 "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11",
-                "f12", "f13", "f14", "f15"
+                "f12", "f13", "f14", "f15", "f16"
             ]
             .contains(&id),
             "unexpected id {id}"

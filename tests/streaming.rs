@@ -1,0 +1,197 @@
+//! Tenant-interleaving determinism soak for the streaming engine.
+//!
+//! Tenant sessions are fully isolated, so every tenant's trajectory must
+//! be bit-identical (`f64::to_bits`) to running that tenant alone in a
+//! plain sequential [`LocalizationSession`] — no matter how many other
+//! tenants share the engine, in which order epochs are batched into
+//! ticks, or how many worker threads the solve batches fan out over.
+
+use wsnloc::prelude::*;
+use wsnloc_serve::{
+    EngineConfig, MeasurementEpoch, PositionUpdate, SessionConfig, StreamingEngine,
+};
+
+const TENANTS: usize = 4;
+const EPOCHS: u64 = 4;
+
+fn tenant_network(tenant: u64) -> Network {
+    let scenario = Scenario {
+        name: format!("soak-{tenant}"),
+        deployment: Deployment::planned_square_drop(500.0, 3, 50.0),
+        node_count: 40,
+        anchors: AnchorStrategy::Random { count: 7 },
+        radio: RadioModel::UnitDisk { range: 160.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.08 },
+        seed: 0x50AC ^ tenant,
+    };
+    scenario.build_trial(tenant).0
+}
+
+fn tenant_seed(tenant: u64, epoch: u64) -> u64 {
+    tenant.wrapping_mul(1_000_003) ^ epoch
+}
+
+fn localizer() -> BnlLocalizer {
+    BnlLocalizer::particle(60)
+        .with_prior(PriorModel::DropPoint { sigma: 50.0 })
+        .with_max_iterations(2)
+        .with_tolerance(0.0)
+}
+
+fn session_config() -> SessionConfig {
+    SessionConfig::new(localizer()).with_motion(MotionModel::random_walk(4.0))
+}
+
+/// Bit-exact fingerprint of one epoch's estimates and uncertainties.
+fn fingerprint(r: &wsnloc::LocalizationResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bits: u64| {
+        h ^= bits;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for est in &r.estimates {
+        match est {
+            Some(p) => {
+                mix(p.x.to_bits());
+                mix(p.y.to_bits());
+            }
+            None => mix(u64::MAX),
+        }
+    }
+    for u in &r.uncertainty {
+        mix(u.map_or(u64::MAX, f64::to_bits));
+    }
+    h
+}
+
+/// Reference trajectories: each tenant alone, plain sequential session.
+fn sequential_reference() -> Vec<Vec<u64>> {
+    (0..TENANTS as u64)
+        .map(|t| {
+            let network = tenant_network(t);
+            let mut session =
+                LocalizationSession::new(localizer()).with_motion(MotionModel::random_walk(4.0));
+            (0..EPOCHS)
+                .map(|e| fingerprint(&session.advance(&network, tenant_seed(t, e))))
+                .collect()
+        })
+        .collect()
+}
+
+/// Sorts one run's updates into per-tenant fingerprint trajectories.
+fn trajectories(updates: &[PositionUpdate]) -> Vec<Vec<u64>> {
+    let mut per: Vec<Vec<(u64, u64)>> = vec![Vec::new(); TENANTS];
+    for up in updates {
+        assert!(!up.degraded, "soak runs never shed");
+        per[up.tenant.raw() as usize].push((up.epoch, fingerprint(&up.result)));
+    }
+    per.into_iter()
+        .map(|mut v| {
+            v.sort_by_key(|&(e, _)| e);
+            v.into_iter().map(|(_, f)| f).collect()
+        })
+        .collect()
+}
+
+/// Interleaved batching: one epoch per tenant per tick.
+fn run_interleaved() -> Vec<PositionUpdate> {
+    let mut engine = StreamingEngine::new(EngineConfig::default());
+    let ids: Vec<_> = (0..TENANTS)
+        .map(|_| engine.open_session(session_config()))
+        .collect();
+    let networks: Vec<Network> = (0..TENANTS as u64).map(tenant_network).collect();
+    let mut all = Vec::new();
+    for e in 0..EPOCHS {
+        for t in 0..TENANTS {
+            engine.submit(
+                ids[t],
+                MeasurementEpoch::new(networks[t].clone(), tenant_seed(t as u64, e)),
+            );
+        }
+        all.extend(engine.tick());
+    }
+    all
+}
+
+/// Backlogged batching: every epoch queued up front, engine drains; ticks
+/// now mix different tenants at different epoch indices.
+fn run_backlogged() -> Vec<PositionUpdate> {
+    let mut engine = StreamingEngine::new(EngineConfig::default());
+    let ids: Vec<_> = (0..TENANTS)
+        .map(|_| engine.open_session(session_config()))
+        .collect();
+    // Submission order deliberately scrambled: all of tenant 3 first, then
+    // epoch-major for the rest.
+    let networks: Vec<Network> = (0..TENANTS as u64).map(tenant_network).collect();
+    for e in 0..EPOCHS {
+        engine.submit(
+            ids[3],
+            MeasurementEpoch::new(networks[3].clone(), tenant_seed(3, e)),
+        );
+    }
+    for e in 0..EPOCHS {
+        for t in 0..3 {
+            engine.submit(
+                ids[t],
+                MeasurementEpoch::new(networks[t].clone(), tenant_seed(t as u64, e)),
+            );
+        }
+    }
+    engine.drain()
+}
+
+fn with_pool<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+#[test]
+fn interleaved_tenants_match_sequential_reference() {
+    let reference = sequential_reference();
+    for threads in [1usize, 2, 4] {
+        let got = trajectories(&with_pool(threads, run_interleaved));
+        assert_eq!(
+            got, reference,
+            "interleaved run diverged from the sequential reference at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn backlogged_batching_matches_sequential_reference() {
+    let reference = sequential_reference();
+    for threads in [1usize, 2, 4] {
+        let got = trajectories(&with_pool(threads, run_backlogged));
+        assert_eq!(
+            got, reference,
+            "backlogged run diverged from the sequential reference at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn engine_population_does_not_perturb_a_tenant() {
+    // Tenant 0 hosted alone in an engine vs hosted with three neighbors:
+    // same trajectory, bit for bit.
+    let solo = {
+        let mut engine = StreamingEngine::new(EngineConfig::default());
+        let id = engine.open_session(session_config());
+        let network = tenant_network(0);
+        let mut fps = Vec::new();
+        for e in 0..EPOCHS {
+            engine.submit(
+                id,
+                MeasurementEpoch::new(network.clone(), tenant_seed(0, e)),
+            );
+            let ups = engine.tick();
+            assert_eq!(ups.len(), 1);
+            fps.push(fingerprint(&ups[0].result));
+        }
+        fps
+    };
+    let crowded = trajectories(&run_interleaved());
+    assert_eq!(solo, crowded[0]);
+}
