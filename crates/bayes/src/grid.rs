@@ -8,20 +8,31 @@
 //! `belief(s) · ψ(‖c − s‖)` to every cell `c` within the potential's
 //! support radius, so the cost per message is
 //! `O(active source cells × kernel cells)` rather than `O(cells²)`.
+//!
+//! The scatter kernels live in [`crate::stencil`]: each potential's table
+//! is classified once per run as separable (two 1-D passes), mirrored
+//! (quadrant storage for radially symmetric kernels), or dense, and the
+//! inner accumulates dispatch to runtime-detected SIMD
+//! ([`crate::cellbuf`]). Two opt-in throughput knobs ride on top:
+//! [`GridPrecision::F32`] runs the hot path in single precision, and
+//! [`CoarseToFine`] pre-solves on a reduced grid and carries concentrated
+//! beliefs up to the full resolution.
 
+use crate::cellbuf::{self, Cell};
 use crate::engine::{BpEngine, RunOutcome};
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::potential::{PairPotential, UnaryPotential};
+use crate::stencil::KernelStencil;
 use crate::transport::{Transport, Verdict};
-use crate::validate::{self, DistributionAudit, GraphAudit};
+use crate::validate::{self, DistributionAudit, GraphAudit, ValidationError};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 use wsnloc_geom::{Aabb, Matrix, Vec2};
 use wsnloc_obs::Stopwatch;
 use wsnloc_obs::{
-    CommStats, InferenceObserver, IterationRecord, NodeResidual, ObsEvent, RunInfo, RunSummary,
-    SpanKind,
+    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, ObsEvent, RunInfo,
+    RunSummary, SpanKind,
 };
 
 /// A probability mass function over the cells of a fixed grid.
@@ -146,6 +157,56 @@ impl GridBelief {
             *m *= o;
         }
         self.normalize();
+    }
+
+    /// Builds a belief from cell-typed storage. For non-exact cell types
+    /// (f32) the widened masses are renormalized in f64 so downstream
+    /// audits see a distribution summing to 1 within f64 epsilon; for
+    /// f64 cells this is an exact copy.
+    fn from_cells<C: Cell>(domain: Aabb, nx: usize, ny: usize, cells: &[C]) -> GridBelief {
+        let mut b = GridBelief {
+            domain,
+            nx,
+            ny,
+            mass: C::to_f64_vec(cells),
+        };
+        if !C::EXACT {
+            b.normalize();
+        }
+        b
+    }
+
+    /// Piecewise-constant upsample onto a finer `nx × ny` grid over the
+    /// same domain, renormalized — the belief carry-over step of the
+    /// coarse-to-fine schedule.
+    fn upsampled_to(&self, nx: usize, ny: usize) -> GridBelief {
+        let mut out = GridBelief {
+            domain: self.domain,
+            nx,
+            ny,
+            mass: vec![0.0; nx * ny],
+        };
+        for y in 0..ny {
+            let cy = y * self.ny / ny;
+            for x in 0..nx {
+                let cx = x * self.nx / nx;
+                out.mass[y * nx + x] = self.mass[cy * self.nx + cx];
+            }
+        }
+        out.normalize();
+        out
+    }
+
+    /// Sum of the `k` largest cell masses — the concentration statistic
+    /// the coarse-to-fine schedule thresholds on (≈1 when the posterior
+    /// has collapsed onto a few cells, ≈`k/cells` when diffuse).
+    fn top_k_mass(&self, k: usize) -> f64 {
+        if k >= self.mass.len() {
+            return self.mass.iter().sum();
+        }
+        let mut m = self.mass.clone();
+        m.sort_unstable_by(|a, b| b.total_cmp(a));
+        m[..k].iter().sum()
     }
 
     /// MMSE point estimate: the belief mean.
@@ -396,92 +457,6 @@ fn point_message(
     (msg, collapsed)
 }
 
-/// A translation-invariant kernel table: the potential's likelihood
-/// tabulated over integer cell offsets `(Δx, Δy)` once per run, so the
-/// per-message scatter becomes table-lookup multiply–adds on contiguous
-/// rows instead of a dyn-dispatched `exp()` per (source cell × kernel
-/// cell) pair.
-struct KernelStencil {
-    /// Support radius in cells along x.
-    rx: isize,
-    /// Support radius in cells along y.
-    ry: isize,
-    /// Likelihood table, `(2·ry+1) × (2·rx+1)` row-major by `Δy`.
-    table: Vec<f64>,
-}
-
-impl KernelStencil {
-    /// Tabulates `potential` for an `nx × ny` grid with cell size
-    /// `(dx, dy)`. `None` when the potential opts out of discretization
-    /// (see [`PairPotential::discretized_kernel`]); callers then scatter
-    /// through the pointwise [`kernel_message`] path.
-    fn build(
-        potential: &dyn PairPotential,
-        nx: usize,
-        ny: usize,
-        dx: f64,
-        dy: f64,
-    ) -> Option<KernelStencil> {
-        let (rx, ry) = match potential.max_distance() {
-            Some(r) => ((r / dx).ceil() as isize, (r / dy).ceil() as isize),
-            None => (nx as isize, ny as isize),
-        };
-        // Offsets beyond the grid extent can never be scattered to, so an
-        // oversized support radius is clamped before tabulation (the
-        // clamp keeps every reachable offset: |Δx| ≤ nx − 1 < nx).
-        let rx = rx.clamp(0, nx as isize) as usize;
-        let ry = ry.clamp(0, ny as isize) as usize;
-        let table = potential.discretized_kernel(dx, dy, rx, ry)?;
-        if table.len() != (2 * rx + 1) * (2 * ry + 1) {
-            return None; // malformed custom kernel: fall back to pointwise
-        }
-        Some(KernelStencil {
-            rx: rx as isize,
-            ry: ry as isize,
-            table,
-        })
-    }
-}
-
-/// [`kernel_message`] through a precomputed [`KernelStencil`]: the same
-/// truncated scatter, with the potential evaluation replaced by offset
-/// table lookups over row-contiguous slices. Returns the message and
-/// whether the uniform fallback fired.
-fn stencil_message(
-    source: &GridBelief,
-    stencil: &KernelStencil,
-    mass_floor: f64,
-) -> (Vec<f64>, bool) {
-    let nx = source.nx;
-    let ny = source.ny;
-    let mut msg = vec![0.0; nx * ny];
-    let width = 2 * stencil.rx as usize + 1;
-    for (s, &m) in source.mass.iter().enumerate() {
-        if m < mass_floor {
-            continue;
-        }
-        let sx = (s % nx) as isize;
-        let sy = (s / nx) as isize;
-        let x0 = (sx - stencil.rx).max(0);
-        let x1 = (sx + stencil.rx).min(nx as isize - 1);
-        let y0 = (sy - stencil.ry).max(0);
-        let y1 = (sy + stencil.ry).min(ny as isize - 1);
-        for y in y0..=y1 {
-            let krow = ((y - sy + stencil.ry) as usize) * width;
-            let k0 = krow + (x0 - sx + stencil.rx) as usize;
-            let t0 = y as usize * nx + x0 as usize;
-            let cols = (x1 - x0) as usize + 1;
-            let out = &mut msg[t0..t0 + cols];
-            let ker = &stencil.table[k0..k0 + cols];
-            for (t, &k) in out.iter_mut().zip(ker) {
-                *t += m * k;
-            }
-        }
-    }
-    let collapsed = finalize_message(&mut msg);
-    (msg, collapsed)
-}
-
 /// Iteration-invariant message state, built once per run.
 ///
 /// Three quantities never change across BP iterations: the prior-derived
@@ -489,35 +464,45 @@ fn stencil_message(
 /// (fixed positions don't move), and the kernel tables of distance-only
 /// potentials (on a regular grid the likelihood depends only on the cell
 /// offset). The seed path recomputed all three inside every
-/// `update_one`; this cache hoists them out of the iteration loop.
-struct MessageCache {
+/// `update_one`; this cache hoists them out of the iteration loop. The
+/// cache is generic over the cell type: anchor messages, kernel tables,
+/// and initial cell buffers are stored pre-converted so the hot loop
+/// never touches f64⇄f32 conversions.
+struct MessageCache<C: Cell> {
     /// Initial beliefs: priors for free variables, deltas for fixed
-    /// ones. The free entries double as each update's starting belief.
+    /// ones (canonical f64 form, shared with the run's belief vector).
     init: Vec<GridBelief>,
+    /// The same initial beliefs in cell-typed storage — each update's
+    /// starting product buffer.
+    init_cells: Vec<Vec<C>>,
     /// Per-edge anchor message — `Some` iff exactly one endpoint is
     /// fixed, computed in the fixed→free direction.
-    anchor_msgs: Vec<Option<Vec<f64>>>,
+    anchor_msgs: Vec<Option<Vec<C>>>,
     /// Per-edge index into `stencils` — `Some` iff both endpoints are
     /// free and the potential discretizes.
     edge_stencils: Vec<Option<usize>>,
-    /// Deduplicated stencil tables: edges sharing a potential (by `Arc`
-    /// identity) share one entry.
-    stencils: Vec<KernelStencil>,
+    /// Deduplicated classified stencils: edges sharing a potential (by
+    /// `Arc` identity) share one entry.
+    stencils: Vec<KernelStencil<C>>,
 }
 
-impl MessageCache {
+impl<C: Cell> MessageCache<C> {
     fn build(
         mrf: &SpatialMrf,
         domain: Aabb,
         nx: usize,
         ny: usize,
         obs: &dyn InferenceObserver,
-    ) -> MessageCache {
+    ) -> MessageCache<C> {
         let init: Vec<GridBelief> = (0..mrf.len())
             .map(|u| match mrf.fixed(u) {
                 Some(p) => GridBelief::delta(p, domain, nx, ny),
                 None => GridBelief::from_unary(mrf.unary(u).as_ref(), domain, nx, ny),
             })
+            .collect();
+        let init_cells: Vec<Vec<C>> = init
+            .iter()
+            .map(|b| C::from_f64_vec(b.mass.clone()))
             .collect();
         // Geometry template for anchor messages: point_message reads only
         // cell centers, identical across all beliefs on this grid.
@@ -525,7 +510,7 @@ impl MessageCache {
         let (dx, dy) = shape.cell_size();
         let mut anchor_msgs = Vec::with_capacity(mrf.edges().len());
         let mut edge_stencils = Vec::with_capacity(mrf.edges().len());
-        let mut stencils: Vec<KernelStencil> = Vec::new();
+        let mut stencils: Vec<KernelStencil<C>> = Vec::new();
         let mut by_potential: HashMap<usize, Option<usize>> = HashMap::new();
         for (e, edge) in mrf.edges().iter().enumerate() {
             let anchor = match (mrf.fixed(edge.u), mrf.fixed(edge.v)) {
@@ -537,7 +522,7 @@ impl MessageCache {
                             stage: "point",
                         });
                     }
-                    Some(msg)
+                    Some(C::from_f64_vec(msg))
                 }
                 _ => None,
             };
@@ -549,7 +534,7 @@ impl MessageCache {
                     let key = Arc::as_ptr(&edge.potential) as *const () as usize;
                     *by_potential.entry(key).or_insert_with(|| {
                         KernelStencil::build(edge.potential.as_ref(), nx, ny, dx, dy).map(|s| {
-                            stencils.push(s);
+                            stencils.push(s.converted::<C>());
                             stencils.len() - 1
                         })
                     })
@@ -561,6 +546,7 @@ impl MessageCache {
         }
         MessageCache {
             init,
+            init_cells,
             anchor_msgs,
             edge_stencils,
             stencils,
@@ -568,17 +554,126 @@ impl MessageCache {
     }
 
     /// The cached anchor message for edge `e`, when one exists.
-    fn anchor(&self, e: usize) -> Option<&[f64]> {
+    fn anchor(&self, e: usize) -> Option<&[C]> {
         self.anchor_msgs.get(e).and_then(|m| m.as_deref())
     }
 
     /// The shared stencil for edge `e`, when the potential discretizes.
-    fn stencil(&self, e: usize) -> Option<&KernelStencil> {
+    fn stencil(&self, e: usize) -> Option<&KernelStencil<C>> {
         self.edge_stencils
             .get(e)
             .copied()
             .flatten()
             .and_then(|i| self.stencils.get(i))
+    }
+}
+
+/// Numeric precision of the grid backend's message/product hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GridPrecision {
+    /// Double precision — the default. This path is bit-stable: it is
+    /// what the cache-equivalence property tests and the thread/schedule
+    /// determinism audit pin down.
+    #[default]
+    F64,
+    /// Single precision — an opt-in speed/accuracy trade-off. Kernel
+    /// tables, messages, and belief products run in f32 (halving memory
+    /// traffic and doubling SIMD lane width); beliefs handed back to
+    /// callers are widened and renormalized in f64. Accuracy contract:
+    /// per-cell belief masses track the f64 path to within single
+    /// precision (relative ~1e-6 per operation; sub-1e-38 tails flush
+    /// to zero), which bounds estimate drift far below a cell width on
+    /// realistic scenarios — asserted by the RMSE-drift tests.
+    F32,
+}
+
+/// Opt-in coarse-to-fine schedule for [`GridBp`].
+///
+/// The run starts on a `(nx/factor) × (ny/factor)` grid for
+/// `coarse_iterations` BP iterations (or until the run's convergence
+/// tolerance is met). Free nodes whose coarse posterior concentrates —
+/// the mass of their `top_k` heaviest cells reaches `concentration` —
+/// carry their upsampled belief into the full-resolution run as its
+/// starting point (the same belief-level carry-over seam `wsnloc-serve`
+/// uses between epochs); diffuse nodes restart cold from their priors.
+/// The coarse pre-solve runs on the perfect transport without observer
+/// telemetry; its broadcasts are added to the run's message count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoarseToFine {
+    /// Resolution divisor for the coarse phase (≥ 2).
+    pub factor: usize,
+    /// Iteration budget of the coarse phase (≥ 1).
+    pub coarse_iterations: usize,
+    /// Number of heaviest cells whose combined mass is thresholded (≥ 1).
+    pub top_k: usize,
+    /// Concentration threshold in `(0, 1]`: carry a node's coarse belief
+    /// up only when its top-k mass reaches this value.
+    pub concentration: f64,
+}
+
+impl Default for CoarseToFine {
+    fn default() -> Self {
+        CoarseToFine {
+            factor: 4,
+            coarse_iterations: 6,
+            top_k: 9,
+            concentration: 0.5,
+        }
+    }
+}
+
+impl CoarseToFine {
+    /// Validates the schedule parameters, returning `self` unchanged on
+    /// success.
+    pub fn validated(self) -> Result<Self, ValidationError> {
+        if self.factor < 2 {
+            return Err(ValidationError::InvalidOption {
+                option: "refine.factor",
+                value: self.factor as f64,
+                requirement: "coarse-to-fine resolution divisor must be at least 2",
+            });
+        }
+        if self.coarse_iterations == 0 {
+            return Err(ValidationError::InvalidOption {
+                option: "refine.coarse_iterations",
+                value: 0.0,
+                requirement: "coarse phase needs at least 1 iteration",
+            });
+        }
+        if self.top_k == 0 {
+            return Err(ValidationError::InvalidOption {
+                option: "refine.top_k",
+                value: 0.0,
+                requirement: "concentration statistic needs at least 1 cell",
+            });
+        }
+        if !(self.concentration > 0.0 && self.concentration <= 1.0) {
+            return Err(ValidationError::InvalidOption {
+                option: "refine.concentration",
+                value: self.concentration,
+                requirement: "concentration threshold must lie in (0, 1]",
+            });
+        }
+        Ok(self)
+    }
+}
+
+/// Per-node warm-start lookup unifying the two carry-over sources: the
+/// caller's carried beliefs (all free nodes) and the coarse-to-fine
+/// pre-solve (only nodes that concentrated).
+enum Warm<'a> {
+    None,
+    All(&'a [GridBelief]),
+    PerNode(&'a [Option<GridBelief>]),
+}
+
+impl Warm<'_> {
+    fn get(&self, u: usize) -> Option<&GridBelief> {
+        match self {
+            Warm::None => None,
+            Warm::All(w) => w.get(u),
+            Warm::PerNode(w) => w.get(u).and_then(|b| b.as_ref()),
+        }
     }
 }
 
@@ -597,6 +692,8 @@ pub struct GridBp {
     /// recompute-everything reference path, kept for equivalence tests
     /// and before/after benchmarks.
     pub cache_messages: bool,
+    precision: GridPrecision,
+    refine: Option<CoarseToFine>,
 }
 
 impl GridBp {
@@ -607,6 +704,8 @@ impl GridBp {
             ny: n,
             mass_floor: 1e-4,
             cache_messages: true,
+            precision: GridPrecision::default(),
+            refine: None,
         }
     }
 
@@ -618,33 +717,112 @@ impl GridBp {
         self.cache_messages = false;
         self
     }
-}
 
-impl BpEngine for GridBp {
-    type Belief = GridBelief;
-
-    fn backend_name(&self) -> &'static str {
-        "grid"
+    /// The same engine with the hot path running at `precision`.
+    pub fn with_precision(mut self, precision: GridPrecision) -> Self {
+        self.precision = precision;
+        self
     }
 
-    /// The superset entry point the core localizer drives: structured
-    /// telemetry observer, belief-level per-iteration closure, a
-    /// message [`Transport`], and optional warm-start beliefs. With the
-    /// perfect transport and no warm beliefs this is bit-identical to
-    /// the pre-transport engine; under a fault plan, undelivered
-    /// messages fall back per the plan's drop policy (stale held
-    /// messages are tempered as `m^α`), never-received links contribute
-    /// nothing, and dead nodes freeze. A warm belief (same grid shape)
-    /// replaces the prior-derived base belief of its free node both at
-    /// initialization and inside every update product, so the carried
-    /// posterior acts as this epoch's prior instead of re-applying the
-    /// pre-knowledge unary it already absorbed.
-    fn run_carried<F>(
+    /// The same engine with the coarse-to-fine schedule enabled.
+    /// Callers should pass parameters through
+    /// [`CoarseToFine::validated`]; degenerate values (a factor that
+    /// leaves fewer than 2 coarse cells per axis) skip the pre-solve at
+    /// run time rather than failing.
+    pub fn with_refinement(mut self, refine: CoarseToFine) -> Self {
+        self.refine = Some(refine);
+        self
+    }
+
+    /// The hot-path precision this engine runs at.
+    pub fn precision(&self) -> GridPrecision {
+        self.precision
+    }
+
+    /// The coarse-to-fine schedule, when enabled.
+    pub fn refinement(&self) -> Option<CoarseToFine> {
+        self.refine
+    }
+
+    /// Coarse-to-fine wrapper: optionally pre-solve on a reduced grid,
+    /// then run at full resolution with concentrated coarse posteriors
+    /// carried over per node. The pre-solve is skipped when the caller
+    /// already supplied warm beliefs (they carry posterior structure of
+    /// their own) or when the coarse grid would degenerate.
+    fn run_refined<C: Cell, F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
         transport: &Transport,
         warm: Option<&[GridBelief]>,
+        obs: &dyn InferenceObserver,
+        on_iter: F,
+    ) -> RunOutcome<GridBelief>
+    where
+        F: FnMut(usize, &[GridBelief]),
+    {
+        let mut carried: Option<Vec<Option<GridBelief>>> = None;
+        let mut pre_messages = 0u64;
+        if let Some(cf) = self.refine {
+            let f = cf.factor.max(1);
+            let (cnx, cny) = (self.nx / f, self.ny / f);
+            if warm.is_none() && cf.factor >= 2 && cnx >= 2 && cny >= 2 {
+                let coarse = GridBp {
+                    nx: cnx,
+                    ny: cny,
+                    refine: None,
+                    ..*self
+                };
+                let mut copts = *opts;
+                copts.max_iterations = cf.coarse_iterations.max(1);
+                let out = coarse.run_grid::<C, _>(
+                    mrf,
+                    &copts,
+                    &Transport::perfect(),
+                    Warm::None,
+                    0,
+                    &NullObserver,
+                    |_, _| {},
+                );
+                pre_messages = out.bp.messages;
+                carried = Some(
+                    out.beliefs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(u, b)| {
+                            if mrf.fixed(u).is_some() {
+                                return None;
+                            }
+                            if b.top_k_mass(cf.top_k) >= cf.concentration {
+                                Some(b.upsampled_to(self.nx, self.ny))
+                            } else {
+                                None
+                            }
+                        })
+                        .collect(),
+                );
+            }
+        }
+        let warm_ref = match (&carried, warm) {
+            (Some(c), _) => Warm::PerNode(c),
+            (None, Some(w)) => Warm::All(w),
+            (None, None) => Warm::None,
+        };
+        self.run_grid::<C, F>(mrf, opts, transport, warm_ref, pre_messages, obs, on_iter)
+    }
+
+    /// One full BP run at this engine's resolution, generic over the
+    /// cell type of the message/product hot path. `pre_messages` seeds
+    /// the broadcast count (coarse-phase messages are real broadcasts in
+    /// the protocol being simulated).
+    #[allow(clippy::too_many_arguments)]
+    fn run_grid<C: Cell, F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        transport: &Transport,
+        warm: Warm<'_>,
+        pre_messages: u64,
         obs: &dyn InferenceObserver,
         mut on_iter: F,
     ) -> RunOutcome<GridBelief>
@@ -653,7 +831,8 @@ impl BpEngine for GridBp {
     {
         validate::enforce("GridBp::run", || GraphAudit.check_mrf(mrf));
         let domain = mrf.domain();
-        let floor = self.mass_floor / (self.nx * self.ny) as f64;
+        let floor64 = self.mass_floor / (self.nx * self.ny) as f64;
+        let floor = C::from_f64(floor64);
         let free = mrf.free_vars();
         obs.on_run_start(&RunInfo {
             backend: "grid",
@@ -679,17 +858,19 @@ impl BpEngine for GridBp {
         // and the initial beliefs are shared with the cache.
         let init_start = Stopwatch::start();
         let cache = if self.cache_messages {
-            Some(MessageCache::build(mrf, domain, self.nx, self.ny, obs))
+            Some(MessageCache::<C>::build(mrf, domain, self.nx, self.ny, obs))
         } else {
             None
         };
+        // Geometry template for the pointwise fallback paths (cell
+        // centers only — identical across all beliefs on this grid).
+        let shape = GridBelief::uniform(domain, self.nx, self.ny);
         // The per-node base belief every update product starts from:
         // warm carried beliefs (when supplied, for free nodes whose
         // grid shape matches) shadow the prior-derived initial belief.
-        let base_of = |u: usize| -> GridBelief {
+        let base_belief = |u: usize| -> GridBelief {
             if mrf.fixed(u).is_none() {
-                if let Some(w) = warm {
-                    let b = &w[u];
+                if let Some(b) = warm.get(u) {
                     if b.nx == self.nx && b.ny == self.ny && b.domain == domain {
                         return b.clone();
                     }
@@ -703,16 +884,36 @@ impl BpEngine for GridBp {
                 },
             }
         };
-        let mut beliefs: Vec<GridBelief> = match (&cache, warm) {
-            (Some(c), None) => c.init.clone(),
-            _ => (0..mrf.len()).map(base_of).collect(),
+        // The same base in cell-typed storage (the hot-path variant).
+        let base_cells = |u: usize| -> Vec<C> {
+            if mrf.fixed(u).is_none() {
+                if let Some(b) = warm.get(u) {
+                    if b.nx == self.nx && b.ny == self.ny && b.domain == domain {
+                        return C::from_f64_vec(b.mass.clone());
+                    }
+                }
+            }
+            match &cache {
+                Some(c) => c.init_cells[u].clone(),
+                None => C::from_f64_vec(base_belief(u).mass),
+            }
         };
+        let mut beliefs: Vec<GridBelief> = match (&cache, &warm) {
+            (Some(c), Warm::None) => c.init.clone(),
+            _ => (0..mrf.len()).map(base_belief).collect(),
+        };
+        // Cell-typed mirror of `beliefs` the message kernels read from;
+        // kept in lockstep with `beliefs` after every node update.
+        let mut cells: Vec<Vec<C>> = beliefs
+            .iter()
+            .map(|b| C::from_f64_vec(b.mass.clone()))
+            .collect();
         obs.on_span(SpanKind::PriorInit, init_start.elapsed_secs());
 
         let mut outcome = BpOutcome {
             iterations: 0,
             converged: false,
-            messages: 0,
+            messages: pre_messages,
         };
 
         let loop_start = Stopwatch::start();
@@ -737,8 +938,11 @@ impl BpEngine for GridBp {
                 None
             };
 
-            let update_one = |u: usize, beliefs: &Vec<GridBelief>| -> GridBelief {
-                let mut belief = base_of(u);
+            let update_one = |u: usize, beliefs: &Vec<GridBelief>, cells: &Vec<Vec<C>>| -> Vec<C> {
+                let mut bel = base_cells(u);
+                // Message and separable-pass scratch, reused across edges.
+                let mut msg: Vec<C> = Vec::new();
+                let mut scratch: Vec<C> = Vec::new();
                 for &e in mrf.edges_of(u) {
                     let v = mrf.other_end(e, u);
                     let potential = mrf.edges()[e].potential.as_ref();
@@ -766,67 +970,91 @@ impl BpEngine for GridBp {
                             // fallback, if any, was reported at build
                             // time), recomputed only on the reference
                             // path.
-                            if let Some(msg) = cache.as_ref().and_then(|c| c.anchor(e)) {
+                            if let Some(am) = cache.as_ref().and_then(|c| c.anchor(e)) {
                                 if alpha < 1.0 {
-                                    let mut tempered = msg.to_vec();
-                                    temper_message(&mut tempered, alpha);
-                                    belief.product(&tempered);
+                                    msg.clear();
+                                    msg.extend_from_slice(am);
+                                    cellbuf::temper_cells(&mut msg, alpha);
+                                    cellbuf::product_cells(&mut bel, &msg);
                                 } else {
-                                    belief.product(msg);
+                                    cellbuf::product_cells(&mut bel, am);
                                 }
                             } else {
-                                let (mut msg, collapsed) = point_message(&belief, p, potential);
+                                let (m64, collapsed) = point_message(&shape, p, potential);
                                 if collapsed {
                                     obs.on_event(&ObsEvent::GridUniformFallback {
                                         edge: e,
                                         stage: "point",
                                     });
                                 }
-                                temper_message(&mut msg, alpha);
-                                belief.product(&msg);
+                                let mut m = C::from_f64_vec(m64);
+                                cellbuf::temper_cells(&mut m, alpha);
+                                cellbuf::product_cells(&mut bel, &m);
                             }
                         }
                         None => {
-                            let source = held.unwrap_or(&beliefs[v]);
-                            let (mut msg, collapsed) =
-                                match cache.as_ref().and_then(|c| c.stencil(e)) {
-                                    Some(st) => stencil_message(source, st, floor),
-                                    None => kernel_message(source, potential, floor),
-                                };
+                            let collapsed = match cache.as_ref().and_then(|c| c.stencil(e)) {
+                                Some(st) => {
+                                    msg.clear();
+                                    msg.resize(bel.len(), C::ZERO);
+                                    // Held snapshots (fault paths) are
+                                    // f64 beliefs; live sources read the
+                                    // cell-typed mirror directly.
+                                    let held_cells: Vec<C>;
+                                    let source: &[C] = match held {
+                                        Some(h) => {
+                                            held_cells = C::from_f64_vec(h.mass.clone());
+                                            &held_cells
+                                        }
+                                        None => &cells[v],
+                                    };
+                                    st.scatter(source, self.nx, floor, &mut msg, &mut scratch);
+                                    cellbuf::finalize_cells(&mut msg)
+                                }
+                                None => {
+                                    let source = held.unwrap_or(&beliefs[v]);
+                                    let (m64, collapsed) =
+                                        kernel_message(source, potential, floor64);
+                                    msg = C::from_f64_vec(m64);
+                                    collapsed
+                                }
+                            };
                             if collapsed {
                                 obs.on_event(&ObsEvent::GridUniformFallback {
                                     edge: e,
                                     stage: "kernel",
                                 });
                             }
-                            temper_message(&mut msg, alpha);
-                            belief.product(&msg);
+                            cellbuf::temper_cells(&mut msg, alpha);
+                            cellbuf::product_cells(&mut bel, &msg);
                         }
                     }
                 }
-                belief
+                bel
             };
 
             match opts.schedule {
                 Schedule::Synchronous => {
-                    let new: Vec<(usize, GridBelief)> = active
+                    let new: Vec<(usize, Vec<C>)> = active
                         .par_iter()
-                        .map(|&u| (u, update_one(u, &beliefs)))
+                        .map(|&u| (u, update_one(u, &beliefs, &cells)))
                         .collect();
                     for (u, mut b) in new {
                         if opts.damping > 0.0 {
-                            damp(&mut b, &beliefs[u], opts.damping);
+                            cellbuf::damp_cells(&mut b, &cells[u], opts.damping);
                         }
-                        beliefs[u] = b;
+                        beliefs[u] = GridBelief::from_cells(domain, self.nx, self.ny, &b);
+                        cells[u] = b;
                     }
                 }
                 Schedule::Sweep => {
                     for &u in active {
-                        let mut b = update_one(u, &beliefs);
+                        let mut b = update_one(u, &beliefs, &cells);
                         if opts.damping > 0.0 {
-                            damp(&mut b, &beliefs[u], opts.damping);
+                            cellbuf::damp_cells(&mut b, &cells[u], opts.damping);
                         }
-                        beliefs[u] = b;
+                        beliefs[u] = GridBelief::from_cells(domain, self.nx, self.ny, &b);
+                        cells[u] = b;
                     }
                 }
             }
@@ -892,25 +1120,44 @@ impl BpEngine for GridBp {
     }
 }
 
-fn damp(new: &mut GridBelief, old: &GridBelief, damping: f64) {
-    for (n, &o) in new.mass.iter_mut().zip(&old.mass) {
-        *n = (1.0 - damping) * *n + damping * o;
-    }
-    new.normalize();
-}
+impl BpEngine for GridBp {
+    type Belief = GridBelief;
 
-/// Staleness discount for held messages: raises each cell to `alpha`
-/// (tempering), so `alpha = 1` is the identity and `alpha → 0`
-/// flattens the message toward "no information" — the receiver falls
-/// back to its prior and remaining neighbors.
-fn temper_message(msg: &mut [f64], alpha: f64) {
-    if alpha >= 1.0 {
-        return;
+    fn backend_name(&self) -> &'static str {
+        "grid"
     }
-    let a = alpha.max(0.0);
-    for m in msg.iter_mut() {
-        if *m > 0.0 {
-            *m = m.powf(a);
+
+    /// The superset entry point the core localizer drives: structured
+    /// telemetry observer, belief-level per-iteration closure, a
+    /// message [`Transport`], and optional warm-start beliefs. With the
+    /// perfect transport and no warm beliefs this is bit-identical to
+    /// the pre-transport engine; under a fault plan, undelivered
+    /// messages fall back per the plan's drop policy (stale held
+    /// messages are tempered as `m^α`), never-received links contribute
+    /// nothing, and dead nodes freeze. A warm belief (same grid shape)
+    /// replaces the prior-derived base belief of its free node both at
+    /// initialization and inside every update product, so the carried
+    /// posterior acts as this epoch's prior instead of re-applying the
+    /// pre-knowledge unary it already absorbed.
+    fn run_carried<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        transport: &Transport,
+        warm: Option<&[GridBelief]>,
+        obs: &dyn InferenceObserver,
+        on_iter: F,
+    ) -> RunOutcome<GridBelief>
+    where
+        F: FnMut(usize, &[GridBelief]),
+    {
+        match self.precision {
+            GridPrecision::F64 => {
+                self.run_refined::<f64, F>(mrf, opts, transport, warm, obs, on_iter)
+            }
+            GridPrecision::F32 => {
+                self.run_refined::<f32, F>(mrf, opts, transport, warm, obs, on_iter)
+            }
         }
     }
 }
@@ -1014,6 +1261,32 @@ mod tests {
         b.normalize();
         let cov = b.covariance();
         assert!(cov[(0, 0)] > 100.0 * cov[(1, 1)].max(1e-12));
+    }
+
+    #[test]
+    fn upsample_preserves_structure() {
+        let coarse = GridBelief::from_unary(
+            &GaussianUnary {
+                mean: Vec2::new(30.0, 60.0),
+                sigma: 8.0,
+            },
+            domain(),
+            10,
+            10,
+        );
+        let fine = coarse.upsampled_to(40, 40);
+        assert_eq!(fine.nx(), 40);
+        assert!((fine.mass().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(fine.mean().dist(coarse.mean()) < 4.0);
+    }
+
+    #[test]
+    fn top_k_mass_measures_concentration() {
+        let peaked = GridBelief::delta(Vec2::new(50.0, 50.0), domain(), 10, 10);
+        assert!((peaked.top_k_mass(1) - 1.0).abs() < 1e-12);
+        let uniform = GridBelief::uniform(domain(), 10, 10);
+        assert!((uniform.top_k_mass(10) - 0.1).abs() < 1e-12);
+        assert!((uniform.top_k_mass(1000) - 1.0).abs() < 1e-12);
     }
 
     /// Three nodes on a line: anchor(10,50) — u1 — anchor(90,50), ranges 40
@@ -1180,10 +1453,15 @@ mod tests {
             25,
         );
         let (dx, dy) = src.cell_size();
-        let st = KernelStencil::build(&pot, 25, 25, dx, dy).expect("rangepotential discretizes");
+        let st = KernelStencil::build(&pot, 25, 25, dx, dy).expect("range potential discretizes");
+        // The default ring kernel is radially symmetric: quadrant form.
+        assert_eq!(st.kind_name(), "mirrored");
         let floor = 1e-4 / 625.0;
         let (reference, ref_collapsed) = kernel_message(&src, &pot, floor);
-        let (cached, cache_collapsed) = stencil_message(&src, &st, floor);
+        let mut cached = vec![0.0f64; 625];
+        let mut scratch = Vec::new();
+        st.scatter(src.mass(), 25, floor, &mut cached, &mut scratch);
+        let cache_collapsed = finalize_message(&mut cached);
         assert_eq!(ref_collapsed, cache_collapsed);
         for (t, (a, b)) in reference.iter().zip(&cached).enumerate() {
             assert!(
@@ -1193,8 +1471,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn cached_run_matches_reference_run() {
+    fn four_node_mrf() -> SpatialMrf {
         let dom = domain();
         let mut mrf = SpatialMrf::new(4, dom, Arc::new(UniformBoxUnary(dom)));
         mrf.fix(0, Vec2::new(10.0, 50.0));
@@ -1209,6 +1486,12 @@ mod tests {
                 }),
             );
         }
+        mrf
+    }
+
+    #[test]
+    fn cached_run_matches_reference_run() {
+        let mrf = four_node_mrf();
         let opts = BpOptions::builder()
             .max_iterations(6)
             .tolerance(0.0)
@@ -1225,6 +1508,107 @@ mod tests {
                     "belief[{u}] cell {i}: cached {a} vs reference {b}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn f32_precision_tracks_f64_estimates() {
+        let mrf = four_node_mrf();
+        let opts = BpOptions::builder()
+            .max_iterations(6)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid options");
+        let (b64, o64) = GridBp::with_resolution(30).run(&mrf, &opts);
+        let (b32, o32) = GridBp::with_resolution(30)
+            .with_precision(GridPrecision::F32)
+            .run(&mrf, &opts);
+        assert_eq!(o64.iterations, o32.iterations);
+        for (u, (a, b)) in b64.iter().zip(&b32).enumerate() {
+            // Documented f32 contract: estimates drift far below a cell
+            // width (100m / 30 cells ≈ 3.3m).
+            assert!(
+                a.mean().dist(b.mean()) < 0.1,
+                "node {u}: f64 {} vs f32 {}",
+                a.mean(),
+                b.mean()
+            );
+            assert!(a.l1_distance(b) < 1e-2, "node {u} belief drift");
+            // f32-derived beliefs are renormalized to audit precision.
+            assert!((b.mass().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coarse_to_fine_tracks_dense_estimates() {
+        let mrf = four_node_mrf();
+        let opts = BpOptions::builder()
+            .max_iterations(8)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid options");
+        let (dense, od) = GridBp::with_resolution(40).run(&mrf, &opts);
+        let refine = CoarseToFine::default().validated().expect("valid schedule");
+        let (refined, or) = GridBp::with_resolution(40)
+            .with_refinement(refine)
+            .run(&mrf, &opts);
+        // The coarse pre-solve's broadcasts are real messages.
+        assert!(or.messages > od.messages, "coarse messages counted");
+        for (u, (a, b)) in dense.iter().zip(&refined).enumerate() {
+            assert!(
+                a.mean().dist(b.mean()) < 3.0,
+                "node {u}: dense {} vs refined {}",
+                a.mean(),
+                b.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_to_fine_validation_rejects_degenerate_schedules() {
+        assert!(CoarseToFine::default().validated().is_ok());
+        let bad_factor = CoarseToFine {
+            factor: 1,
+            ..CoarseToFine::default()
+        };
+        assert!(matches!(
+            bad_factor.validated(),
+            Err(ValidationError::InvalidOption { option, .. }) if option == "refine.factor"
+        ));
+        let bad_conc = CoarseToFine {
+            concentration: 0.0,
+            ..CoarseToFine::default()
+        };
+        assert!(bad_conc.validated().is_err());
+        let bad_iters = CoarseToFine {
+            coarse_iterations: 0,
+            ..CoarseToFine::default()
+        };
+        assert!(bad_iters.validated().is_err());
+        let bad_k = CoarseToFine {
+            top_k: 0,
+            ..CoarseToFine::default()
+        };
+        assert!(bad_k.validated().is_err());
+    }
+
+    #[test]
+    fn refinement_skips_degenerate_coarse_grids() {
+        // 4÷4 = 1 coarse cell per axis: the pre-solve must be skipped,
+        // leaving a plain full-resolution run.
+        let mrf = four_node_mrf();
+        let opts = BpOptions::builder()
+            .max_iterations(3)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid options");
+        let (plain, op) = GridBp::with_resolution(4).run(&mrf, &opts);
+        let (refined, or) = GridBp::with_resolution(4)
+            .with_refinement(CoarseToFine::default())
+            .run(&mrf, &opts);
+        assert_eq!(op.messages, or.messages);
+        for (a, b) in plain.iter().zip(&refined) {
+            assert_eq!(a.mass(), b.mass());
         }
     }
 

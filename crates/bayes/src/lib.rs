@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cellbuf;
 pub mod discrete;
 pub mod discrete_ext;
 pub mod engine;
@@ -39,18 +40,20 @@ pub mod motion;
 pub mod mrf;
 pub mod particle;
 pub mod potential;
+pub mod stencil;
 pub mod transport;
 pub mod validate;
 
 pub use engine::{Belief, BpEngine, RunOutcome};
 pub use gaussian::{GaussianBelief, GaussianBp};
-pub use grid::{GridBelief, GridBp};
+pub use grid::{CoarseToFine, GridBelief, GridBp, GridPrecision};
 pub use motion::MotionModel;
 pub use mrf::{BpOptions, BpOptionsBuilder, BpOutcome, Schedule, SpatialMrf};
 pub use particle::{ParticleBelief, ParticleBp};
 pub use potential::{
-    DeltaUnary, GaussianRange, GaussianUnary, MixtureUnary, PairPotential, UnaryPotential,
-    UniformBoxUnary, UniformShapeUnary,
+    DeltaUnary, GaussianProximity, GaussianRange, GaussianUnary, MixtureUnary, PairPotential,
+    UnaryPotential, UniformBoxUnary, UniformShapeUnary,
 };
+pub use stencil::KernelStencil;
 pub use transport::Transport;
 pub use validate::{DistributionAudit, GraphAudit, ValidationError};

@@ -12,8 +12,8 @@
 
 use std::sync::Arc;
 use wsnloc_bayes::{
-    BpEngine, BpOptions, GaussianRange, GaussianUnary, GridBelief, GridBp, PairPotential, Schedule,
-    SpatialMrf, UniformBoxUnary,
+    BpEngine, BpOptions, GaussianProximity, GaussianRange, GaussianUnary, GridBelief, GridBp,
+    GridPrecision, KernelStencil, PairPotential, Schedule, SpatialMrf, UniformBoxUnary,
 };
 use wsnloc_geom::check;
 use wsnloc_geom::rng::Xoshiro256pp;
@@ -21,6 +21,11 @@ use wsnloc_geom::{Aabb, Vec2};
 
 const CASES: u64 = 16;
 const PER_CELL_TOLERANCE: f64 = 1e-12;
+/// The f32 hot path accumulates single-precision rounding across five
+/// product/normalize iterations; per-cell drift stays well under 1e-3
+/// on these masses (each ≤ 1) while the default f64 path keeps the
+/// 1e-12 contract above.
+const PER_CELL_TOLERANCE_F32: f64 = 1e-3;
 
 /// A Gaussian range potential that refuses stencil discretization,
 /// forcing the cached engine through the pointwise kernel path.
@@ -147,6 +152,182 @@ fn opt_out_potentials_are_bit_identical_to_reference() {
             // reuse, so equality is exact.
             assert_beliefs_close(&cached, &reference, 0.0);
         }
+    });
+}
+
+/// The same random geometry as [`random_mrf`] but with proximity
+/// potentials, whose kernels factorize exactly — the cached engine runs
+/// them through the two-pass separable scatter.
+fn random_proximity_mrf(rng: &mut Xoshiro256pp) -> SpatialMrf {
+    let domain = Aabb::from_size(100.0, 100.0);
+    let n = 4 + rng.index(4);
+    let mut mrf = SpatialMrf::new(n, domain, Arc::new(UniformBoxUnary(domain)));
+    let pts: Vec<Vec2> = (0..n)
+        .map(|_| rng.point_in(domain.min, domain.max))
+        .collect();
+    mrf.fix(0, pts[0]);
+    mrf.fix(1, pts[1]);
+    for u in 1..n {
+        let sigma = 6.0 + 10.0 * rng.f64();
+        mrf.add_edge(u - 1, u, Arc::new(GaussianProximity { sigma }));
+    }
+    for u in 0..n {
+        for v in (u + 2)..n {
+            if pts[u].dist(pts[v]) < 60.0 && rng.f64() < 0.5 {
+                let sigma = 6.0 + 10.0 * rng.f64();
+                mrf.add_edge(u, v, Arc::new(GaussianProximity { sigma }));
+            }
+        }
+    }
+    mrf
+}
+
+/// Separable-vs-dense: proximity kernels classify separable (asserted),
+/// and the cached two-pass scatter matches the reference pointwise path
+/// within the f64 contract.
+#[test]
+fn separable_kernels_match_reference_on_random_mrfs() {
+    check::cases(CASES / 2, |_, rng| {
+        let sigma = 6.0 + 10.0 * rng.f64();
+        let st = KernelStencil::build(
+            &GaussianProximity { sigma },
+            18,
+            18,
+            100.0 / 18.0,
+            100.0 / 18.0,
+        )
+        .expect("proximity potential discretizes");
+        assert_eq!(st.kind_name(), "separable");
+        let mrf = random_proximity_mrf(rng);
+        let engine = GridBp::with_resolution(18);
+        for schedule in [Schedule::Synchronous, Schedule::Sweep] {
+            let opts = options(schedule, 0.2);
+            let (cached, co) = engine.run(&mrf, &opts);
+            let (reference, ro) = engine.without_message_cache().run(&mrf, &opts);
+            assert_eq!(co.iterations, ro.iterations);
+            assert_beliefs_close(&cached, &reference, PER_CELL_TOLERANCE);
+        }
+    });
+}
+
+/// Mirrored-vs-full: the default ring kernels of [`random_mrf`] classify
+/// mirrored (quadrant storage), and the main equivalence property above
+/// already pins their cached runs to the reference within 1e-12 — this
+/// test makes the classification explicit so a regression to the dense
+/// path can't silently pass the tolerance check.
+#[test]
+fn range_kernels_classify_mirrored() {
+    check::cases(CASES / 2, |_, rng| {
+        let pot = GaussianRange {
+            observed: 10.0 + 50.0 * rng.f64(),
+            sigma: 2.0 + 4.0 * rng.f64(),
+        };
+        let st =
+            KernelStencil::build(&pot, 18, 18, 100.0 / 18.0, 100.0 / 18.0).expect("discretizes");
+        assert_eq!(st.kind_name(), "mirrored");
+        let full = (2 * st.rx() as usize + 1) * (2 * st.ry() as usize + 1);
+        assert!(st.stored_len() < full);
+    });
+}
+
+/// A potential publishing a randomized *asymmetric* kernel table: no
+/// radial symmetry, no rank-1 structure. Classification must fall back
+/// to the dense scatter rather than mis-folding the table.
+#[derive(Debug)]
+struct AsymmetricKernel {
+    seed: u64,
+    radius: f64,
+}
+
+impl PairPotential for AsymmetricKernel {
+    fn log_likelihood(&self, d: f64) -> f64 {
+        -d / self.radius
+    }
+
+    fn sample_distance(&self, rng: &mut Xoshiro256pp) -> f64 {
+        rng.range(0.0, self.radius)
+    }
+
+    fn max_distance(&self) -> Option<f64> {
+        Some(self.radius)
+    }
+
+    fn discretized_kernel(&self, _dx: f64, _dy: f64, rx: usize, ry: usize) -> Option<Vec<f64>> {
+        let mut rng = Xoshiro256pp::seed_from(self.seed);
+        Some(
+            (0..(2 * rx + 1) * (2 * ry + 1))
+                .map(|_| rng.range(0.1, 1.0))
+                .collect(),
+        )
+    }
+}
+
+/// Dense-fallback proof: randomized asymmetric kernels classify dense,
+/// and the dense scatter reproduces the brute-force table scatter
+/// exactly (same table values, same accumulation targets).
+#[test]
+fn asymmetric_kernels_fall_back_to_dense_scatter() {
+    check::cases(8, |case, rng| {
+        let (nx, ny) = (14, 11);
+        let (dx, dy) = (100.0 / nx as f64, 100.0 / ny as f64);
+        let pot = AsymmetricKernel {
+            seed: 0xA5A5 + case,
+            radius: 15.0 + 20.0 * rng.f64(),
+        };
+        let st = KernelStencil::build(&pot, nx, ny, dx, dy).expect("kernel table provided");
+        assert_eq!(st.kind_name(), "dense");
+        let (rx, ry) = (st.rx() as usize, st.ry() as usize);
+        let table = pot
+            .discretized_kernel(dx, dy, rx, ry)
+            .expect("table exists");
+        let src: Vec<f64> = (0..nx * ny).map(|_| rng.range(0.0, 1.0)).collect();
+        let mut out = vec![0.0f64; nx * ny];
+        let mut scratch = Vec::new();
+        st.scatter(&src, nx, 0.0, &mut out, &mut scratch);
+        // Brute-force reference straight off the published table.
+        let mut want = vec![0.0f64; nx * ny];
+        let w = 2 * rx + 1;
+        for (s, &m) in src.iter().enumerate() {
+            let (sx, sy) = ((s % nx) as isize, (s / nx) as isize);
+            for oy in -(ry as isize)..=(ry as isize) {
+                let y = sy + oy;
+                if y < 0 || y >= ny as isize {
+                    continue;
+                }
+                for ox in -(rx as isize)..=(rx as isize) {
+                    let x = sx + ox;
+                    if x < 0 || x >= nx as isize {
+                        continue;
+                    }
+                    let k = table[(oy + ry as isize) as usize * w + (ox + rx as isize) as usize];
+                    want[y as usize * nx + x as usize] += m * k;
+                }
+            }
+        }
+        for (t, (a, b)) in out.iter().zip(&want).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                "cell {t}: scatter {a} vs brute force {b}"
+            );
+        }
+    });
+}
+
+/// The opt-in f32 hot path tracks the f64 reference within the
+/// documented single-precision tolerance on the same randomized MRFs.
+#[test]
+fn f32_cached_beliefs_track_reference_within_documented_tolerance() {
+    check::cases(CASES / 2, |_, rng| {
+        let mrf = random_mrf(rng, false);
+        let opts = options(Schedule::Synchronous, 0.1);
+        let (reference, ro) = GridBp::with_resolution(18)
+            .without_message_cache()
+            .run(&mrf, &opts);
+        let (f32_run, fo) = GridBp::with_resolution(18)
+            .with_precision(GridPrecision::F32)
+            .run(&mrf, &opts);
+        assert_eq!(ro.iterations, fo.iterations);
+        assert_beliefs_close(&f32_run, &reference, PER_CELL_TOLERANCE_F32);
     });
 }
 

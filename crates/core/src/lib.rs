@@ -70,7 +70,7 @@ pub use prior::PriorModel;
 pub use result::{LocalizationResult, Localizer};
 pub use session::{CarriedBeliefs, LocalizationSession};
 pub use tracking::{TrackingLocalizer, TrackingLocalizerBuilder};
-pub use wsnloc_bayes::MotionModel;
+pub use wsnloc_bayes::{CoarseToFine, GridPrecision, MotionModel};
 pub use wsnloc_obs as obs;
 
 /// Convenient glob import for applications.
@@ -82,7 +82,8 @@ pub mod prelude {
     pub use crate::session::{CarriedBeliefs, LocalizationSession};
     pub use crate::tracking::{TrackingLocalizer, TrackingLocalizerBuilder};
     pub use wsnloc_bayes::{
-        BpEngine, BpOptions, MotionModel, Schedule, Transport, ValidationError,
+        BpEngine, BpOptions, CoarseToFine, GridPrecision, MotionModel, Schedule, Transport,
+        ValidationError,
     };
     pub use wsnloc_geom::{Aabb, Shape, Vec2};
     pub use wsnloc_net::{

@@ -18,8 +18,8 @@ use crate::result::{LocalizationResult, Localizer};
 use crate::session::{CarriedBeliefs, LocalizationSession};
 use std::sync::Arc;
 use wsnloc_bayes::{
-    Belief, BpEngine, BpOptions, GaussianBp, GridBp, ParticleBp, Schedule, SpatialMrf, Transport,
-    ValidationError,
+    Belief, BpEngine, BpOptions, CoarseToFine, GaussianBp, GridBp, GridPrecision, ParticleBp,
+    Schedule, SpatialMrf, Transport, ValidationError,
 };
 use wsnloc_geom::Vec2;
 use wsnloc_net::accounting::{CommStats, WireMessage};
@@ -83,6 +83,12 @@ pub struct BnlLocalizer {
     /// Fault-injection plan applied to inter-node messaging (`None` =
     /// perfect transport, the bit-identical fault-free path).
     pub(crate) fault_plan: Option<Arc<FaultPlan>>,
+    /// Numeric precision of the grid backend's message hot path
+    /// (ignored by the other backends; the builder rejects non-default
+    /// values without a grid backend).
+    pub(crate) grid_precision: GridPrecision,
+    /// Optional coarse-to-fine schedule for the grid backend.
+    pub(crate) grid_refine: Option<CoarseToFine>,
 }
 
 /// Validated builder for [`BnlLocalizer`].
@@ -168,8 +174,42 @@ impl BnlLocalizerBuilder {
         self
     }
 
+    /// Sets the numeric precision of the grid backend's message hot path.
+    /// [`GridPrecision::F32`] is an opt-in speed/accuracy trade-off;
+    /// `try_build` rejects it on non-grid backends.
+    pub fn grid_precision(mut self, precision: GridPrecision) -> Self {
+        self.inner.grid_precision = precision;
+        self
+    }
+
+    /// Enables the grid backend's coarse-to-fine schedule. Parameters are
+    /// validated by `try_build` (via [`CoarseToFine::validated`]), which
+    /// also rejects the knob on non-grid backends.
+    pub fn grid_refine(mut self, refine: CoarseToFine) -> Self {
+        self.inner.grid_refine = Some(refine);
+        self
+    }
+
     /// Validates the configuration and returns the finished localizer.
     pub fn try_build(self) -> Result<BnlLocalizer, ValidationError> {
+        let is_grid = matches!(self.inner.backend, Backend::Grid { .. });
+        if self.inner.grid_precision != GridPrecision::F64 && !is_grid {
+            return Err(ValidationError::InvalidOption {
+                option: "grid_precision",
+                value: 0.0,
+                requirement: "reduced-precision beliefs require the grid backend",
+            });
+        }
+        if let Some(refine) = self.inner.grid_refine {
+            if !is_grid {
+                return Err(ValidationError::InvalidOption {
+                    option: "grid_refine",
+                    value: refine.factor as f64,
+                    requirement: "coarse-to-fine refinement requires the grid backend",
+                });
+            }
+            refine.validated()?;
+        }
         match self.inner.backend {
             Backend::Particle { particles: 0 } => {
                 return Err(ValidationError::InvalidOption {
@@ -212,6 +252,8 @@ impl BnlLocalizer {
                 estimator: Estimator::Mmse,
                 broadcast_particles: 24,
                 fault_plan: None,
+                grid_precision: GridPrecision::default(),
+                grid_refine: None,
             },
         }
     }
@@ -227,6 +269,8 @@ impl BnlLocalizer {
             estimator: Estimator::Mmse,
             broadcast_particles: 24,
             fault_plan: None,
+            grid_precision: GridPrecision::default(),
+            grid_refine: None,
         }
     }
 
@@ -240,6 +284,8 @@ impl BnlLocalizer {
             estimator: Estimator::Mmse,
             broadcast_particles: 24,
             fault_plan: None,
+            grid_precision: GridPrecision::default(),
+            grid_refine: None,
         }
     }
 
@@ -253,6 +299,8 @@ impl BnlLocalizer {
             estimator: Estimator::Mmse,
             broadcast_particles: 24,
             fault_plan: None,
+            grid_precision: GridPrecision::default(),
+            grid_refine: None,
         }
     }
 
@@ -424,8 +472,13 @@ impl BnlLocalizer {
                     Some(CarriedBeliefs::Grid(v)) => Some(v.as_slice()),
                     _ => None,
                 };
+                let mut engine =
+                    GridBp::with_resolution(resolution).with_precision(self.grid_precision);
+                if let Some(refine) = self.grid_refine {
+                    engine = engine.with_refinement(refine);
+                }
                 CarriedBeliefs::Grid(self.run_backend(
-                    &GridBp::with_resolution(resolution),
+                    &engine,
                     &mrf,
                     &opts,
                     &transport,

@@ -12,7 +12,8 @@
 
 use std::sync::Arc;
 use wsnloc_bayes::{
-    BpEngine, BpOptions, GaussianBp, GaussianRange, GridBp, ParticleBp, SpatialMrf, UniformBoxUnary,
+    BpEngine, BpOptions, CoarseToFine, GaussianBp, GaussianRange, GridBp, ParticleBp, SpatialMrf,
+    UniformBoxUnary,
 };
 use wsnloc_geom::rng::Xoshiro256pp;
 use wsnloc_geom::{Aabb, Vec2};
@@ -190,6 +191,69 @@ pub fn particle_bench_json(samples: usize) -> String {
     )
 }
 
+/// Resolutions of the pinned scale sweep (`repro bench --scale`).
+pub const SCALE_RESOLUTIONS: [usize; 4] = [15, 30, 60, 120];
+
+/// Kernel microbench context pinned alongside the sweep (static text so
+/// `--check` compares it exactly; re-measure with
+/// `cargo bench -p wsnloc-bench --bench stencil` when the kernels
+/// change). The numbers summarize `crates/bench/benches/stencil.rs` on
+/// the reference machine.
+pub const SCALE_NOTES: &str = "stencil microbench (30x30 grid, r=9): \
+separable 8.5x vs dense f64; mirrored matches dense speed at half the \
+table footprint; f32 ~1.1x vs same-kind f64";
+
+/// Runs the resolution scale sweep on the pinned lattice scenario and
+/// returns the `BENCH_scale.json` contents. Each resolution is timed
+/// twice — flat full-resolution inference and the coarse-to-fine
+/// schedule ([`CoarseToFine::default`]) — with a single fine iteration,
+/// so the sweep exposes how the scatter cost grows with cell count and
+/// how much the adaptive schedule claws back once beliefs concentrate.
+pub fn scale_bench_json(samples: usize) -> String {
+    let (mrf, _) = grid_fixture();
+    let opts = BpOptions::builder()
+        .max_iterations(1)
+        .tolerance(0.0)
+        .try_build()
+        .expect("pinned scale options are valid");
+    let mut rows = String::new();
+    for (i, &resolution) in SCALE_RESOLUTIONS.iter().enumerate() {
+        let dense = GridBp::with_resolution(resolution);
+        let refined = dense.with_refinement(CoarseToFine::default());
+        let dense_secs = median_secs(samples, || {
+            dense.run(&mrf, &opts);
+        });
+        let refined_secs = median_secs(samples, || {
+            refined.run(&mrf, &opts);
+        });
+        let comma = if i + 1 < SCALE_RESOLUTIONS.len() {
+            ","
+        } else {
+            ""
+        };
+        rows.push_str(&format!(
+            "    {{ \"resolution\": {resolution}, \"dense_secs\": {dense_secs:.6}, \"refined_secs\": {refined_secs:.6} }}{comma}\n",
+        ));
+    }
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"grid_scale_sweep\",\n",
+            "  \"scenario\": \"lattice_9nodes_300x300\",\n",
+            "  \"samples\": {samples},\n",
+            "  \"iterations\": 1,\n",
+            "  \"notes\": \"{notes}\",\n",
+            "  \"resolutions\": [\n",
+            "{rows}",
+            "  ]\n",
+            "}}\n"
+        ),
+        samples = samples.max(1),
+        notes = SCALE_NOTES,
+        rows = rows,
+    )
+}
+
 /// Tenant count of the pinned streaming scenario.
 pub const STREAM_TENANTS: usize = 64;
 /// Per-epoch BP iteration budget of the pinned streaming scenario.
@@ -327,6 +391,17 @@ fn check_value(
                 }
             }
         }
+        JsonValue::Arr(items) => match fresh {
+            JsonValue::Arr(fresh_items) if fresh_items.len() == items.len() => {
+                for (i, (want, got)) in items.iter().zip(fresh_items).enumerate() {
+                    check_value(&format!("{path}[{i}]"), want, got, tolerance, failures);
+                }
+            }
+            _ => failures.push(format!(
+                "{path}: expected an array of {} elements in both files",
+                items.len()
+            )),
+        },
         want => {
             if want != fresh {
                 failures.push(format!("{path}: pinned {want:?} != fresh {fresh:?}"));
@@ -361,6 +436,44 @@ mod tests {
         assert!(json.contains(&format!("\"tenants\": {STREAM_TENANTS}")));
         assert!(json.contains(&format!("\"warmed\": {STREAM_TENANTS}")));
         assert!(json.contains("\"epoch_secs\""));
+    }
+
+    #[test]
+    fn scale_bench_reports_one_row_per_resolution() {
+        let json = scale_bench_json(1);
+        assert!(json.contains("\"bench\": \"grid_scale_sweep\""));
+        for r in SCALE_RESOLUTIONS {
+            assert!(json.contains(&format!("\"resolution\": {r}")), "{json}");
+        }
+        assert!(json.contains("\"notes\""));
+        // The sweep output round-trips the checker against itself.
+        let failures = check_bench_json(&json, &json, 1.0).expect("parses");
+        assert!(failures.is_empty(), "self-check failed: {failures:?}");
+    }
+
+    #[test]
+    fn check_recurses_into_arrays_with_timing_tolerance() {
+        let pinned =
+            "{\"rows\":[{\"resolution\":15,\"secs\":0.010},{\"resolution\":30,\"secs\":0.020}]}";
+        let faster =
+            "{\"rows\":[{\"resolution\":15,\"secs\":0.001},{\"resolution\":30,\"secs\":0.002}]}";
+        assert!(check_bench_json(pinned, faster, 1.5)
+            .expect("parses")
+            .is_empty());
+        let slower =
+            "{\"rows\":[{\"resolution\":15,\"secs\":0.040},{\"resolution\":30,\"secs\":0.020}]}";
+        let failures = check_bench_json(pinned, slower, 1.5).expect("parses");
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("rows[0].secs"), "{failures:?}");
+        // Shape drift inside an element and a length mismatch both flag.
+        let reshaped =
+            "{\"rows\":[{\"resolution\":16,\"secs\":0.010},{\"resolution\":30,\"secs\":0.020}]}";
+        let failures = check_bench_json(pinned, reshaped, 10.0).expect("parses");
+        assert!(failures.iter().any(|f| f.starts_with("rows[0].resolution")));
+        let truncated = "{\"rows\":[{\"resolution\":15,\"secs\":0.010}]}";
+        let failures = check_bench_json(pinned, truncated, 10.0).expect("parses");
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("array of 2 elements"));
     }
 
     #[test]

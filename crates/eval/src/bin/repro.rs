@@ -11,6 +11,7 @@
 //! repro trace --backend grid --out traces/  # per-backend trace file
 //! repro analyze trace.jsonl # replay a trace into convergence/fault/flame tables
 //! repro bench               # write BENCH_grid.json / BENCH_particle.json / BENCH_stream.json
+//! repro bench --scale       # also sweep grid resolutions into BENCH_scale.json
 //! repro bench --out perf/   # same, into a directory
 //! repro bench --check --tolerance 2.0  # compare fresh numbers to the pinned JSONs
 //! repro audit-determinism             # schedule-perturbation determinism audit
@@ -35,7 +36,7 @@ use wsnloc_eval::{bench, evaluate, experiments, EvalConfig, ExpConfig, Paralleli
 use wsnloc_obs::write_jsonl;
 
 fn usage() -> &'static str {
-    "usage: repro <list | trace | analyze [FILE] | bench [--check] | audit-determinism | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--tolerance R] [--out DIR]"
+    "usage: repro <list | trace | analyze [FILE] | bench [--check] [--scale] | audit-determinism | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--tolerance R] [--out DIR]"
 }
 
 fn main() -> ExitCode {
@@ -49,12 +50,14 @@ fn main() -> ExitCode {
     let mut out_dir: Option<PathBuf> = None;
     let mut backend = String::from("particle");
     let mut check = false;
+    let mut scale = false;
     let mut tolerance = 1.5f64;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--check" => check = true,
+            "--scale" => scale = true,
             "--tolerance" => {
                 i += 1;
                 tolerance = args
@@ -127,7 +130,7 @@ fn main() -> ExitCode {
     }
 
     if ids.iter().any(|id| id == "bench") {
-        return run_bench(out_dir.as_deref(), check, tolerance);
+        return run_bench(out_dir.as_deref(), check, scale, tolerance);
     }
 
     if ids.iter().any(|id| id == "audit-determinism") {
@@ -341,13 +344,21 @@ fn run_analyze(path: &std::path::Path, out_dir: Option<&std::path::Path>) -> Exi
 }
 
 /// Runs the pinned perf benches. Default mode writes `BENCH_grid.json` /
-/// `BENCH_particle.json` / `BENCH_stream.json` (into `out_dir` when
-/// given) so the perf
+/// `BENCH_particle.json` / `BENCH_stream.json` — plus `BENCH_scale.json`
+/// with `--scale` — (into `out_dir` when given) so the perf
 /// trajectory is tracked in version control; `--check` mode instead
 /// compares the fresh numbers against the pinned files (read from
 /// `out_dir` or the working directory) and exits nonzero on regression.
-fn run_bench(out_dir: Option<&std::path::Path>, check: bool, tolerance: f64) -> ExitCode {
+fn run_bench(
+    out_dir: Option<&std::path::Path>,
+    check: bool,
+    scale: bool,
+    tolerance: f64,
+) -> ExitCode {
     const SAMPLES: usize = 5;
+    /// The scale sweep times up to 120×120 cells per row, so it runs
+    /// fewer repetitions than the small pinned scenarios.
+    const SCALE_SAMPLES: usize = 3;
     let dir = out_dir.unwrap_or_else(|| std::path::Path::new("."));
     if !check && !dir.as_os_str().is_empty() {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -364,11 +375,20 @@ fn run_bench(out_dir: Option<&std::path::Path>, check: bool, tolerance: f64) -> 
         bench::STREAM_TENANTS
     );
     let stream = bench::stream_bench_json(SAMPLES);
-    let outputs = [
+    let scale_json;
+    let mut outputs = vec![
         ("BENCH_grid.json", &grid),
         ("BENCH_particle.json", &particle),
         ("BENCH_stream.json", &stream),
     ];
+    if scale {
+        eprintln!(
+            "grid scale sweep: resolutions {:?}, dense vs coarse-to-fine ({SCALE_SAMPLES} samples each)...",
+            bench::SCALE_RESOLUTIONS
+        );
+        scale_json = bench::scale_bench_json(SCALE_SAMPLES);
+        outputs.push(("BENCH_scale.json", &scale_json));
+    }
     if check {
         let mut regressed = false;
         for (name, fresh) in outputs {

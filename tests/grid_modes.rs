@@ -1,0 +1,143 @@
+//! Accuracy contracts of the grid backend's opt-in throughput modes:
+//! single-precision (f32) message passing and the coarse-to-fine
+//! resolution schedule must track the default f64 dense run on a
+//! realistic localization scenario (the F4 convergence-experiment
+//! shape), and both knobs must be rejected with typed errors on
+//! backends or parameters where they make no sense.
+
+use wsnloc::prelude::*;
+
+fn f4_style_scenario() -> Scenario {
+    Scenario {
+        name: "grid-modes".into(),
+        deployment: Deployment::planned_square_drop(400.0, 3, 35.0),
+        node_count: 45,
+        anchors: AnchorStrategy::Grid { count: 9 },
+        radio: RadioModel::UnitDisk { range: 140.0 },
+        ranging: RangingModel::Multiplicative { factor: 0.05 },
+        seed: 0xF4,
+    }
+}
+
+fn grid_builder(resolution: usize) -> BnlLocalizerBuilder {
+    BnlLocalizer::builder(Backend::Grid { resolution })
+        .prior(PriorModel::DropPoint { sigma: 35.0 })
+        .max_iterations(8)
+        .tolerance(1.0)
+}
+
+fn rmse(result: &LocalizationResult, truth: &GroundTruth, net: &Network) -> f64 {
+    let errs: Vec<f64> = result
+        .errors_for(truth, Some(net))
+        .into_iter()
+        .flatten()
+        .collect();
+    (errs.iter().map(|e| e * e).sum::<f64>() / errs.len() as f64).sqrt()
+}
+
+/// RMSE drift contract: the f32 hot path reproduces the f64 dense run's
+/// accuracy to a small fraction of a grid cell, and per-node estimates
+/// stay glued to the f64 ones.
+#[test]
+fn f32_rmse_drift_is_negligible_vs_f64_dense() {
+    let (net, truth) = f4_style_scenario().build_trial(0);
+    let f64_run = grid_builder(40)
+        .try_build()
+        .expect("valid f64 configuration")
+        .localize(&net, 0);
+    let f32_run = grid_builder(40)
+        .grid_precision(GridPrecision::F32)
+        .try_build()
+        .expect("valid f32 configuration")
+        .localize(&net, 0);
+    let (r64, r32) = (rmse(&f64_run, &truth, &net), rmse(&f32_run, &truth, &net));
+    // Cells are 10 m; the documented f32 contract keeps estimate drift
+    // far below a cell width.
+    assert!(
+        (r64 - r32).abs() < 0.5,
+        "f32 RMSE {r32:.3} drifted from f64 RMSE {r64:.3}"
+    );
+    for u in net.unknowns() {
+        let a = f64_run.estimates[u].expect("f64 estimates every node");
+        let b = f32_run.estimates[u].expect("f32 estimates every node");
+        assert!(a.dist(b) < 2.0, "node {u}: f64 {a} vs f32 {b}");
+    }
+}
+
+/// The coarse-to-fine schedule trades a cheap low-resolution pre-solve
+/// for full-resolution iterations; its final accuracy must stay within
+/// a cell of the flat dense run.
+#[test]
+fn coarse_to_fine_rmse_stays_within_a_cell_of_dense() {
+    let (net, truth) = f4_style_scenario().build_trial(1);
+    let dense = grid_builder(40)
+        .try_build()
+        .expect("valid dense configuration")
+        .localize(&net, 0);
+    let refined = grid_builder(40)
+        .grid_refine(CoarseToFine::default())
+        .try_build()
+        .expect("valid refined configuration")
+        .localize(&net, 0);
+    let (rd, rr) = (rmse(&dense, &truth, &net), rmse(&refined, &truth, &net));
+    let cell = 400.0 / 40.0;
+    assert!(
+        (rd - rr).abs() < cell,
+        "refined RMSE {rr:.3} vs dense RMSE {rd:.3} (cell {cell})"
+    );
+}
+
+/// Both knobs compose: f32 + coarse-to-fine together still track the
+/// f64 dense baseline.
+#[test]
+fn combined_f32_and_refinement_track_dense() {
+    let (net, truth) = f4_style_scenario().build_trial(2);
+    let dense = grid_builder(40)
+        .try_build()
+        .expect("valid dense configuration")
+        .localize(&net, 0);
+    let fast = grid_builder(40)
+        .grid_precision(GridPrecision::F32)
+        .grid_refine(CoarseToFine::default())
+        .try_build()
+        .expect("valid combined configuration")
+        .localize(&net, 0);
+    let (rd, rf) = (rmse(&dense, &truth, &net), rmse(&fast, &truth, &net));
+    assert!(
+        (rd - rf).abs() < 400.0 / 40.0,
+        "combined RMSE {rf:.3} vs dense RMSE {rd:.3}"
+    );
+}
+
+/// The knobs are grid-only and parameter-validated: typed errors, not
+/// silent acceptance.
+#[test]
+fn mode_knobs_are_validated_at_build_time() {
+    // f32 on a non-grid backend is rejected.
+    assert!(BnlLocalizer::builder(Backend::Particle { particles: 100 })
+        .grid_precision(GridPrecision::F32)
+        .try_build()
+        .is_err());
+    // Refinement on a non-grid backend is rejected.
+    assert!(BnlLocalizer::builder(Backend::Gaussian)
+        .grid_refine(CoarseToFine::default())
+        .try_build()
+        .is_err());
+    // Degenerate schedule parameters are rejected on the grid backend.
+    assert!(grid_builder(40)
+        .grid_refine(CoarseToFine {
+            factor: 1,
+            ..CoarseToFine::default()
+        })
+        .try_build()
+        .is_err());
+    assert!(grid_builder(40)
+        .grid_refine(CoarseToFine {
+            concentration: 1.5,
+            ..CoarseToFine::default()
+        })
+        .try_build()
+        .is_err());
+    // The default f64 dense configuration stays valid.
+    assert!(grid_builder(40).try_build().is_ok());
+}
