@@ -3,10 +3,11 @@
 //! The three backends (grid, particle, Gaussian) historically exposed
 //! three copy-pasted `run`/`run_with`/`run_observed`/`run_full` entry
 //! points each. [`BpEngine`] collapses that surface: each backend
-//! implements exactly one required method — [`BpEngine::run_carried`],
-//! the superset entry point taking a [`Transport`] and optional
-//! warm-start beliefs carried over from a previous epoch — and inherits
-//! the rest. Callers that only need beliefs keep the old
+//! implements exactly one required method — [`BpEngine::run_warm`],
+//! the superset entry point taking a [`Transport`] and a [`WarmStart`]
+//! describing how beliefs are seeded (cold, epoch carry-over, or
+//! mid-run state resume) — and inherits the rest. Callers that only
+//! need beliefs keep the old
 //! tuple-returning convenience methods; callers that inject faults or
 //! need structured telemetry use [`BpEngine::run_transported`] and get
 //! a [`RunOutcome`]; streaming/tracking callers thread last epoch's
@@ -46,6 +47,81 @@ pub struct RunOutcome<B> {
     pub bp: BpOutcome,
 }
 
+/// How a run seeds its beliefs relative to the model's priors.
+///
+/// The two slices answer two different questions:
+///
+/// - `prior` — *what does each free node believe before this epoch's
+///   measurements?* When supplied, it replaces the unary-derived base
+///   in every update product (epoch carry-over: a posterior carried in
+///   from a previous epoch must not be re-multiplied by the
+///   pre-knowledge unary it already absorbed).
+/// - `state` — *where does the message-passing state start?* When
+///   supplied, it seeds the initial belief vector only; the update base
+///   stays whatever `prior` (or, absent one, the unary) says. This is
+///   the resume semantics sharded execution needs: an outer round
+///   continues a run mid-flight without double-counting measurements.
+///
+/// [`WarmStart::carried`] sets both to the same slice — the historical
+/// `run_carried` behavior, bit for bit. [`WarmStart::resume`] sets only
+/// `state`. Both slices, when present, must hold one belief per MRF
+/// variable; entries for fixed (anchor) variables are ignored.
+#[derive(Debug)]
+pub struct WarmStart<'a, B> {
+    /// Epoch prior shadowing each free node's unary in updates.
+    pub prior: Option<&'a [B]>,
+    /// Initial belief state (message sources at iteration 0).
+    pub state: Option<&'a [B]>,
+}
+
+impl<B> Clone for WarmStart<'_, B> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<B> Copy for WarmStart<'_, B> {}
+
+impl<'a, B> WarmStart<'a, B> {
+    /// A cold start: priors from the model, state from the priors.
+    #[must_use]
+    pub fn cold() -> Self {
+        WarmStart {
+            prior: None,
+            state: None,
+        }
+    }
+
+    /// Epoch carry-over: `beliefs` replace both the prior-derived
+    /// initial state *and* the unary in every update (the historical
+    /// warm-start semantics of `run_carried`).
+    #[must_use]
+    pub fn carried(beliefs: &'a [B]) -> Self {
+        WarmStart {
+            prior: Some(beliefs),
+            state: Some(beliefs),
+        }
+    }
+
+    /// Mid-run resume: `state` seeds the beliefs that messages are
+    /// computed from, while updates keep multiplying against the
+    /// model's own priors — iteration `k+1` of a flat run is exactly a
+    /// one-iteration resume from its iteration-`k` beliefs.
+    #[must_use]
+    pub fn resume(state: &'a [B]) -> Self {
+        WarmStart {
+            prior: None,
+            state: Some(state),
+        }
+    }
+
+    /// True when neither slice is supplied (the historical cold path).
+    #[must_use]
+    pub fn is_cold(&self) -> bool {
+        self.prior.is_none() && self.state.is_none()
+    }
+}
+
 /// A loopy-BP inference engine over a [`SpatialMrf`].
 ///
 /// One required method; the convenience quartet is provided. All
@@ -60,20 +136,33 @@ pub trait BpEngine {
     fn backend_name(&self) -> &'static str;
 
     /// The superset entry point: runs BP with every inter-node message
-    /// routed through `transport`, optionally warm-starting from
-    /// carried beliefs, reporting structured telemetry into `obs` and
-    /// invoking `on_iter(iteration, beliefs)` after every iteration.
+    /// routed through `transport`, seeding beliefs per `warm` (epoch
+    /// prior and/or resumed state — see [`WarmStart`]), reporting
+    /// structured telemetry into `obs` and invoking
+    /// `on_iter(iteration, beliefs)` after every iteration.
     ///
-    /// `warm`, when supplied, must hold one belief per MRF variable
-    /// (entries for fixed/anchor variables are ignored). Each free
-    /// variable's carried belief replaces its prior-derived initial
-    /// belief *and* acts as the epoch prior in every update, so a
-    /// posterior carried over from a previous epoch (convolved with a
-    /// motion model by the caller) is not double-counted against the
-    /// pre-knowledge unary it already absorbed. With `warm = None`
-    /// this is exactly the historical cold-start path, bit for bit —
-    /// per-node RNG streams are split, not advanced, so skipping a
-    /// node's initial sampling cannot perturb any other node.
+    /// With [`WarmStart::cold`] this is exactly the historical
+    /// cold-start path, bit for bit — per-node RNG streams are split,
+    /// not advanced, so skipping a node's initial sampling cannot
+    /// perturb any other node.
+    fn run_warm<F>(
+        &self,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        transport: &Transport,
+        warm: WarmStart<'_, Self::Belief>,
+        obs: &dyn InferenceObserver,
+        on_iter: F,
+    ) -> RunOutcome<Self::Belief>
+    where
+        F: FnMut(usize, &[Self::Belief]);
+
+    /// Epoch carry-over entry point: each free variable's carried
+    /// belief replaces its prior-derived initial belief *and* acts as
+    /// the epoch prior in every update, so a posterior carried over
+    /// from a previous epoch (convolved with a motion model by the
+    /// caller) is not double-counted against the pre-knowledge unary it
+    /// already absorbed. `warm = None` is the cold start.
     fn run_carried<F>(
         &self,
         mrf: &SpatialMrf,
@@ -84,7 +173,14 @@ pub trait BpEngine {
         on_iter: F,
     ) -> RunOutcome<Self::Belief>
     where
-        F: FnMut(usize, &[Self::Belief]);
+        F: FnMut(usize, &[Self::Belief]),
+    {
+        let warm = match warm {
+            Some(w) => WarmStart::carried(w),
+            None => WarmStart::cold(),
+        };
+        self.run_warm(mrf, opts, transport, warm, obs, on_iter)
+    }
 
     /// Runs BP with every inter-node message routed through
     /// `transport`, reporting structured telemetry into `obs` and

@@ -21,7 +21,7 @@
 //! `s² = σ_d² + gᵀΣᵥg` the measurement variance inflated by the neighbor's
 //! own positional uncertainty along the line of sight.
 
-use crate::engine::{BpEngine, RunOutcome};
+use crate::engine::{BpEngine, RunOutcome, WarmStart};
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::transport::{Transport, TransportSession, Verdict};
 use crate::validate::{self, DistributionAudit, GraphAudit};
@@ -119,21 +119,22 @@ impl BpEngine for GaussianBp {
 
     /// The superset entry point the core localizer drives: structured
     /// telemetry observer, belief-level per-iteration closure, a
-    /// message [`Transport`], and optional warm-start beliefs. With the
-    /// perfect transport and no warm beliefs this is bit-identical to
-    /// the pre-transport engine; under a fault plan, undelivered
-    /// neighbor beliefs are replaced by held snapshots (their
-    /// information contribution scaled by `alpha`), never-received
-    /// links contribute nothing, and dead nodes freeze. A warm belief
-    /// replaces both the sampled prior moments and the jittered initial
-    /// belief of its free node — the textbook predict/update recursion
-    /// with the carried Gaussian as the predicted prior.
-    fn run_carried<F>(
+    /// message [`Transport`], and a [`WarmStart`]. With the perfect
+    /// transport and a cold start this is bit-identical to the
+    /// pre-transport engine; under a fault plan, undelivered neighbor
+    /// beliefs are replaced by held snapshots (their information
+    /// contribution scaled by `alpha`), never-received links contribute
+    /// nothing, and dead nodes freeze. A `warm.prior` belief replaces a
+    /// free node's sampled prior moments — the textbook predict/update
+    /// recursion with the carried Gaussian as the predicted prior — and
+    /// a `warm.state` belief replaces its jittered initial belief
+    /// without touching the prior (mid-run resume).
+    fn run_warm<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
         transport: &Transport,
-        warm: Option<&[GaussianBelief]>,
+        warm: WarmStart<'_, GaussianBelief>,
         obs: &dyn InferenceObserver,
         mut on_iter: F,
     ) -> RunOutcome<GaussianBelief>
@@ -166,7 +167,7 @@ impl BpEngine for GaussianBp {
         // (exact for Gaussian priors up to Monte-Carlo noise; a reasonable
         // moment match for boxes and shapes).
         let priors: Vec<GaussianBelief> = (0..mrf.len())
-            .map(|u| match (mrf.fixed(u), warm) {
+            .map(|u| match (mrf.fixed(u), warm.prior) {
                 (Some(p), _) => GaussianBelief::point(p),
                 // Carried-over epoch prior: the previous posterior,
                 // already motion-convolved by the caller.
@@ -189,16 +190,20 @@ impl BpEngine for GaussianBp {
         let mut beliefs: Vec<GaussianBelief> = priors
             .iter()
             .enumerate()
-            .map(|(u, p)| {
-                let mut b = *p;
-                // Warm starts skip the symmetry-breaking jitter: the
-                // carried mean is already a meaningful linearization
-                // point, not a coincident initialization.
-                if mrf.fixed(u).is_none() && warm.is_none() {
-                    let mut rng = root.split(0x11773 ^ u as u64);
-                    b.mean += Vec2::new(rng.gaussian(), rng.gaussian()) * self.init_jitter;
+            .map(|(u, p)| match (mrf.fixed(u), warm.state) {
+                // Resumed state wins over the prior-derived init.
+                (None, Some(s)) => s[u],
+                (fixed, _) => {
+                    let mut b = *p;
+                    // Warm starts skip the symmetry-breaking jitter: the
+                    // carried mean is already a meaningful linearization
+                    // point, not a coincident initialization.
+                    if fixed.is_none() && warm.prior.is_none() {
+                        let mut rng = root.split(0x11773 ^ u as u64);
+                        b.mean += Vec2::new(rng.gaussian(), rng.gaussian()) * self.init_jitter;
+                    }
+                    b
                 }
-                b
             })
             .collect();
         obs.on_span(SpanKind::PriorInit, init_start.elapsed_secs());

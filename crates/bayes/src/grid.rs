@@ -19,7 +19,7 @@
 //! beliefs up to the full resolution.
 
 use crate::cellbuf::{self, Cell};
-use crate::engine::{BpEngine, RunOutcome};
+use crate::engine::{BpEngine, RunOutcome, WarmStart};
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::potential::{PairPotential, UnaryPotential};
 use crate::stencil::KernelStencil;
@@ -383,6 +383,22 @@ impl crate::engine::Belief for GridBelief {
 
     fn map_estimate(&self) -> Option<Vec2> {
         Some(GridBelief::map_estimate(self))
+    }
+}
+
+impl crate::sharded::TemperBelief for GridBelief {
+    fn tempered(&self, alpha: f64) -> GridBelief {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return self.clone();
+        }
+        let mut b = self.clone();
+        for m in &mut b.mass {
+            if *m > 0.0 {
+                *m = m.powf(alpha);
+            }
+        }
+        b.normalize();
+        b
     }
 }
 
@@ -754,7 +770,7 @@ impl GridBp {
         mrf: &SpatialMrf,
         opts: &BpOptions,
         transport: &Transport,
-        warm: Option<&[GridBelief]>,
+        warm: WarmStart<'_, GridBelief>,
         obs: &dyn InferenceObserver,
         on_iter: F,
     ) -> RunOutcome<GridBelief>
@@ -766,7 +782,7 @@ impl GridBp {
         if let Some(cf) = self.refine {
             let f = cf.factor.max(1);
             let (cnx, cny) = (self.nx / f, self.ny / f);
-            if warm.is_none() && cf.factor >= 2 && cnx >= 2 && cny >= 2 {
+            if warm.is_cold() && cf.factor >= 2 && cnx >= 2 && cny >= 2 {
                 let coarse = GridBp {
                     nx: cnx,
                     ny: cny,
@@ -779,6 +795,7 @@ impl GridBp {
                     mrf,
                     &copts,
                     &Transport::perfect(),
+                    Warm::None,
                     Warm::None,
                     0,
                     &NullObserver,
@@ -803,12 +820,25 @@ impl GridBp {
                 );
             }
         }
-        let warm_ref = match (&carried, warm) {
+        let warm_ref = match (&carried, warm.prior) {
             (Some(c), _) => Warm::PerNode(c),
             (None, Some(w)) => Warm::All(w),
             (None, None) => Warm::None,
         };
-        self.run_grid::<C, F>(mrf, opts, transport, warm_ref, pre_messages, obs, on_iter)
+        let state_ref = match warm.state {
+            Some(s) => Warm::All(s),
+            None => Warm::None,
+        };
+        self.run_grid::<C, F>(
+            mrf,
+            opts,
+            transport,
+            warm_ref,
+            state_ref,
+            pre_messages,
+            obs,
+            on_iter,
+        )
     }
 
     /// One full BP run at this engine's resolution, generic over the
@@ -822,6 +852,7 @@ impl GridBp {
         opts: &BpOptions,
         transport: &Transport,
         warm: Warm<'_>,
+        state: Warm<'_>,
         pre_messages: u64,
         obs: &dyn InferenceObserver,
         mut on_iter: F,
@@ -898,9 +929,22 @@ impl GridBp {
                 None => C::from_f64_vec(base_belief(u).mass),
             }
         };
-        let mut beliefs: Vec<GridBelief> = match (&cache, &warm) {
-            (Some(c), Warm::None) => c.init.clone(),
-            _ => (0..mrf.len()).map(base_belief).collect(),
+        // Initial belief state: a resumed state (same grid shape) wins
+        // over the update base for free nodes; fixed nodes and everyone
+        // else start from the base (prior or carried belief).
+        let init_belief = |u: usize| -> GridBelief {
+            if mrf.fixed(u).is_none() {
+                if let Some(b) = state.get(u) {
+                    if b.nx == self.nx && b.ny == self.ny && b.domain == domain {
+                        return b.clone();
+                    }
+                }
+            }
+            base_belief(u)
+        };
+        let mut beliefs: Vec<GridBelief> = match (&cache, &warm, &state) {
+            (Some(c), Warm::None, Warm::None) => c.init.clone(),
+            _ => (0..mrf.len()).map(init_belief).collect(),
         };
         // Cell-typed mirror of `beliefs` the message kernels read from;
         // kept in lockstep with `beliefs` after every node update.
@@ -1129,22 +1173,23 @@ impl BpEngine for GridBp {
 
     /// The superset entry point the core localizer drives: structured
     /// telemetry observer, belief-level per-iteration closure, a
-    /// message [`Transport`], and optional warm-start beliefs. With the
-    /// perfect transport and no warm beliefs this is bit-identical to
-    /// the pre-transport engine; under a fault plan, undelivered
-    /// messages fall back per the plan's drop policy (stale held
-    /// messages are tempered as `m^α`), never-received links contribute
-    /// nothing, and dead nodes freeze. A warm belief (same grid shape)
-    /// replaces the prior-derived base belief of its free node both at
-    /// initialization and inside every update product, so the carried
-    /// posterior acts as this epoch's prior instead of re-applying the
-    /// pre-knowledge unary it already absorbed.
-    fn run_carried<F>(
+    /// message [`Transport`], and a [`WarmStart`]. With the perfect
+    /// transport and a cold start this is bit-identical to the
+    /// pre-transport engine; under a fault plan, undelivered messages
+    /// fall back per the plan's drop policy (stale held messages are
+    /// tempered as `m^α`), never-received links contribute nothing, and
+    /// dead nodes freeze. A `warm.prior` belief (same grid shape)
+    /// replaces the prior-derived base belief of its free node inside
+    /// every update product, so a carried posterior acts as this
+    /// epoch's prior instead of re-applying the pre-knowledge unary it
+    /// already absorbed; a `warm.state` belief seeds the initial belief
+    /// vector only (mid-run resume against the model's own priors).
+    fn run_warm<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
         transport: &Transport,
-        warm: Option<&[GridBelief]>,
+        warm: WarmStart<'_, GridBelief>,
         obs: &dyn InferenceObserver,
         on_iter: F,
     ) -> RunOutcome<GridBelief>

@@ -40,11 +40,12 @@ pub mod motion;
 pub mod mrf;
 pub mod particle;
 pub mod potential;
+pub mod sharded;
 pub mod stencil;
 pub mod transport;
 pub mod validate;
 
-pub use engine::{Belief, BpEngine, RunOutcome};
+pub use engine::{Belief, BpEngine, RunOutcome, WarmStart};
 pub use gaussian::{GaussianBelief, GaussianBp};
 pub use grid::{CoarseToFine, GridBelief, GridBp, GridPrecision};
 pub use motion::MotionModel;
@@ -54,6 +55,7 @@ pub use potential::{
     DeltaUnary, GaussianProximity, GaussianRange, GaussianUnary, MixtureUnary, PairPotential,
     UnaryPotential, UniformBoxUnary, UniformShapeUnary,
 };
+pub use sharded::{ShardedEngine, TemperBelief};
 pub use stencil::KernelStencil;
 pub use transport::Transport;
 pub use validate::{DistributionAudit, GraphAudit, ValidationError};

@@ -18,7 +18,7 @@
 //! overcounts loops but converges fast and matches the distributed protocol
 //! a WSN would actually run.
 
-use crate::engine::{BpEngine, RunOutcome};
+use crate::engine::{BpEngine, RunOutcome, WarmStart};
 use crate::mrf::{BpOptions, BpOutcome, Schedule, SpatialMrf};
 use crate::potential::{PairPotential, UnaryPotential};
 use crate::transport::{Transport, TransportSession, Verdict};
@@ -306,23 +306,23 @@ impl BpEngine for ParticleBp {
 
     /// The superset entry point the core localizer drives: structured
     /// telemetry observer, belief-level per-iteration closure, a
-    /// message [`Transport`], and optional warm-start beliefs. With the
-    /// perfect transport and no warm beliefs this is bit-identical to
-    /// the pre-transport engine; under a fault plan, undelivered
-    /// neighbor beliefs are replaced by held snapshots (their
-    /// log-likelihood contribution discounted by `alpha`),
-    /// never-received links drop out of the proposal/weighting mix, and
-    /// dead nodes freeze. A warm particle set replaces a free node's
-    /// prior-sampled initial belief, and its KDE stands in for the
-    /// unary in proposal refreshes and importance weights — the
-    /// particle-filter predict/update recursion, with propagation and
-    /// jitter applied by the caller before the run.
-    fn run_carried<F>(
+    /// message [`Transport`], and a [`WarmStart`]. With the perfect
+    /// transport and a cold start this is bit-identical to the
+    /// pre-transport engine; under a fault plan, undelivered neighbor
+    /// beliefs are replaced by held snapshots (their log-likelihood
+    /// contribution discounted by `alpha`), never-received links drop
+    /// out of the proposal/weighting mix, and dead nodes freeze. A
+    /// `warm.prior` particle set's KDE stands in for the unary in
+    /// proposal refreshes and importance weights — the particle-filter
+    /// predict/update recursion, with propagation and jitter applied by
+    /// the caller before the run — while `warm.state` (or, absent one,
+    /// `warm.prior`) replaces the prior-sampled initial belief.
+    fn run_warm<F>(
         &self,
         mrf: &SpatialMrf,
         opts: &BpOptions,
         transport: &Transport,
-        warm: Option<&[ParticleBelief]>,
+        warm: WarmStart<'_, ParticleBelief>,
         obs: &dyn InferenceObserver,
         mut on_iter: F,
     ) -> RunOutcome<ParticleBelief>
@@ -349,16 +349,17 @@ impl BpEngine for ParticleBp {
         // Fault state for this run; `None` on the perfect transport.
         let mut session = transport.session::<ParticleBelief>(mrf, opts.seed);
 
-        // Initialize: fixed vars are points, free vars sample their prior.
+        // Initialize: fixed vars are points, free vars take the resumed
+        // state (or carried prior), else sample their unary.
         let init_start = Stopwatch::start();
+        let seed_beliefs = warm.state.or(warm.prior);
         let mut beliefs: Vec<ParticleBelief> = (0..mrf.len())
-            .map(|u| match (mrf.fixed(u), warm) {
+            .map(|u| match (mrf.fixed(u), seed_beliefs) {
                 (Some(p), _) => ParticleBelief::point(p),
-                // Carried-over epoch prior: the previous posterior's
-                // particle set, already propagated + jittered by the
-                // caller. Skipping the init sampling is safe for
-                // determinism because `split` derives, not advances,
-                // the per-node streams.
+                // Carried-over or resumed particle set, already
+                // propagated + jittered by the caller. Skipping the
+                // init sampling is safe for determinism because `split`
+                // derives, not advances, the per-node streams.
                 (None, Some(w)) => w[u].clone(),
                 (None, None) => {
                     let mut rng = root.split(u as u64);
@@ -371,8 +372,10 @@ impl BpEngine for ParticleBp {
             .collect();
         // Per-node epoch priors: carried beliefs shadow the unary for
         // free nodes; the KDE bandwidth matches the walk-jitter floor.
+        // A state-only resume keeps the unary — the resumed state is
+        // mid-run message progress, not a new epoch's prior.
         let epoch_priors: Vec<EpochPrior<'_>> = (0..mrf.len())
-            .map(|u| match warm {
+            .map(|u| match warm.prior {
                 Some(w) if mrf.fixed(u).is_none() => EpochPrior::Carried {
                     belief: &w[u],
                     bandwidth: w[u].bandwidth(1e-3).max(mrf.domain().diagonal() * 1e-4),

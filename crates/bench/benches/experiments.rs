@@ -98,10 +98,12 @@ fn benches(c: &mut Criterion) {
 
     // F6: pre-knowledge sweep — a tight-prior run (different mixing path).
     g.bench_function("bench_f6_tight_prior_bnl", |b| {
-        let algo = BnlLocalizer::particle(PARTICLES)
-            .with_prior(PriorModel::DropPoint { sigma: 25.0 })
-            .with_max_iterations(ITERS)
-            .with_tolerance(0.0);
+        let algo = BnlLocalizer::builder(Backend::particle(PARTICLES).expect("valid backend"))
+            .prior(PriorModel::DropPoint { sigma: 25.0 })
+            .max_iterations(ITERS)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
         b.iter(|| black_box(algo.localize(&net, 0)));
     });
 
@@ -118,10 +120,12 @@ fn benches(c: &mut Criterion) {
             seed: 0xF7,
         };
         let (cnet, _) = cs.build_trial(0);
-        let algo = BnlLocalizer::particle(PARTICLES)
-            .with_prior(PriorModel::Region(shape))
-            .with_max_iterations(ITERS)
-            .with_tolerance(0.0);
+        let algo = BnlLocalizer::builder(Backend::particle(PARTICLES).expect("valid backend"))
+            .prior(PriorModel::Region(shape))
+            .max_iterations(ITERS)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
         b.iter(|| black_box(algo.localize(&cnet, 0)));
     });
 
@@ -135,19 +139,23 @@ fn benches(c: &mut Criterion) {
     g.bench_function("bench_f9_grid_backend", |b| {
         let small = bench_scenario(49, 0xF9);
         let (snet, _) = small.build_trial(0);
-        let algo = BnlLocalizer::grid(30)
-            .with_prior(PriorModel::DropPoint { sigma: 100.0 })
-            .with_max_iterations(4)
-            .with_tolerance(0.0);
+        let algo = BnlLocalizer::builder(Backend::grid(30).expect("valid backend"))
+            .prior(PriorModel::DropPoint { sigma: 100.0 })
+            .max_iterations(4)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
         b.iter(|| black_box(algo.localize(&snet, 0)));
     });
 
     // F11: the parametric Gaussian backend (cheapest inference loop).
     g.bench_function("bench_f11_gaussian_backend", |b| {
-        let algo = BnlLocalizer::gaussian()
-            .with_prior(PriorModel::DropPoint { sigma: 100.0 })
-            .with_max_iterations(ITERS * 3)
-            .with_tolerance(0.0);
+        let algo = BnlLocalizer::builder(Backend::gaussian())
+            .prior(PriorModel::DropPoint { sigma: 100.0 })
+            .max_iterations(ITERS * 3)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
         b.iter(|| black_box(algo.localize(&net, 0)));
     });
 
@@ -183,9 +191,11 @@ fn benches(c: &mut Criterion) {
             0xF14,
         );
         let snapshot = world.step();
-        let engine = BnlLocalizer::particle(PARTICLES)
-            .with_max_iterations(2)
-            .with_tolerance(0.0);
+        let engine = BnlLocalizer::builder(Backend::particle(PARTICLES).expect("valid backend"))
+            .max_iterations(2)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
         let mut tracker = TrackingLocalizer::builder(engine)
             .motion_per_step(15.0)
             .try_build()

@@ -25,9 +25,11 @@
 //! let (network, truth) = scenario.build_trial(0);
 //!
 //! // Localize with the particle backend and drop-point priors.
-//! let localizer = BnlLocalizer::particle(150)
-//!     .with_prior(PriorModel::DropPoint { sigma: 100.0 })
-//!     .with_max_iterations(8);
+//! let localizer = BnlLocalizer::builder(Backend::particle(150).expect("valid backend"))
+//!     .prior(PriorModel::DropPoint { sigma: 100.0 })
+//!     .max_iterations(8)
+//!     .try_build()
+//!     .expect("valid configuration");
 //! let result = localizer.localize(&network, 0);
 //!
 //! // Mean error, normalized by the radio range.
@@ -60,12 +62,14 @@ pub mod adapter;
 pub mod crlb;
 pub mod localizer;
 pub mod model;
+pub mod options;
 pub mod prior;
 pub mod result;
 pub mod session;
 pub mod tracking;
 
 pub use localizer::{Backend, BnlLocalizer, BnlLocalizerBuilder, Estimator};
+pub use options::{GridOptions, ParticleOptions, ShardPlan};
 pub use prior::PriorModel;
 pub use result::{LocalizationResult, Localizer};
 pub use session::{CarriedBeliefs, LocalizationSession};
@@ -77,6 +81,7 @@ pub use wsnloc_obs as obs;
 pub mod prelude {
     pub use crate::crlb::crlb_per_node;
     pub use crate::localizer::{Backend, BnlLocalizer, BnlLocalizerBuilder, Estimator};
+    pub use crate::options::{GridOptions, ParticleOptions, ShardPlan};
     pub use crate::prior::PriorModel;
     pub use crate::result::{LocalizationResult, Localizer};
     pub use crate::session::{CarriedBeliefs, LocalizationSession};

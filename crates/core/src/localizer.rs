@@ -2,10 +2,20 @@
 //!
 //! [`BnlLocalizer`] is the paper's algorithm. It composes:
 //! - a [`PriorModel`] (the pre-knowledge),
-//! - a belief [`Backend`] — particle (nonparametric) or grid (discrete
-//!   Bayesian network),
+//! - a belief [`Backend`] — particle (nonparametric), grid (discrete
+//!   Bayesian network), or Gaussian (parametric ablation) — carrying
+//!   its backend-specific options ([`ParticleOptions`]/[`GridOptions`]),
 //! - [`BpOptions`] controlling schedule/iterations/damping,
-//! - optional negative connectivity constraints.
+//! - optional negative connectivity constraints,
+//! - an optional [`ShardPlan`] switching inference to sharded BP
+//!   execution for very large deployments.
+//!
+//! Construction goes through [`BnlLocalizer::builder`], the *only*
+//! route: every knob is validated either at its own constructor
+//! ([`Backend::particle`], [`GridOptions::refine`],
+//! [`ShardPlan::target_nodes`], …) or by
+//! [`BnlLocalizerBuilder::try_build`], so a `BnlLocalizer` that exists
+//! is a `BnlLocalizer` that is valid.
 //!
 //! Communication is charged per belief broadcast: in the distributed
 //! protocol each unknown node transmits a subsampled particle summary (or a
@@ -13,37 +23,57 @@
 //! iteration.
 
 use crate::model::{build_mrf, ModelOptions};
+use crate::options::{GridOptions, ParticleOptions, ShardPlan};
 use crate::prior::PriorModel;
 use crate::result::{LocalizationResult, Localizer};
 use crate::session::{CarriedBeliefs, LocalizationSession};
 use std::sync::Arc;
 use wsnloc_bayes::{
-    Belief, BpEngine, BpOptions, CoarseToFine, GaussianBp, GridBp, GridPrecision, ParticleBp,
-    Schedule, SpatialMrf, Transport, ValidationError,
+    Belief, BpEngine, BpOptions, GaussianBp, GridBp, ParticleBp, Schedule, ShardedEngine,
+    SpatialMrf, TemperBelief, Transport, ValidationError,
 };
-use wsnloc_geom::Vec2;
+use wsnloc_geom::{ShardLayout, Vec2};
 use wsnloc_net::accounting::{CommStats, WireMessage};
 use wsnloc_net::{FaultPlan, Network};
 use wsnloc_obs::Stopwatch;
 use wsnloc_obs::{InferenceObserver, NullObserver, ObsEvent, SpanKind};
 
-/// Belief representation used by inference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Belief representation used by inference, with its backend-specific
+/// options. Variants carry construction-validated option bundles;
+/// build them through [`Backend::particle`]/[`Backend::grid`]/
+/// [`Backend::gaussian`] (or construct the options directly for the
+/// non-default knobs).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Backend {
-    /// Nonparametric (particle) beliefs with the given particle count.
-    Particle {
-        /// Particles per unknown node.
-        particles: usize,
-    },
-    /// Grid-discretized beliefs with the given cells-per-side resolution.
-    Grid {
-        /// Cells along each axis of the field bounding box.
-        resolution: usize,
-    },
+    /// Nonparametric (particle) beliefs.
+    Particle(ParticleOptions),
+    /// Grid-discretized beliefs (the discrete Bayesian-network
+    /// formulation), including precision and coarse-to-fine knobs.
+    Grid(GridOptions),
     /// Single-Gaussian beliefs (EKF-style linearized updates) — the cheap
     /// parametric ablation. Fast and bandwidth-minimal, but blind to the
     /// multi-modal posteriors that motivate the nonparametric backends.
     Gaussian,
+}
+
+impl Backend {
+    /// Particle backend with `particles` per unknown node (at least 1).
+    pub fn particle(particles: usize) -> Result<Backend, ValidationError> {
+        Ok(Backend::Particle(ParticleOptions::new(particles)?))
+    }
+
+    /// Grid backend at `resolution` cells per side (at least 2), with
+    /// default precision and no refinement — use
+    /// [`GridOptions`] directly for those knobs.
+    pub fn grid(resolution: usize) -> Result<Backend, ValidationError> {
+        Ok(Backend::Grid(GridOptions::new(resolution)?))
+    }
+
+    /// Gaussian backend (no options to validate).
+    #[must_use]
+    pub fn gaussian() -> Backend {
+        Backend::Gaussian
+    }
 }
 
 /// Point-estimate extraction rule.
@@ -60,16 +90,14 @@ pub enum Estimator {
 
 /// Cooperative Bayesian-network localization with pre-knowledge.
 ///
-/// Construct through [`BnlLocalizer::builder`] (validated) or the
-/// [`BnlLocalizer::particle`]/[`BnlLocalizer::grid`]/
-/// [`BnlLocalizer::gaussian`] convenience constructors plus `with_*`
-/// chaining. Fields are crate-private: struct-literal construction would
-/// bypass the builder's range validation.
+/// Construct through [`BnlLocalizer::builder`] — the only construction
+/// route. Fields are crate-private and there are no setters: any
+/// configuration change goes back through the validated builder.
 #[derive(Debug, Clone)]
 pub struct BnlLocalizer {
     /// Pre-knowledge model.
     pub(crate) prior: PriorModel,
-    /// Belief representation.
+    /// Belief representation with backend-specific options.
     pub(crate) backend: Backend,
     /// BP engine options (seed is overridden per `localize` call).
     pub(crate) bp: BpOptions,
@@ -83,19 +111,15 @@ pub struct BnlLocalizer {
     /// Fault-injection plan applied to inter-node messaging (`None` =
     /// perfect transport, the bit-identical fault-free path).
     pub(crate) fault_plan: Option<Arc<FaultPlan>>,
-    /// Numeric precision of the grid backend's message hot path
-    /// (ignored by the other backends; the builder rejects non-default
-    /// values without a grid backend).
-    pub(crate) grid_precision: GridPrecision,
-    /// Optional coarse-to-fine schedule for the grid backend.
-    pub(crate) grid_refine: Option<CoarseToFine>,
+    /// Sharded-execution plan (`None` = flat inference).
+    pub(crate) shards: Option<ShardPlan>,
 }
 
-/// Validated builder for [`BnlLocalizer`].
+/// Validated builder for [`BnlLocalizer`] — the only construction route.
 ///
 /// ```
 /// use wsnloc::prelude::*;
-/// let loc = BnlLocalizer::builder(Backend::Particle { particles: 300 })
+/// let loc = BnlLocalizer::builder(Backend::particle(300).expect("valid backend"))
 ///     .prior(PriorModel::DropPoint { sigma: 40.0 })
 ///     .max_iterations(10)
 ///     .tolerance(1.0)
@@ -103,10 +127,10 @@ pub struct BnlLocalizer {
 ///     .expect("valid configuration");
 /// assert_eq!(loc.name(), "BNL-PK/particle");
 ///
-/// // Out-of-range configurations are typed errors, not runtime surprises:
-/// assert!(BnlLocalizer::builder(Backend::Particle { particles: 0 })
-///     .try_build()
-///     .is_err());
+/// // Out-of-range configurations are typed errors at the point of
+/// // construction, not runtime surprises:
+/// assert!(Backend::particle(0).is_err());
+/// assert!(Backend::grid(1).is_err());
 /// ```
 #[derive(Debug, Clone)]
 pub struct BnlLocalizerBuilder {
@@ -164,7 +188,8 @@ impl BnlLocalizerBuilder {
 
     /// Injects faults into inter-node messaging per `plan` (message loss,
     /// node death, stale delivery). A [`FaultPlan::none`] plan compiles to
-    /// the perfect transport — the bit-identical fault-free path.
+    /// the perfect transport — the bit-identical fault-free path. Under a
+    /// [`ShardPlan`], faults apply to cross-shard links.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.inner.fault_plan = if plan.is_none() {
             None
@@ -174,59 +199,18 @@ impl BnlLocalizerBuilder {
         self
     }
 
-    /// Sets the numeric precision of the grid backend's message hot path.
-    /// [`GridPrecision::F32`] is an opt-in speed/accuracy trade-off;
-    /// `try_build` rejects it on non-grid backends.
-    pub fn grid_precision(mut self, precision: GridPrecision) -> Self {
-        self.inner.grid_precision = precision;
-        self
-    }
-
-    /// Enables the grid backend's coarse-to-fine schedule. Parameters are
-    /// validated by `try_build` (via [`CoarseToFine::validated`]), which
-    /// also rejects the knob on non-grid backends.
-    pub fn grid_refine(mut self, refine: CoarseToFine) -> Self {
-        self.inner.grid_refine = Some(refine);
+    /// Switches inference to sharded BP execution per `plan` — the
+    /// large-network path. A layout that resolves to a single tile
+    /// (small networks) runs the flat engine, bit-identically.
+    pub fn shards(mut self, plan: ShardPlan) -> Self {
+        self.inner.shards = Some(plan);
         self
     }
 
     /// Validates the configuration and returns the finished localizer.
+    /// Backend and shard options were already validated at their own
+    /// construction; this checks the remaining builder-level knobs.
     pub fn try_build(self) -> Result<BnlLocalizer, ValidationError> {
-        let is_grid = matches!(self.inner.backend, Backend::Grid { .. });
-        if self.inner.grid_precision != GridPrecision::F64 && !is_grid {
-            return Err(ValidationError::InvalidOption {
-                option: "grid_precision",
-                value: 0.0,
-                requirement: "reduced-precision beliefs require the grid backend",
-            });
-        }
-        if let Some(refine) = self.inner.grid_refine {
-            if !is_grid {
-                return Err(ValidationError::InvalidOption {
-                    option: "grid_refine",
-                    value: refine.factor as f64,
-                    requirement: "coarse-to-fine refinement requires the grid backend",
-                });
-            }
-            refine.validated()?;
-        }
-        match self.inner.backend {
-            Backend::Particle { particles: 0 } => {
-                return Err(ValidationError::InvalidOption {
-                    option: "particles",
-                    value: 0.0,
-                    requirement: "must be at least 1",
-                });
-            }
-            Backend::Grid { resolution } if resolution < 2 => {
-                return Err(ValidationError::InvalidOption {
-                    option: "resolution",
-                    value: resolution as f64,
-                    requirement: "must be at least 2 cells per side",
-                });
-            }
-            _ => {}
-        }
         if self.inner.broadcast_particles == 0 {
             return Err(ValidationError::InvalidOption {
                 option: "broadcast_particles",
@@ -240,8 +224,7 @@ impl BnlLocalizerBuilder {
 }
 
 impl BnlLocalizer {
-    /// Starts a validated [`BnlLocalizerBuilder`] for the given backend,
-    /// with the same defaults as the convenience constructors.
+    /// Starts a validated [`BnlLocalizerBuilder`] for the given backend.
     pub fn builder(backend: Backend) -> BnlLocalizerBuilder {
         BnlLocalizerBuilder {
             inner: BnlLocalizer {
@@ -252,110 +235,9 @@ impl BnlLocalizer {
                 estimator: Estimator::Mmse,
                 broadcast_particles: 24,
                 fault_plan: None,
-                grid_precision: GridPrecision::default(),
-                grid_refine: None,
+                shards: None,
             },
         }
-    }
-
-    /// Particle-backend localizer with sensible defaults and no
-    /// pre-knowledge (add one with [`BnlLocalizer::with_prior`]).
-    pub fn particle(particles: usize) -> Self {
-        BnlLocalizer {
-            prior: PriorModel::Uninformative,
-            backend: Backend::Particle { particles },
-            bp: BpOptions::default(),
-            negative_constraints: 0,
-            estimator: Estimator::Mmse,
-            broadcast_particles: 24,
-            fault_plan: None,
-            grid_precision: GridPrecision::default(),
-            grid_refine: None,
-        }
-    }
-
-    /// Grid-backend localizer (the discrete Bayesian-network formulation).
-    pub fn grid(resolution: usize) -> Self {
-        BnlLocalizer {
-            prior: PriorModel::Uninformative,
-            backend: Backend::Grid { resolution },
-            bp: BpOptions::default(),
-            negative_constraints: 0,
-            estimator: Estimator::Mmse,
-            broadcast_particles: 24,
-            fault_plan: None,
-            grid_precision: GridPrecision::default(),
-            grid_refine: None,
-        }
-    }
-
-    /// Gaussian-backend localizer (parametric EKF-style ablation).
-    pub fn gaussian() -> Self {
-        BnlLocalizer {
-            prior: PriorModel::Uninformative,
-            backend: Backend::Gaussian,
-            bp: BpOptions::default(),
-            negative_constraints: 0,
-            estimator: Estimator::Mmse,
-            broadcast_particles: 24,
-            fault_plan: None,
-            grid_precision: GridPrecision::default(),
-            grid_refine: None,
-        }
-    }
-
-    /// Sets the pre-knowledge model.
-    pub fn with_prior(mut self, prior: PriorModel) -> Self {
-        self.prior = prior;
-        self
-    }
-
-    /// Sets the iteration cap.
-    pub fn with_max_iterations(mut self, n: usize) -> Self {
-        self.bp.max_iterations = n;
-        self
-    }
-
-    /// Sets the convergence tolerance (meters of belief-mean movement).
-    pub fn with_tolerance(mut self, tol: f64) -> Self {
-        self.bp.tolerance = tol;
-        self
-    }
-
-    /// Sets the update schedule.
-    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
-        self.bp.schedule = schedule;
-        self
-    }
-
-    /// Sets belief damping in `[0, 1)`.
-    pub fn with_damping(mut self, damping: f64) -> Self {
-        self.bp.damping = damping;
-        self
-    }
-
-    /// Enables sampled negative connectivity constraints.
-    pub fn with_negative_constraints(mut self, per_node: usize) -> Self {
-        self.negative_constraints = per_node;
-        self
-    }
-
-    /// Sets the point-estimate rule.
-    pub fn with_estimator(mut self, estimator: Estimator) -> Self {
-        self.estimator = estimator;
-        self
-    }
-
-    /// Injects faults into inter-node messaging per `plan` (message loss,
-    /// node death, stale delivery). A [`FaultPlan::none`] plan compiles to
-    /// the perfect transport — the bit-identical fault-free path.
-    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault_plan = if plan.is_none() {
-            None
-        } else {
-            Some(Arc::new(plan))
-        };
-        self
     }
 
     /// Localizes and additionally reports the per-iteration estimates —
@@ -431,15 +313,16 @@ impl BnlLocalizer {
         // engine was reconfigured) degrades to a cold start rather than
         // guessing a conversion.
         let carried = match self.backend {
-            Backend::Particle { particles } => {
-                let mut engine = ParticleBp::with_particles(particles);
+            Backend::Particle(popts) => {
+                let mut engine = ParticleBp::with_particles(popts.particles);
                 engine.mixture_samples = self.broadcast_particles;
                 let w = match warm {
                     Some(CarriedBeliefs::Particle(v)) => Some(v.as_slice()),
                     _ => None,
                 };
-                CarriedBeliefs::Particle(self.run_backend(
-                    &engine,
+                CarriedBeliefs::Particle(self.run_maybe_sharded(
+                    engine,
+                    network,
                     &mrf,
                     &opts,
                     &transport,
@@ -455,8 +338,9 @@ impl BnlLocalizer {
                     Some(CarriedBeliefs::Gaussian(v)) => Some(v.as_slice()),
                     _ => None,
                 };
-                CarriedBeliefs::Gaussian(self.run_backend(
-                    &GaussianBp::default(),
+                CarriedBeliefs::Gaussian(self.run_maybe_sharded(
+                    GaussianBp::default(),
+                    network,
                     &mrf,
                     &opts,
                     &transport,
@@ -467,18 +351,19 @@ impl BnlLocalizer {
                     &mut on_iteration,
                 ))
             }
-            Backend::Grid { resolution } => {
+            Backend::Grid(gopts) => {
                 let w = match warm {
                     Some(CarriedBeliefs::Grid(v)) => Some(v.as_slice()),
                     _ => None,
                 };
                 let mut engine =
-                    GridBp::with_resolution(resolution).with_precision(self.grid_precision);
-                if let Some(refine) = self.grid_refine {
+                    GridBp::with_resolution(gopts.resolution).with_precision(gopts.precision);
+                if let Some(refine) = gopts.refine {
                     engine = engine.with_refinement(refine);
                 }
-                CarriedBeliefs::Grid(self.run_backend(
-                    &engine,
+                CarriedBeliefs::Grid(self.run_maybe_sharded(
+                    engine,
+                    network,
                     &mrf,
                     &opts,
                     &transport,
@@ -493,6 +378,95 @@ impl BnlLocalizer {
 
         result.elapsed_secs = start.elapsed_secs();
         (result, carried)
+    }
+
+    /// Resolves the configured [`ShardPlan`] against a concrete network:
+    /// node positions (anchor > planned > field center), tile counts from
+    /// the target shard size, and the halo radius (configured, or twice
+    /// the mean node spacing). `None` when sharding is off or the plan
+    /// resolves to a single tile — flat execution is the same thing,
+    /// cheaper.
+    fn shard_layout(&self, network: &Network) -> Option<(Arc<ShardLayout>, usize)> {
+        let plan = self.shards?;
+        let n = network.len();
+        if n == 0 {
+            return None;
+        }
+        let bounds = network.field_bounds();
+        let (tiles_x, tiles_y) = ShardLayout::tiles_for_target(n, plan.target_shard_nodes);
+        if tiles_x * tiles_y <= 1 {
+            return None;
+        }
+        let positions: Vec<Vec2> = (0..n)
+            .map(|id| {
+                network
+                    .anchor_position(id)
+                    .or_else(|| network.planned_position(id))
+                    .unwrap_or_else(|| bounds.center())
+            })
+            .collect();
+        let radius = plan.halo_radius.unwrap_or_else(|| {
+            let spacing = (bounds.width() * bounds.height() / n as f64).sqrt();
+            (2.0 * spacing).max(1e-6)
+        });
+        Some((
+            Arc::new(ShardLayout::build(
+                bounds, tiles_x, tiles_y, &positions, radius,
+            )),
+            plan.interior_iterations,
+        ))
+    }
+
+    /// Runs the engine flat, or wrapped in a [`ShardedEngine`] when the
+    /// shard plan resolves to more than one tile for this network.
+    #[allow(clippy::too_many_arguments)]
+    fn run_maybe_sharded<E, F>(
+        &self,
+        engine: E,
+        network: &Network,
+        mrf: &SpatialMrf,
+        opts: &BpOptions,
+        transport: &Transport,
+        warm: Option<&[E::Belief]>,
+        obs: &dyn InferenceObserver,
+        build_secs: f64,
+        result: &mut LocalizationResult,
+        on_iteration: F,
+    ) -> Vec<E::Belief>
+    where
+        E: BpEngine + Sync,
+        E::Belief: TemperBelief,
+        F: FnMut(usize, &[Option<Vec2>]),
+    {
+        match self.shard_layout(network) {
+            Some((layout, interior)) => {
+                // `ShardPlan` construction guarantees `interior >= 1`;
+                // `clamped` encodes that invariant infallibly.
+                let sharded = ShardedEngine::clamped(engine, layout, interior);
+                self.run_backend(
+                    &sharded,
+                    mrf,
+                    opts,
+                    transport,
+                    warm,
+                    obs,
+                    build_secs,
+                    result,
+                    on_iteration,
+                )
+            }
+            None => self.run_backend(
+                &engine,
+                mrf,
+                opts,
+                transport,
+                warm,
+                obs,
+                build_secs,
+                result,
+                on_iteration,
+            ),
+        }
     }
 
     /// Backend-generic run-and-extract: drives [`BpEngine::run_carried`]
@@ -558,12 +532,12 @@ impl BnlLocalizer {
     /// what the observer's per-iteration byte accounting charges.
     fn broadcast_message_bytes(&self) -> u64 {
         let msg = match self.backend {
-            Backend::Particle { .. } => WireMessage::ParticleBelief {
+            Backend::Particle(_) => WireMessage::ParticleBelief {
                 from: 0,
                 count: u32::try_from(self.broadcast_particles).unwrap_or(u32::MAX),
                 payload: vec![(Vec2::ZERO, 0.0); self.broadcast_particles],
             },
-            Backend::Grid { .. } | Backend::Gaussian => WireMessage::GaussianBelief {
+            Backend::Grid(_) | Backend::Gaussian => WireMessage::GaussianBelief {
                 from: 0,
                 mean: Vec2::ZERO,
                 cov: [0.0; 3],
@@ -585,8 +559,8 @@ impl BnlLocalizer {
 impl Localizer for BnlLocalizer {
     fn name(&self) -> String {
         let backend = match self.backend {
-            Backend::Particle { .. } => "particle",
-            Backend::Grid { .. } => "grid",
+            Backend::Particle(_) => "particle",
+            Backend::Grid(_) => "grid",
             Backend::Gaussian => "gaussian",
         };
         if self.prior.is_informative() {
@@ -627,6 +601,14 @@ mod tests {
         .build(seed)
     }
 
+    fn particle(particles: usize) -> BnlLocalizerBuilder {
+        BnlLocalizer::builder(Backend::particle(particles).expect("valid backend"))
+    }
+
+    fn grid(resolution: usize) -> BnlLocalizerBuilder {
+        BnlLocalizer::builder(Backend::grid(resolution).expect("valid backend"))
+    }
+
     fn mean_error(result: &LocalizationResult, truth: &GroundTruth, net: &Network) -> f64 {
         let errs: Vec<f64> = result
             .errors_for(truth, Some(net))
@@ -639,10 +621,12 @@ mod tests {
     #[test]
     fn particle_bnl_localizes_standard_world() {
         let (net, truth) = small_world(1);
-        let loc = BnlLocalizer::particle(250)
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(10)
-            .with_tolerance(1.0);
+        let loc = particle(250)
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(10)
+            .tolerance(1.0)
+            .try_build()
+            .expect("valid config");
         let r = loc.localize(&net, 0);
         assert!(r.iterations >= 1);
         let err = mean_error(&r, &truth, &net);
@@ -658,10 +642,15 @@ mod tests {
         let mut nbp_total = 0.0;
         for trial in 0..3u64 {
             let (net, truth) = small_world(10 + trial);
-            let pk = BnlLocalizer::particle(250)
-                .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-                .with_max_iterations(10);
-            let nbp = BnlLocalizer::particle(250).with_max_iterations(10);
+            let pk = particle(250)
+                .prior(PriorModel::DropPoint { sigma: 40.0 })
+                .max_iterations(10)
+                .try_build()
+                .expect("valid config");
+            let nbp = particle(250)
+                .max_iterations(10)
+                .try_build()
+                .expect("valid config");
             pk_total += mean_error(&pk.localize(&net, trial), &truth, &net);
             nbp_total += mean_error(&nbp.localize(&net, trial), &truth, &net);
         }
@@ -674,10 +663,12 @@ mod tests {
     #[test]
     fn grid_backend_localizes() {
         let (net, truth) = small_world(2);
-        let loc = BnlLocalizer::grid(30)
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(6)
-            .with_tolerance(1.0);
+        let loc = grid(30)
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(6)
+            .tolerance(1.0)
+            .try_build()
+            .expect("valid config");
         let r = loc.localize(&net, 0);
         let err = mean_error(&r, &truth, &net);
         assert!(err < 70.0, "grid mean error {err}");
@@ -686,8 +677,10 @@ mod tests {
     #[test]
     fn anchors_keep_their_positions() {
         let (net, truth) = small_world(3);
-        let r = BnlLocalizer::particle(100)
-            .with_max_iterations(3)
+        let r = particle(100)
+            .max_iterations(3)
+            .try_build()
+            .expect("valid config")
             .localize(&net, 0);
         for (id, pos) in net.anchors() {
             assert_eq!(r.estimates[id], Some(pos));
@@ -699,9 +692,11 @@ mod tests {
     #[test]
     fn results_are_deterministic() {
         let (net, _) = small_world(4);
-        let loc = BnlLocalizer::particle(120)
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(4);
+        let loc = particle(120)
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(4)
+            .try_build()
+            .expect("valid config");
         let a = loc.localize(&net, 9);
         let b = loc.localize(&net, 9);
         assert_eq!(a.estimates, b.estimates);
@@ -712,9 +707,11 @@ mod tests {
     #[test]
     fn communication_is_charged_per_iteration() {
         let (net, _) = small_world(5);
-        let loc = BnlLocalizer::particle(100)
-            .with_max_iterations(4)
-            .with_tolerance(0.0); // run all iterations
+        let loc = particle(100)
+            .max_iterations(4)
+            .tolerance(0.0) // run all iterations
+            .try_build()
+            .expect("valid config");
         let r = loc.localize(&net, 0);
         let unknowns = net.unknowns().count() as u64;
         assert_eq!(r.comm.messages, 4 * unknowns);
@@ -725,9 +722,11 @@ mod tests {
     fn observer_reports_each_iteration() {
         let (net, _) = small_world(6);
         let mut iters = Vec::new();
-        let loc = BnlLocalizer::particle(80)
-            .with_max_iterations(3)
-            .with_tolerance(0.0);
+        let loc = particle(80)
+            .max_iterations(3)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
         let _ = loc.localize_observed(&net, 0, |iter, estimates| {
             iters.push(iter);
             assert_eq!(estimates.len(), net.len());
@@ -738,11 +737,17 @@ mod tests {
 
     #[test]
     fn names_distinguish_preknowledge() {
-        let pk = BnlLocalizer::particle(10).with_prior(PriorModel::DropPoint { sigma: 1.0 });
-        let nbp = BnlLocalizer::particle(10);
+        let pk = particle(10)
+            .prior(PriorModel::DropPoint { sigma: 1.0 })
+            .try_build()
+            .expect("valid config");
+        let nbp = particle(10).try_build().expect("valid config");
         assert_eq!(pk.name(), "BNL-PK/particle");
         assert_eq!(nbp.name(), "NBP/particle");
-        assert_eq!(BnlLocalizer::grid(10).name(), "NBP/grid");
+        assert_eq!(
+            grid(10).try_build().expect("valid config").name(),
+            "NBP/grid"
+        );
     }
 
     #[test]
@@ -750,8 +755,10 @@ mod tests {
         // A node ringed by anchors should end up more certain than the
         // network-average unknown.
         let (net, _) = small_world(7);
-        let r = BnlLocalizer::particle(200)
-            .with_max_iterations(8)
+        let r = particle(200)
+            .max_iterations(8)
+            .try_build()
+            .expect("valid config")
             .localize(&net, 0);
         let spreads: Vec<f64> = net.unknowns().filter_map(|id| r.uncertainty[id]).collect();
         assert!(!spreads.is_empty());
@@ -764,10 +771,12 @@ mod tests {
     #[test]
     fn gaussian_backend_localizes_with_priors() {
         let (net, truth) = small_world(9);
-        let loc = BnlLocalizer::gaussian()
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(25)
-            .with_tolerance(0.5);
+        let loc = BnlLocalizer::builder(Backend::gaussian())
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(25)
+            .tolerance(0.5)
+            .try_build()
+            .expect("valid config");
         let r = loc.localize(&net, 0);
         let err = mean_error(&r, &truth, &net);
         // Parametric backend with good priors: posteriors mostly unimodal.
@@ -779,54 +788,32 @@ mod tests {
             assert!(spread > 0.0 && spread < 700.0);
         }
         // Gaussian summaries are tiny on the wire compared to particles.
-        let particle = BnlLocalizer::particle(100)
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(4)
-            .with_tolerance(0.0)
+        let particle_run = particle(100)
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(4)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config")
             .localize(&net, 0);
         let per_msg_gauss = r.comm.bytes as f64 / r.comm.messages.max(1) as f64;
-        let per_msg_particle = particle.comm.bytes as f64 / particle.comm.messages.max(1) as f64;
+        let per_msg_particle =
+            particle_run.comm.bytes as f64 / particle_run.comm.messages.max(1) as f64;
         assert!(per_msg_gauss * 5.0 < per_msg_particle);
     }
 
     #[test]
-    fn builder_validates_and_matches_with_chain() {
-        let built = BnlLocalizer::builder(Backend::Particle { particles: 120 })
-            .prior(PriorModel::DropPoint { sigma: 40.0 })
-            .max_iterations(4)
-            .tolerance(1.0)
-            .damping(0.2)
-            .try_build()
-            .expect("valid config");
-        let chained = BnlLocalizer::particle(120)
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(4)
-            .with_tolerance(1.0)
-            .with_damping(0.2);
-        let (net, _) = small_world(11);
-        assert_eq!(
-            built.localize(&net, 3).estimates,
-            chained.localize(&net, 3).estimates
-        );
-    }
-
-    #[test]
     fn builder_rejects_bad_configs() {
-        assert!(BnlLocalizer::builder(Backend::Particle { particles: 0 })
-            .try_build()
-            .is_err());
-        assert!(BnlLocalizer::builder(Backend::Grid { resolution: 1 })
-            .try_build()
-            .is_err());
-        assert!(BnlLocalizer::builder(Backend::Gaussian)
+        assert!(Backend::particle(0).is_err());
+        assert!(Backend::grid(1).is_err());
+        assert!(BnlLocalizer::builder(Backend::gaussian())
             .broadcast_particles(0)
             .try_build()
             .is_err());
-        assert!(BnlLocalizer::builder(Backend::Gaussian)
+        assert!(BnlLocalizer::builder(Backend::gaussian())
             .damping(1.0)
             .try_build()
             .is_err());
-        let err = BnlLocalizer::builder(Backend::Gaussian)
+        let err = BnlLocalizer::builder(Backend::gaussian())
             .max_iterations(0)
             .try_build()
             .expect_err("zero iterations must fail");
@@ -837,9 +824,11 @@ mod tests {
     fn trace_observer_sees_full_run() {
         use wsnloc_obs::TraceObserver;
         let (net, _) = small_world(12);
-        let loc = BnlLocalizer::particle(80)
-            .with_max_iterations(3)
-            .with_tolerance(0.0);
+        let loc = particle(80)
+            .max_iterations(3)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
         let obs = TraceObserver::new();
         let r = loc.localize_with_observer(&net, 0, &obs);
         let run = obs.last_run().expect("one recorded run");
@@ -864,23 +853,26 @@ mod tests {
         let (net, _) = small_world(13);
         for (loc, backend) in [
             (
-                BnlLocalizer::particle(60)
-                    .with_estimator(Estimator::Map)
-                    .with_max_iterations(2),
+                particle(60)
+                    .estimator(Estimator::Map)
+                    .max_iterations(2)
+                    .try_build()
+                    .expect("valid config"),
                 "particle",
             ),
             (
-                BnlLocalizer::gaussian()
-                    .with_estimator(Estimator::Map)
-                    .with_max_iterations(2),
+                BnlLocalizer::builder(Backend::gaussian())
+                    .estimator(Estimator::Map)
+                    .max_iterations(2)
+                    .try_build()
+                    .expect("valid config"),
                 "gaussian",
             ),
         ] {
             let obs = TraceObserver::new();
-            let mmse = loc
-                .clone()
-                .with_estimator(Estimator::Mmse)
-                .localize(&net, 0);
+            let mut mmse_loc = loc.clone();
+            mmse_loc.estimator = Estimator::Mmse;
+            let mmse = mmse_loc.localize(&net, 0);
             let map = loc.localize_with_observer(&net, 0, &obs);
             // The fallback means MAP and MMSE coincide on these backends…
             assert_eq!(map.estimates, mmse.estimates);
@@ -893,9 +885,11 @@ mod tests {
         }
         // The grid backend has a real mode: no fallback event.
         let obs = TraceObserver::new();
-        let _ = BnlLocalizer::grid(20)
-            .with_estimator(Estimator::Map)
-            .with_max_iterations(2)
+        let _ = grid(20)
+            .estimator(Estimator::Map)
+            .max_iterations(2)
+            .try_build()
+            .expect("valid config")
             .localize_with_observer(&net, 0, &obs);
         assert!(obs.last_run().expect("run").events.is_empty());
     }
@@ -903,12 +897,57 @@ mod tests {
     #[test]
     fn map_estimator_works_on_grid() {
         let (net, truth) = small_world(8);
-        let loc = BnlLocalizer::grid(25)
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_estimator(Estimator::Map)
-            .with_max_iterations(5);
+        let loc = grid(25)
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .estimator(Estimator::Map)
+            .max_iterations(5)
+            .try_build()
+            .expect("valid config");
         let r = loc.localize(&net, 0);
         let err = mean_error(&r, &truth, &net);
         assert!(err < 90.0, "MAP mean error {err}");
+    }
+
+    #[test]
+    fn sharded_execution_matches_flat_on_small_worlds() {
+        // Shards sized to force a multi-tile layout on a 48-node world;
+        // grid backend + synchronous schedule + unit interior rounds is
+        // the exact-equivalence configuration.
+        let (net, _) = small_world(14);
+        let base = grid(24)
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(4)
+            .tolerance(0.0);
+        let flat = base.clone().try_build().expect("valid config");
+        let plan = ShardPlan::target_nodes(16).expect("valid plan");
+        let sharded = base.shards(plan).try_build().expect("valid config");
+        let a = flat.localize(&net, 0);
+        let b = sharded.localize(&net, 0);
+        for (fa, fb) in a.estimates.iter().zip(&b.estimates) {
+            match (fa, fb) {
+                (Some(p), Some(q)) => assert!(p.dist(*q) < 1e-9, "sharded drifted: {p:?} vs {q:?}"),
+                _ => assert_eq!(fa, fb),
+            }
+        }
+    }
+
+    #[test]
+    fn single_tile_shard_plan_runs_flat_path() {
+        // Target shard size larger than the network: the plan resolves
+        // to one tile, which must be the identical flat code path.
+        let (net, _) = small_world(15);
+        let base = particle(80)
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(3)
+            .tolerance(0.0);
+        let flat = base.clone().try_build().expect("valid config");
+        let sharded = base
+            .shards(ShardPlan::target_nodes(10_000).expect("valid plan"))
+            .try_build()
+            .expect("valid config");
+        assert_eq!(
+            flat.localize(&net, 0).estimates,
+            sharded.localize(&net, 0).estimates
+        );
     }
 }

@@ -108,7 +108,10 @@ impl CarriedBeliefs {
 ///
 /// let scenario = Scenario::standard_with_preknowledge(100.0);
 /// let (network, _truth) = scenario.build_trial(0);
-/// let engine = BnlLocalizer::particle(80).with_max_iterations(2);
+/// let engine = BnlLocalizer::builder(Backend::particle(80).expect("valid backend"))
+///     .max_iterations(2)
+///     .try_build()
+///     .expect("valid configuration");
 /// let mut session = LocalizationSession::new(engine)
 ///     .with_motion(MotionModel::random_walk(5.0));
 /// let first = session.advance(&network, 7);
@@ -271,6 +274,7 @@ impl LocalizationSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::localizer::Backend;
     use crate::prior::PriorModel;
     use crate::result::Localizer;
     use wsnloc_net::network::NetworkBuilder;
@@ -288,10 +292,12 @@ mod tests {
     }
 
     fn engine() -> BnlLocalizer {
-        BnlLocalizer::particle(80)
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(3)
-            .with_tolerance(0.0)
+        BnlLocalizer::builder(Backend::particle(80).expect("valid backend"))
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(3)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config")
     }
 
     #[test]
@@ -399,12 +405,16 @@ mod tests {
     fn grid_and_gaussian_sessions_carry_over() {
         let (network, _) = world(9);
         for algo in [
-            BnlLocalizer::grid(20)
-                .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-                .with_max_iterations(2),
-            BnlLocalizer::gaussian()
-                .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-                .with_max_iterations(2),
+            BnlLocalizer::builder(Backend::grid(20).expect("valid backend"))
+                .prior(PriorModel::DropPoint { sigma: 40.0 })
+                .max_iterations(2)
+                .try_build()
+                .expect("valid config"),
+            BnlLocalizer::builder(Backend::gaussian())
+                .prior(PriorModel::DropPoint { sigma: 40.0 })
+                .max_iterations(2)
+                .try_build()
+                .expect("valid config"),
         ] {
             let mut s =
                 LocalizationSession::new(algo.clone()).with_motion(MotionModel::random_walk(3.0));

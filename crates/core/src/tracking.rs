@@ -29,14 +29,17 @@ use wsnloc_net::Network;
 /// ```
 /// use wsnloc::prelude::*;
 ///
-/// let tracker = TrackingLocalizer::builder(BnlLocalizer::particle(100))
+/// let engine = BnlLocalizer::builder(Backend::particle(100).expect("valid backend"))
+///     .try_build()
+///     .expect("valid configuration");
+/// let tracker = TrackingLocalizer::builder(engine.clone())
 ///     .motion_per_step(5.0)
 ///     .try_build()
 ///     .expect("valid tracker");
 /// assert_eq!(tracker.name(), "Track(NBP/particle)");
 ///
 /// // A non-finite motion budget is a typed error, not a silent NaN:
-/// assert!(TrackingLocalizer::builder(BnlLocalizer::particle(100))
+/// assert!(TrackingLocalizer::builder(engine)
 ///     .motion_per_step(f64::NAN)
 ///     .try_build()
 ///     .is_err());
@@ -171,9 +174,11 @@ mod tests {
     /// information across the network in 2 iterations, a warm-started one
     /// doesn't need to.
     fn engine() -> BnlLocalizer {
-        BnlLocalizer::particle(150)
-            .with_max_iterations(2)
-            .with_tolerance(0.0)
+        BnlLocalizer::builder(crate::localizer::Backend::particle(150).expect("valid backend"))
+            .max_iterations(2)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config")
     }
 
     fn tracker(motion_per_step: f64) -> TrackingLocalizer {

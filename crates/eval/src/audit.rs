@@ -4,8 +4,10 @@
 //! The static lint tier can reject *patterns* that tend to break
 //! determinism (unseeded RNG, `HashMap` iteration, unfenced atomics);
 //! this module is the dynamic complement: it *executes* grid and
-//! particle BP — plus a multi-tenant streaming-engine scenario with
-//! belief carry-over and overload shedding — under every combination of
+//! particle BP — plus a sharded-grid run (per-shard interior sweeps
+//! fanned through the pool with cross-shard boundary exchanges) and a
+//! multi-tenant streaming-engine scenario with belief carry-over and
+//! overload shedding — under every combination of
 //! worker-pool thread count and seeded schedule permutation (the `rayon`
 //! shim's `set_schedule_permutation` hook shuffles the order chunk jobs
 //! reach the shared queue) and asserts that beliefs and folded metrics
@@ -111,7 +113,8 @@ fn normalize(mut snapshot: MetricsSnapshot) -> MetricsSnapshot {
 }
 
 /// The audited workload: same drop-cluster scenario the determinism
-/// tier-1 tests pin, exercised by both iterative backends.
+/// tier-1 tests pin, exercised by the iterative backends flat and (for
+/// the grid engine) through the sharded execution layer.
 fn audit_scenario() -> Scenario {
     Scenario {
         name: "audit-determinism".into(),
@@ -129,16 +132,33 @@ fn backends() -> Vec<(&'static str, BnlLocalizer)> {
     vec![
         (
             "grid",
-            BnlLocalizer::grid(25)
-                .with_prior(prior.clone())
-                .with_max_iterations(4),
+            BnlLocalizer::builder(Backend::grid(25).expect("valid backend"))
+                .prior(prior.clone())
+                .max_iterations(4)
+                .try_build()
+                .expect("valid config"),
         ),
         (
             "particle",
-            BnlLocalizer::particle(100)
-                .with_prior(prior)
-                .with_max_iterations(5)
-                .with_tolerance(0.0),
+            BnlLocalizer::builder(Backend::particle(100).expect("valid backend"))
+                .prior(prior.clone())
+                .max_iterations(5)
+                .tolerance(0.0)
+                .try_build()
+                .expect("valid config"),
+        ),
+        // Sharded execution fans interior sweeps out per shard through
+        // the worker pool — the layout splits the 50-node audit field
+        // into a 2×2 tile grid, so cross-shard merge order is audited
+        // under permutation too.
+        (
+            "sharded-grid",
+            BnlLocalizer::builder(Backend::grid(25).expect("valid backend"))
+                .prior(prior)
+                .max_iterations(4)
+                .shards(ShardPlan::target_nodes(16).expect("valid shard plan"))
+                .try_build()
+                .expect("valid config"),
         ),
     ]
 }
@@ -154,10 +174,12 @@ fn stream_fingerprint(network: &Network) -> Fingerprint {
         capacity_per_tick: 2,
         shed_policy: DropPolicy::DecayToPrior { decay: 0.5 },
     });
-    let localizer = BnlLocalizer::particle(80)
-        .with_prior(PriorModel::DropPoint { sigma: 50.0 })
-        .with_max_iterations(3)
-        .with_tolerance(0.0);
+    let localizer = BnlLocalizer::builder(Backend::particle(80).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 50.0 })
+        .max_iterations(3)
+        .tolerance(0.0)
+        .try_build()
+        .expect("valid config");
     let session_cfg = SessionConfig::new(localizer).with_motion(MotionModel::random_walk(4.0));
     let ids: Vec<_> = (0..3u64)
         .map(|_| engine.open_session(session_cfg.clone()))
@@ -302,9 +324,9 @@ mod tests {
             thread_counts: vec![1, 2],
             permutation_seeds: vec![0xA0D1_7000],
         });
-        // 3 workloads (grid, particle, streaming engine) ×
-        // (1 reference + 2 thread counts × 2 schedules).
-        assert_eq!(outcome.runs, 15);
+        // 4 workloads (grid, particle, sharded-grid, streaming engine)
+        // × (1 reference + 2 thread counts × 2 schedules).
+        assert_eq!(outcome.runs, 20);
         assert!(outcome.passed(), "divergences: {:?}", outcome.failures);
     }
 

@@ -12,11 +12,12 @@
 
 use std::sync::Arc;
 use wsnloc_bayes::{
-    BpEngine, BpOptions, CoarseToFine, GaussianBp, GaussianRange, GridBp, ParticleBp, SpatialMrf,
-    UniformBoxUnary,
+    BpEngine, BpOptions, CoarseToFine, GaussianBp, GaussianRange, GridBp, ParticleBp,
+    ShardedEngine, SpatialMrf, UniformBoxUnary,
 };
+use wsnloc_geom::grid::SpatialGrid;
 use wsnloc_geom::rng::Xoshiro256pp;
-use wsnloc_geom::{Aabb, Vec2};
+use wsnloc_geom::{Aabb, ShardLayout, Vec2};
 use wsnloc_obs::{parse_json, JsonValue, Stopwatch};
 
 /// Grid resolution of the pinned grid scenario (the workspace default).
@@ -194,6 +195,62 @@ pub fn particle_bench_json(samples: usize) -> String {
 /// Resolutions of the pinned scale sweep (`repro bench --scale`).
 pub const SCALE_RESOLUTIONS: [usize; 4] = [15, 30, 60, 120];
 
+/// Node counts of the sharded deployment sweep. The full sweep
+/// (`BENCH_scale.json`) runs every entry; `--quick`
+/// (`BENCH_scale_quick.json`, the CI lane) drops the million-node row.
+pub const SHARD_SCALE_NODES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+/// Ranging/halo radius of the sharded sweep deployments (meters).
+pub const SHARD_SCALE_RADIUS: f64 = 30.0;
+/// Expected neighbors per node: the field side is sized so density stays
+/// constant across node counts and the sweep isolates pure scale.
+pub const SHARD_SCALE_DEGREE: f64 = 5.0;
+/// Target nodes per shard handed to [`ShardLayout::tiles_for_target`].
+pub const SHARD_SCALE_TARGET: usize = 500;
+/// Per-node BP iteration budget of the sharded sweep (outer rounds ×
+/// interior iterations with `interior = 1`).
+pub const SHARD_SCALE_ITERATIONS: usize = 2;
+
+/// A uniform random deployment at constant density with 2.5% anchors and
+/// radius-limited range edges built through the spatial hash, plus the
+/// shard layout the sharded engine executes over.
+fn sharded_fixture(nodes: usize) -> (SpatialMrf, Arc<ShardLayout>) {
+    let density = SHARD_SCALE_DEGREE / (std::f64::consts::PI * SHARD_SCALE_RADIUS.powi(2));
+    let side = (nodes as f64 / density).sqrt();
+    let domain = Aabb::from_size(side, side);
+    let mut rng = Xoshiro256pp::seed_from(0x5CA1E ^ nodes as u64);
+    let pts: Vec<Vec2> = (0..nodes)
+        .map(|_| rng.point_in(domain.min, domain.max))
+        .collect();
+    let mut mrf = SpatialMrf::new(nodes, domain, Arc::new(UniformBoxUnary(domain)));
+    for u in (0..nodes).step_by(40) {
+        mrf.fix(u, pts[u]);
+    }
+    let grid = SpatialGrid::build(domain, SHARD_SCALE_RADIUS, &pts);
+    for u in 0..nodes {
+        for v in grid.within(pts[u], SHARD_SCALE_RADIUS) {
+            if v > u {
+                mrf.add_edge(
+                    u,
+                    v,
+                    Arc::new(GaussianRange {
+                        observed: pts[u].dist(pts[v]),
+                        sigma: 5.0,
+                    }),
+                );
+            }
+        }
+    }
+    let (tiles_x, tiles_y) = ShardLayout::tiles_for_target(nodes, SHARD_SCALE_TARGET);
+    let layout = Arc::new(ShardLayout::build(
+        domain,
+        tiles_x,
+        tiles_y,
+        &pts,
+        SHARD_SCALE_RADIUS,
+    ));
+    (mrf, layout)
+}
+
 /// Kernel microbench context pinned alongside the sweep (static text so
 /// `--check` compares it exactly; re-measure with
 /// `cargo bench -p wsnloc-bench --bench stencil` when the kernels
@@ -203,20 +260,40 @@ pub const SCALE_NOTES: &str = "stencil microbench (30x30 grid, r=9): \
 separable 8.5x vs dense f64; mirrored matches dense speed at half the \
 table footprint; f32 ~1.1x vs same-kind f64";
 
-/// Runs the resolution scale sweep on the pinned lattice scenario and
-/// returns the `BENCH_scale.json` contents. Each resolution is timed
+/// Runs the scale sweeps and returns the `BENCH_scale.json` (or, with
+/// `quick`, `BENCH_scale_quick.json`) contents.
+///
+/// Two sections share the file. `grid` times each pinned resolution
 /// twice — flat full-resolution inference and the coarse-to-fine
 /// schedule ([`CoarseToFine::default`]) — with a single fine iteration,
 /// so the sweep exposes how the scatter cost grows with cell count and
 /// how much the adaptive schedule claws back once beliefs concentrate.
-pub fn scale_bench_json(samples: usize) -> String {
+/// `sharded` runs constant-density uniform deployments from 1k nodes up
+/// (to 1M in full mode) through the Gaussian backend twice — the flat
+/// engine and [`ShardedEngine`] over a [`ShardLayout`] — so the pinned
+/// rows track both the flat baseline and the sharded execution layer's
+/// overhead/scaling on networks far beyond the experiment suite. Graph
+/// shape fields (`edges`, `anchors`, `shards`) are exact-match pinned:
+/// they regress only if deployment construction loses determinism.
+pub fn scale_bench_json(samples: usize, quick: bool) -> String {
+    let node_counts: &[usize] = if quick {
+        &SHARD_SCALE_NODES[..SHARD_SCALE_NODES.len() - 1]
+    } else {
+        &SHARD_SCALE_NODES
+    };
+    scale_bench_json_for(samples, node_counts, if quick { "quick" } else { "full" })
+}
+
+/// [`scale_bench_json`] with the deployment list held open so the unit
+/// suite can exercise the JSON shape without building 100k+ networks.
+fn scale_bench_json_for(samples: usize, node_counts: &[usize], mode: &str) -> String {
     let (mrf, _) = grid_fixture();
     let opts = BpOptions::builder()
         .max_iterations(1)
         .tolerance(0.0)
         .try_build()
         .expect("pinned scale options are valid");
-    let mut rows = String::new();
+    let mut grid_rows = String::new();
     for (i, &resolution) in SCALE_RESOLUTIONS.iter().enumerate() {
         let dense = GridBp::with_resolution(resolution);
         let refined = dense.with_refinement(CoarseToFine::default());
@@ -231,26 +308,69 @@ pub fn scale_bench_json(samples: usize) -> String {
         } else {
             ""
         };
-        rows.push_str(&format!(
-            "    {{ \"resolution\": {resolution}, \"dense_secs\": {dense_secs:.6}, \"refined_secs\": {refined_secs:.6} }}{comma}\n",
+        grid_rows.push_str(&format!(
+            "      {{ \"resolution\": {resolution}, \"dense_secs\": {dense_secs:.6}, \"refined_secs\": {refined_secs:.6} }}{comma}\n",
         ));
     }
+
+    let shard_opts = BpOptions::builder()
+        .max_iterations(SHARD_SCALE_ITERATIONS)
+        .tolerance(0.0)
+        .try_build()
+        .expect("pinned sharded options are valid");
+    let mut shard_rows = String::new();
+    for (i, &nodes) in node_counts.iter().enumerate() {
+        let (mrf, layout) = sharded_fixture(nodes);
+        let flat = GaussianBp::default();
+        let sharded = ShardedEngine::new(GaussianBp::default(), Arc::clone(&layout), 1)
+            .expect("one interior iteration is valid");
+        let flat_secs = median_secs(samples, || {
+            flat.run(&mrf, &shard_opts);
+        });
+        let sharded_secs = median_secs(samples, || {
+            sharded.run(&mrf, &shard_opts);
+        });
+        let comma = if i + 1 < node_counts.len() { "," } else { "" };
+        shard_rows.push_str(&format!(
+            "      {{ \"nodes\": {nodes}, \"edges\": {edges}, \"anchors\": {anchors}, \"shards\": {shards}, \"flat_secs\": {flat_secs:.6}, \"sharded_secs\": {sharded_secs:.6} }}{comma}\n",
+            edges = mrf.edges().len(),
+            anchors = nodes.div_ceil(40),
+            shards = layout.occupied_shards(),
+        ));
+    }
+
     format!(
         concat!(
             "{{\n",
-            "  \"bench\": \"grid_scale_sweep\",\n",
-            "  \"scenario\": \"lattice_9nodes_300x300\",\n",
+            "  \"bench\": \"scale_sweep\",\n",
+            "  \"mode\": \"{mode}\",\n",
             "  \"samples\": {samples},\n",
-            "  \"iterations\": 1,\n",
             "  \"notes\": \"{notes}\",\n",
-            "  \"resolutions\": [\n",
-            "{rows}",
-            "  ]\n",
+            "  \"grid\": {{\n",
+            "    \"scenario\": \"lattice_9nodes_300x300\",\n",
+            "    \"iterations\": 1,\n",
+            "    \"resolutions\": [\n",
+            "{grid_rows}",
+            "    ]\n",
+            "  }},\n",
+            "  \"sharded\": {{\n",
+            "    \"scenario\": \"uniform_drop_degree5_radius30\",\n",
+            "    \"backend\": \"sharded-gaussian\",\n",
+            "    \"iterations\": {shard_iters},\n",
+            "    \"target_shard_nodes\": {target},\n",
+            "    \"deployments\": [\n",
+            "{shard_rows}",
+            "    ]\n",
+            "  }}\n",
             "}}\n"
         ),
+        mode = mode,
         samples = samples.max(1),
         notes = SCALE_NOTES,
-        rows = rows,
+        grid_rows = grid_rows,
+        shard_iters = SHARD_SCALE_ITERATIONS,
+        target = SHARD_SCALE_TARGET,
+        shard_rows = shard_rows,
     )
 }
 
@@ -285,9 +405,12 @@ pub fn stream_bench_json(samples: usize) -> String {
             .0
         })
         .collect();
-    let localizer = wsnloc::BnlLocalizer::particle(PARTICLES)
-        .with_max_iterations(STREAM_ITERATIONS)
-        .with_tolerance(0.0);
+    let localizer =
+        wsnloc::BnlLocalizer::builder(wsnloc::Backend::particle(PARTICLES).expect("valid backend"))
+            .max_iterations(STREAM_ITERATIONS)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
     let session_cfg =
         SessionConfig::new(localizer).with_motion(wsnloc_bayes::MotionModel::random_walk(2.0));
     let mut engine = StreamingEngine::new(EngineConfig::default());
@@ -439,16 +562,41 @@ mod tests {
     }
 
     #[test]
-    fn scale_bench_reports_one_row_per_resolution() {
-        let json = scale_bench_json(1);
-        assert!(json.contains("\"bench\": \"grid_scale_sweep\""));
+    fn scale_bench_reports_grid_and_sharded_sections() {
+        // Exercise the quick shape at tiny sample count; the unit test
+        // must not build the 100k+ deployments, so assert shape through
+        // a single small fixture plus the quick JSON's static fields.
+        let json = scale_bench_json_for(1, &SHARD_SCALE_NODES[..1], "quick");
+        assert!(json.contains("\"bench\": \"scale_sweep\""), "{json}");
+        assert!(json.contains("\"mode\": \"quick\""));
         for r in SCALE_RESOLUTIONS {
             assert!(json.contains(&format!("\"resolution\": {r}")), "{json}");
         }
+        assert!(json.contains("\"nodes\": 1000"), "{json}");
+        assert!(json.contains("\"flat_secs\""));
+        assert!(json.contains("\"sharded_secs\""));
         assert!(json.contains("\"notes\""));
         // The sweep output round-trips the checker against itself.
         let failures = check_bench_json(&json, &json, 1.0).expect("parses");
         assert!(failures.is_empty(), "self-check failed: {failures:?}");
+    }
+
+    #[test]
+    fn sharded_fixture_is_deterministic_and_multi_shard() {
+        let (mrf, layout) = sharded_fixture(1_000);
+        let (mrf2, layout2) = sharded_fixture(1_000);
+        assert_eq!(mrf.edges().len(), mrf2.edges().len());
+        assert_eq!(layout.occupied_shards(), layout2.occupied_shards());
+        assert!(
+            layout.occupied_shards() > 1,
+            "1k-node sweep row must exercise the multi-shard path"
+        );
+        // Constant-density sizing: mean degree near the target.
+        let degree = 2.0 * mrf.edges().len() as f64 / mrf.len() as f64;
+        assert!(
+            (degree - SHARD_SCALE_DEGREE).abs() < 1.5,
+            "mean degree {degree} drifted from target {SHARD_SCALE_DEGREE}"
+        );
     }
 
     #[test]

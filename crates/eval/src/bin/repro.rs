@@ -11,7 +11,10 @@
 //! repro trace --backend grid --out traces/  # per-backend trace file
 //! repro analyze trace.jsonl # replay a trace into convergence/fault/flame tables
 //! repro bench               # write BENCH_grid.json / BENCH_particle.json / BENCH_stream.json
-//! repro bench --scale       # also sweep grid resolutions into BENCH_scale.json
+//! repro bench --scale       # also run the grid-resolution + sharded 1k-1M
+//!                           # deployment sweeps into BENCH_scale.json
+//! repro bench --scale --quick  # sharded sweep capped at 100k nodes, into
+//!                              # BENCH_scale_quick.json (the CI lane)
 //! repro bench --out perf/   # same, into a directory
 //! repro bench --check --tolerance 2.0  # compare fresh numbers to the pinned JSONs
 //! repro audit-determinism             # schedule-perturbation determinism audit
@@ -130,7 +133,7 @@ fn main() -> ExitCode {
     }
 
     if ids.iter().any(|id| id == "bench") {
-        return run_bench(out_dir.as_deref(), check, scale, tolerance);
+        return run_bench(out_dir.as_deref(), check, scale, cfg.quick, tolerance);
     }
 
     if ids.iter().any(|id| id == "audit-determinism") {
@@ -181,7 +184,7 @@ fn run_audit(quick: bool) -> ExitCode {
         wsnloc_eval::AuditConfig::full()
     };
     eprintln!(
-        "audit-determinism: threads {:?} x {} schedule permutations (+ input order), grid + particle BP + streaming engine",
+        "audit-determinism: threads {:?} x {} schedule permutations (+ input order), grid + particle + sharded-grid BP + streaming engine",
         config.thread_counts,
         config.permutation_seeds.len()
     );
@@ -209,11 +212,9 @@ fn run_audit(quick: bool) -> ExitCode {
 /// collected runs to `trace.jsonl` (in `out_dir` when given).
 fn run_trace(cfg: &ExpConfig, backend: &str, out_dir: Option<&std::path::Path>) -> ExitCode {
     let backend = match backend {
-        "particle" => Backend::Particle {
-            particles: cfg.particles,
-        },
-        "grid" => Backend::Grid { resolution: 30 },
-        "gaussian" => Backend::Gaussian,
+        "particle" => experiments::particles(cfg.particles),
+        "grid" => experiments::grid(30),
+        "gaussian" => Backend::gaussian(),
         other => {
             eprintln!("unknown backend: {other} (want particle|grid|gaussian)");
             return ExitCode::FAILURE;
@@ -349,10 +350,16 @@ fn run_analyze(path: &std::path::Path, out_dir: Option<&std::path::Path>) -> Exi
 /// trajectory is tracked in version control; `--check` mode instead
 /// compares the fresh numbers against the pinned files (read from
 /// `out_dir` or the working directory) and exits nonzero on regression.
+///
+/// `--scale --quick` swaps the scale target to `BENCH_scale_quick.json`,
+/// whose sharded deployment sweep stops at 100k nodes — the CI lane; the
+/// full file's million-node row is a local pin
+/// (`cargo run --release -p wsnloc-eval --bin repro -- bench --scale`).
 fn run_bench(
     out_dir: Option<&std::path::Path>,
     check: bool,
     scale: bool,
+    quick: bool,
     tolerance: f64,
 ) -> ExitCode {
     const SAMPLES: usize = 5;
@@ -383,11 +390,24 @@ fn run_bench(
     ];
     if scale {
         eprintln!(
-            "grid scale sweep: resolutions {:?}, dense vs coarse-to-fine ({SCALE_SAMPLES} samples each)...",
-            bench::SCALE_RESOLUTIONS
+            "scale sweep: grid resolutions {:?} dense vs coarse-to-fine, sharded deployments {:?}{} flat vs sharded-gaussian ({SCALE_SAMPLES} samples each)...",
+            bench::SCALE_RESOLUTIONS,
+            if quick {
+                &bench::SHARD_SCALE_NODES[..bench::SHARD_SCALE_NODES.len() - 1]
+            } else {
+                &bench::SHARD_SCALE_NODES[..]
+            },
+            if quick { " (quick)" } else { "" },
         );
-        scale_json = bench::scale_bench_json(SCALE_SAMPLES);
-        outputs.push(("BENCH_scale.json", &scale_json));
+        scale_json = bench::scale_bench_json(SCALE_SAMPLES, quick);
+        outputs.push((
+            if quick {
+                "BENCH_scale_quick.json"
+            } else {
+                "BENCH_scale.json"
+            },
+            &scale_json,
+        ));
     }
     if check {
         let mut regressed = false;

@@ -8,7 +8,7 @@
 //! blows up even when its median stays respectable, which is precisely the
 //! argument for the paper's nonparametric formulation.
 
-use super::{PRIOR_SIGMA, RANGE};
+use super::{built, grid, particles, PRIOR_SIGMA, RANGE};
 use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::prelude::*;
 
@@ -37,31 +37,39 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let backends: Vec<(String, BnlLocalizer)> = vec![
         (
             format!("particle-{}", cfg.particles),
-            BnlLocalizer::particle(cfg.particles)
-                .with_prior(prior.clone())
-                .with_max_iterations(iters)
-                .with_tolerance(tol),
+            built(
+                BnlLocalizer::builder(particles(cfg.particles))
+                    .prior(prior.clone())
+                    .max_iterations(iters)
+                    .tolerance(tol),
+            ),
         ),
         (
             "particle-50".into(),
-            BnlLocalizer::particle(50)
-                .with_prior(prior.clone())
-                .with_max_iterations(iters)
-                .with_tolerance(tol),
+            built(
+                BnlLocalizer::builder(particles(50))
+                    .prior(prior.clone())
+                    .max_iterations(iters)
+                    .tolerance(tol),
+            ),
         ),
         (
             "grid-30".into(),
-            BnlLocalizer::grid(30)
-                .with_prior(prior.clone())
-                .with_max_iterations(iters.min(6))
-                .with_tolerance(tol),
+            built(
+                BnlLocalizer::builder(grid(30))
+                    .prior(prior.clone())
+                    .max_iterations(iters.min(6))
+                    .tolerance(tol),
+            ),
         ),
         (
             "gaussian".into(),
-            BnlLocalizer::gaussian()
-                .with_prior(prior.clone())
-                .with_max_iterations(iters * 3) // cheap iterations
-                .with_tolerance(tol),
+            built(
+                BnlLocalizer::builder(Backend::gaussian())
+                    .prior(prior.clone())
+                    .max_iterations(iters * 3) // cheap iterations
+                    .tolerance(tol),
+            ),
         ),
     ];
 

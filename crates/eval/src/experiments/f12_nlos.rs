@@ -12,7 +12,7 @@
 //! backend sits between (it inflates variances but stays unimodal), and
 //! range-free DV-Hop is flat by construction.
 
-use super::{standard_scenario, PRIOR_SIGMA, RANGE};
+use super::{built, particles, standard_scenario, PRIOR_SIGMA, RANGE};
 use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::prelude::*;
 
@@ -24,14 +24,18 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
         vec![0.0, 0.05, 0.1, 0.2, 0.3]
     };
     let prior = PriorModel::DropPoint { sigma: PRIOR_SIGMA };
-    let bnl = BnlLocalizer::particle(cfg.particles)
-        .with_prior(prior.clone())
-        .with_max_iterations(cfg.iterations)
-        .with_tolerance(RANGE * 0.02);
-    let gaussian = BnlLocalizer::gaussian()
-        .with_prior(prior)
-        .with_max_iterations(cfg.iterations * 3)
-        .with_tolerance(RANGE * 0.02);
+    let bnl = built(
+        BnlLocalizer::builder(particles(cfg.particles))
+            .prior(prior.clone())
+            .max_iterations(cfg.iterations)
+            .tolerance(RANGE * 0.02),
+    );
+    let gaussian = built(
+        BnlLocalizer::builder(Backend::gaussian())
+            .prior(prior)
+            .max_iterations(cfg.iterations * 3)
+            .tolerance(RANGE * 0.02),
+    );
     let nls = wsnloc_baselines::Multilateration::nls();
     let dvhop = wsnloc_baselines::DvHop::default();
 

@@ -8,7 +8,7 @@
 //! loopier graphs). Final accuracy should be schedule-insensitive — both
 //! fixed points approximate the same posterior.
 
-use super::{standard_scenario, PRIOR_SIGMA, RANGE};
+use super::{built, particles, standard_scenario, PRIOR_SIGMA, RANGE};
 use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::prelude::*;
 
@@ -32,12 +32,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut labels = Vec::new();
     let mut data = Vec::new();
     for (label, schedule, damping) in configs {
-        let algo = BnlLocalizer::particle(cfg.particles)
-            .with_prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
-            .with_max_iterations(cfg.iterations * 2)
-            .with_schedule(schedule)
-            .with_damping(damping)
-            .with_tolerance(RANGE * 0.02);
+        let algo = built(
+            BnlLocalizer::builder(particles(cfg.particles))
+                .prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
+                .max_iterations(cfg.iterations * 2)
+                .schedule(schedule)
+                .damping(damping)
+                .tolerance(RANGE * 0.02),
+        );
         let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials));
         labels.push(label);
         data.push(vec![

@@ -14,7 +14,7 @@
 //! full-budget reference while memoryless-tight collapses; the gap grows
 //! with node speed until motion outruns the temporal prior.
 
-use super::RANGE;
+use super::{built, particles, RANGE};
 use crate::{ExpConfig, Report};
 use wsnloc::prelude::*;
 use wsnloc::TrackingLocalizer;
@@ -40,12 +40,16 @@ fn run_world(speed: f64, trial: u64, cfg: &ExpConfig) -> (f64, f64, f64) {
         1.0,
         0xF14 ^ trial,
     );
-    let tight = BnlLocalizer::particle(cfg.particles)
-        .with_max_iterations(2)
-        .with_tolerance(0.0);
-    let full = BnlLocalizer::particle(cfg.particles)
-        .with_max_iterations(cfg.iterations)
-        .with_tolerance(RANGE * 0.02);
+    let tight = built(
+        BnlLocalizer::builder(particles(cfg.particles))
+            .max_iterations(2)
+            .tolerance(0.0),
+    );
+    let full = built(
+        BnlLocalizer::builder(particles(cfg.particles))
+            .max_iterations(cfg.iterations)
+            .tolerance(RANGE * 0.02),
+    );
     let mut tracker = TrackingLocalizer::builder(tight.clone())
         .motion_per_step(speed.max(0.1) * 1.5)
         .try_build()

@@ -17,7 +17,7 @@
 //! observer stream (dropped / died / stale), confirming the telemetry
 //! path end to end.
 
-use super::{standard_scenario, PRIOR_SIGMA, RANGE};
+use super::{built, particles, standard_scenario, PRIOR_SIGMA, RANGE};
 use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::obs::TraceObserver;
 use wsnloc::prelude::*;
@@ -44,13 +44,14 @@ impl<L: Localizer> Localizer for DegradedBaseline<L> {
     }
 }
 
-/// BNL-PK with the standard pre-knowledge configuration and a fault plan.
-fn bnl_with_plan(cfg: &ExpConfig, plan: FaultPlan) -> BnlLocalizer {
-    BnlLocalizer::particle(cfg.particles)
-        .with_prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
-        .with_max_iterations(cfg.iterations)
-        .with_tolerance(RANGE * 0.02)
-        .with_fault_plan(plan)
+/// Builder for BNL-PK with the standard pre-knowledge configuration and
+/// a fault plan, open for per-report overrides.
+fn bnl_with_plan(cfg: &ExpConfig, plan: FaultPlan) -> BnlLocalizerBuilder {
+    BnlLocalizer::builder(particles(cfg.particles))
+        .prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
+        .max_iterations(cfg.iterations)
+        .tolerance(RANGE * 0.02)
+        .fault_plan(plan)
 }
 
 /// Mean error/R of `algo` on the standard scenario.
@@ -78,12 +79,12 @@ fn loss_sweep(cfg: &ExpConfig) -> Report {
     let mut data = Vec::new();
     for &rate in &rates {
         labels.push(format!("{:.0}%", rate * 100.0));
-        let hold = bnl_with_plan(cfg, FaultPlan::iid_loss(FAULT_SEED, rate));
-        let decay = bnl_with_plan(
+        let hold = built(bnl_with_plan(cfg, FaultPlan::iid_loss(FAULT_SEED, rate)));
+        let decay = built(bnl_with_plan(
             cfg,
             FaultPlan::iid_loss(FAULT_SEED, rate)
                 .with_drop_policy(DropPolicy::DecayToPrior { decay: 0.6 }),
-        );
+        ));
         let nls = DegradedBaseline {
             inner: wsnloc_baselines::Multilateration::nls(),
             plan: FaultPlan::iid_loss(FAULT_SEED, rate),
@@ -125,7 +126,7 @@ fn death_sweep(cfg: &ExpConfig) -> Report {
             fraction,
             at_iteration: 0,
         });
-        let bnl = bnl_with_plan(cfg, plan.clone());
+        let bnl = built(bnl_with_plan(cfg, plan.clone()));
         let nls = DegradedBaseline {
             inner: wsnloc_baselines::Multilateration::nls(),
             plan: plan.clone(),
@@ -174,7 +175,7 @@ fn event_probe(cfg: &ExpConfig) -> Report {
                 fraction: 0.1,
                 at_iteration: 1,
             });
-        let loc = bnl_with_plan(cfg, plan).with_tolerance(0.0);
+        let loc = built(bnl_with_plan(cfg, plan).tolerance(0.0));
         let obs = TraceObserver::new();
         let _ = loc.localize_with_observer(&net, 0, &obs);
         let run = obs.last_run();

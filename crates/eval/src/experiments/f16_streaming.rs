@@ -19,7 +19,7 @@
 //! aggregate RMSE grows smoothly with the shed fraction rather than
 //! collapsing.
 
-use super::RANGE;
+use super::{built, particles, RANGE};
 use crate::{ExpConfig, Report};
 use wsnloc::prelude::*;
 use wsnloc_geom::stats;
@@ -51,9 +51,11 @@ fn mobile_world(tenant: u64) -> MobileWorld {
 
 /// The tight per-epoch budget every streaming session runs under.
 fn session_localizer(cfg: &ExpConfig) -> BnlLocalizer {
-    BnlLocalizer::particle(cfg.particles)
-        .with_max_iterations(3)
-        .with_tolerance(0.0)
+    built(
+        BnlLocalizer::builder(particles(cfg.particles))
+            .max_iterations(3)
+            .tolerance(0.0),
+    )
 }
 
 fn session_config(cfg: &ExpConfig) -> SessionConfig {
@@ -85,9 +87,11 @@ fn sizes(cfg: &ExpConfig) -> (usize, usize) {
 fn budget_report(cfg: &ExpConfig) -> Report {
     let (tenants, epochs) = sizes(cfg);
     let tight = session_localizer(cfg);
-    let full = BnlLocalizer::particle(cfg.particles)
-        .with_max_iterations(cfg.iterations)
-        .with_tolerance(RANGE * 0.02);
+    let full = built(
+        BnlLocalizer::builder(particles(cfg.particles))
+            .max_iterations(cfg.iterations)
+            .tolerance(RANGE * 0.02),
+    );
 
     let mut engine = StreamingEngine::new(EngineConfig::default());
     let ids: Vec<_> = (0..tenants)

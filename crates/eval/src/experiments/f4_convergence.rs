@@ -5,22 +5,22 @@
 //! NBP needs several flooding rounds before anchor information reaches
 //! interior nodes.
 
-use super::{bnl, nbp, standard_scenario, RANGE};
+use super::{bnl_builder, built, nbp_builder, standard_scenario, RANGE};
 use crate::{ExpConfig, Report};
+use wsnloc::BnlLocalizerBuilder;
 use wsnloc_geom::stats;
 use wsnloc_net::Scenario;
 
 fn curve(
-    localizer: &wsnloc::BnlLocalizer,
+    localizer: BnlLocalizerBuilder,
     scenario: &Scenario,
     iterations: usize,
     trials: u64,
 ) -> Vec<f64> {
     let mut per_iter: Vec<Vec<f64>> = vec![Vec::new(); iterations];
-    let fixed = localizer
-        .clone()
-        .with_max_iterations(iterations)
-        .with_tolerance(0.0); // force the full trajectory
+    let fixed = built(
+        localizer.max_iterations(iterations).tolerance(0.0), // force the full trajectory
+    );
     for t in 0..trials {
         let (net, truth) = scenario.build_trial(t);
         let _ = fixed.localize_observed(&net, t, |iter, estimates| {
@@ -45,8 +45,8 @@ fn curve(
 pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let iterations = if cfg.quick { 5 } else { 12 };
     let scenario = standard_scenario();
-    let pk = curve(&bnl(cfg), &scenario, iterations, cfg.trials);
-    let plain = curve(&nbp(cfg), &scenario, iterations, cfg.trials);
+    let pk = curve(bnl_builder(cfg), &scenario, iterations, cfg.trials);
+    let plain = curve(nbp_builder(cfg), &scenario, iterations, cfg.trials);
     let labels: Vec<String> = (1..=iterations).map(|i| i.to_string()).collect();
     let data: Vec<Vec<f64>> = pk.into_iter().zip(plain).map(|(a, b)| vec![a, b]).collect();
     vec![Report::new(

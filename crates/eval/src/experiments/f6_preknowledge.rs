@@ -14,7 +14,7 @@
 //!   coverage; even partial pre-knowledge helps neighbors *without* priors
 //!   through message passing.
 
-use super::{nbp, standard_scenario, PRIOR_SIGMA, RANGE};
+use super::{built, nbp, particles, standard_scenario, PRIOR_SIGMA, RANGE};
 use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::{BnlLocalizer, PriorModel};
 
@@ -31,10 +31,12 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut labels = Vec::new();
     let mut data = Vec::new();
     for sigma in sigmas {
-        let algo = BnlLocalizer::particle(cfg.particles)
-            .with_prior(PriorModel::DropPoint { sigma })
-            .with_max_iterations(cfg.iterations)
-            .with_tolerance(RANGE * 0.02);
+        let algo = built(
+            BnlLocalizer::builder(particles(cfg.particles))
+                .prior(PriorModel::DropPoint { sigma })
+                .max_iterations(cfg.iterations)
+                .tolerance(RANGE * 0.02),
+        );
         let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials));
         labels.push(format!("σ={sigma:.0}"));
         data.push(vec![outcome
@@ -68,14 +70,16 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut labels = Vec::new();
     let mut data = Vec::new();
     for coverage in coverages {
-        let algo = BnlLocalizer::particle(cfg.particles)
-            .with_prior(PriorModel::PartialDropPoint {
-                sigma: PRIOR_SIGMA,
-                coverage,
-                seed: 0xC0FFEE,
-            })
-            .with_max_iterations(cfg.iterations)
-            .with_tolerance(RANGE * 0.02);
+        let algo = built(
+            BnlLocalizer::builder(particles(cfg.particles))
+                .prior(PriorModel::PartialDropPoint {
+                    sigma: PRIOR_SIGMA,
+                    coverage,
+                    seed: 0xC0FFEE,
+                })
+                .max_iterations(cfg.iterations)
+                .tolerance(RANGE * 0.02),
+        );
         let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials));
         labels.push(format!("{:.0}%", coverage * 100.0));
         data.push(vec![outcome

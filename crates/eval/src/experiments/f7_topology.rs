@@ -12,7 +12,7 @@
 //! shape prior buys extra accuracy exactly where the bounding box is most
 //! wrong (the hole).
 
-use super::{ANCHORS, FIELD, N, NOISE, RANGE};
+use super::{built, particles, ANCHORS, FIELD, N, NOISE, RANGE};
 use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::prelude::*;
 use wsnloc_geom::Shape;
@@ -61,13 +61,17 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     for (name, shape) in shapes {
         let scenario = scenario_for(shape.clone(), name);
         labels.push(name.to_string());
-        let bnl_region = BnlLocalizer::particle(cfg.particles)
-            .with_prior(PriorModel::Region(shape))
-            .with_max_iterations(cfg.iterations)
-            .with_tolerance(RANGE * 0.02);
-        let nbp = BnlLocalizer::particle(cfg.particles)
-            .with_max_iterations(cfg.iterations)
-            .with_tolerance(RANGE * 0.02);
+        let bnl_region = built(
+            BnlLocalizer::builder(particles(cfg.particles))
+                .prior(PriorModel::Region(shape))
+                .max_iterations(cfg.iterations)
+                .tolerance(RANGE * 0.02),
+        );
+        let nbp = built(
+            BnlLocalizer::builder(particles(cfg.particles))
+                .max_iterations(cfg.iterations)
+                .tolerance(RANGE * 0.02),
+        );
         let algos: Vec<&dyn Localizer> = vec![
             &bnl_region,
             &nbp,

@@ -4,7 +4,7 @@
 //! particles then saturates, while runtime grows linearly — the knee is
 //! where a deployment should operate.
 
-use super::{standard_scenario, PRIOR_SIGMA, RANGE};
+use super::{built, particles as particle_backend, standard_scenario, PRIOR_SIGMA, RANGE};
 use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::{BnlLocalizer, PriorModel};
 
@@ -19,10 +19,12 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut labels = Vec::new();
     let mut data = Vec::new();
     for particles in counts {
-        let algo = BnlLocalizer::particle(particles)
-            .with_prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
-            .with_max_iterations(cfg.iterations)
-            .with_tolerance(RANGE * 0.02);
+        let algo = built(
+            BnlLocalizer::builder(particle_backend(particles))
+                .prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
+                .max_iterations(cfg.iterations)
+                .tolerance(RANGE * 0.02),
+        );
         let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials));
         labels.push(particles.to_string());
         data.push(vec![

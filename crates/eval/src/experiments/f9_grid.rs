@@ -12,7 +12,7 @@
 //! cell-quantization floor meets the measurement-noise floor, while runtime
 //! explodes — motivating the particle backend as the practical choice.
 
-use super::{PRIOR_SIGMA, RANGE};
+use super::{built, grid, PRIOR_SIGMA, RANGE};
 use crate::{evaluate, EvalConfig, ExpConfig, Report};
 use wsnloc::prelude::*;
 
@@ -39,12 +39,14 @@ pub fn run(cfg: &ExpConfig) -> Vec<Report> {
     let mut labels = Vec::new();
     let mut data = Vec::new();
     for res in resolutions {
-        let algo = BnlLocalizer::grid(res)
-            .with_prior(PriorModel::DropPoint {
-                sigma: PRIOR_SIGMA / 2.0,
-            })
-            .with_max_iterations(cfg.iterations.min(6))
-            .with_tolerance(RANGE * 0.02);
+        let algo = built(
+            BnlLocalizer::builder(grid(res))
+                .prior(PriorModel::DropPoint {
+                    sigma: PRIOR_SIGMA / 2.0,
+                })
+                .max_iterations(cfg.iterations.min(6))
+                .tolerance(RANGE * 0.02),
+        );
         let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(cfg.trials.min(3)));
         let cell = 500.0 / res as f64;
         labels.push(format!("{res}x{res}"));

@@ -55,19 +55,48 @@ pub fn standard_scenario() -> Scenario {
     }
 }
 
-/// BNL-PK: the paper's algorithm (particle backend, drop-point priors).
-pub fn bnl(cfg: &ExpConfig) -> BnlLocalizer {
-    BnlLocalizer::particle(cfg.particles)
-        .with_prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
-        .with_max_iterations(cfg.iterations)
-        .with_tolerance(RANGE * 0.02)
+/// Particle backend for `count` particles; experiment particle counts
+/// are compile-time-positive, so construction cannot fail.
+pub fn particles(count: usize) -> Backend {
+    Backend::particle(count).expect("positive particle count")
 }
 
-/// NBP: the ablation without pre-knowledge.
+/// Grid backend at `resolution`; experiment resolutions are
+/// compile-time ≥ 2, so construction cannot fail.
+pub fn grid(resolution: usize) -> Backend {
+    Backend::grid(resolution).expect("valid grid resolution")
+}
+
+/// Finishes a localizer builder whose knobs came from experiment
+/// constants — by construction a valid configuration.
+pub fn built(builder: BnlLocalizerBuilder) -> BnlLocalizer {
+    builder.try_build().expect("valid experiment configuration")
+}
+
+/// Builder for BNL-PK: the paper's algorithm (particle backend,
+/// drop-point priors), open for per-experiment overrides.
+pub fn bnl_builder(cfg: &ExpConfig) -> BnlLocalizerBuilder {
+    BnlLocalizer::builder(particles(cfg.particles))
+        .prior(PriorModel::DropPoint { sigma: PRIOR_SIGMA })
+        .max_iterations(cfg.iterations)
+        .tolerance(RANGE * 0.02)
+}
+
+/// BNL-PK with the standard experiment configuration.
+pub fn bnl(cfg: &ExpConfig) -> BnlLocalizer {
+    built(bnl_builder(cfg))
+}
+
+/// Builder for NBP: the ablation without pre-knowledge.
+pub fn nbp_builder(cfg: &ExpConfig) -> BnlLocalizerBuilder {
+    BnlLocalizer::builder(particles(cfg.particles))
+        .max_iterations(cfg.iterations)
+        .tolerance(RANGE * 0.02)
+}
+
+/// NBP with the standard experiment configuration.
 pub fn nbp(cfg: &ExpConfig) -> BnlLocalizer {
-    BnlLocalizer::particle(cfg.particles)
-        .with_max_iterations(cfg.iterations)
-        .with_tolerance(RANGE * 0.02)
+    built(nbp_builder(cfg))
 }
 
 /// The full comparison roster used by T2/F5.

@@ -417,7 +417,7 @@ pub fn evaluate(algo: &dyn Localizer, scenario: &Scenario, config: &EvalConfig) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wsnloc::BnlLocalizer;
+    use wsnloc::{Backend, BnlLocalizer};
     use wsnloc_baselines::Centroid;
     use wsnloc_net::{AnchorStrategy, Deployment, RadioModel, RangingModel};
 
@@ -492,9 +492,11 @@ mod tests {
 
     #[test]
     fn collect_traces_aggregates_per_trial_runs() {
-        let algo = BnlLocalizer::particle(60)
-            .with_max_iterations(3)
-            .with_tolerance(0.0);
+        let algo = BnlLocalizer::builder(Backend::particle(60).expect("valid backend"))
+            .max_iterations(3)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
         let outcome = evaluate(
             &algo,
             &tiny_scenario(),
@@ -526,9 +528,11 @@ mod tests {
 
     #[test]
     fn collect_metrics_aggregates_per_trial_snapshots() {
-        let algo = BnlLocalizer::particle(60)
-            .with_max_iterations(3)
-            .with_tolerance(0.0);
+        let algo = BnlLocalizer::builder(Backend::particle(60).expect("valid backend"))
+            .max_iterations(3)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
         let outcome = evaluate(
             &algo,
             &tiny_scenario(),
@@ -557,9 +561,11 @@ mod tests {
     #[test]
     fn shared_observer_sees_all_trials() {
         use std::sync::Arc;
-        let algo = BnlLocalizer::particle(40)
-            .with_max_iterations(2)
-            .with_tolerance(0.0);
+        let algo = BnlLocalizer::builder(Backend::particle(40).expect("valid backend"))
+            .max_iterations(2)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config");
         let obs = Arc::new(TraceObserver::new());
         let _ = evaluate(
             &algo,

@@ -21,6 +21,8 @@
 //!   sampling, weighted choice, shuffling, and stream splitting.
 //! - [`kde`] — Gaussian kernel density estimation with Silverman bandwidths.
 //! - [`grid`] — a uniform spatial hash grid for radius neighbor queries.
+//! - [`partition`] — spatial tiling of node sets into shards with halos
+//!   (the geometry layer of sharded BP execution).
 //! - [`check`] — a miniature seeded property-test harness (the workspace
 //!   builds without registry access, so `proptest` is unavailable).
 
@@ -31,6 +33,7 @@ pub mod check;
 pub mod grid;
 pub mod kde;
 pub mod matrix;
+pub mod partition;
 pub mod rng;
 pub mod shape;
 pub mod stats;
@@ -38,6 +41,7 @@ pub mod vec2;
 
 pub use aabb::Aabb;
 pub use matrix::Matrix;
+pub use partition::{Shard, ShardLayout};
 pub use rng::Xoshiro256pp;
 pub use shape::Shape;
 pub use vec2::Vec2;

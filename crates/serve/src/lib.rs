@@ -168,7 +168,10 @@ struct Tenant {
 /// };
 /// let mut engine = StreamingEngine::new(engine_cfg);
 ///
-/// let localizer = BnlLocalizer::particle(60).with_max_iterations(2);
+/// let localizer = BnlLocalizer::builder(Backend::particle(60).expect("valid backend"))
+///     .max_iterations(2)
+///     .try_build()
+///     .expect("valid configuration");
 /// let cfg = SessionConfig::new(localizer).with_motion(MotionModel::random_walk(3.0));
 /// let a = engine.open_session(cfg.clone());
 /// let b = engine.open_session(cfg);
@@ -425,10 +428,12 @@ mod tests {
     }
 
     fn localizer() -> BnlLocalizer {
-        BnlLocalizer::particle(60)
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(2)
-            .with_tolerance(0.0)
+        BnlLocalizer::builder(Backend::particle(60).expect("valid backend"))
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(2)
+            .tolerance(0.0)
+            .try_build()
+            .expect("valid config")
     }
 
     fn cfg() -> SessionConfig {

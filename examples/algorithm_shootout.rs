@@ -22,17 +22,23 @@ fn main() {
         scenario.name, scenario.node_count, trials
     );
 
-    let bnl = BnlLocalizer::particle(200)
-        .with_prior(PriorModel::DropPoint { sigma: 100.0 })
-        .with_max_iterations(10)
-        .with_tolerance(3.0);
-    let bnl_grid = BnlLocalizer::grid(40)
-        .with_prior(PriorModel::DropPoint { sigma: 100.0 })
-        .with_max_iterations(6)
-        .with_tolerance(3.0);
-    let nbp = BnlLocalizer::particle(200)
-        .with_max_iterations(10)
-        .with_tolerance(3.0);
+    let bnl = BnlLocalizer::builder(Backend::particle(200).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 100.0 })
+        .max_iterations(10)
+        .tolerance(3.0)
+        .try_build()
+        .expect("valid config");
+    let bnl_grid = BnlLocalizer::builder(Backend::grid(40).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 100.0 })
+        .max_iterations(6)
+        .tolerance(3.0)
+        .try_build()
+        .expect("valid config");
+    let nbp = BnlLocalizer::builder(Backend::particle(200).expect("valid backend"))
+        .max_iterations(10)
+        .tolerance(3.0)
+        .try_build()
+        .expect("valid config");
 
     let algos: Vec<&dyn Localizer> = vec![
         &bnl,

@@ -97,10 +97,12 @@ fn main() {
             (0..net.len()).map(|i| net.planned_position(i)).collect(),
             measurements,
         );
-        let result = BnlLocalizer::particle(250)
-            .with_prior(PriorModel::DropPoint { sigma: 80.0 })
-            .with_max_iterations(10)
-            .with_tolerance(3.0)
+        let result = BnlLocalizer::builder(Backend::particle(250).expect("valid backend"))
+            .prior(PriorModel::DropPoint { sigma: 80.0 })
+            .max_iterations(10)
+            .tolerance(3.0)
+            .try_build()
+            .expect("valid config")
             .localize(&reinterpreted, 0);
         let errs: Vec<f64> = result
             .errors_for(&truth, Some(&reinterpreted))

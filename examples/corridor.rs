@@ -36,13 +36,17 @@ fn main() {
         net.avg_degree()
     );
 
-    let bnl_region = BnlLocalizer::particle(250)
-        .with_prior(PriorModel::Region(corridor))
-        .with_max_iterations(10)
-        .with_tolerance(3.0);
-    let nbp = BnlLocalizer::particle(250)
-        .with_max_iterations(10)
-        .with_tolerance(3.0);
+    let bnl_region = BnlLocalizer::builder(Backend::particle(250).expect("valid backend"))
+        .prior(PriorModel::Region(corridor))
+        .max_iterations(10)
+        .tolerance(3.0)
+        .try_build()
+        .expect("valid config");
+    let nbp = BnlLocalizer::builder(Backend::particle(250).expect("valid backend"))
+        .max_iterations(10)
+        .tolerance(3.0)
+        .try_build()
+        .expect("valid config");
 
     let algos: Vec<(&str, &dyn Localizer)> = vec![
         ("BNL-PK (corridor shape prior)", &bnl_region),

@@ -92,10 +92,12 @@ fn main() {
 
     println!("{:<40} {:>9} {:>9}", "configuration", "mean (m)", "mean/R");
     for (label, prior) in runs {
-        let localizer = BnlLocalizer::particle(250)
-            .with_prior(prior)
-            .with_max_iterations(10)
-            .with_tolerance(3.0);
+        let localizer = BnlLocalizer::builder(Backend::particle(250).expect("valid backend"))
+            .prior(prior)
+            .max_iterations(10)
+            .tolerance(3.0)
+            .try_build()
+            .expect("valid config");
         let result = localizer.localize(&net, 0);
         let err = mean_error(&result, &net, &truth);
         println!("{label:<40} {err:>9.1} {:>9.3}", err / r);

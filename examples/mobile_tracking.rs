@@ -31,9 +31,11 @@ fn main() {
         0x30B11E,
     );
 
-    let tight = BnlLocalizer::particle(200)
-        .with_max_iterations(2)
-        .with_tolerance(0.0);
+    let tight = BnlLocalizer::builder(Backend::particle(200).expect("valid backend"))
+        .max_iterations(2)
+        .tolerance(0.0)
+        .try_build()
+        .expect("valid config");
     let mut tracker = TrackingLocalizer::builder(tight.clone())
         .motion_per_step(speed * 1.5)
         .try_build()

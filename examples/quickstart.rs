@@ -23,7 +23,7 @@ fn main() {
     // 2. Configure the localizer: particle-based Bayesian-network inference
     //    with drop-point pre-knowledge priors. The builder validates the
     //    configuration up front instead of panicking at localize time.
-    let localizer = BnlLocalizer::builder(Backend::Particle { particles: 300 })
+    let localizer = BnlLocalizer::builder(Backend::particle(300).expect("valid backend"))
         .prior(PriorModel::DropPoint { sigma: 100.0 })
         .max_iterations(10)
         .tolerance(3.0)

@@ -19,16 +19,20 @@ fn scenario() -> Scenario {
 }
 
 fn bnl() -> BnlLocalizer {
-    BnlLocalizer::particle(120)
-        .with_prior(PriorModel::DropPoint { sigma: 60.0 })
-        .with_max_iterations(7)
-        .with_tolerance(2.0)
+    BnlLocalizer::builder(Backend::particle(120).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 60.0 })
+        .max_iterations(7)
+        .tolerance(2.0)
+        .try_build()
+        .expect("valid config")
 }
 
 fn nbp() -> BnlLocalizer {
-    BnlLocalizer::particle(120)
-        .with_max_iterations(7)
-        .with_tolerance(2.0)
+    BnlLocalizer::builder(Backend::particle(120).expect("valid backend"))
+        .max_iterations(7)
+        .tolerance(2.0)
+        .try_build()
+        .expect("valid config")
 }
 
 const TRIALS: u64 = 3;

@@ -20,15 +20,19 @@ fn easy_scenario() -> Scenario {
 fn backends_agree_on_easy_network() {
     let s = easy_scenario();
     let (net, truth) = s.build_trial(0);
-    let particle = BnlLocalizer::particle(250)
-        .with_prior(PriorModel::DropPoint { sigma: 35.0 })
-        .with_max_iterations(8)
-        .with_tolerance(1.0)
+    let particle = BnlLocalizer::builder(Backend::particle(250).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 35.0 })
+        .max_iterations(8)
+        .tolerance(1.0)
+        .try_build()
+        .expect("valid config")
         .localize(&net, 0);
-    let grid = BnlLocalizer::grid(40)
-        .with_prior(PriorModel::DropPoint { sigma: 35.0 })
-        .with_max_iterations(8)
-        .with_tolerance(1.0)
+    let grid = BnlLocalizer::builder(Backend::grid(40).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 35.0 })
+        .max_iterations(8)
+        .tolerance(1.0)
+        .try_build()
+        .expect("valid config")
         .localize(&net, 0);
 
     let cell = 400.0 / 40.0; // 10 m cells
@@ -69,13 +73,17 @@ fn both_backends_beat_the_prior_alone() {
         .sum::<f64>()
         / net.unknowns().count() as f64;
     for result in [
-        BnlLocalizer::particle(200)
-            .with_prior(PriorModel::DropPoint { sigma: 35.0 })
-            .with_max_iterations(6)
+        BnlLocalizer::builder(Backend::particle(200).expect("valid backend"))
+            .prior(PriorModel::DropPoint { sigma: 35.0 })
+            .max_iterations(6)
+            .try_build()
+            .expect("valid config")
             .localize(&net, 0),
-        BnlLocalizer::grid(40)
-            .with_prior(PriorModel::DropPoint { sigma: 35.0 })
-            .with_max_iterations(6)
+        BnlLocalizer::builder(Backend::grid(40).expect("valid backend"))
+            .prior(PriorModel::DropPoint { sigma: 35.0 })
+            .max_iterations(6)
+            .try_build()
+            .expect("valid config")
             .localize(&net, 0),
     ] {
         let errs: Vec<f64> = result
@@ -95,15 +103,19 @@ fn both_backends_beat_the_prior_alone() {
 fn grid_map_and_mmse_estimators_are_close_on_unimodal_posteriors() {
     let s = easy_scenario();
     let (net, _) = s.build_trial(2);
-    let mmse = BnlLocalizer::grid(40)
-        .with_prior(PriorModel::DropPoint { sigma: 35.0 })
-        .with_estimator(Estimator::Mmse)
-        .with_max_iterations(6)
+    let mmse = BnlLocalizer::builder(Backend::grid(40).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 35.0 })
+        .estimator(Estimator::Mmse)
+        .max_iterations(6)
+        .try_build()
+        .expect("valid config")
         .localize(&net, 0);
-    let map = BnlLocalizer::grid(40)
-        .with_prior(PriorModel::DropPoint { sigma: 35.0 })
-        .with_estimator(Estimator::Map)
-        .with_max_iterations(6)
+    let map = BnlLocalizer::builder(Backend::grid(40).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 35.0 })
+        .estimator(Estimator::Map)
+        .max_iterations(6)
+        .try_build()
+        .expect("valid config")
         .localize(&net, 0);
     let cell = 400.0 / 40.0;
     let mut far = 0;

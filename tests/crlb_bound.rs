@@ -23,10 +23,12 @@ fn achieved_error_respects_bound() {
     let s = scenario();
     // RMS achieved error over trials vs mean bound: the bound is per-node
     // RMS, so compare RMS to RMS with a tolerance for Monte-Carlo noise.
-    let algo = BnlLocalizer::particle(150)
-        .with_prior(PriorModel::DropPoint { sigma: 60.0 })
-        .with_max_iterations(8)
-        .with_tolerance(2.0);
+    let algo = BnlLocalizer::builder(Backend::particle(150).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 60.0 })
+        .max_iterations(8)
+        .tolerance(2.0)
+        .try_build()
+        .expect("valid config");
     let outcome = evaluate(&algo, &s, &EvalConfig::trials(3));
     let achieved_rms = outcome.summary().unwrap().rmse;
     let mut bounds = Vec::new();

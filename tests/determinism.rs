@@ -17,10 +17,12 @@ fn scenario() -> Scenario {
 }
 
 fn algo() -> BnlLocalizer {
-    BnlLocalizer::particle(100)
-        .with_prior(PriorModel::DropPoint { sigma: 50.0 })
-        .with_max_iterations(5)
-        .with_tolerance(0.0)
+    BnlLocalizer::builder(Backend::particle(100).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 50.0 })
+        .max_iterations(5)
+        .tolerance(0.0)
+        .try_build()
+        .expect("valid config")
 }
 
 #[test]
@@ -86,9 +88,11 @@ fn grid_bp_is_bit_identical_across_pool_sizes() {
     // bit-identical from 1 thread to many.
     let s = scenario();
     let (net, _) = s.build_trial(1);
-    let g = BnlLocalizer::grid(25)
-        .with_prior(PriorModel::DropPoint { sigma: 50.0 })
-        .with_max_iterations(4);
+    let g = BnlLocalizer::builder(Backend::grid(25).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 50.0 })
+        .max_iterations(4)
+        .try_build()
+        .expect("valid config");
     let run = |threads| {
         rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
@@ -148,9 +152,11 @@ fn different_seeds_give_different_results() {
 fn grid_backend_is_deterministic() {
     let s = scenario();
     let (net, _) = s.build_trial(0);
-    let g = BnlLocalizer::grid(25)
-        .with_prior(PriorModel::DropPoint { sigma: 50.0 })
-        .with_max_iterations(4);
+    let g = BnlLocalizer::builder(Backend::grid(25).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 50.0 })
+        .max_iterations(4)
+        .try_build()
+        .expect("valid config");
     // Grid BP has no internal randomness at all: even different seeds agree.
     let a = g.localize(&net, 1);
     let b = g.localize(&net, 2);

@@ -19,11 +19,19 @@ fn f4_style_scenario() -> Scenario {
     }
 }
 
-fn grid_builder(resolution: usize) -> BnlLocalizerBuilder {
-    BnlLocalizer::builder(Backend::Grid { resolution })
+fn grid_opts(resolution: usize) -> GridOptions {
+    GridOptions::new(resolution).expect("valid grid resolution")
+}
+
+fn grid_builder_with(opts: GridOptions) -> BnlLocalizerBuilder {
+    BnlLocalizer::builder(Backend::Grid(opts))
         .prior(PriorModel::DropPoint { sigma: 35.0 })
         .max_iterations(8)
         .tolerance(1.0)
+}
+
+fn grid_builder(resolution: usize) -> BnlLocalizerBuilder {
+    grid_builder_with(grid_opts(resolution))
 }
 
 fn rmse(result: &LocalizationResult, truth: &GroundTruth, net: &Network) -> f64 {
@@ -45,8 +53,7 @@ fn f32_rmse_drift_is_negligible_vs_f64_dense() {
         .try_build()
         .expect("valid f64 configuration")
         .localize(&net, 0);
-    let f32_run = grid_builder(40)
-        .grid_precision(GridPrecision::F32)
+    let f32_run = grid_builder_with(grid_opts(40).precision(GridPrecision::F32))
         .try_build()
         .expect("valid f32 configuration")
         .localize(&net, 0);
@@ -74,11 +81,14 @@ fn coarse_to_fine_rmse_stays_within_a_cell_of_dense() {
         .try_build()
         .expect("valid dense configuration")
         .localize(&net, 0);
-    let refined = grid_builder(40)
-        .grid_refine(CoarseToFine::default())
-        .try_build()
-        .expect("valid refined configuration")
-        .localize(&net, 0);
+    let refined = grid_builder_with(
+        grid_opts(40)
+            .refine(CoarseToFine::default())
+            .expect("default schedule is valid"),
+    )
+    .try_build()
+    .expect("valid refined configuration")
+    .localize(&net, 0);
     let (rd, rr) = (rmse(&dense, &truth, &net), rmse(&refined, &truth, &net));
     let cell = 400.0 / 40.0;
     assert!(
@@ -96,12 +106,15 @@ fn combined_f32_and_refinement_track_dense() {
         .try_build()
         .expect("valid dense configuration")
         .localize(&net, 0);
-    let fast = grid_builder(40)
-        .grid_precision(GridPrecision::F32)
-        .grid_refine(CoarseToFine::default())
-        .try_build()
-        .expect("valid combined configuration")
-        .localize(&net, 0);
+    let fast = grid_builder_with(
+        grid_opts(40)
+            .precision(GridPrecision::F32)
+            .refine(CoarseToFine::default())
+            .expect("default schedule is valid"),
+    )
+    .try_build()
+    .expect("valid combined configuration")
+    .localize(&net, 0);
     let (rd, rf) = (rmse(&dense, &truth, &net), rmse(&fast, &truth, &net));
     assert!(
         (rd - rf).abs() < 400.0 / 40.0,
@@ -109,34 +122,26 @@ fn combined_f32_and_refinement_track_dense() {
     );
 }
 
-/// The knobs are grid-only and parameter-validated: typed errors, not
-/// silent acceptance.
+/// The knobs are grid-only *by type* — they live on [`GridOptions`], so
+/// attaching them to another backend no longer even compiles — and their
+/// parameters are validated where the options are constructed.
 #[test]
-fn mode_knobs_are_validated_at_build_time() {
-    // f32 on a non-grid backend is rejected.
-    assert!(BnlLocalizer::builder(Backend::Particle { particles: 100 })
-        .grid_precision(GridPrecision::F32)
-        .try_build()
-        .is_err());
-    // Refinement on a non-grid backend is rejected.
-    assert!(BnlLocalizer::builder(Backend::Gaussian)
-        .grid_refine(CoarseToFine::default())
-        .try_build()
-        .is_err());
-    // Degenerate schedule parameters are rejected on the grid backend.
-    assert!(grid_builder(40)
-        .grid_refine(CoarseToFine {
+fn mode_knobs_are_validated_at_construction_time() {
+    // Degenerate resolutions are rejected before a backend exists.
+    assert!(Backend::grid(0).is_err());
+    assert!(Backend::grid(1).is_err());
+    // Degenerate schedule parameters are rejected when attached.
+    assert!(grid_opts(40)
+        .refine(CoarseToFine {
             factor: 1,
             ..CoarseToFine::default()
         })
-        .try_build()
         .is_err());
-    assert!(grid_builder(40)
-        .grid_refine(CoarseToFine {
+    assert!(grid_opts(40)
+        .refine(CoarseToFine {
             concentration: 1.5,
             ..CoarseToFine::default()
         })
-        .try_build()
         .is_err());
     // The default f64 dense configuration stays valid.
     assert!(grid_builder(40).try_build().is_ok());

@@ -25,7 +25,7 @@ fn scenario() -> Scenario {
 }
 
 fn algo() -> BnlLocalizer {
-    BnlLocalizer::builder(Backend::Particle { particles: 80 })
+    BnlLocalizer::builder(Backend::particle(80).expect("valid backend"))
         .prior(PriorModel::DropPoint { sigma: 50.0 })
         .max_iterations(4)
         .tolerance(0.0) // full trajectory: every iteration reports
@@ -111,21 +111,19 @@ fn null_observer_does_no_trace_accounting() {
 
 #[test]
 fn builder_rejects_invalid_configuration_before_any_run() {
-    assert!(BnlLocalizer::builder(Backend::Particle { particles: 0 })
-        .try_build()
-        .is_err());
-    assert!(BnlLocalizer::builder(Backend::Grid { resolution: 1 })
-        .try_build()
-        .is_err());
-    assert!(BnlLocalizer::builder(Backend::Gaussian)
+    // Backend options fail at their own constructors…
+    assert!(Backend::particle(0).is_err());
+    assert!(Backend::grid(1).is_err());
+    // …and builder-level knobs fail at try_build.
+    assert!(BnlLocalizer::builder(Backend::gaussian())
         .tolerance(f64::NAN)
         .try_build()
         .is_err());
-    assert!(BnlLocalizer::builder(Backend::Gaussian)
+    assert!(BnlLocalizer::builder(Backend::gaussian())
         .damping(1.0)
         .try_build()
         .is_err());
-    let err = BnlLocalizer::builder(Backend::Particle { particles: 50 })
+    let err = BnlLocalizer::builder(Backend::particle(50).expect("valid backend"))
         .max_iterations(0)
         .try_build()
         .expect_err("zero iterations must not validate");
@@ -138,7 +136,7 @@ fn map_fallback_is_a_structured_event() {
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let (net, _) = scenario().build_trial(2);
-    let algo = BnlLocalizer::builder(Backend::Gaussian)
+    let algo = BnlLocalizer::builder(Backend::gaussian())
         .prior(PriorModel::DropPoint { sigma: 50.0 })
         .max_iterations(3)
         .estimator(Estimator::Map)

@@ -19,10 +19,12 @@ fn small_scenario() -> Scenario {
 #[test]
 fn scenario_to_metrics_pipeline() {
     let scenario = small_scenario();
-    let algo = BnlLocalizer::particle(80)
-        .with_prior(PriorModel::DropPoint { sigma: 50.0 })
-        .with_max_iterations(5)
-        .with_tolerance(2.0);
+    let algo = BnlLocalizer::builder(Backend::particle(80).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 50.0 })
+        .max_iterations(5)
+        .tolerance(2.0)
+        .try_build()
+        .expect("valid config");
     let outcome = evaluate(&algo, &scenario, &EvalConfig::trials(2));
     assert_eq!(outcome.trials, 2);
     assert!(outcome.coverage > 0.99, "coverage {}", outcome.coverage);

@@ -6,23 +6,27 @@ use wsnloc_baselines::{Centroid, DvHop, MdsMap, MinMax, Multilateration, Weighte
 use wsnloc_geom::Shape;
 use wsnloc_net::{Measurement, Network, NodeKind};
 
+fn build(builder: BnlLocalizerBuilder) -> BnlLocalizer {
+    builder.try_build().expect("valid config")
+}
+
 fn all_algorithms() -> Vec<Box<dyn Localizer>> {
     vec![
-        Box::new(
-            BnlLocalizer::particle(60)
-                .with_max_iterations(3)
-                .with_tolerance(1.0),
-        ),
-        Box::new(
-            BnlLocalizer::grid(15)
-                .with_max_iterations(3)
-                .with_tolerance(1.0),
-        ),
-        Box::new(
-            BnlLocalizer::gaussian()
-                .with_max_iterations(5)
-                .with_tolerance(1.0),
-        ),
+        Box::new(build(
+            BnlLocalizer::builder(Backend::particle(60).expect("valid backend"))
+                .max_iterations(3)
+                .tolerance(1.0),
+        )),
+        Box::new(build(
+            BnlLocalizer::builder(Backend::grid(15).expect("valid backend"))
+                .max_iterations(3)
+                .tolerance(1.0),
+        )),
+        Box::new(build(
+            BnlLocalizer::builder(Backend::gaussian())
+                .max_iterations(5)
+                .tolerance(1.0),
+        )),
         Box::new(Centroid),
         Box::new(WeightedCentroid),
         Box::new(MinMax),
@@ -192,20 +196,20 @@ fn faulted_world(seed: u64) -> (Network, wsnloc_net::GroundTruth) {
     s.build_trial(0)
 }
 
-fn bnl_backends() -> Vec<BnlLocalizer> {
+fn bnl_backends() -> Vec<BnlLocalizerBuilder> {
     vec![
-        BnlLocalizer::particle(80)
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(4)
-            .with_tolerance(1.0),
-        BnlLocalizer::grid(18)
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(4)
-            .with_tolerance(1.0),
-        BnlLocalizer::gaussian()
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(6)
-            .with_tolerance(1.0),
+        BnlLocalizer::builder(Backend::particle(80).expect("valid backend"))
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(4)
+            .tolerance(1.0),
+        BnlLocalizer::builder(Backend::grid(18).expect("valid backend"))
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(4)
+            .tolerance(1.0),
+        BnlLocalizer::builder(Backend::gaussian())
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(6)
+            .tolerance(1.0),
     ]
 }
 
@@ -214,12 +218,10 @@ fn fault_free_plan_is_bit_identical() {
     // FaultPlan::none() must compile down to the exact fault-free code
     // path — bit-identical estimates on every backend.
     let (net, _) = faulted_world(21);
-    for loc in bnl_backends() {
+    for builder in bnl_backends() {
+        let loc = build(builder.clone());
         let clean = loc.localize(&net, 7);
-        let planned = loc
-            .clone()
-            .with_fault_plan(FaultPlan::none())
-            .localize(&net, 7);
+        let planned = build(builder.fault_plan(FaultPlan::none())).localize(&net, 7);
         assert_eq!(clean.estimates, planned.estimates, "{}", loc.name());
         assert_eq!(clean.uncertainty, planned.uncertainty, "{}", loc.name());
     }
@@ -232,11 +234,9 @@ fn total_blackout_keeps_beliefs_finite() {
     // back to the (prior × anchor) information each node holds locally.
     let (net, _) = faulted_world(22);
     let bounds = net.field_bounds();
-    for loc in bnl_backends() {
-        let r = loc
-            .clone()
-            .with_fault_plan(FaultPlan::iid_loss(3, 1.0))
-            .localize(&net, 0);
+    for builder in bnl_backends() {
+        let loc = build(builder.fault_plan(FaultPlan::iid_loss(3, 1.0)));
+        let r = loc.localize(&net, 0);
         for id in net.unknowns() {
             let est = r.estimates[id].expect("blackout estimate");
             assert!(est.is_finite(), "{} non-finite under blackout", loc.name());
@@ -279,8 +279,9 @@ fn dead_anchor_network_still_localizes_in_field() {
     let plan = FaultPlan::iid_loss(5, 0.2).with_deaths(DeathModel::Explicit(deaths));
     let bounds = net.field_bounds();
     let margin = 0.25 * bounds.width().max(bounds.height());
-    for loc in bnl_backends() {
-        let r = loc.clone().with_fault_plan(plan.clone()).localize(&net, 0);
+    for builder in bnl_backends() {
+        let loc = build(builder.fault_plan(plan.clone()));
+        let r = loc.localize(&net, 0);
         for id in net.unknowns() {
             let est = r.estimates[id].expect("estimate despite dead anchor");
             assert!(est.is_finite(), "{}", loc.name());
@@ -304,21 +305,23 @@ fn decay_to_prior_with_unit_decay_matches_hold_last() {
     // HoldLast on every backend — the gaussian arm included.
     let (net, _) = faulted_world(24);
     let lossy = FaultPlan::iid_loss(11, 0.4);
-    for loc in bnl_backends() {
-        let hold = loc
-            .clone()
-            .with_fault_plan(lossy.clone().with_drop_policy(DropPolicy::HoldLast))
-            .localize(&net, 3);
-        let unit = loc
-            .clone()
-            .with_fault_plan(
+    for builder in bnl_backends() {
+        let hold_loc = build(
+            builder
+                .clone()
+                .fault_plan(lossy.clone().with_drop_policy(DropPolicy::HoldLast)),
+        );
+        let hold = hold_loc.localize(&net, 3);
+        let unit = build(
+            builder.fault_plan(
                 lossy
                     .clone()
                     .with_drop_policy(DropPolicy::DecayToPrior { decay: 1.0 }),
-            )
-            .localize(&net, 3);
-        assert_eq!(hold.estimates, unit.estimates, "{}", loc.name());
-        assert_eq!(hold.uncertainty, unit.uncertainty, "{}", loc.name());
+            ),
+        )
+        .localize(&net, 3);
+        assert_eq!(hold.estimates, unit.estimates, "{}", hold_loc.name());
+        assert_eq!(hold.uncertainty, unit.uncertainty, "{}", hold_loc.name());
     }
 }
 
@@ -330,22 +333,22 @@ fn gaussian_decay_to_prior_scales_held_information() {
     // finite and inside sane uncertainty bounds.
     let (net, _) = faulted_world(25);
     let gaussian = || {
-        BnlLocalizer::gaussian()
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_max_iterations(6)
-            .with_tolerance(0.0)
+        BnlLocalizer::builder(Backend::gaussian())
+            .prior(PriorModel::DropPoint { sigma: 40.0 })
+            .max_iterations(6)
+            .tolerance(0.0)
     };
     let lossy = FaultPlan::iid_loss(13, 0.5);
-    let hold = gaussian()
-        .with_fault_plan(lossy.clone().with_drop_policy(DropPolicy::HoldLast))
+    let hold = build(gaussian().fault_plan(lossy.clone().with_drop_policy(DropPolicy::HoldLast)))
         .localize(&net, 0);
-    let decayed = gaussian()
-        .with_fault_plan(
+    let decayed = build(
+        gaussian().fault_plan(
             lossy
                 .clone()
                 .with_drop_policy(DropPolicy::DecayToPrior { decay: 0.05 }),
-        )
-        .localize(&net, 0);
+        ),
+    )
+    .localize(&net, 0);
     assert_ne!(
         hold.estimates, decayed.estimates,
         "alpha-scaling never engaged: no link aged under 50% loss?"
@@ -374,15 +377,18 @@ fn stale_event_counts_match_transport_deliveries_exactly() {
         .sum();
     assert!(active_links > 0, "degenerate fixture");
     let plan = FaultPlan::none().with_stale_prob(1.0);
-    for loc in [
-        BnlLocalizer::particle(80).with_max_iterations(4),
-        BnlLocalizer::grid(18).with_max_iterations(4),
-        BnlLocalizer::gaussian().with_max_iterations(4),
+    for backend in [
+        Backend::particle(80).expect("valid backend"),
+        Backend::grid(18).expect("valid backend"),
+        Backend::gaussian(),
     ] {
-        let loc = loc
-            .with_prior(PriorModel::DropPoint { sigma: 40.0 })
-            .with_tolerance(0.0) // run all iterations: no early convergence
-            .with_fault_plan(plan.clone());
+        let loc = build(
+            BnlLocalizer::builder(backend)
+                .max_iterations(4)
+                .prior(PriorModel::DropPoint { sigma: 40.0 })
+                .tolerance(0.0) // run all iterations: no early convergence
+                .fault_plan(plan.clone()),
+        );
         let tracer = TraceObserver::new();
         let result = loc.localize_with_observer(&net, 5, &tracer);
         let run = tracer.last_run().expect("one recorded run");

@@ -32,10 +32,12 @@ fn tenant_seed(tenant: u64, epoch: u64) -> u64 {
 }
 
 fn localizer() -> BnlLocalizer {
-    BnlLocalizer::particle(60)
-        .with_prior(PriorModel::DropPoint { sigma: 50.0 })
-        .with_max_iterations(2)
-        .with_tolerance(0.0)
+    BnlLocalizer::builder(Backend::particle(60).expect("valid backend"))
+        .prior(PriorModel::DropPoint { sigma: 50.0 })
+        .max_iterations(2)
+        .tolerance(0.0)
+        .try_build()
+        .expect("valid config")
 }
 
 fn session_config() -> SessionConfig {
