@@ -69,8 +69,8 @@ use crate::validate::ValidationError;
 use rayon::prelude::*;
 use wsnloc_geom::{ShardLayout, Vec2};
 use wsnloc_obs::{
-    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, RunInfo, RunSummary,
-    SpanKind, Stopwatch,
+    CommStats, InferenceObserver, IterationRecord, NodeResidual, NullObserver, ObsEvent, RunInfo,
+    RunSummary, SpanKind, Stopwatch,
 };
 
 /// Belief-level staleness tempering, `belief^alpha` in the appropriate
@@ -555,8 +555,9 @@ where
             match session.as_mut() {
                 Some(sess) => {
                     sess.begin_iteration(round, &global, obs);
-                    for (sg, st) in subs.iter().zip(states.iter_mut()) {
+                    for (si, (sg, st)) in subs.iter().zip(states.iter_mut()).enumerate() {
                         if let Some(state) = st.as_mut() {
+                            let mut delivered: u64 = 0;
                             for &(l, _, be, riv) in &sg.routed {
                                 if let Verdict::Deliver { alpha } = sess.verdict(be, riv) {
                                     if let Some(content) = sess.snapshot(be, riv) {
@@ -566,17 +567,23 @@ where
                                             content.clone()
                                         };
                                         pending_boundary += 1;
+                                        delivered += 1;
                                     }
                                 }
                             }
                             for &(l, g) in &sg.ambient {
                                 state[l] = global[g].clone();
                             }
+                            obs.on_event(&ObsEvent::BoundaryExchange {
+                                round,
+                                shard: occupied[si],
+                                messages: delivered,
+                            });
                         }
                     }
                 }
                 None => {
-                    for (sg, st) in subs.iter().zip(states.iter_mut()) {
+                    for (si, (sg, st)) in subs.iter().zip(states.iter_mut()).enumerate() {
                         if let Some(state) = st.as_mut() {
                             for &(l, g, _, _) in &sg.routed {
                                 state[l] = global[g].clone();
@@ -584,6 +591,11 @@ where
                             for &(l, g) in &sg.ambient {
                                 state[l] = global[g].clone();
                             }
+                            obs.on_event(&ObsEvent::BoundaryExchange {
+                                round,
+                                shard: occupied[si],
+                                messages: sg.routed.len() as u64,
+                            });
                         }
                     }
                 }

@@ -378,6 +378,9 @@ fn scale_bench_json_for(samples: usize, node_counts: &[usize], mode: &str) -> St
 pub const STREAM_TENANTS: usize = 64;
 /// Per-epoch BP iteration budget of the pinned streaming scenario.
 pub const STREAM_ITERATIONS: usize = 2;
+/// Ticks of the deterministic overload phase (capacity = half the
+/// tenants), whose admitted/shed epoch counts are pinned exactly.
+pub const OVERLOAD_TICKS: usize = 4;
 
 /// Runs the streaming-engine bench and returns the `BENCH_stream.json`
 /// contents: one engine hosting 64 tenant sessions (30-node networks,
@@ -423,15 +426,52 @@ pub fn stream_bench_json(samples: usize) -> String {
         engine.submit(*id, MeasurementEpoch::new(networks[u].clone(), 0));
     }
     let warmed = engine.tick().len();
+    // Per-sample tick latencies (not just the median) so the pinned
+    // file also carries a tail figure: `p99_tick_secs` is what the live
+    // `/metrics` endpoint reports as the windowed tick-latency p99.
     let mut epoch_seed = 1u64;
-    let tick_secs = median_secs(samples, || {
-        for (u, id) in ids.iter().enumerate() {
-            engine.submit(*id, MeasurementEpoch::new(networks[u].clone(), epoch_seed));
-        }
-        epoch_seed += 1;
-        engine.tick();
-    });
+    let mut tick_samples: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            for (u, id) in ids.iter().enumerate() {
+                engine.submit(*id, MeasurementEpoch::new(networks[u].clone(), epoch_seed));
+            }
+            epoch_seed += 1;
+            let start = Stopwatch::start();
+            engine.tick();
+            start.elapsed_secs()
+        })
+        .collect();
+    tick_samples.sort_by(f64::total_cmp);
+    let tick_secs = tick_samples[tick_samples.len() / 2];
+    let p99_tick_secs = wsnloc_geom::stats::quantile_sorted(&tick_samples, 0.99);
     let epoch_secs = tick_secs / STREAM_TENANTS as f64;
+
+    // Overload phase: a second engine admits only half the tenants per
+    // tick. Admission is deterministic round-robin, so the pinned
+    // admitted/shed counts are exact-match fields for `bench --check` —
+    // a scheduler change that alters shedding shape fails the gate.
+    let mut overloaded = StreamingEngine::new(EngineConfig {
+        capacity_per_tick: STREAM_TENANTS / 2,
+        shed_policy: wsnloc_net::DropPolicy::DecayToPrior { decay: 0.5 },
+    });
+    let over_ids: Vec<_> = (0..STREAM_TENANTS)
+        .map(|_| overloaded.open_session(session_cfg.clone()))
+        .collect();
+    let mut admitted_epochs = 0u64;
+    let mut shed_epochs = 0u64;
+    for epoch in 0..OVERLOAD_TICKS as u64 {
+        for (u, id) in over_ids.iter().enumerate() {
+            overloaded.submit(*id, MeasurementEpoch::new(networks[u].clone(), epoch));
+        }
+        for update in overloaded.tick() {
+            if update.degraded {
+                shed_epochs += 1;
+            } else {
+                admitted_epochs += 1;
+            }
+        }
+    }
+
     format!(
         concat!(
             "{{\n",
@@ -444,7 +484,12 @@ pub fn stream_bench_json(samples: usize) -> String {
             "  \"samples\": {samples},\n",
             "  \"warmed\": {warmed},\n",
             "  \"tick_secs\": {tick:.6},\n",
-            "  \"epoch_secs\": {epoch:.6}\n",
+            "  \"p99_tick_secs\": {p99:.6},\n",
+            "  \"epoch_secs\": {epoch:.6},\n",
+            "  \"overload_ticks\": {overload_ticks},\n",
+            "  \"overload_capacity\": {capacity},\n",
+            "  \"admitted_epochs\": {admitted},\n",
+            "  \"shed_epochs\": {shed}\n",
             "}}\n"
         ),
         tenants = STREAM_TENANTS,
@@ -454,7 +499,12 @@ pub fn stream_bench_json(samples: usize) -> String {
         samples = samples.max(1),
         warmed = warmed,
         tick = tick_secs,
+        p99 = p99_tick_secs,
         epoch = epoch_secs,
+        overload_ticks = OVERLOAD_TICKS,
+        capacity = STREAM_TENANTS / 2,
+        admitted = admitted_epochs,
+        shed = shed_epochs,
     )
 }
 

@@ -34,12 +34,16 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 use wsnloc::prelude::*;
-use wsnloc_eval::{bench, evaluate, experiments, EvalConfig, ExpConfig, Parallelism};
-use wsnloc_obs::write_jsonl;
+use wsnloc_eval::{bench, evaluate, experiments, top, EvalConfig, ExpConfig, Parallelism};
+use wsnloc_obs::{
+    write_jsonl, MetricsRegistry, Stopwatch, TelemetryHub, TelemetryServer, WindowedMetrics,
+};
 
 fn usage() -> &'static str {
-    "usage: repro <list | trace | analyze [FILE] | bench [--check] [--scale] | audit-determinism | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--tolerance R] [--out DIR]"
+    "usage: repro <list | trace | analyze [FILE] [--follow] | top ADDR | bench [--check] [--scale] | audit-determinism | all | ids...> [--trials N] [--particles N] [--iterations N] [--backend particle|grid|gaussian] [--quick] [--tolerance R] [--out DIR] [--telemetry ADDR] [--telemetry-linger SECS] [--interval SECS] [--once] [--idle-timeout SECS]"
 }
 
 fn main() -> ExitCode {
@@ -55,12 +59,52 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut scale = false;
     let mut tolerance = 1.5f64;
+    let mut telemetry_addr: Option<String> = None;
+    let mut linger = 0.0f64;
+    let mut interval = 2.0f64;
+    let mut once = false;
+    let mut follow = false;
+    let mut idle_timeout = 5.0f64;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--check" => check = true,
             "--scale" => scale = true,
+            "--once" => once = true,
+            "--follow" => follow = true,
+            "--telemetry" => {
+                i += 1;
+                telemetry_addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--telemetry needs host:port")),
+                );
+            }
+            "--telemetry-linger" => {
+                i += 1;
+                linger = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .unwrap_or_else(|| die("--telemetry-linger needs seconds"));
+            }
+            "--interval" => {
+                i += 1;
+                interval = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| die("--interval needs positive seconds"));
+            }
+            "--idle-timeout" => {
+                i += 1;
+                idle_timeout = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .unwrap_or_else(|| die("--idle-timeout needs positive seconds"));
+            }
             "--tolerance" => {
                 i += 1;
                 tolerance = args
@@ -125,10 +169,22 @@ fn main() -> ExitCode {
         return run_trace(&cfg, &backend, out_dir.as_deref());
     }
 
+    if let Some(pos) = ids.iter().position(|id| id == "top") {
+        let Some(addr) = ids.get(pos + 1).cloned().or(telemetry_addr) else {
+            eprintln!("top needs a telemetry address (repro top HOST:PORT)");
+            return ExitCode::FAILURE;
+        };
+        let refreshes = if once { 1 } else { cfg.iterations.max(1) };
+        return run_top(&addr, interval, refreshes);
+    }
+
     if let Some(pos) = ids.iter().position(|id| id == "analyze") {
         let path = ids
             .get(pos + 1)
             .map_or_else(|| PathBuf::from("trace.jsonl"), PathBuf::from);
+        if follow {
+            return run_analyze_follow(&path, interval.min(1.0), idle_timeout, out_dir.as_deref());
+        }
         return run_analyze(&path, out_dir.as_deref());
     }
 
@@ -157,8 +213,33 @@ fn main() -> ExitCode {
         "config: trials={} particles={} iterations={} quick={}",
         cfg.trials, cfg.particles, cfg.iterations, cfg.quick
     );
+
+    // With --telemetry, experiments that support live publication (the
+    // streaming service) share one hub whose scrape endpoint outlives the
+    // individual engines; `--telemetry-linger` keeps it up after the last
+    // report so external scrapers can catch the final window.
+    let mut server: Option<TelemetryServer> = None;
+    let hub = telemetry_addr.as_deref().map(|addr| {
+        let hub = TelemetryHub::new(
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(WindowedMetrics::new(64)),
+        );
+        match TelemetryServer::start(addr, hub.clone()) {
+            Ok(srv) => {
+                eprintln!("telemetry listening on {}", srv.local_addr());
+                server = Some(srv);
+            }
+            Err(e) => die(&format!("failed to bind telemetry on {addr}: {e}")),
+        }
+        hub
+    });
+
     for id in &selected {
-        let Some(reports) = experiments::by_id(id, &cfg) else {
+        let reports = match (id.as_str(), &hub) {
+            ("f16", Some(hub)) => Some(experiments::f16_streaming::run_with_telemetry(&cfg, hub)),
+            _ => experiments::by_id(id, &cfg),
+        };
+        let Some(reports) = reports else {
             eprintln!("unknown experiment id: {id} (try `repro list`)");
             return ExitCode::FAILURE;
         };
@@ -171,6 +252,14 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    if let Some(mut srv) = server {
+        if linger > 0.0 {
+            eprintln!("telemetry lingering for {linger}s on {}", srv.local_addr());
+            std::thread::sleep(Duration::from_secs_f64(linger));
+        }
+        srv.shutdown();
+        eprintln!("telemetry stopped");
     }
     ExitCode::SUCCESS
 }
@@ -302,6 +391,103 @@ fn run_trace(cfg: &ExpConfig, backend: &str, out_dir: Option<&std::path::Path>) 
     ExitCode::SUCCESS
 }
 
+/// Live terminal view of a running telemetry endpoint: polls `/metrics`,
+/// `/healthz`, and `/tenants` every `interval` seconds and redraws the
+/// rollup, `refreshes` times (`--once` sets 1; `--iterations N` sets N).
+fn run_top(addr: &str, interval: f64, refreshes: usize) -> ExitCode {
+    for refresh in 0..refreshes {
+        let scraped = top::http_get(addr, "/metrics").and_then(|metrics| {
+            let healthz = top::http_get(addr, "/healthz")?;
+            let tenants = top::http_get(addr, "/tenants")?;
+            Ok((metrics, healthz, tenants))
+        });
+        match scraped {
+            Ok((metrics, healthz, tenants)) => {
+                if refreshes > 1 {
+                    // Clear the screen and home the cursor between redraws.
+                    print!("\x1b[2J\x1b[H");
+                }
+                print!("{}", top::render_top(&metrics, &healthz, &tenants));
+                println!("  [{addr}  refresh {}/{refreshes}]", refresh + 1);
+            }
+            Err(e) => {
+                eprintln!("scrape of {addr} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if refresh + 1 < refreshes {
+            std::thread::sleep(Duration::from_secs_f64(interval));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Tails a growing `trace.jsonl`: polls for appended complete lines,
+/// reports progress as runs land, and prints the full analysis tables
+/// once the file has been idle for `idle_timeout` seconds.
+fn run_analyze_follow(
+    path: &std::path::Path,
+    poll: f64,
+    idle_timeout: f64,
+    out_dir: Option<&std::path::Path>,
+) -> ExitCode {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    eprintln!(
+        "following {} (idle timeout {idle_timeout}s)...",
+        path.display()
+    );
+    let mut buffered = String::new();
+    let mut complete_len = 0usize; // prefix of `buffered` ending in '\n'
+    let mut offset = 0u64;
+    let mut reported_runs = 0usize;
+    let mut idle = Stopwatch::start();
+    loop {
+        let mut grew = false;
+        if let Ok(mut file) = std::fs::File::open(path) {
+            let len = file.metadata().map_or(0, |m| m.len());
+            if len < offset {
+                // Truncated/rewritten upstream: start over.
+                eprintln!("{} shrank; restarting tail", path.display());
+                buffered.clear();
+                complete_len = 0;
+                offset = 0;
+            }
+            if len > offset && file.seek(SeekFrom::Start(offset)).is_ok() {
+                let mut chunk = String::new();
+                if file.read_to_string(&mut chunk).is_ok() && !chunk.is_empty() {
+                    offset += chunk.len() as u64;
+                    buffered.push_str(&chunk);
+                    if let Some(nl) = buffered.rfind('\n') {
+                        complete_len = nl + 1;
+                    }
+                    grew = true;
+                }
+            }
+        }
+        if grew {
+            idle = Stopwatch::start();
+            let runs = buffered[..complete_len]
+                .lines()
+                .filter(|l| l.contains("\"run_end\""))
+                .count();
+            if runs > reported_runs {
+                reported_runs = runs;
+                let lines = buffered[..complete_len].lines().count();
+                eprintln!("  {runs} runs complete ({lines} lines)");
+            }
+        } else if idle.elapsed_secs() >= idle_timeout {
+            break;
+        }
+        std::thread::sleep(Duration::from_secs_f64(poll));
+    }
+    if complete_len == 0 {
+        eprintln!("no complete trace lines appeared in {}", path.display());
+        return ExitCode::FAILURE;
+    }
+    buffered.truncate(complete_len);
+    analyze_text(&buffered, path, out_dir)
+}
+
 /// Replays a recorded `trace.jsonl` through the live analytics path and
 /// prints convergence, fault, and span tables. With `--out DIR`, also
 /// writes the OpenMetrics rendering to `DIR/metrics.prom`.
@@ -313,7 +499,13 @@ fn run_analyze(path: &std::path::Path, out_dir: Option<&std::path::Path>) -> Exi
             return ExitCode::FAILURE;
         }
     };
-    let analysis = match wsnloc_obs::analyze_str(&text) {
+    analyze_text(&text, path, out_dir)
+}
+
+/// The shared tail of `analyze` and `analyze --follow`: parse, print
+/// tables, optionally export the OpenMetrics rendering.
+fn analyze_text(text: &str, path: &std::path::Path, out_dir: Option<&std::path::Path>) -> ExitCode {
+    let analysis = match wsnloc_obs::analyze_str(text) {
         Ok(analysis) => analysis,
         Err(e) => {
             eprintln!("failed to parse {}: {e}", path.display());

@@ -25,6 +25,7 @@ use wsnloc::prelude::*;
 use wsnloc_geom::stats;
 use wsnloc_geom::{Aabb, Shape};
 use wsnloc_net::mobility::{MobileWorld, RandomWaypoint};
+use wsnloc_obs::TelemetryHub;
 use wsnloc_serve::{EngineConfig, MeasurementEpoch, SessionConfig, StreamingEngine};
 
 /// Node speed (m/s) for every tenant's mobility model.
@@ -62,6 +63,56 @@ fn session_config(cfg: &ExpConfig) -> SessionConfig {
     SessionConfig::new(session_localizer(cfg)).with_motion(MotionModel::random_walk(SPEED * 1.5))
 }
 
+/// Per-tenant session config for telemetry runs: tenant 0 solves with
+/// sharded BP (same budget) so the live `/metrics` endpoint carries
+/// per-shard boundary-exchange series alongside the per-tenant ones.
+fn telemetry_session_config(cfg: &ExpConfig, tenant: usize) -> SessionConfig {
+    if tenant == 0 {
+        let sharded = built(
+            BnlLocalizer::builder(particles(cfg.particles))
+                .max_iterations(3)
+                .tolerance(0.0)
+                .shards(ShardPlan::target_nodes(20).expect("valid shard plan")),
+        );
+        SessionConfig::new(sharded).with_motion(MotionModel::random_walk(SPEED * 1.5))
+    } else {
+        session_config(cfg)
+    }
+}
+
+/// Builds a report engine, publishing into `hub` when telemetry is on.
+fn engine_for(config: EngineConfig, hub: Option<&TelemetryHub>) -> StreamingEngine {
+    match hub {
+        Some(h) => StreamingEngine::builder(config)
+            .hub(h.clone())
+            .build()
+            .unwrap_or_else(|_| unreachable!("no listener to bind")),
+        None => StreamingEngine::new(config),
+    }
+}
+
+/// Session config chooser shared by both reports.
+fn config_for(cfg: &ExpConfig, tenant: usize, telemetry: bool) -> SessionConfig {
+    if telemetry {
+        telemetry_session_config(cfg, tenant)
+    } else {
+        session_config(cfg)
+    }
+}
+
+/// World chooser: telemetry runs mark the initial placement as the
+/// deployment plan so the shard layout can spread tenant 0's mobile
+/// free nodes across tiles (otherwise they all collapse to the field
+/// center and no boundary traffic flows).
+fn world_for(tenant: u64, telemetry: bool) -> MobileWorld {
+    let world = mobile_world(tenant);
+    if telemetry {
+        world.with_deployment_plan()
+    } else {
+        world
+    }
+}
+
 fn node_errors(r: &LocalizationResult, truth: &GroundTruth, net: &Network) -> Vec<f64> {
     r.errors_for(truth, Some(net))
         .into_iter()
@@ -84,7 +135,7 @@ fn sizes(cfg: &ExpConfig) -> (usize, usize) {
 
 /// Per-tenant steady-state RMSE/R: streaming session vs equal-budget and
 /// full-budget memoryless re-localization.
-fn budget_report(cfg: &ExpConfig) -> Report {
+fn budget_report(cfg: &ExpConfig, hub: Option<&TelemetryHub>) -> Report {
     let (tenants, epochs) = sizes(cfg);
     let tight = session_localizer(cfg);
     let full = built(
@@ -93,11 +144,13 @@ fn budget_report(cfg: &ExpConfig) -> Report {
             .tolerance(RANGE * 0.02),
     );
 
-    let mut engine = StreamingEngine::new(EngineConfig::default());
+    let mut engine = engine_for(EngineConfig::default(), hub);
     let ids: Vec<_> = (0..tenants)
-        .map(|_| engine.open_session(session_config(cfg)))
+        .map(|u| engine.open_session(config_for(cfg, u, hub.is_some())))
         .collect();
-    let mut worlds: Vec<MobileWorld> = (0..tenants as u64).map(mobile_world).collect();
+    let mut worlds: Vec<MobileWorld> = (0..tenants as u64)
+        .map(|t| world_for(t, hub.is_some()))
+        .collect();
 
     let mut session_err = vec![Vec::new(); tenants];
     let mut tight_err = vec![Vec::new(); tenants];
@@ -157,21 +210,26 @@ fn budget_report(cfg: &ExpConfig) -> Report {
 
 /// Aggregate RMSE/R and shed counts as the per-tick solve capacity drops
 /// below the tenant count (decay-to-prior shed policy).
-fn overload_report(cfg: &ExpConfig) -> Report {
+fn overload_report(cfg: &ExpConfig, hub: Option<&TelemetryHub>) -> Report {
     let (tenants, epochs) = sizes(cfg);
     let mut caps: Vec<usize> = vec![0, tenants.saturating_sub(1).max(1), 1];
     caps.dedup();
     let mut labels = Vec::new();
     let mut data = Vec::new();
     for &cap in &caps {
-        let mut engine = StreamingEngine::new(EngineConfig {
-            capacity_per_tick: cap,
-            shed_policy: DropPolicy::DecayToPrior { decay: 0.5 },
-        });
+        let mut engine = engine_for(
+            EngineConfig {
+                capacity_per_tick: cap,
+                shed_policy: DropPolicy::DecayToPrior { decay: 0.5 },
+            },
+            hub,
+        );
         let ids: Vec<_> = (0..tenants)
-            .map(|_| engine.open_session(session_config(cfg)))
+            .map(|u| engine.open_session(config_for(cfg, u, hub.is_some())))
             .collect();
-        let mut worlds: Vec<MobileWorld> = (0..tenants as u64).map(mobile_world).collect();
+        let mut worlds: Vec<MobileWorld> = (0..tenants as u64)
+            .map(|t| world_for(t, hub.is_some()))
+            .collect();
         let mut errs = Vec::new();
         let mut solved = 0u64;
         let mut shed = 0u64;
@@ -219,5 +277,17 @@ fn overload_report(cfg: &ExpConfig) -> Report {
 
 /// Runs the streaming-service reports.
 pub fn run(cfg: &ExpConfig) -> Vec<Report> {
-    vec![budget_report(cfg), overload_report(cfg)]
+    vec![budget_report(cfg, None), overload_report(cfg, None)]
+}
+
+/// [`run`] with every engine publishing live telemetry into `hub` (the
+/// caller owns the [`TelemetryServer`](wsnloc_obs::TelemetryServer)
+/// scraping it). Tenant 0 solves with sharded BP so per-shard
+/// boundary-exchange series appear on `/metrics` alongside the
+/// per-tenant windowed series.
+pub fn run_with_telemetry(cfg: &ExpConfig, hub: &TelemetryHub) -> Vec<Report> {
+    vec![
+        budget_report(cfg, Some(hub)),
+        overload_report(cfg, Some(hub)),
+    ]
 }

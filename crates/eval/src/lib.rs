@@ -20,6 +20,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod runner;
 pub mod table;
+pub mod top;
 
 pub use audit::{audit_determinism, AuditConfig, AuditOutcome};
 pub use metrics::ErrorSummary;
@@ -28,6 +29,7 @@ pub use runner::{
     Parallelism, TraceAggregate,
 };
 pub use table::Report;
+pub use top::{http_get, parse_openmetrics, render_top, MetricSample};
 
 /// Knobs shared by every experiment. `Default` gives the paper-scale
 /// configuration; [`ExpConfig::quick`] is a smoke-test configuration used by

@@ -50,6 +50,9 @@ pub struct MobileWorld {
     states: Vec<WaypointState>,
     rng: Xoshiro256pp,
     time: f64,
+    /// When set, every snapshot carries this placement as the
+    /// pre-knowledge deployment plan (see [`Network::planned_position`]).
+    plan: Option<Vec<Vec2>>,
 }
 
 impl MobileWorld {
@@ -97,7 +100,20 @@ impl MobileWorld {
             states,
             rng: root.split(4),
             time: 0.0,
+            plan: None,
         }
+    }
+
+    /// Marks the initial placement as the deployment plan: every
+    /// snapshot then exposes it as per-node pre-knowledge
+    /// ([`Network::planned_position`]), the way a planned drop does for
+    /// static networks. Spatial planners (e.g. shard layouts) can then
+    /// place mobile free nodes near where they were deployed instead of
+    /// collapsing them to the field center.
+    #[must_use]
+    pub fn with_deployment_plan(mut self) -> Self {
+        self.plan = Some(self.positions.clone());
+        self
     }
 
     /// Current true positions (evaluation only).
@@ -164,7 +180,11 @@ impl MobileWorld {
         };
         // Fresh link/measurement randomness each step.
         let seed = self.rng.next_u64();
-        builder.build(seed).0
+        let net = builder.build(seed).0;
+        match &self.plan {
+            Some(plan) => net.with_planned(plan.iter().copied().map(Some).collect()),
+            None => net,
+        }
     }
 }
 
@@ -299,5 +319,27 @@ mod tests {
             total
         };
         assert!(travel(10.0) < travel(0.0));
+    }
+
+    #[test]
+    fn deployment_plan_is_initial_placement_and_stays_fixed() {
+        let mut w = world(77, 10.0).with_deployment_plan();
+        let initial = w.positions().to_vec();
+        let first = w.step();
+        let second = w.step();
+        for (id, &planned) in initial.iter().enumerate() {
+            // The plan is the t=0 placement on every snapshot, even
+            // after the nodes have moved away from it.
+            assert_eq!(first.planned_position(id), Some(planned));
+            assert_eq!(second.planned_position(id), Some(planned));
+        }
+        assert!(
+            (0..initial.len()).any(|id| w.positions()[id] != initial[id]),
+            "free nodes must have moved off the plan"
+        );
+        // Without the opt-in, snapshots carry no pre-knowledge.
+        let mut plain = world(77, 10.0);
+        let snap = plain.step();
+        assert!((0..initial.len()).all(|id| snap.planned_position(id).is_none()));
     }
 }

@@ -150,6 +150,16 @@ impl Network {
         self.planned[id]
     }
 
+    /// Replaces the pre-knowledge plan wholesale (one entry per node).
+    /// Used by generators that learn the plan outside the deployment
+    /// model, e.g. a mobile world whose plan is its initial placement.
+    #[must_use]
+    pub fn with_planned(mut self, planned: Vec<Option<Vec2>>) -> Self {
+        assert_eq!(planned.len(), self.planned.len(), "one plan entry per node");
+        self.planned = planned;
+        self
+    }
+
     /// The connectivity graph.
     pub fn topology(&self) -> &Topology {
         &self.topology

@@ -52,6 +52,12 @@ pub struct EventCounts {
     pub epoch_advances: u64,
     /// Streaming-tenant epochs shed under overload (coasted, no BP).
     pub tenants_shed: u64,
+    /// Correlation-context stamps (tenant/epoch/shard/round markers).
+    pub contexts: u64,
+    /// Sharded outer-round boundary exchanges (one per shard per round).
+    pub boundary_exchanges: u64,
+    /// Cross-shard belief messages delivered at boundary exchanges.
+    pub boundary_messages: u64,
     /// Free-form notes.
     pub notes: u64,
 }
@@ -163,6 +169,9 @@ impl MetricsSnapshot {
             e.discrete_queries += p.events.discrete_queries;
             e.epoch_advances += p.events.epoch_advances;
             e.tenants_shed += p.events.tenants_shed;
+            e.contexts += p.events.contexts;
+            e.boundary_exchanges += p.events.boundary_exchanges;
+            e.boundary_messages += p.events.boundary_messages;
             e.notes += p.events.notes;
             if out.per_iteration.len() < p.per_iteration.len() {
                 out.per_iteration
@@ -324,6 +333,9 @@ pub struct MetricsObserver {
     discrete_queries: Counter,
     epoch_advances: Counter,
     tenants_shed: Counter,
+    contexts: Counter,
+    boundary_exchanges: Counter,
+    boundary_messages: Counter,
     notes: Counter,
     iter_secs: Histogram,
     residual_hist: Histogram,
@@ -380,6 +392,18 @@ impl MetricsObserver {
             tenants_shed: c(
                 "wsnloc_stream_tenants_shed",
                 "streaming-tenant epochs shed under overload",
+            ),
+            contexts: c(
+                "wsnloc_context_stamps",
+                "correlation-context stamps (tenant/epoch/shard/round)",
+            ),
+            boundary_exchanges: c(
+                "wsnloc_shard_boundary_exchanges",
+                "sharded outer-round boundary exchanges",
+            ),
+            boundary_messages: c(
+                "wsnloc_shard_boundary_messages",
+                "cross-shard belief messages delivered at exchanges",
             ),
             notes: c("wsnloc_notes", "free-form observer notes"),
             iter_secs: registry.histogram(
@@ -438,6 +462,9 @@ impl MetricsObserver {
                 discrete_queries: self.discrete_queries.value(),
                 epoch_advances: self.epoch_advances.value(),
                 tenants_shed: self.tenants_shed.value(),
+                contexts: self.contexts.value(),
+                boundary_exchanges: self.boundary_exchanges.value(),
+                boundary_messages: self.boundary_messages.value(),
                 notes: self.notes.value(),
             },
             per_iteration,
@@ -493,6 +520,11 @@ impl InferenceObserver for MetricsObserver {
             ObsEvent::DiscreteQuery { .. } => self.discrete_queries.inc(),
             ObsEvent::EpochAdvanced { .. } => self.epoch_advances.inc(),
             ObsEvent::TenantShed { .. } => self.tenants_shed.inc(),
+            ObsEvent::Context { .. } => self.contexts.inc(),
+            ObsEvent::BoundaryExchange { messages, .. } => {
+                self.boundary_exchanges.inc();
+                self.boundary_messages.add(*messages);
+            }
             ObsEvent::Note { .. } => self.notes.inc(),
             ObsEvent::MessageDropped { iteration, count } => {
                 self.dropped.add(*count);

@@ -45,6 +45,26 @@
 //!   [`RunTrace`]s and feed them through the same observers a live run
 //!   uses, so `repro analyze` and in-process metrics share one path.
 //!
+//! For *live* deployments (the streaming engine in `wsnloc-serve`) a
+//! telemetry tier sits on top of all of the above:
+//!
+//! - [`WindowedMetrics`] — fixed-slot ring buffers over labeled series
+//!   (per-tenant epochs solved/shed, per-shard boundary-message volume,
+//!   tick-latency quantile pools) advanced once per engine tick, so
+//!   sliding-window rates and quantiles are available while the run is
+//!   still going. Rotation is caller-driven, never wall-clock-driven.
+//! - [`TelemetryServer`] — a hand-rolled, std-only HTTP/1.1 listener
+//!   exposing `/metrics` (OpenMetrics: registry totals + windowed
+//!   series), `/healthz` (liveness, last-tick age, span snapshot), and
+//!   `/tenants` (JSON rollup) from a [`TelemetryHub`] the engine
+//!   updates.
+//! - [`SampledObserver`] — seeded run-level trace sampling
+//!   ([`SamplePolicy`]) with exact kept/dropped accounting;
+//!   [`SamplePolicy::All`] is bit-transparent.
+//! - [`ObsEvent::Context`] correlation stamps (tenant / epoch / shard /
+//!   outer round) let downstream consumers attribute interleaved event
+//!   streams.
+//!
 //! Residual conventions (what "belief residual" means per backend):
 //! grid beliefs report the L1 distance between successive cell-mass
 //! vectors (in `[0, 2]`) plus the KL divergence of the new belief from the
@@ -61,8 +81,11 @@ pub mod metrics;
 pub mod observer;
 pub mod profiler;
 pub mod replay;
+pub mod sampling;
 pub mod sink;
+pub mod telemetry;
 pub mod trace;
+pub mod window;
 
 pub use wsnloc_net::accounting::CommStats;
 
@@ -72,9 +95,12 @@ pub use observer::{
     FanoutObserver, InferenceObserver, IterationRecord, NodeResidual, NullObserver, ObsEvent,
     RunInfo, RunSummary, SpanKind,
 };
-pub use profiler::{SpanGuard, SpanProfiler, Stopwatch};
+pub use profiler::{SpanGuard, SpanProfiler, SpanSnapshotRow, Stopwatch};
 pub use replay::{
     analyze_str, parse_json, parse_jsonl, replay, JsonValue, ReplayError, TraceAnalysis,
 };
+pub use sampling::{SamplePolicy, SampledObserver};
 pub use sink::{write_jsonl, JsonlSink, TraceSink, VecSink};
+pub use telemetry::{TelemetryHub, TelemetryServer};
 pub use trace::{RunTrace, TraceObserver};
+pub use window::WindowedMetrics;

@@ -241,6 +241,52 @@ impl Histogram {
     }
 }
 
+/// Escapes a label value for the OpenMetrics text format: backslash,
+/// double quote, and newline must be written as `\\`, `\"`, and `\n`
+/// (everything else passes through verbatim).
+#[must_use]
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text for the OpenMetrics text format: backslash and
+/// newline must be written as `\\` and `\n` so the metadata line stays
+/// one line.
+#[must_use]
+pub fn escape_help(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// The OpenMetrics unit implied by a metric name's suffix (`_seconds` →
+/// `seconds`, `_bytes` → `bytes`), for `# UNIT` metadata lines.
+#[must_use]
+pub fn unit_for_name(name: &str) -> Option<&'static str> {
+    if name.ends_with("_seconds") {
+        Some("seconds")
+    } else if name.ends_with("_bytes") {
+        Some("bytes")
+    } else {
+        None
+    }
+}
+
 /// A registered metric: name, help text, and the shared handle.
 #[derive(Debug, Clone)]
 enum MetricKind {
@@ -345,19 +391,28 @@ impl MetricsRegistry {
         for idx in order {
             let e = &entries[idx];
             if !e.help.is_empty() {
-                let _ = writeln!(out, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(out, "# HELP {} {}", e.name, escape_help(&e.help));
             }
             match &e.kind {
                 MetricKind::Counter(c) => {
                     let _ = writeln!(out, "# TYPE {} counter", e.name);
+                    if let Some(unit) = unit_for_name(&e.name) {
+                        let _ = writeln!(out, "# UNIT {} {unit}", e.name);
+                    }
                     let _ = writeln!(out, "{}_total {}", e.name, c.value());
                 }
                 MetricKind::Gauge(g) => {
                     let _ = writeln!(out, "# TYPE {} gauge", e.name);
+                    if let Some(unit) = unit_for_name(&e.name) {
+                        let _ = writeln!(out, "# UNIT {} {unit}", e.name);
+                    }
                     let _ = writeln!(out, "{} {}", e.name, g.value());
                 }
                 MetricKind::Histogram(h) => {
                     let _ = writeln!(out, "# TYPE {} histogram", e.name);
+                    if let Some(unit) = unit_for_name(&e.name) {
+                        let _ = writeln!(out, "# UNIT {} {unit}", e.name);
+                    }
                     for (bound, count) in h.cumulative_buckets() {
                         if bound.is_finite() {
                             let _ = writeln!(out, "{}_bucket{{le=\"{bound}\"}} {count}", e.name);
@@ -455,6 +510,39 @@ mod tests {
         assert!(text.contains("wsnloc_mid_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("wsnloc_mid_sum 0.5"));
         assert!(text.contains("wsnloc_mid_count 1"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn openmetrics_conformance_units_and_escaping() {
+        // Label-value escaping: backslash, quote, and newline only.
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+        assert_eq!(escape_label_value("plain{},=:"), "plain{},=:");
+        // HELP escaping keeps metadata on one line.
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+
+        let reg = MetricsRegistry::new();
+        reg.histogram(
+            "wsnloc_tick_seconds",
+            "tick latency",
+            Histogram::log_bounds(1e-3, 1.0),
+        )
+        .observe(0.01);
+        reg.gauge("wsnloc_queue_bytes", "queued bytes").set(4.0);
+        reg.counter("wsnloc_plain", "no unit\nsplit help").inc();
+        let text = reg.render_openmetrics();
+        // `# UNIT` follows `# TYPE` for `_seconds`/`_bytes` families and
+        // is absent for unitless names.
+        assert!(text.contains(
+            "# TYPE wsnloc_tick_seconds histogram\n# UNIT wsnloc_tick_seconds seconds\n"
+        ));
+        assert!(text.contains("# TYPE wsnloc_queue_bytes gauge\n# UNIT wsnloc_queue_bytes bytes\n"));
+        assert!(!text.contains("# UNIT wsnloc_plain"));
+        // Newlines in help text are escaped, and the exposition ends
+        // with the EOF marker.
+        assert!(text.contains("# HELP wsnloc_plain no unit\\nsplit help\n"));
         assert!(text.ends_with("# EOF\n"));
     }
 

@@ -196,6 +196,33 @@ pub enum ObsEvent {
         /// 0-based epoch index the tenant coasted through.
         epoch: u64,
     },
+    /// Correlation context stamped into the event stream so one epoch
+    /// can be followed across engines and shard boundaries. The
+    /// streaming engine emits it immediately before (and the sharded
+    /// engine during) the run the context applies to; consumers that
+    /// key state by tenant — sampling policies, windowed metrics —
+    /// treat it as "subsequent records belong to this tenant/epoch".
+    Context {
+        /// Streaming tenant (session) id, when run under an engine.
+        tenant: Option<u64>,
+        /// 0-based epoch index within the tenant's stream.
+        epoch: Option<u64>,
+        /// Shard id, when the run executes inside a sharded engine.
+        shard: Option<u64>,
+        /// Outer boundary-exchange round within a sharded run.
+        round: Option<u64>,
+    },
+    /// One shard refreshed its halo mirrors at a sharded outer-round
+    /// boundary exchange — the per-shard boundary-traffic signal the
+    /// windowed metrics tier aggregates.
+    BoundaryExchange {
+        /// Outer round (0-based) the exchange followed.
+        round: usize,
+        /// Shard whose mirrors were refreshed.
+        shard: usize,
+        /// Cross-shard belief messages delivered to this shard.
+        messages: u64,
+    },
     /// Free-form annotation.
     Note {
         /// The annotation text.

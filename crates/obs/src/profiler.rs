@@ -212,20 +212,17 @@ impl SpanProfiler {
         parent.map(|idx| st.display_total(idx))
     }
 
-    /// Renders the span tree as an indented flame table. Children are
-    /// sorted by label so the rendering is independent of arrival order
-    /// (live runs and trace replays produce identical tables).
+    /// A cheap, consistent snapshot of the span tree: rows in
+    /// depth-first, label-sorted order, each with accumulated calls and
+    /// total/self seconds. Safe to call mid-run — open RAII spans are
+    /// untouched (their time lands when the guard drops), per-thread
+    /// stacks are not consulted, and the lock is held only for the copy.
+    /// This is what live endpoints (`/healthz`) export without stopping
+    /// the profiled run.
     #[must_use]
-    pub fn flame_table(&self) -> String {
-        use std::fmt::Write as _;
+    pub fn snapshot(&self) -> Vec<SpanSnapshotRow> {
         let st = self.locked();
-        let grand_total: f64 = st.roots.iter().map(|&r| st.display_total(r)).sum();
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{:<40} {:>8} {:>12} {:>12} {:>7}",
-            "span", "calls", "total s", "self s", "%"
-        );
+        let mut rows = Vec::with_capacity(st.nodes.len());
         // (node, depth) DFS with label-sorted children.
         let mut stack: Vec<(usize, usize)> = Vec::new();
         let mut roots = st.roots.clone();
@@ -237,26 +234,72 @@ impl SpanProfiler {
             let node = &st.nodes[idx];
             let total = st.display_total(idx);
             let child_sum: f64 = node.children.iter().map(|&c| st.display_total(c)).sum();
-            let self_secs = (total - child_sum).max(0.0);
-            let pct = if grand_total > 0.0 {
-                100.0 * total / grand_total
-            } else {
-                0.0
-            };
-            let label = format!("{:indent$}{}", "", node.label, indent = 2 * depth);
-            let _ = writeln!(
-                out,
-                "{label:<40} {:>8} {:>12.6} {:>12.6} {pct:>7.1}",
-                node.calls, total, self_secs
-            );
+            rows.push(SpanSnapshotRow {
+                label: node.label,
+                depth,
+                calls: node.calls,
+                total_secs: total,
+                self_secs: (total - child_sum).max(0.0),
+            });
             let mut kids = node.children.clone();
             kids.sort_by_key(|&c| st.nodes[c].label);
             for &c in kids.iter().rev() {
                 stack.push((c, depth + 1));
             }
         }
+        rows
+    }
+
+    /// Renders the span tree as an indented flame table. Children are
+    /// sorted by label so the rendering is independent of arrival order
+    /// (live runs and trace replays produce identical tables). Built on
+    /// [`SpanProfiler::snapshot`], so it too is safe mid-run.
+    #[must_use]
+    pub fn flame_table(&self) -> String {
+        use std::fmt::Write as _;
+        let rows = self.snapshot();
+        let grand_total: f64 = rows
+            .iter()
+            .filter(|r| r.depth == 0)
+            .map(|r| r.total_secs)
+            .sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<40} {:>8} {:>12} {:>12} {:>7}",
+            "span", "calls", "total s", "self s", "%"
+        );
+        for row in &rows {
+            let pct = if grand_total > 0.0 {
+                100.0 * row.total_secs / grand_total
+            } else {
+                0.0
+            };
+            let label = format!("{:indent$}{}", "", row.label, indent = 2 * row.depth);
+            let _ = writeln!(
+                out,
+                "{label:<40} {:>8} {:>12.6} {:>12.6} {pct:>7.1}",
+                row.calls, row.total_secs, row.self_secs
+            );
+        }
         out
     }
+}
+
+/// One row of a [`SpanProfiler::snapshot`]: a span-tree node in
+/// depth-first order with its accumulated attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshotRow {
+    /// Span label.
+    pub label: &'static str,
+    /// Nesting depth (0 = root span).
+    pub depth: usize,
+    /// Times the span was recorded.
+    pub calls: u64,
+    /// Display total: explicit seconds, or child sum for aggregates.
+    pub total_secs: f64,
+    /// Total minus attributed children, floored at zero.
+    pub self_secs: f64,
 }
 
 /// The fixed BP phase hierarchy: every observed run maps onto
@@ -394,5 +437,43 @@ mod tests {
     #[test]
     fn profiler_does_not_request_residuals() {
         assert!(!SpanProfiler::new().wants_residuals());
+    }
+
+    #[test]
+    fn snapshot_works_with_spans_still_open() {
+        let prof = SpanProfiler::new();
+        prof.record_path(&["run", "message_passing"], 0.5);
+        let _open = prof.enter("run"); // still open while we snapshot
+        let rows = prof.snapshot();
+        let run = rows
+            .iter()
+            .find(|r| r.label == "run" && r.depth == 0)
+            .expect("run row present");
+        // The open span has contributed no time yet; the recorded child
+        // drives the display total.
+        assert!((run.total_secs - 0.5).abs() < 1e-12);
+        let mp = rows
+            .iter()
+            .find(|r| r.label == "message_passing")
+            .expect("child row present");
+        assert_eq!(mp.depth, 1);
+        assert_eq!(mp.calls, 1);
+        // Snapshot did not close the open span: dropping the guard still
+        // records its call afterwards.
+        drop(_open);
+        let after = prof.snapshot();
+        let run_after = after.iter().find(|r| r.label == "run").expect("run row");
+        assert_eq!(run_after.calls, 1, "the guard drop recorded one call");
+    }
+
+    #[test]
+    fn flame_table_matches_snapshot_rows() {
+        let prof = SpanProfiler::new();
+        prof.record_path(&["run"], 0.0);
+        prof.record_path(&["run", "model_build"], 0.25);
+        let table = prof.flame_table();
+        for row in prof.snapshot() {
+            assert!(table.contains(row.label), "row {} in table", row.label);
+        }
     }
 }

@@ -514,6 +514,20 @@ fn parse_event(v: &JsonValue) -> Result<Option<ObsEvent>, String> {
             tenant: field_u64(v, "tenant")?,
             epoch: field_u64(v, "epoch")?,
         }),
+        "context" => {
+            let opt = |key: &str| v.get(key).and_then(JsonValue::as_u64);
+            Some(ObsEvent::Context {
+                tenant: opt("tenant"),
+                epoch: opt("epoch"),
+                shard: opt("shard"),
+                round: opt("round"),
+            })
+        }
+        "boundary_exchange" => Some(ObsEvent::BoundaryExchange {
+            round: field_usize(v, "round")?,
+            shard: field_usize(v, "shard")?,
+            messages: field_u64(v, "messages")?,
+        }),
         "note" => Some(ObsEvent::Note {
             message: field_str(v, "message")?.to_owned(),
         }),

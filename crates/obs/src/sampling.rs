@@ -1,0 +1,361 @@
+//! Seeded trace-sampling policies for high-volume observation.
+//!
+//! A [`TraceObserver`](crate::TraceObserver) recording every run of a
+//! large streaming deployment grows without bound; dropping runs with
+//! an *unseeded* coin would make two identical deployments disagree
+//! about what they logged. [`SampledObserver`] sits between an
+//! inference entry point and any downstream observer and decides — at
+//! [`on_run_start`](InferenceObserver::on_run_start), from the run's
+//! own seed — whether the whole run is forwarded or suppressed:
+//!
+//! - [`SamplePolicy::All`] forwards everything: downstream output is
+//!   bit-identical to wiring the inner observer directly;
+//! - [`SamplePolicy::HashRatio`]`(p)` keeps a run iff a splitmix64
+//!   hash of `run_seed ^ sampler_seed` falls below `p` — a pure
+//!   function of the seeds, so the kept set is identical across thread
+//!   counts, batching, and replays;
+//! - [`SamplePolicy::PerTenant`]`(k)` keeps the first `k` runs of each
+//!   tenant (tenant identity is taken from the most recent
+//!   [`ObsEvent::Context`] stamp; runs with no stamp share one
+//!   "unattributed" bucket).
+//!
+//! Nothing is dropped silently: the observer counts kept and dropped
+//! runs and the exact number of suppressed callbacks
+//! ([`SampledObserver::dropped_events`]), so
+//! `kept_events + dropped_events` always equals the number of
+//! callbacks that arrived.
+
+use crate::observer::{
+    InferenceObserver, IterationRecord, ObsEvent, RunInfo, RunSummary, SpanKind,
+};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Which runs a [`SampledObserver`] forwards downstream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplePolicy {
+    /// Forward every run (downstream sees a bit-identical stream).
+    All,
+    /// Keep the first `k` runs per tenant (per [`ObsEvent::Context`]
+    /// stamp), then drop that tenant's runs.
+    PerTenant(u64),
+    /// Keep a run iff `hash(run_seed ^ sampler_seed)` maps below the
+    /// given probability in `[0, 1]`. Deterministic in the seeds.
+    HashRatio(f64),
+}
+
+/// splitmix64 finalizer: cheap, well-mixed, stable across platforms.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash to a uniform fraction in `[0, 1)` using the top 53 bits.
+fn unit_fraction(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[derive(Debug, Default)]
+struct SampleState {
+    /// Is the run in flight being forwarded?
+    keep_current: bool,
+    /// Tenant from the most recent `Context` stamp (None = unattributed).
+    current_tenant: Option<u64>,
+    /// Kept-run count per tenant bucket, for `PerTenant`.
+    kept_per_tenant: BTreeMap<Option<u64>, u64>,
+    kept_runs: u64,
+    dropped_runs: u64,
+    kept_events: u64,
+    dropped_events: u64,
+}
+
+/// A sampling gate in front of another observer (see module docs).
+///
+/// The decision is made once per run at `on_run_start`; every callback
+/// until the next `on_run_start` shares that run's fate. `Context`
+/// stamps arriving *between* runs are treated as preamble for the next
+/// run: their tenant id is recorded either way, and they are forwarded
+/// only if the previous run was kept (under [`SamplePolicy::All`] that
+/// is always, preserving bit-identity).
+pub struct SampledObserver<'a> {
+    inner: &'a dyn InferenceObserver,
+    policy: SamplePolicy,
+    seed: u64,
+    state: Mutex<SampleState>,
+}
+
+impl std::fmt::Debug for SampledObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampledObserver")
+            .field("policy", &self.policy)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SampledObserver<'a> {
+    /// Gates `inner` behind `policy`. `seed` perturbs the
+    /// [`SamplePolicy::HashRatio`] hash so distinct samplers over the
+    /// same runs keep independent subsets.
+    pub fn new(inner: &'a dyn InferenceObserver, policy: SamplePolicy, seed: u64) -> Self {
+        SampledObserver {
+            inner,
+            policy,
+            seed,
+            // `All` keeps pre-run preamble flowing before the first run.
+            state: Mutex::new(SampleState {
+                keep_current: matches!(policy, SamplePolicy::All),
+                ..SampleState::default()
+            }),
+        }
+    }
+
+    fn locked(&self) -> MutexGuard<'_, SampleState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs forwarded downstream so far.
+    #[must_use]
+    pub fn kept_runs(&self) -> u64 {
+        self.locked().kept_runs
+    }
+
+    /// Runs suppressed so far.
+    #[must_use]
+    pub fn dropped_runs(&self) -> u64 {
+        self.locked().dropped_runs
+    }
+
+    /// Individual callbacks (iterations, spans, events) forwarded.
+    #[must_use]
+    pub fn kept_events(&self) -> u64 {
+        self.locked().kept_events
+    }
+
+    /// Individual callbacks (iterations, spans, events) suppressed.
+    /// Always exactly complements [`kept_events`](Self::kept_events).
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.locked().dropped_events
+    }
+
+    /// Would this sampler keep a run with the given seed, were it to
+    /// start now? Pure for `All`/`HashRatio`; for `PerTenant` the
+    /// answer depends on (and does not change) accumulated state.
+    #[must_use]
+    pub fn would_keep(&self, run_seed: u64) -> bool {
+        match self.policy {
+            SamplePolicy::All => true,
+            SamplePolicy::HashRatio(p) => {
+                unit_fraction(splitmix64(run_seed ^ self.seed)) < p.clamp(0.0, 1.0)
+            }
+            SamplePolicy::PerTenant(k) => {
+                let st = self.locked();
+                st.kept_per_tenant
+                    .get(&st.current_tenant)
+                    .copied()
+                    .unwrap_or(0)
+                    < k
+            }
+        }
+    }
+}
+
+impl InferenceObserver for SampledObserver<'_> {
+    fn wants_residuals(&self) -> bool {
+        self.inner.wants_residuals()
+    }
+
+    fn on_run_start(&self, info: &RunInfo) {
+        let keep = self.would_keep(info.seed);
+        let mut st = self.locked();
+        st.keep_current = keep;
+        if keep {
+            let bucket = st.current_tenant;
+            *st.kept_per_tenant.entry(bucket).or_insert(0) += 1;
+            st.kept_runs += 1;
+            st.kept_events += 1;
+            drop(st);
+            self.inner.on_run_start(info);
+        } else {
+            st.dropped_runs += 1;
+            st.dropped_events += 1;
+        }
+    }
+
+    fn on_iteration(&self, record: &IterationRecord) {
+        let mut st = self.locked();
+        if st.keep_current {
+            st.kept_events += 1;
+            drop(st);
+            self.inner.on_iteration(record);
+        } else {
+            st.dropped_events += 1;
+        }
+    }
+
+    fn on_span(&self, span: SpanKind, secs: f64) {
+        let mut st = self.locked();
+        if st.keep_current {
+            st.kept_events += 1;
+            drop(st);
+            self.inner.on_span(span, secs);
+        } else {
+            st.dropped_events += 1;
+        }
+    }
+
+    fn on_event(&self, event: &ObsEvent) {
+        let mut st = self.locked();
+        if let ObsEvent::Context { tenant, .. } = event {
+            // Always note tenant identity — the *next* run's PerTenant
+            // bucket depends on it even if this stream is suppressed.
+            st.current_tenant = *tenant;
+        }
+        if st.keep_current {
+            st.kept_events += 1;
+            drop(st);
+            self.inner.on_event(event);
+        } else {
+            st.dropped_events += 1;
+        }
+    }
+
+    fn on_run_end(&self, summary: &RunSummary) {
+        let mut st = self.locked();
+        if st.keep_current {
+            st.kept_events += 1;
+            drop(st);
+            self.inner.on_run_end(summary);
+        } else {
+            st.dropped_events += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceObserver;
+
+    fn info(seed: u64) -> RunInfo {
+        RunInfo {
+            backend: "particle",
+            nodes: 4,
+            free: 3,
+            edges: 5,
+            max_iterations: 3,
+            tolerance: 1e-3,
+            damping: 0.0,
+            schedule: "synchronous",
+            message_bytes: 0,
+            seed,
+        }
+    }
+
+    fn drive(obs: &dyn InferenceObserver, seed: u64) {
+        obs.on_run_start(&info(seed));
+        obs.on_iteration(&IterationRecord {
+            iteration: 0,
+            max_shift: 0.5,
+            comm: wsnloc_net::accounting::CommStats {
+                messages: 12,
+                bytes: 0,
+            },
+            damping: 0.0,
+            schedule: "synchronous",
+            secs: 0.0,
+            residuals: Vec::new(),
+        });
+        obs.on_event(&ObsEvent::Note {
+            message: format!("run {seed}"),
+        });
+        obs.on_run_end(&RunSummary {
+            iterations: 1,
+            converged: true,
+            comm: wsnloc_net::accounting::CommStats {
+                messages: 12,
+                bytes: 0,
+            },
+        });
+    }
+
+    #[test]
+    fn all_policy_is_transparent() {
+        let direct = TraceObserver::new();
+        let sampled_inner = TraceObserver::new();
+        let sampled = SampledObserver::new(&sampled_inner, SamplePolicy::All, 99);
+        for seed in 0..8u64 {
+            drive(&direct, seed);
+            drive(&sampled, seed);
+        }
+        assert_eq!(
+            format!("{:?}", direct.runs()),
+            format!("{:?}", sampled_inner.runs())
+        );
+        assert_eq!(sampled.kept_runs(), 8);
+        assert_eq!(sampled.dropped_runs(), 0);
+        assert_eq!(sampled.dropped_events(), 0);
+    }
+
+    #[test]
+    fn hash_ratio_is_deterministic_and_accounted() {
+        let keep_sets: Vec<Vec<u64>> = (0..3)
+            .map(|_| {
+                let inner = TraceObserver::new();
+                let sampled = SampledObserver::new(&inner, SamplePolicy::HashRatio(0.5), 7);
+                let mut total_callbacks = 0u64;
+                for seed in 0..64u64 {
+                    drive(&sampled, seed);
+                    total_callbacks += 4;
+                }
+                assert_eq!(
+                    sampled.kept_events() + sampled.dropped_events(),
+                    total_callbacks
+                );
+                assert_eq!(sampled.kept_runs() + sampled.dropped_runs(), 64);
+                inner.runs().iter().map(|r| r.info.seed).collect()
+            })
+            .collect();
+        assert_eq!(keep_sets[0], keep_sets[1]);
+        assert_eq!(keep_sets[1], keep_sets[2]);
+        // p = 0.5 over 64 seeds should keep some and drop some.
+        assert!(!keep_sets[0].is_empty());
+        assert!(keep_sets[0].len() < 64);
+    }
+
+    #[test]
+    fn hash_ratio_extremes() {
+        let inner = TraceObserver::new();
+        let none = SampledObserver::new(&inner, SamplePolicy::HashRatio(0.0), 1);
+        let all = SampledObserver::new(&inner, SamplePolicy::HashRatio(1.0), 1);
+        for seed in 0..32u64 {
+            assert!(!none.would_keep(seed));
+            assert!(all.would_keep(seed));
+        }
+    }
+
+    #[test]
+    fn per_tenant_keeps_first_k_per_context_stamp() {
+        let inner = TraceObserver::new();
+        let sampled = SampledObserver::new(&inner, SamplePolicy::PerTenant(2), 0);
+        for tenant in [3u64, 9] {
+            for run in 0..4u64 {
+                sampled.on_event(&ObsEvent::Context {
+                    tenant: Some(tenant),
+                    epoch: Some(run),
+                    shard: None,
+                    round: None,
+                });
+                drive(&sampled, tenant * 100 + run);
+            }
+        }
+        // Two runs kept per tenant, two dropped per tenant.
+        assert_eq!(sampled.kept_runs(), 4);
+        assert_eq!(sampled.dropped_runs(), 4);
+        let kept: Vec<u64> = inner.runs().iter().map(|r| r.info.seed).collect();
+        assert_eq!(kept, vec![300, 301, 900, 901]);
+    }
+}

@@ -130,7 +130,7 @@ impl TraceSink for VecSink {
 }
 
 /// Appends a JSON string literal (quoted, escaped) to `buf`.
-fn push_json_str(buf: &mut String, s: &str) {
+pub(crate) fn push_json_str(buf: &mut String, s: &str) {
     buf.push('"');
     for c in s.chars() {
         match c {
@@ -235,6 +235,35 @@ fn event_line(event: &ObsEvent) -> String {
         ObsEvent::TenantShed { tenant, epoch } => {
             push_json_str(&mut s, "tenant_shed");
             let _ = write!(s, ",\"tenant\":{tenant},\"epoch\":{epoch}");
+        }
+        ObsEvent::Context {
+            tenant,
+            epoch,
+            shard,
+            round,
+        } => {
+            push_json_str(&mut s, "context");
+            let opt = |s: &mut String, key: &str, v: &Option<u64>| {
+                let _ = match v {
+                    Some(v) => write!(s, ",\"{key}\":{v}"),
+                    None => write!(s, ",\"{key}\":null"),
+                };
+            };
+            opt(&mut s, "tenant", tenant);
+            opt(&mut s, "epoch", epoch);
+            opt(&mut s, "shard", shard);
+            opt(&mut s, "round", round);
+        }
+        ObsEvent::BoundaryExchange {
+            round,
+            shard,
+            messages,
+        } => {
+            push_json_str(&mut s, "boundary_exchange");
+            let _ = write!(
+                s,
+                ",\"round\":{round},\"shard\":{shard},\"messages\":{messages}"
+            );
         }
         ObsEvent::Note { message } => {
             push_json_str(&mut s, "note");

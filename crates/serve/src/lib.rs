@@ -22,6 +22,22 @@
 //! - per-tenant [`MetricsSnapshot`]s and an engine-level
 //!   [`MetricsRegistry`] expose epoch/shed totals for scraping.
 //!
+//! **Live telemetry.** Every engine owns a
+//! [`WindowedMetrics`] sliding window (per-tenant epochs solved/shed,
+//! per-tenant queue-depth gauges, per-shard boundary-message volume
+//! when a tenant's localizer is sharded, and a tick-latency quantile
+//! pool) advanced once per [`tick`](StreamingEngine::tick), plus a
+//! [`TelemetryHub`] publishing liveness and a per-tenant JSON rollup.
+//! [`StreamingEngine::builder`] can bind an embedded
+//! [`TelemetryServer`] (`/metrics`, `/healthz`, `/tenants`), join an
+//! external hub shared across engines, and attach an extra
+//! [`InferenceObserver`] (e.g. a
+//! [`SampledObserver`](wsnloc_obs::SampledObserver) in front of a
+//! trace sink) that receives [`ObsEvent::Context`] correlation stamps
+//! (tenant/epoch) ahead of each run's callbacks. Telemetry never
+//! touches the solve path: updates are bit-identical with the server
+//! on, off, or absent (pinned by tests).
+//!
 //! **Determinism.** Tenant state is fully isolated (sessions never share
 //! RNG streams, beliefs, or seeds) and admission is a pure function of
 //! the tick index and the ready set (a round-robin window over ascending
@@ -34,12 +50,14 @@
 
 use rayon::{IntoParallelIterator, ParallelIterator};
 use std::collections::{BTreeMap, VecDeque};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use wsnloc::session::LocalizationSession;
 use wsnloc::{BnlLocalizer, LocalizationResult, MotionModel};
 use wsnloc_net::{DropPolicy, Network};
 use wsnloc_obs::{
-    Counter, InferenceObserver, MetricsObserver, MetricsRegistry, MetricsSnapshot, ObsEvent,
+    Counter, FanoutObserver, Histogram, InferenceObserver, MetricsObserver, MetricsRegistry,
+    MetricsSnapshot, ObsEvent, Stopwatch, TelemetryHub, TelemetryServer, WindowedMetrics,
 };
 
 /// Opaque handle identifying one tenant's session within an engine.
@@ -152,6 +170,10 @@ struct Tenant {
     /// Private observer (own registry) so per-tenant snapshots never mix
     /// with other tenants' totals.
     metrics: MetricsObserver,
+    /// Lifetime epochs this tenant solved (for the `/tenants` rollup).
+    solved: u64,
+    /// Lifetime epochs this tenant was shed (for the `/tenants` rollup).
+    shed: u64,
 }
 
 /// A long-running, multi-tenant localization engine.
@@ -183,7 +205,6 @@ struct Tenant {
 /// assert_eq!(updates.len(), 2);
 /// assert_eq!(updates.iter().filter(|u| u.degraded).count(), 1);
 /// ```
-#[derive(Debug)]
 pub struct StreamingEngine {
     config: EngineConfig,
     tenants: BTreeMap<u64, Tenant>,
@@ -194,19 +215,133 @@ pub struct StreamingEngine {
     ticks_total: Counter,
     epochs_solved: Counter,
     epochs_shed: Counter,
+    tick_seconds: Histogram,
+    /// Sliding-window tier; advanced once per tick.
+    window: Arc<WindowedMetrics>,
+    /// Liveness + rollup publication point (always present; a scrape
+    /// server is only attached when the builder asked for one).
+    hub: TelemetryHub,
+    /// Embedded scrape server, when the builder bound one.
+    server: Option<TelemetryServer>,
+    /// Extra observer fanned into every solve (correlation stamps,
+    /// sampled tracing). `None` keeps the pre-telemetry solve wiring.
+    observer: Option<Arc<dyn InferenceObserver + Send + Sync>>,
 }
 
-impl StreamingEngine {
-    /// An engine with its own private metrics registry.
+impl std::fmt::Debug for StreamingEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingEngine")
+            .field("config", &self.config)
+            .field("tenants", &self.tenants.len())
+            .field("ticks", &self.ticks)
+            .field("telemetry_addr", &self.telemetry_addr())
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("config", &self.config)
+            .field("window_slots", &self.window_slots)
+            .field("telemetry_addr", &self.telemetry_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Configures a [`StreamingEngine`] beyond the scheduling knobs of
+/// [`EngineConfig`]: shared registries, window sizing, an embedded
+/// [`TelemetryServer`], an external [`TelemetryHub`], and an extra
+/// run observer. Obtained from [`StreamingEngine::builder`].
+pub struct EngineBuilder {
+    config: EngineConfig,
+    registry: Option<Arc<MetricsRegistry>>,
+    window_slots: usize,
+    telemetry_addr: Option<String>,
+    hub: Option<TelemetryHub>,
+    observer: Option<Arc<dyn InferenceObserver + Send + Sync>>,
+}
+
+impl EngineBuilder {
+    /// Exports the scheduler counters into a shared `registry` instead
+    /// of a private one. Ignored when [`EngineBuilder::hub`] is set
+    /// (the hub's registry wins).
     #[must_use]
-    pub fn new(config: EngineConfig) -> Self {
-        StreamingEngine::with_registry(config, Arc::new(MetricsRegistry::new()))
+    pub fn registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
     }
 
-    /// An engine exporting its scheduler counters into a shared
-    /// `registry` (per-tenant folds stay private regardless).
+    /// Ring slots of the sliding window (default 64 ticks). Ignored
+    /// when [`EngineBuilder::hub`] is set (the hub's window wins).
     #[must_use]
-    pub fn with_registry(config: EngineConfig, registry: Arc<MetricsRegistry>) -> Self {
+    pub fn window_slots(mut self, slots: usize) -> Self {
+        self.window_slots = slots;
+        self
+    }
+
+    /// Binds an embedded [`TelemetryServer`] on `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port — read it back with
+    /// [`StreamingEngine::telemetry_addr`]). The server lives exactly
+    /// as long as the engine.
+    #[must_use]
+    pub fn telemetry(mut self, addr: &str) -> Self {
+        self.telemetry_addr = Some(addr.to_owned());
+        self
+    }
+
+    /// Joins an external hub instead of creating one: the engine adopts
+    /// the hub's registry and window (so several sequential engines can
+    /// publish to one scrape endpoint) and does not start a server of
+    /// its own — whoever owns the hub owns the server.
+    #[must_use]
+    pub fn hub(mut self, hub: TelemetryHub) -> Self {
+        self.hub = Some(hub);
+        self
+    }
+
+    /// Fans an extra observer into every solved epoch, after the
+    /// tenant's private metrics fold. It receives an
+    /// [`ObsEvent::Context`] stamp (tenant + epoch) immediately before
+    /// each run's callbacks and a stamp + [`ObsEvent::TenantShed`] for
+    /// shed epochs. With `capacity_per_tick > 1` the admitted batch
+    /// solves in parallel, so a *shared* observer sees the tenants'
+    /// streams interleaved — pair it with a
+    /// [`SampledObserver`](wsnloc_obs::SampledObserver) or key off the
+    /// stamps to de-interleave.
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<dyn InferenceObserver + Send + Sync>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Builds the engine. The only fallible step is binding the
+    /// embedded telemetry listener, so without
+    /// [`EngineBuilder::telemetry`] this always succeeds.
+    pub fn build(mut self) -> std::io::Result<StreamingEngine> {
+        let addr = self.telemetry_addr.take();
+        let mut engine = self.build_unserved();
+        if let Some(addr) = addr {
+            engine.server = Some(TelemetryServer::start(&addr, engine.hub.clone())?);
+        }
+        Ok(engine)
+    }
+
+    /// Everything except the listener — the infallible part of
+    /// [`EngineBuilder::build`], used directly by the plain
+    /// constructors.
+    fn build_unserved(self) -> StreamingEngine {
+        let (registry, window, hub) = match self.hub {
+            Some(hub) => (Arc::clone(hub.registry()), Arc::clone(hub.window()), hub),
+            None => {
+                let registry = self
+                    .registry
+                    .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+                let window = Arc::new(WindowedMetrics::new(self.window_slots));
+                let hub = TelemetryHub::new(Arc::clone(&registry), Arc::clone(&window));
+                (registry, window, hub)
+            }
+        };
         StreamingEngine {
             ticks_total: registry.counter("wsnloc_serve_ticks", "scheduler ticks executed"),
             epochs_solved: registry
@@ -215,11 +350,50 @@ impl StreamingEngine {
                 "wsnloc_serve_epochs_shed",
                 "tenant epochs shed under overload",
             ),
-            config,
+            tick_seconds: registry.histogram(
+                "wsnloc_serve_tick_seconds",
+                "wall seconds per scheduler tick",
+                Histogram::log_bounds(1e-4, 10.0),
+            ),
+            config: self.config,
             tenants: BTreeMap::new(),
             next_id: 0,
             ticks: 0,
             registry,
+            window,
+            hub,
+            server: None,
+            observer: self.observer,
+        }
+    }
+}
+
+impl StreamingEngine {
+    /// An engine with its own private metrics registry.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        StreamingEngine::builder(config).build_unserved()
+    }
+
+    /// An engine exporting its scheduler counters into a shared
+    /// `registry` (per-tenant folds stay private regardless).
+    #[must_use]
+    pub fn with_registry(config: EngineConfig, registry: Arc<MetricsRegistry>) -> Self {
+        StreamingEngine::builder(config)
+            .registry(registry)
+            .build_unserved()
+    }
+
+    /// Starts configuring an engine (see [`EngineBuilder`]).
+    #[must_use]
+    pub fn builder(config: EngineConfig) -> EngineBuilder {
+        EngineBuilder {
+            config,
+            registry: None,
+            window_slots: 64,
+            telemetry_addr: None,
+            hub: None,
+            observer: None,
         }
     }
 
@@ -227,6 +401,25 @@ impl StreamingEngine {
     #[must_use]
     pub fn registry(&self) -> Arc<MetricsRegistry> {
         Arc::clone(&self.registry)
+    }
+
+    /// The engine's sliding-window metrics tier.
+    #[must_use]
+    pub fn window(&self) -> Arc<WindowedMetrics> {
+        Arc::clone(&self.window)
+    }
+
+    /// The telemetry hub the engine publishes liveness into.
+    #[must_use]
+    pub fn hub(&self) -> TelemetryHub {
+        self.hub.clone()
+    }
+
+    /// Bound address of the embedded telemetry server, when
+    /// [`EngineBuilder::telemetry`] asked for one.
+    #[must_use]
+    pub fn telemetry_addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().map(TelemetryServer::local_addr)
     }
 
     /// Opens a tenant session and returns its handle.
@@ -243,6 +436,8 @@ impl StreamingEngine {
                 session,
                 queue: VecDeque::new(),
                 metrics: MetricsObserver::new(),
+                solved: 0,
+                shed: 0,
             },
         );
         SessionId(id)
@@ -308,6 +503,7 @@ impl StreamingEngine {
     /// sustained overload every tenant keeps solving some epochs instead
     /// of the highest ids being starved forever.
     pub fn tick(&mut self) -> Vec<PositionUpdate> {
+        let tick_watch = Stopwatch::start();
         let tick_idx = self.ticks;
         self.ticks += 1;
         self.ticks_total.inc();
@@ -343,10 +539,22 @@ impl StreamingEngine {
                 DropPolicy::HoldLast => t.session.hold(&epoch.network),
                 DropPolicy::DecayToPrior { .. } => t.session.coast(&epoch.network, epoch.seed),
             };
-            t.metrics.on_event(&ObsEvent::TenantShed {
+            let shed_event = ObsEvent::TenantShed {
                 tenant: id,
                 epoch: epoch_idx,
-            });
+            };
+            t.metrics.on_event(&shed_event);
+            t.shed += 1;
+            self.window.fold_event(&shed_event);
+            if let Some(obs) = &self.observer {
+                obs.on_event(&ObsEvent::Context {
+                    tenant: Some(id),
+                    epoch: Some(epoch_idx),
+                    shard: None,
+                    round: None,
+                });
+                obs.on_event(&shed_event);
+            }
             self.epochs_shed.inc();
             updates.push(PositionUpdate {
                 tenant: SessionId(id),
@@ -370,17 +578,35 @@ impl StreamingEngine {
                 }
             }
         }
+        let window = Arc::clone(&self.window);
+        let extra = self.observer.clone();
         let solved: Vec<(u64, Tenant, u64, LocalizationResult)> = jobs
             .into_par_iter()
             .map(|(id, mut t, epoch)| {
                 let epoch_idx = t.session.epoch();
+                // The window and the extra observer ride every solve via
+                // fan-out; the context stamp precedes the run's callbacks
+                // so downstream consumers can attribute them.
+                let mut targets: Vec<&dyn InferenceObserver> = vec![&t.metrics, window.as_ref()];
+                if let Some(obs) = extra.as_deref() {
+                    targets.push(obs);
+                }
+                let fanout = FanoutObserver::new(targets);
+                fanout.on_event(&ObsEvent::Context {
+                    tenant: Some(id),
+                    epoch: Some(epoch_idx),
+                    shard: None,
+                    round: None,
+                });
                 let result = t
                     .session
-                    .advance_observed(&epoch.network, epoch.seed, &t.metrics);
-                t.metrics.on_event(&ObsEvent::EpochAdvanced {
+                    .advance_observed(&epoch.network, epoch.seed, &fanout);
+                fanout.on_event(&ObsEvent::EpochAdvanced {
                     tenant: id,
                     epoch: epoch_idx,
                 });
+                drop(fanout);
+                t.solved += 1;
                 (id, t, epoch_idx, result)
             })
             .collect();
@@ -395,7 +621,47 @@ impl StreamingEngine {
             });
         }
         updates.sort_by_key(|u| u.tenant.0);
+
+        // Close out the tick's telemetry: latency sample, queue-depth
+        // gauges, liveness, the `/tenants` rollup, then rotate the
+        // window so the next tick writes a fresh slot.
+        let tick_secs = tick_watch.elapsed_secs();
+        self.tick_seconds.observe(tick_secs);
+        self.window
+            .observe("wsnloc_window_tick_seconds", &[], tick_secs);
+        for (&id, t) in &self.tenants {
+            self.window.set(
+                "wsnloc_window_queue_depth",
+                &[("tenant", id.to_string())],
+                t.queue.len() as f64,
+            );
+        }
+        self.hub.set_tenants_json(self.tenants_rollup_json());
+        self.hub.note_tick();
+        self.window.advance();
         updates
+    }
+
+    /// The `/tenants` JSON document: one entry per open session.
+    fn tenants_rollup_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"tenants\":[");
+        for (i, (&id, t)) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{id},\"pending\":{},\"warm\":{},\"solved\":{},\"shed\":{},\"next_epoch\":{}}}",
+                t.queue.len(),
+                t.session.is_warm(),
+                t.solved,
+                t.shed,
+                t.session.epoch()
+            );
+        }
+        let _ = write!(out, "],\"ticks\":{}}}", self.ticks);
+        out
     }
 
     /// Ticks until every queue is drained, concatenating the updates.
@@ -559,6 +825,170 @@ mod tests {
         let scrape = engine.registry().render_openmetrics();
         assert!(scrape.contains("wsnloc_serve_epochs_solved_total 2"));
         assert!(scrape.contains("wsnloc_serve_epochs_shed_total 2"));
+    }
+
+    /// Runs a fixed 3-tenant, 3-epoch workload and fingerprints every
+    /// update (estimates + uncertainty bits, degraded flags).
+    fn workload_fingerprint(mut engine: StreamingEngine) -> Vec<u64> {
+        let network = net(6);
+        let ids: Vec<SessionId> = (0..3).map(|_| engine.open_session(cfg())).collect();
+        let mut fp = Vec::new();
+        for s in 0..3u64 {
+            for &id in &ids {
+                engine.submit(id, MeasurementEpoch::new(network.clone(), s));
+            }
+            for u in engine.tick() {
+                fp.push(u.tenant.raw());
+                fp.push(u.epoch);
+                fp.push(u64::from(u.degraded));
+                for e in u.result.estimates.iter().flatten() {
+                    fp.push(e.x.to_bits());
+                    fp.push(e.y.to_bits());
+                }
+                for s in u.result.uncertainty.iter().flatten() {
+                    fp.push(s.to_bits());
+                }
+            }
+        }
+        fp
+    }
+
+    #[test]
+    fn telemetry_on_off_is_bit_identical() {
+        let overloaded = EngineConfig {
+            capacity_per_tick: 2,
+            shed_policy: DropPolicy::DecayToPrior { decay: 0.5 },
+        };
+        let plain = workload_fingerprint(StreamingEngine::new(overloaded));
+        let served = workload_fingerprint(
+            StreamingEngine::builder(overloaded)
+                .window_slots(4)
+                .telemetry("127.0.0.1:0")
+                .build()
+                .expect("bind ephemeral port"),
+        );
+        let observed = workload_fingerprint(
+            StreamingEngine::builder(overloaded)
+                .observer(Arc::new(wsnloc_obs::TraceObserver::new()))
+                .build()
+                .expect("no listener to bind"),
+        );
+        assert_eq!(plain, served, "live scrape server must not perturb results");
+        assert_eq!(plain, observed, "extra observer must not perturb results");
+    }
+
+    #[test]
+    fn scrape_serves_windowed_per_tenant_series_and_health() {
+        use std::io::{Read as _, Write as _};
+        let mut engine = StreamingEngine::builder(EngineConfig {
+            capacity_per_tick: 1,
+            shed_policy: DropPolicy::DecayToPrior { decay: 0.5 },
+        })
+        .window_slots(8)
+        .telemetry("127.0.0.1:0")
+        .build()
+        .expect("bind ephemeral port");
+        let network = net(7);
+        let a = engine.open_session(cfg());
+        let b = engine.open_session(cfg());
+        engine.submit(a, MeasurementEpoch::new(network.clone(), 0));
+        engine.submit(b, MeasurementEpoch::new(network.clone(), 0));
+        engine.tick();
+
+        let addr = engine.telemetry_addr().expect("server bound");
+        let get = |path: &str| {
+            let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+            let req = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+            stream.write_all(req.as_bytes()).expect("send");
+            let mut out = String::new();
+            stream.read_to_string(&mut out).expect("read");
+            out
+        };
+
+        let metrics = get("/metrics");
+        // Registry totals and windowed per-tenant series side by side.
+        assert!(metrics.contains("wsnloc_serve_ticks_total 1"));
+        assert!(metrics.contains("wsnloc_serve_tick_seconds"));
+        // Capacity 1: tenant 0 solved, tenant 1 shed.
+        assert!(metrics.contains("wsnloc_window_epochs_solved{tenant=\"0\"} 1"));
+        assert!(metrics.contains("wsnloc_window_epochs_shed{tenant=\"1\"} 1"));
+        assert!(metrics.contains("wsnloc_window_queue_depth{tenant=\"0\"} 0"));
+        assert!(metrics.contains("wsnloc_window_tick_seconds_count 1"));
+        assert_eq!(metrics.matches("# EOF").count(), 1);
+
+        let health = get("/healthz");
+        assert!(health.contains("\"ok\":true"));
+        assert!(health.contains("\"ticks\":1"));
+        assert!(health.contains("\"last_tick_age_secs\":"));
+
+        let tenants = get("/tenants");
+        assert!(tenants.contains("\"id\":0"));
+        assert!(tenants.contains("\"solved\":1"));
+        assert!(tenants.contains("\"shed\":1"));
+    }
+
+    #[test]
+    fn window_retires_old_ticks() {
+        let mut engine = StreamingEngine::builder(EngineConfig::default())
+            .window_slots(2)
+            .build()
+            .expect("no listener to bind");
+        let network = net(8);
+        let id = engine.open_session(cfg());
+        engine.submit(id, MeasurementEpoch::new(network.clone(), 0));
+        engine.tick();
+        let w = engine.window();
+        let label = [("tenant", "0".to_owned())];
+        assert_eq!(
+            w.window_total("wsnloc_window_epochs_solved", &label),
+            Some(1)
+        );
+        // Two empty ticks push the solve out of the 2-slot window; the
+        // lifetime registry counter keeps it.
+        engine.tick();
+        engine.tick();
+        assert_eq!(
+            w.window_total("wsnloc_window_epochs_solved", &label),
+            Some(0)
+        );
+        let scrape = engine.registry().render_openmetrics();
+        assert!(scrape.contains("wsnloc_serve_epochs_solved_total 1"));
+    }
+
+    #[test]
+    fn extra_observer_gets_context_stamps_before_runs() {
+        let trace = Arc::new(wsnloc_obs::TraceObserver::new());
+        let mut engine = StreamingEngine::builder(EngineConfig::default())
+            .observer(Arc::clone(&trace) as Arc<dyn InferenceObserver + Send + Sync>)
+            .build()
+            .expect("no listener to bind");
+        let network = net(9);
+        let id = engine.open_session(cfg());
+        engine.submit(id, MeasurementEpoch::new(network.clone(), 0));
+        engine.submit(id, MeasurementEpoch::new(network, 1));
+        engine.drain();
+        let runs = trace.take_runs();
+        assert_eq!(runs.len(), 2, "one trace per solved epoch");
+        // The engine stamps tenant+epoch context; the stamp for run N+1
+        // lands in run N's event tail (pre-first-run stamps are dropped
+        // by TraceObserver, by design), and each run's events also carry
+        // the post-run EpochAdvanced marker.
+        let first_events = &runs[0].events;
+        assert!(first_events.iter().any(|e| matches!(
+            e,
+            ObsEvent::EpochAdvanced {
+                tenant: 0,
+                epoch: 0
+            }
+        )));
+        assert!(first_events.iter().any(|e| matches!(
+            e,
+            ObsEvent::Context {
+                tenant: Some(0),
+                epoch: Some(1),
+                ..
+            }
+        )));
     }
 
     #[test]

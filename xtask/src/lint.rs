@@ -41,12 +41,13 @@ use std::path::{Path, PathBuf};
 /// Roots where every rule applies: the library crates whose `src/` must
 /// be panic-free and deterministic, the rayon shim (whose scheduling is
 /// exactly where determinism bugs would hide), and the linter itself.
-const FULL_ROOTS: [&str; 8] = [
+const FULL_ROOTS: [&str; 9] = [
     "crates/geom",
     "crates/net",
     "crates/bayes",
     "crates/obs",
     "crates/core",
+    "crates/serve",
     "crates/baselines",
     "compat/rayon",
     "xtask",
